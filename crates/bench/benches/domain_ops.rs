@@ -1,0 +1,59 @@
+//! Experiment E-eq2 (Appendix B / Eq. 2): costs of the domain-theoretic
+//! machinery — the Lemma B.5–B.8 isomorphism checks on finite fragments,
+//! Hoare powerdomain operations, and approximable-mapping application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_join_core::Symbol;
+use lambda_join_domain::approx_map::ApproxMap;
+use lambda_join_domain::basis::SymBasis;
+use lambda_join_domain::powerdomain::HoareSet;
+use lambda_join_domain::vform_basis::{decomposition_iso_holds, fun_iso_holds, set_iso_holds};
+use lambda_join_filter::formula::build::*;
+use lambda_join_filter::formula::enumerate_vforms;
+use lambda_join_filter::CForm;
+
+fn bench_domain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domain");
+    group.sample_size(10);
+    let frag: Vec<_> = enumerate_vforms(&[Symbol::tt(), Symbol::Level(1), Symbol::Level(2)], 2)
+        .into_iter()
+        .take(40)
+        .collect();
+    group.bench_function("lemma_b5_decomposition_iso", |b| {
+        b.iter(|| decomposition_iso_holds(std::hint::black_box(&frag)).unwrap())
+    });
+    let small = vec![
+        botv_v(),
+        vsym(Symbol::Level(1)),
+        vsym(Symbol::Level(2)),
+        vsym(Symbol::tt()),
+    ];
+    group.bench_function("lemma_b7_set_iso", |b| {
+        b.iter(|| set_iso_holds(std::hint::black_box(&small), 2).unwrap())
+    });
+    let inputs = vec![vsym(Symbol::Level(1)), vsym(Symbol::Level(2)), botv_v()];
+    let outputs = vec![CForm::Bot, val(vsym(Symbol::tt())), botv()];
+    group.bench_function("lemma_b8_fun_iso", |b| {
+        b.iter(|| fun_iso_holds(&inputs, &outputs, 2).unwrap())
+    });
+    group.bench_function("hoare_union_and_order", |b| {
+        let x = HoareSet::from_generators(frag.iter().take(20).cloned().collect());
+        let y = HoareSet::from_generators(frag.iter().skip(10).take(20).cloned().collect());
+        b.iter(|| {
+            let u = x.union(&y);
+            std::hint::black_box(x.subset(&lambda_join_domain::basis::VFormBasis, &u))
+        })
+    });
+    group.bench_function("approx_map_apply", |b| {
+        let m = ApproxMap::from_pairs(
+            (0..16u64)
+                .map(|n| (Symbol::Level(n), Symbol::Level(n.max(8))))
+                .collect(),
+        );
+        b.iter(|| std::hint::black_box(m.apply(&SymBasis, &SymBasis, &Symbol::Level(12))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_domain);
+criterion_main!(benches);

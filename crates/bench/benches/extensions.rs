@@ -1,0 +1,137 @@
+//! Ablation benches for the §5.2 extension features and the §6 static
+//! analysis:
+//!
+//! * `frozen_queries` — `member`/`diff`/`size` on frozen sets as the set
+//!   grows (they are Θ(n)/Θ(n²) term-level scans; the point is that they
+//!   exist at all, which streaming sets cannot offer);
+//! * `versioned_register` — convergence cost of a last-writer-wins
+//!   register under shuffled write orders (join count is order-invariant);
+//! * `ambiguity_analysis` — cost of the static ⊤-freedom check on
+//!   join-ladder programs of growing size;
+//! * `incremental_push` — the §5.1 ablation: full recomputation vs
+//!   seminaive continuation when one new seed arrives after a fixpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_core::builder::*;
+use lambda_join_core::encodings::Graph;
+use lambda_join_core::reduce::join_results;
+use lambda_join_core::term::TermRef;
+use lambda_join_filter::ambiguity::check_ambiguity_fuel;
+use lambda_join_runtime::seminaive::{naive_rounds, SeminaiveEngine};
+
+fn frozen_set(n: i64) -> TermRef {
+    frz(set((0..n).map(int).collect()))
+}
+
+fn bench_frozen_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frozen_queries");
+    for n in [8i64, 32, 128] {
+        let s = frozen_set(n);
+        let probe = frz(int(n / 2));
+        group.bench_with_input(BenchmarkId::new("member", n), &n, |b, _| {
+            let t = member(probe.clone(), s.clone());
+            b.iter(|| std::hint::black_box(lambda_join_core::bigstep::eval_fuel(&t, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("size", n), &n, |b, _| {
+            let t = set_size(s.clone());
+            b.iter(|| std::hint::black_box(lambda_join_core::bigstep::eval_fuel(&t, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("diff_half", n), &n, |b, _| {
+            let half = frz(set((0..n / 2).map(int).collect()));
+            let t = diff(s.clone(), half);
+            b.iter(|| std::hint::black_box(lambda_join_core::bigstep::eval_fuel(&t, 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_versioned_register(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versioned_register");
+    for n in [16u64, 64, 256] {
+        // Writes at versions 1..n, applied in a fixed shuffled order.
+        let mut writes: Vec<TermRef> = (1..=n)
+            .map(|v| lex(level(v), string(&format!("payload-{v}"))))
+            .collect();
+        // Deterministic shuffle (LCG) — no RNG dependency in the hot loop.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for i in (1..writes.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            writes.swap(i, (state as usize) % (i + 1));
+        }
+        group.bench_with_input(BenchmarkId::new("lww_joins", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = botv();
+                for w in &writes {
+                    acc = join_results(&acc, w);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ambiguity_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ambiguity_analysis");
+    for n in [8i64, 32, 128] {
+        // A safe join ladder: {0} ∨ {1} ∨ … ∨ {n-1}.
+        let safe = (0..n).fold(set(vec![]), |acc, i| join(acc, set(vec![int(i)])));
+        group.bench_with_input(BenchmarkId::new("safe_ladder", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(check_ambiguity_fuel(&safe, 32)))
+        });
+        // An if-ladder with inlining through applications.
+        let ifs = (0..n).fold(int(0), |acc, _| {
+            app(lam("x", ite(tt(), var("x"), int(1))), acc)
+        });
+        group.bench_with_input(BenchmarkId::new("if_ladder", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(check_ambiguity_fuel(&ifs, 256)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_push");
+    group.sample_size(10);
+    for n in [16i64, 64] {
+        // Two disconnected line components: 0 → … → n-1 and n → … → n+7.
+        // The big component is seeded first; the small one arrives late, so
+        // the incremental continuation has genuinely new (but small) work.
+        let mut g = Graph::line(n);
+        for i in 0..8 {
+            let src = n + i;
+            let tgts = if i + 1 < 8 { vec![n + i + 1] } else { vec![] };
+            g.edges.push((src, tgts));
+        }
+        let step = g.neighbors_fn();
+        // Ablation A: full recomputation from scratch with both seeds.
+        group.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |b, _| {
+            b.iter(|| {
+                let (fix, _) = naive_rounds(&step, vec![int(0), int(n)], 64, 10_000);
+                std::hint::black_box(fix)
+            })
+        });
+        // Ablation B: reach a fixpoint for seed 0 once, then bench only the
+        // incremental continuation when the second component's seed arrives.
+        group.bench_with_input(BenchmarkId::new("seminaive_continue", n), &n, |b, _| {
+            let mut engine = SeminaiveEngine::new(step.clone(), 64);
+            engine.push(vec![int(0)]);
+            engine.run(10_000);
+            b.iter(|| {
+                let mut e = engine.clone();
+                e.push(vec![int(n)]);
+                std::hint::black_box(e.run(10_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frozen_queries,
+    bench_versioned_register,
+    bench_ambiguity_analysis,
+    bench_incremental_push
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment F2 (Figure 2): the cost of streaming `fromN 0`'s
+//! observations, under the fair small-step machine and the fuel-indexed
+//! big-step evaluator, as a function of how many distinct observations are
+//! produced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_core::bigstep::fuel_trace;
+use lambda_join_core::builder::*;
+use lambda_join_core::encodings;
+use lambda_join_core::machine::observation_trace;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fromn");
+    for passes in [8usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("machine_trace", passes),
+            &passes,
+            |b, &passes| {
+                b.iter(|| {
+                    let prog = app(encodings::from_n(), int(0));
+                    std::hint::black_box(observation_trace(prog, passes))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bigstep_trace", passes),
+            &passes,
+            |b, &passes| {
+                b.iter(|| {
+                    let prog = app(encodings::from_n(), int(0));
+                    std::hint::black_box(fuel_trace(&prog, passes, 1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiments F6–F8 (Figures 6–8): decision costs in the filter model —
+//! the streaming order on formulae, formula joins, and goal-directed
+//! formula assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_core::parser::parse;
+use lambda_join_core::Symbol;
+use lambda_join_filter::assign::check_closed;
+use lambda_join_filter::formula::build::*;
+use lambda_join_filter::formula::enumerate_vforms;
+use lambda_join_filter::join::vjoin;
+use lambda_join_filter::vleq;
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_model");
+    let syms = [Symbol::tt(), Symbol::ff(), Symbol::Level(1), Symbol::Level(2)];
+    for depth in [2usize, 3] {
+        let forms: Vec<_> = enumerate_vforms(&syms, depth)
+            .into_iter()
+            .take(80)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("vleq_all_pairs", depth),
+            &forms,
+            |b, forms| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for a in forms {
+                        for bb in forms {
+                            if vleq(a, bb) {
+                                hits += 1;
+                            }
+                        }
+                    }
+                    std::hint::black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vjoin_all_pairs", depth),
+            &forms,
+            |b, forms| {
+                b.iter(|| {
+                    for a in forms.iter().take(40) {
+                        for bb in forms.iter().take(40) {
+                            std::hint::black_box(vjoin(a, bb));
+                        }
+                    }
+                })
+            },
+        );
+    }
+    // Formula assignment on the paper's programs.
+    let evens = parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()")
+        .unwrap();
+    let goal = val(vset(vec![vint(0), vint(2), vint(4)]));
+    group.bench_function("check_evens_has_024", |b| {
+        b.iter(|| std::hint::black_box(check_closed(&evens, &goal, 30)))
+    });
+    let record = parse("(\\x. let 'a = x in 1) \\/ (\\x. let 'b = x in 2)").unwrap();
+    let rec_goal = val(vfun(vec![
+        (vname("a"), val(vint(1))),
+        (vname("b"), val(vint(2))),
+    ]));
+    group.bench_function("check_record_join", |b| {
+        b.iter(|| std::hint::black_box(check_closed(&record, &rec_goal, 15)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Experiment E-por (§2.3): latency of parallel-or. The point is the
+//! *shape*: `por true Ω` costs the same as `por true true` (the diverging
+//! branch is cut off by approximation), while a sequential or would hang.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_join_core::bigstep::eval_fuel;
+use lambda_join_core::builder::*;
+use lambda_join_core::encodings::{diverge_fn, por};
+
+fn bench_por(c: &mut Criterion) {
+    let mut group = c.benchmark_group("por");
+    let cases: Vec<(&str, lambda_join_core::TermRef, lambda_join_core::TermRef)> = vec![
+        ("true_true", thunk(tt()), thunk(tt())),
+        ("true_diverge", thunk(tt()), thunk(app(diverge_fn(), unit()))),
+        ("diverge_true", thunk(app(diverge_fn(), unit())), thunk(tt())),
+        ("false_false", thunk(ff()), thunk(ff())),
+    ];
+    for (name, x, y) in cases {
+        let t = apps(por(), vec![x, y]);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(eval_fuel(&t, 30)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_por);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Experiment E-reaches (§2.3, §5.1): graph reachability across the five
+//! implementations — λ∨ naive, λ∨ memoised (tabling), Datalog naive,
+//! Datalog seminaive, and LVar parallel BFS — over the graph suite.
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): seminaive beats naive
+//! Datalog; memoisation beats naive λ∨ with the gap exploding on the
+//! diamond DAGs; the LVar runtime wins outright on raw graphs (no term
+//! overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_bench::workloads::{edge_pairs, graph_suite};
+use lambda_join_core::encodings;
+use lambda_join_datalog::eval::{eval as datalog_eval, reaches_program, Strategy};
+use lambda_join_lvars::reachability as lv;
+use lambda_join_runtime::seminaive::SeminaiveEngine;
+use lambda_join_runtime::MemoEval;
+
+fn bench_reaches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reaches");
+    group.sample_size(10);
+    for (name, g) in graph_suite() {
+        let edges = edge_pairs(&g);
+        // Fuel high enough to converge on every member of the suite.
+        let fuel = 24 * g.edges.len().max(4);
+
+        group.bench_with_input(
+            BenchmarkId::new("lambda_naive", &name),
+            &g,
+            |b, g| {
+                let t = encodings::reaches(g, 0);
+                b.iter(|| {
+                    std::hint::black_box(lambda_join_core::bigstep::eval_with_budget(
+                        &t, fuel, 2_000_000,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lambda_memo", &name),
+            &g,
+            |b, g| {
+                let t = encodings::reaches(g, 0);
+                b.iter(|| {
+                    let mut m = MemoEval::new();
+                    std::hint::black_box(m.eval_fuel(&t, fuel))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lambda_seminaive", &name),
+            &g,
+            |b, g| {
+                // The incremental strategy §5.1 calls for: the λ∨ rule body
+                // is evaluated only on each round's delta.
+                let step = g.neighbors_fn();
+                b.iter(|| {
+                    let mut e = SeminaiveEngine::new(step.clone(), 64);
+                    e.push(vec![lambda_join_core::builder::int(0)]);
+                    std::hint::black_box(e.run(10_000))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("datalog_naive", &name),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let p = reaches_program(edges, 0);
+                    std::hint::black_box(datalog_eval(&p, Strategy::Naive))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("datalog_seminaive", &name),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let p = reaches_program(edges, 0);
+                    std::hint::black_box(datalog_eval(&p, Strategy::Seminaive))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lvars_par4", &name),
+            &edges,
+            |b, edges| {
+                let g = lv::Graph::from_edges(edges);
+                b.iter(|| std::hint::black_box(lv::reachable_par(&g, 0, 4)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reaches);
+criterion_main!(benches);

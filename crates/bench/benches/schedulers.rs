@@ -1,0 +1,91 @@
+//! Scheduler ablation for the nondeterministic reduction relation (§3):
+//! the paper's semantics allows *any* redex order; determinism of
+//! observations (Theorem 4.15/4.18, property-tested elsewhere) says the
+//! answer never depends on the choice. This bench measures what *does*
+//! depend on it — wall-clock and step counts to quiescence — across three
+//! strategies on join-heavy terminating programs:
+//!
+//! * `parallel` — the machine's maximal fair pass (contract every enabled
+//!   redex once, bottom-up);
+//! * `leftmost` — contract only the first enabled redex each step (a
+//!   sequential scheduler);
+//! * `random`   — contract a uniformly chosen enabled redex (seeded LCG).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_core::builder::*;
+use lambda_join_core::machine::{Machine, StepOutcome};
+use lambda_join_core::term::TermRef;
+
+/// A balanced join tree of `n` singleton-producing β-redexes.
+fn join_tree(n: usize) -> TermRef {
+    let leaves: Vec<TermRef> = (0..n)
+        .map(|i| app(lam("x", set(vec![var("x")])), int(i as i64)))
+        .collect();
+    fn build(xs: &[TermRef]) -> TermRef {
+        match xs {
+            [] => set(vec![]),
+            [x] => x.clone(),
+            _ => {
+                let mid = xs.len() / 2;
+                join(build(&xs[..mid]), build(&xs[mid..]))
+            }
+        }
+    }
+    build(&leaves)
+}
+
+fn run_parallel(t: &TermRef) -> usize {
+    let mut m = Machine::new(t.clone());
+    m.run(100_000)
+}
+
+fn run_leftmost(t: &TermRef) -> usize {
+    let mut m = Machine::new(t.clone());
+    let mut steps = 0;
+    while matches!(m.step_chosen(|_| 0), StepOutcome::Progress) {
+        steps += 1;
+        if steps > 1_000_000 {
+            break;
+        }
+    }
+    steps
+}
+
+fn run_random(t: &TermRef) -> usize {
+    let mut m = Machine::new(t.clone());
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut rng = move |n: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % n.max(1)
+    };
+    let mut steps = 0;
+    while matches!(m.step_random(&mut rng), StepOutcome::Progress) {
+        steps += 1;
+        if steps > 1_000_000 {
+            break;
+        }
+    }
+    steps
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    for n in [8usize, 32, 128] {
+        let t = join_tree(n);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &t, |b, t| {
+            b.iter(|| std::hint::black_box(run_parallel(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("leftmost", n), &t, |b, t| {
+            b.iter(|| std::hint::black_box(run_leftmost(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("random", n), &t, |b, t| {
+            b.iter(|| std::hint::black_box(run_random(t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

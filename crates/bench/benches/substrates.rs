@@ -1,0 +1,94 @@
+//! Experiments E-crdt and E-lvars (§5.2, §6): throughput of the substrate
+//! operations — CRDT merges, cluster convergence under the delivery
+//! adversary, LVar puts and threshold reads.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_crdt::{Cluster, DeliveryPolicy, GCounter, GSet, MvReg, VClock};
+use lambda_join_lvars::LVar;
+use lambda_join_runtime::semilattice::JoinSemilattice;
+
+fn bench_crdt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crdt");
+    for size in [64usize, 512] {
+        let a: GSet<i64> = (0..size as i64).collect();
+        let b: GSet<i64> = (size as i64 / 2..size as i64 * 2).collect();
+        group.bench_with_input(BenchmarkId::new("gset_merge", size), &size, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.join(&b)))
+        });
+    }
+    group.bench_function("gcounter_merge_16_replicas", |b| {
+        let mut x = GCounter::new();
+        let mut y = GCounter::new();
+        for r in 0..16 {
+            x.increment(r, r as u64 + 1);
+            y.increment(r, 17 - r as u64);
+        }
+        b.iter(|| std::hint::black_box(x.join(&y)))
+    });
+    group.bench_function("vclock_compare", |b| {
+        let mut x = VClock::new();
+        let mut y = VClock::new();
+        for r in 0..16 {
+            for _ in 0..r {
+                x.tick(r);
+                y.tick(16 - r);
+            }
+        }
+        b.iter(|| std::hint::black_box(x.compare(&y)))
+    });
+    group.bench_function("mvreg_merge_concurrent", |b| {
+        let mut x = MvReg::new();
+        let mut y = MvReg::new();
+        x.write(0, "left");
+        y.write(1, "right");
+        b.iter(|| std::hint::black_box(x.join(&y)))
+    });
+    group.bench_function("cluster_converge_4x20", |b| {
+        b.iter(|| {
+            let mut cluster: Cluster<GSet<i64>> =
+                Cluster::new(4, GSet::new(), 11, DeliveryPolicy::default());
+            for k in 0..20i64 {
+                cluster.update((k % 4) as usize, |s| s.insert(k));
+            }
+            cluster.run_random_gossip(40);
+            cluster.settle();
+            std::hint::black_box(cluster.converged())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lvars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lvars");
+    group.bench_function("put_get_roundtrip", |b| {
+        b.iter(|| {
+            let lv: LVar<BTreeSet<i64>> = LVar::new(BTreeSet::new());
+            lv.put(&[1].into_iter().collect()).unwrap();
+            std::hint::black_box(lv.get(&[[1].into_iter().collect::<BTreeSet<i64>>()]))
+        })
+    });
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_bfs_diamond6", workers),
+            &workers,
+            |b, &workers| {
+                let g = lambda_join_lvars::reachability::Graph::from_edges(
+                    &lambda_join_bench::workloads::edge_pairs(
+                        &lambda_join_bench::workloads::diamond_chain(6),
+                    ),
+                );
+                b.iter(|| {
+                    std::hint::black_box(lambda_join_lvars::reachability::reachable_par(
+                        &g, 0, workers,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crdt, bench_lvars);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment F3/F4 (Figures 3–4): cost of driving the two-phase-commit
+//! system to its fixed point, in the λ∨ semantics and in the runtime's
+//! chaotic-iteration engine (sequential and parallel).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_join_core::bigstep::eval_fuel;
+use lambda_join_core::encodings;
+use lambda_join_runtime::parallel::{chaotic_fixpoint, sequential_fixpoint};
+use lambda_join_runtime::semilattice::Flat;
+
+type State = BTreeMap<&'static str, Flat<String>>;
+type RuleVec = Vec<Box<dyn Fn(&State) -> State + Sync>>;
+
+fn rules() -> RuleVec {
+    vec![
+        Box::new(|s: &State| {
+            let mut out = State::new();
+            out.insert("proposal", Flat::Known("5".into()));
+            if let (Some(Flat::Known(a)), Some(Flat::Known(b))) = (s.get("ok1"), s.get("ok2")) {
+                let accepted = a == "true" && b == "true";
+                out.insert(
+                    "res",
+                    Flat::Known(if accepted { "accepted" } else { "rejected" }.into()),
+                );
+            }
+            out
+        }),
+        Box::new(|s: &State| {
+            let mut out = State::new();
+            if let Some(Flat::Known(p)) = s.get("proposal") {
+                out.insert(
+                    "ok1",
+                    Flat::Known(p.parse::<i64>().map(|n| n > 4).unwrap_or(false).to_string()),
+                );
+            }
+            out
+        }),
+        Box::new(|s: &State| {
+            let mut out = State::new();
+            if let Some(Flat::Known(p)) = s.get("proposal") {
+                out.insert(
+                    "ok2",
+                    Flat::Known(p.parse::<i64>().map(|n| n <= 6).unwrap_or(false).to_string()),
+                );
+            }
+            out
+        }),
+    ]
+}
+
+fn bench_2pc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_two_phase_commit");
+    group.bench_function("lambda_join_fuel16", |b| {
+        let system = encodings::two_phase_commit();
+        b.iter(|| std::hint::black_box(eval_fuel(&system, 16)))
+    });
+    group.bench_function("runtime_sequential", |b| {
+        let rs = rules();
+        b.iter(|| std::hint::black_box(sequential_fixpoint(State::new(), &rs, 100)))
+    });
+    group.bench_function("runtime_chaotic_3workers", |b| {
+        let rs = rules();
+        b.iter(|| std::hint::black_box(chaotic_fixpoint(State::new(), &rs, 3, 10_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_2pc);
+criterion_main!(benches);

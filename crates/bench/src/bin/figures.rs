@@ -1,0 +1,342 @@
+//! Regenerates every table and figure of *Functional Meaning for Parallel
+//! Streaming* (PLDI 2025) as text.
+//!
+//! ```sh
+//! cargo run -p lambda-join-bench --bin figures            # everything
+//! cargo run -p lambda-join-bench --bin figures -- fig2    # one item
+//! ```
+//!
+//! Items: `table1`, `fig2`, `fig4`, `fig10`, `evens`, `por`, `reaches`,
+//! `eq2`, `ext` (the §5.2/§6 extension experiments E-frz/E-lex/E-amb/
+//! E-semi). The outputs are recorded against the paper in EXPERIMENTS.md.
+
+use std::collections::BTreeSet;
+
+use lambda_join_bench::workloads::{diamond_chain, edge_pairs};
+use lambda_join_core::bigstep::{eval_fuel, eval_fuel_counting};
+use lambda_join_core::builder::*;
+use lambda_join_core::encodings::{self, Graph};
+use lambda_join_core::machine::observation_trace;
+use lambda_join_core::observe::result_leq;
+use lambda_join_core::term::Term;
+use lambda_join_core::Symbol;
+use lambda_join_datalog::eval::{eval as datalog_eval, reaches_program, Strategy};
+use lambda_join_runtime::interp::diagonal_table;
+use lambda_join_runtime::MemoEval;
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let want = |k: &str| all || which.iter().any(|w| w == k);
+
+    if want("table1") {
+        table1();
+    }
+    if want("fig2") {
+        fig2();
+    }
+    if want("fig4") {
+        fig4();
+    }
+    if want("fig10") {
+        fig10();
+    }
+    if want("evens") {
+        evens_fig();
+    }
+    if want("por") {
+        por_fig();
+    }
+    if want("reaches") {
+        reaches_fig();
+    }
+    if want("eq2") {
+        eq2_fig();
+    }
+    if want("ext") {
+        ext_fig();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// §1 table: streaming `evens()` into the non-monotone `f`.
+fn table1() {
+    header("Table §1 — a non-monotone observer retracts output");
+    let evens = encodings::evens();
+    println!("{:>6} {:>28} {:>12} {:>14}", "time", "evens()", "f(evens())", "action");
+    let mut sent = false;
+    for n in [4usize, 8, 10, 12, 16] {
+        let obs = eval_fuel(&evens, n);
+        let has = |k: i64| result_leq(&set(vec![int(k)]), &obs);
+        // f(x) = {1} if 2 ∈ x and 4 ∉ x else {} — NOT expressible in λ∨.
+        let f_out = if has(2) && !has(4) { "{1}" } else { "{}" };
+        let action = if f_out == "{1}" && !sent {
+            sent = true;
+            "request sent"
+        } else if sent && f_out == "{}" {
+            "RETRACTED!"
+        } else {
+            "none"
+        };
+        let shown = obs.to_string();
+        let shown = if shown.len() > 26 {
+            format!("{}…}}", &shown[..25])
+        } else {
+            shown
+        };
+        println!("{n:>6} {shown:>28} {f_out:>12} {action:>14}");
+    }
+    println!("(λ∨ rules f out by construction: only monotone functions are definable)");
+}
+
+/// Figure 2: the behaviour of `fromN 0`.
+fn fig2() {
+    header("Figure 2 — behaviour of fromN 0 (machine observations)");
+    let prog = app(encodings::from_n(), int(0));
+    for (i, obs) in observation_trace(prog, 12).iter().enumerate() {
+        println!("  step {i:>2}: {obs}");
+    }
+}
+
+/// Figure 4: evolution of two-phase commit.
+fn fig4() {
+    header("Figure 4 — evolution of the two-phase commit protocol");
+    let system = encodings::two_phase_commit();
+    println!(
+        "{:>5} {:>10} {:>7} {:>7} {:>12}",
+        "time", "proposal", "ok1", "ok2", "res"
+    );
+    for fuel in [0usize, 4, 8, 12, 16] {
+        let state = eval_fuel(&system, fuel);
+        let field = |name: &str| {
+            let v = eval_fuel(&project(state.clone(), name), 8);
+            let s = v.to_string();
+            if s == "bot" { "⊥".into() } else { s }
+        };
+        println!(
+            "{:>5} {:>10} {:>7} {:>7} {:>12}",
+            fuel,
+            field("proposal"),
+            field("ok1"),
+            field("ok2"),
+            field("res")
+        );
+    }
+}
+
+/// Figure 10: interleaved evaluation of `head (fromN 0)`.
+fn fig10() {
+    header("Figure 10 — diagonal interleaving of (λl. head l) (fromN 0)");
+    let arg = app(encodings::from_n(), int(0));
+    let n = 8;
+    let table = diagonal_table(&encodings::head(), &arg, n);
+    print!("{:>14}", "input \\ time");
+    for j in 0..n {
+        print!(" {j:>5}");
+    }
+    println!();
+    for (i, row) in table.rows.iter().enumerate() {
+        let label = abbreviate(&table.inputs[i].to_string(), 13);
+        print!("{label:>14}");
+        for cell in row {
+            print!(" {:>5}", abbreviate(&cell.to_string(), 5));
+        }
+        println!();
+    }
+    print!("{:>14}", "diagonal");
+    for d in &table.diagonal {
+        print!(" {:>5}", abbreviate(&d.to_string(), 5));
+    }
+    println!("\n(monotone: {})", table.is_monotone());
+}
+
+fn abbreviate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        let mut out: String = s.chars().take(n.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
+}
+
+/// §1/§3.2: the evens stream and the threshold search.
+fn evens_fig() {
+    header("§1/§3.2 — evens() stream and threshold search");
+    let evens = encodings::evens();
+    for n in [0usize, 4, 8, 12, 16] {
+        println!("  fuel {n:>2}: {}", eval_fuel(&evens, n));
+    }
+    let search = encodings::evens_search();
+    println!("  search for 2: {}", eval_fuel(&search, 40));
+}
+
+/// §2.3: the por truth table including divergent arguments.
+fn por_fig() {
+    header("§2.3 — parallel or");
+    let t = thunk(tt());
+    let f = thunk(ff());
+    let d = thunk(app(encodings::diverge_fn(), unit()));
+    for (label, x, y) in [
+        ("true  Ω    ", t.clone(), d.clone()),
+        ("Ω     true ", d.clone(), t.clone()),
+        ("true  false", t.clone(), f.clone()),
+        ("false false", f.clone(), f.clone()),
+        ("Ω     Ω    ", d.clone(), d.clone()),
+    ] {
+        let r = eval_fuel(&apps(encodings::por(), vec![x, y]), 40);
+        println!("  por {label} = {r}");
+    }
+}
+
+/// §2.3/§5.1: reaches across implementations, with work counts.
+fn reaches_fig() {
+    header("§2.3/§5.1 — reaches: who wins, by how much");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12}",
+        "graph", "λ∨ β-steps", "memo miss", "dl-naive", "dl-seminaive"
+    );
+    let graphs = vec![
+        ("line-8".to_string(), Graph::line(8)),
+        ("cycle-6".to_string(), Graph::cycle(6)),
+        ("diamond-5".to_string(), diamond_chain(5)),
+    ];
+    for (name, g) in graphs {
+        let fuel = 24 * g.edges.len().max(4);
+        let t = encodings::reaches(&g, 0);
+        let (r, betas) = eval_fuel_counting(&t, fuel);
+        let mut memo = MemoEval::new();
+        let _ = memo.eval_fuel(&t, fuel);
+        let (_, misses) = memo.stats();
+        let edges = edge_pairs(&g);
+        let (_, naive) = datalog_eval(&reaches_program(&edges, 0), Strategy::Naive);
+        let (_, semi) = datalog_eval(&reaches_program(&edges, 0), Strategy::Seminaive);
+        println!(
+            "{name:<12} {betas:>10} {misses:>10} {:>12} {:>12}",
+            naive.derivations, semi.derivations
+        );
+        // Sanity: λ∨ answer matches ground truth.
+        let truth: BTreeSet<i64> = g.reachable(0).into_iter().collect();
+        let got: BTreeSet<i64> = match &*r {
+            Term::Set(es) => es
+                .iter()
+                .filter_map(|e| match &**e {
+                    Term::Sym(s) => s.as_int(),
+                    _ => None,
+                })
+                .collect(),
+            _ => BTreeSet::new(),
+        };
+        assert_eq!(got, truth, "{name} wrong answer");
+    }
+}
+
+/// E-frz/E-lex/E-amb/E-semi: the §5.2/§6 extension experiments.
+fn ext_fig() {
+    use lambda_join_core::parser::parse;
+    use lambda_join_core::reduce::join_results;
+    use lambda_join_filter::ambiguity::check_ambiguity;
+    use lambda_join_runtime::seminaive::{naive_rounds, SeminaiveEngine};
+
+    header("E-frz — §5.2 frozen values: freeze, query, violate");
+    for src in [
+        "size(frz ({'a} \\/ {'b, 'c}))",
+        "member(frz 'b, frz {'a, 'b})",
+        "diff(frz {'a, 'b, 'c}, frz {'b})",
+        "frz {'a} \\/ {'a}",
+        "frz {'a} \\/ {'b}",
+    ] {
+        let r = eval_fuel(&parse(src).expect("parse"), 32);
+        println!("  {src:<38} ↦ {r}");
+    }
+
+    header("E-lex — §5.2 versioned values: LWW register & multiversioning");
+    let writes = [
+        ("⟨1, \"draft\"⟩", lex(level(1), string("draft"))),
+        ("⟨3, \"final\"⟩", lex(level(3), string("final"))),
+        ("⟨2, \"review\"⟩", lex(level(2), string("review"))),
+    ];
+    let mut acc = botv();
+    for (label, w) in &writes {
+        acc = join_results(&acc, w);
+        println!("  after write {label:<14} register = {acc}");
+    }
+    let bind = parse("bind x <- lex(`3, 10) in lex(`1, x * 2)").expect("parse");
+    println!("  bind read@3 write@1       ↦ {}", eval_fuel(&bind, 16));
+    let siblings = join(
+        lex(set(vec![int(1)]), set(vec![string("a")])),
+        lex(set(vec![int(2)]), set(vec![string("b")])),
+    );
+    println!("  concurrent set payloads   ↦ {}", eval_fuel(&siblings, 16));
+
+    header("E-amb — §6 static ambiguity analysis");
+    for src in [
+        "if true then 1 else 2",
+        "1 \\/ 2",
+        "(\\x. let 'a = x in 1) \\/ (\\x. let 'b = x in 2)",
+        "lex(`1, 'a) \\/ lex(`1, 'b)",
+        "member(frz 1, frz {1, 2})",
+    ] {
+        let v = check_ambiguity(&parse(src).expect("parse"));
+        println!("  {src:<48} → {v}");
+    }
+
+    header("E-semi — §5.1 incremental evaluation: step-call counts");
+    println!("{:<16} {:>10} {:>12}", "graph", "seminaive", "naive");
+    for (name, g) in [
+        ("line-12", Graph::line(12)),
+        ("cycle-8", Graph::cycle(8)),
+        ("tree-4", Graph::binary_tree(4)),
+    ] {
+        let step = g.neighbors_fn();
+        let mut e = SeminaiveEngine::new(step.clone(), 64);
+        e.push(vec![int(0)]);
+        let fix = e.run(10_000);
+        let (nfix, n) = naive_rounds(&step, vec![int(0)], 64, 10_000);
+        assert!(
+            lambda_join_core::observe::result_equiv(&fix, &nfix),
+            "{name}: strategies disagree"
+        );
+        println!(
+            "{name:<16} {:>10} {:>12}",
+            e.stats().step_calls,
+            n.step_calls
+        );
+    }
+}
+
+/// Eq. (2): the domain equation checks.
+fn eq2_fig() {
+    header("Eq. (2)/App. B — domain equation on finite fragments");
+    use lambda_join_domain::vform_basis::*;
+    use lambda_join_filter::formula::build::*;
+    use lambda_join_filter::formula::enumerate_vforms;
+    use lambda_join_filter::CForm;
+    let frag: Vec<_> = enumerate_vforms(&[Symbol::tt(), Symbol::Level(1), Symbol::Level(2)], 2)
+        .into_iter()
+        .take(40)
+        .collect();
+    println!(
+        "  Lemma B.5 (decomposition iso): {:?}",
+        decomposition_iso_holds(&frag).map(|_| "holds")
+    );
+    let small: Vec<_> = frag.iter().take(8).cloned().collect();
+    println!(
+        "  Lemma B.6 (pairs ≅ product):   {:?}",
+        pair_iso_holds(&small).map(|_| "holds")
+    );
+    let tiny = vec![botv_v(), vsym(Symbol::Level(1)), vsym(Symbol::tt())];
+    println!(
+        "  Lemma B.7 (sets ≅ P_H):        {:?}",
+        set_iso_holds(&tiny, 2).map(|_| "holds")
+    );
+    let inputs = vec![vsym(Symbol::Level(1)), vsym(Symbol::Level(2)), botv_v()];
+    let outputs = vec![CForm::Bot, val(vsym(Symbol::tt())), botv()];
+    println!(
+        "  Lemma B.8 (funs ≅ approx maps): {:?}",
+        fun_iso_holds(&inputs, &outputs, 2).map(|_| "holds")
+    );
+}

@@ -1,0 +1,10 @@
+//! # lambda-join-bench
+//!
+//! The benchmark harness of the reproduction: shared workloads for the
+//! criterion benches (one per paper table/figure — see `benches/`), and the
+//! `figures` binary which regenerates every table and figure of the paper
+//! as text (see EXPERIMENTS.md for the index and paper-vs-measured record).
+
+#![warn(missing_docs)]
+
+pub mod workloads;

@@ -1,0 +1,56 @@
+//! Shared workload builders for benches and the `figures` binary.
+
+use lambda_join_core::encodings::Graph;
+
+/// Graph families used by the reachability experiments.
+pub fn graph_suite() -> Vec<(String, Graph)> {
+    vec![
+        ("line-8".into(), Graph::line(8)),
+        ("line-16".into(), Graph::line(16)),
+        ("cycle-8".into(), Graph::cycle(8)),
+        ("tree-3".into(), Graph::binary_tree(3)),
+        ("diamond-4".into(), diamond_chain(4)),
+        ("diamond-6".into(), diamond_chain(6)),
+    ]
+}
+
+/// A chain of diamonds of the given depth: the DAG with exponentially many
+/// paths that separates naive from memoised evaluation.
+pub fn diamond_chain(layers: i64) -> Graph {
+    let mut edges = Vec::new();
+    for l in 0..layers {
+        edges.push((2 * l, vec![2 * (l + 1), 2 * (l + 1) + 1]));
+        edges.push((2 * l + 1, vec![2 * (l + 1), 2 * (l + 1) + 1]));
+    }
+    edges.push((2 * layers, vec![]));
+    edges.push((2 * layers + 1, vec![]));
+    Graph { edges }
+}
+
+/// Flattens a [`Graph`] into edge pairs for the Datalog/LVars substrates.
+pub fn edge_pairs(g: &Graph) -> Vec<(i64, i64)> {
+    g.edges
+        .iter()
+        .flat_map(|(s, ts)| ts.iter().map(move |t| (*s, *t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_nonempty_and_reachable() {
+        for (name, g) in graph_suite() {
+            assert!(!g.reachable(0).is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn diamond_counts() {
+        let g = diamond_chain(3);
+        // 2 nodes per layer × 4 layers = 8 nodes, all reachable from 0
+        // except the sibling of the root.
+        assert_eq!(g.reachable(0).len(), 7);
+    }
+}

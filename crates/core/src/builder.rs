@@ -1,0 +1,356 @@
+//! Ergonomic constructors for building λ∨ terms programmatically.
+//!
+//! Free functions returning [`TermRef`]s; used pervasively in tests,
+//! encodings, and examples. For larger programs prefer the surface parser in
+//! [`crate::parser`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lambda_join_core::builder::*;
+//!
+//! // (λx. x ∨ {1}) {2}
+//! let t = app(lam("x", join(var("x"), set(vec![int(1)]))), set(vec![int(2)]));
+//! assert!(t.is_closed());
+//! ```
+
+use std::rc::Rc;
+
+use crate::symbol::Symbol;
+use crate::term::{Prim, Term, TermRef};
+
+/// `⊥` — the meaningless computation.
+pub fn bot() -> TermRef {
+    Rc::new(Term::Bot)
+}
+
+/// `⊤` — the ambiguity error.
+pub fn top() -> TermRef {
+    Rc::new(Term::Top)
+}
+
+/// `⊥v` — the least value.
+pub fn botv() -> TermRef {
+    Rc::new(Term::BotV)
+}
+
+/// A variable reference.
+pub fn var(x: &str) -> TermRef {
+    Rc::new(Term::Var(Rc::from(x)))
+}
+
+/// `λx. body`.
+pub fn lam(x: &str, body: TermRef) -> TermRef {
+    Rc::new(Term::Lam(Rc::from(x), body))
+}
+
+/// A multi-argument curried lambda `λx1 … xn. body`.
+pub fn lams(xs: &[&str], body: TermRef) -> TermRef {
+    xs.iter().rev().fold(body, |b, x| lam(x, b))
+}
+
+/// Application `f a`.
+pub fn app(f: TermRef, a: TermRef) -> TermRef {
+    Rc::new(Term::App(f, a))
+}
+
+/// Curried application `f a1 … an`.
+pub fn apps(f: TermRef, args: Vec<TermRef>) -> TermRef {
+    args.into_iter().fold(f, app)
+}
+
+/// Pair `(a, b)`.
+pub fn pair(a: TermRef, b: TermRef) -> TermRef {
+    Rc::new(Term::Pair(a, b))
+}
+
+/// A symbol literal.
+pub fn sym(s: Symbol) -> TermRef {
+    Rc::new(Term::Sym(s))
+}
+
+/// A name symbol literal `'n`.
+pub fn name(n: &str) -> TermRef {
+    sym(Symbol::name(n))
+}
+
+/// An integer symbol literal.
+pub fn int(n: i64) -> TermRef {
+    sym(Symbol::Int(n))
+}
+
+/// A string symbol literal.
+pub fn string(s: &str) -> TermRef {
+    sym(Symbol::string(s))
+}
+
+/// A level symbol literal.
+pub fn level(n: u64) -> TermRef {
+    sym(Symbol::Level(n))
+}
+
+/// The unit symbol `()`.
+pub fn unit() -> TermRef {
+    sym(Symbol::unit())
+}
+
+/// The boolean `'true`.
+pub fn tt() -> TermRef {
+    sym(Symbol::tt())
+}
+
+/// The boolean `'false`.
+pub fn ff() -> TermRef {
+    sym(Symbol::ff())
+}
+
+/// Set literal `{e1, …, en}`.
+pub fn set(es: Vec<TermRef>) -> TermRef {
+    Rc::new(Term::Set(es))
+}
+
+/// Binary join `a ∨ b`.
+pub fn join(a: TermRef, b: TermRef) -> TermRef {
+    Rc::new(Term::Join(a, b))
+}
+
+/// Joins a non-empty list of terms left-associatively; `⊥` if empty.
+pub fn joins(es: Vec<TermRef>) -> TermRef {
+    let mut it = es.into_iter();
+    match it.next() {
+        None => bot(),
+        Some(first) => it.fold(first, join),
+    }
+}
+
+/// `let (x1, x2) = e in body`.
+pub fn let_pair(x1: &str, x2: &str, e: TermRef, body: TermRef) -> TermRef {
+    Rc::new(Term::LetPair(Rc::from(x1), Rc::from(x2), e, body))
+}
+
+/// `let s = e in body` — threshold query.
+pub fn let_sym(s: Symbol, e: TermRef, body: TermRef) -> TermRef {
+    Rc::new(Term::LetSym(s, e, body))
+}
+
+/// `let x = e in body`, encoded as `(λx. body) e`.
+pub fn let_in(x: &str, e: TermRef, body: TermRef) -> TermRef {
+    app(lam(x, body), e)
+}
+
+/// `⋁_{x ∈ e} body` — big join over a set.
+pub fn big_join(x: &str, e: TermRef, body: TermRef) -> TermRef {
+    Rc::new(Term::BigJoin(Rc::from(x), e, body))
+}
+
+/// Saturated primitive application.
+pub fn prim(op: Prim, args: Vec<TermRef>) -> TermRef {
+    Rc::new(Term::Prim(op, args))
+}
+
+/// `frz e` — freeze a value (§5.2 extension).
+pub fn frz(e: TermRef) -> TermRef {
+    Rc::new(Term::Frz(e))
+}
+
+/// `let frz x = e in body` — thaw elimination.
+pub fn let_frz(x: &str, e: TermRef, body: TermRef) -> TermRef {
+    Rc::new(Term::LetFrz(Rc::from(x), e, body))
+}
+
+/// `⟨a, b⟩` — lexicographic (versioned) pair.
+pub fn lex(a: TermRef, b: TermRef) -> TermRef {
+    Rc::new(Term::Lex(a, b))
+}
+
+/// `x ← e; body` — monadic bind on versioned pairs.
+pub fn lex_bind(x: &str, e: TermRef, body: TermRef) -> TermRef {
+    Rc::new(Term::LexBind(Rc::from(x), e, body))
+}
+
+/// `member(v, s)` — membership in a frozen set.
+pub fn member(v: TermRef, s: TermRef) -> TermRef {
+    prim(Prim::Member, vec![v, s])
+}
+
+/// `diff(s1, s2)` — difference of frozen sets.
+pub fn diff(s1: TermRef, s2: TermRef) -> TermRef {
+    prim(Prim::Diff, vec![s1, s2])
+}
+
+/// `size(s)` — cardinality of a frozen set.
+pub fn set_size(s: TermRef) -> TermRef {
+    prim(Prim::SetSize, vec![s])
+}
+
+/// `a + b` on integer symbols.
+pub fn add(a: TermRef, b: TermRef) -> TermRef {
+    prim(Prim::Add, vec![a, b])
+}
+
+/// `a - b` on integer symbols.
+pub fn sub(a: TermRef, b: TermRef) -> TermRef {
+    prim(Prim::Sub, vec![a, b])
+}
+
+/// `a * b` on integer symbols.
+pub fn mul(a: TermRef, b: TermRef) -> TermRef {
+    prim(Prim::Mul, vec![a, b])
+}
+
+/// `a <= b` on integer symbols, returning a boolean name.
+pub fn le(a: TermRef, b: TermRef) -> TermRef {
+    prim(Prim::Le, vec![a, b])
+}
+
+/// `a < b` on integer symbols, returning a boolean name.
+pub fn lt(a: TermRef, b: TermRef) -> TermRef {
+    prim(Prim::Lt, vec![a, b])
+}
+
+/// `a == b` on symbols, returning a boolean name.
+pub fn eq(a: TermRef, b: TermRef) -> TermRef {
+    prim(Prim::Eq, vec![a, b])
+}
+
+/// The paper's `if e1 then e2 else e3` encoding (§2.2):
+/// `let x = e1 in (let 'true = x in e2) ∨ (let 'false = x in e3)`.
+pub fn ite(c: TermRef, then_e: TermRef, else_e: TermRef) -> TermRef {
+    let_in(
+        "%c",
+        c,
+        join(
+            let_sym(Symbol::tt(), var("%c"), then_e),
+            let_sym(Symbol::ff(), var("%c"), else_e),
+        ),
+    )
+}
+
+/// A thunk `λ_. e`.
+pub fn thunk(e: TermRef) -> TermRef {
+    lam("_", e)
+}
+
+/// Forces a thunk: `e ()`.
+pub fn force(e: TermRef) -> TermRef {
+    app(e, unit())
+}
+
+/// The call-by-value fixed-point combinator
+/// `Z = λf.(λx. f (λv. x x v)) (λx. f (λv. x x v))` (§2.2).
+pub fn z_combinator() -> TermRef {
+    let half = lam(
+        "x",
+        app(
+            var("f"),
+            lam("v", app(app(var("x"), var("x")), var("v"))),
+        ),
+    );
+    lam("f", app(half.clone(), half))
+}
+
+/// `fix f. e` — the least fixed point of `λf. e`, via the Z combinator.
+///
+/// `e` should be an abstraction (the fixed point is a function under
+/// call-by-value).
+pub fn fix(f: &str, e: TermRef) -> TermRef {
+    app(z_combinator(), lam(f, e))
+}
+
+/// Builds a record `{fld1 = e1, …}` as a function from field-name symbols to
+/// values (§2.2): `λx. (let 'fld1 = x in e1) ∨ …`.
+pub fn record(fields: Vec<(&str, TermRef)>) -> TermRef {
+    let x = "%fld";
+    let clauses: Vec<TermRef> = fields
+        .into_iter()
+        .map(|(f, e)| let_sym(Symbol::name(f), var(x), e))
+        .collect();
+    lam(x, joins(clauses))
+}
+
+/// Record projection `e.fld`, i.e. application to the field-name symbol.
+pub fn project(e: TermRef, fld: &str) -> TermRef {
+    app(e, name(fld))
+}
+
+/// The empty list `[] = ('nil, ⊥v)` (§2.2).
+pub fn nil() -> TermRef {
+    pair(name("nil"), botv())
+}
+
+/// List cons `h :: t = ('cons, (h, t))` (§2.2).
+pub fn cons(h: TermRef, t: TermRef) -> TermRef {
+    pair(name("cons"), pair(h, t))
+}
+
+/// A list literal from a vector of terms.
+pub fn list(es: Vec<TermRef>) -> TermRef {
+    es.into_iter().rev().fold(nil(), |t, h| cons(h, t))
+}
+
+/// Pattern-match on a list (§2.2):
+/// `case e of [] → e_nil | h :: t → e_cons`.
+pub fn case_list(e: TermRef, e_nil: TermRef, h: &str, t: &str, e_cons: TermRef) -> TermRef {
+    let_in(
+        "%scrut",
+        e,
+        join(
+            let_pair(
+                "%tag",
+                "_",
+                var("%scrut"),
+                let_sym(Symbol::name("nil"), var("%tag"), e_nil),
+            ),
+            let_pair(
+                "%tag",
+                "%payload",
+                var("%scrut"),
+                let_sym(
+                    Symbol::name("cons"),
+                    var("%tag"),
+                    let_pair(h, t, var("%payload"), e_cons),
+                ),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        assert!(matches!(&*bot(), Term::Bot));
+        assert!(matches!(&*join(bot(), top()), Term::Join(..)));
+        assert!(lams(&["a", "b"], var("a")).alpha_eq(&lam("a", lam("b", var("a")))));
+        assert!(apps(var("f"), vec![int(1), int(2)])
+            .alpha_eq(&app(app(var("f"), int(1)), int(2))));
+    }
+
+    #[test]
+    fn joins_of_empty_is_bot() {
+        assert!(joins(vec![]).alpha_eq(&bot()));
+        assert!(joins(vec![int(1)]).alpha_eq(&int(1)));
+    }
+
+    #[test]
+    fn z_combinator_is_closed() {
+        assert!(z_combinator().is_closed());
+        assert!(fix("f", lam("x", app(var("f"), var("x")))).is_closed());
+    }
+
+    #[test]
+    fn record_is_a_value() {
+        let r = record(vec![("a", int(1)), ("b", int(2))]);
+        assert!(r.is_value());
+        assert!(r.is_closed());
+    }
+
+    #[test]
+    fn list_literals() {
+        let l = list(vec![int(1), int(2)]);
+        assert!(l.alpha_eq(&cons(int(1), cons(int(2), nil()))));
+        assert!(l.is_value());
+    }
+}

@@ -1,0 +1,255 @@
+//! Pretty printing of λ∨ terms in the surface syntax accepted by
+//! [`crate::parser`].
+//!
+//! The printer is precedence-aware and round-trips with the parser on the
+//! core grammar (property-tested in the parser module).
+
+use std::fmt;
+
+use crate::term::{Term, TermRef};
+
+/// Precedence levels, loosest to tightest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    /// let/lambda/big-join bodies extend to the right.
+    Lowest,
+    /// `∨`
+    Join,
+    /// comparisons
+    Cmp,
+    /// `+` `-`
+    Add,
+    /// `*`
+    Mul,
+    /// application
+    App,
+    /// atoms
+    Atom,
+}
+
+/// A displayable wrapper for terms; `Term` itself implements [`fmt::Display`]
+/// through it.
+pub struct TermDisplay<'a>(pub &'a Term);
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self, Prec::Lowest)
+    }
+}
+
+fn write_paren(
+    f: &mut fmt::Formatter<'_>,
+    cond: bool,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if cond {
+        f.write_str("(")?;
+        inner(f)?;
+        f.write_str(")")
+    } else {
+        inner(f)
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: Prec) -> fmt::Result {
+    match t {
+        Term::Bot => f.write_str("bot"),
+        Term::Top => f.write_str("top"),
+        Term::BotV => f.write_str("botv"),
+        Term::Var(x) => write!(f, "{x}"),
+        Term::Sym(s) => write!(f, "{s}"),
+        Term::Lam(x, b) => write_paren(f, prec > Prec::Lowest, |f| {
+            write!(f, "\\{x}. ")?;
+            write_term(f, b, Prec::Lowest)
+        }),
+        Term::Pair(a, b) => {
+            f.write_str("(")?;
+            write_term(f, a, Prec::Lowest)?;
+            f.write_str(", ")?;
+            write_term(f, b, Prec::Lowest)?;
+            f.write_str(")")
+        }
+        Term::Set(es) => {
+            f.write_str("{")?;
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_term(f, e, Prec::Lowest)?;
+            }
+            f.write_str("}")
+        }
+        Term::App(a, b) => write_paren(f, prec > Prec::App, |f| {
+            write_term(f, a, Prec::App)?;
+            f.write_str(" ")?;
+            write_term(f, b, Prec::Atom)
+        }),
+        Term::LetPair(x1, x2, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
+            write!(f, "let ({x1}, {x2}) = ")?;
+            write_term(f, e, Prec::Join)?;
+            f.write_str(" in ")?;
+            write_term(f, b, Prec::Lowest)
+        }),
+        Term::LetSym(s, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
+            write!(f, "let {s} = ")?;
+            write_term(f, e, Prec::Join)?;
+            f.write_str(" in ")?;
+            write_term(f, b, Prec::Lowest)
+        }),
+        Term::BigJoin(x, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
+            write!(f, "for {x} in ")?;
+            write_term(f, e, Prec::Join)?;
+            f.write_str(". ")?;
+            write_term(f, b, Prec::Lowest)
+        }),
+        Term::Join(a, b) => write_paren(f, prec > Prec::Join, |f| {
+            write_term(f, a, Prec::Cmp)?;
+            f.write_str(" \\/ ")?;
+            write_term(f, b, Prec::Join)
+        }),
+        Term::Prim(op, es) => {
+            use crate::term::Prim;
+            let (my, left, right) = match op {
+                Prim::Add | Prim::Sub => (Prec::Add, Prec::Add, Prec::Mul),
+                Prim::Mul => (Prec::Mul, Prec::Mul, Prec::App),
+                Prim::Le | Prim::Lt | Prim::Eq => (Prec::Cmp, Prec::Add, Prec::Add),
+                // Frozen-set queries print in call style: `member(a, b)`.
+                Prim::Member | Prim::Diff | Prim::SetSize => {
+                    write!(f, "{op}(")?;
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write_term(f, e, Prec::Lowest)?;
+                    }
+                    return f.write_str(")");
+                }
+            };
+            write_paren(f, prec > my, |f| {
+                write_term(f, &es[0], left)?;
+                write!(f, " {op} ")?;
+                write_term(f, &es[1], right)
+            })
+        }
+        Term::Frz(e) => write_paren(f, prec > Prec::App, |f| {
+            f.write_str("frz ")?;
+            write_term(f, e, Prec::Atom)
+        }),
+        Term::LetFrz(x, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
+            write!(f, "let frz {x} = ")?;
+            write_term(f, e, Prec::Join)?;
+            f.write_str(" in ")?;
+            write_term(f, b, Prec::Lowest)
+        }),
+        Term::Lex(a, b) => {
+            f.write_str("lex(")?;
+            write_term(f, a, Prec::Lowest)?;
+            f.write_str(", ")?;
+            write_term(f, b, Prec::Lowest)?;
+            f.write_str(")")
+        }
+        Term::LexBind(x, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
+            write!(f, "bind {x} <- ")?;
+            write_term(f, e, Prec::Join)?;
+            f.write_str(" in ")?;
+            write_term(f, b, Prec::Lowest)
+        }),
+        Term::LexMerge(a, b) => {
+            f.write_str("lexmerge(")?;
+            write_term(f, a, Prec::Lowest)?;
+            f.write_str(", ")?;
+            write_term(f, b, Prec::Lowest)?;
+            f.write_str(")")
+        }
+    }
+}
+
+/// Renders a term to a `String` (same as `to_string`, provided for
+/// discoverability next to the parser).
+pub fn pretty(t: &TermRef) -> String {
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::*;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(bot().to_string(), "bot");
+        assert_eq!(top().to_string(), "top");
+        assert_eq!(botv().to_string(), "botv");
+        assert_eq!(int(42).to_string(), "42");
+        assert_eq!(name("true").to_string(), "'true");
+        assert_eq!(string("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn lambda_and_app() {
+        assert_eq!(lam("x", var("x")).to_string(), "\\x. x");
+        assert_eq!(app(var("f"), var("x")).to_string(), "f x");
+        assert_eq!(
+            app(app(var("f"), var("x")), var("y")).to_string(),
+            "f x y"
+        );
+        assert_eq!(
+            app(var("f"), app(var("g"), var("x"))).to_string(),
+            "f (g x)"
+        );
+        assert_eq!(
+            app(lam("x", var("x")), int(1)).to_string(),
+            "(\\x. x) 1"
+        );
+    }
+
+    #[test]
+    fn joins_and_sets() {
+        assert_eq!(join(int(1), int(2)).to_string(), "1 \\/ 2");
+        assert_eq!(
+            join(int(1), join(int(2), int(3))).to_string(),
+            "1 \\/ 2 \\/ 3"
+        );
+        assert_eq!(
+            join(join(int(1), int(2)), int(3)).to_string(),
+            "(1 \\/ 2) \\/ 3"
+        );
+        assert_eq!(set(vec![int(1), int(2)]).to_string(), "{1, 2}");
+        assert_eq!(set(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn lets_and_big_join() {
+        assert_eq!(
+            let_pair("a", "b", var("p"), var("a")).to_string(),
+            "let (a, b) = p in a"
+        );
+        assert_eq!(
+            let_sym(crate::symbol::Symbol::tt(), var("c"), int(1)).to_string(),
+            "let 'true = c in 1"
+        );
+        assert_eq!(
+            big_join("x", var("s"), set(vec![var("x")])).to_string(),
+            "for x in s. {x}"
+        );
+    }
+
+    #[test]
+    fn prim_precedence() {
+        assert_eq!(add(int(1), mul(int(2), int(3))).to_string(), "1 + 2 * 3");
+        assert_eq!(mul(add(int(1), int(2)), int(3)).to_string(), "(1 + 2) * 3");
+        assert_eq!(le(add(int(1), int(2)), int(3)).to_string(), "1 + 2 <= 3");
+        assert_eq!(
+            join(le(int(1), int(2)), tt()).to_string(),
+            "1 <= 2 \\/ 'true"
+        );
+    }
+
+    #[test]
+    fn pairs_always_parenthesised() {
+        assert_eq!(pair(int(1), int(2)).to_string(), "(1, 2)");
+        assert_eq!(
+            app(var("f"), pair(int(1), int(2))).to_string(),
+            "f (1, 2)"
+        );
+    }
+}

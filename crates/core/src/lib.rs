@@ -1,0 +1,62 @@
+//! # lambda-join-core
+//!
+//! The **λ∨** ("lambda-join") calculus from *Functional Meaning for Parallel
+//! Streaming* (Rioux & Zdancewic, PLDI 2025): an untyped call-by-value
+//! parallel *streaming* lambda calculus in which every value is an element
+//! of a partial order (the streaming order), all computation is monotone,
+//! and the binary join `e1 ∨ e2` is a first-class parallel composition
+//! operator.
+//!
+//! This crate provides:
+//!
+//! * [`term`] — abstract syntax, substitution, α-equivalence;
+//! * [`symbol`] — base constants with a partial join;
+//! * [`builder`] — programmatic term constructors;
+//! * [`parser`] — a surface syntax with the paper's derived forms;
+//! * [`reduce`] — the approximate operational semantics of Figure 5
+//!   (position-indexed nondeterministic reduction, result joins,
+//!   ⊤-propagation, approximation steps);
+//! * [`observe`] — observation extraction and the streaming order on
+//!   results;
+//! * [`machine`] — a deterministic fair small-step machine;
+//! * [`bigstep`] — a fuel-indexed big-step evaluator realising
+//!   approximation steps deterministically (pipeline parallelism à la
+//!   Figure 10);
+//! * [`encodings`] — the paper's example programs (`fromN`, `evens`,
+//!   parallel or, `reaches`, two-phase commit, Peano numerals);
+//! * [`stdlib`] — streaming list/set combinators built from the core
+//!   syntax (map, append, take, filter, closure).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lambda_join_core::parser::parse;
+//! use lambda_join_core::bigstep::eval_fuel;
+//! use lambda_join_core::builder::*;
+//! use lambda_join_core::observe::result_leq;
+//!
+//! // Stream the set of even naturals and check 0, 2, 4 have appeared.
+//! let e = parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()")?;
+//! let out = eval_fuel(&e, 40);
+//! assert!(result_leq(&set(vec![int(0), int(2), int(4)]), &out));
+//! # Ok::<(), lambda_join_core::parser::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bigstep;
+pub mod builder;
+pub mod display;
+pub mod encodings;
+pub mod machine;
+pub mod observe;
+pub mod parser;
+pub mod reduce;
+pub mod stdlib;
+pub mod symbol;
+pub mod term;
+pub mod trace;
+
+pub use symbol::Symbol;
+pub use term::{Prim, Term, TermRef, Var};
+

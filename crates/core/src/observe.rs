@@ -1,0 +1,247 @@
+//! Observations and the streaming order on results (§2.3, §3.2).
+//!
+//! An *observation* of a running program is "the information the computation
+//! has streamed out so far": the result obtained by regarding every
+//! still-running subcomputation as `⊥` and simplifying. Operationally, the
+//! observation of `e` is a particular result `r` with `e ↦* r` in the
+//! approximate semantics, where the approximation steps `e ↦ ⊥` are applied
+//! exactly at the still-running positions.
+//!
+//! The companion relation [`result_leq`] decides the streaming order between
+//! first-order results; for λ-abstractions it falls back to α-equivalence
+//! (a sound approximation — the exact order on functions is the filter
+//! model's business, see the `lambda-join-filter` crate).
+
+use crate::builder;
+use crate::reduce::{join_results, pair_lift};
+use crate::term::{Term, TermRef};
+
+/// Projects a (possibly still-running) term to its current observation.
+///
+/// The result is always a result term (`⊥`, `⊤`, or a value). Sets in the
+/// observation are deduplicated up to α-equivalence.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_core::builder::*;
+/// use lambda_join_core::observe::observe;
+///
+/// // 1 ∨ <a still-running application> is observed as 1.
+/// let t = join(int(1), app(lam("x", var("x")), int(1)));
+/// assert!(observe(&t).alpha_eq(&int(1)));
+/// ```
+pub fn observe(t: &TermRef) -> TermRef {
+    match &**t {
+        _ if t.is_value() => t.clone(),
+        Term::Bot => builder::bot(),
+        Term::Top => builder::top(),
+        Term::Join(a, b) => {
+            let (ra, rb) = (observe(a), observe(b));
+            join_results(&ra, &rb)
+        }
+        Term::Pair(a, b) => {
+            let (ra, rb) = (observe(a), observe(b));
+            pair_lift(&ra, &rb)
+        }
+        // Versioned pairs observe pointwise. This is sound for the
+        // lexicographic order: the observed version is ⊑ the final version,
+        // and when it is *equivalent* the observed payload is ⊑ the final
+        // payload; when it is strictly below, the lex order does not
+        // constrain the payload at all.
+        Term::Lex(a, b) => {
+            let (ra, rb) = (observe(a), observe(b));
+            crate::reduce::lex_lift(&ra, &rb)
+        }
+        // A frozen value is all-or-nothing: a partially computed payload may
+        // still grow, so `frz e` with `e` running is observed as ⊥ (the
+        // value case is handled by the `is_value` guard above).
+        Term::Frz(_) => builder::bot(),
+        // A pending LexMerge already guarantees the input version: observe
+        // `⟨v1, ⊥v⟩`. (Observing the body's partial version/payload would
+        // be unsound — the version join can mask version growth — but the
+        // input version with a ⊥v payload is below every possible final
+        // value `⟨v1 ⊔ v2, v2'⟩`.)
+        Term::LexMerge(v1, _) if v1.is_value() => {
+            crate::reduce::lex_lift(v1, &builder::botv())
+        }
+        Term::Set(es) => {
+            let mut out: Vec<TermRef> = Vec::new();
+            for e in es {
+                let r = observe(e);
+                match &*r {
+                    Term::Top => return builder::top(),
+                    Term::Bot => {}
+                    _ => {
+                        if !out.iter().any(|o| o.alpha_eq(&r)) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+            builder::set(out)
+        }
+        // Applications, lets, big joins, primitives: still running.
+        _ => builder::bot(),
+    }
+}
+
+/// Decides the streaming order `r1 ⊑ r2` between results.
+///
+/// Complete for first-order results; λ-abstractions are compared by
+/// α-equivalence, which makes the relation a sound under-approximation of
+/// the semantic order on functions (Fig. 6's `TApxFun` quantifies over
+/// behaviours, which is the filter model's job).
+///
+/// The order: `⊥ ⊑ r`, `r ⊑ ⊤`, `⊥v ⊑ v`, symbols by `≤`, pairs pointwise,
+/// sets by `∀∃` (every element of the smaller has an upper bound in the
+/// larger).
+pub fn result_leq(r1: &TermRef, r2: &TermRef) -> bool {
+    match (&**r1, &**r2) {
+        (Term::Bot, _) => true,
+        (_, Term::Top) => true,
+        (Term::Top, _) => false,
+        (_, Term::Bot) => false,
+        (Term::BotV, _) => r2.is_value(),
+        (_, Term::BotV) => false, // r1 is a value here and not ⊥v
+        (Term::Sym(a), Term::Sym(b)) => a.leq(b),
+        // Frozen values are discretely ordered among themselves; an
+        // unfrozen value sits below a frozen one exactly when it is below
+        // the payload (`v ⪯ frz v`, §5.2); a frozen value is never below an
+        // unfrozen one.
+        (Term::Frz(a), Term::Frz(b)) => result_leq(a, b) && result_leq(b, a),
+        (Term::Frz(_), _) => false,
+        (_, Term::Frz(b)) => result_leq(r1, b),
+        // Lexicographic order on versioned pairs: a strictly smaller
+        // version is below regardless of payload; equivalent versions
+        // compare payloads.
+        (Term::Lex(a1, b1), Term::Lex(a2, b2)) => {
+            result_leq(a1, a2) && (!result_leq(a2, a1) || result_leq(b1, b2))
+        }
+        (Term::Pair(a1, b1), Term::Pair(a2, b2)) => result_leq(a1, a2) && result_leq(b1, b2),
+        (Term::Set(es1), Term::Set(es2)) => es1
+            .iter()
+            .all(|e1| es2.iter().any(|e2| result_leq(e1, e2))),
+        (Term::Lam(..), Term::Lam(..)) => r1.alpha_eq(r2),
+        (Term::Var(x), Term::Var(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Equivalence in the (syntactic) streaming order: `r1 ⊑ r2 ∧ r2 ⊑ r1`.
+pub fn result_equiv(r1: &TermRef, r2: &TermRef) -> bool {
+    result_leq(r1, r2) && result_leq(r2, r1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::symbol::Symbol;
+
+    #[test]
+    fn observe_values_is_identity() {
+        for v in [int(1), botv(), lam("x", var("x")), pair(int(1), int(2))] {
+            assert!(observe(&v).alpha_eq(&v));
+        }
+    }
+
+    #[test]
+    fn observe_running_is_bot() {
+        assert!(observe(&app(lam("x", var("x")), int(1))).alpha_eq(&bot()));
+        assert!(observe(&let_sym(Symbol::tt(), ff(), int(1))).alpha_eq(&bot()));
+        assert!(observe(&big_join("x", set(vec![]), var("x"))).alpha_eq(&bot()));
+    }
+
+    #[test]
+    fn observe_joins_partial_results() {
+        // (0 :: fromN 1) ∨ ⊥v — the running recursive call makes the cons
+        // pair observe to ⊥, and ⊥ ⊔ ⊥v = ⊥v; exactly Figure 2 row 2.
+        let running = app(var_free_loop(), int(1));
+        let t = join(cons(int(0), running), botv());
+        assert!(observe(&t).alpha_eq(&botv()));
+    }
+
+    fn var_free_loop() -> TermRef {
+        // A closed non-value application standing in for a running call.
+        app(lam("x", app(var("x"), var("x"))), lam("x", app(var("x"), var("x"))))
+    }
+
+    #[test]
+    fn observe_cons_with_resolved_tail() {
+        // 0 :: ((1 :: running) ∨ ⊥v)  observes to  0 :: ⊥v (Figure 2 row 3).
+        let inner = join(cons(int(1), var_free_loop()), botv());
+        let t = cons(int(0), inner);
+        let obs = observe(&t);
+        assert!(obs.alpha_eq(&cons(int(0), botv())));
+    }
+
+    #[test]
+    fn observe_set_drops_running_and_dedups() {
+        let t = set(vec![int(1), var_free_loop(), int(1)]);
+        assert!(observe(&t).alpha_eq(&set(vec![int(1)])));
+    }
+
+    #[test]
+    fn observe_set_with_top_is_top() {
+        let t = set(vec![int(1), top()]);
+        assert!(observe(&t).alpha_eq(&top()));
+    }
+
+    #[test]
+    fn observe_pair_lifting() {
+        let t = pair(var_free_loop(), int(1));
+        assert!(observe(&t).alpha_eq(&bot()));
+        let t = pair(int(1), var_free_loop());
+        assert!(observe(&t).alpha_eq(&bot()));
+    }
+
+    #[test]
+    fn result_leq_laws() {
+        let vals = [bot(), botv(), int(1), int(2), set(vec![int(1)]), top()];
+        // Reflexivity.
+        for v in &vals {
+            assert!(result_leq(v, v), "{v:?} not ⊑ itself");
+        }
+        // ⊥ least, ⊤ greatest.
+        for v in &vals {
+            assert!(result_leq(&bot(), v));
+            assert!(result_leq(v, &top()));
+        }
+        // ⊥v below every value, not below ⊥.
+        assert!(result_leq(&botv(), &int(5)));
+        assert!(!result_leq(&botv(), &bot()));
+    }
+
+    #[test]
+    fn result_leq_sets_forall_exists() {
+        let small = set(vec![int(1)]);
+        let big = set(vec![int(2), int(1)]);
+        assert!(result_leq(&small, &big));
+        assert!(!result_leq(&big, &small));
+        // Growing an element also counts.
+        let s1 = set(vec![pair(int(1), botv())]);
+        let s2 = set(vec![pair(int(1), int(2))]);
+        assert!(result_leq(&s1, &s2));
+    }
+
+    #[test]
+    fn result_leq_transitive_on_examples() {
+        let a = set(vec![botv()]);
+        let b = set(vec![int(1)]);
+        let c = set(vec![int(1), int(2)]);
+        assert!(result_leq(&a, &b));
+        assert!(result_leq(&b, &c));
+        assert!(result_leq(&a, &c));
+    }
+
+    #[test]
+    fn observation_of_join_result_agrees_with_join_of_observations() {
+        let e1 = join(int(1), var_free_loop());
+        let e2 = set(vec![int(2), var_free_loop()]);
+        let j = join(e1.clone(), e2.clone());
+        let lhs = observe(&j);
+        let rhs = join_results(&observe(&e1), &observe(&e2));
+        assert!(lhs.alpha_eq(&rhs));
+    }
+}

@@ -1,0 +1,557 @@
+//! Abstract syntax of λ∨ terms (Figure 1 of the paper).
+//!
+//! Terms are immutable trees shared behind [`Rc`]; [`TermRef`] is the
+//! reference-counted handle used throughout the crate. Binding is by name
+//! with capture-avoiding substitution; terms are compared up to
+//! α-equivalence by [`Term::alpha_eq`].
+//!
+//! In addition to the paper's grammar we include one extension, saturated
+//! primitive operations ([`Term::Prim`]), which give delta rules for
+//! arithmetic and comparison on primitive integer symbols. These are
+//! semantically interchangeable with the paper's ADT encodings of numerals
+//! (see `encodings`) but make the Datalog-style benchmarks tractable; the
+//! substitution is recorded in `DESIGN.md`.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::symbol::Symbol;
+
+/// A shared, immutable reference to a term.
+pub type TermRef = Rc<Term>;
+
+/// A variable name.
+pub type Var = Rc<str>;
+
+/// Primitive operations on integer symbols (delta rules).
+///
+/// All primitives are monotone: integers carry the *discrete* streaming
+/// order, under which every total function is monotone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer comparison `<=`, returning `'true`/`'false`.
+    Le,
+    /// Integer comparison `<`, returning `'true`/`'false`.
+    Lt,
+    /// Equality on symbols, returning `'true`/`'false`.
+    Eq,
+    /// Membership test on *frozen* sets (§5.2): `member(frz v, frz s)`.
+    ///
+    /// Non-monotone on streaming sets, but safe here: both operands must be
+    /// frozen, and frozen values carry the discrete order.
+    Member,
+    /// Set difference on *frozen* sets (§5.2): `diff(frz s1, frz s2)`,
+    /// returning a plain (streaming) set of the elements of `s1` with no
+    /// equivalent element in `s2`.
+    Diff,
+    /// Cardinality of a *frozen* set: `size(frz s)`, returning an integer.
+    SetSize,
+}
+
+impl Prim {
+    /// The number of operands the primitive consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            Prim::SetSize => 1,
+            _ => 2,
+        }
+    }
+
+    /// The surface-syntax spelling of the primitive.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Prim::Add => "+",
+            Prim::Sub => "-",
+            Prim::Mul => "*",
+            Prim::Le => "<=",
+            Prim::Lt => "<",
+            Prim::Eq => "==",
+            Prim::Member => "member",
+            Prim::Diff => "diff",
+            Prim::SetSize => "size",
+        }
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A λ∨ expression (Figure 1).
+///
+/// The constructors mirror the paper's grammar:
+///
+/// ```text
+/// e ::= ⊥ | ⊤ | ⊥v | x | λx.e | (e1, e2) | s | {e1, …, en} | e1 e2
+///     | let (x1, x2) = e in e' | let s = e in e' | ⋁_{x ∈ e1} e2 | e1 ∨ e2
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// `⊥` — the meaningless computation producing no output.
+    Bot,
+    /// `⊤` — the inconsistent (ambiguity) error; propagates through
+    /// evaluation contexts.
+    Top,
+    /// `⊥v` — the least *value*: the bare knowledge that a computation has
+    /// produced something.
+    BotV,
+    /// A variable.
+    Var(Var),
+    /// `λx.e`.
+    Lam(Var, TermRef),
+    /// `(e1, e2)`, evaluated left to right.
+    Pair(TermRef, TermRef),
+    /// A symbol literal.
+    Sym(Symbol),
+    /// `{e1, …, en}` — a set literal whose elements evaluate in parallel.
+    Set(Vec<TermRef>),
+    /// Application `e1 e2`, evaluated left to right.
+    App(TermRef, TermRef),
+    /// `let (x1, x2) = e in e'` — pair elimination.
+    LetPair(Var, Var, TermRef, TermRef),
+    /// `let s = e in e'` — threshold query on symbols: runs `e'` once `e`
+    /// produces a symbol `≥ s`.
+    LetSym(Symbol, TermRef, TermRef),
+    /// `⋁_{x ∈ e1} e2` — big join: maps `e2` over the elements of the set
+    /// `e1` and joins the results.
+    BigJoin(Var, TermRef, TermRef),
+    /// `e1 ∨ e2` — binary join; evaluates both sides in parallel.
+    Join(TermRef, TermRef),
+    /// Saturated primitive application (extension; see module docs).
+    Prim(Prim, Vec<TermRef>),
+    /// `frz e` — a *frozen* value (§5.2 "Frozen Values", extension).
+    ///
+    /// `frz v` promises the context that `v` will never grow again, enabling
+    /// otherwise non-monotone queries ([`Prim::Member`], [`Prim::Diff`],
+    /// [`Prim::SetSize`]). Frozen values carry the discrete streaming order:
+    /// `frz v ⊑ frz v'` only when `v` and `v'` are equivalent, and joining a
+    /// frozen value with anything *not* below its payload is the ambiguity
+    /// error `⊤` (LVish-style quasi-determinism).
+    Frz(TermRef),
+    /// `let frz x = e in e'` — thaw elimination (extension).
+    ///
+    /// Runs `e'` with `x` bound to the payload once `e` produces a frozen
+    /// value; a non-frozen scrutinee leaves the query unanswered (observed
+    /// `⊥`), exactly like a threshold query below its threshold.
+    LetFrz(Var, TermRef, TermRef),
+    /// `⟨e1, e2⟩` — a lexicographic *versioned* pair (§5.2 "Versioned
+    /// Values", extension): a datum `e2` tagged with a version `e1`.
+    ///
+    /// Joins are lexicographic: a strictly larger version wins outright, so
+    /// the datum may change arbitrarily as long as the version increases.
+    Lex(TermRef, TermRef),
+    /// `x ← e1; e2` — monadic bind on versioned pairs (extension).
+    ///
+    /// Evaluates `e1` to `⟨v1, v1'⟩`, runs `e2[v1'/x]` to `⟨v2, v2'⟩`, and
+    /// yields `⟨v1 ⊔ v2, v2'⟩`; the version-join keeps the composition
+    /// monotone even though the datum changed.
+    LexBind(Var, TermRef, TermRef),
+    /// Administrative frame produced by reducing [`Term::LexBind`]: the
+    /// first component is the accumulated version (a value), the second the
+    /// still-running body computation.
+    LexMerge(TermRef, TermRef),
+}
+
+impl Term {
+    /// Returns `true` if the term is a value (`Val` in Figure 1).
+    ///
+    /// Values are variables, `⊥v`, abstractions, pairs of values, symbols,
+    /// and sets of values.
+    pub fn is_value(&self) -> bool {
+        match self {
+            Term::Var(_) | Term::BotV | Term::Lam(..) | Term::Sym(_) => true,
+            Term::Pair(a, b) | Term::Lex(a, b) => a.is_value() && b.is_value(),
+            Term::Frz(v) => v.is_value(),
+            Term::Set(es) => es.iter().all(|e| e.is_value()),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the term is a result (`Res` in Figure 1):
+    /// `⊥`, `⊤`, or a value.
+    pub fn is_result(&self) -> bool {
+        matches!(self, Term::Bot | Term::Top) || self.is_value()
+    }
+
+    /// Returns `true` if the term is closed (has no free variables).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// The set of free variables of the term.
+    pub fn free_vars(&self) -> Vec<Var> {
+        fn go(t: &Term, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+            match t {
+                Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => {}
+                Term::Var(x) => {
+                    if !bound.contains(x) && !out.contains(x) {
+                        out.push(x.clone());
+                    }
+                }
+                Term::Lam(x, b) => {
+                    bound.push(x.clone());
+                    go(b, bound, out);
+                    bound.pop();
+                }
+                Term::Pair(a, b)
+                | Term::App(a, b)
+                | Term::Join(a, b)
+                | Term::Lex(a, b)
+                | Term::LexMerge(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Term::Frz(e) => go(e, bound, out),
+                Term::Set(es) | Term::Prim(_, es) => {
+                    for e in es {
+                        go(e, bound, out);
+                    }
+                }
+                Term::LetPair(x1, x2, e, body) => {
+                    go(e, bound, out);
+                    bound.push(x1.clone());
+                    bound.push(x2.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                    bound.pop();
+                }
+                Term::LetSym(_, e, body) => {
+                    go(e, bound, out);
+                    go(body, bound, out);
+                }
+                Term::BigJoin(x, e, body)
+                | Term::LetFrz(x, e, body)
+                | Term::LexBind(x, e, body) => {
+                    go(e, bound, out);
+                    bound.push(x.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Capture-avoiding substitution `self[v/x]`.
+    ///
+    /// Binders that would capture a free variable of `v` are renamed with a
+    /// fresh name. During closed-program evaluation `v` is always closed, so
+    /// renaming never fires on that path; it exists for open-term utilities.
+    pub fn subst(self: &Rc<Self>, x: &str, v: &TermRef) -> TermRef {
+        let fv = v.free_vars();
+        subst_impl(self, x, v, &fv, &mut 0)
+    }
+
+    /// Structural equality up to renaming of bound variables.
+    pub fn alpha_eq(&self, other: &Term) -> bool {
+        alpha_eq_impl(self, other, &mut Vec::new())
+    }
+
+    /// A size measure: the number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => 1,
+            Term::Lam(_, b) | Term::Frz(b) => 1 + b.size(),
+            Term::Pair(a, b)
+            | Term::App(a, b)
+            | Term::Join(a, b)
+            | Term::Lex(a, b)
+            | Term::LexMerge(a, b) => 1 + a.size() + b.size(),
+            Term::Set(es) | Term::Prim(_, es) => 1 + es.iter().map(|e| e.size()).sum::<usize>(),
+            Term::LetPair(_, _, e, b) => 1 + e.size() + b.size(),
+            Term::LetSym(_, e, b) => 1 + e.size() + b.size(),
+            Term::BigJoin(_, e, b) | Term::LetFrz(_, e, b) | Term::LexBind(_, e, b) => {
+                1 + e.size() + b.size()
+            }
+        }
+    }
+}
+
+fn fresh(base: &str, avoid: &[Var], counter: &mut u64) -> Var {
+    loop {
+        *counter += 1;
+        let cand: Var = Rc::from(format!("{base}%{counter}").as_str());
+        if !avoid.contains(&cand) {
+            return cand;
+        }
+    }
+}
+
+fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64) -> TermRef {
+    match &**t {
+        Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => t.clone(),
+        Term::Var(y) => {
+            if &**y == x {
+                v.clone()
+            } else {
+                t.clone()
+            }
+        }
+        Term::Lam(y, b) => {
+            if &**y == x {
+                t.clone()
+            } else if fv_v.iter().any(|w| w == y) {
+                let y2 = fresh(y, fv_v, counter);
+                let b2 = b.subst(y, &Rc::new(Term::Var(y2.clone())));
+                Rc::new(Term::Lam(y2, subst_impl(&b2, x, v, fv_v, counter)))
+            } else {
+                Rc::new(Term::Lam(y.clone(), subst_impl(b, x, v, fv_v, counter)))
+            }
+        }
+        Term::Pair(a, b) => Rc::new(Term::Pair(
+            subst_impl(a, x, v, fv_v, counter),
+            subst_impl(b, x, v, fv_v, counter),
+        )),
+        Term::App(a, b) => Rc::new(Term::App(
+            subst_impl(a, x, v, fv_v, counter),
+            subst_impl(b, x, v, fv_v, counter),
+        )),
+        Term::Join(a, b) => Rc::new(Term::Join(
+            subst_impl(a, x, v, fv_v, counter),
+            subst_impl(b, x, v, fv_v, counter),
+        )),
+        Term::Lex(a, b) => Rc::new(Term::Lex(
+            subst_impl(a, x, v, fv_v, counter),
+            subst_impl(b, x, v, fv_v, counter),
+        )),
+        Term::LexMerge(a, b) => Rc::new(Term::LexMerge(
+            subst_impl(a, x, v, fv_v, counter),
+            subst_impl(b, x, v, fv_v, counter),
+        )),
+        Term::Frz(e) => Rc::new(Term::Frz(subst_impl(e, x, v, fv_v, counter))),
+        Term::Set(es) => Rc::new(Term::Set(
+            es.iter().map(|e| subst_impl(e, x, v, fv_v, counter)).collect(),
+        )),
+        Term::Prim(op, es) => Rc::new(Term::Prim(
+            *op,
+            es.iter().map(|e| subst_impl(e, x, v, fv_v, counter)).collect(),
+        )),
+        Term::LetPair(x1, x2, e, body) => {
+            let e2 = subst_impl(e, x, v, fv_v, counter);
+            if &**x1 == x || &**x2 == x {
+                Rc::new(Term::LetPair(x1.clone(), x2.clone(), e2, body.clone()))
+            } else {
+                let (mut x1n, mut x2n, mut body_n) = (x1.clone(), x2.clone(), body.clone());
+                if fv_v.iter().any(|w| w == &x1n) {
+                    let f = fresh(&x1n, fv_v, counter);
+                    body_n = body_n.subst(&x1n, &Rc::new(Term::Var(f.clone())));
+                    x1n = f;
+                }
+                if fv_v.iter().any(|w| w == &x2n) {
+                    let f = fresh(&x2n, fv_v, counter);
+                    body_n = body_n.subst(&x2n, &Rc::new(Term::Var(f.clone())));
+                    x2n = f;
+                }
+                Rc::new(Term::LetPair(
+                    x1n,
+                    x2n,
+                    e2,
+                    subst_impl(&body_n, x, v, fv_v, counter),
+                ))
+            }
+        }
+        Term::LetSym(s, e, body) => Rc::new(Term::LetSym(
+            s.clone(),
+            subst_impl(e, x, v, fv_v, counter),
+            subst_impl(body, x, v, fv_v, counter),
+        )),
+        Term::BigJoin(y, e, body) | Term::LetFrz(y, e, body) | Term::LexBind(y, e, body) => {
+            let rebuild = |y: Var, e: TermRef, b: TermRef| -> TermRef {
+                match &**t {
+                    Term::BigJoin(..) => Rc::new(Term::BigJoin(y, e, b)),
+                    Term::LetFrz(..) => Rc::new(Term::LetFrz(y, e, b)),
+                    _ => Rc::new(Term::LexBind(y, e, b)),
+                }
+            };
+            let e2 = subst_impl(e, x, v, fv_v, counter);
+            if &**y == x {
+                rebuild(y.clone(), e2, body.clone())
+            } else if fv_v.iter().any(|w| w == y) {
+                let y2 = fresh(y, fv_v, counter);
+                let body2 = body.subst(y, &Rc::new(Term::Var(y2.clone())));
+                rebuild(y2, e2, subst_impl(&body2, x, v, fv_v, counter))
+            } else {
+                rebuild(y.clone(), e2, subst_impl(body, x, v, fv_v, counter))
+            }
+        }
+    }
+}
+
+fn alpha_eq_impl(a: &Term, b: &Term, env: &mut Vec<(Var, Var)>) -> bool {
+    fn var_eq(x: &Var, y: &Var, env: &[(Var, Var)]) -> bool {
+        for (a, b) in env.iter().rev() {
+            match (a == x, b == y) {
+                (true, true) => return true,
+                (true, false) | (false, true) => return false,
+                _ => {}
+            }
+        }
+        x == y
+    }
+    match (a, b) {
+        (Term::Bot, Term::Bot) | (Term::Top, Term::Top) | (Term::BotV, Term::BotV) => true,
+        (Term::Sym(s1), Term::Sym(s2)) => s1 == s2,
+        (Term::Var(x), Term::Var(y)) => var_eq(x, y, env),
+        (Term::Lam(x, e1), Term::Lam(y, e2)) => {
+            env.push((x.clone(), y.clone()));
+            let r = alpha_eq_impl(e1, e2, env);
+            env.pop();
+            r
+        }
+        (Term::Pair(a1, b1), Term::Pair(a2, b2))
+        | (Term::App(a1, b1), Term::App(a2, b2))
+        | (Term::Join(a1, b1), Term::Join(a2, b2))
+        | (Term::Lex(a1, b1), Term::Lex(a2, b2))
+        | (Term::LexMerge(a1, b1), Term::LexMerge(a2, b2)) => {
+            alpha_eq_impl(a1, a2, env) && alpha_eq_impl(b1, b2, env)
+        }
+        (Term::Frz(e1), Term::Frz(e2)) => alpha_eq_impl(e1, e2, env),
+        (Term::Set(es1), Term::Set(es2)) => {
+            es1.len() == es2.len()
+                && es1
+                    .iter()
+                    .zip(es2)
+                    .all(|(e1, e2)| alpha_eq_impl(e1, e2, env))
+        }
+        (Term::Prim(o1, es1), Term::Prim(o2, es2)) => {
+            o1 == o2
+                && es1.len() == es2.len()
+                && es1
+                    .iter()
+                    .zip(es2)
+                    .all(|(e1, e2)| alpha_eq_impl(e1, e2, env))
+        }
+        (Term::LetPair(x1, x2, e1, b1), Term::LetPair(y1, y2, e2, b2)) => {
+            if !alpha_eq_impl(e1, e2, env) {
+                return false;
+            }
+            env.push((x1.clone(), y1.clone()));
+            env.push((x2.clone(), y2.clone()));
+            let r = alpha_eq_impl(b1, b2, env);
+            env.pop();
+            env.pop();
+            r
+        }
+        (Term::LetSym(s1, e1, b1), Term::LetSym(s2, e2, b2)) => {
+            s1 == s2 && alpha_eq_impl(e1, e2, env) && alpha_eq_impl(b1, b2, env)
+        }
+        (Term::BigJoin(x, e1, b1), Term::BigJoin(y, e2, b2))
+        | (Term::LetFrz(x, e1, b1), Term::LetFrz(y, e2, b2))
+        | (Term::LexBind(x, e1, b1), Term::LexBind(y, e2, b2)) => {
+            if !alpha_eq_impl(e1, e2, env) {
+                return false;
+            }
+            env.push((x.clone(), y.clone()));
+            let r = alpha_eq_impl(b1, b2, env);
+            env.pop();
+            r
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn values_and_results() {
+        assert!(Term::BotV.is_value());
+        assert!(Term::Bot.is_result());
+        assert!(!Term::Bot.is_value());
+        assert!(Term::Top.is_result());
+        let p = pair(int(1), int(2));
+        assert!(p.is_value());
+        let p = pair(int(1), app(var("f"), int(2)));
+        assert!(!p.is_value());
+        assert!(set(vec![int(1), lam("x", var("x"))]).is_value());
+        assert!(!set(vec![app(var("f"), int(1))]).is_value());
+    }
+
+    #[test]
+    fn free_vars_of_binders() {
+        let t = lam("x", app(var("x"), var("y")));
+        assert_eq!(t.free_vars(), vec![Rc::from("y") as Var]);
+        let t = let_pair("a", "b", var("p"), app(var("a"), var("c")));
+        let fv = t.free_vars();
+        assert!(fv.iter().any(|v| &**v == "p"));
+        assert!(fv.iter().any(|v| &**v == "c"));
+        assert!(!fv.iter().any(|v| &**v == "a"));
+        let t = big_join("x", var("s"), var("x"));
+        assert_eq!(t.free_vars(), vec![Rc::from("s") as Var]);
+    }
+
+    #[test]
+    fn subst_basic() {
+        // (λy. x y)[v/x] = λy. v y
+        let t = lam("y", app(var("x"), var("y")));
+        let r = t.subst("x", &int(7));
+        assert!(r.alpha_eq(&lam("y", app(int(7), var("y")))));
+    }
+
+    #[test]
+    fn subst_shadowing() {
+        // (λx. x)[v/x] = λx. x
+        let t = lam("x", var("x"));
+        let r = t.subst("x", &int(7));
+        assert!(r.alpha_eq(&lam("x", var("x"))));
+    }
+
+    #[test]
+    fn subst_capture_avoidance() {
+        // (λy. x)[y/x] must NOT become λy. y
+        let t = lam("y", var("x"));
+        let r = t.subst("x", &var("y"));
+        match &*r {
+            Term::Lam(b, body) => {
+                assert!(matches!(&**body, Term::Var(v) if v == &var_name("y")));
+                assert_ne!(&**b, "y");
+            }
+            _ => panic!("expected lambda"),
+        }
+    }
+
+    fn var_name(s: &str) -> Var {
+        Rc::from(s)
+    }
+
+    #[test]
+    fn alpha_eq_renames_binders() {
+        assert!(lam("x", var("x")).alpha_eq(&lam("y", var("y"))));
+        assert!(!lam("x", var("x")).alpha_eq(&lam("y", var("x"))));
+        assert!(big_join("a", set(vec![]), var("a"))
+            .alpha_eq(&big_join("b", set(vec![]), var("b"))));
+    }
+
+    #[test]
+    fn alpha_eq_respects_free_vars() {
+        assert!(!var("x").alpha_eq(&var("y")));
+        assert!(var("x").alpha_eq(&var("x")));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(int(1).size(), 1);
+        assert_eq!(pair(int(1), int(2)).size(), 3);
+        assert_eq!(lam("x", var("x")).size(), 2);
+    }
+
+    #[test]
+    fn let_pair_subst_does_not_touch_bound_occurrences() {
+        // (let (x, y) = p in x)[v/x] leaves the body alone.
+        let t = let_pair("x", "y", var("p"), var("x"));
+        let r = t.subst("x", &int(3));
+        assert!(r.alpha_eq(&let_pair("x", "y", var("p"), var("x"))));
+    }
+}

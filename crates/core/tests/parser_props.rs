@@ -1,0 +1,87 @@
+//! Property tests for the surface syntax: pretty-printing any term and
+//! re-parsing it must give back an α-equivalent term, across the whole
+//! grammar including the §5.2 extension forms.
+
+use lambda_join_core::builder as b;
+use lambda_join_core::parser::parse;
+use lambda_join_core::symbol::Symbol;
+use lambda_join_core::term::TermRef;
+use proptest::prelude::*;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::tt()),
+        Just(Symbol::ff()),
+        Just(Symbol::name("alpha")),
+        Just(Symbol::string("hi there")),
+        (0i64..100).prop_map(Symbol::Int),
+        (0u64..9).prop_map(Symbol::Level),
+    ]
+}
+
+/// Random terms over the fixed variable pool {a, b, c}; the property closes
+/// them by wrapping in λa. λb. λc. … so free occurrences become bound.
+fn arb_term() -> impl Strategy<Value = TermRef> {
+    let leaf = prop_oneof![
+        Just(b::bot()),
+        Just(b::top()),
+        Just(b::botv()),
+        arb_symbol().prop_map(b::sym),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(b::var),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        let var_name = prop_oneof![Just("a"), Just("b"), Just("c")];
+        prop_oneof![
+            (var_name.clone(), inner.clone()).prop_map(|(x, e)| b::lam(x, e)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::app(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::pair(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::join(x, y)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
+            (var_name.clone(), var_name.clone(), inner.clone(), inner.clone())
+                .prop_map(|(x, y, e, body)| b::let_pair(x, y, e, body)),
+            (arb_symbol(), inner.clone(), inner.clone())
+                .prop_map(|(s, e, body)| b::let_sym(s, e, body)),
+            (var_name.clone(), inner.clone(), inner.clone())
+                .prop_map(|(x, e, body)| b::big_join(x, e, body)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::add(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::sub(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::mul(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::le(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::lt(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::eq(x, y)),
+            // §5.2 extensions.
+            inner.clone().prop_map(b::frz),
+            (var_name.clone(), inner.clone(), inner.clone())
+                .prop_map(|(x, e, body)| b::let_frz(x, e, body)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::lex(x, y)),
+            (var_name, inner.clone(), inner.clone())
+                .prop_map(|(x, e, body)| b::lex_bind(x, e, body)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::member(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::diff(x, y)),
+            inner.prop_map(b::set_size),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(t in arb_term()) {
+        // Close the term over the variable pool.
+        let closed = b::lam("a", b::lam("b", b::lam("c", t)));
+        prop_assert!(closed.is_closed());
+        let printed = closed.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n  printed: {printed}"));
+        prop_assert!(
+            closed.alpha_eq(&reparsed),
+            "round trip changed the term:\n  printed: {printed}\n  reparsed: {reparsed}"
+        );
+    }
+
+    #[test]
+    fn printing_is_deterministic(t in arb_term()) {
+        prop_assert_eq!(t.to_string(), t.to_string());
+    }
+}

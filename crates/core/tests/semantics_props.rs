@@ -1,0 +1,235 @@
+//! Property tests for the core operational semantics: semilattice laws for
+//! result joins, monotonicity of observations, and schedule independence.
+
+use std::rc::Rc;
+
+use lambda_join_core::builder as b;
+use lambda_join_core::machine::{Machine, StepOutcome};
+use lambda_join_core::observe::{observe, result_leq};
+use lambda_join_core::reduce::join_results;
+use lambda_join_core::symbol::Symbol;
+use lambda_join_core::term::{Term, TermRef};
+use proptest::prelude::*;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::tt()),
+        Just(Symbol::ff()),
+        (0i64..3).prop_map(Symbol::Int),
+        (0u64..3).prop_map(Symbol::Level),
+    ]
+}
+
+/// Random closed *result* values (first-order, plus the occasional lambda).
+fn arb_value() -> impl Strategy<Value = TermRef> {
+    let leaf = prop_oneof![
+        Just(b::botv()),
+        arb_symbol().prop_map(b::sym),
+        Just(b::lam("x", b::var("x"))),
+        Just(b::lam("x", b::int(0))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::pair(a, b2)),
+            3 => prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
+            1 => inner.clone().prop_map(b::frz),
+            1 => (inner.clone(), inner).prop_map(|(a, b2)| b::lex(a, b2)),
+        ]
+    })
+}
+
+fn arb_result() -> impl Strategy<Value = TermRef> {
+    prop_oneof![
+        Just(b::bot()),
+        Just(b::top()),
+        arb_value(),
+    ]
+}
+
+/// Random closed expressions that terminate quickly (no recursion).
+fn arb_expr() -> impl Strategy<Value = TermRef> {
+    let leaf = prop_oneof![
+        Just(b::bot()),
+        Just(b::top()),
+        Just(b::botv()),
+        arb_symbol().prop_map(b::sym),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::pair(a, b2)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::join(a, b2)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
+            inner.clone().prop_map(|e| b::app(b::lam("x", b::var("x")), e)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b2)| b::app(b::lam("x", b2), a)),
+            inner
+                .clone()
+                .prop_map(|e| b::big_join("x", b::set(vec![e]), b::set(vec![b::var("x")]))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b2)| b::let_pair("p", "q", b::pair(a, b2), b::var("p"))),
+            // §5.2 extensions: freeze/thaw and versioned pairs.
+            inner.clone().prop_map(b::frz),
+            inner
+                .clone()
+                .prop_map(|e| b::let_frz("x", b::frz(e), b::var("x"))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::lex(a, b2)),
+            (inner.clone(), inner).prop_map(|(a, b2)| {
+                b::lex_bind("x", b::lex(b::level(1), a), b::lex(b::level(2), b2))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn join_results_idempotent(r in arb_result()) {
+        // The syntactic order treats λ-bodies up to α only, so joins of
+        // lambdas (λx.e ⊔ λx.e = λx.e∨e) are excluded here; the filter
+        // model covers them semantically.
+        if no_lambdas(&r) {
+            let j = join_results(&r, &r);
+            prop_assert!(result_leq(&j, &r) && result_leq(&r, &j), "{r} ⊔ {r} = {j}");
+        }
+    }
+
+    #[test]
+    fn join_results_commutative(a in arb_result(), bb in arb_result()) {
+        if no_lambdas(&a) && no_lambdas(&bb) {
+            let ab = join_results(&a, &bb);
+            let ba = join_results(&bb, &a);
+            prop_assert!(result_leq(&ab, &ba) && result_leq(&ba, &ab),
+                "{a} ⊔ {bb}: {ab} vs {ba}");
+        }
+    }
+
+    #[test]
+    fn join_results_upper_bound_first_order(a in arb_value(), bb in arb_value()) {
+        let j = join_results(&a, &bb);
+        // Lambdas break the syntactic order check; restrict to first-order.
+        if no_lambdas(&a) && no_lambdas(&bb) {
+            prop_assert!(result_leq(&a, &j), "{a} ⋢ {a} ⊔ {bb} = {j}");
+            prop_assert!(result_leq(&bb, &j));
+        }
+    }
+
+    #[test]
+    fn observations_monotone_along_machine_steps(e in arb_expr()) {
+        let mut m = Machine::new(e);
+        let mut prev = m.observe();
+        for _ in 0..12 {
+            if m.step() == StepOutcome::Quiescent {
+                break;
+            }
+            let cur = m.observe();
+            if no_lambdas(&prev) && no_lambdas(&cur) {
+                prop_assert!(result_leq(&prev, &cur),
+                    "observation decreased: {prev} → {cur}");
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn random_schedules_converge_to_same_observation(e in arb_expr(), seed in 1u64..1000) {
+        // Run the deterministic machine to quiescence and two random
+        // schedules; final observations must agree (determinism).
+        let mut det = Machine::new(e.clone());
+        det.run(64);
+        if !det.is_quiescent() {
+            return Ok(()); // out of budget; skip
+        }
+        let limit = det.observe();
+        for salt in 0..2u64 {
+            let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(salt);
+            let mut rng = move |n: usize| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as usize) % n.max(1)
+            };
+            let mut m = Machine::new(e.clone());
+            for _ in 0..256 {
+                if m.step_random(&mut rng) == StepOutcome::Quiescent {
+                    break;
+                }
+            }
+            if m.is_quiescent() {
+                let obs = m.observe();
+                prop_assert!(
+                    obs.alpha_eq(&limit)
+                        || (result_leq(&obs, &limit) && result_leq(&limit, &obs)),
+                    "schedule divergence: {obs} vs {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observe_is_result(e in arb_expr()) {
+        let o = observe(&e);
+        prop_assert!(o.is_result());
+    }
+
+    #[test]
+    fn bigstep_monotone_in_fuel(e in arb_expr()) {
+        use lambda_join_core::bigstep::eval_fuel;
+        let mut prev = eval_fuel(&e, 0);
+        for n in 1..8 {
+            let cur = eval_fuel(&e, n);
+            if no_lambdas(&prev) && no_lambdas(&cur) {
+                prop_assert!(result_leq(&prev, &cur), "fuel {n}: {prev} → {cur}");
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn machine_observation_below_bigstep(e in arb_expr()) {
+        // The bigstep evaluator applies approximation steps more
+        // aggressively (it can discard *stuck* subterms, e.g. a set element
+        // that will never become a literal ⊥), so on quiescent machines its
+        // output dominates the machine's observation.
+        use lambda_join_core::bigstep::eval_fuel;
+        let mut m = Machine::new(e.clone());
+        m.run(64);
+        if m.is_quiescent() {
+            let obs_machine = m.observe();
+            let obs_big = eval_fuel(&e, 64);
+            if no_lambdas(&obs_machine) && no_lambdas(&obs_big) {
+                prop_assert!(
+                    result_leq(&obs_machine, &obs_big),
+                    "machine {obs_machine} ⋢ bigstep {obs_big}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subst_preserves_closedness(v in arb_value()) {
+        let body = b::lam("y", b::join(b::var("x"), b::var("y")));
+        let t: TermRef = Rc::new(Term::Lam(Rc::from("x"), b::app(body, b::var("x"))));
+        let applied = b::app(t, v);
+        prop_assert!(applied.is_closed());
+    }
+}
+
+fn no_lambdas(t: &TermRef) -> bool {
+    match &**t {
+        Term::Lam(..) => false,
+        Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => true,
+        Term::Pair(a, b2)
+        | Term::App(a, b2)
+        | Term::Join(a, b2)
+        | Term::Lex(a, b2)
+        | Term::LexMerge(a, b2) => no_lambdas(a) && no_lambdas(b2),
+        Term::Frz(e) => no_lambdas(e),
+        Term::Set(es) | Term::Prim(_, es) => es.iter().all(no_lambdas),
+        Term::LetPair(_, _, e, b2)
+        | Term::LetSym(_, e, b2)
+        | Term::BigJoin(_, e, b2)
+        | Term::LetFrz(_, e, b2)
+        | Term::LexBind(_, e, b2) => no_lambdas(e) && no_lambdas(b2),
+    }
+}

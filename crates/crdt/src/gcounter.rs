@@ -1,0 +1,150 @@
+//! Grow-only counters: per-replica slots merged pointwise by `max`.
+
+use std::collections::BTreeMap;
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice, Max};
+
+/// A replica identifier.
+pub type ReplicaId = u32;
+
+/// A grow-only counter CvRDT.
+///
+/// Each replica increments only its own slot; the value is the sum of all
+/// slots; merge takes the pointwise max — associativity/commutativity/
+/// idempotence give tolerance to reordering and duplication (§6).
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_crdt::GCounter;
+/// use lambda_join_runtime::semilattice::JoinSemilattice;
+///
+/// let mut a = GCounter::new();
+/// a.increment(0, 3);
+/// let mut b = GCounter::new();
+/// b.increment(1, 2);
+/// assert_eq!(a.join(&b).value(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GCounter {
+    slots: BTreeMap<ReplicaId, Max<u64>>,
+}
+
+impl GCounter {
+    /// A zero counter.
+    pub fn new() -> Self {
+        GCounter::default()
+    }
+
+    /// Adds `n` to this replica's slot.
+    pub fn increment(&mut self, replica: ReplicaId, n: u64) {
+        let slot = self.slots.entry(replica).or_insert(Max(0));
+        *slot = Max(slot.0 + n);
+    }
+
+    /// The counter's value: the sum over replicas.
+    pub fn value(&self) -> u64 {
+        self.slots.values().map(|m| m.0).sum()
+    }
+}
+
+impl JoinSemilattice for GCounter {
+    fn join(&self, other: &Self) -> Self {
+        GCounter {
+            slots: self.slots.join(&other.slots),
+        }
+    }
+}
+
+impl BoundedJoinSemilattice for GCounter {
+    fn bottom() -> Self {
+        GCounter::new()
+    }
+}
+
+/// A positive-negative counter: a pair of G-Counters (increments,
+/// decrements). The *state* is monotone even though the *value* may
+/// decrease — the standard trick for non-monotone-looking data over
+/// monotone state (§5.2's theme).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PnCounter {
+    inc: GCounter,
+    dec: GCounter,
+}
+
+impl PnCounter {
+    /// A zero counter.
+    pub fn new() -> Self {
+        PnCounter::default()
+    }
+
+    /// Adds `n` at `replica`.
+    pub fn increment(&mut self, replica: ReplicaId, n: u64) {
+        self.inc.increment(replica, n);
+    }
+
+    /// Subtracts `n` at `replica`.
+    pub fn decrement(&mut self, replica: ReplicaId, n: u64) {
+        self.dec.increment(replica, n);
+    }
+
+    /// The current value (may go up and down).
+    pub fn value(&self) -> i64 {
+        self.inc.value() as i64 - self.dec.value() as i64
+    }
+}
+
+impl JoinSemilattice for PnCounter {
+    fn join(&self, other: &Self) -> Self {
+        PnCounter {
+            inc: self.inc.join(&other.inc),
+            dec: self.dec.join(&other.dec),
+        }
+    }
+}
+
+impl BoundedJoinSemilattice for PnCounter {
+    fn bottom() -> Self {
+        PnCounter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_runtime::semilattice::laws::check_semilattice_laws;
+
+    #[test]
+    fn laws() {
+        let mut a = GCounter::new();
+        a.increment(0, 1);
+        let mut b = GCounter::new();
+        b.increment(1, 5);
+        let mut c = a.clone();
+        c.increment(1, 2);
+        check_semilattice_laws(&[GCounter::new(), a, b, c]).unwrap();
+    }
+
+    #[test]
+    fn concurrent_increments_survive_merge() {
+        let mut a = GCounter::new();
+        let mut b = GCounter::new();
+        a.increment(0, 2);
+        b.increment(1, 3);
+        assert_eq!(a.join(&b).value(), 5);
+        // Merging is idempotent: re-delivery does not double count.
+        assert_eq!(a.join(&b).join(&b).value(), 5);
+    }
+
+    #[test]
+    fn pn_counter_value_can_decrease_but_state_grows() {
+        let mut a = PnCounter::new();
+        a.increment(0, 10);
+        let snapshot = a.clone();
+        a.decrement(0, 4);
+        assert_eq!(a.value(), 6);
+        // The state only grew.
+        assert!(snapshot.leq(&a));
+        check_semilattice_laws(&[PnCounter::new(), snapshot, a]).unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Grow-only sets: the simplest CvRDT, and the distributed incarnation of
+//! λ∨'s set data type (§5.2: "The λ∨ set data type generalizes grow-only
+//! set CRDTs").
+
+use std::collections::BTreeSet;
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
+
+/// A grow-only replicated set.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_crdt::GSet;
+/// use lambda_join_runtime::semilattice::JoinSemilattice;
+///
+/// let mut a = GSet::new();
+/// a.insert(1);
+/// let mut b = GSet::new();
+/// b.insert(2);
+/// let merged = a.join(&b);
+/// assert!(merged.contains(&1) && merged.contains(&2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GSet<T: Ord> {
+    elems: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> GSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        GSet {
+            elems: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts an element (a monotone update).
+    pub fn insert(&mut self, x: T) {
+        self.elems.insert(x);
+    }
+
+    /// Monotone membership: `true` never becomes `false`. (The negative
+    /// query is deliberately *not* offered — the §5.2 caveat.)
+    pub fn contains(&self, x: &T) -> bool {
+        self.elems.contains(x)
+    }
+
+    /// The number of elements (monotone).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.elems.iter()
+    }
+}
+
+impl<T: Ord + Clone> JoinSemilattice for GSet<T> {
+    fn join(&self, other: &Self) -> Self {
+        GSet {
+            elems: self.elems.join(&other.elems),
+        }
+    }
+}
+
+impl<T: Ord + Clone> BoundedJoinSemilattice for GSet<T> {
+    fn bottom() -> Self {
+        GSet::new()
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for GSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        GSet {
+            elems: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> Extend<T> for GSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.elems.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_runtime::semilattice::laws::check_semilattice_laws;
+
+    #[test]
+    fn laws() {
+        let sample: Vec<GSet<i64>> = vec![
+            GSet::new(),
+            [1].into_iter().collect(),
+            [2, 3].into_iter().collect(),
+            [1, 2, 3].into_iter().collect(),
+        ];
+        check_semilattice_laws(&sample).unwrap();
+    }
+
+    #[test]
+    fn merge_is_union_and_order_is_inclusion() {
+        let a: GSet<i64> = [1, 2].into_iter().collect();
+        let b: GSet<i64> = [2, 3].into_iter().collect();
+        let m = a.join(&b);
+        assert_eq!(m, [1, 2, 3].into_iter().collect());
+        assert!(a.leq(&m));
+        assert!(b.leq(&m));
+        assert!(!m.leq(&a));
+    }
+
+    #[test]
+    fn inserts_commute_with_merge() {
+        let mut a: GSet<i64> = GSet::new();
+        a.insert(1);
+        a.insert(2);
+        let mut b = GSet::new();
+        b.insert(2);
+        b.insert(1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,300 @@
+//! Bloom-style lattice types (§5.2): `lmax`, `lmin`, `lbool`, `lmap`.
+//!
+//! The Bloom^L language equips distributed programs with a library of
+//! lattices and *monotone morphisms* between them; the paper notes these
+//! "could be adopted in λ∨ without issue". This module provides the core
+//! quartet, each a [`JoinSemilattice`], together with the standard morphisms
+//! (threshold tests into [`LBool`], size bounds out of maps) used to build
+//! systems like the Anna KV store.
+
+use std::collections::BTreeMap;
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
+
+/// A monotone max-lattice over an ordered type.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_crdt::LMax;
+/// use lambda_join_runtime::semilattice::JoinSemilattice;
+///
+/// assert_eq!(LMax(3).join(&LMax(7)), LMax(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LMax<T: Ord + Clone>(pub T);
+
+impl<T: Ord + Clone> JoinSemilattice for LMax<T> {
+    fn join(&self, other: &Self) -> Self {
+        if self.0 >= other.0 {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+}
+
+impl<T: Ord + Clone + Default> BoundedJoinSemilattice for LMax<T> {
+    fn bottom() -> Self {
+        LMax(T::default())
+    }
+}
+
+impl<T: Ord + Clone> LMax<T> {
+    /// Monotone morphism into [`LBool`]: has the value reached `threshold`?
+    ///
+    /// Monotone because the max only grows, so once `true`, always `true`.
+    pub fn at_least(&self, threshold: &T) -> LBool {
+        LBool(self.0 >= *threshold)
+    }
+}
+
+/// A monotone *min*-lattice: the dual order, useful for high-water marks
+/// that shrink (e.g. "earliest outstanding timestamp").
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_crdt::LMin;
+/// use lambda_join_runtime::semilattice::JoinSemilattice;
+///
+/// assert_eq!(LMin(3).join(&LMin(7)), LMin(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LMin<T: Ord + Clone>(pub T);
+
+impl<T: Ord + Clone> JoinSemilattice for LMin<T> {
+    fn join(&self, other: &Self) -> Self {
+        if self.0 <= other.0 {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+}
+
+impl<T: Ord + Clone> LMin<T> {
+    /// Monotone morphism into [`LBool`]: has the value fallen to or below
+    /// `threshold`?
+    pub fn at_most(&self, threshold: &T) -> LBool {
+        LBool(self.0 <= *threshold)
+    }
+}
+
+/// The two-point once-true-always-true lattice (`false ⊑ true`).
+///
+/// Note this is *not* λ∨'s boolean encoding — there, `'true` and `'false`
+/// are deliberately incomparable symbols so that `if` can take one branch.
+/// `LBool` is the Bloom threshold lattice: the codomain of monotone tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LBool(pub bool);
+
+impl JoinSemilattice for LBool {
+    fn join(&self, other: &Self) -> Self {
+        LBool(self.0 || other.0)
+    }
+}
+
+impl BoundedJoinSemilattice for LBool {
+    fn bottom() -> Self {
+        LBool(false)
+    }
+}
+
+impl LBool {
+    /// Monotone guard: `Some(value)` once the flag is set, `None` before.
+    ///
+    /// The Bloom idiom for acting on a threshold without reading the
+    /// un-reached state (the imperative cousin of a λ∨ threshold query).
+    pub fn when<T>(&self, value: T) -> Option<T> {
+        if self.0 {
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+/// A map lattice: keys accumulate, values join pointwise.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_crdt::{LMap, LMax};
+/// use lambda_join_runtime::semilattice::JoinSemilattice;
+///
+/// let mut a = LMap::new();
+/// a.insert("x", LMax(1));
+/// let mut b = LMap::new();
+/// b.insert("x", LMax(5));
+/// b.insert("y", LMax(2));
+/// let m = a.join(&b);
+/// assert_eq!(m.get(&"x"), Some(&LMax(5)));
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LMap<K: Ord + Clone, V: JoinSemilattice> {
+    entries: BTreeMap<K, V>,
+}
+
+impl<K: Ord + Clone, V: JoinSemilattice> LMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        LMap {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Joins `value` into the entry at `key` (inserting if absent) — the
+    /// only write operation, hence monotone by construction.
+    pub fn insert(&mut self, key: K, value: V) {
+        match self.entries.get_mut(&key) {
+            Some(v) => *v = v.join(&value),
+            None => {
+                self.entries.insert(key, value);
+            }
+        }
+    }
+
+    /// Reads the entry at `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries.get(key)
+    }
+
+    /// The number of keys — a monotone morphism into [`LMax<usize>`]
+    /// (exposed as [`LMap::size`]).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Monotone morphism: the key count as an [`LMax`] (keys are never
+    /// removed, so the count only grows).
+    pub fn size(&self) -> LMax<usize> {
+        LMax(self.entries.len())
+    }
+
+    /// Monotone morphism into [`LBool`]: key presence (keys accumulate, so
+    /// once present, always present). Contrast with *value* lookups, whose
+    /// results keep streaming upward.
+    pub fn contains_key(&self, key: &K) -> LBool {
+        LBool(self.entries.contains_key(key))
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter()
+    }
+}
+
+impl<K: Ord + Clone, V: JoinSemilattice + PartialEq> JoinSemilattice for LMap<K, V> {
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, v) in &other.entries {
+            out.insert(k.clone(), v.clone());
+        }
+        out
+    }
+}
+
+impl<K: Ord + Clone, V: JoinSemilattice + PartialEq> BoundedJoinSemilattice for LMap<K, V> {
+    fn bottom() -> Self {
+        LMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lmax_join_laws() {
+        for a in 0..4i64 {
+            for b in 0..4 {
+                assert_eq!(LMax(a).join(&LMax(b)), LMax(b).join(&LMax(a)));
+                assert_eq!(LMax(a).join(&LMax(a)), LMax(a));
+                for c in 0..4 {
+                    assert_eq!(
+                        LMax(a).join(&LMax(b)).join(&LMax(c)),
+                        LMax(a).join(&LMax(b).join(&LMax(c)))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lmin_is_the_dual() {
+        assert_eq!(LMin(3).join(&LMin(7)), LMin(3));
+        assert_eq!(LMin(7).join(&LMin(3)), LMin(3));
+        assert_eq!(LMin(3).join(&LMin(3)), LMin(3));
+    }
+
+    #[test]
+    fn lbool_once_true_always_true() {
+        assert_eq!(LBool(false).join(&LBool(true)), LBool(true));
+        assert_eq!(LBool(true).join(&LBool(false)), LBool(true));
+        assert_eq!(LBool::bottom(), LBool(false));
+        assert_eq!(LBool(true).when("go"), Some("go"));
+        assert_eq!(LBool(false).when("go"), None);
+    }
+
+    #[test]
+    fn threshold_morphisms_are_monotone() {
+        // x ⊑ y ⟹ at_least(x) ⊑ at_least(y) for every threshold.
+        for x in 0..5i64 {
+            for y in x..5 {
+                for t in 0..5 {
+                    let fx = LMax(x).at_least(&t);
+                    let fy = LMax(y).at_least(&t);
+                    assert!(!fx.0 || fy.0, "at_least not monotone at {x} ⊑ {y}, t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lmap_pointwise_join() {
+        let mut a: LMap<&str, LMax<i64>> = LMap::new();
+        a.insert("x", LMax(1));
+        a.insert("y", LMax(9));
+        let mut b = LMap::new();
+        b.insert("x", LMax(5));
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(&"x"), Some(&LMax(5)));
+        assert_eq!(ab.get(&"y"), Some(&LMax(9)));
+        assert_eq!(ab.size(), LMax(2));
+        assert_eq!(ab.contains_key(&"x"), LBool(true));
+        assert_eq!(ab.contains_key(&"z"), LBool(false));
+    }
+
+    #[test]
+    fn lmap_insert_joins_rather_than_overwrites() {
+        let mut m: LMap<&str, LMax<i64>> = LMap::new();
+        m.insert("k", LMax(5));
+        m.insert("k", LMax(3)); // lower write is absorbed
+        assert_eq!(m.get(&"k"), Some(&LMax(5)));
+    }
+
+    #[test]
+    fn nested_lattices_compose() {
+        // An LMap of LMaps — "partial orders can be composed to form new
+        // ones" at the substrate level.
+        let mut a: LMap<&str, LMap<&str, LMax<u64>>> = LMap::new();
+        let mut inner = LMap::new();
+        inner.insert("hits", LMax(1));
+        a.insert("node1", inner);
+        let mut b: LMap<&str, LMap<&str, LMax<u64>>> = LMap::new();
+        let mut inner = LMap::new();
+        inner.insert("hits", LMax(4));
+        b.insert("node1", inner);
+        let m = a.join(&b);
+        assert_eq!(m.get(&"node1").unwrap().get(&"hits"), Some(&LMax(4)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Lexicographic (versioned) pairs — §5.2 "Versioned Values".
+//!
+//! A [`LexPair`] `⟨v, x⟩` tags a payload `x` with a version `v`. The
+//! payload may change *arbitrarily* between versions — the Dynamo trick for
+//! modelling mutable data over monotone state: the pair as a whole only
+//! grows because the version grows.
+//!
+//! Join: higher version wins outright; equal versions join payloads (the
+//! paper's λ∨ elimination). The paper's monotonicity-preserving elimination
+//! form — the monadic bind `x ← e1; e2` that joins the input version into
+//! the output version — is [`LexPair::bind`].
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
+
+
+/// A lexicographically ordered version/payload pair.
+///
+/// `V` is the version semilattice (often [`crate::VClock`] or
+/// `Max<u64>`); `T` is the payload semilattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexPair<V, T> {
+    /// The version tag.
+    pub version: V,
+    /// The payload valid at this version.
+    pub value: T,
+}
+
+impl<V, T> LexPair<V, T>
+where
+    V: JoinSemilattice + PartialEq,
+    T: JoinSemilattice + PartialEq,
+{
+    /// Creates a versioned value.
+    pub fn new(version: V, value: T) -> Self {
+        LexPair { version, value }
+    }
+
+    /// The lexicographic order: version strictly dominates, payload breaks
+    /// ties.
+    pub fn lex_leq(&self, other: &Self) -> bool {
+        if self.version.leq(&other.version) {
+            if other.version.leq(&self.version) {
+                // Equal versions: payload order decides.
+                self.value.leq(&other.value)
+            } else {
+                true // strictly older version: payload is irrelevant
+            }
+        } else {
+            false
+        }
+    }
+
+    /// The paper's monadic bind `x ← e1; e2`: runs `f` on the payload and
+    /// joins the input's version into the output's version, which is what
+    /// keeps the composite monotone even though `f` may replace the payload
+    /// wholesale.
+    pub fn bind<U>(&self, f: impl FnOnce(&T) -> LexPair<V, U>) -> LexPair<V, U>
+    where
+        U: JoinSemilattice + PartialEq,
+    {
+        let out = f(&self.value);
+        LexPair {
+            version: self.version.join(&out.version),
+            value: out.value,
+        }
+    }
+}
+
+impl<V, T> JoinSemilattice for LexPair<V, T>
+where
+    V: JoinSemilattice + PartialEq,
+    T: BoundedJoinSemilattice + PartialEq,
+{
+    fn join(&self, other: &Self) -> Self {
+        // The payload of the join is the join of the payloads written at
+        // *exactly* the final version — ⊥ if the writes were concurrent
+        // (neither payload is authoritative at the merged version). This
+        // (rather than joining concurrent payloads) is what keeps the
+        // operation associative when versions are only partially ordered,
+        // e.g. vector clocks; true multiversioning is MvReg's job.
+        let sv = self.version.leq(&other.version);
+        let ov = other.version.leq(&self.version);
+        match (sv, ov) {
+            // Equal versions: join payloads.
+            (true, true) => LexPair {
+                version: self.version.clone(),
+                value: self.value.join(&other.value),
+            },
+            // Strictly newer version wins outright.
+            (true, false) => other.clone(),
+            (false, true) => self.clone(),
+            // Concurrent versions: merged version, no surviving payload.
+            (false, false) => LexPair {
+                version: self.version.join(&other.version),
+                value: T::bottom(),
+            },
+        }
+    }
+}
+
+impl<V, T> BoundedJoinSemilattice for LexPair<V, T>
+where
+    V: BoundedJoinSemilattice + PartialEq,
+    T: BoundedJoinSemilattice + PartialEq,
+{
+    fn bottom() -> Self {
+        LexPair {
+            version: V::bottom(),
+            value: T::bottom(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_runtime::semilattice::laws::check_semilattice_laws;
+    use lambda_join_runtime::semilattice::{Flat, Max};
+
+    type VV = LexPair<Max<u64>, Flat<&'static str>>;
+
+    fn vv(version: u64, value: &'static str) -> VV {
+        LexPair::new(Max(version), Flat::Known(value))
+    }
+
+    #[test]
+    fn newer_version_replaces_payload() {
+        // The payload changes arbitrarily — allowed because the version
+        // grew. This is the §5.2 non-monotone-update escape hatch.
+        let old = vv(1, "draft");
+        let new = vv(2, "final");
+        assert_eq!(old.join(&new), new);
+        assert_eq!(new.join(&old), new);
+        assert!(old.lex_leq(&new));
+        assert!(!new.lex_leq(&old));
+    }
+
+    #[test]
+    fn equal_versions_join_payloads() {
+        let a = vv(3, "x");
+        let b = vv(3, "y");
+        let j = a.join(&b);
+        assert_eq!(j.version, Max(3));
+        assert_eq!(j.value, Flat::Conflict); // racing same-version writes
+        let c = vv(3, "x");
+        assert_eq!(a.join(&c), a); // identical writes are idempotent
+    }
+
+    #[test]
+    fn laws() {
+        let sample: Vec<VV> = vec![
+            LexPair::bottom(),
+            vv(1, "a"),
+            vv(1, "b"),
+            vv(2, "c"),
+            vv(3, "a"),
+        ];
+        check_semilattice_laws(&sample).unwrap();
+    }
+
+    #[test]
+    fn bind_joins_versions() {
+        // bind must produce an output at least as versioned as its input —
+        // otherwise the composite could shrink when the input grows.
+        let input = vv(5, "payload");
+        let out = input.bind(|_| vv(2, "derived"));
+        assert_eq!(out.version, Max(5));
+        let out = input.bind(|_| vv(9, "derived"));
+        assert_eq!(out.version, Max(9));
+    }
+
+    #[test]
+    fn bind_is_monotone_in_the_input() {
+        // Growing the input (version bump) can only grow the output.
+        let f = |t: &Flat<&'static str>| match t {
+            Flat::Known("a") => vv(1, "seen-a"),
+            _ => LexPair::new(Max(0), Flat::Empty),
+        };
+        let small = vv(1, "a");
+        let big = vv(2, "b"); // later write replaced the payload
+        let out_small = small.bind(f);
+        let out_big = big.bind(f);
+        assert!(out_small.lex_leq(&out_big), "{out_small:?} vs {out_big:?}");
+    }
+
+    #[test]
+    fn vclock_versions_compose() {
+        use crate::VClock;
+        type Doc = LexPair<VClock, Flat<&'static str>>;
+        let base = VClock::new();
+        let a: Doc = LexPair::new(base.ticked(0), Flat::Known("from-0"));
+        let b: Doc = LexPair::new(base.ticked(1), Flat::Known("from-1"));
+        // Concurrent versions: no payload survives at the merged clock.
+        let j = a.join(&b);
+        assert_eq!(j.version, base.ticked(0).join(&base.ticked(1)));
+        assert_eq!(j.value, Flat::Empty);
+        // A causally-later write supersedes cleanly.
+        let fix: Doc = LexPair::new(j.version.ticked(0), Flat::Known("merged"));
+        assert_eq!(j.join(&fix).value, Flat::Known("merged"));
+    }
+
+    #[test]
+    fn associativity_with_partially_ordered_versions() {
+        // The case that breaks the "join concurrent payloads" variant:
+        // a, b concurrent; c written at exactly the merged version.
+        use crate::VClock;
+        type Doc = LexPair<VClock, Flat<&'static str>>;
+        let base = VClock::new();
+        let a: Doc = LexPair::new(base.ticked(0), Flat::Known("x"));
+        let b: Doc = LexPair::new(base.ticked(1), Flat::Known("y"));
+        let c: Doc = LexPair::new(base.ticked(0).join(&base.ticked(1)), Flat::Known("z"));
+        let left = a.join(&b).join(&c);
+        let right = a.join(&b.join(&c));
+        assert_eq!(left, right);
+        assert_eq!(left.value, Flat::Known("z"));
+        // And the full law battery over a VClock sample.
+        let sample: Vec<Doc> = vec![
+            LexPair::new(base.clone(), Flat::Empty),
+            a,
+            b,
+            c,
+            LexPair::new(base.ticked(0).ticked(0), Flat::Known("w")),
+        ];
+        lambda_join_runtime::semilattice::laws::check_semilattice_laws(&sample).unwrap();
+    }
+}

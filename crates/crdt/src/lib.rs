@@ -1,0 +1,41 @@
+//! # lambda-join-crdt
+//!
+//! A convergent replicated data type (CvRDT) substrate (Shapiro et al.
+//! 2011) — the eventually-consistent distributed systems §5.2/§6 of
+//! *Functional Meaning for Parallel Streaming* relate λ∨ to:
+//!
+//! * [`gset`] / [`gcounter`] — grow-only sets and counters (λ∨'s set data
+//!   type "generalizes grow-only set CRDTs");
+//! * [`vclock`] — vector clocks, the partial order of causality;
+//! * [`lexpair`] — the paper's §5.2 *versioned values*: lexicographic
+//!   pairs whose payload may change arbitrarily as long as the version
+//!   grows, with the monotonicity-preserving monadic bind;
+//! * [`mvreg`] — multi-value registers (Dynamo-style multiversioning:
+//!   irreconcilable concurrent writes coexist until dominated);
+//! * [`replica`] — an adversarial in-process network simulator (reordering,
+//!   duplication, delay) with convergence checking.
+//!
+//! All state types implement
+//! [`JoinSemilattice`](lambda_join_runtime::semilattice::JoinSemilattice);
+//! convergence is exactly the determinism-from-monotonicity argument of the
+//! paper, replayed at the systems level.
+
+#![warn(missing_docs)]
+
+pub mod gcounter;
+pub mod gset;
+pub mod lattice;
+pub mod lexpair;
+pub mod mvmap;
+pub mod mvreg;
+pub mod replica;
+pub mod vclock;
+
+pub use gcounter::GCounter;
+pub use gset::GSet;
+pub use lattice::{LBool, LMap, LMax, LMin};
+pub use lexpair::LexPair;
+pub use mvmap::MvMap;
+pub use mvreg::MvReg;
+pub use replica::{Cluster, DeliveryPolicy};
+pub use vclock::VClock;

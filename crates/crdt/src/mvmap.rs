@@ -1,0 +1,156 @@
+//! Multi-version maps: an Anna-style key-value store state (§5.2).
+//!
+//! An [`MvMap`] maps keys to [multi-value registers](crate::MvReg); joins
+//! are pointwise register merges, so a replicated deployment of the map is
+//! eventually consistent for exactly the reasons the paper lays out: the
+//! state is a join-semilattice and replicas only ever move up it.
+
+use std::collections::BTreeMap;
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
+
+use crate::gcounter::ReplicaId;
+use crate::mvreg::MvReg;
+
+/// A map from keys to multi-value registers.
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_crdt::MvMap;
+/// use lambda_join_runtime::semilattice::JoinSemilattice;
+///
+/// let mut a = MvMap::new();
+/// let mut b = MvMap::new();
+/// a.write(0, "k", 1);
+/// b.write(1, "k", 2);
+/// let merged = a.join(&b);
+/// // Concurrent writes to the same key coexist as siblings.
+/// assert_eq!(merged.read(&"k").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MvMap<K: Ord, T> {
+    entries: BTreeMap<K, MvReg<T>>,
+}
+
+impl<K: Ord + Clone, T: Clone + PartialEq> MvMap<K, T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        MvMap {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Writes `value` under `key` at `replica`; the write causally
+    /// dominates every version of the key visible at this replica.
+    pub fn write(&mut self, replica: ReplicaId, key: K, value: T) {
+        self.entries
+            .entry(key)
+            .or_insert_with(MvReg::new)
+            .write(replica, value);
+    }
+
+    /// Reads the current siblings for `key`, or `None` if absent.
+    pub fn read(&self, key: &K) -> Option<Vec<&T>> {
+        self.entries.get(key).map(|r| r.read())
+    }
+
+    /// The number of keys present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, register)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &MvReg<T>)> {
+        self.entries.iter()
+    }
+}
+
+impl<K: Ord + Clone, T: Clone + PartialEq> JoinSemilattice for MvMap<K, T> {
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, reg) in &other.entries {
+            match out.entries.get_mut(k) {
+                Some(mine) => *mine = mine.join(reg),
+                None => {
+                    out.entries.insert(k.clone(), reg.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<K: Ord + Clone, T: Clone + PartialEq> BoundedJoinSemilattice for MvMap<K, T> {
+    fn bottom() -> Self {
+        MvMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_keys_merge_disjointly() {
+        let mut a = MvMap::new();
+        let mut b = MvMap::new();
+        a.write(0, "x", 1);
+        b.write(1, "y", 2);
+        let m = a.join(&b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.read(&"x").unwrap(), vec![&1]);
+        assert_eq!(m.read(&"y").unwrap(), vec![&2]);
+    }
+
+    #[test]
+    fn concurrent_writes_to_same_key_are_siblings() {
+        let mut a = MvMap::new();
+        let mut b = MvMap::new();
+        a.write(0, "k", "alice");
+        b.write(1, "k", "bob");
+        let m = a.join(&b);
+        assert_eq!(m.read(&"k").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn causally_later_write_resolves_siblings() {
+        let mut a = MvMap::new();
+        let mut b = MvMap::new();
+        a.write(0, "k", "alice");
+        b.write(1, "k", "bob");
+        let mut m = a.join(&b);
+        m.write(0, "k", "resolved");
+        assert_eq!(m.read(&"k").unwrap(), vec![&"resolved"]);
+        // Stale replicas re-merging do not resurrect superseded siblings.
+        let again = m.join(&a).join(&b);
+        assert_eq!(again.read(&"k").unwrap(), vec![&"resolved"]);
+    }
+
+    #[test]
+    fn join_laws() {
+        let mut a = MvMap::new();
+        a.write(0, 1, "a");
+        let mut b = MvMap::new();
+        b.write(1, 1, "b");
+        b.write(1, 2, "c");
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        assert_eq!(ab, ba, "commutative");
+        assert_eq!(ab.join(&ab), ab, "idempotent");
+        let bot = MvMap::bottom();
+        assert_eq!(a.join(&bot), a, "bottom is neutral");
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let m: MvMap<&str, i32> = MvMap::new();
+        assert!(m.read(&"absent").is_none());
+        assert!(m.is_empty());
+    }
+}

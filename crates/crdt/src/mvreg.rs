@@ -1,0 +1,134 @@
+//! Multi-value registers: Dynamo-style multiversioning (§5.2).
+//!
+//! An [`MvReg`] holds a *set* of vector-clock-tagged writes; merging keeps
+//! every write not causally dominated by another. Concurrent writes
+//! coexist ("siblings") until a later write, aware of all of them,
+//! supersedes them — "multiple irreconcilable versions of a piece of data
+//! may exist due to conflicting writes".
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
+
+use crate::gcounter::ReplicaId;
+use crate::vclock::{Causality, VClock};
+
+/// A multi-value register over payload type `T`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MvReg<T> {
+    versions: Vec<(VClock, T)>,
+}
+
+impl<T: Clone + PartialEq> MvReg<T> {
+    /// An empty register.
+    pub fn new() -> Self {
+        MvReg {
+            versions: Vec::new(),
+        }
+    }
+
+    /// Writes a value at `replica`: the new write causally dominates every
+    /// version currently visible in this replica's register.
+    pub fn write(&mut self, replica: ReplicaId, value: T) {
+        let mut clock = self
+            .versions
+            .iter()
+            .fold(VClock::new(), |acc, (c, _)| acc.join(c));
+        clock.tick(replica);
+        self.versions = vec![(clock, value)];
+    }
+
+    /// The current siblings (concurrent surviving versions).
+    pub fn read(&self) -> Vec<&T> {
+        self.versions.iter().map(|(_, v)| v).collect()
+    }
+
+    /// The number of siblings.
+    pub fn sibling_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    fn insert_version(&mut self, clock: VClock, value: T) {
+        // Drop if dominated; drop existing versions the newcomer dominates.
+        for (c, v) in &self.versions {
+            match clock.compare(c) {
+                Causality::Before => return, // dominated: ignore
+                Causality::Equal if *v == value => return,
+                _ => {}
+            }
+        }
+        self.versions
+            .retain(|(c, _)| !matches!(c.compare(&clock), Causality::Before));
+        self.versions.push((clock, value));
+    }
+}
+
+impl<T: Clone + PartialEq> JoinSemilattice for MvReg<T> {
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (c, v) in &other.versions {
+            out.insert_version(c.clone(), v.clone());
+        }
+        // Canonical order for PartialEq stability.
+        out.versions.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+}
+
+impl<T: Clone + PartialEq> BoundedJoinSemilattice for MvReg<T> {
+    fn bottom() -> Self {
+        MvReg::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_writes_become_siblings() {
+        let mut a = MvReg::new();
+        let mut b = MvReg::new();
+        a.write(0, "from-a");
+        b.write(1, "from-b");
+        let m = a.join(&b);
+        assert_eq!(m.sibling_count(), 2);
+        let mut vals = m.read();
+        vals.sort();
+        assert_eq!(vals, vec![&"from-a", &"from-b"]);
+    }
+
+    #[test]
+    fn later_write_supersedes_siblings() {
+        let mut a = MvReg::new();
+        let mut b = MvReg::new();
+        a.write(0, "x");
+        b.write(1, "y");
+        let mut merged = a.join(&b);
+        // A write performed *after seeing both* dominates them.
+        merged.write(0, "resolved");
+        assert_eq!(merged.read(), vec![&"resolved"]);
+        // And survives re-merging stale states (idempotent convergence).
+        let again = merged.join(&a).join(&b);
+        assert_eq!(again.read(), vec![&"resolved"]);
+    }
+
+    #[test]
+    fn sequential_writes_keep_one_version() {
+        let mut r = MvReg::new();
+        r.write(0, 1);
+        r.write(0, 2);
+        r.write(0, 3);
+        assert_eq!(r.read(), vec![&3]);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = MvReg::new();
+        a.write(0, "a");
+        let mut b = MvReg::new();
+        b.write(1, "b");
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.join(&ab), ab);
+    }
+}

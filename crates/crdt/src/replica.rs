@@ -1,0 +1,258 @@
+//! An adversarial in-process replica simulator.
+//!
+//! The paper leaves network nondeterminism to future work (§1) but its
+//! eventual-consistency claims quantify over exactly the adversary modelled
+//! here: state-based gossip with message **reordering**, **duplication**,
+//! and **drops** (as long as gossip happens infinitely often). The
+//! simulator drives a cluster of state-based replicas through a random
+//! schedule of local updates and deliveries and checks convergence:
+//! after a final full exchange, all replicas hold the same state,
+//! regardless of the schedule seed — monotonicity-as-determinism at the
+//! distributed level.
+
+use lambda_join_runtime::semilattice::JoinSemilattice;
+
+/// Delivery adversary parameters (per gossip message, probabilities in
+/// percent).
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryPolicy {
+    /// Chance an in-flight message is duplicated.
+    pub duplicate_pct: u8,
+    /// Chance an in-flight message is dropped.
+    pub drop_pct: u8,
+    /// Maximum extra delay, in scheduler steps.
+    pub max_delay: u8,
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy {
+            duplicate_pct: 20,
+            drop_pct: 20,
+            max_delay: 5,
+        }
+    }
+}
+
+struct InFlight<S> {
+    to: usize,
+    deliver_at: u64,
+    state: S,
+}
+
+/// A simulated cluster of state-based replicas of `S`.
+pub struct Cluster<S> {
+    replicas: Vec<S>,
+    network: Vec<InFlight<S>>,
+    now: u64,
+    rng: Xorshift,
+    policy: DeliveryPolicy,
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+impl<S: JoinSemilattice + PartialEq + Clone> Cluster<S> {
+    /// Creates a cluster of `n` replicas, all starting from `initial`.
+    pub fn new(n: usize, initial: S, seed: u64, policy: DeliveryPolicy) -> Self {
+        Cluster {
+            replicas: vec![initial; n],
+            network: Vec::new(),
+            now: 0,
+            rng: Xorshift(seed.max(1)),
+            policy,
+        }
+    }
+
+    /// The number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Read access to replica `i`'s state.
+    pub fn state(&self, i: usize) -> &S {
+        &self.replicas[i]
+    }
+
+    /// Applies a local monotone update at replica `i`.
+    pub fn update(&mut self, i: usize, f: impl FnOnce(&mut S)) {
+        f(&mut self.replicas[i]);
+    }
+
+    /// Replica `i` gossips its full state to replica `j`, subject to the
+    /// delivery adversary.
+    pub fn gossip(&mut self, i: usize, j: usize) {
+        let state = self.replicas[i].clone();
+        let copies = if self.rng.below(100) < self.policy.duplicate_pct as u64 {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            if self.rng.below(100) < self.policy.drop_pct as u64 {
+                continue;
+            }
+            let delay = self.rng.below(self.policy.max_delay as u64 + 1);
+            self.network.push(InFlight {
+                to: j,
+                deliver_at: self.now + delay,
+                state: state.clone(),
+            });
+        }
+    }
+
+    /// Advances time one step, delivering due messages (in a shuffled
+    /// order).
+    pub fn step(&mut self) {
+        self.now += 1;
+        let mut due: Vec<InFlight<S>> = Vec::new();
+        let mut rest = Vec::new();
+        for m in self.network.drain(..) {
+            if m.deliver_at <= self.now {
+                due.push(m);
+            } else {
+                rest.push(m);
+            }
+        }
+        self.network = rest;
+        // Shuffle deliveries.
+        while !due.is_empty() {
+            let k = self.rng.below(due.len() as u64) as usize;
+            let m = due.swap_remove(k);
+            let merged = self.replicas[m.to].join(&m.state);
+            self.replicas[m.to] = merged;
+        }
+    }
+
+    /// Runs a random schedule: `steps` rounds of random gossip plus
+    /// delivery.
+    pub fn run_random_gossip(&mut self, steps: usize) {
+        let n = self.replicas.len();
+        for _ in 0..steps {
+            let i = self.rng.below(n as u64) as usize;
+            let j = self.rng.below(n as u64) as usize;
+            if i != j {
+                self.gossip(i, j);
+            }
+            self.step();
+        }
+    }
+
+    /// Final anti-entropy: reliably exchanges all states until quiescence
+    /// (models "gossip happens infinitely often").
+    pub fn settle(&mut self) {
+        loop {
+            let all = self
+                .replicas
+                .iter()
+                .skip(1)
+                .fold(self.replicas[0].clone(), |acc, s| acc.join(s));
+            let mut changed = false;
+            for r in &mut self.replicas {
+                let merged = r.join(&all);
+                if merged != *r {
+                    *r = merged;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Whether all replicas currently agree.
+    pub fn converged(&self) -> bool {
+        self.replicas
+            .windows(2)
+            .all(|w| w[0] == w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GCounter, GSet, MvReg};
+
+    #[test]
+    fn gset_cluster_converges_under_adversary() {
+        for seed in 1..8u64 {
+            let mut cluster: Cluster<GSet<i64>> =
+                Cluster::new(4, GSet::new(), seed, DeliveryPolicy::default());
+            for k in 0..20i64 {
+                let at = (k % 4) as usize;
+                cluster.update(at, |s| s.insert(k));
+            }
+            cluster.run_random_gossip(60);
+            cluster.settle();
+            assert!(cluster.converged(), "seed {seed} failed to converge");
+            let final_set = cluster.state(0);
+            assert_eq!(final_set.len(), 20, "elements lost under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn convergence_is_schedule_independent() {
+        // Same updates, different adversarial schedules ⇒ same final state.
+        let run = |seed: u64| {
+            let mut cluster: Cluster<GCounter> =
+                Cluster::new(3, GCounter::new(), seed, DeliveryPolicy::default());
+            cluster.update(0, |c| c.increment(0, 5));
+            cluster.update(1, |c| c.increment(1, 7));
+            cluster.update(2, |c| c.increment(2, 11));
+            cluster.run_random_gossip(40);
+            cluster.settle();
+            cluster.state(0).clone()
+        };
+        let first = run(1);
+        assert_eq!(first.value(), 23);
+        for seed in 2..10 {
+            assert_eq!(run(seed), first, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn mvreg_cluster_keeps_concurrent_writes() {
+        let mut cluster: Cluster<MvReg<&'static str>> =
+            Cluster::new(2, MvReg::new(), 3, DeliveryPolicy::default());
+        cluster.update(0, |r| r.write(0, "left"));
+        cluster.update(1, |r| r.write(1, "right"));
+        cluster.settle();
+        assert!(cluster.converged());
+        assert_eq!(cluster.state(0).sibling_count(), 2);
+    }
+
+    #[test]
+    fn duplication_is_harmless() {
+        let policy = DeliveryPolicy {
+            duplicate_pct: 100,
+            drop_pct: 0,
+            max_delay: 0,
+        };
+        let mut cluster: Cluster<GCounter> = Cluster::new(2, GCounter::new(), 9, policy);
+        cluster.update(0, |c| c.increment(0, 1));
+        for _ in 0..5 {
+            cluster.gossip(0, 1);
+            cluster.step();
+        }
+        cluster.settle();
+        assert_eq!(cluster.state(1).value(), 1, "duplicates double-counted");
+    }
+}

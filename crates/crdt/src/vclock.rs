@@ -1,0 +1,133 @@
+//! Vector clocks: the canonical partial order of causality (Lamport 1978,
+//! DeCandia et al. 2007). In the paper's terms they are the *versions* of
+//! §5.2's versioned values; their join is pointwise max.
+
+use std::collections::BTreeMap;
+
+use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice, Max};
+
+use crate::gcounter::ReplicaId;
+
+/// A vector clock.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct VClock {
+    ticks: BTreeMap<ReplicaId, u64>,
+}
+
+/// The causal relationship between two clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Identical clocks.
+    Equal,
+    /// The left clock happened strictly before the right.
+    Before,
+    /// The left clock happened strictly after the right.
+    After,
+    /// Neither dominates: concurrent writes.
+    Concurrent,
+}
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// Advances this replica's component.
+    pub fn tick(&mut self, replica: ReplicaId) {
+        *self.ticks.entry(replica).or_insert(0) += 1;
+    }
+
+    /// A ticked copy.
+    pub fn ticked(&self, replica: ReplicaId) -> Self {
+        let mut c = self.clone();
+        c.tick(replica);
+        c
+    }
+
+    /// The component for `replica` (0 if absent).
+    pub fn get(&self, replica: ReplicaId) -> u64 {
+        self.ticks.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// The causal order: `self ≤ other` iff every component is ≤.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.ticks
+            .iter()
+            .all(|(r, t)| *t <= other.get(*r))
+    }
+
+    /// Classifies the causal relationship.
+    pub fn compare(&self, other: &Self) -> Causality {
+        match (self.leq(other), other.leq(self)) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+}
+
+impl JoinSemilattice for VClock {
+    fn join(&self, other: &Self) -> Self {
+        let a: BTreeMap<ReplicaId, Max<u64>> =
+            self.ticks.iter().map(|(k, v)| (*k, Max(*v))).collect();
+        let b: BTreeMap<ReplicaId, Max<u64>> =
+            other.ticks.iter().map(|(k, v)| (*k, Max(*v))).collect();
+        VClock {
+            ticks: a.join(&b).into_iter().map(|(k, Max(v))| (k, v)).collect(),
+        }
+    }
+}
+
+impl BoundedJoinSemilattice for VClock {
+    fn bottom() -> Self {
+        VClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_runtime::semilattice::laws::check_semilattice_laws;
+
+    #[test]
+    fn ticks_advance_causality() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(0);
+        assert_eq!(a.compare(&b), Causality::Before);
+        assert_eq!(b.compare(&a), Causality::After);
+        assert_eq!(a.compare(&a), Causality::Equal);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_incomparable() {
+        let base = VClock::new();
+        let a = base.ticked(0);
+        let b = base.ticked(1);
+        assert_eq!(a.compare(&b), Causality::Concurrent);
+        // The join dominates both.
+        let j = a.join(&b);
+        assert_eq!(a.compare(&j), Causality::Before);
+        assert_eq!(b.compare(&j), Causality::Before);
+    }
+
+    #[test]
+    fn laws() {
+        let base = VClock::new();
+        let a = base.ticked(0);
+        let b = base.ticked(1).ticked(1);
+        let c = a.ticked(2);
+        check_semilattice_laws(&[base, a, b, c]).unwrap();
+    }
+
+    #[test]
+    fn missing_components_are_zero() {
+        let a = VClock::new().ticked(7);
+        assert_eq!(a.get(7), 1);
+        assert_eq!(a.get(3), 0);
+        assert!(VClock::new().leq(&a));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: CRDT convergence under arbitrary operation placements
+//! and adversarial delivery schedules — the strong eventual consistency
+//! guarantee (§6) as a proptest.
+
+use lambda_join_crdt::{Cluster, DeliveryPolicy, GCounter, GSet, MvReg, VClock};
+use lambda_join_runtime::semilattice::JoinSemilattice;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gset_clusters_converge_and_lose_nothing(
+        ops in prop::collection::vec((0usize..4, 0i64..50), 1..40),
+        seed in 1u64..10_000,
+        dup in 0u8..100,
+        drop in 0u8..80,
+    ) {
+        let policy = DeliveryPolicy { duplicate_pct: dup, drop_pct: drop, max_delay: 4 };
+        let mut cluster: Cluster<GSet<i64>> = Cluster::new(4, GSet::new(), seed, policy);
+        for (r, x) in &ops {
+            cluster.update(*r, |s| s.insert(*x));
+        }
+        cluster.run_random_gossip(30);
+        cluster.settle();
+        prop_assert!(cluster.converged());
+        // No update is ever lost (local updates always survive settle).
+        for (_, x) in &ops {
+            prop_assert!(cluster.state(0).contains(x), "lost {x}");
+        }
+    }
+
+    #[test]
+    fn gcounter_value_is_schedule_independent(
+        incs in prop::collection::vec((0u32..4, 1u64..10), 1..20),
+        seed1 in 1u64..1000,
+        seed2 in 1001u64..2000,
+    ) {
+        let run = |seed: u64| {
+            let mut cluster: Cluster<GCounter> =
+                Cluster::new(4, GCounter::new(), seed, DeliveryPolicy::default());
+            for (r, n) in &incs {
+                cluster.update(*r as usize, |c| c.increment(*r, *n));
+            }
+            cluster.run_random_gossip(30);
+            cluster.settle();
+            cluster.state(0).value()
+        };
+        let expected: u64 = incs.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(run(seed1), expected);
+        prop_assert_eq!(run(seed2), expected);
+    }
+
+    #[test]
+    fn merge_is_a_semilattice_on_random_states(
+        a in arb_gset(), b in arb_gset(), c in arb_gset(),
+    ) {
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b.join(&c)), a.join(&b).join(&c));
+    }
+
+    #[test]
+    fn vclock_join_dominates_both(ticks in prop::collection::vec(0u32..5, 0..20)) {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        for (i, r) in ticks.iter().enumerate() {
+            if i % 2 == 0 { a.tick(*r) } else { b.tick(*r) }
+        }
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn mvreg_merge_never_loses_undominated_writes(
+        writers in prop::collection::vec(0u32..4, 1..6),
+    ) {
+        // Each replica writes once concurrently; after merging, the number
+        // of siblings equals the number of distinct writers.
+        let regs: Vec<MvReg<u32>> = writers
+            .iter()
+            .map(|r| {
+                let mut m = MvReg::new();
+                m.write(*r, *r);
+                m
+            })
+            .collect();
+        let merged = regs.iter().skip(1).fold(regs[0].clone(), |acc, m| acc.join(m));
+        let mut distinct: Vec<u32> = writers.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(merged.sibling_count(), distinct.len());
+    }
+}
+
+fn arb_gset() -> impl Strategy<Value = GSet<i64>> {
+    prop::collection::btree_set(0i64..20, 0..8)
+        .prop_map(|s| s.into_iter().collect())
+}

@@ -1,0 +1,197 @@
+//! Abstract syntax for negation-free Datalog programs (§6 "Datalog").
+//!
+//! The negation-free fragment "epitomizes monotonic-by-construction program
+//! semantics": facts only accumulate, and rule application is monotone in
+//! the database — the same streaming order λ∨ generalises.
+
+use std::fmt;
+
+/// A constant: an integer or an interned string.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(n) => write!(f, "{n}"),
+            Const::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(n: i64) -> Self {
+        Const::Int(n)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Self {
+        Const::Str(s.to_string())
+    }
+}
+
+/// A term in an atom: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AtomTerm {
+    /// A variable, scoped to its rule.
+    Var(String),
+    /// A constant.
+    Const(Const),
+}
+
+/// Builds a variable term.
+pub fn var(name: &str) -> AtomTerm {
+    AtomTerm::Var(name.to_string())
+}
+
+/// Builds a constant term.
+pub fn cst(c: impl Into<Const>) -> AtomTerm {
+    AtomTerm::Const(c.into())
+}
+
+/// An atom `pred(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The predicate name.
+    pub pred: String,
+    /// The argument terms.
+    pub args: Vec<AtomTerm>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: &str, args: Vec<AtomTerm>) -> Self {
+        Atom {
+            pred: pred.to_string(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match a {
+                AtomTerm::Var(v) => write!(f, "{v}")?,
+                AtomTerm::Const(c) => write!(f, "{c}")?,
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+/// A Horn clause `head :- body1, …, bodyn` (facts have empty bodies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The premises.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Builds a rule, checking range restriction (every head variable
+    /// occurs in the body).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is not range-restricted — such rules would derive
+    /// infinitely many facts.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        for t in &head.args {
+            if let AtomTerm::Var(v) = t {
+                let bound = body.iter().any(|a| {
+                    a.args
+                        .iter()
+                        .any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
+                });
+                assert!(bound, "head variable {v} unbound in rule body");
+            }
+        }
+        Rule { head, body }
+    }
+}
+
+/// A Datalog program: a set of rules plus ground facts.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules (facts are rules with empty bodies and ground heads).
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a rule.
+    pub fn rule(&mut self, head: Atom, body: Vec<Atom>) -> &mut Self {
+        self.rules.push(Rule::new(head, body));
+        self
+    }
+
+    /// Adds a ground fact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom contains variables.
+    pub fn fact(&mut self, atom: Atom) -> &mut Self {
+        assert!(
+            atom.args
+                .iter()
+                .all(|t| matches!(t, AtomTerm::Const(_))),
+            "facts must be ground"
+        );
+        self.rules.push(Rule {
+            head: atom,
+            body: vec![],
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_atoms() {
+        let a = Atom::new("edge", vec![cst(1), var("X")]);
+        assert_eq!(a.to_string(), "edge(1, X)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn range_restriction_enforced() {
+        Rule::new(Atom::new("p", vec![var("X")]), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground")]
+    fn facts_must_be_ground() {
+        let mut p = Program::new();
+        p.fact(Atom::new("p", vec![var("X")]));
+    }
+
+    #[test]
+    fn program_builders() {
+        let mut p = Program::new();
+        p.fact(Atom::new("edge", vec![cst(0), cst(1)]));
+        p.rule(
+            Atom::new("path", vec![var("X"), var("Y")]),
+            vec![Atom::new("edge", vec![var("X"), var("Y")])],
+        );
+        assert_eq!(p.rules.len(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Bottom-up evaluation of Datalog programs: naive and seminaive.
+//!
+//! Both compute the least model (the least fixed point of the immediate-
+//! consequence operator — Datalog's instance of the paper's monotone-
+//! fixpoint story). Naive evaluation re-joins every rule against the whole
+//! database each round; seminaive joins each rule against the *delta* of
+//! the previous round, requiring at least one delta atom per rule
+//! instantiation. They agree on the least model (tested); the work gap is
+//! measured in the bench suite.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::ast::{Atom, AtomTerm, Const, Program, Rule};
+
+/// A database: for each predicate, the set of derived tuples.
+pub type Database = BTreeMap<String, BTreeSet<Vec<Const>>>;
+
+/// Evaluation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds performed.
+    pub rounds: usize,
+    /// Rule-body instantiations attempted (the work measure).
+    pub derivations: usize,
+}
+
+/// The evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Re-derive from the full database each round.
+    Naive,
+    /// Derive only from instantiations touching the last delta.
+    Seminaive,
+}
+
+/// Evaluates the program to its least model.
+pub fn eval(program: &Program, strategy: Strategy) -> (Database, EvalStats) {
+    match strategy {
+        Strategy::Naive => eval_naive(program),
+        Strategy::Seminaive => eval_seminaive(program),
+    }
+}
+
+type Bindings = HashMap<String, Const>;
+
+fn unify(pattern: &Atom, tuple: &[Const], bindings: &Bindings) -> Option<Bindings> {
+    if pattern.args.len() != tuple.len() {
+        return None;
+    }
+    let mut out = bindings.clone();
+    for (t, c) in pattern.args.iter().zip(tuple) {
+        match t {
+            AtomTerm::Const(k) => {
+                if k != c {
+                    return None;
+                }
+            }
+            AtomTerm::Var(v) => match out.get(v) {
+                Some(bound) => {
+                    if bound != c {
+                        return None;
+                    }
+                }
+                None => {
+                    out.insert(v.clone(), c.clone());
+                }
+            },
+        }
+    }
+    Some(out)
+}
+
+fn instantiate(head: &Atom, bindings: &Bindings) -> Vec<Const> {
+    head.args
+        .iter()
+        .map(|t| match t {
+            AtomTerm::Const(c) => c.clone(),
+            AtomTerm::Var(v) => bindings
+                .get(v)
+                .expect("range restriction guarantees binding")
+                .clone(),
+        })
+        .collect()
+}
+
+/// Joins the rule body against `db`, requiring (for seminaive) that the
+/// atom at `delta_at` matches within `delta` rather than `db`.
+fn fire_rule(
+    rule: &Rule,
+    db: &Database,
+    delta: Option<(&Database, usize)>,
+    stats: &mut EvalStats,
+    out: &mut Vec<(String, Vec<Const>)>,
+) {
+    fn relation<'a>(
+        db: &'a Database,
+        delta: Option<(&'a Database, usize)>,
+        idx: usize,
+        pred: &str,
+    ) -> Option<&'a BTreeSet<Vec<Const>>> {
+        match delta {
+            Some((d, at)) if at == idx => d.get(pred),
+            _ => db.get(pred),
+        }
+    }
+    fn go(
+        rule: &Rule,
+        db: &Database,
+        delta: Option<(&Database, usize)>,
+        idx: usize,
+        bindings: &Bindings,
+        stats: &mut EvalStats,
+        out: &mut Vec<(String, Vec<Const>)>,
+    ) {
+        if idx == rule.body.len() {
+            stats.derivations += 1;
+            out.push((rule.head.pred.clone(), instantiate(&rule.head, bindings)));
+            return;
+        }
+        let atom = &rule.body[idx];
+        let Some(rel) = relation(db, delta, idx, &atom.pred) else {
+            return;
+        };
+        for tuple in rel {
+            if let Some(b2) = unify(atom, tuple, bindings) {
+                go(rule, db, delta, idx + 1, &b2, stats, out);
+            }
+        }
+    }
+    go(rule, db, delta, 0, &Bindings::new(), stats, out);
+}
+
+fn eval_naive(program: &Program) -> (Database, EvalStats) {
+    let mut db = Database::new();
+    let mut stats = EvalStats::default();
+    loop {
+        stats.rounds += 1;
+        let mut new_facts = Vec::new();
+        for rule in &program.rules {
+            fire_rule(rule, &db, None, &mut stats, &mut new_facts);
+        }
+        let mut changed = false;
+        for (pred, tuple) in new_facts {
+            if db.entry(pred).or_default().insert(tuple) {
+                changed = true;
+            }
+        }
+        if !changed {
+            return (db, stats);
+        }
+    }
+}
+
+fn eval_seminaive(program: &Program) -> (Database, EvalStats) {
+    let mut db = Database::new();
+    let mut stats = EvalStats::default();
+    // Round 0: facts and rules over the empty database (facts fire).
+    let mut delta = Database::new();
+    stats.rounds += 1;
+    let mut new_facts = Vec::new();
+    for rule in &program.rules {
+        if rule.body.is_empty() {
+            fire_rule(rule, &db, None, &mut stats, &mut new_facts);
+        }
+    }
+    for (pred, tuple) in new_facts {
+        if db.entry(pred.clone()).or_default().insert(tuple.clone()) {
+            delta.entry(pred).or_default().insert(tuple);
+        }
+    }
+    // Subsequent rounds: for each rule and each body position, join with
+    // the delta at that position.
+    while !delta.is_empty() {
+        stats.rounds += 1;
+        let mut new_facts = Vec::new();
+        for rule in &program.rules {
+            for at in 0..rule.body.len() {
+                fire_rule(rule, &db, Some((&delta, at)), &mut stats, &mut new_facts);
+            }
+        }
+        let mut next_delta = Database::new();
+        for (pred, tuple) in new_facts {
+            if db.entry(pred.clone()).or_default().insert(tuple.clone()) {
+                next_delta.entry(pred).or_default().insert(tuple);
+            }
+        }
+        delta = next_delta;
+    }
+    (db, stats)
+}
+
+/// Convenience: the tuples of a predicate, or empty.
+pub fn rows<'a>(db: &'a Database, pred: &str) -> Vec<&'a Vec<Const>> {
+    db.get(pred).map(|s| s.iter().collect()).unwrap_or_default()
+}
+
+/// Builds the classic transitive-closure program over the given edges:
+/// `path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).`
+pub fn transitive_closure_program(edges: &[(i64, i64)]) -> Program {
+    use crate::ast::{cst, var};
+    let mut p = Program::new();
+    for (s, t) in edges {
+        p.fact(Atom::new("edge", vec![cst(*s), cst(*t)]));
+    }
+    p.rule(
+        Atom::new("path", vec![var("X"), var("Y")]),
+        vec![Atom::new("edge", vec![var("X"), var("Y")])],
+    );
+    p.rule(
+        Atom::new("path", vec![var("X"), var("Z")]),
+        vec![
+            Atom::new("path", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ],
+    );
+    p
+}
+
+/// The `reaches` program (§2.3) as Datalog: reachability from a start node.
+pub fn reaches_program(edges: &[(i64, i64)], start: i64) -> Program {
+    use crate::ast::{cst, var};
+    let mut p = Program::new();
+    for (s, t) in edges {
+        p.fact(Atom::new("edge", vec![cst(*s), cst(*t)]));
+    }
+    p.fact(Atom::new("reaches", vec![cst(start)]));
+    p.rule(
+        Atom::new("reaches", vec![var("Y")]),
+        vec![
+            Atom::new("reaches", vec![var("X")]),
+            Atom::new("edge", vec![var("X"), var("Y")]),
+        ],
+    );
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{cst, var};
+
+    #[test]
+    fn facts_are_derived() {
+        let mut p = Program::new();
+        p.fact(Atom::new("n", vec![cst(1)]));
+        p.fact(Atom::new("n", vec![cst(2)]));
+        let (db, _) = eval(&p, Strategy::Naive);
+        assert_eq!(rows(&db, "n").len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_on_line() {
+        let p = transitive_closure_program(&[(0, 1), (1, 2), (2, 3)]);
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        // 3 + 2 + 1 = 6 paths.
+        assert_eq!(rows(&db, "path").len(), 6);
+        assert!(db["path"].contains(&vec![Const::Int(0), Const::Int(3)]));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_cycles() {
+        for edges in [
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![(0, 1), (1, 2), (2, 3), (3, 1)],
+            vec![(0, 0)],
+            vec![],
+        ] {
+            let p = transitive_closure_program(&edges);
+            let (naive, _) = eval(&p, Strategy::Naive);
+            let (semi, _) = eval(&p, Strategy::Seminaive);
+            assert_eq!(naive, semi, "disagree on {edges:?}");
+        }
+    }
+
+    #[test]
+    fn seminaive_does_less_work() {
+        let edges: Vec<(i64, i64)> = (0..30).map(|i| (i, i + 1)).collect();
+        let p = transitive_closure_program(&edges);
+        let (_, naive_stats) = eval(&p, Strategy::Naive);
+        let (_, semi_stats) = eval(&p, Strategy::Seminaive);
+        assert!(
+            semi_stats.derivations < naive_stats.derivations,
+            "seminaive {semi_stats:?} vs naive {naive_stats:?}"
+        );
+    }
+
+    #[test]
+    fn reaches_matches_paper_example() {
+        let p = reaches_program(&[(0, 1), (1, 2), (2, 0), (2, 3)], 0);
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        let reached: Vec<i64> = db["reaches"]
+            .iter()
+            .map(|t| match &t[0] {
+                Const::Int(n) => *n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(reached, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn constants_in_rule_bodies_filter() {
+        let mut p = Program::new();
+        p.fact(Atom::new("edge", vec![cst(0), cst(1)]));
+        p.fact(Atom::new("edge", vec![cst(5), cst(6)]));
+        p.rule(
+            Atom::new("from_zero", vec![var("Y")]),
+            vec![Atom::new("edge", vec![cst(0), var("Y")])],
+        );
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        assert_eq!(rows(&db, "from_zero"), vec![&vec![Const::Int(1)]]);
+    }
+
+    #[test]
+    fn join_variables_must_agree() {
+        let mut p = Program::new();
+        p.fact(Atom::new("e", vec![cst(1), cst(2)]));
+        p.fact(Atom::new("e", vec![cst(2), cst(3)]));
+        // self_loop(X) :- e(X, X).
+        p.rule(
+            Atom::new("self_loop", vec![var("X")]),
+            vec![Atom::new("e", vec![var("X"), var("X")])],
+        );
+        let (db, _) = eval(&p, Strategy::Naive);
+        assert!(rows(&db, "self_loop").is_empty());
+    }
+
+    #[test]
+    fn string_constants_work() {
+        let mut p = Program::new();
+        p.fact(Atom::new("parent", vec![cst("homer"), cst("bart")]));
+        p.fact(Atom::new("parent", vec![cst("abe"), cst("homer")]));
+        p.rule(
+            Atom::new("ancestor", vec![var("X"), var("Y")]),
+            vec![Atom::new("parent", vec![var("X"), var("Y")])],
+        );
+        p.rule(
+            Atom::new("ancestor", vec![var("X"), var("Z")]),
+            vec![
+                Atom::new("ancestor", vec![var("X"), var("Y")]),
+                Atom::new("parent", vec![var("Y"), var("Z")]),
+            ],
+        );
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        assert!(db["ancestor"].contains(&vec![Const::from("abe"), Const::from("bart")]));
+    }
+}

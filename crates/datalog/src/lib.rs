@@ -1,0 +1,26 @@
+//! # lambda-join-datalog
+//!
+//! A negation-free Datalog engine — the logic-programming baseline that
+//! *Functional Meaning for Parallel Streaming* (PLDI 2025) positions λ∨
+//! against (§2.3, §6): monotone bottom-up inference over a growing fact
+//! database, with both naive and seminaive evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_join_datalog::eval::{eval, reaches_program, rows, Strategy};
+//!
+//! let p = reaches_program(&[(0, 1), (1, 2), (2, 0)], 0);
+//! let (db, _) = eval(&p, Strategy::Seminaive);
+//! assert_eq!(rows(&db, "reaches").len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Atom, AtomTerm, Const, Program, Rule};
+pub use eval::{eval, Database, EvalStats, Strategy};
+pub use parser::parse_program;

@@ -1,0 +1,298 @@
+//! A surface parser for Datalog programs.
+//!
+//! ```text
+//! edge(0, 1).                     -- ground fact
+//! path(X, Y) :- edge(X, Y).      -- rule
+//! path(X, Z) :- path(X, Y), edge(Y, Z).
+//! % line comments with '%' or '--'
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables (Prolog
+//! convention); lowercase identifiers and quoted strings are string
+//! constants; integer literals are integer constants.
+
+use std::fmt;
+
+use crate::ast::{Atom, AtomTerm, Const, Program};
+
+/// A Datalog parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogParseError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for DatalogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for DatalogParseError {}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns the first syntax error; also rejects non-range-restricted rules
+/// and non-ground facts (via the `ast` constructors).
+pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
+    let mut p = P { src: src.as_bytes(), pos: 0 };
+    let mut program = Program::new();
+    loop {
+        p.skip_ws();
+        if p.eof() {
+            return Ok(program);
+        }
+        let head = p.atom()?;
+        p.skip_ws();
+        if p.eat_str(":-") {
+            let mut body = vec![];
+            loop {
+                p.skip_ws();
+                body.push(p.atom()?);
+                p.skip_ws();
+                if !p.eat(b',') {
+                    break;
+                }
+            }
+            p.skip_ws();
+            p.expect(b'.')?;
+            // Range restriction is checked by Rule::new; surface errors
+            // should be Results, so pre-check here.
+            for t in &head.args {
+                if let AtomTerm::Var(v) = t {
+                    let bound = body.iter().any(|a| {
+                        a.args.iter().any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
+                    });
+                    if !bound {
+                        return Err(DatalogParseError {
+                            pos: p.pos,
+                            msg: format!("head variable {v} unbound in body"),
+                        });
+                    }
+                }
+            }
+            program.rule(head, body);
+        } else {
+            p.expect(b'.')?;
+            if head.args.iter().any(|t| matches!(t, AtomTerm::Var(_))) {
+                return Err(DatalogParseError {
+                    pos: p.pos,
+                    msg: "facts must be ground".into(),
+                });
+            }
+            program.fact(head);
+        }
+    }
+}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> u8 {
+        if self.eof() {
+            0
+        } else {
+            self.src[self.pos]
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while !self.eof() && (self.peek() as char).is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.peek() == b'%'
+                || (self.peek() == b'-' && self.src.get(self.pos + 1) == Some(&b'-'))
+            {
+                while !self.eof() && self.peek() != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == c {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), DatalogParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(DatalogParseError {
+                pos: self.pos,
+                msg: format!("expected {:?}", c as char),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DatalogParseError> {
+        let start = self.pos;
+        while !self.eof()
+            && ((self.peek() as char).is_ascii_alphanumeric() || self.peek() == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(DatalogParseError {
+                pos: start,
+                msg: "expected identifier".into(),
+            });
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    fn atom(&mut self) -> Result<Atom, DatalogParseError> {
+        let pred = self.ident()?;
+        if !(pred.chars().next().unwrap().is_ascii_lowercase()) {
+            return Err(DatalogParseError {
+                pos: self.pos,
+                msg: format!("predicate {pred} must start lowercase"),
+            });
+        }
+        self.skip_ws();
+        self.expect(b'(')?;
+        let mut args = vec![];
+        loop {
+            self.skip_ws();
+            args.push(self.term()?);
+            self.skip_ws();
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(Atom { pred, args })
+    }
+
+    fn term(&mut self) -> Result<AtomTerm, DatalogParseError> {
+        let c = self.peek() as char;
+        if c == '-' || c.is_ascii_digit() {
+            let start = self.pos;
+            if c == '-' {
+                self.pos += 1;
+            }
+            while (self.peek() as char).is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let n: i64 = text.parse().map_err(|_| DatalogParseError {
+                pos: start,
+                msg: "bad integer".into(),
+            })?;
+            return Ok(AtomTerm::Const(Const::Int(n)));
+        }
+        if c == '"' {
+            self.pos += 1;
+            let start = self.pos;
+            while !self.eof() && self.peek() != b'"' {
+                self.pos += 1;
+            }
+            if self.eof() {
+                return Err(DatalogParseError {
+                    pos: start,
+                    msg: "unterminated string".into(),
+                });
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii")
+                .to_string();
+            self.pos += 1;
+            return Ok(AtomTerm::Const(Const::Str(s)));
+        }
+        let word = self.ident()?;
+        if word.chars().next().unwrap().is_ascii_uppercase() || word.starts_with('_') {
+            Ok(AtomTerm::Var(word))
+        } else {
+            Ok(AtomTerm::Const(Const::Str(word)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, rows, Strategy};
+
+    #[test]
+    fn parses_facts_rules_comments() {
+        let src = "
+            % a graph
+            edge(0, 1).  edge(1, 2). -- trailing comment
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 4);
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        assert_eq!(rows(&db, "path").len(), 3);
+    }
+
+    #[test]
+    fn prolog_variable_convention() {
+        let src = "likes(alice, bob). knows(X, Y) :- likes(X, Y).";
+        let p = parse_program(src).unwrap();
+        let (db, _) = eval(&p, Strategy::Naive);
+        assert!(db["knows"].contains(&vec![Const::from("alice"), Const::from("bob")]));
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        assert!(parse_program("p(X).").is_err()); // non-ground fact
+        assert!(parse_program("p(X) :- q(Y).").is_err()); // unbound head var
+        assert!(parse_program("P(x).").is_err()); // uppercase predicate
+        assert!(parse_program("p(1,").is_err());
+        assert!(parse_program("p(\"abc).").is_err());
+    }
+
+    #[test]
+    fn negative_integers_and_strings() {
+        let src = "t(-3, \"hello world\").";
+        let p = parse_program(src).unwrap();
+        let (db, _) = eval(&p, Strategy::Naive);
+        assert!(db["t"].contains(&vec![Const::Int(-3), Const::Str("hello world".into())]));
+    }
+
+    #[test]
+    fn parsed_reaches_matches_builder() {
+        let src = "
+            edge(0,1). edge(1,2). edge(2,0).
+            reaches(0).
+            reaches(Y) :- reaches(X), edge(X, Y).
+        ";
+        let parsed = parse_program(src).unwrap();
+        let built = crate::eval::reaches_program(&[(0, 1), (1, 2), (2, 0)], 0);
+        let (db1, _) = eval(&parsed, Strategy::Seminaive);
+        let (db2, _) = eval(&built, Strategy::Seminaive);
+        assert_eq!(db1["reaches"], db2["reaches"]);
+    }
+}

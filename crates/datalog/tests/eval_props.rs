@@ -1,0 +1,79 @@
+//! Property tests for the Datalog engine: naive and seminaive evaluation
+//! agree on random programs; results match a reference reachability
+//! computation; seminaive never does more work.
+
+use std::collections::BTreeSet;
+
+use lambda_join_datalog::eval::{eval, reaches_program, transitive_closure_program, Strategy as DlStrategy};
+use lambda_join_datalog::Const;
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..10, 0i64..10), 0..25)
+}
+
+fn reference_reachable(edges: &[(i64, i64)], start: i64) -> BTreeSet<i64> {
+    let mut seen: BTreeSet<i64> = [start].into_iter().collect();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        for (s, t) in edges {
+            if *s == n && seen.insert(*t) {
+                stack.push(*t);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn naive_equals_seminaive_on_tc(edges in arb_edges()) {
+        let p = transitive_closure_program(&edges);
+        let (naive, _) = eval(&p, DlStrategy::Naive);
+        let (semi, _) = eval(&p, DlStrategy::Seminaive);
+        prop_assert_eq!(naive, semi);
+    }
+
+    #[test]
+    fn reaches_matches_reference(edges in arb_edges(), start in 0i64..10) {
+        let p = reaches_program(&edges, start);
+        let (db, _) = eval(&p, DlStrategy::Seminaive);
+        let got: BTreeSet<i64> = db["reaches"]
+            .iter()
+            .filter_map(|t| match &t[0] {
+                Const::Int(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(got, reference_reachable(&edges, start));
+    }
+
+    #[test]
+    fn seminaive_never_does_more_work(edges in arb_edges()) {
+        let p = transitive_closure_program(&edges);
+        let (_, naive) = eval(&p, DlStrategy::Naive);
+        let (_, semi) = eval(&p, DlStrategy::Seminaive);
+        prop_assert!(semi.derivations <= naive.derivations,
+            "seminaive {} > naive {}", semi.derivations, naive.derivations);
+    }
+
+    #[test]
+    fn tc_is_monotone_in_the_edge_set(
+        edges in arb_edges(),
+        extra in (0i64..10, 0i64..10),
+    ) {
+        // Adding an edge can only add paths — Datalog's monotonicity, the
+        // property λ∨ generalises.
+        let p1 = transitive_closure_program(&edges);
+        let mut bigger = edges.clone();
+        bigger.push(extra);
+        let p2 = transitive_closure_program(&bigger);
+        let (db1, _) = eval(&p1, DlStrategy::Seminaive);
+        let (db2, _) = eval(&p2, DlStrategy::Seminaive);
+        let paths1 = db1.get("path").cloned().unwrap_or_default();
+        let paths2 = db2.get("path").cloned().unwrap_or_default();
+        prop_assert!(paths1.is_subset(&paths2));
+    }
+}

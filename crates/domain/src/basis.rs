@@ -1,0 +1,571 @@
+//! Finitary bases (§4.5, Appendix B.1).
+//!
+//! A *finitary basis* is a countable preorder in which every non-empty
+//! finite subset with an upper bound has a least upper bound. Its ideal
+//! completion is a Scott domain whose compact elements are the principal
+//! ideals. This crate works with *finite fragments* of bases: enough to
+//! check the paper's domain-theoretic lemmas executably.
+
+use std::fmt::Debug;
+
+/// A finitary basis: a preorder with partial finite joins.
+///
+/// Implementations must satisfy (checked by [`laws::check_basis_laws`] on
+/// enumerated fragments):
+///
+/// * `leq` is reflexive and transitive;
+/// * `join(a, b)`, when defined, is a least upper bound of `{a, b}`;
+/// * `join(a, b)` is defined whenever `a` and `b` have *any* upper bound.
+pub trait FinitaryBasis {
+    /// The elements of the basis.
+    type Elem: Clone + PartialEq + Debug;
+
+    /// The preorder `a ⊑ b`.
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool;
+
+    /// The partial binary join; `None` when `{a, b}` has no upper bound.
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem>;
+
+    /// A least element, if the basis has one.
+    fn bottom(&self) -> Option<Self::Elem> {
+        None
+    }
+
+    /// Order-equivalence.
+    fn equiv(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        self.leq(a, b) && self.leq(b, a)
+    }
+
+    /// The join of a non-empty slice, if it exists.
+    fn join_all(&self, items: &[Self::Elem]) -> Option<Self::Elem> {
+        let mut it = items.iter();
+        let first = it.next()?.clone();
+        it.try_fold(first, |acc, x| self.join(&acc, x))
+    }
+}
+
+/// Executable law checking for basis implementations on a finite fragment.
+pub mod laws {
+    use super::FinitaryBasis;
+
+    /// Checks the preorder and join laws of `basis` over `fragment`,
+    /// returning a description of the first violation.
+    pub fn check_basis_laws<B: FinitaryBasis>(
+        basis: &B,
+        fragment: &[B::Elem],
+    ) -> Result<(), String> {
+        // Reflexivity.
+        for a in fragment {
+            if !basis.leq(a, a) {
+                return Err(format!("not reflexive at {a:?}"));
+            }
+        }
+        // Transitivity.
+        for a in fragment {
+            for b in fragment {
+                if !basis.leq(a, b) {
+                    continue;
+                }
+                for c in fragment {
+                    if basis.leq(b, c) && !basis.leq(a, c) {
+                        return Err(format!("not transitive: {a:?} ⊑ {b:?} ⊑ {c:?}"));
+                    }
+                }
+            }
+        }
+        // Joins are least upper bounds; joins exist when bounded.
+        for a in fragment {
+            for b in fragment {
+                match basis.join(a, b) {
+                    Some(j) => {
+                        if !basis.leq(a, &j) || !basis.leq(b, &j) {
+                            return Err(format!("join {j:?} not an upper bound of {a:?},{b:?}"));
+                        }
+                        for c in fragment {
+                            if basis.leq(a, c) && basis.leq(b, c) && !basis.leq(&j, c) {
+                                return Err(format!(
+                                    "join {j:?} of {a:?},{b:?} not least (vs {c:?})"
+                                ));
+                            }
+                        }
+                    }
+                    None => {
+                        // No join: there must be no upper bound in the
+                        // fragment (bounded completeness).
+                        for c in fragment {
+                            if basis.leq(a, c) && basis.leq(b, c) {
+                                return Err(format!(
+                                    "{a:?},{b:?} bounded by {c:?} but join undefined"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The basis of symbols under the streaming order (`I(Sym)` in the domain
+/// equation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymBasis;
+
+impl FinitaryBasis for SymBasis {
+    type Elem = lambda_join_core::Symbol;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a.leq(b)
+    }
+
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+        a.join(b)
+    }
+}
+
+/// The basis of value formulae (`VForm`, Figure 6) — the solution of the
+/// paper's domain equation (Theorem B.9).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VFormBasis;
+
+impl FinitaryBasis for VFormBasis {
+    type Elem = lambda_join_filter::VFormRef;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        lambda_join_filter::vleq(a, b)
+    }
+
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+        match lambda_join_filter::join::vjoin(a, b) {
+            lambda_join_filter::CForm::Val(v) => Some(v),
+            // ⊤ means the pair had no upper bound among value formulae.
+            _ => None,
+        }
+    }
+
+    fn bottom(&self) -> Option<Self::Elem> {
+        Some(std::rc::Rc::new(lambda_join_filter::VForm::BotV))
+    }
+}
+
+/// The basis of computation formulae (`CForm = (VForm)⊥⊤`): a bounded
+/// lattice, since `⊤` tops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CFormBasis;
+
+impl FinitaryBasis for CFormBasis {
+    type Elem = lambda_join_filter::CForm;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        lambda_join_filter::cleq(a, b)
+    }
+
+    fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+        Some(lambda_join_filter::join::cjoin(a, b))
+    }
+
+    fn bottom(&self) -> Option<Self::Elem> {
+        Some(lambda_join_filter::CForm::Bot)
+    }
+}
+
+/// Generic constructions on bases: lifting, sums, products (Appendix B.1).
+pub mod constructions {
+    use super::FinitaryBasis;
+
+    /// `B⊥` — `B` with a new least element adjoined.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Lift<B>(pub B);
+
+    /// An element of a lifted basis.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Lifted<E> {
+        /// The new least element.
+        Bottom,
+        /// An element of the underlying basis.
+        Up(E),
+    }
+
+    impl<B: FinitaryBasis> FinitaryBasis for Lift<B> {
+        type Elem = Lifted<B::Elem>;
+
+        fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+            match (a, b) {
+                (Lifted::Bottom, _) => true,
+                (_, Lifted::Bottom) => false,
+                (Lifted::Up(x), Lifted::Up(y)) => self.0.leq(x, y),
+            }
+        }
+
+        fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+            match (a, b) {
+                (Lifted::Bottom, _) => Some(b.clone()),
+                (_, Lifted::Bottom) => Some(a.clone()),
+                (Lifted::Up(x), Lifted::Up(y)) => self.0.join(x, y).map(Lifted::Up),
+            }
+        }
+
+        fn bottom(&self) -> Option<Self::Elem> {
+            Some(Lifted::Bottom)
+        }
+    }
+
+    /// `A + B` — disjoint union (elements of different summands are
+    /// incomparable).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Sum<A, B>(pub A, pub B);
+
+    /// An element of a sum basis.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Either<X, Y> {
+        /// Left summand.
+        L(X),
+        /// Right summand.
+        R(Y),
+    }
+
+    impl<A: FinitaryBasis, B: FinitaryBasis> FinitaryBasis for Sum<A, B> {
+        type Elem = Either<A::Elem, B::Elem>;
+
+        fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+            match (a, b) {
+                (Either::L(x), Either::L(y)) => self.0.leq(x, y),
+                (Either::R(x), Either::R(y)) => self.1.leq(x, y),
+                _ => false,
+            }
+        }
+
+        fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+            match (a, b) {
+                (Either::L(x), Either::L(y)) => self.0.join(x, y).map(Either::L),
+                (Either::R(x), Either::R(y)) => self.1.join(x, y).map(Either::R),
+                _ => None,
+            }
+        }
+    }
+
+    /// `A × B` — cartesian product, ordered pointwise.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Product<A, B>(pub A, pub B);
+
+    impl<A: FinitaryBasis, B: FinitaryBasis> FinitaryBasis for Product<A, B> {
+        type Elem = (A::Elem, B::Elem);
+
+        fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+            self.0.leq(&a.0, &b.0) && self.1.leq(&a.1, &b.1)
+        }
+
+        fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+            Some((self.0.join(&a.0, &b.0)?, self.1.join(&a.1, &b.1)?))
+        }
+
+        fn bottom(&self) -> Option<Self::Elem> {
+            Some((self.0.bottom()?, self.1.bottom()?))
+        }
+    }
+
+    /// `A ⋉ B` — the lexicographic product (§5.2 "Versioned Values" at the
+    /// domain level): `(a, b) ⊑ (a', b')` iff `a ⊏ a'` strictly, or
+    /// `a ≈ a'` and `b ⊑ b'`. The payload may change arbitrarily as long as
+    /// the version increases.
+    ///
+    /// Joins: a strictly newer version wins outright; equivalent versions
+    /// join payloads; *incomparable* versions join to the joined version
+    /// over `B`'s **bottom** — the genuinely least upper bound, since the
+    /// version strictly increased from both sides and therefore constrains
+    /// the payload not at all. Note the contrast with the calculus'
+    /// `lex(v1,p1) ∨ lex(v2,p2)`, which keeps `p1 ⊔ p2` (Dynamo-style
+    /// multiversioning): an *upper bound* chosen to retain information for
+    /// read-repair, deliberately not the least one. The relationship
+    /// `lub ⊑ calculus-join` is tested in this module.
+    ///
+    /// **Bounded completeness caveat:** the construction yields a finitary
+    /// basis only when the payload basis `B` has *all* binary joins (is a
+    /// lattice basis). Otherwise `(v, a)` and `(v, b)` with `a ⊔ b`
+    /// undefined are bounded above (by any strictly newer version) yet
+    /// have no least upper bound — there is no least strict successor in a
+    /// general order. This is the order-theoretic reason Dynamo-style
+    /// systems multiversion: they make the payload a set lattice. The
+    /// executable law checker below demonstrates both sides.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct LexProd<A, B>(pub A, pub B);
+
+    impl<A: FinitaryBasis, B: FinitaryBasis> LexProd<A, B> {
+        fn strictly(&self, a: &A::Elem, b: &A::Elem) -> bool {
+            self.0.leq(a, b) && !self.0.leq(b, a)
+        }
+    }
+
+    impl<A: FinitaryBasis, B: FinitaryBasis> FinitaryBasis for LexProd<A, B> {
+        type Elem = (A::Elem, B::Elem);
+
+        fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+            self.strictly(&a.0, &b.0)
+                || (self.0.equiv(&a.0, &b.0) && self.1.leq(&a.1, &b.1))
+        }
+
+        fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
+            if self.strictly(&a.0, &b.0) {
+                Some(b.clone())
+            } else if self.strictly(&b.0, &a.0) {
+                Some(a.clone())
+            } else if self.0.equiv(&a.0, &b.0) {
+                Some((a.0.clone(), self.1.join(&a.1, &b.1)?))
+            } else {
+                // Incomparable versions: the joined version is strictly
+                // above both, so the least payload is B's bottom.
+                Some((self.0.join(&a.0, &b.0)?, self.1.bottom()?))
+            }
+        }
+
+        fn bottom(&self) -> Option<Self::Elem> {
+            Some((self.0.bottom()?, self.1.bottom()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::constructions::*;
+    use super::*;
+    use lambda_join_core::Symbol;
+    use lambda_join_filter::formula::enumerate_vforms;
+
+    fn sym_fragment() -> Vec<Symbol> {
+        vec![
+            Symbol::tt(),
+            Symbol::ff(),
+            Symbol::Int(0),
+            Symbol::Int(1),
+            Symbol::Level(0),
+            Symbol::Level(1),
+            Symbol::Level(2),
+        ]
+    }
+
+    #[test]
+    fn sym_basis_laws() {
+        laws::check_basis_laws(&SymBasis, &sym_fragment()).unwrap();
+    }
+
+    #[test]
+    fn vform_basis_laws() {
+        let frag = enumerate_vforms(&[Symbol::tt(), Symbol::Level(1), Symbol::Level(2)], 2);
+        let frag: Vec<_> = frag.into_iter().take(60).collect();
+        laws::check_basis_laws(&VFormBasis, &frag).unwrap();
+    }
+
+    #[test]
+    fn cform_basis_laws() {
+        use lambda_join_filter::CForm;
+        let mut frag: Vec<CForm> = vec![CForm::Bot, CForm::Top];
+        frag.extend(
+            enumerate_vforms(&[Symbol::tt(), Symbol::Level(1)], 2)
+                .into_iter()
+                .take(30)
+                .map(CForm::Val),
+        );
+        laws::check_basis_laws(&CFormBasis, &frag).unwrap();
+    }
+
+    #[test]
+    fn lift_adds_a_bottom() {
+        let b = Lift(SymBasis);
+        let frag: Vec<_> = std::iter::once(Lifted::Bottom)
+            .chain(sym_fragment().into_iter().map(Lifted::Up))
+            .collect();
+        laws::check_basis_laws(&b, &frag).unwrap();
+        for x in &frag {
+            assert!(b.leq(&Lifted::Bottom, x));
+        }
+        assert_eq!(b.bottom(), Some(Lifted::Bottom));
+    }
+
+    #[test]
+    fn sum_summands_incomparable() {
+        let b = Sum(SymBasis, SymBasis);
+        let l = Either::L(Symbol::tt());
+        let r = Either::R(Symbol::tt());
+        assert!(!b.leq(&l, &r));
+        assert!(!b.leq(&r, &l));
+        assert_eq!(b.join(&l, &r), None);
+        let frag: Vec<_> = sym_fragment()
+            .iter()
+            .cloned()
+            .map(Either::L)
+            .chain(sym_fragment().into_iter().map(Either::R))
+            .collect();
+        laws::check_basis_laws(&b, &frag).unwrap();
+    }
+
+    #[test]
+    fn product_is_pointwise() {
+        let b = Product(SymBasis, SymBasis);
+        let frag: Vec<_> = sym_fragment()
+            .iter()
+            .flat_map(|x| sym_fragment().into_iter().map(move |y| (x.clone(), y)))
+            .collect();
+        laws::check_basis_laws(&b, &frag).unwrap();
+        assert!(b.leq(
+            &(Symbol::Level(0), Symbol::Level(1)),
+            &(Symbol::Level(1), Symbol::Level(1))
+        ));
+        assert_eq!(
+            b.join(&(Symbol::Level(0), Symbol::tt()), &(Symbol::Level(2), Symbol::tt())),
+            Some((Symbol::Level(2), Symbol::tt()))
+        );
+    }
+
+    #[test]
+    fn join_all_folds() {
+        let b = SymBasis;
+        assert_eq!(
+            b.join_all(&[Symbol::Level(1), Symbol::Level(5), Symbol::Level(3)]),
+            Some(Symbol::Level(5))
+        );
+        assert_eq!(b.join_all(&[Symbol::tt(), Symbol::ff()]), None);
+        assert_eq!(b.join_all(&[] as &[Symbol]), None);
+    }
+
+    /// A tiny powerset (vector-clock-like) basis for versions: subsets of
+    /// an 8-element universe as bitmasks; `⊑` is inclusion, join is union.
+    #[derive(Debug, Clone, Copy, Default)]
+    struct MaskBasis;
+
+    impl FinitaryBasis for MaskBasis {
+        type Elem = u8;
+
+        fn leq(&self, a: &u8, b: &u8) -> bool {
+            a & b == *a
+        }
+
+        fn join(&self, a: &u8, b: &u8) -> Option<u8> {
+            Some(a | b)
+        }
+
+        fn bottom(&self) -> Option<u8> {
+            Some(0)
+        }
+    }
+
+    /// Versions are vector-clock-like masks, payloads a level chain lifted
+    /// with ⊥ — a lattice basis, as the `LexProd` caveat requires.
+    type LexFixture = LexProd<MaskBasis, Lift<MaskBasis>>;
+
+    fn lex_fragment() -> (LexFixture, Vec<(u8, Lifted<u8>)>) {
+        let b = LexProd(MaskBasis, Lift(MaskBasis));
+        let versions = [0u8, 0b001, 0b010, 0b011, 0b100];
+        let payloads = [
+            Lifted::Bottom,
+            Lifted::Up(0b0001u8),
+            Lifted::Up(0b0010),
+            Lifted::Up(0b0011),
+        ];
+        let frag: Vec<_> = versions
+            .iter()
+            .flat_map(|v| payloads.iter().map(move |p| (*v, p.clone())))
+            .collect();
+        (b, frag)
+    }
+
+    #[test]
+    fn lexprod_basis_laws() {
+        // Full preorder + least-upper-bound laws over vector-clock versions
+        // (with genuinely incomparable elements) and a lattice payload.
+        let (b, frag) = lex_fragment();
+        laws::check_basis_laws(&b, &frag).unwrap();
+    }
+
+    #[test]
+    fn lexprod_without_a_payload_lattice_is_not_bounded_complete() {
+        // The documented caveat, demonstrated: with payloads that lack
+        // joins ('a vs 'b), two equal-version elements are bounded above by
+        // any strictly newer version, yet have no least upper bound.
+        let b = LexProd(SymBasis, Lift(SymBasis));
+        let x = (Symbol::Level(0), Lifted::Up(Symbol::name("a")));
+        let y = (Symbol::Level(0), Lifted::Up(Symbol::name("b")));
+        assert_eq!(b.join(&x, &y), None);
+        let above = (Symbol::Level(1), Lifted::Bottom);
+        assert!(b.leq(&x, &above) && b.leq(&y, &above));
+        let even_higher = (Symbol::Level(2), Lifted::Bottom);
+        assert!(b.leq(&above, &even_higher) && !b.leq(&even_higher, &above));
+    }
+
+    #[test]
+    fn lexprod_newer_version_wins() {
+        let b = LexProd(SymBasis, Lift(SymBasis));
+        let old = (Symbol::Level(1), Lifted::Up(Symbol::name("draft")));
+        let new = (Symbol::Level(2), Lifted::Up(Symbol::name("final")));
+        // The payload changed arbitrarily, yet old ⊑ new.
+        assert!(b.leq(&old, &new));
+        assert!(!b.leq(&new, &old));
+        assert_eq!(b.join(&old, &new), Some(new));
+    }
+
+    #[test]
+    fn lexprod_incomparable_versions_join_to_bottom_payload() {
+        // The *least* upper bound at incomparable versions forgets the
+        // payload: the joined version is strictly above both sides, so the
+        // lex order constrains the payload not at all.
+        let b = LexProd(Lift(SymBasis), Lift(SymBasis));
+        let a = (
+            Lifted::Up(Symbol::tt()),
+            Lifted::Up(Symbol::name("a")),
+        );
+        let c = (
+            Lifted::Up(Symbol::ff()),
+            Lifted::Up(Symbol::name("b")),
+        );
+        // tt ⊔ ff is undefined in Sym, so no version upper bound exists…
+        assert_eq!(b.join(&a, &c), None);
+        // …but with vector-clock versions the lub exists — and forgets the
+        // payload (⊥), since the version strictly grew from both sides.
+        let b2 = LexProd(MaskBasis, Lift(MaskBasis));
+        let a2 = (0b001u8, Lifted::Up(0b01u8));
+        let c2 = (0b010u8, Lifted::Up(0b10u8));
+        assert_eq!(b2.join(&a2, &c2), Some((0b011u8, Lifted::Bottom)));
+        // Equal versions join payloads instead.
+        let d2 = (0b001u8, Lifted::Bottom);
+        assert_eq!(b2.join(&a2, &d2), Some((0b001u8, Lifted::Up(0b01u8))));
+    }
+
+    #[test]
+    fn calculus_lex_join_dominates_the_domain_lub() {
+        // λ∨'s multiversioning join keeps both payloads at incomparable
+        // versions — an upper bound, deliberately *not* the least one. The
+        // domain lub is below it in the lexicographic order whenever both
+        // are defined.
+        let (b, _) = lex_fragment();
+        // Calculus-style join: componentwise at incomparable versions.
+        let calculus_join = |x: &(u8, Lifted<u8>), y: &(u8, Lifted<u8>)| {
+            let lift = Lift(MaskBasis);
+            if b.leq(x, y) {
+                Some(y.clone())
+            } else if b.leq(y, x) {
+                Some(x.clone())
+            } else {
+                Some((MaskBasis.join(&x.0, &y.0)?, lift.join(&x.1, &y.1)?))
+            }
+        };
+        let (_, frag) = lex_fragment();
+        let mut strictly_below_somewhere = false;
+        for x in &frag {
+            for y in &frag {
+                if let (Some(lub), Some(cj)) = (b.join(x, y), calculus_join(x, y)) {
+                    assert!(
+                        b.leq(&lub, &cj),
+                        "lub {lub:?} not below calculus join {cj:?} for {x:?}, {y:?}"
+                    );
+                    if !b.leq(&cj, &lub) {
+                        strictly_below_somewhere = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            strictly_below_somewhere,
+            "expected the calculus join to be strictly above the lub somewhere"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # lambda-join-domain
+//!
+//! The domain-theoretic backend of the λ∨ filter model (§4.5 and
+//! Appendix B of *Functional Meaning for Parallel Streaming*, PLDI 2025),
+//! made executable on finite fragments:
+//!
+//! * [`basis`] — finitary bases (preorders with partial finite joins),
+//!   implementations for symbols and formulae, and the lifting / sum /
+//!   product constructions;
+//! * [`ideal`] — principal ideals, ω-chains (the shape of observation
+//!   streams), and ideal-law checking;
+//! * [`powerdomain`] — the Hoare powerdomain, denotation of λ∨ sets;
+//! * [`approx_map`] — approximable mappings (Definition 4.25) with the
+//!   four-law checker and the mapping-of-a-λ∨-function construction;
+//! * [`vform_basis`] — the domain equation: executable forms of
+//!   Lemmas B.5–B.8 / Theorem B.9.
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_join_domain::basis::{FinitaryBasis, SymBasis};
+//! use lambda_join_domain::ideal::Ideal;
+//! use lambda_join_core::Symbol;
+//!
+//! let i = Ideal::principal(Symbol::Level(3));
+//! assert!(i.contains(&SymBasis, &Symbol::Level(1)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod approx_map;
+pub mod basis;
+pub mod ideal;
+pub mod powerdomain;
+pub mod vform_basis;
+
+pub use approx_map::ApproxMap;
+pub use basis::FinitaryBasis;
+pub use ideal::{Chain, Ideal};
+pub use powerdomain::HoareSet;

@@ -1,0 +1,264 @@
+//! The domain equation (Theorem B.9):
+//!
+//! ```text
+//! D ≅ (I(Sym) + D × D + P_H(D) + (D → D⊥⊤))⊥v      where D = I(VForm)
+//! ```
+//!
+//! This module makes the appendix-B development executable on finite
+//! fragments:
+//!
+//! * [`decompose`]/[`recompose`] — the component split of `VForm`
+//!   (Definition B.4, Lemma B.5), a bijection that preserves and reflects
+//!   the streaming order;
+//! * [`pair_iso_holds`] — Lemma B.6: pair formulae vs products;
+//! * [`set_iso_holds`] — Lemma B.7: set formulae vs the Hoare powerdomain;
+//! * [`fun_iso_holds`] — Lemma B.8: function formulae vs approximable
+//!   mappings.
+
+use std::rc::Rc;
+
+use lambda_join_core::Symbol;
+use lambda_join_filter::{CForm, VForm, VFormRef};
+
+use crate::approx_map::ApproxMap;
+use crate::basis::{CFormBasis, VFormBasis};
+use crate::powerdomain::HoareSet;
+
+/// A component of the decomposition of `VForm` (Definition B.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Component {
+    /// The adjoined least element `⊥v`.
+    BotV,
+    /// `Sym`.
+    Sym(Symbol),
+    /// `VForm×` — pairs.
+    Pair(VFormRef, VFormRef),
+    /// `VForm{}` — sets.
+    Set(Vec<VFormRef>),
+    /// `VForm→` — function clause joins.
+    Fun(Vec<(VFormRef, CForm)>),
+}
+
+/// Splits a value formula into its component (Lemma B.5, one direction).
+pub fn decompose(v: &VFormRef) -> Component {
+    match &**v {
+        VForm::BotV => Component::BotV,
+        VForm::Sym(s) => Component::Sym(s.clone()),
+        VForm::Pair(a, b) => Component::Pair(a.clone(), b.clone()),
+        VForm::Set(es) => Component::Set(es.clone()),
+        VForm::Fun(cs) => Component::Fun(cs.clone()),
+    }
+}
+
+/// Rebuilds a value formula from a component (Lemma B.5, the other
+/// direction).
+pub fn recompose(c: &Component) -> VFormRef {
+    match c {
+        Component::BotV => Rc::new(VForm::BotV),
+        Component::Sym(s) => Rc::new(VForm::Sym(s.clone())),
+        Component::Pair(a, b) => Rc::new(VForm::Pair(a.clone(), b.clone())),
+        Component::Set(es) => Rc::new(VForm::Set(es.clone())),
+        Component::Fun(cs) => Rc::new(VForm::Fun(cs.clone())),
+    }
+}
+
+/// The order on components as the sum-of-bases order: `⊥v` least, distinct
+/// summands incomparable, each summand with its own order.
+pub fn component_leq(a: &Component, b: &Component) -> bool {
+    use lambda_join_filter::vleq;
+    match (a, b) {
+        (Component::BotV, _) => true,
+        (_, Component::BotV) => false,
+        (Component::Sym(s1), Component::Sym(s2)) => s1.leq(s2),
+        (Component::Pair(..), Component::Pair(..))
+        | (Component::Set(_), Component::Set(_))
+        | (Component::Fun(_), Component::Fun(_)) => vleq(&recompose(a), &recompose(b)),
+        _ => false,
+    }
+}
+
+/// Lemma B.5 on a fragment: decomposition is a bijection that preserves
+/// and reflects the order.
+pub fn decomposition_iso_holds(fragment: &[VFormRef]) -> Result<(), String> {
+    use lambda_join_filter::vleq;
+    for v in fragment {
+        let rt = recompose(&decompose(v));
+        if !(vleq(v, &rt) && vleq(&rt, v)) {
+            return Err(format!("round trip broke {v}"));
+        }
+    }
+    for a in fragment {
+        for b in fragment {
+            let direct = vleq(a, b);
+            let via = component_leq(&decompose(a), &decompose(b));
+            if direct != via {
+                return Err(format!("order mismatch on {a} vs {b}: {direct} vs {via}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma B.6 on a fragment: `(τ1, τ2) ⊑ (σ1, σ2)` in `VForm×` iff
+/// `(τ1, τ2) ⊑ (σ1, σ2)` in the product order `I(VForm) × I(VForm)`.
+pub fn pair_iso_holds(fragment: &[VFormRef]) -> Result<(), String> {
+    use lambda_join_filter::vleq;
+    for a1 in fragment {
+        for a2 in fragment {
+            let pa: VFormRef = Rc::new(VForm::Pair(a1.clone(), a2.clone()));
+            for b1 in fragment {
+                for b2 in fragment {
+                    let pb: VFormRef = Rc::new(VForm::Pair(b1.clone(), b2.clone()));
+                    let formula_side = vleq(&pa, &pb);
+                    let product_side = vleq(a1, b1) && vleq(a2, b2);
+                    if formula_side != product_side {
+                        return Err(format!("pair iso fails: {pa} vs {pb}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma B.7 on a fragment: set formulae ordered as in `TApxSet` coincide
+/// with their images in the Hoare powerdomain ordered by inclusion.
+pub fn set_iso_holds(fragment: &[VFormRef], set_sizes: usize) -> Result<(), String> {
+    use lambda_join_filter::vleq;
+    let sets = subsets_upto(fragment, set_sizes);
+    for a in &sets {
+        let fa: VFormRef = Rc::new(VForm::Set(a.clone()));
+        let ha = HoareSet::from_generators(a.clone());
+        for b in &sets {
+            let fb: VFormRef = Rc::new(VForm::Set(b.clone()));
+            let hb = HoareSet::from_generators(b.clone());
+            let formula_side = vleq(&fa, &fb);
+            let power_side = ha.subset(&VFormBasis, &hb);
+            if formula_side != power_side {
+                return Err(format!("set iso fails: {fa} vs {fb}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lemma B.8 on a fragment: function formulae ordered as in `TApxFun`
+/// coincide with their clause relations ordered as approximable mappings.
+pub fn fun_iso_holds(
+    inputs: &[VFormRef],
+    outputs: &[CForm],
+    clause_count: usize,
+) -> Result<(), String> {
+    use lambda_join_filter::vleq;
+    let mut clause_sets: Vec<Vec<(VFormRef, CForm)>> = vec![vec![]];
+    for _ in 0..clause_count {
+        let mut next = clause_sets.clone();
+        for cs in &clause_sets {
+            for t in inputs {
+                for p in outputs {
+                    let mut cs2 = cs.clone();
+                    cs2.push((t.clone(), p.clone()));
+                    next.push(cs2);
+                }
+            }
+        }
+        clause_sets = next;
+    }
+    for c1 in &clause_sets {
+        let f1: VFormRef = Rc::new(VForm::Fun(c1.clone()));
+        let m1 = ApproxMap::from_pairs(c1.clone());
+        for c2 in &clause_sets {
+            let f2: VFormRef = Rc::new(VForm::Fun(c2.clone()));
+            let m2 = ApproxMap::from_pairs(c2.clone());
+            let formula_side = vleq(&f1, &f2);
+            let mapping_side = m1.leq(&VFormBasis, &CFormBasis, &m2);
+            if formula_side != mapping_side {
+                return Err(format!(
+                    "fun iso fails: {f1} vs {f2}: formula {formula_side}, mapping {mapping_side}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn subsets_upto(fragment: &[VFormRef], max: usize) -> Vec<Vec<VFormRef>> {
+    let mut out: Vec<Vec<VFormRef>> = vec![vec![]];
+    for _ in 0..max {
+        let mut next = out.clone();
+        for s in &out {
+            for v in fragment {
+                let mut s2 = s.clone();
+                s2.push(v.clone());
+                next.push(s2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_filter::formula::build::*;
+    use lambda_join_filter::formula::enumerate_vforms;
+
+    fn fragment() -> Vec<VFormRef> {
+        enumerate_vforms(&[Symbol::tt(), Symbol::Level(1), Symbol::Level(2)], 2)
+            .into_iter()
+            .take(40)
+            .collect()
+    }
+
+    #[test]
+    fn lemma_b5_decomposition() {
+        decomposition_iso_holds(&fragment()).unwrap();
+    }
+
+    #[test]
+    fn lemma_b6_pairs() {
+        let small: Vec<_> = fragment().into_iter().take(8).collect();
+        pair_iso_holds(&small).unwrap();
+    }
+
+    #[test]
+    fn lemma_b7_sets() {
+        let small: Vec<_> = vec![
+            botv_v(),
+            vsym(Symbol::Level(1)),
+            vsym(Symbol::Level(2)),
+            vsym(Symbol::tt()),
+        ];
+        set_iso_holds(&small, 2).unwrap();
+    }
+
+    #[test]
+    fn lemma_b8_functions() {
+        let inputs = vec![vsym(Symbol::Level(1)), vsym(Symbol::Level(2)), botv_v()];
+        let outputs = vec![CForm::Bot, val(vsym(Symbol::tt())), botv()];
+        fun_iso_holds(&inputs, &outputs, 2).unwrap();
+    }
+
+    #[test]
+    fn components_of_each_shape() {
+        assert_eq!(decompose(&botv_v()), Component::BotV);
+        assert!(matches!(decompose(&vint(1)), Component::Sym(_)));
+        assert!(matches!(
+            decompose(&vpair(vint(1), vint(2))),
+            Component::Pair(..)
+        ));
+        assert!(matches!(decompose(&vset(vec![])), Component::Set(_)));
+        assert!(matches!(decompose(&VForm::empty_fun()), Component::Fun(_)));
+    }
+
+    #[test]
+    fn summands_are_incomparable() {
+        let set = decompose(&vset(vec![vint(1)]));
+        let pair = decompose(&vpair(vint(1), vint(1)));
+        assert!(!component_leq(&set, &pair));
+        assert!(!component_leq(&pair, &set));
+        // Except ⊥v, which is below everything.
+        assert!(component_leq(&Component::BotV, &set));
+    }
+}

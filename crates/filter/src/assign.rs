@@ -1,0 +1,652 @@
+//! Formula assignment `Γ ⊢ e : φ` (Figure 8), decided by a goal-directed,
+//! fuel-bounded checker.
+//!
+//! The declarative system is not syntax-directed (subsumption TSub, the
+//! ⊥-rule, and the ⊤-propagation rules apply anywhere), and — being a filter
+//! model — it characterises full program behaviour, so no total decision
+//! procedure exists. [`check`] is therefore:
+//!
+//! * **sound**: every `true` answer corresponds to a real derivation. The
+//!   structural rules mirror Figure 8 with subsumption folded in by the
+//!   inversion lemmas (A.8–A.10); the evaluation steps are justified by
+//!   Subject Expansion (Lemma 4.14: formulae of a reduct are formulae of the
+//!   source) together with the substitution lemma for the β case;
+//! * **fuel-bounded**: `false` may mean "not derivable" or "needs more
+//!   fuel". Completeness caveats are confined to join goals that mix clause
+//!   sets across both sides of a `∨` at function type, and to
+//!   higher-order *arguments* whose behaviour is approximated by `⊥v`;
+//!   both are documented on [`check`].
+//!
+//! Key design points:
+//!
+//! * `λx.e : ⋁(τi → φi)` checks each clause under `Γ, x:τi` — complete
+//!   because the canonical-subset argument (see `order`) reduces TSub at
+//!   function type to clause-wise checking via weakening + directedness.
+//! * `e1 e2 : φ` evaluates both sides to values with the fuel-bounded
+//!   big-step evaluator and β-substitutes; applications of a *variable* use
+//!   the environment's function formula as an approximable mapping
+//!   (triggered clauses joined, then `φ ⊑` the join).
+
+use std::rc::Rc;
+
+use lambda_join_core::bigstep::eval_fuel;
+use lambda_join_core::term::{Term, TermRef};
+
+use crate::formula::{value_formula, CForm, VForm, VFormRef};
+use crate::join::cjoin_all;
+use crate::order::{cleq, vleq, Env};
+
+/// Decides (soundly, fuel-bounded) whether `Γ ⊢ e : φ` is derivable.
+///
+/// `fuel` bounds both the β-depth of internal evaluation and the depth of
+/// the search; it plays the role of the approximation steps in §3.2.
+///
+/// # Completeness
+///
+/// `true` answers are always backed by a derivation. `false` answers may be
+/// fuel shortage, or one of two documented gaps: joins at function type
+/// whose clauses must be split *across* the two sides with interleaved
+/// outputs, and function-typed arguments of applications of variables
+/// (approximated by `⊥v`).
+///
+/// # Examples
+///
+/// ```
+/// use lambda_join_core::parser::parse;
+/// use lambda_join_filter::formula::build::*;
+/// use lambda_join_filter::order::Env;
+/// use lambda_join_filter::assign::check;
+///
+/// let e = parse("{1} \\/ {2}").unwrap();
+/// // ⊢ {1} ∨ {2} : {1, 2}
+/// assert!(check(&Env::new(), &e, &val(vset(vec![vint(1), vint(2)])), 10));
+/// // but not : {3}
+/// assert!(!check(&Env::new(), &e, &val(vset(vec![vint(3)])), 10));
+/// ```
+pub fn check(env: &Env, e: &TermRef, phi: &CForm, fuel: usize) -> bool {
+    let mut ck = Checker {
+        steps: fuel.saturating_mul(400).saturating_add(4000),
+    };
+    ck.check(env, e, phi, fuel)
+}
+
+struct Checker {
+    /// Global work budget, a safety valve against blowup in the search.
+    steps: usize,
+}
+
+impl Checker {
+    fn spend(&mut self) -> bool {
+        if self.steps == 0 {
+            return false;
+        }
+        self.steps -= 1;
+        true
+    }
+
+    fn check(&mut self, env: &Env, e: &TermRef, phi: &CForm, fuel: usize) -> bool {
+        if !self.spend() {
+            return false;
+        }
+        // TBot: ⊥ is assignable to everything.
+        if matches!(phi, CForm::Bot) {
+            return true;
+        }
+        match &**e {
+            // TTop + downward closure: ⊤ has every formula.
+            Term::Top => true,
+            Term::Bot => false,
+            // TVar + TSub.
+            Term::Var(x) => match (env.lookup(x), phi) {
+                (Some(t), CForm::Val(v)) => vleq(v, t),
+                _ => false,
+            },
+            // TSym + TSub.
+            Term::Sym(s) => match phi {
+                CForm::Val(v) => vleq(v, &Rc::new(VForm::Sym(s.clone()))),
+                _ => false,
+            },
+            // TBotV.
+            Term::BotV => matches!(phi, CForm::Val(v) if matches!(&**v, VForm::BotV)),
+            // TFun (+ TBotV via subsumption; see module docs for
+            // completeness).
+            Term::Lam(x, body) => match phi {
+                CForm::Val(v) => match &**v {
+                    VForm::BotV => true,
+                    VForm::Fun(clauses) => clauses.iter().all(|(t, p)| {
+                        let env2 = env.extend(x, t.clone());
+                        self.check(&env2, body, p, fuel)
+                    }),
+                    _ => false,
+                },
+                _ => false,
+            },
+            // TPair with the (φ1, φ2)c lifting inverted on the goal.
+            Term::Pair(a, b) => match phi {
+                CForm::Top => {
+                    self.check(env, a, &CForm::Top, fuel)
+                        || (self.produces_value(env, a, fuel)
+                            && self.check(env, b, &CForm::Top, fuel))
+                }
+                CForm::Val(v) => {
+                    // ⊤-escape: a pair with a ⊤ component reduces to ⊤,
+                    // which has every formula by downward closure.
+                    if self.check(env, a, &CForm::Top, fuel)
+                        || (self.produces_value(env, a, fuel)
+                            && self.check(env, b, &CForm::Top, fuel))
+                    {
+                        return true;
+                    }
+                    match &**v {
+                        VForm::BotV => {
+                            self.produces_value(env, a, fuel)
+                                && self.produces_value(env, b, fuel)
+                        }
+                        VForm::Pair(t1, t2) => {
+                            self.check(env, a, &CForm::Val(t1.clone()), fuel)
+                                && self.check(env, b, &CForm::Val(t2.clone()), fuel)
+                        }
+                        _ => false,
+                    }
+                }
+                CForm::Bot => unreachable!("handled above"),
+            },
+            // TSet: each required element must come from some literal
+            // element (complete by downward closure of element formulae).
+            Term::Set(es) => match phi {
+                CForm::Top => es.iter().any(|el| self.check(env, el, &CForm::Top, fuel)),
+                CForm::Val(v) => {
+                    // ⊤-escape: a set with a ⊤ element reduces to ⊤.
+                    if es.iter().any(|el| self.check(env, el, &CForm::Top, fuel)) {
+                        return true;
+                    }
+                    match &**v {
+                        VForm::BotV => true,
+                        VForm::Set(ts) => ts.iter().all(|t| {
+                            es.iter()
+                                .any(|el| self.check(env, el, &CForm::Val(t.clone()), fuel))
+                        }),
+                        _ => false,
+                    }
+                }
+                CForm::Bot => unreachable!("handled above"),
+            },
+            // TJoin, decomposed by the shape of the goal.
+            Term::Join(a, b) => self.check_join(env, &[a.clone(), b.clone()], phi, fuel),
+            // TApp family, by evaluation + β-substitution (Subject
+            // Expansion) or by the environment's approximable mapping.
+            Term::App(f, arg) => self.check_app(env, f, arg, phi, fuel),
+            // TLetSym / TLetSymTop.
+            Term::LetSym(s, scrut, body) => {
+                let r = eval_fuel(scrut, fuel);
+                match &*r {
+                    Term::Top => true,
+                    Term::Sym(s2) if s.leq(s2) => self.check(env, body, phi, fuel),
+                    Term::Var(x) => match env.lookup(x) {
+                        Some(t) => match &**t {
+                            VForm::Sym(s2) if s.leq(s2) => self.check(env, body, phi, fuel),
+                            _ => false,
+                        },
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            // TLetPair / TLetPairTop.
+            Term::LetPair(x1, x2, scrut, body) => {
+                let r = eval_fuel(scrut, fuel);
+                match &*r {
+                    Term::Top => true,
+                    Term::Pair(v1, v2) => {
+                        let body2 = body.subst(x1, v1).subst(x2, v2);
+                        self.check(env, &body2, phi, fuel)
+                    }
+                    Term::Var(x) => match env.lookup(x) {
+                        Some(t) => match &**t {
+                            VForm::Pair(t1, t2) => {
+                                let env2 = env.extend(x1, t1.clone()).extend(x2, t2.clone());
+                                self.check(&env2, body, phi, fuel)
+                            }
+                            _ => false,
+                        },
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            // TForIn / TForInTop.
+            Term::BigJoin(x, scrut, body) => {
+                let r = eval_fuel(scrut, fuel);
+                match &*r {
+                    Term::Top => true,
+                    Term::Set(vs) => {
+                        let branches: Vec<TermRef> =
+                            vs.iter().map(|v| body.subst(x, v)).collect();
+                        self.check_join(env, &branches, phi, fuel)
+                    }
+                    Term::Var(y) => match env.lookup(y).cloned() {
+                        Some(t) => match &*t {
+                            VForm::Set(ts) => {
+                                // Bind x to each element formula; the goal
+                                // must be coverable by the branches.
+                                let envs: Vec<Env> = ts
+                                    .iter()
+                                    .map(|t| env.extend(x, t.clone()))
+                                    .collect();
+                                self.check_join_envs(
+                                    &envs
+                                        .iter()
+                                        .map(|e2| (e2.clone(), body.clone()))
+                                        .collect::<Vec<_>>(),
+                                    phi,
+                                    fuel,
+                                )
+                            }
+                            _ => false,
+                        },
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            // Primitive extension: behaves like its delta rule. The §5.2
+            // extension forms (freeze, versioned pairs) are handled the same
+            // way: evaluate and compare against the goal. Their values are
+            // under-approximated by ⊥v in `value_formula`, so the checker is
+            // sound but does not characterise extension behaviour (the
+            // formula language of Figure 6 covers the core calculus only).
+            Term::Prim(..)
+            | Term::Frz(_)
+            | Term::LetFrz(..)
+            | Term::Lex(..)
+            | Term::LexBind(..)
+            | Term::LexMerge(..) => {
+                let r = eval_fuel(e, fuel);
+                match crate::formula::result_formula(&r) {
+                    Some(rf) => cleq(phi, &rf),
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Does `e` produce *some* value? Equivalent (by downward closure) to
+    /// deriving `⊥v`.
+    fn produces_value(&mut self, env: &Env, e: &TermRef, fuel: usize) -> bool {
+        self.check(env, e, &CForm::Val(Rc::new(VForm::BotV)), fuel)
+    }
+
+    /// Checks a join of branches (all under the same environment).
+    fn check_join(&mut self, env: &Env, branches: &[TermRef], phi: &CForm, fuel: usize) -> bool {
+        let tagged: Vec<(Env, TermRef)> = branches
+            .iter()
+            .map(|b| (env.clone(), b.clone()))
+            .collect();
+        self.check_join_envs(&tagged, phi, fuel)
+    }
+
+    /// Checks `φ ⊑ ⊔i φi` where each `φi` ranges over the formulae of
+    /// branch `i` — goal-directed decomposition by the shape of `φ`.
+    fn check_join_envs(
+        &mut self,
+        branches: &[(Env, TermRef)],
+        phi: &CForm,
+        fuel: usize,
+    ) -> bool {
+        if !self.spend() {
+            return false;
+        }
+        if matches!(phi, CForm::Bot) {
+            return true;
+        }
+        // A single branch suffices whenever it derives φ itself (the other
+        // branches contribute ⊥ by totality).
+        let single = |ck: &mut Self, goal: &CForm| {
+            branches
+                .iter()
+                .any(|(env, b)| ck.check(env, b, goal, fuel))
+        };
+        match phi {
+            CForm::Top => {
+                if single(self, &CForm::Top) {
+                    return true;
+                }
+                // Ambiguity across branches: join the evaluated principal
+                // formulae and look for ⊤.
+                let evals: Vec<CForm> = branches
+                    .iter()
+                    .filter_map(|(env, b)| self.principal_formula(env, b, fuel))
+                    .collect();
+                matches!(cjoin_all(evals.iter()), CForm::Top)
+            }
+            CForm::Val(v) => match &**v {
+                VForm::BotV => single(self, phi),
+                // Symbol joins in our families always equal one operand, so
+                // single-branch checking is complete for symbols.
+                VForm::Sym(_) => single(self, phi),
+                // Set joins are unions: each required element from any
+                // branch.
+                VForm::Set(ts) => ts.iter().all(|t| {
+                    let goal = CForm::Val(Rc::new(VForm::Set(vec![t.clone()])));
+                    branches
+                        .iter()
+                        .any(|(env, b)| self.check(env, b, &goal, fuel))
+                }),
+                // Function joins are clause unions: each clause from any
+                // branch. (Incomplete for cross-branch clause mixing; see
+                // module docs.)
+                VForm::Fun(cs) => cs.iter().all(|c| {
+                    let goal = CForm::Val(Rc::new(VForm::Fun(vec![c.clone()])));
+                    branches
+                        .iter()
+                        .any(|(env, b)| self.check(env, b, &goal, fuel))
+                }),
+                // Pairs: one branch alone, or componentwise split across
+                // branches.
+                VForm::Pair(t1, t2) => {
+                    if single(self, phi) {
+                        return true;
+                    }
+                    let left = CForm::Val(Rc::new(VForm::Pair(
+                        t1.clone(),
+                        Rc::new(VForm::BotV),
+                    )));
+                    let right = CForm::Val(Rc::new(VForm::Pair(
+                        Rc::new(VForm::BotV),
+                        t2.clone(),
+                    )));
+                    single(self, &left) && single(self, &right)
+                }
+            },
+            CForm::Bot => unreachable!("handled above"),
+        }
+    }
+
+    /// The principal (evaluation-derived) formula of a branch, if the
+    /// branch evaluates to a closed result.
+    fn principal_formula(&mut self, env: &Env, e: &TermRef, fuel: usize) -> Option<CForm> {
+        let r = eval_fuel(e, fuel);
+        match crate::formula::result_formula(&r) {
+            Some(f) => Some(f),
+            None => {
+                // Open result: resolve free variables through the
+                // environment where possible.
+                value_formula_in_env(&r, env).map(CForm::Val)
+            }
+        }
+    }
+
+    fn check_app(
+        &mut self,
+        env: &Env,
+        f: &TermRef,
+        arg: &TermRef,
+        phi: &CForm,
+        fuel: usize,
+    ) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        let vf = eval_fuel(f, fuel);
+        match &*vf {
+            // TAppLTop (e1 ↦* ⊤, Subject Expansion).
+            Term::Top => return true,
+            Term::Bot => return false,
+            _ => {}
+        }
+        let va = eval_fuel(arg, fuel);
+        match (&*vf, &*va) {
+            (_, Term::Top) => true, // TAppRTop: vf is a value, so e1 : ⊥v.
+            (_, Term::Bot) => false,
+            // β: check the substituted body (sound by Subject Expansion +
+            // the substitution lemma).
+            (Term::Lam(x, body), _) => {
+                let body2 = body.subst(x, &va);
+                self.check(env, &body2, phi, fuel - 1)
+            }
+            // Application of a variable: use Γ(x) as an approximable
+            // mapping — join the outputs of the triggered clauses.
+            (Term::Var(x), _) => match env.lookup(x) {
+                Some(t) => match &**t {
+                    VForm::Fun(clauses) => {
+                        let targ = value_formula_in_env(&va, env)
+                            .unwrap_or_else(|| Rc::new(VForm::BotV));
+                        let outs: Vec<CForm> = clauses
+                            .iter()
+                            .filter(|(ti, _)| vleq(ti, &targ))
+                            .map(|(_, p)| p.clone())
+                            .collect();
+                        let out = cjoin_all(outs.iter());
+                        cleq(phi, &out)
+                    }
+                    _ => false,
+                },
+                None => false,
+            },
+            // Inspecting ⊥v or applying a non-function: stuck, only ⊥.
+            _ => false,
+        }
+    }
+}
+
+/// Like [`value_formula`](crate::formula::value_formula()), but resolves free
+/// variables through the environment. λ-abstractions still become `⊥v`.
+pub fn value_formula_in_env(v: &TermRef, env: &Env) -> Option<VFormRef> {
+    match &**v {
+        Term::Var(x) => env.lookup(x).cloned(),
+        Term::BotV | Term::Sym(_) | Term::Lam(..) => value_formula(v),
+        Term::Pair(a, b) => Some(Rc::new(VForm::Pair(
+            value_formula_in_env(a, env)?,
+            value_formula_in_env(b, env)?,
+        ))),
+        Term::Set(es) => {
+            let ts: Option<Vec<VFormRef>> =
+                es.iter().map(|e| value_formula_in_env(e, env)).collect();
+            Some(Rc::new(VForm::Set(ts?)))
+        }
+        _ => None,
+    }
+}
+
+/// Checks a closed term against a formula with the empty environment.
+pub fn check_closed(e: &TermRef, phi: &CForm, fuel: usize) -> bool {
+    check(&Env::new(), e, phi, fuel)
+}
+
+/// Returns a formula certifying convergence, if the checker can derive any
+/// non-`⊥` behaviour for `e`: the paper's premise `⊥v ⪯log e` of Adequacy.
+pub fn derives_value(e: &TermRef, fuel: usize) -> bool {
+    check_closed(e, &CForm::Val(Rc::new(VForm::BotV)), fuel)
+        || check_closed(e, &CForm::Top, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::build::*;
+    use lambda_join_core::parser::parse;
+    use lambda_join_core::symbol::Symbol;
+
+    fn chk(src: &str, phi: &CForm) -> bool {
+        let e = parse(src).unwrap();
+        check_closed(&e, phi, 30)
+    }
+
+    #[test]
+    fn bot_for_everything() {
+        for src in ["bot", "top", "1", "\\x. x", "(\\x. x x) (\\x. x x)"] {
+            assert!(chk(src, &bot()), "{src} : ⊥ failed");
+        }
+    }
+
+    #[test]
+    fn symbols_and_subsumption() {
+        assert!(chk("'a", &val(vname("a"))));
+        assert!(chk("'a", &botv()));
+        assert!(!chk("'a", &val(vname("b"))));
+        // Levels: `2 has behaviour `1 (threshold ≤).
+        assert!(chk("`2", &val(vsym(Symbol::Level(1)))));
+        assert!(!chk("`1", &val(vsym(Symbol::Level(2)))));
+    }
+
+    #[test]
+    fn top_has_all_formulae() {
+        assert!(chk("top", &top()));
+        assert!(chk("top", &val(vint(3))));
+        assert!(chk("top", &val(varrow(vint(1), top()))));
+    }
+
+    #[test]
+    fn pairs_componentwise() {
+        assert!(chk("(1, 2)", &val(vpair(vint(1), vint(2)))));
+        assert!(chk("(1, 2)", &val(vpair(botv_v(), vint(2)))));
+        assert!(chk("(1, 2)", &botv()));
+        assert!(!chk("(1, 2)", &val(vpair(vint(2), vint(2)))));
+        // ⊤ in the left component dominates.
+        assert!(chk("(top, 1)", &top()));
+        assert!(chk("(1, top)", &top()));
+        assert!(!chk("(1, 2)", &top()));
+    }
+
+    #[test]
+    fn sets_forall_exists() {
+        assert!(chk("{1, 2}", &val(vset(vec![vint(1)]))));
+        assert!(chk("{1, 2}", &val(vset(vec![vint(2), vint(1)]))));
+        assert!(chk("{1, 2}", &val(vset(vec![]))));
+        assert!(!chk("{1, 2}", &val(vset(vec![vint(3)]))));
+        assert!(chk("{}", &val(vset(vec![]))));
+        assert!(chk("{}", &botv()));
+    }
+
+    #[test]
+    fn lambdas_clausewise() {
+        // λx. x : 1 → 1
+        assert!(chk("\\x. x", &val(varrow(vint(1), val(vint(1))))));
+        // λx. x : ⊥v → ⊥v but not ⊥v → 1
+        assert!(chk("\\x. x", &val(varrow(botv_v(), botv()))));
+        assert!(!chk("\\x. x", &val(varrow(botv_v(), val(vint(1))))));
+        // Piecewise behaviour: λx. if x then 'a else 'b maps true→'a, false→'b.
+        let f = "\\x. if x then 'yes else 'no";
+        assert!(chk(
+            f,
+            &val(vfun(vec![
+                (vname("true"), val(vname("yes"))),
+                (vname("false"), val(vname("no"))),
+            ]))
+        ));
+        assert!(!chk(f, &val(varrow(vname("true"), val(vname("no"))))));
+    }
+
+    #[test]
+    fn applications_by_beta() {
+        assert!(chk("(\\x. x) 5", &val(vint(5))));
+        assert!(chk("(\\x. {x}) 5", &val(vset(vec![vint(5)]))));
+        assert!(!chk("(\\x. x) 5", &val(vint(6))));
+        // Application of ⊥v is stuck.
+        assert!(!chk("botv 1", &botv()));
+        assert!(chk("botv 1", &bot()));
+    }
+
+    #[test]
+    fn join_goals_decompose() {
+        assert!(chk("{1} \\/ {2}", &val(vset(vec![vint(1), vint(2)]))));
+        assert!(chk("1 \\/ bot", &val(vint(1))));
+        assert!(chk("bot \\/ 1", &val(vint(1))));
+        // Ambiguity error.
+        assert!(chk("1 \\/ 2", &top()));
+        assert!(!chk("1 \\/ bot", &top()));
+        // Record-style function join: clause per side.
+        let rec = "(\\x. let 'a = x in 1) \\/ (\\x. let 'b = x in 2)";
+        assert!(chk(
+            rec,
+            &val(vfun(vec![
+                (vname("a"), val(vint(1))),
+                (vname("b"), val(vint(2))),
+            ]))
+        ));
+    }
+
+    #[test]
+    fn threshold_queries() {
+        assert!(chk("let 'ok = 'ok in 1", &val(vint(1))));
+        assert!(!chk("let 'ok = 'no in 1", &val(vint(1))));
+        assert!(chk("let `1 = `2 in 'fired", &val(vname("fired"))));
+        assert!(!chk("let `2 = `1 in 'fired", &val(vname("fired"))));
+    }
+
+    #[test]
+    fn big_join_goals() {
+        assert!(chk(
+            "for x in {1, 2}. {x + 10}",
+            &val(vset(vec![vint(11), vint(12)]))
+        ));
+        assert!(!chk(
+            "for x in {1, 2}. {x + 10}",
+            &val(vset(vec![vint(13)]))
+        ));
+    }
+
+    #[test]
+    fn recursive_programs_stream_formulae() {
+        let evens = "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()";
+        assert!(chk(evens, &val(vset(vec![vint(0), vint(2), vint(4)]))));
+        assert!(!chk(evens, &val(vset(vec![vint(1)]))));
+    }
+
+    #[test]
+    fn environment_rules() {
+        // x : {1} ⊢ x ∨ {2} : {1, 2}
+        let env = Env::new().extend("x", vset(vec![vint(1)]));
+        let e = parse("x \\/ {2}").unwrap();
+        assert!(check(&env, &e, &val(vset(vec![vint(1), vint(2)])), 10));
+        // x : ('a → 1) ⊢ x 'a : 1
+        let env = Env::new().extend("x", varrow(vname("a"), val(vint(1))));
+        let e = parse("x 'a").unwrap();
+        assert!(check(&env, &e, &val(vint(1)), 10));
+        let e = parse("x 'b").unwrap();
+        assert!(!check(&env, &e, &val(vint(1)), 10));
+    }
+
+    #[test]
+    fn weakening_lemma_4_7_samples() {
+        // If Γ' ⊢ e : φ and Γ' ⊑ Γ then Γ ⊢ e : φ.
+        let g_small = Env::new().extend("x", vset(vec![vint(1)]));
+        let g_big = Env::new().extend("x", vset(vec![vint(1), vint(2)]));
+        assert!(g_small.leq(&g_big));
+        let e = parse("for y in x. {y}").unwrap();
+        let phi = val(vset(vec![vint(1)]));
+        assert!(check(&g_small, &e, &phi, 10));
+        assert!(check(&g_big, &e, &phi, 10));
+    }
+
+    #[test]
+    fn derives_value_examples() {
+        assert!(derives_value(&parse("1").unwrap(), 10));
+        assert!(derives_value(&parse("(\\x. x) (\\y. y)").unwrap(), 10));
+        assert!(!derives_value(&parse("(\\x. x x) (\\x. x x)").unwrap(), 10));
+        assert!(!derives_value(&parse("bot").unwrap(), 10));
+        assert!(derives_value(&parse("top").unwrap(), 10));
+    }
+
+    #[test]
+    fn downward_closure_lemma_4_9_samples() {
+        // Γ ⊢ e : φ' and φ ⊑ φ' imply Γ ⊢ e : φ — sample-based.
+        use crate::order::cleq;
+        let e = parse("{1, 2}").unwrap();
+        let big = val(vset(vec![vint(1), vint(2)]));
+        let small = val(vset(vec![vint(1)]));
+        assert!(cleq(&small, &big));
+        assert!(check_closed(&e, &big, 10));
+        assert!(check_closed(&e, &small, 10));
+    }
+
+    #[test]
+    fn por_formulae() {
+        // por with a diverging branch still derives 'true for the right
+        // threshold inputs — the LCF-style counterexample to sequentiality.
+        let por = "(let 'true = ((\\_. true) ()) in true) \\/ \
+                   (let 'true = ((\\x. x x) (\\x. x x)) in true)";
+        let e = parse(por).unwrap();
+        assert!(check_closed(&e, &val(vname("true")), 20));
+    }
+}

@@ -1,0 +1,227 @@
+//! Operations on formulae (Figure 7): join `φ1 ⊔ φ2`, pair lifting
+//! `(φ1, φ2)c`, and singleton lifting `{φ}c`.
+//!
+//! The join mirrors the operational `r ⊔ r'` metafunction; Lemma 4.2 (tested
+//! here and in `order.rs`) shows it is a least upper bound for the streaming
+//! order.
+
+use std::rc::Rc;
+
+use crate::formula::{CForm, VForm, VFormRef};
+
+/// The join `φ1 ⊔ φ2` of computation formulae (Figure 7).
+pub fn cjoin(a: &CForm, b: &CForm) -> CForm {
+    match (a, b) {
+        (CForm::Bot, _) => b.clone(),
+        (_, CForm::Bot) => a.clone(),
+        (CForm::Top, _) | (_, CForm::Top) => CForm::Top,
+        (CForm::Val(v1), CForm::Val(v2)) => vjoin(v1, v2),
+    }
+}
+
+/// The join of value formulae; the result may be `⊤` (ambiguity) and is
+/// therefore a computation formula.
+pub fn vjoin(a: &VFormRef, b: &VFormRef) -> CForm {
+    match (&**a, &**b) {
+        (VForm::BotV, _) => CForm::Val(b.clone()),
+        (_, VForm::BotV) => CForm::Val(a.clone()),
+        (VForm::Sym(s1), VForm::Sym(s2)) => match s1.join(s2) {
+            Some(s) => CForm::Val(Rc::new(VForm::Sym(s))),
+            None => CForm::Top,
+        },
+        (VForm::Pair(a1, b1), VForm::Pair(a2, b2)) => {
+            pair_lift(&vjoin(a1, a2), &vjoin(b1, b2))
+        }
+        (VForm::Set(e1), VForm::Set(e2)) => {
+            let mut out = e1.clone();
+            for t in e2 {
+                if !out.iter().any(|o| o == t) {
+                    out.push(t.clone());
+                }
+            }
+            CForm::Val(Rc::new(VForm::Set(out)))
+        }
+        (VForm::Fun(c1), VForm::Fun(c2)) => {
+            let mut out = c1.clone();
+            for c in c2 {
+                if !out.iter().any(|o| o == c) {
+                    out.push(c.clone());
+                }
+            }
+            CForm::Val(Rc::new(VForm::Fun(out)))
+        }
+        _ => CForm::Top,
+    }
+}
+
+/// The pair lifting `(φ1, φ2)c` (Figure 7): asymmetric, mimicking
+/// left-to-right pair evaluation.
+pub fn pair_lift(a: &CForm, b: &CForm) -> CForm {
+    match (a, b) {
+        (CForm::Top, _) => CForm::Top,
+        (CForm::Bot, _) => CForm::Bot,
+        (CForm::Val(_), CForm::Top) => CForm::Top,
+        (CForm::Val(_), CForm::Bot) => CForm::Bot,
+        (CForm::Val(v1), CForm::Val(v2)) => {
+            CForm::Val(Rc::new(VForm::Pair(v1.clone(), v2.clone())))
+        }
+    }
+}
+
+/// The singleton lifting `{φ}c` (Figure 7).
+pub fn singleton_lift(a: &CForm) -> CForm {
+    match a {
+        CForm::Top => CForm::Top,
+        CForm::Bot => CForm::Bot,
+        CForm::Val(v) => CForm::Val(Rc::new(VForm::Set(vec![v.clone()]))),
+    }
+}
+
+/// Joins a sequence of computation formulae (`⊥` if empty).
+pub fn cjoin_all<'a>(items: impl IntoIterator<Item = &'a CForm>) -> CForm {
+    items
+        .into_iter()
+        .fold(CForm::Bot, |acc, x| cjoin(&acc, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::build::*;
+    use lambda_join_core::symbol::Symbol;
+
+    #[test]
+    fn join_identity_and_absorbing() {
+        let v = val(vint(3));
+        assert_eq!(cjoin(&bot(), &v), v);
+        assert_eq!(cjoin(&v, &bot()), v);
+        assert_eq!(cjoin(&top(), &v), top());
+        assert_eq!(cjoin(&v, &top()), top());
+        assert_eq!(cjoin(&botv(), &v), v);
+        assert_eq!(cjoin(&v, &botv()), v);
+    }
+
+    #[test]
+    fn join_is_idempotent_on_samples() {
+        let samples = [
+            bot(),
+            top(),
+            botv(),
+            val(vint(1)),
+            val(vpair(vint(1), vint(2))),
+            val(vset(vec![vint(1)])),
+            val(varrow(vint(1), top())),
+        ];
+        for s in &samples {
+            assert_eq!(&cjoin(s, s), s, "join not idempotent on {s}");
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_on_samples() {
+        let samples = [
+            bot(),
+            top(),
+            botv(),
+            val(vint(1)),
+            val(vint(2)),
+            val(vsym(Symbol::Level(1))),
+            val(vsym(Symbol::Level(3))),
+            val(vpair(vint(1), botv_v())),
+            val(vset(vec![vint(1)])),
+            val(vset(vec![vint(2)])),
+        ];
+        for a in &samples {
+            for b in &samples {
+                // Set/fun joins are order-sensitive syntactically; compare up
+                // to the order by checking both inclusions.
+                let ab = cjoin(a, b);
+                let ba = cjoin(b, a);
+                assert!(
+                    crate::order::cleq(&ab, &ba) && crate::order::cleq(&ba, &ab),
+                    "join not commutative on {a}, {b}: {ab} vs {ba}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_joins() {
+        assert_eq!(
+            cjoin(&val(vsym(Symbol::Level(1))), &val(vsym(Symbol::Level(4)))),
+            val(vsym(Symbol::Level(4)))
+        );
+        assert_eq!(cjoin(&val(vint(1)), &val(vint(2))), top());
+    }
+
+    #[test]
+    fn pair_joins_pointwise_and_propagate_top() {
+        let p1 = val(vpair(vint(1), botv_v()));
+        let p2 = val(vpair(botv_v(), vint(2)));
+        assert_eq!(cjoin(&p1, &p2), val(vpair(vint(1), vint(2))));
+        let clash = val(vpair(vint(1), vint(9)));
+        let clash2 = val(vpair(vint(2), vint(9)));
+        assert_eq!(cjoin(&clash, &clash2), top());
+    }
+
+    #[test]
+    fn set_join_is_union() {
+        let s1 = val(vset(vec![vint(1), vint(2)]));
+        let s2 = val(vset(vec![vint(2), vint(3)]));
+        assert_eq!(cjoin(&s1, &s2), val(vset(vec![vint(1), vint(2), vint(3)])));
+    }
+
+    #[test]
+    fn fun_join_is_clause_union() {
+        let f1 = val(varrow(vint(1), val(vint(10))));
+        let f2 = val(varrow(vint(2), val(vint(20))));
+        let j = cjoin(&f1, &f2);
+        assert_eq!(
+            j,
+            val(vfun(vec![
+                (vint(1), val(vint(10))),
+                (vint(2), val(vint(20)))
+            ]))
+        );
+    }
+
+    #[test]
+    fn unlike_values_join_to_top() {
+        assert_eq!(cjoin(&val(vint(1)), &val(vset(vec![]))), top());
+        assert_eq!(cjoin(&val(VForm::empty_fun()), &val(vpair(vint(1), vint(1)))), top());
+    }
+
+    #[test]
+    fn liftings() {
+        assert_eq!(pair_lift(&bot(), &top()), bot());
+        assert_eq!(pair_lift(&top(), &bot()), top());
+        assert_eq!(pair_lift(&val(vint(1)), &bot()), bot());
+        assert_eq!(pair_lift(&val(vint(1)), &top()), top());
+        assert_eq!(
+            pair_lift(&val(vint(1)), &val(vint(2))),
+            val(vpair(vint(1), vint(2)))
+        );
+        assert_eq!(singleton_lift(&bot()), bot());
+        assert_eq!(singleton_lift(&top()), top());
+        assert_eq!(singleton_lift(&val(vint(1))), val(vset(vec![vint(1)])));
+    }
+
+    #[test]
+    fn size_of_joins_lemma_4_3() {
+        // |φ ⊔ ψ| ≤ max(|φ|, |ψ|)
+        let syms = [Symbol::tt(), Symbol::Int(0), Symbol::Level(1)];
+        let forms = crate::formula::enumerate_vforms(&syms, 2);
+        for a in forms.iter().take(60) {
+            for b in forms.iter().take(60) {
+                let j = vjoin(a, b);
+                assert!(
+                    j.size() <= a.size().max(b.size()),
+                    "|{a} ⊔ {b}| = {} > max({}, {})",
+                    j.size(),
+                    a.size(),
+                    b.size()
+                );
+            }
+        }
+    }
+}

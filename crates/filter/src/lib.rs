@@ -1,0 +1,43 @@
+//! # lambda-join-filter
+//!
+//! The filter-model ("logical") semantics of the λ∨ calculus (§4 of
+//! *Functional Meaning for Parallel Streaming*, PLDI 2025): a denotational
+//! semantics built from a very fine-grained type system whose formulae are
+//! the compact elements of a Scott domain.
+//!
+//! * [`formula`] — computation and value formulae (Figure 6), principal
+//!   formulae of results, bounded enumeration;
+//! * [`order`] — the streaming order `⊑` with a polynomial decision
+//!   procedure for the function case, plus environments `Γ`;
+//! * [`join`] — formula joins and the monadic liftings (Figure 7);
+//! * [`assign`] — the formula-assignment judgement `Γ ⊢ e : φ` (Figure 8)
+//!   as a sound, fuel-bounded, goal-directed checker;
+//! * [`semantics`] — meanings `⟦e⟧`, logical approximation `⪯log`, and
+//!   executable forms of Soundness, Monotonicity, and Adequacy;
+//! * [`ctx`] — bounded contextual approximation: a battery of
+//!   discriminating contexts and counterexample search (Theorem 4.18's
+//!   other face).
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_join_core::parser::parse;
+//! use lambda_join_filter::{assign::check_closed, formula::build::*};
+//!
+//! // ⊢ {1} ∨ {2} : "a set containing at least 1"
+//! let e = parse("{1} \\/ {2}").unwrap();
+//! assert!(check_closed(&e, &val(vset(vec![vint(1)])), 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ambiguity;
+pub mod assign;
+pub mod ctx;
+pub mod formula;
+pub mod join;
+pub mod order;
+pub mod semantics;
+
+pub use formula::{CForm, VForm, VFormRef};
+pub use order::{cleq, vleq, Env};

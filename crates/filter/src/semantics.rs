@@ -1,0 +1,239 @@
+//! The logical semantics: meanings `⟦e⟧`, logical approximation `⪯log`,
+//! and executable forms of the paper's main theorems (§4.3–§4.4).
+//!
+//! The meaning of a term is the ideal of all formulae assignable to it
+//! (Lemmas 4.8–4.10) — an infinite object in general. This module works with
+//! *finite fragments*: the formulae obtainable from fuel-bounded evaluation
+//! ([`meaning_fragment`]), against which the theorems become executable
+//! properties:
+//!
+//! * **Soundness** (Lemma 4.16): `e ↦* e'` implies `e' ⪯log e` — tested by
+//!   [`soundness_holds`], which reduces with random schedules and checks
+//!   every reduct formula against the source;
+//! * **Monotonicity** (Theorem 4.15): `e ⪯log e'` implies
+//!   `C[e] ⪯log C[e']` — tested by [`monotone_in_context`];
+//! * **Adequacy** (Lemma 4.17): `v ⪯log e` implies `e ⇓` — tested by
+//!   [`adequacy_holds`].
+
+use lambda_join_core::bigstep::eval_fuel;
+use lambda_join_core::machine::Machine;
+use lambda_join_core::term::{Term, TermRef};
+
+use crate::assign::{check_closed, derives_value};
+use crate::formula::{result_formula, CForm};
+
+/// The finite fragment of `⟦e⟧` observable at fuels `0..=max_fuel`
+/// (deduplicated, in order of appearance).
+///
+/// Every element is genuinely in `⟦e⟧`: the fuel evaluator's outputs are
+/// reducts of `e`, so their principal formulae are assignable to `e` by
+/// Subject Expansion.
+pub fn meaning_fragment(e: &TermRef, max_fuel: usize) -> Vec<CForm> {
+    let mut out: Vec<CForm> = Vec::new();
+    for fuel in 0..=max_fuel {
+        let r = eval_fuel(e, fuel);
+        if let Some(f) = result_formula(&r) {
+            if !out.contains(&f) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Sample-based logical approximation: does every formula in `e1`'s
+/// fragment check against `e2`?
+///
+/// `true` is evidence for `e1 ⪯log e2` on the sampled fragment; `false` is
+/// a genuine counterexample *if* the checker had enough fuel (the returned
+/// witness helps diagnose).
+pub fn logical_leq_fragment(
+    e1: &TermRef,
+    e2: &TermRef,
+    max_fuel: usize,
+    check_fuel: usize,
+) -> Result<(), CForm> {
+    for phi in meaning_fragment(e1, max_fuel) {
+        if !check_closed(e2, &phi, check_fuel) {
+            return Err(phi);
+        }
+    }
+    Ok(())
+}
+
+/// Executable Soundness (Lemma 4.16): reduce `e` for `steps` single steps
+/// under the given schedule picker and verify each reduct's fragment
+/// formulae remain assignable to the original `e`.
+///
+/// Returns `Err((step_index, formula))` on a violation.
+pub fn soundness_holds(
+    e: &TermRef,
+    steps: usize,
+    mut pick: impl FnMut(usize) -> usize,
+    frag_fuel: usize,
+    check_fuel: usize,
+) -> Result<(), (usize, CForm)> {
+    let mut m = Machine::new(e.clone());
+    for i in 0..steps {
+        if m.step_chosen(&mut pick) == lambda_join_core::machine::StepOutcome::Quiescent {
+            break;
+        }
+        let reduct = m.term().clone();
+        for phi in meaning_fragment(&reduct, frag_fuel) {
+            if !check_closed(e, &phi, check_fuel) {
+                return Err((i, phi));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executable Monotonicity (Theorem 4.15): given `e1 ⪯log e2` on the
+/// sampled fragment, checks `C[e1] ⪯log C[e2]` on the sampled fragment for
+/// the given context (a function from a term to the filled context).
+pub fn monotone_in_context(
+    e1: &TermRef,
+    e2: &TermRef,
+    context: impl Fn(TermRef) -> TermRef,
+    max_fuel: usize,
+    check_fuel: usize,
+) -> Result<(), CForm> {
+    debug_assert!(
+        logical_leq_fragment(e1, e2, max_fuel, check_fuel).is_ok(),
+        "premise e1 ⪯log e2 fails on the fragment"
+    );
+    let c1 = context(e1.clone());
+    let c2 = context(e2.clone());
+    logical_leq_fragment(&c1, &c2, max_fuel, check_fuel)
+}
+
+/// Executable Adequacy (Lemma 4.17): if the checker derives a value
+/// behaviour for `e` (`⊥v ⪯log e`), then `e` must converge — verified by
+/// running the evaluator.
+///
+/// Returns `false` only on a genuine adequacy violation; terms for which no
+/// value behaviour is derivable vacuously satisfy the property.
+pub fn adequacy_holds(e: &TermRef, check_fuel: usize, eval_fuel_budget: usize) -> bool {
+    if !derives_value(e, check_fuel) {
+        return true; // premise fails; vacuous
+    }
+    let r = eval_fuel(e, eval_fuel_budget);
+    !matches!(&*r, Term::Bot)
+}
+
+/// Convergence `e ⇓` in the bounded evaluator: some non-`⊥` result appears
+/// within the fuel budget.
+pub fn converges(e: &TermRef, fuel: usize) -> bool {
+    !matches!(&*eval_fuel(e, fuel), Term::Bot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::build as fb;
+    use lambda_join_core::builder::*;
+    use lambda_join_core::encodings;
+    use lambda_join_core::parser::parse;
+
+    fn xorshift(seed: u64) -> impl FnMut(usize) -> usize {
+        let mut s = seed.max(1);
+        move |n: usize| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % n.max(1)
+        }
+    }
+
+    #[test]
+    fn meaning_fragment_grows() {
+        let e = parse("let rec fromN n = (n :: fromN (n + 1)) \\/ botv in fromN 0").unwrap();
+        let frag = meaning_fragment(&e, 12);
+        assert!(frag.len() >= 3, "fragment too small: {frag:?}");
+        assert!(frag.contains(&fb::bot()));
+    }
+
+    #[test]
+    fn soundness_on_paper_programs() {
+        let programs = [
+            "(\\x. x \\/ {2}) {1}",
+            "if true then 'a else 'b",
+            "{1} \\/ {2} \\/ {3}",
+            "(1, (\\x. x) 2)",
+            "for x in {1, 2}. {x}",
+            "let ('cons, (h, t)) = ('cons, (5, 'nil)) in h",
+        ];
+        for (i, p) in programs.iter().enumerate() {
+            let e = parse(p).unwrap();
+            soundness_holds(&e, 20, xorshift(i as u64 + 1), 8, 25)
+                .unwrap_or_else(|(step, phi)| {
+                    panic!("soundness violated for {p} at step {step}: {phi}")
+                });
+        }
+    }
+
+    #[test]
+    fn soundness_on_evens() {
+        let e = encodings::evens();
+        soundness_holds(&e, 25, xorshift(42), 10, 40)
+            .unwrap_or_else(|(s, phi)| panic!("evens soundness at {s}: {phi}"));
+    }
+
+    #[test]
+    fn logical_leq_respects_streaming() {
+        // {1} ⪯log {1} ∨ {2}
+        let e1 = parse("{1}").unwrap();
+        let e2 = parse("{1} \\/ {2}").unwrap();
+        assert!(logical_leq_fragment(&e1, &e2, 6, 15).is_ok());
+        // but not the converse.
+        assert!(logical_leq_fragment(&e2, &e1, 6, 15).is_err());
+    }
+
+    #[test]
+    fn monotonicity_in_big_join_context() {
+        let e1 = parse("{1}").unwrap();
+        let e2 = parse("{1} \\/ {2}").unwrap();
+        let ctx = |hole: lambda_join_core::TermRef| big_join("x", hole, set(vec![add(var("x"), int(10))]));
+        monotone_in_context(&e1, &e2, ctx, 6, 20)
+            .unwrap_or_else(|phi| panic!("monotonicity violated at {phi}"));
+    }
+
+    #[test]
+    fn monotonicity_in_application_context() {
+        let e1 = parse("botv").unwrap();
+        let e2 = parse("'true").unwrap();
+        assert!(logical_leq_fragment(&e1, &e2, 4, 10).is_ok());
+        let ctx = |hole: lambda_join_core::TermRef| {
+            app(lam("b", ite(var("b"), string("yes"), string("no"))), hole)
+        };
+        monotone_in_context(&e1, &e2, ctx, 6, 20)
+            .unwrap_or_else(|phi| panic!("monotonicity violated at {phi}"));
+    }
+
+    #[test]
+    fn adequacy_on_samples() {
+        let samples = [
+            "1",
+            "bot",
+            "top",
+            "(\\x. x x) (\\x. x x)",
+            "{1} \\/ {2}",
+            "(\\x. x) 1",
+            "let 'never = 'nope in 1",
+        ];
+        for s in samples {
+            let e = parse(s).unwrap();
+            assert!(adequacy_holds(&e, 15, 30), "adequacy fails on {s}");
+        }
+    }
+
+    #[test]
+    fn convergence_examples() {
+        assert!(converges(&parse("1").unwrap(), 1));
+        assert!(converges(&parse("top").unwrap(), 1));
+        assert!(!converges(&parse("bot").unwrap(), 5));
+        assert!(!converges(&encodings::omega(), 20));
+        // fromN converges to a value-ish observation quickly.
+        assert!(converges(&app(encodings::from_n(), int(0)), 5));
+    }
+}

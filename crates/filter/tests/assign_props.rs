@@ -1,0 +1,115 @@
+//! Property tests for formula assignment: checker soundness against the
+//! evaluator on randomly generated closed terms, and downward closure /
+//! directedness of checked formula sets.
+
+use std::rc::Rc;
+
+use lambda_join_core::bigstep::eval_fuel;
+use lambda_join_core::builder as b;
+use lambda_join_core::symbol::Symbol;
+use lambda_join_core::term::TermRef;
+use lambda_join_filter::assign::check_closed;
+use lambda_join_filter::formula::{result_formula, VForm};
+use lambda_join_filter::join::cjoin;
+use lambda_join_filter::order::cleq;
+use proptest::prelude::*;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::tt()),
+        Just(Symbol::ff()),
+        (0i64..3).prop_map(Symbol::Int),
+        (0u64..3).prop_map(Symbol::Level),
+    ]
+}
+
+/// Random closed, quickly-terminating expressions.
+fn arb_expr() -> impl Strategy<Value = TermRef> {
+    let leaf = prop_oneof![
+        Just(b::bot()),
+        Just(b::botv()),
+        arb_symbol().prop_map(b::sym),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::pair(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| b::join(x, y)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
+            inner.clone().prop_map(|x| b::app(b::lam("v", b::var("v")), x)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| b::app(b::lam("v", b::join(b::var("v"), y)), x)),
+            inner
+                .clone()
+                .prop_map(|x| b::big_join("v", b::set(vec![x]), b::set(vec![b::var("v")]))),
+            (arb_symbol(), inner.clone(), inner)
+                .prop_map(|(s, x, y)| b::let_sym(s.clone(), b::join(b::sym(s), x), y)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn exhibited_formulae_always_check(e in arb_expr()) {
+        // Whatever the evaluator produces at any fuel, the checker accepts
+        // for the original term (Subject Expansion / Soundness).
+        for fuel in [0usize, 2, 5, 9] {
+            let r = eval_fuel(&e, fuel);
+            if let Some(phi) = result_formula(&r) {
+                prop_assert!(
+                    check_closed(&e, &phi, 25),
+                    "checker rejects {phi} exhibited by {e} at fuel {fuel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checked_sets_are_downward_closed(e in arb_expr()) {
+        // If φ checks and ψ ⊑ φ (for ψ in a small candidate pool), ψ checks.
+        let r = eval_fuel(&e, 8);
+        let Some(phi) = result_formula(&r) else { return Ok(()) };
+        if !check_closed(&e, &phi, 25) {
+            return Ok(());
+        }
+        let candidates = [
+            lambda_join_filter::CForm::Bot,
+            lambda_join_filter::CForm::Val(Rc::new(VForm::BotV)),
+            phi.clone(),
+        ];
+        for psi in &candidates {
+            if cleq(psi, &phi) {
+                prop_assert!(
+                    check_closed(&e, psi, 25),
+                    "downward closure: {psi} ⊑ {phi} but rejected for {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directedness_of_checked_formulae(e in arb_expr()) {
+        // Two exhibited formulae must join to a checked formula
+        // (Lemma 4.10) — exhibit at two different fuels.
+        let (r1, r2) = (eval_fuel(&e, 3), eval_fuel(&e, 9));
+        let (Some(p1), Some(p2)) = (result_formula(&r1), result_formula(&r2)) else {
+            return Ok(());
+        };
+        if check_closed(&e, &p1, 25) && check_closed(&e, &p2, 25) {
+            let j = cjoin(&p1, &p2);
+            prop_assert!(
+                check_closed(&e, &j, 30),
+                "directedness: {p1} ⊔ {p2} = {j} rejected for {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn checker_never_accepts_wrong_symbols(s1 in arb_symbol(), s2 in arb_symbol()) {
+        // ⊢ s1 : s2 iff s2 ≤ s1 — the checker is exact on symbols.
+        let e = b::sym(s1.clone());
+        let phi = lambda_join_filter::CForm::Val(Rc::new(VForm::Sym(s2.clone())));
+        prop_assert_eq!(check_closed(&e, &phi, 5), s2.leq(&s1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Contextual-approximation checks for the §5.2 extension laws, using the
+//! bounded counterexample search over the standard observer contexts.
+//!
+//! The paper's stated requirements ("Frozen Values"):
+//!
+//! * `v ⪯ctx frz v` — a value may be frozen in the future;
+//! * `v ≈ctx v'` implies `frz v ≈ctx frz v'` — freezing respects
+//!   equivalence;
+//! * `v ⪯ctx v'` must **not** imply `frz v ⪯ctx frz v'` — `frz {1}` and
+//!   `frz {1, 2}` are incomparable, like the corresponding ML sets.
+//!
+//! And for versioned values: a strictly newer version sits contextually
+//! above any older one, regardless of payload.
+
+use lambda_join_core::builder::*;
+use lambda_join_filter::ctx::{ctx_equiv_bounded, find_ctx_counterexample};
+
+const FUEL: usize = 24;
+
+#[test]
+fn value_approximates_its_freeze() {
+    // v ⪯ctx frz v for a spread of first-order values.
+    for v in [
+        int(1),
+        set(vec![int(1), int(2)]),
+        pair(int(1), name("a")),
+        set(vec![]),
+        botv(),
+    ] {
+        let frozen = frz(v.clone());
+        assert_eq!(
+            find_ctx_counterexample(&v, &frozen, FUEL),
+            None,
+            "found context separating {v} from frz {v}"
+        );
+    }
+}
+
+#[test]
+fn freeze_does_not_preserve_strict_approximation() {
+    // {1} ⪯ctx {1,2}, but frz {1} ⋠ctx frz {1,2}: the frozen-size observer
+    // separates them.
+    let small = set(vec![int(1)]);
+    let big = set(vec![int(1), int(2)]);
+    assert_eq!(find_ctx_counterexample(&small, &big, FUEL), None);
+    let w = find_ctx_counterexample(&frz(small.clone()), &frz(big.clone()), FUEL);
+    assert!(
+        w.is_some(),
+        "no context separated frz {small} from frz {big}"
+    );
+    // And neither direction holds: they are incomparable.
+    assert!(find_ctx_counterexample(&frz(big), &frz(small), FUEL).is_some());
+}
+
+#[test]
+fn freeze_respects_equivalence() {
+    // {1, 1} ≈ctx {1}, so their freezes must also be equivalent.
+    let a = set(vec![int(1), int(1)]);
+    let b = set(vec![int(1)]);
+    assert!(ctx_equiv_bounded(&a, &b, FUEL));
+    assert!(ctx_equiv_bounded(&frz(a), &frz(b), FUEL));
+}
+
+#[test]
+fn frozen_values_sit_strictly_above_their_payload() {
+    // frz v adds information (the completion promise): frz {1} ⋠ctx {1}
+    // because the thaw observer converges only on the frozen side.
+    let v = set(vec![int(1)]);
+    let w = find_ctx_counterexample(&frz(v.clone()), &v, FUEL);
+    assert!(w.is_some(), "thaw observer failed to separate frz v from v");
+}
+
+#[test]
+fn newer_versions_dominate_contextually() {
+    // lex(`1, p) ⪯ctx lex(`2, q) for arbitrary payloads p, q — even when
+    // the payload is *replaced* non-monotonically, because the version
+    // strictly grew. This requires (and checks) the two §5.2 design
+    // decisions: version thresholds make versions observable, and a silent
+    // bind body still carries the input version (else a payload threshold
+    // inside a bind would witness a retraction).
+    for (p, q) in [
+        (name("a"), name("b")),
+        (set(vec![int(1)]), set(vec![])),
+        (int(9), botv()),
+    ] {
+        let old = lex(level(1), p);
+        let new = lex(level(2), q);
+        assert_eq!(
+            find_ctx_counterexample(&old, &new, FUEL),
+            None,
+            "found context separating {old} from {new}"
+        );
+        // Strictly: the version-threshold observer `let `2 = [·] in ()`
+        // converges on the new value only.
+        assert!(
+            find_ctx_counterexample(&new, &old, FUEL).is_some(),
+            "no context witnessed {new} ⋠ {old}"
+        );
+    }
+}
+
+#[test]
+fn same_version_payloads_compare_pointwise_in_the_streaming_order() {
+    // Contextual approximation (convergence-based) is too coarse to see
+    // payloads under the same version — the monotone-bind fallback makes
+    // every bind converge — but the streaming order itself still
+    // distinguishes them, and in the right direction.
+    use lambda_join_core::observe::result_leq;
+    let small = lex(level(1), set(vec![int(1)]));
+    let big = lex(level(1), set(vec![int(1), int(2)]));
+    assert_eq!(find_ctx_counterexample(&small, &big, FUEL), None);
+    assert!(result_leq(&small, &big));
+    assert!(!result_leq(&big, &small));
+}

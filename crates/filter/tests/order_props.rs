@@ -1,0 +1,142 @@
+//! Property tests for the filter model: preorder laws (Lemmas 4.4/4.5),
+//! least-upper-bound laws (Lemma 4.2), the size-of-joins bound (Lemma 4.3),
+//! and distributivity (Lemma 4.1) over randomly generated formulae.
+
+use std::rc::Rc;
+
+use lambda_join_core::symbol::Symbol;
+use lambda_join_filter::formula::{CForm, VForm, VFormRef};
+use lambda_join_filter::join::{cjoin, vjoin};
+use lambda_join_filter::order::{cleq, vleq};
+use proptest::prelude::*;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::tt()),
+        Just(Symbol::ff()),
+        Just(Symbol::name("a")),
+        (0i64..4).prop_map(Symbol::Int),
+        (0u64..4).prop_map(Symbol::Level),
+    ]
+}
+
+fn arb_vform() -> impl Strategy<Value = VFormRef> {
+    let leaf = prop_oneof![
+        Just(Rc::new(VForm::BotV)),
+        arb_symbol().prop_map(|s| Rc::new(VForm::Sym(s))),
+        Just(VForm::empty_set()),
+        Just(VForm::empty_fun()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let cform = prop_oneof![
+            Just(CForm::Bot),
+            Just(CForm::Top),
+            inner.clone().prop_map(CForm::Val),
+        ];
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rc::new(VForm::Pair(a, b))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(|es| Rc::new(VForm::Set(es))),
+            prop::collection::vec((inner, cform), 0..3).prop_map(|cs| Rc::new(VForm::Fun(cs))),
+        ]
+    })
+}
+
+fn arb_cform() -> impl Strategy<Value = CForm> {
+    prop_oneof![
+        Just(CForm::Bot),
+        Just(CForm::Top),
+        arb_vform().prop_map(CForm::Val),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reflexivity(v in arb_vform()) {
+        prop_assert!(vleq(&v, &v));
+    }
+
+    #[test]
+    fn transitivity(a in arb_vform(), b in arb_vform(), c in arb_vform()) {
+        if vleq(&a, &b) && vleq(&b, &c) {
+            prop_assert!(vleq(&a, &c), "{a} ⊑ {b} ⊑ {c} but not {a} ⊑ {c}");
+        }
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in arb_vform(), b in arb_vform()) {
+        let j = vjoin(&a, &b);
+        prop_assert!(cleq(&CForm::Val(a.clone()), &j));
+        prop_assert!(cleq(&CForm::Val(b.clone()), &j));
+    }
+
+    #[test]
+    fn join_is_least(a in arb_vform(), b in arb_vform(), c in arb_vform()) {
+        if vleq(&a, &c) && vleq(&b, &c) {
+            let j = vjoin(&a, &b);
+            prop_assert!(cleq(&j, &CForm::Val(c.clone())),
+                "{a} ⊔ {b} = {j} not below upper bound {c}");
+        }
+    }
+
+    #[test]
+    fn join_idempotent_commutative(a in arb_cform(), b in arb_cform()) {
+        let aa = cjoin(&a, &a);
+        prop_assert!(cleq(&aa, &a) && cleq(&a, &aa), "join not idempotent on {a}");
+        let ab = cjoin(&a, &b);
+        let ba = cjoin(&b, &a);
+        prop_assert!(cleq(&ab, &ba) && cleq(&ba, &ab));
+    }
+
+    #[test]
+    fn join_associative_up_to_equiv(a in arb_cform(), b in arb_cform(), c in arb_cform()) {
+        let l = cjoin(&cjoin(&a, &b), &c);
+        let r = cjoin(&a, &cjoin(&b, &c));
+        prop_assert!(cleq(&l, &r) && cleq(&r, &l), "({a} ⊔ {b}) ⊔ {c}: {l} ≠ {r}");
+    }
+
+    #[test]
+    fn size_of_joins_lemma_4_3(a in arb_cform(), b in arb_cform()) {
+        let j = cjoin(&a, &b);
+        prop_assert!(j.size() <= a.size().max(b.size()));
+    }
+
+    #[test]
+    fn monotonicity_of_join(a in arb_cform(), a2 in arb_cform(), b in arb_cform()) {
+        // φ ⊑ φ' implies φ ⊔ ψ ⊑ φ' ⊔ ψ (Lemma 4.2 corollary).
+        if cleq(&a, &a2) {
+            prop_assert!(cleq(&cjoin(&a, &b), &cjoin(&a2, &b)));
+        }
+    }
+
+    #[test]
+    fn distributivity_lemma_4_1(t in arb_vform(), p1 in arb_cform(), p2 in arb_cform()) {
+        // τ → (φ ⊔ φ') ⊑ (τ → φ) ∨ (τ → φ')
+        let joined = cjoin(&p1, &p2);
+        let lhs = Rc::new(VForm::Fun(vec![(t.clone(), joined)]));
+        let rhs = Rc::new(VForm::Fun(vec![(t.clone(), p1), (t, p2)]));
+        prop_assert!(vleq(&lhs, &rhs));
+    }
+
+    #[test]
+    fn pair_lift_monotone(a in arb_cform(), a2 in arb_cform(), b in arb_cform(), b2 in arb_cform()) {
+        use lambda_join_filter::join::pair_lift;
+        if cleq(&a, &a2) && cleq(&b, &b2) {
+            prop_assert!(cleq(&pair_lift(&a, &b), &pair_lift(&a2, &b2)));
+        }
+    }
+
+    #[test]
+    fn singleton_lift_monotone(a in arb_cform(), b in arb_cform()) {
+        use lambda_join_filter::join::singleton_lift;
+        if cleq(&a, &b) {
+            prop_assert!(cleq(&singleton_lift(&a), &singleton_lift(&b)));
+        }
+    }
+
+    #[test]
+    fn botv_least_value(v in arb_vform()) {
+        prop_assert!(vleq(&Rc::new(VForm::BotV), &v));
+    }
+}

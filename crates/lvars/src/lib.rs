@@ -1,0 +1,28 @@
+//! # lambda-join-lvars
+//!
+//! An LVars substrate (Kuper & Newton 2013) — the deterministic-parallelism
+//! system §6 of *Functional Meaning for Parallel Streaming* positions λ∨
+//! against, rebuilt as a Rust library:
+//!
+//! * [`lvar`] — lattice variables with monotone `put`, blocking threshold
+//!   `get` (λ∨'s `let s = e in e'` as an API), and LVish-style
+//!   freeze-after-write;
+//! * [`reachability`] — the flagship parallel-BFS example, deterministic
+//!   across thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_join_lvars::LVar;
+//!
+//! let flag: LVar<bool> = LVar::new(false);
+//! flag.put(&true).unwrap();
+//! assert_eq!(flag.get(&[true]), true);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lvar;
+pub mod reachability;
+
+pub use lvar::{FrozenError, LVar};

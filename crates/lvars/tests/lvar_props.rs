@@ -1,0 +1,63 @@
+//! Property tests for LVars: determinism of racing puts under arbitrary
+//! value assignments, threshold-read consistency, and freeze semantics.
+
+use std::collections::BTreeSet;
+
+use lambda_join_lvars::LVar;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn racing_puts_always_join_to_the_same_state(
+        writes in prop::collection::vec(prop::collection::btree_set(0i64..40, 0..5), 1..10),
+    ) {
+        let expected: BTreeSet<i64> =
+            writes.iter().flat_map(|s| s.iter().cloned()).collect();
+        for _ in 0..3 {
+            let lv: LVar<BTreeSet<i64>> = LVar::new(BTreeSet::new());
+            std::thread::scope(|sc| {
+                for w in &writes {
+                    let lv = lv.clone();
+                    sc.spawn(move || {
+                        lv.put(w).unwrap();
+                    });
+                }
+            });
+            prop_assert_eq!(lv.peek(), expected.clone());
+        }
+    }
+
+    #[test]
+    fn threshold_reads_return_the_threshold(
+        state in prop::collection::btree_set(0i64..20, 1..8),
+        probe in 0i64..20,
+    ) {
+        let lv = LVar::new(state.clone());
+        let threshold: BTreeSet<i64> = [probe].into_iter().collect();
+        let got = lv.try_get(std::slice::from_ref(&threshold));
+        if state.contains(&probe) {
+            prop_assert_eq!(got, Some(threshold));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn freeze_rejects_growth_allows_repeats(
+        initial in prop::collection::btree_set(0i64..10, 0..5),
+        extra in 10i64..20,
+    ) {
+        let lv = LVar::new(initial.clone());
+        let frozen = lv.freeze();
+        prop_assert_eq!(&frozen, &initial);
+        // Re-putting any subset succeeds.
+        prop_assert!(lv.put(&initial).is_ok());
+        // Any genuinely new element fails.
+        let grow: BTreeSet<i64> = [extra].into_iter().collect();
+        prop_assert!(lv.put(&grow).is_err());
+        // And the state is unchanged.
+        prop_assert_eq!(lv.peek(), initial);
+    }
+}

@@ -1,0 +1,604 @@
+//! A closure-based (environment-passing) evaluator for λ∨.
+//!
+//! The core crate's big-step evaluator substitutes terms — faithful to the
+//! paper's reduction rules, but quadratic-ish in practice. A production
+//! implementation uses environments and closures; the subtlety λ∨ adds is
+//! that *closures must support join*: `(λx.e)∨(λx.e')` is a value, so a
+//! semantic function value is a **join of closures**, applied by applying
+//! every component and joining the results (the approximable-mapping view
+//! of §4.5, operationalised).
+//!
+//! [`eval_closure`] agrees with
+//! [`lambda_join_core::bigstep::eval_fuel`] on first-order results
+//! (property-tested); the bench suite measures the speedup.
+
+use std::rc::Rc;
+
+use lambda_join_core::builder;
+use lambda_join_core::symbol::Symbol;
+use lambda_join_core::term::{Prim, Term, TermRef, Var};
+
+/// A semantic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CVal {
+    /// `⊥` — nothing (yet).
+    Bot,
+    /// `⊤` — ambiguity error.
+    Top,
+    /// `⊥v`.
+    BotV,
+    /// A symbol.
+    Sym(Symbol),
+    /// A pair.
+    Pair(Rc<CVal>, Rc<CVal>),
+    /// A set of values.
+    Set(Vec<Rc<CVal>>),
+    /// A join of closures `(env, x, body)` — the function values.
+    Clos(Vec<(Env, Var, TermRef)>),
+    /// A frozen value (§5.2 extension): discretely ordered.
+    Frz(Rc<CVal>),
+    /// A lexicographic versioned pair (§5.2 extension).
+    Lex(Rc<CVal>, Rc<CVal>),
+}
+
+/// A persistent environment (shared-tail linked list).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug, PartialEq)]
+struct EnvNode {
+    name: Var,
+    value: Rc<CVal>,
+    rest: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Env(None)
+    }
+
+    /// Extends with a binding.
+    pub fn extend(&self, name: Var, value: Rc<CVal>) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            name,
+            value,
+            rest: self.clone(),
+        })))
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, name: &str) -> Option<Rc<CVal>> {
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            if &*node.name == name {
+                return Some(node.value.clone());
+            }
+            cur = &node.rest.0;
+        }
+        None
+    }
+}
+
+fn is_err(v: &CVal) -> bool {
+    matches!(v, CVal::Bot | CVal::Top)
+}
+
+/// Sees through a frozen wrapper: monotone eliminations are
+/// freeze-transparent (mirrors `reduce::thaw` at the semantic-value level).
+fn thaw(v: &Rc<CVal>) -> &CVal {
+    match &**v {
+        CVal::Frz(p) => p,
+        other => other,
+    }
+}
+
+/// Joins two semantic values (the `r ⊔ r'` metafunction on `CVal`).
+pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
+    match (&**a, &**b) {
+        (CVal::Bot, _) => b.clone(),
+        (_, CVal::Bot) => a.clone(),
+        (CVal::Top, _) | (_, CVal::Top) => Rc::new(CVal::Top),
+        (CVal::BotV, _) => b.clone(),
+        (_, CVal::BotV) => a.clone(),
+        (CVal::Sym(s1), CVal::Sym(s2)) => match s1.join(s2) {
+            Some(s) => Rc::new(CVal::Sym(s)),
+            None => Rc::new(CVal::Top),
+        },
+        (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => {
+            let l = cval_join(a1, a2);
+            if is_err(&l) {
+                return match &*l {
+                    CVal::Top => Rc::new(CVal::Top),
+                    _ => Rc::new(CVal::Bot),
+                };
+            }
+            let r = cval_join(b1, b2);
+            if is_err(&r) {
+                return match &*r {
+                    CVal::Top => Rc::new(CVal::Top),
+                    _ => Rc::new(CVal::Bot),
+                };
+            }
+            Rc::new(CVal::Pair(l, r))
+        }
+        (CVal::Set(x), CVal::Set(y)) => {
+            let mut out = x.clone();
+            for v in y {
+                if !out.iter().any(|o| o == v) {
+                    out.push(v.clone());
+                }
+            }
+            Rc::new(CVal::Set(out))
+        }
+        (CVal::Clos(x), CVal::Clos(y)) => {
+            let mut out = x.clone();
+            for c in y {
+                if !out.iter().any(|o| o == c) {
+                    out.push(c.clone());
+                }
+            }
+            Rc::new(CVal::Clos(out))
+        }
+        // Frozen values: absorb anything at or below the payload; everything
+        // else is a freeze violation (mirrors `join_results` in core).
+        (CVal::Frz(x), CVal::Frz(y)) => {
+            if cval_leq(x, y) && cval_leq(y, x) {
+                a.clone()
+            } else {
+                Rc::new(CVal::Top)
+            }
+        }
+        (CVal::Frz(x), _) => {
+            if cval_leq(b, x) {
+                a.clone()
+            } else {
+                Rc::new(CVal::Top)
+            }
+        }
+        (_, CVal::Frz(y)) => {
+            if cval_leq(a, y) {
+                b.clone()
+            } else {
+                Rc::new(CVal::Top)
+            }
+        }
+        // Versioned pairs join lexicographically (mirrors `join_results`).
+        (CVal::Lex(a1, b1), CVal::Lex(a2, b2)) => {
+            match (cval_leq(a1, a2), cval_leq(a2, a1)) {
+                (true, false) => b.clone(),
+                (false, true) => a.clone(),
+                (true, true) => lex_cval(a1.clone(), cval_join(b1, b2)),
+                (false, false) => lex_cval(cval_join(a1, a2), cval_join(b1, b2)),
+            }
+        }
+        _ => Rc::new(CVal::Top),
+    }
+}
+
+fn lex_cval(a: Rc<CVal>, b: Rc<CVal>) -> Rc<CVal> {
+    match (&*a, &*b) {
+        (CVal::Bot, _) | (_, CVal::Bot) => Rc::new(CVal::Bot),
+        (CVal::Top, _) | (_, CVal::Top) => Rc::new(CVal::Top),
+        _ => Rc::new(CVal::Lex(a, b)),
+    }
+}
+
+/// The streaming order on semantic values, mirroring
+/// [`lambda_join_core::observe::result_leq`]; closures compare by equality.
+pub fn cval_leq(a: &Rc<CVal>, b: &Rc<CVal>) -> bool {
+    match (&**a, &**b) {
+        (CVal::Bot, _) => true,
+        (_, CVal::Top) => true,
+        (CVal::Top, _) | (_, CVal::Bot) => false,
+        (CVal::BotV, _) => true,
+        (_, CVal::BotV) => false,
+        (CVal::Sym(s1), CVal::Sym(s2)) => s1.leq(s2),
+        (CVal::Frz(x), CVal::Frz(y)) => cval_leq(x, y) && cval_leq(y, x),
+        (CVal::Frz(_), _) => false,
+        (_, CVal::Frz(y)) => cval_leq(a, y),
+        (CVal::Lex(a1, b1), CVal::Lex(a2, b2)) => {
+            cval_leq(a1, a2) && (!cval_leq(a2, a1) || cval_leq(b1, b2))
+        }
+        (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => cval_leq(a1, a2) && cval_leq(b1, b2),
+        (CVal::Set(xs), CVal::Set(ys)) => {
+            xs.iter().all(|x| ys.iter().any(|y| cval_leq(x, y)))
+        }
+        (CVal::Clos(_), CVal::Clos(_)) => a == b,
+        _ => false,
+    }
+}
+
+/// Evaluates a closed term with the environment machine.
+pub fn eval_closure(e: &TermRef, fuel: usize) -> Rc<CVal> {
+    let mut exhausted = false;
+    eval(&Env::new(), e, fuel, &mut exhausted)
+}
+
+fn eval(env: &Env, e: &TermRef, depth: usize, ex: &mut bool) -> Rc<CVal> {
+    match &**e {
+        Term::Bot => Rc::new(CVal::Bot),
+        Term::Top => Rc::new(CVal::Top),
+        Term::BotV => Rc::new(CVal::BotV),
+        Term::Sym(s) => Rc::new(CVal::Sym(s.clone())),
+        Term::Var(x) => env.lookup(x).unwrap_or(Rc::new(CVal::Bot)),
+        Term::Lam(x, body) => Rc::new(CVal::Clos(vec![(env.clone(), x.clone(), body.clone())])),
+        Term::Pair(a, b) => {
+            let va = eval(env, a, depth, ex);
+            if is_err(&va) {
+                return va;
+            }
+            let vb = eval(env, b, depth, ex);
+            if is_err(&vb) {
+                return vb;
+            }
+            Rc::new(CVal::Pair(va, vb))
+        }
+        Term::Set(es) => {
+            let mut out: Vec<Rc<CVal>> = Vec::new();
+            for el in es {
+                let v = eval(env, el, depth, ex);
+                match &*v {
+                    CVal::Top => return v,
+                    CVal::Bot => {}
+                    _ => {
+                        if !out.iter().any(|o| o == &v) {
+                            out.push(v);
+                        }
+                    }
+                }
+            }
+            Rc::new(CVal::Set(out))
+        }
+        Term::Join(a, b) => {
+            let va = eval(env, a, depth, ex);
+            let vb = eval(env, b, depth, ex);
+            cval_join(&va, &vb)
+        }
+        Term::App(f, a) => {
+            let vf = eval(env, f, depth, ex);
+            if is_err(&vf) {
+                return vf;
+            }
+            let va = eval(env, a, depth, ex);
+            if is_err(&va) {
+                return va;
+            }
+            apply(&vf, &va, depth, ex)
+        }
+        Term::LetPair(x1, x2, scrut, body) => {
+            let v = eval(env, scrut, depth, ex);
+            match thaw(&v) {
+                CVal::Top => Rc::new(CVal::Top),
+                CVal::Pair(a, b) => {
+                    let env2 = env.extend(x1.clone(), a.clone()).extend(x2.clone(), b.clone());
+                    eval(&env2, body, depth, ex)
+                }
+                _ => Rc::new(CVal::Bot),
+            }
+        }
+        Term::LetSym(s, scrut, body) => {
+            let v = eval(env, scrut, depth, ex);
+            match thaw(&v) {
+                CVal::Top => Rc::new(CVal::Top),
+                CVal::Sym(s2) if s.leq(s2) => eval(env, body, depth, ex),
+                // Version threshold (§5.2).
+                CVal::Lex(ver, _)
+                    if cval_leq(&Rc::new(CVal::Sym(s.clone())), ver) =>
+                {
+                    eval(env, body, depth, ex)
+                }
+                _ => Rc::new(CVal::Bot),
+            }
+        }
+        Term::BigJoin(x, scrut, body) => {
+            let v = eval(env, scrut, depth, ex);
+            match thaw(&v) {
+                CVal::Top => Rc::new(CVal::Top),
+                CVal::Set(vs) => {
+                    let mut acc = Rc::new(CVal::Bot);
+                    for el in vs {
+                        let env2 = env.extend(x.clone(), el.clone());
+                        let r = eval(&env2, body, depth, ex);
+                        acc = cval_join(&acc, &r);
+                        if matches!(&*acc, CVal::Top) {
+                            return acc;
+                        }
+                    }
+                    acc
+                }
+                _ => Rc::new(CVal::Bot),
+            }
+        }
+        Term::Prim(op, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                let v = eval(env, a, depth, ex);
+                match &*v {
+                    CVal::Bot => return Rc::new(CVal::Bot),
+                    CVal::Top => return Rc::new(CVal::Top),
+                    _ => vals.push(v),
+                }
+            }
+            if vals.iter().any(|v| matches!(&**v, CVal::BotV)) {
+                return Rc::new(CVal::BotV);
+            }
+            delta_cval(*op, &vals)
+        }
+        Term::Frz(inner) => {
+            // Freeze seals only complete payloads (see bigstep::eval).
+            let saved = *ex;
+            *ex = false;
+            let v = eval(env, inner, depth, ex);
+            let complete = !*ex;
+            *ex |= saved;
+            if !complete {
+                return Rc::new(CVal::Bot);
+            }
+            match &*v {
+                CVal::Bot | CVal::Top => v,
+                _ => Rc::new(CVal::Frz(v)),
+            }
+        }
+        Term::LetFrz(x, scrut, body) => {
+            let v = eval(env, scrut, depth, ex);
+            match &*v {
+                CVal::Top => v,
+                CVal::Frz(payload) => {
+                    let env2 = env.extend(x.clone(), payload.clone());
+                    eval(&env2, body, depth, ex)
+                }
+                _ => Rc::new(CVal::Bot),
+            }
+        }
+        Term::Lex(a, b) => {
+            let va = eval(env, a, depth, ex);
+            if is_err(&va) {
+                return va;
+            }
+            let vb = eval(env, b, depth, ex);
+            if is_err(&vb) {
+                return vb;
+            }
+            Rc::new(CVal::Lex(va, vb))
+        }
+        Term::LexBind(x, scrut, body) => {
+            let v = eval(env, scrut, depth, ex);
+            match thaw(&v) {
+                CVal::Top | CVal::Bot | CVal::BotV => v.clone(),
+                CVal::Lex(v1, v1p) => {
+                    let env2 = env.extend(x.clone(), v1p.clone());
+                    let r = eval(&env2, body, depth, ex);
+                    merge_version_cval(v1, &r)
+                }
+                _ => Rc::new(CVal::Top),
+            }
+        }
+        Term::LexMerge(v1e, comp) => {
+            let v1 = eval(env, v1e, depth, ex);
+            if is_err(&v1) {
+                return v1;
+            }
+            let r = eval(env, comp, depth, ex);
+            merge_version_cval(&v1, &r)
+        }
+    }
+}
+
+/// Folds an accumulated version into the result of a versioned bind
+/// (mirrors `bigstep::merge_version`).
+fn merge_version_cval(v1: &Rc<CVal>, r: &Rc<CVal>) -> Rc<CVal> {
+    match &**r {
+        CVal::Lex(v2, v2p) => lex_cval(cval_join(v1, v2), v2p.clone()),
+        // Silent bodies keep the input version (monotonicity; see core).
+        CVal::Bot | CVal::BotV => lex_cval(v1.clone(), Rc::new(CVal::BotV)),
+        CVal::Top => r.clone(),
+        _ => Rc::new(CVal::Top),
+    }
+}
+
+/// Delta rules on semantic values (mirrors `reduce::delta`).
+fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
+    let boolean =
+        |b: bool| Rc::new(CVal::Sym(if b { Symbol::tt() } else { Symbol::ff() }));
+    let as_int = |v: &Rc<CVal>| match thaw(v) {
+        CVal::Sym(s) => s.as_int(),
+        _ => None,
+    };
+    match op {
+        Prim::Add | Prim::Sub | Prim::Mul | Prim::Le | Prim::Lt => {
+            match (as_int(&vals[0]), as_int(&vals[1])) {
+                (Some(a), Some(b)) => match op {
+                    Prim::Add => Rc::new(CVal::Sym(Symbol::Int(a.wrapping_add(b)))),
+                    Prim::Sub => Rc::new(CVal::Sym(Symbol::Int(a.wrapping_sub(b)))),
+                    Prim::Mul => Rc::new(CVal::Sym(Symbol::Int(a.wrapping_mul(b)))),
+                    Prim::Le => boolean(a <= b),
+                    Prim::Lt => boolean(a < b),
+                    _ => unreachable!(),
+                },
+                _ => Rc::new(CVal::Top),
+            }
+        }
+        Prim::Eq => match (thaw(&vals[0]), thaw(&vals[1])) {
+            (CVal::Sym(a), CVal::Sym(b)) => boolean(a == b),
+            _ => Rc::new(CVal::Top),
+        },
+        // Unfrozen operands block (wait for the freeze); see core::reduce.
+        Prim::Member => match (&*vals[0], &*vals[1]) {
+            (CVal::Frz(x), CVal::Frz(s)) => match &**s {
+                CVal::Set(es) => {
+                    boolean(es.iter().any(|e| cval_leq(e, x) && cval_leq(x, e)))
+                }
+                _ => Rc::new(CVal::Top),
+            },
+            _ => Rc::new(CVal::Bot),
+        },
+        Prim::Diff => match (&*vals[0], &*vals[1]) {
+            (CVal::Frz(s1), CVal::Frz(s2)) => match (&**s1, &**s2) {
+                (CVal::Set(es1), CVal::Set(es2)) => Rc::new(CVal::Set(
+                    es1.iter()
+                        .filter(|e| {
+                            !es2.iter().any(|o| cval_leq(o, e) && cval_leq(e, o))
+                        })
+                        .cloned()
+                        .collect(),
+                )),
+                _ => Rc::new(CVal::Top),
+            },
+            _ => Rc::new(CVal::Bot),
+        },
+        Prim::SetSize => match &*vals[0] {
+            CVal::Frz(s) => match &**s {
+                CVal::Set(es) => {
+                    let mut distinct: Vec<&Rc<CVal>> = Vec::new();
+                    for e in es {
+                        if !distinct.iter().any(|o| o == &e) {
+                            distinct.push(e);
+                        }
+                    }
+                    Rc::new(CVal::Sym(Symbol::Int(distinct.len() as i64)))
+                }
+                _ => Rc::new(CVal::Top),
+            },
+            _ => Rc::new(CVal::Bot),
+        },
+    }
+}
+
+fn apply(vf: &Rc<CVal>, va: &Rc<CVal>, depth: usize, ex: &mut bool) -> Rc<CVal> {
+    match thaw(vf) {
+        CVal::Clos(cs) => {
+            if depth == 0 {
+                *ex = true;
+                return Rc::new(CVal::Bot);
+            }
+            let mut acc = Rc::new(CVal::Bot);
+            for (env, x, body) in cs {
+                let env2 = env.extend(x.clone(), va.clone());
+                let r = eval(&env2, body, depth - 1, ex);
+                acc = cval_join(&acc, &r);
+            }
+            acc
+        }
+        CVal::BotV => Rc::new(CVal::Bot),
+        _ => Rc::new(CVal::Bot),
+    }
+}
+
+/// Reads a semantic value back into a result term. Closures are read back
+/// as `⊥v` (their behaviour is not syntactically representable without
+/// substituting the environment); first-order values are exact.
+pub fn readback(v: &CVal) -> TermRef {
+    match v {
+        CVal::Bot => builder::bot(),
+        CVal::Top => builder::top(),
+        CVal::BotV | CVal::Clos(_) => builder::botv(),
+        CVal::Sym(s) => builder::sym(s.clone()),
+        CVal::Pair(a, b) => builder::pair(readback(a), readback(b)),
+        CVal::Set(es) => builder::set(es.iter().map(|e| readback(e)).collect()),
+        CVal::Frz(v) => builder::frz(readback(v)),
+        CVal::Lex(a, b) => builder::lex(readback(a), readback(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_core::bigstep::eval_fuel;
+    use lambda_join_core::builder::*;
+    use lambda_join_core::encodings::{self, Graph};
+    use lambda_join_core::observe::{result_equiv, result_leq};
+    use lambda_join_core::parser::parse;
+
+    fn agree(src: &str, fuel: usize) {
+        let e = parse(src).unwrap();
+        let fast = readback(&eval_closure(&e, fuel));
+        let slow = eval_fuel(&e, fuel);
+        // Closures read back as ⊥v, so compare only when first-order.
+        let first_order = !format!("{slow}").contains('\\');
+        if first_order {
+            assert!(
+                result_equiv(&fast, &slow),
+                "{src} at fuel {fuel}: closure {fast} vs subst {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_substitution_evaluator() {
+        for fuel in [0usize, 3, 10, 30] {
+            for src in [
+                "(\\x. x) 5",
+                "{1} \\/ {2}",
+                "if true then 'a else 'b",
+                "let (a, b) = (1, 2) in {a, b}",
+                "for x in {1, 2}. {x * x}",
+                "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
+                "1 + 2 * 3",
+                "(1, 2 \\/ bot)",
+                "let `1 = `2 in \"go\"",
+                // §5.2 extensions: freeze/thaw, frozen queries, versioned
+                // pairs and bind.
+                "frz {1, 2}",
+                "let frz x = frz (1 + 2) in x * 2",
+                "member(frz 1, frz {1, 2})",
+                "diff(frz {1, 2, 3}, frz {2})",
+                "size(frz {1, 2, 1})",
+                "lex(`1, 5)",
+                "lex(`1, {1}) \\/ lex(`2, {2})",
+                "bind x <- lex(`1, 10) in lex(`2, x + 1)",
+                "bind x <- lex(`2, 7) in lex(`1, x)",
+                "frz {1} \\/ {2}",
+                "lex(`1, 'a) \\/ lex(`1, 'b)",
+            ] {
+                agree(src, fuel);
+            }
+        }
+    }
+
+    #[test]
+    fn joined_closures_apply_pointwise() {
+        // ((λx. let 'a = x in 1) ∨ (λx. let 'b = x in 2)) 'a = 1
+        let e = parse("((\\x. let 'a = x in 1) \\/ (\\x. let 'b = x in 2)) 'a").unwrap();
+        let r = readback(&eval_closure(&e, 10));
+        assert!(r.alpha_eq(&int(1)));
+        let e = parse("((\\x. let 'a = x in 1) \\/ (\\x. let 'b = x in 2)) 'b").unwrap();
+        assert!(readback(&eval_closure(&e, 10)).alpha_eq(&int(2)));
+    }
+
+    #[test]
+    fn reaches_is_correct_and_monotone() {
+        let g = Graph::cycle(5);
+        let t = encodings::reaches(&g, 0);
+        let mut prev = readback(&eval_closure(&t, 0));
+        for fuel in (0..120).step_by(10) {
+            let cur = readback(&eval_closure(&t, fuel));
+            assert!(result_leq(&prev, &cur), "not monotone at fuel {fuel}");
+            prev = cur;
+        }
+        let expect = set(g.reachable(0).into_iter().map(int).collect());
+        assert!(result_equiv(&prev, &expect), "got {prev}");
+    }
+
+    #[test]
+    fn environment_shadowing() {
+        let e = parse("let x = 1 in let x = 2 in x").unwrap();
+        assert!(readback(&eval_closure(&e, 10)).alpha_eq(&int(2)));
+    }
+
+    #[test]
+    fn closures_capture_their_environment() {
+        let e = parse("let y = 7 in let f = \\x. x + y in let y = 100 in f 1").unwrap();
+        assert!(readback(&eval_closure(&e, 10)).alpha_eq(&int(8)));
+    }
+
+    #[test]
+    fn two_phase_commit_fixed_point() {
+        let system = encodings::two_phase_commit();
+        let v = eval_closure(&system, 16);
+        // The state is a closure join; project `res` by application.
+        let mut ex = false;
+        let res = apply(&v, &Rc::new(CVal::Sym(Symbol::name("res"))), 8, &mut ex);
+        assert_eq!(readback(&res).to_string(), "\"accepted\"");
+    }
+}

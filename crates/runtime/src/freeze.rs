@@ -1,0 +1,226 @@
+//! Frozen values (§5.2 "Frozen Values").
+//!
+//! Monotonicity forbids asking "is `x` absent?" — the answer could be
+//! invalidated by later input. But once a producer *freezes* a value,
+//! promising no further growth, such questions become safe. The paper
+//! proposes `frz v` with the laws:
+//!
+//! * `v ⪯ frz v` (a value may be frozen in the future);
+//! * `v ≈ v'` implies `frz v ≈ frz v'` (freezing respects equivalence);
+//! * but `v ⪯ v'` must **not** imply `frz v ⪯ frz v'` — frozen values are
+//!   discretely ordered, like ML sets.
+//!
+//! [`Freeze<T>`] implements exactly this order: `Thawed(v)` grows as `T`
+//! does, `Frozen(v)` sits above every `Thawed(u)` with `u ≤ v`, and two
+//! distinct frozen values conflict (join `Top`) — the runtime counterpart
+//! of LVish's quasi-determinism: a put-after-freeze race is an error, not
+//! a wrong answer.
+
+use crate::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
+
+/// A freezable wrapper around a semilattice.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Freeze<T> {
+    /// Still growing: ordered as `T`.
+    Thawed(T),
+    /// Sealed at exactly this value; no further growth is consistent.
+    Frozen(T),
+    /// A freeze/grow or freeze/freeze conflict (the ⊤ of this domain).
+    Conflict,
+}
+
+impl<T: JoinSemilattice + PartialEq> Freeze<T> {
+    /// Freezes the current value.
+    pub fn freeze(self) -> Freeze<T> {
+        match self {
+            Freeze::Thawed(v) | Freeze::Frozen(v) => Freeze::Frozen(v),
+            Freeze::Conflict => Freeze::Conflict,
+        }
+    }
+
+    /// Whether the value is sealed.
+    pub fn is_frozen(&self) -> bool {
+        matches!(self, Freeze::Frozen(_) | Freeze::Conflict)
+    }
+
+    /// The payload, if consistent.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Freeze::Thawed(v) | Freeze::Frozen(v) => Some(v),
+            Freeze::Conflict => None,
+        }
+    }
+
+    /// The streaming order on freezable values (see module docs).
+    pub fn freeze_leq(&self, other: &Freeze<T>) -> bool {
+        match (self, other) {
+            (_, Freeze::Conflict) => true,
+            (Freeze::Conflict, _) => false,
+            (Freeze::Thawed(a), Freeze::Thawed(b)) => a.leq(b),
+            // A thawed value is below a frozen one iff it is below the
+            // sealed content (it "may be frozen in the future").
+            (Freeze::Thawed(a), Freeze::Frozen(b)) => a.leq(b),
+            (Freeze::Frozen(_), Freeze::Thawed(_)) => false,
+            // Distinct frozen values are incomparable (discrete order).
+            (Freeze::Frozen(a), Freeze::Frozen(b)) => a == b || (a.leq(b) && b.leq(a)),
+        }
+    }
+}
+
+impl<T: JoinSemilattice + PartialEq> JoinSemilattice for Freeze<T> {
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Freeze::Conflict, _) | (_, Freeze::Conflict) => Freeze::Conflict,
+            (Freeze::Thawed(a), Freeze::Thawed(b)) => Freeze::Thawed(a.join(b)),
+            (Freeze::Thawed(a), Freeze::Frozen(b)) | (Freeze::Frozen(b), Freeze::Thawed(a)) => {
+                // Joining growth into a frozen value is consistent only if
+                // the growth is already below the seal.
+                if a.leq(b) {
+                    Freeze::Frozen(b.clone())
+                } else {
+                    Freeze::Conflict
+                }
+            }
+            (Freeze::Frozen(a), Freeze::Frozen(b)) => {
+                if a == b || (a.leq(b) && b.leq(a)) {
+                    Freeze::Frozen(a.clone())
+                } else {
+                    Freeze::Conflict
+                }
+            }
+        }
+    }
+}
+
+impl<T: BoundedJoinSemilattice + PartialEq> BoundedJoinSemilattice for Freeze<T> {
+    fn bottom() -> Self {
+        Freeze::Thawed(T::bottom())
+    }
+}
+
+/// Non-monotone queries, made safe by freezing: these take a [`Freeze`]
+/// and answer only when frozen (returning `None` on thawed input keeps the
+/// *whole query* monotone: `None` is its ⊥).
+pub mod queries {
+    use super::Freeze;
+    use std::collections::BTreeSet;
+
+    /// Exact membership test — safe only on frozen sets.
+    pub fn member<T: Ord + Clone>(f: &Freeze<BTreeSet<T>>, x: &T) -> Option<bool> {
+        match f {
+            Freeze::Frozen(s) => Some(s.contains(x)),
+            _ => None,
+        }
+    }
+
+    /// Set difference — the operation §5.2 calls out as impossible on
+    /// streaming sets; safe once *the subtrahend* is frozen.
+    pub fn difference<T: Ord + Clone>(
+        a: &BTreeSet<T>,
+        b: &Freeze<BTreeSet<T>>,
+    ) -> Option<BTreeSet<T>> {
+        match b {
+            Freeze::Frozen(s) => Some(a.difference(s).cloned().collect()),
+            _ => None,
+        }
+    }
+
+    /// Exact cardinality — safe only on frozen sets.
+    pub fn cardinality<T: Ord + Clone>(f: &Freeze<BTreeSet<T>>) -> Option<usize> {
+        match f {
+            Freeze::Frozen(s) => Some(s.len()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queries::*;
+    use super::*;
+    use crate::semilattice::laws::check_semilattice_laws;
+    use std::collections::BTreeSet;
+
+    fn s(xs: &[i64]) -> BTreeSet<i64> {
+        xs.iter().cloned().collect()
+    }
+
+    #[test]
+    fn laws() {
+        let sample: Vec<Freeze<BTreeSet<i64>>> = vec![
+            Freeze::Thawed(s(&[])),
+            Freeze::Thawed(s(&[1])),
+            Freeze::Thawed(s(&[1, 2])),
+            Freeze::Frozen(s(&[1])),
+            Freeze::Frozen(s(&[1, 2])),
+            Freeze::Conflict,
+        ];
+        check_semilattice_laws(&sample).unwrap();
+    }
+
+    #[test]
+    fn value_below_its_freeze() {
+        // v ⪯ frz v.
+        let v = Freeze::Thawed(s(&[1, 2]));
+        let fv = v.clone().freeze();
+        assert!(v.freeze_leq(&fv));
+        assert!(!fv.freeze_leq(&v));
+    }
+
+    #[test]
+    fn frozen_values_are_discrete() {
+        // v ⪯ v' must NOT imply frz v ⪯ frz v'.
+        let small = Freeze::Thawed(s(&[1]));
+        let big = Freeze::Thawed(s(&[1, 2]));
+        assert!(small.freeze_leq(&big));
+        let fs = small.freeze();
+        let fb = big.freeze();
+        assert!(!fs.freeze_leq(&fb), "frz{{1}} must be incomparable to frz{{1,2}}");
+        assert!(!fb.freeze_leq(&fs));
+        // And their join is the conflict error.
+        assert_eq!(fs.join(&fb), Freeze::Conflict);
+    }
+
+    #[test]
+    fn late_growth_conflicts() {
+        // A put-after-freeze race becomes ⊤, not a wrong answer.
+        let frozen = Freeze::Frozen(s(&[1]));
+        let late = Freeze::Thawed(s(&[2]));
+        assert_eq!(frozen.join(&late), Freeze::Conflict);
+        // Growth already under the seal is fine.
+        let early = Freeze::Thawed(s(&[1]));
+        assert_eq!(frozen.join(&early), Freeze::Frozen(s(&[1])));
+    }
+
+    #[test]
+    fn queries_answer_only_when_frozen() {
+        let thawed = Freeze::Thawed(s(&[1, 2]));
+        assert_eq!(member(&thawed, &3), None); // "don't know yet" — monotone
+        let frozen = thawed.freeze();
+        assert_eq!(member(&frozen, &3), Some(false));
+        assert_eq!(member(&frozen, &1), Some(true));
+        assert_eq!(cardinality(&frozen), Some(2));
+        assert_eq!(difference(&s(&[1, 2, 3]), &frozen), Some(s(&[3])));
+        assert_eq!(difference(&s(&[1]), &Freeze::Thawed(s(&[]))), None);
+    }
+
+    #[test]
+    fn queries_are_monotone_in_the_freeze_order() {
+        // As the input grows in the Freeze order, the Option answer only
+        // goes None → Some (never changes a Some).
+        let stages = [
+            Freeze::Thawed(s(&[])),
+            Freeze::Thawed(s(&[1])),
+            Freeze::Thawed(s(&[1, 2])),
+            Freeze::Frozen(s(&[1, 2])),
+        ];
+        for w in stages.windows(2) {
+            assert!(w[0].freeze_leq(&w[1]));
+        }
+        let answers: Vec<_> = stages.iter().map(|f| member(f, &9)).collect();
+        let first_some = answers.iter().position(|a| a.is_some());
+        if let Some(i) = first_some {
+            assert!(answers[i..].iter().all(|a| *a == answers[i]));
+        }
+    }
+}

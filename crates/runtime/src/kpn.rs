@@ -1,0 +1,274 @@
+//! Kahn process networks (Kahn 1974) — the ancestor of λ∨'s streaming
+//! semantics (§6 "Dataflow, Stream Processing…").
+//!
+//! A KPN is a directed graph whose edges are FIFO streams and whose nodes
+//! are *continuous* stream functions; Kahn's theorem gives determinism for
+//! exactly the reason λ∨ is deterministic (monotone maps over a domain of
+//! prefixes). This module implements finite-prefix KPNs to make the paper's
+//! comparison concrete:
+//!
+//! * streams are growing prefixes of token sequences (the prefix order is a
+//!   semilattice only in the directed sense — two incomparable prefixes
+//!   have no join, which is why KPN processes must read deterministically);
+//! * [`Network::run`] executes by chaotic iteration until quiescence,
+//!   deterministic for any node firing order (tested);
+//! * λ∨ strictly generalises this: a KPN cannot express parallel-or
+//!   (demonstrated in the tests), while λ∨ can (§2.3).
+
+use std::collections::BTreeMap;
+
+/// A channel identifier.
+pub type ChanId = usize;
+
+/// A process: reads prefixes of its input channels, appends to its output
+/// channels. To preserve Kahn semantics it must be a *monotone, prefix-
+/// deterministic* function: given longer inputs it may only extend its
+/// previous outputs.
+pub trait Process<T> {
+    /// Given the full current input prefixes and the number of tokens this
+    /// process has already emitted per output, returns new tokens to append
+    /// to each output channel.
+    fn fire(
+        &mut self,
+        inputs: &BTreeMap<ChanId, Vec<T>>,
+        emitted: &BTreeMap<ChanId, usize>,
+    ) -> BTreeMap<ChanId, Vec<T>>;
+
+    /// The input channels this process reads.
+    fn reads(&self) -> Vec<ChanId>;
+
+    /// The output channels this process writes.
+    fn writes(&self) -> Vec<ChanId>;
+}
+
+/// A stateless map process: one input, one output, one token at a time.
+pub struct MapProcess<T, F: Fn(&T) -> T> {
+    input: ChanId,
+    output: ChanId,
+    f: F,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, F: Fn(&T) -> T> MapProcess<T, F> {
+    /// Creates a map process.
+    pub fn new(input: ChanId, output: ChanId, f: F) -> Self {
+        MapProcess {
+            input,
+            output,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Clone, F: Fn(&T) -> T> Process<T> for MapProcess<T, F> {
+    fn fire(
+        &mut self,
+        inputs: &BTreeMap<ChanId, Vec<T>>,
+        emitted: &BTreeMap<ChanId, usize>,
+    ) -> BTreeMap<ChanId, Vec<T>> {
+        let seen = inputs.get(&self.input).map(|v| v.len()).unwrap_or(0);
+        let done = emitted.get(&self.output).copied().unwrap_or(0);
+        let mut out = BTreeMap::new();
+        if seen > done {
+            let fresh: Vec<T> = inputs[&self.input][done..seen]
+                .iter()
+                .map(&self.f)
+                .collect();
+            out.insert(self.output, fresh);
+        }
+        out
+    }
+
+    fn reads(&self) -> Vec<ChanId> {
+        vec![self.input]
+    }
+
+    fn writes(&self) -> Vec<ChanId> {
+        vec![self.output]
+    }
+}
+
+/// A zip process: pairs tokens from two inputs pointwise (classic KPN
+/// example — requires *both* inputs, hence cannot implement parallel-or).
+pub struct ZipProcess<T, F: Fn(&T, &T) -> T> {
+    left: ChanId,
+    right: ChanId,
+    output: ChanId,
+    f: F,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T, F: Fn(&T, &T) -> T> ZipProcess<T, F> {
+    /// Creates a zip process.
+    pub fn new(left: ChanId, right: ChanId, output: ChanId, f: F) -> Self {
+        ZipProcess {
+            left,
+            right,
+            output,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Clone, F: Fn(&T, &T) -> T> Process<T> for ZipProcess<T, F> {
+    fn fire(
+        &mut self,
+        inputs: &BTreeMap<ChanId, Vec<T>>,
+        emitted: &BTreeMap<ChanId, usize>,
+    ) -> BTreeMap<ChanId, Vec<T>> {
+        let l = inputs.get(&self.left).map(|v| v.len()).unwrap_or(0);
+        let r = inputs.get(&self.right).map(|v| v.len()).unwrap_or(0);
+        let avail = l.min(r); // blocking read on BOTH inputs
+        let done = emitted.get(&self.output).copied().unwrap_or(0);
+        let mut out = BTreeMap::new();
+        if avail > done {
+            let fresh: Vec<T> = (done..avail)
+                .map(|i| (self.f)(&inputs[&self.left][i], &inputs[&self.right][i]))
+                .collect();
+            out.insert(self.output, fresh);
+        }
+        out
+    }
+
+    fn reads(&self) -> Vec<ChanId> {
+        vec![self.left, self.right]
+    }
+
+    fn writes(&self) -> Vec<ChanId> {
+        vec![self.output]
+    }
+}
+
+/// A Kahn process network over token type `T`.
+#[derive(Default)]
+pub struct Network<T> {
+    processes: Vec<Box<dyn Process<T>>>,
+    channels: BTreeMap<ChanId, Vec<T>>,
+    /// Per-process count of tokens already emitted to each output channel;
+    /// persists across `run` calls so incremental feeding only extends
+    /// outputs.
+    emitted: Vec<BTreeMap<ChanId, usize>>,
+}
+
+impl<T: Clone> Network<T> {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network {
+            processes: Vec::new(),
+            channels: BTreeMap::new(),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Adds a process.
+    pub fn add(&mut self, p: impl Process<T> + 'static) -> &mut Self {
+        self.processes.push(Box::new(p));
+        self.emitted.push(BTreeMap::new());
+        self
+    }
+
+    /// Seeds a channel with initial tokens.
+    pub fn seed(&mut self, chan: ChanId, tokens: Vec<T>) -> &mut Self {
+        self.channels.entry(chan).or_default().extend(tokens);
+        self
+    }
+
+    /// The current contents of a channel.
+    pub fn channel(&self, chan: ChanId) -> &[T] {
+        self.channels.get(&chan).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Runs to quiescence (or `max_rounds`), firing processes in the order
+    /// given by `schedule` (a permutation seed) — the result is the same
+    /// for every schedule (Kahn's theorem; tested).
+    pub fn run(&mut self, max_rounds: usize, schedule: u64) -> usize {
+        let n = self.processes.len();
+        let mut rounds = 0;
+        for _ in 0..max_rounds {
+            rounds += 1;
+            let mut progress = false;
+            for k in 0..n {
+                // Rotate the firing order by the schedule seed.
+                let i = (k + schedule as usize) % n;
+                let out = self.processes[i].fire(&self.channels, &self.emitted[i]);
+                for (chan, toks) in out {
+                    if !toks.is_empty() {
+                        progress = true;
+                        *self.emitted[i].entry(chan).or_insert(0) += toks.len();
+                        self.channels.entry(chan).or_default().extend(toks);
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_pipeline_streams() {
+        // seed → double → +1 across two stages.
+        let mut net: Network<i64> = Network::new();
+        net.seed(0, vec![1, 2, 3]);
+        net.add(MapProcess::new(0, 1, |x| x * 2));
+        net.add(MapProcess::new(1, 2, |x| x + 1));
+        net.run(10, 0);
+        assert_eq!(net.channel(2), &[3, 5, 7]);
+    }
+
+    #[test]
+    fn determinism_across_schedules() {
+        let build = || {
+            let mut net: Network<i64> = Network::new();
+            net.seed(0, vec![1, 2, 3, 4]);
+            net.seed(1, vec![10, 20, 30]);
+            net.add(MapProcess::new(0, 2, |x| x + 100));
+            net.add(ZipProcess::new(2, 1, 3, |a, b| a + b));
+            net.add(MapProcess::new(3, 4, |x| x * 2));
+            net
+        };
+        let mut reference = build();
+        reference.run(20, 0);
+        for schedule in 1..6 {
+            let mut net = build();
+            net.run(20, schedule);
+            assert_eq!(net.channel(4), reference.channel(4), "schedule {schedule}");
+        }
+        // Zip consumes min(4, 3) = 3 pairs.
+        assert_eq!(reference.channel(4).len(), 3);
+    }
+
+    #[test]
+    fn zip_blocks_on_the_shorter_input() {
+        // The KPN inexpressiveness result in miniature: a process must
+        // commit to reading *both* inputs, so with one empty input it emits
+        // nothing — it cannot implement parallel-or, which λ∨ can (§2.3).
+        let mut net: Network<i64> = Network::new();
+        net.seed(0, vec![1]); // "true" arrived
+        net.seed(1, vec![]); // other side diverges
+        net.add(ZipProcess::new(0, 1, 2, |a, _| *a));
+        net.run(10, 0);
+        assert_eq!(net.channel(2), &[] as &[i64]);
+    }
+
+    #[test]
+    fn incremental_feeding_extends_outputs_monotonically() {
+        let mut net: Network<i64> = Network::new();
+        net.seed(0, vec![1]);
+        net.add(MapProcess::new(0, 1, |x| -x));
+        net.run(5, 0);
+        assert_eq!(net.channel(1), &[-1]);
+        // More input later: outputs extend, never change.
+        net.seed(0, vec![2, 3]);
+        net.run(5, 0);
+        assert_eq!(net.channel(1), &[-1, -2, -3]);
+    }
+}

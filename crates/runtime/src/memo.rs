@@ -1,0 +1,392 @@
+//! Memoised ("tabled") evaluation (§5.1).
+//!
+//! The naive fuel interpreter recomputes a function's output from scratch
+//! for every fuel level and for every duplicated call — the inefficiency
+//! the paper points out for the diagonal strategy, and the reason `reaches`
+//! "does not terminate on cyclic inputs" without tabling. This module adds
+//! a memo table keyed on `(function value, argument value, remaining
+//! depth)`: the λ∨ analogue of logic-programming tabling, which the paper
+//! identifies with memoisation in the functional setting.
+//!
+//! [`MemoEval`] is observationally equivalent to
+//! [`lambda_join_core::bigstep::eval_fuel`] (tested), but shares work
+//! across duplicated calls — turning the exponential recomputation of
+//! `reaches` on dense graphs into polynomial work (measured in the bench
+//! suite).
+
+use std::collections::HashMap;
+
+use lambda_join_core::builder;
+use lambda_join_core::reduce::{delta, join_results, lex_lift, pair_lift};
+use lambda_join_core::term::{Term, TermRef};
+
+/// Folds an accumulated version into the result of a versioned bind
+/// (mirrors `bigstep::merge_version` in the core crate).
+fn merge_version(v1: &TermRef, r: &TermRef) -> TermRef {
+    match &**r {
+        Term::Lex(v2, v2p) => lex_lift(&join_results(v1, v2), v2p),
+        // Silent bodies keep the input version (monotonicity; see core).
+        Term::Bot | Term::BotV => lex_lift(v1, &builder::botv()),
+        Term::Top => builder::top(),
+        _ => builder::top(),
+    }
+}
+
+/// A memoising evaluator with a persistent call cache.
+///
+/// Reusing one `MemoEval` across fuel levels makes converging sweeps
+/// (`eval_converged`-style) cheap: level `n+1` re-derives only what
+/// changed.
+#[derive(Default)]
+pub struct MemoEval {
+    cache: HashMap<(TermRef, TermRef, usize), (TermRef, bool)>,
+    hits: usize,
+    misses: usize,
+    /// Whether any approximation (depth cut-off) fired since last cleared;
+    /// freezing consults this (see `bigstep`).
+    exhausted: bool,
+}
+
+impl MemoEval {
+    /// Creates an evaluator with an empty cache.
+    pub fn new() -> Self {
+        MemoEval::default()
+    }
+
+    /// Cache statistics `(hits, misses)`.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Evaluates with the given fuel (β-depth), memoising β-calls.
+    pub fn eval_fuel(&mut self, e: &TermRef, fuel: usize) -> TermRef {
+        self.eval(e, fuel)
+    }
+
+    /// Evaluates with increasing fuel until the result stabilises for
+    /// `patience` increments or `max_fuel` is reached — the tabled
+    /// fixed-point strategy that terminates on cyclic `reaches`.
+    pub fn eval_converged(
+        &mut self,
+        e: &TermRef,
+        max_fuel: usize,
+        step: usize,
+        patience: usize,
+    ) -> (TermRef, usize) {
+        let step = step.max(1);
+        let mut last = self.eval(e, 0);
+        let mut last_change = 0;
+        let mut fuel = 0;
+        let mut stable = 0;
+        while fuel < max_fuel && stable < patience {
+            fuel += step;
+            let r = self.eval(e, fuel);
+            if r.alpha_eq(&last) {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = r;
+                last_change = fuel;
+            }
+        }
+        (last, last_change)
+    }
+
+    fn eval(&mut self, e: &TermRef, depth: usize) -> TermRef {
+        match &**e {
+            _ if e.is_value() => e.clone(),
+            Term::Bot => builder::bot(),
+            Term::Top => builder::top(),
+            Term::Pair(a, b) => {
+                let va = self.eval(a, depth);
+                match &*va {
+                    Term::Bot => builder::bot(),
+                    Term::Top => builder::top(),
+                    _ => {
+                        let vb = self.eval(b, depth);
+                        pair_lift(&va, &vb)
+                    }
+                }
+            }
+            Term::Set(es) => {
+                let mut out: Vec<TermRef> = Vec::new();
+                for el in es {
+                    let v = self.eval(el, depth);
+                    match &*v {
+                        Term::Top => return builder::top(),
+                        Term::Bot => {}
+                        _ => {
+                            if !out.iter().any(|o| o.alpha_eq(&v)) {
+                                out.push(v);
+                            }
+                        }
+                    }
+                }
+                builder::set(out)
+            }
+            Term::Join(a, b) => {
+                let va = self.eval(a, depth);
+                let vb = self.eval(b, depth);
+                join_results(&va, &vb)
+            }
+            Term::App(f, a) => {
+                let vf = self.eval(f, depth);
+                match &*vf {
+                    Term::Bot => return builder::bot(),
+                    Term::Top => return builder::top(),
+                    _ => {}
+                }
+                let va = self.eval(a, depth);
+                match &*va {
+                    Term::Bot => return builder::bot(),
+                    Term::Top => return builder::top(),
+                    _ => {}
+                }
+                self.apply(&vf, &va, depth)
+            }
+            Term::LetPair(x1, x2, scrut, body) => {
+                let v = self.eval(scrut, depth);
+                match lambda_join_core::reduce::thaw(&v) {
+                    Term::Top => builder::top(),
+                    Term::Pair(v1, v2) => {
+                        let body = body.subst(x1, v1).subst(x2, v2);
+                        self.eval(&body, depth)
+                    }
+                    _ => builder::bot(),
+                }
+            }
+            Term::LetSym(s, scrut, body) => {
+                let v = self.eval(scrut, depth);
+                match lambda_join_core::reduce::thaw(&v) {
+                    Term::Top => builder::top(),
+                    Term::Sym(s2) if s.leq(s2) => self.eval(body, depth),
+                    // Version threshold (§5.2).
+                    Term::Lex(ver, _)
+                        if lambda_join_core::observe::result_leq(
+                            &builder::sym(s.clone()),
+                            ver,
+                        ) =>
+                    {
+                        self.eval(body, depth)
+                    }
+                    _ => builder::bot(),
+                }
+            }
+            Term::BigJoin(x, scrut, body) => {
+                let v = self.eval(scrut, depth);
+                match lambda_join_core::reduce::thaw(&v) {
+                    Term::Top => builder::top(),
+                    Term::Set(vs) => {
+                        let mut acc = builder::bot();
+                        for el in vs {
+                            let b = body.subst(x, el);
+                            let r = self.eval(&b, depth);
+                            acc = join_results(&acc, &r);
+                            if matches!(&*acc, Term::Top) {
+                                return acc;
+                            }
+                        }
+                        acc
+                    }
+                    _ => builder::bot(),
+                }
+            }
+            Term::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.eval(a, depth);
+                    match &*v {
+                        Term::Bot => return builder::bot(),
+                        Term::Top => return builder::top(),
+                        _ => vals.push(v),
+                    }
+                }
+                delta(*op, &vals)
+            }
+            Term::Frz(inner) => {
+                // Freeze seals only complete payloads (see bigstep::eval).
+                let saved = self.exhausted;
+                self.exhausted = false;
+                let v = self.eval(inner, depth);
+                let complete = !self.exhausted;
+                self.exhausted |= saved;
+                if complete {
+                    lambda_join_core::reduce::frz_lift(&v)
+                } else {
+                    builder::bot()
+                }
+            }
+            Term::LetFrz(x, scrut, body) => {
+                let v = self.eval(scrut, depth);
+                match &*v {
+                    Term::Top => builder::top(),
+                    Term::Frz(payload) => {
+                        let body = body.subst(x, payload);
+                        self.eval(&body, depth)
+                    }
+                    _ => builder::bot(),
+                }
+            }
+            Term::Lex(a, b) => {
+                let va = self.eval(a, depth);
+                match &*va {
+                    Term::Bot => builder::bot(),
+                    Term::Top => builder::top(),
+                    _ => {
+                        let vb = self.eval(b, depth);
+                        lex_lift(&va, &vb)
+                    }
+                }
+            }
+            Term::LexBind(x, scrut, body) => {
+                let v = self.eval(scrut, depth);
+                match lambda_join_core::reduce::thaw(&v) {
+                    Term::Top => builder::top(),
+                    Term::BotV => builder::botv(),
+                    Term::Lex(v1, v1p) => {
+                        let body = body.subst(x, v1p);
+                        let r = self.eval(&body, depth);
+                        merge_version(v1, &r)
+                    }
+                    Term::Bot => builder::bot(),
+                    _ => builder::top(),
+                }
+            }
+            Term::LexMerge(v1, comp) => {
+                let r = self.eval(comp, depth);
+                merge_version(v1, &r)
+            }
+            Term::Var(_) | Term::BotV | Term::Sym(_) | Term::Lam(..) => e.clone(),
+        }
+    }
+
+    fn apply(&mut self, vf: &TermRef, va: &TermRef, depth: usize) -> TermRef {
+        match lambda_join_core::reduce::thaw(vf) {
+            Term::Lam(x, body) => {
+                if depth == 0 {
+                    self.exhausted = true;
+                    return builder::bot();
+                }
+                let key = (vf.clone(), va.clone(), depth);
+                if let Some((r, ex)) = self.cache.get(&key) {
+                    self.hits += 1;
+                    self.exhausted |= *ex;
+                    return r.clone();
+                }
+                self.misses += 1;
+                let body = body.subst(x, va);
+                let saved = self.exhausted;
+                self.exhausted = false;
+                let r = self.eval(&body, depth - 1);
+                let sub_ex = self.exhausted;
+                self.exhausted |= saved;
+                self.cache.insert(key, (r.clone(), sub_ex));
+                r
+            }
+            Term::BotV => builder::bot(),
+            _ => builder::bot(),
+        }
+    }
+}
+
+/// One-shot convenience: memoised evaluation with a fresh cache.
+pub fn eval_fuel_memo(e: &TermRef, fuel: usize) -> TermRef {
+    MemoEval::new().eval_fuel(e, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_join_core::bigstep::eval_fuel;
+    use lambda_join_core::builder::*;
+    use lambda_join_core::encodings::{self, Graph};
+    use lambda_join_core::observe::result_equiv;
+    use lambda_join_core::parser::parse;
+
+    #[test]
+    fn agrees_with_plain_bigstep() {
+        let programs = [
+            "(\\x. x) 5",
+            "{1} \\/ {2}",
+            "if true then 'a else 'b",
+            "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
+            "let rec fromN n = (n :: fromN (n + 1)) \\/ botv in fromN 0",
+        ];
+        for p in programs {
+            let e = parse(p).unwrap();
+            for fuel in [0, 3, 10, 25] {
+                let plain = eval_fuel(&e, fuel);
+                let memo = eval_fuel_memo(&e, fuel);
+                assert!(
+                    plain.alpha_eq(&memo),
+                    "{p} at fuel {fuel}: {plain} vs {memo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoisation_hits_on_duplicate_calls() {
+        // A diamond: f is called twice on the same argument.
+        let e = parse(
+            "let f = \\x. x + 1 in (f 10, f 10)",
+        )
+        .unwrap();
+        let mut m = MemoEval::new();
+        m.eval_fuel(&e, 10);
+        let (hits, _misses) = m.stats();
+        assert!(hits >= 1, "expected at least one cache hit");
+    }
+
+    #[test]
+    fn reaches_on_cycle_converges_and_matches_ground_truth() {
+        let g = Graph::cycle(5);
+        let t = encodings::reaches(&g, 0);
+        let mut m = MemoEval::new();
+        let (r, _) = m.eval_converged(&t, 400, 10, 4);
+        let expect = set(g.reachable(0).into_iter().map(int).collect());
+        assert!(result_equiv(&r, &expect), "got {r}");
+    }
+
+    #[test]
+    fn memo_shares_work_on_dags() {
+        // A diamond-shaped DAG where naive evaluation recomputes shared
+        // suffixes exponentially; the memoised evaluator's β-count stays
+        // small.
+        let mut edges = Vec::new();
+        let layers = 6i64;
+        for l in 0..layers {
+            // Nodes 2l, 2l+1 both point to 2(l+1) and 2(l+1)+1.
+            edges.push((2 * l, vec![2 * (l + 1), 2 * (l + 1) + 1]));
+            edges.push((2 * l + 1, vec![2 * (l + 1), 2 * (l + 1) + 1]));
+        }
+        edges.push((2 * layers, vec![]));
+        edges.push((2 * layers + 1, vec![]));
+        let g = Graph { edges };
+        let t = encodings::reaches(&g, 0);
+        let mut m = MemoEval::new();
+        let r = m.eval_fuel(&t, 80);
+        let (hits, misses) = m.stats();
+        assert!(hits > 0, "expected sharing on the diamond DAG");
+        // The plain evaluator re-explores every path: exponentially more
+        // β-steps than the memoised evaluator performs cache misses.
+        let (_, plain_betas) = lambda_join_core::bigstep::eval_fuel_counting(&t, 80);
+        assert!(
+            plain_betas > 2 * misses,
+            "plain {plain_betas} β-steps vs memo {misses} misses ({hits} hits)"
+        );
+        let expect = set(g.reachable(0).into_iter().map(int).collect());
+        assert!(result_equiv(&r, &expect), "got {r}");
+    }
+
+    #[test]
+    fn persistent_cache_helps_fuel_sweeps() {
+        let e = encodings::evens();
+        let mut m = MemoEval::new();
+        m.eval_fuel(&e, 10);
+        let (_, misses_before) = m.stats();
+        m.eval_fuel(&e, 10); // identical query: pure hits
+        let (_, misses_after) = m.stats();
+        assert_eq!(misses_before, misses_after);
+    }
+}

@@ -1,0 +1,270 @@
+//! Join semilattices: the order structure shared by LVars, CRDTs, and λ∨
+//! values (§1 of the paper).
+//!
+//! [`JoinSemilattice`] is the Rust-level counterpart of the streaming order:
+//! a commutative, associative, idempotent `join` whose derived order is
+//! `a ≤ b ⇔ a ∨ b = b`. [`BoundedJoinSemilattice`] adds a least element.
+//!
+//! Instances compose the way λ∨ data does: pairs pointwise, options by
+//! lifting, sets by union, and maps pointwise (the paper's record join).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A join semilattice.
+///
+/// # Laws
+///
+/// * `a.join(&a) == a` (idempotence)
+/// * `a.join(&b) == b.join(&a)` (commutativity)
+/// * `a.join(&b).join(&c) == a.join(&b.join(&c))` (associativity)
+///
+/// Checked by `laws::check_semilattice_laws` and property tests.
+pub trait JoinSemilattice: Clone {
+    /// The least upper bound of `self` and `other`.
+    fn join(&self, other: &Self) -> Self;
+
+    /// The derived partial order `self ≤ other ⇔ self ∨ other = other`.
+    fn leq(&self, other: &Self) -> bool
+    where
+        Self: PartialEq,
+    {
+        &self.join(other) == other
+    }
+}
+
+/// A join semilattice with a least element.
+pub trait BoundedJoinSemilattice: JoinSemilattice {
+    /// The least element (identity for `join`).
+    fn bottom() -> Self;
+}
+
+/// A `u64` ordered by `≤` with `max` as join (the paper's `Level` symbols,
+/// Dynamo-style version counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Max<T: Ord + Copy>(pub T);
+
+impl<T: Ord + Copy> JoinSemilattice for Max<T> {
+    fn join(&self, other: &Self) -> Self {
+        Max(self.0.max(other.0))
+    }
+}
+
+impl BoundedJoinSemilattice for Max<u64> {
+    fn bottom() -> Self {
+        Max(0)
+    }
+}
+
+impl JoinSemilattice for bool {
+    fn join(&self, other: &Self) -> Self {
+        *self || *other
+    }
+}
+
+impl BoundedJoinSemilattice for bool {
+    fn bottom() -> Self {
+        false
+    }
+}
+
+impl JoinSemilattice for () {
+    fn join(&self, _other: &Self) -> Self {}
+}
+
+impl BoundedJoinSemilattice for () {
+    fn bottom() -> Self {}
+}
+
+/// Grow-only sets: join is union (λ∨'s set data type; the G-Set CRDT).
+impl<T: Ord + Clone> JoinSemilattice for BTreeSet<T> {
+    fn join(&self, other: &Self) -> Self {
+        self.union(other).cloned().collect()
+    }
+}
+
+impl<T: Ord + Clone> BoundedJoinSemilattice for BTreeSet<T> {
+    fn bottom() -> Self {
+        BTreeSet::new()
+    }
+}
+
+/// Maps join pointwise — exactly the λ∨ record join (§2.2): absent keys are
+/// implicitly ⊥.
+impl<K: Ord + Clone, V: JoinSemilattice> JoinSemilattice for BTreeMap<K, V> {
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, v) in other {
+            match out.get_mut(k) {
+                Some(existing) => *existing = existing.join(v),
+                None => {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<K: Ord + Clone, V: JoinSemilattice> BoundedJoinSemilattice for BTreeMap<K, V> {
+    fn bottom() -> Self {
+        BTreeMap::new()
+    }
+}
+
+/// Options lift a semilattice with a new bottom (`None` ≙ ⊥v-ish).
+impl<T: JoinSemilattice> JoinSemilattice for Option<T> {
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (None, _) => other.clone(),
+            (_, None) => self.clone(),
+            (Some(a), Some(b)) => Some(a.join(b)),
+        }
+    }
+}
+
+impl<T: JoinSemilattice> BoundedJoinSemilattice for Option<T> {
+    fn bottom() -> Self {
+        None
+    }
+}
+
+/// Pairs join pointwise.
+impl<A: JoinSemilattice, B: JoinSemilattice> JoinSemilattice for (A, B) {
+    fn join(&self, other: &Self) -> Self {
+        (self.0.join(&other.0), self.1.join(&other.1))
+    }
+}
+
+impl<A: BoundedJoinSemilattice, B: BoundedJoinSemilattice> BoundedJoinSemilattice for (A, B) {
+    fn bottom() -> Self {
+        (A::bottom(), B::bottom())
+    }
+}
+
+/// A flat ("discrete") semilattice with an explicit inconsistency top —
+/// the shape of λ∨'s symbols under join: equal values join to themselves,
+/// distinct values join to `Conflict` (the paper's ⊤ ambiguity error).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Flat<T> {
+    /// No information yet (⊥).
+    Empty,
+    /// Exactly one known value.
+    Known(T),
+    /// Conflicting writes (⊤).
+    Conflict,
+}
+
+impl<T: Clone + PartialEq> JoinSemilattice for Flat<T> {
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Flat::Empty, _) => other.clone(),
+            (_, Flat::Empty) => self.clone(),
+            (Flat::Conflict, _) | (_, Flat::Conflict) => Flat::Conflict,
+            (Flat::Known(a), Flat::Known(b)) => {
+                if a == b {
+                    self.clone()
+                } else {
+                    Flat::Conflict
+                }
+            }
+        }
+    }
+}
+
+impl<T: Clone + PartialEq> BoundedJoinSemilattice for Flat<T> {
+    fn bottom() -> Self {
+        Flat::Empty
+    }
+}
+
+/// Law checking over a finite sample, for tests of new instances.
+pub mod laws {
+    use super::JoinSemilattice;
+
+    /// Checks idempotence, commutativity, and associativity over a sample.
+    pub fn check_semilattice_laws<T: JoinSemilattice + PartialEq + std::fmt::Debug>(
+        sample: &[T],
+    ) -> Result<(), String> {
+        for a in sample {
+            if &a.join(a) != a {
+                return Err(format!("idempotence fails at {a:?}"));
+            }
+            for b in sample {
+                if a.join(b) != b.join(a) {
+                    return Err(format!("commutativity fails at {a:?}, {b:?}"));
+                }
+                for c in sample {
+                    if a.join(&b.join(c)) != a.join(b).join(c) {
+                        return Err(format!("associativity fails at {a:?}, {b:?}, {c:?}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::laws::check_semilattice_laws;
+    use super::*;
+
+    #[test]
+    fn max_laws_and_order() {
+        let sample: Vec<Max<u64>> = (0..5).map(Max).collect();
+        check_semilattice_laws(&sample).unwrap();
+        assert!(Max(1u64).leq(&Max(2)));
+        assert!(!Max(2u64).leq(&Max(1)));
+        assert_eq!(Max::<u64>::bottom(), Max(0));
+    }
+
+    #[test]
+    fn set_laws_and_order() {
+        let s = |xs: &[i32]| xs.iter().cloned().collect::<BTreeSet<i32>>();
+        let sample = vec![s(&[]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[3])];
+        check_semilattice_laws(&sample).unwrap();
+        assert!(s(&[1]).leq(&s(&[1, 2])));
+        assert!(!s(&[3]).leq(&s(&[1, 2])));
+    }
+
+    #[test]
+    fn map_join_is_pointwise() {
+        let mut a = BTreeMap::new();
+        a.insert("x", Max(1u64));
+        let mut b = BTreeMap::new();
+        b.insert("x", Max(3u64));
+        b.insert("y", Max(2u64));
+        let j = a.join(&b);
+        assert_eq!(j["x"], Max(3));
+        assert_eq!(j["y"], Max(2));
+        // Records: joining adds fields, like Figure 4's global state.
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn flat_models_symbol_join() {
+        let sample = vec![
+            Flat::Empty,
+            Flat::Known(1),
+            Flat::Known(2),
+            Flat::Conflict,
+        ];
+        check_semilattice_laws(&sample).unwrap();
+        assert_eq!(Flat::Known(1).join(&Flat::Known(1)), Flat::Known(1));
+        assert_eq!(Flat::Known(1).join(&Flat::Known(2)), Flat::Conflict);
+        assert!(Flat::Known(1).leq(&Flat::Conflict));
+    }
+
+    #[test]
+    fn option_and_pair_composition() {
+        let sample: Vec<Option<Max<u64>>> = vec![None, Some(Max(1)), Some(Max(2))];
+        check_semilattice_laws(&sample).unwrap();
+        let p1 = (Max(1u64), s(&[1]));
+        let p2 = (Max(2u64), s(&[2]));
+        assert_eq!(p1.join(&p2), (Max(2), s(&[1, 2])));
+        fn s(xs: &[i32]) -> BTreeSet<i32> {
+            xs.iter().cloned().collect()
+        }
+    }
+}

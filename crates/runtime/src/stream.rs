@@ -1,0 +1,189 @@
+//! Monotone observation streams and the Reader-Nat monad (§5.1, Fig. 10).
+//!
+//! The paper's implementation sketch represents a running computation as a
+//! function `Nat → X` whose outputs improve over time; the monadic `join`
+//! of this Reader monad takes the *diagonal*, which fairly interleaves the
+//! computation of a function's input with the computation of its output.
+//! [`MonoStream`] is that representation; [`MonoStream::diagonal`] is the
+//! monadic join of Figure 10.
+
+use std::rc::Rc;
+
+use crate::semilattice::JoinSemilattice;
+
+/// A time-indexed value `Nat → T`, intended to be monotone (each step may
+/// only add information).
+///
+/// Streams are cheap to clone (the closure is shared).
+pub struct MonoStream<T> {
+    f: Rc<dyn Fn(usize) -> T>,
+}
+
+impl<T> Clone for MonoStream<T> {
+    fn clone(&self) -> Self {
+        MonoStream { f: self.f.clone() }
+    }
+}
+
+impl<T: 'static> MonoStream<T> {
+    /// A stream from an arbitrary function of time.
+    ///
+    /// The caller promises monotonicity; [`MonoStream::is_monotone_upto`]
+    /// checks it on a prefix.
+    pub fn from_fn(f: impl Fn(usize) -> T + 'static) -> Self {
+        MonoStream { f: Rc::new(f) }
+    }
+
+    /// The constant stream (`unit` of the Reader monad).
+    pub fn constant(x: T) -> Self
+    where
+        T: Clone,
+    {
+        MonoStream::from_fn(move |_| x.clone())
+    }
+
+    /// The value at time `n`.
+    pub fn at(&self, n: usize) -> T {
+        (self.f)(n)
+    }
+
+    /// The first `n` observations.
+    pub fn prefix(&self, n: usize) -> Vec<T> {
+        (0..n).map(|i| self.at(i)).collect()
+    }
+
+    /// Applies a function pointwise (`map`; preserves monotonicity iff `g`
+    /// is monotone).
+    pub fn map<U: 'static>(&self, g: impl Fn(T) -> U + 'static) -> MonoStream<U> {
+        let f = self.f.clone();
+        MonoStream::from_fn(move |n| g(f(n)))
+    }
+
+    /// Combines two streams pointwise.
+    pub fn zip_with<U: 'static, V: 'static>(
+        &self,
+        other: &MonoStream<U>,
+        g: impl Fn(T, U) -> V + 'static,
+    ) -> MonoStream<V> {
+        let f = self.f.clone();
+        let h = other.f.clone();
+        MonoStream::from_fn(move |n| g(f(n), h(n)))
+    }
+
+    /// The monadic join: diagonalisation of a stream of streams
+    /// (Figure 10). At time `n`, the outer computation is advanced to `n`
+    /// and its current inner stream is also read at time `n` — fairly
+    /// interleaving input and output computation.
+    pub fn diagonal(outer: MonoStream<MonoStream<T>>) -> MonoStream<T> {
+        MonoStream::from_fn(move |n| outer.at(n).at(n))
+    }
+
+    /// Checks monotonicity of the first `n` observations.
+    pub fn is_monotone_upto(&self, n: usize, leq: impl Fn(&T, &T) -> bool) -> bool {
+        let xs = self.prefix(n);
+        xs.windows(2).all(|w| leq(&w[0], &w[1]))
+    }
+
+    /// The first time at which `pred` holds, within `budget`.
+    pub fn first_time(&self, budget: usize, pred: impl Fn(&T) -> bool) -> Option<usize> {
+        (0..budget).find(|&n| pred(&self.at(n)))
+    }
+}
+
+impl<T: JoinSemilattice + 'static> MonoStream<T> {
+    /// Pointwise semilattice join of two streams — the runtime counterpart
+    /// of λ∨'s `e1 ∨ e2` (both sides run, outputs join).
+    pub fn join(&self, other: &MonoStream<T>) -> MonoStream<T> {
+        self.zip_with(other, |a, b| a.join(&b))
+    }
+
+    /// The running join of all observations up to `n` — forces
+    /// monotonicity of an arbitrary stream ("cumulative view").
+    pub fn cumulative(&self) -> MonoStream<T> {
+        let f = self.f.clone();
+        MonoStream::from_fn(move |n| {
+            let mut acc = f(0);
+            for i in 1..=n {
+                acc = acc.join(&f(i));
+            }
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semilattice::Max;
+    use std::collections::BTreeSet;
+
+    fn nat_stream() -> MonoStream<Max<u64>> {
+        MonoStream::from_fn(|n| Max(n as u64))
+    }
+
+    #[test]
+    fn constant_and_at() {
+        let s = MonoStream::constant(Max(7u64));
+        assert_eq!(s.at(0), Max(7));
+        assert_eq!(s.at(100), Max(7));
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let s = nat_stream().map(|Max(n)| Max(n * 2));
+        assert_eq!(s.at(3), Max(6));
+        let z = nat_stream().zip_with(&nat_stream(), |a, b| Max(a.0 + b.0));
+        assert_eq!(z.at(5), Max(10));
+    }
+
+    #[test]
+    fn join_is_pointwise() {
+        let a = MonoStream::from_fn(|n| {
+            (0..n).step_by(2).map(|i| i as i64).collect::<BTreeSet<i64>>()
+        });
+        let b = MonoStream::from_fn(|n| {
+            (0..n).skip(1).step_by(2).map(|i| i as i64).collect::<BTreeSet<i64>>()
+        });
+        let j = a.join(&b);
+        assert_eq!(j.at(4), (0..4).map(|i| i as i64).collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn diagonal_interleaves() {
+        // outer(n) = stream that knows n outer steps of input; the inner
+        // stream's quality also improves with its own index. diag(n)
+        // advances both — Figure 10's r'_{n,n}.
+        let outer: MonoStream<MonoStream<Max<u64>>> =
+            MonoStream::from_fn(|i| MonoStream::from_fn(move |j| Max((i.min(j)) as u64)));
+        let d = MonoStream::diagonal(outer);
+        for n in 0..10 {
+            assert_eq!(d.at(n), Max(n as u64));
+        }
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(nat_stream().is_monotone_upto(20, |a, b| a.leq(b)));
+        let bad = MonoStream::from_fn(|n| Max((10 - n as i64).unsigned_abs()));
+        assert!(!bad.is_monotone_upto(10, |a, b| a.leq(b)));
+    }
+
+    #[test]
+    fn cumulative_forces_monotonicity() {
+        let jagged = MonoStream::from_fn(|n| {
+            let mut s = BTreeSet::new();
+            s.insert((n % 3) as i64);
+            s
+        });
+        let c = jagged.cumulative();
+        assert!(c.is_monotone_upto(9, |a, b| a.is_subset(b)));
+        assert_eq!(c.at(5), (0..3).map(|i| i as i64).collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn first_time_finds_thresholds() {
+        let s = nat_stream();
+        assert_eq!(s.first_time(100, |x| x.0 >= 5), Some(5));
+        assert_eq!(s.first_time(3, |x| x.0 >= 5), None);
+    }
+}

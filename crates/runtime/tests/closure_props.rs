@@ -1,0 +1,111 @@
+//! Property tests for the closure evaluator's semantic values: the `CVal`
+//! join must mirror the term-level `r ⊔ r'` metafunction exactly on
+//! first-order values (including the §5.2 extensions), and the semantic
+//! order must satisfy the preorder and semilattice laws.
+
+use lambda_join_core::builder as b;
+use lambda_join_core::observe::{result_equiv, result_leq};
+use lambda_join_core::reduce::join_results;
+use lambda_join_core::symbol::Symbol;
+use lambda_join_core::term::TermRef;
+use lambda_join_runtime::closure::{cval_join, cval_leq, eval_closure, readback, CVal};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::tt()),
+        Just(Symbol::ff()),
+        (0i64..3).prop_map(Symbol::Int),
+        (0u64..3).prop_map(Symbol::Level),
+    ]
+}
+
+/// Random first-order closed values, extensions included.
+fn arb_value() -> impl Strategy<Value = TermRef> {
+    let leaf = prop_oneof![
+        Just(b::botv()),
+        arb_symbol().prop_map(b::sym),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::pair(a, b2)),
+            3 => prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
+            1 => inner.clone().prop_map(b::frz),
+            1 => (inner.clone(), inner).prop_map(|(a, b2)| b::lex(a, b2)),
+        ]
+    })
+}
+
+fn to_cval(v: &TermRef) -> Rc<CVal> {
+    eval_closure(v, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn cval_join_mirrors_term_join(a in arb_value(), bb in arb_value()) {
+        let term_level = join_results(&a, &bb);
+        let sem = readback(&cval_join(&to_cval(&a), &to_cval(&bb)));
+        prop_assert!(
+            result_equiv(&term_level, &sem),
+            "{a} ⊔ {bb}: term {term_level} vs semantic {sem}"
+        );
+    }
+
+    #[test]
+    fn cval_leq_mirrors_result_leq(a in arb_value(), bb in arb_value()) {
+        prop_assert_eq!(
+            cval_leq(&to_cval(&a), &to_cval(&bb)),
+            result_leq(&a, &bb),
+            "{} ⊑ {} disagrees between levels", a, bb
+        );
+    }
+
+    #[test]
+    fn cval_leq_is_reflexive(a in arb_value()) {
+        let v = to_cval(&a);
+        prop_assert!(cval_leq(&v, &v));
+    }
+
+    #[test]
+    fn cval_leq_is_transitive(a in arb_value(), bb in arb_value(), c in arb_value()) {
+        let (x, y, z) = (to_cval(&a), to_cval(&bb), to_cval(&c));
+        if cval_leq(&x, &y) && cval_leq(&y, &z) {
+            prop_assert!(cval_leq(&x, &z), "{a} ⊑ {bb} ⊑ {c} but not transitive");
+        }
+    }
+
+    #[test]
+    fn cval_join_is_an_upper_bound(a in arb_value(), bb in arb_value()) {
+        let (x, y) = (to_cval(&a), to_cval(&bb));
+        let j = cval_join(&x, &y);
+        prop_assert!(cval_leq(&x, &j), "{a} ⋢ join with {bb}");
+        prop_assert!(cval_leq(&y, &j));
+    }
+
+    #[test]
+    fn cval_join_is_commutative_and_idempotent(a in arb_value(), bb in arb_value()) {
+        let (x, y) = (to_cval(&a), to_cval(&bb));
+        let xy = cval_join(&x, &y);
+        let yx = cval_join(&y, &x);
+        prop_assert!(
+            cval_leq(&xy, &yx) && cval_leq(&yx, &xy),
+            "join of {a} and {bb} is order-sensitive"
+        );
+        let xx = cval_join(&x, &x);
+        prop_assert!(cval_leq(&xx, &x) && cval_leq(&x, &xx));
+    }
+
+    #[test]
+    fn cval_join_is_associative(a in arb_value(), bb in arb_value(), c in arb_value()) {
+        let (x, y, z) = (to_cval(&a), to_cval(&bb), to_cval(&c));
+        let l = cval_join(&cval_join(&x, &y), &z);
+        let r = cval_join(&x, &cval_join(&y, &z));
+        prop_assert!(
+            cval_leq(&l, &r) && cval_leq(&r, &l),
+            "join of {a}, {bb}, {c} is not associative: {l:?} vs {r:?}"
+        );
+    }
+}

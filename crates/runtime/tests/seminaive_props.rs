@@ -1,0 +1,107 @@
+//! Property tests for the seminaive λ∨ fixpoint engine: agreement with
+//! ground truth and with the naive strategy on random graphs, work-bound
+//! guarantees, and incremental-push equivalence (computing with all seeds
+//! up front equals pushing them one at a time).
+
+use lambda_join_core::builder::*;
+use lambda_join_core::encodings::Graph;
+use lambda_join_core::observe::result_equiv;
+use lambda_join_core::term::{Term, TermRef};
+use lambda_join_runtime::seminaive::{naive_rounds, SeminaiveEngine};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random directed graph on `n ≤ 8` nodes as adjacency pairs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1i64..=8)
+        .prop_flat_map(|n| {
+            let edges = prop::collection::vec((0..n, 0..n), 0..=(n as usize * 2));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, pairs)| {
+            let mut adj: Vec<(i64, Vec<i64>)> = (0..n).map(|i| (i, Vec::new())).collect();
+            for (s, t) in pairs {
+                let entry = &mut adj[s as usize].1;
+                if !entry.contains(&t) {
+                    entry.push(t);
+                }
+            }
+            Graph { edges: adj }
+        })
+}
+
+fn term_set(t: &TermRef) -> BTreeSet<i64> {
+    match &**t {
+        Term::Set(es) => es
+            .iter()
+            .filter_map(|e| match &**e {
+                Term::Sym(s) => s.as_int(),
+                _ => None,
+            })
+            .collect(),
+        _ => panic!("expected a set, got {t}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_ground_truth(g in arb_graph(), start in 0i64..8) {
+        let start = start % g.edges.len() as i64;
+        let mut e = SeminaiveEngine::new(g.neighbors_fn(), 64);
+        e.push(vec![int(start)]);
+        let fix = e.run(10_000);
+        prop_assert!(e.is_quiescent());
+        let truth: BTreeSet<i64> = g.reachable(start).into_iter().collect();
+        prop_assert_eq!(term_set(&fix), truth);
+    }
+
+    #[test]
+    fn engine_matches_naive(g in arb_graph(), start in 0i64..8) {
+        let start = start % g.edges.len() as i64;
+        let step = g.neighbors_fn();
+        let mut semi = SeminaiveEngine::new(step.clone(), 64);
+        semi.push(vec![int(start)]);
+        let s = semi.run(10_000);
+        let (n, nstats) = naive_rounds(&step, vec![int(start)], 64, 10_000);
+        prop_assert!(result_equiv(&s, &n), "seminaive {} vs naive {}", s, n);
+        // Seminaive never does more step calls than naive.
+        prop_assert!(semi.stats().step_calls <= nstats.step_calls);
+    }
+
+    #[test]
+    fn work_is_bounded_by_reachable_nodes(g in arb_graph(), start in 0i64..8) {
+        let start = start % g.edges.len() as i64;
+        let mut e = SeminaiveEngine::new(g.neighbors_fn(), 64);
+        e.push(vec![int(start)]);
+        e.run(10_000);
+        // Every step call expands exactly one newly discovered element.
+        prop_assert_eq!(e.stats().step_calls, g.reachable(start).len());
+    }
+
+    #[test]
+    fn batched_and_incremental_pushes_agree(g in arb_graph(), seeds in prop::collection::vec(0i64..8, 1..4)) {
+        let n = g.edges.len() as i64;
+        let seeds: Vec<i64> = seeds.into_iter().map(|s| s % n).collect();
+        let step = g.neighbors_fn();
+        // All seeds up front.
+        let mut batched = SeminaiveEngine::new(step.clone(), 64);
+        batched.push(seeds.iter().map(|s| int(*s)));
+        let b = batched.run(10_000);
+        // Seeds one at a time, running to quiescence in between.
+        let mut inc = SeminaiveEngine::new(step, 64);
+        for s in &seeds {
+            inc.push(vec![int(*s)]);
+            inc.run(10_000);
+        }
+        let i = inc.current();
+        prop_assert!(result_equiv(&b, &i), "batched {} vs incremental {}", b, i);
+        // And both match the union of per-seed ground truths.
+        let truth: BTreeSet<i64> = seeds
+            .iter()
+            .flat_map(|s| g.reachable(*s))
+            .collect();
+        prop_assert_eq!(term_set(&b), truth);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for monotone streams and the fixpoint engines.
+
+use std::collections::BTreeSet;
+
+use lambda_join_runtime::fixpoint::{kleene, naive_set_fixpoint, seminaive_set_fixpoint};
+use lambda_join_runtime::semilattice::{JoinSemilattice, Max};
+use lambda_join_runtime::stream::MonoStream;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cumulative_streams_are_monotone(values in prop::collection::vec(0u64..50, 1..20)) {
+        let vals = values.clone();
+        let raw = MonoStream::from_fn(move |n| {
+            let mut s = BTreeSet::new();
+            s.insert(vals[n % vals.len()]);
+            s
+        });
+        let c = raw.cumulative();
+        prop_assert!(c.is_monotone_upto(values.len() * 2, |a, b| a.is_subset(b)));
+    }
+
+    #[test]
+    fn diagonal_of_monotone_grid_is_monotone(offset in 0usize..5) {
+        // grid(i)(j) = Max(min(i, j) + offset·0) is monotone in both
+        // arguments; the diagonal must be monotone.
+        let outer: MonoStream<MonoStream<Max<u64>>> = MonoStream::from_fn(move |i| {
+            MonoStream::from_fn(move |j| Max((i.min(j) + offset - offset) as u64))
+        });
+        let d = MonoStream::diagonal(outer);
+        prop_assert!(d.is_monotone_upto(16, |a, b| a.leq(b)));
+    }
+
+    #[test]
+    fn join_of_streams_bounds_both(seed in 0u64..100) {
+        let a = MonoStream::from_fn(move |n| Max((n as u64).min(seed)));
+        let b = MonoStream::from_fn(|n| Max((n / 2) as u64));
+        let j = a.join(&b);
+        for n in 0..20 {
+            prop_assert!(a.at(n).leq(&j.at(n)));
+            prop_assert!(b.at(n).leq(&j.at(n)));
+        }
+    }
+
+    #[test]
+    fn naive_and_seminaive_fixpoints_agree(
+        edges in prop::collection::vec((0i64..8, 0i64..8), 0..20),
+        start in 0i64..8,
+    ) {
+        let expand = |n: &i64| -> Vec<i64> {
+            edges.iter().filter(|(s, _)| s == n).map(|(_, t)| *t).collect()
+        };
+        let seed: BTreeSet<i64> = [start].into_iter().collect();
+        let (a, _) = naive_set_fixpoint(seed.clone(), expand, 100);
+        let (b, stats) = seminaive_set_fixpoint(seed, expand, 100);
+        prop_assert_eq!(a, b);
+        prop_assert!(stats.work <= 8 * 10, "work exploded: {:?}", stats);
+    }
+
+    #[test]
+    fn kleene_result_is_a_fixpoint_or_budget_ran_out(cap in 1u64..30) {
+        let f = |Max(x): &Max<u64>| Max((x + 7).min(cap));
+        let (fix, rounds) = kleene(Max(0u64), f, 100);
+        if rounds < 100 {
+            prop_assert_eq!(fix.join(&f(&fix)), fix);
+            prop_assert_eq!(fix, Max(cap));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Frozen values (§5.2) as a *language feature*: streaming a ballot set,
+//! freezing it once the election closes, and running otherwise
+//! non-monotone queries (`size`, `member`, `diff`) on the frozen snapshot.
+//!
+//! The §5.2 covenant: while a value streams, only monotone observations are
+//! allowed; once frozen, it carries the discrete order, so any query is
+//! monotone — but later growth is a *freeze violation* surfaced as the
+//! ambiguity error `⊤` (LVish-style quasi-determinism).
+//!
+//! ```sh
+//! cargo run --example frozen_aggregation
+//! ```
+
+use lambda_join::core::builder::*;
+use lambda_join::core::machine::Machine;
+use lambda_join::core::parser::parse;
+use lambda_join::core::reduce::join_results;
+
+fn run(src: &str) -> String {
+    let t = parse(src).expect("parse");
+    let mut m = Machine::new(t);
+    m.run(512);
+    m.observe().to_string()
+}
+
+fn main() {
+    // Phase 1 — streaming: ballots arrive from three precincts in parallel
+    // (a join of set literals). Only monotone queries are possible.
+    let tally = r#"
+        let ballots = {'alice, 'bob} \/ {'carol} \/ {'alice} in
+        ballots
+    "#;
+    println!("streamed ballots      = {}", run(tally));
+
+    // Phase 2 — freeze and aggregate: the election closes, the set is
+    // frozen, and we may now count it and test membership / absence.
+    let count = r#"
+        let ballots = {'alice, 'bob} \/ {'carol} \/ {'alice} in
+        size(frz ballots)
+    "#;
+    println!("turnout               = {}", run(count));
+    assert_eq!(run(count), "3");
+
+    let absent = r#"
+        let ballots = {'alice, 'bob, 'carol} in
+        member(frz 'mallory, frz ballots)
+    "#;
+    println!("mallory voted?        = {}", run(absent));
+    assert_eq!(run(absent), "'false");
+
+    // Set difference — "who registered but did not vote" — needs both sides
+    // frozen; it would be non-monotone on live sets.
+    let no_shows = r#"
+        let registered = {'alice, 'bob, 'carol, 'dave} in
+        let ballots    = {'alice, 'bob, 'carol} in
+        diff(frz registered, frz ballots)
+    "#;
+    println!("registered non-voters = {}", run(no_shows));
+    assert_eq!(run(no_shows), "{'dave}");
+
+    // Phase 3 — quasi-determinism: a ballot arriving *after* the freeze is
+    // a freeze violation. The runtime reports ⊤ rather than silently
+    // changing an already-announced tally.
+    let frozen = frz(set(vec![name("alice"), name("bob")]));
+    let late_ballot = set(vec![name("eve")]);
+    let violation = join_results(&frozen, &late_ballot);
+    println!("late ballot after freeze ⇒ {violation}");
+    assert_eq!(violation.to_string(), "top");
+
+    // A duplicate of an already-counted ballot, by contrast, is absorbed:
+    // it is below the frozen payload.
+    let dup = join_results(&frozen, &set(vec![name("alice")]));
+    println!("duplicate ballot after freeze ⇒ {dup}");
+    assert_eq!(dup.to_string(), "frz {'alice, 'bob}");
+
+    // Thawing re-enters the monotone world: the payload streams onward.
+    let thaw = r#"
+        let frz winners = frz {'alice} in
+        winners \/ {'bob}
+    "#;
+    println!("thawed and extended   = {}", run(thaw));
+}

@@ -1,0 +1,38 @@
+//! Parallel or (§2.3): the classic non-sequential function, definable in
+//! λ∨ thanks to the join operator — and the witness that λ∨ is more
+//! expressive than sequential languages (Plotkin 1977).
+//!
+//! ```sh
+//! cargo run --example parallel_or
+//! ```
+
+use lambda_join::core::bigstep::eval_fuel;
+use lambda_join::core::builder::*;
+use lambda_join::core::encodings::{diverge_fn, por};
+
+fn main() {
+    let t = thunk(tt());
+    let f = thunk(ff());
+    let d = thunk(app(diverge_fn(), unit())); // a diverging thunk
+
+    let cases: Vec<(&str, lambda_join::core::TermRef, lambda_join::core::TermRef)> = vec![
+        ("true  diverge", t.clone(), d.clone()),
+        ("diverge true ", d.clone(), t.clone()),
+        ("true  false  ", t.clone(), f.clone()),
+        ("false false  ", f.clone(), f.clone()),
+        ("false diverge", f.clone(), d.clone()),
+        ("diverge diverge", d.clone(), d.clone()),
+    ];
+
+    println!("por x y  — evaluated with fuel 40:");
+    for (label, x, y) in cases {
+        let result = eval_fuel(&apps(por(), vec![x, y]), 40);
+        println!("  por {label} = {result}");
+    }
+
+    // The punchline: `por true Ω` converges even though one argument
+    // diverges — impossible for any sequential or.
+    let result = eval_fuel(&apps(por(), vec![t, d]), 40);
+    assert!(result.alpha_eq(&tt()));
+    println!("\npor true Ω = {result}: the or ran both branches in parallel.");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: parse a λ∨ program, run it, and watch its output stream.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lambda_join::core::bigstep::{eval_fuel, fuel_trace};
+use lambda_join::core::parser::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's flagship program (§1): the set of even naturals, defined
+    // as a fixed point that would be a meaningless infinite loop in a
+    // conventional strict language.
+    let evens = parse(
+        "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
+    )?;
+
+    println!("evens() — observations as fuel increases:");
+    for (i, obs) in fuel_trace(&evens, 40, 4).iter().enumerate() {
+        println!("  t{i}: {obs}");
+    }
+
+    // Threshold search (§3.2): find 2 in the infinite set.
+    let search = parse(
+        "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in \
+         for x in evens () . let 2 = x in \"success\"",
+    )?;
+    println!("\nsearching for 2 in evens(): {}", eval_fuel(&search, 40));
+
+    // Records join pointwise, booleans are threshold queries.
+    let record = parse(
+        "let r = {| name = \"ada\" |} \\/ {| year = 1843 |} in (r@name, r@year)",
+    )?;
+    println!("record join: {}", eval_fuel(&record, 10));
+
+    // Joining incomparable symbols is an ambiguity error ⊤.
+    let clash = parse("1 \\/ 2")?;
+    println!("1 ∨ 2 = {}  (ambiguity error)", eval_fuel(&clash, 5));
+
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! `lambdav` — a command-line runner for λ∨ programs.
+//!
+//! ```sh
+//! lambdav run  'program or file.lv'  [--fuel N]     # final observation
+//! lambdav watch 'program or file.lv' [--fuel N]     # observation stream
+//! lambdav check 'program or file.lv'                # parse + formula info
+//! ```
+//!
+//! The argument is treated as a file path if such a file exists, otherwise
+//! as inline source.
+
+use std::process::ExitCode;
+
+use lambda_join::core::bigstep::{eval_fuel, fuel_trace};
+use lambda_join::core::parser::parse;
+use lambda_join::core::TermRef;
+use lambda_join::filter::ambiguity::check_ambiguity_fuel;
+use lambda_join::filter::assign::derives_value;
+use lambda_join::filter::semantics::meaning_fragment;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r.to_vec()),
+        None => {
+            eprintln!("usage: lambdav <run|watch|check> <program-or-file> [--fuel N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fuel = 40usize;
+    let mut source_arg: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--fuel" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => fuel = n,
+                None => {
+                    eprintln!("--fuel requires a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            source_arg = Some(a);
+        }
+    }
+    let Some(source_arg) = source_arg else {
+        eprintln!("missing program argument");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&source_arg) {
+        Ok(contents) => contents,
+        Err(_) => source_arg,
+    };
+    let term: TermRef = match parse(&src) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !term.is_closed() {
+        eprintln!("program has free variables: {:?}", term.free_vars());
+        return ExitCode::FAILURE;
+    }
+    match cmd {
+        "run" => {
+            println!("{}", eval_fuel(&term, fuel));
+            ExitCode::SUCCESS
+        }
+        "watch" => {
+            for (i, obs) in fuel_trace(&term, fuel, 1).iter().enumerate() {
+                println!("t{i}: {obs}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            println!("parsed: {term}");
+            println!("size: {} nodes", term.size());
+            println!(
+                "derives a value (⊥v ⪯log e): {}",
+                derives_value(&term, fuel)
+            );
+            println!("ambiguity: {}", check_ambiguity_fuel(&term, fuel));
+            println!("meaning fragment (fuel ≤ {fuel}):");
+            for phi in meaning_fragment(&term, fuel.min(16)) {
+                println!("  ⊢ e : {phi}");
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}; use run, watch, or check");
+            ExitCode::FAILURE
+        }
+    }
+}

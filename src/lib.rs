@@ -1,0 +1,41 @@
+//! # lambda-join
+//!
+//! A Rust implementation of **λ∨** — the deterministic parallel streaming
+//! lambda calculus of *Functional Meaning for Parallel Streaming*
+//! (Rioux & Zdancewic, PLDI 2025) — together with its filter-model
+//! semantics, domain-theoretic backend, practical streaming runtime, and
+//! the neighbouring systems the paper builds on (LVars, CRDTs, Datalog).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `lambda-join-core` | syntax, parser, operational semantics, machines |
+//! | [`filter`] | `lambda-join-filter` | formulae, streaming order, formula assignment |
+//! | [`domain`] | `lambda-join-domain` | bases, ideals, powerdomain, approximable maps |
+//! | [`runtime`] | `lambda-join-runtime` | semilattices, streams, memoised & parallel eval |
+//! | [`lvars`] | `lambda-join-lvars` | lattice variables with threshold reads |
+//! | [`crdt`] | `lambda-join-crdt` | replicated data types + network simulator |
+//! | [`datalog`] | `lambda-join-datalog` | naive/seminaive Datalog engine |
+//!
+//! # Quick start
+//!
+//! ```
+//! use lambda_join::core::parser::parse;
+//! use lambda_join::core::bigstep::eval_fuel;
+//! use lambda_join::core::builder::*;
+//! use lambda_join::core::observe::result_leq;
+//!
+//! let evens = parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()")?;
+//! let out = eval_fuel(&evens, 40);
+//! assert!(result_leq(&set(vec![int(0), int(2), int(4)]), &out));
+//! # Ok::<(), lambda_join::core::parser::ParseError>(())
+//! ```
+
+pub use lambda_join_core as core;
+pub use lambda_join_crdt as crdt;
+pub use lambda_join_datalog as datalog;
+pub use lambda_join_domain as domain;
+pub use lambda_join_filter as filter;
+pub use lambda_join_lvars as lvars;
+pub use lambda_join_runtime as runtime;

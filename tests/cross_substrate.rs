@@ -1,0 +1,159 @@
+//! Cross-substrate agreement: the same monotone fixed points computed by
+//! λ∨ (naive and memoised), Datalog (naive and seminaive), the generic
+//! semilattice fixpoint engines, and LVar-based parallel search — all must
+//! coincide with ground truth on every graph family.
+
+use std::collections::BTreeSet;
+
+use lambda_join::core::bigstep::eval_converged;
+use lambda_join::core::encodings::{self, Graph};
+use lambda_join::core::term::Term;
+use lambda_join::datalog::eval::{eval as datalog_eval, reaches_program, Strategy};
+use lambda_join::datalog::Const;
+use lambda_join::lvars::reachability as lv;
+use lambda_join::runtime::fixpoint::{naive_set_fixpoint, seminaive_set_fixpoint};
+use lambda_join::runtime::MemoEval;
+
+fn term_set(term: &lambda_join::core::TermRef) -> BTreeSet<i64> {
+    match &**term {
+        Term::Set(es) => es
+            .iter()
+            .filter_map(|e| match &**e {
+                Term::Sym(s) => s.as_int(),
+                _ => None,
+            })
+            .collect(),
+        _ => panic!("expected a set, got {term}"),
+    }
+}
+
+fn edges_of(g: &Graph) -> Vec<(i64, i64)> {
+    g.edges
+        .iter()
+        .flat_map(|(s, ts)| ts.iter().map(move |t| (*s, *t)))
+        .collect()
+}
+
+fn graph_families() -> Vec<(String, Graph)> {
+    vec![
+        ("line-6".into(), Graph::line(6)),
+        ("cycle-5".into(), Graph::cycle(5)),
+        ("tree-3".into(), Graph::binary_tree(3)),
+        (
+            "diamond".into(),
+            Graph {
+                edges: vec![
+                    (0, vec![1, 2]),
+                    (1, vec![3]),
+                    (2, vec![3]),
+                    (3, vec![4, 5]),
+                    (4, vec![]),
+                    (5, vec![]),
+                ],
+            },
+        ),
+        (
+            "two-components".into(),
+            Graph {
+                edges: vec![(0, vec![1]), (1, vec![0]), (7, vec![8]), (8, vec![7])],
+            },
+        ),
+    ]
+}
+
+#[test]
+fn all_reachability_implementations_agree() {
+    for (name, g) in graph_families() {
+        let truth: BTreeSet<i64> = g.reachable(0).into_iter().collect();
+        let edges = edges_of(&g);
+
+        // λ∨ naive.
+        let (r, _) = eval_converged(&encodings::reaches(&g, 0), 600, 10, 4);
+        assert_eq!(term_set(&r), truth, "λ∨ naive on {name}");
+
+        // λ∨ memoised.
+        let mut memo = MemoEval::new();
+        let (r, _) = memo.eval_converged(&encodings::reaches(&g, 0), 600, 10, 4);
+        assert_eq!(term_set(&r), truth, "λ∨ memo on {name}");
+
+        // Datalog, both strategies.
+        for strat in [Strategy::Naive, Strategy::Seminaive] {
+            let (db, _) = datalog_eval(&reaches_program(&edges, 0), strat);
+            let got: BTreeSet<i64> = db["reaches"]
+                .iter()
+                .filter_map(|t| match &t[0] {
+                    Const::Int(n) => Some(*n),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(got, truth, "datalog {strat:?} on {name}");
+        }
+
+        // Generic fixpoint engines.
+        let expand = |n: &i64| -> Vec<i64> {
+            g.edges
+                .iter()
+                .find(|(s, _)| s == n)
+                .map(|(_, ts)| ts.clone())
+                .unwrap_or_default()
+        };
+        let seed: BTreeSet<i64> = [0].into_iter().collect();
+        let (naive, _) = naive_set_fixpoint(seed.clone(), expand, 200);
+        let (semi, _) = seminaive_set_fixpoint(seed, expand, 200);
+        assert_eq!(naive, truth, "naive fixpoint on {name}");
+        assert_eq!(semi, truth, "seminaive fixpoint on {name}");
+
+        // LVars parallel BFS across worker counts.
+        let lg = lv::Graph::from_edges(&edges);
+        for workers in [1, 4] {
+            assert_eq!(
+                lv::reachable_par(&lg, 0, workers),
+                truth,
+                "lvars({workers}) on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seminaive_work_advantage_holds_across_families() {
+    // The asymmetric work claim (§5.1 / Datalog folklore): seminaive never
+    // does more derivations than naive, and strictly fewer on paths.
+    for (name, g) in graph_families() {
+        let edges = edges_of(&g);
+        let p = reaches_program(&edges, 0);
+        let (_, naive) = datalog_eval(&p, Strategy::Naive);
+        let (_, semi) = datalog_eval(&p, Strategy::Seminaive);
+        assert!(
+            semi.derivations <= naive.derivations,
+            "{name}: seminaive {semi:?} vs naive {naive:?}"
+        );
+    }
+    let line = Graph::line(12);
+    let p = reaches_program(&edges_of(&line), 0);
+    let (_, naive) = datalog_eval(&p, Strategy::Naive);
+    let (_, semi) = datalog_eval(&p, Strategy::Seminaive);
+    assert!(semi.derivations < naive.derivations);
+}
+
+#[test]
+fn lambda_join_reaches_streams_partial_results_before_convergence() {
+    // The λ∨ version is not just a fixpoint: it *streams*. Partial fuels
+    // give subsets of the answer, monotonically.
+    use lambda_join::core::bigstep::eval_fuel;
+    use lambda_join::core::observe::result_leq;
+    let g = Graph::line(8);
+    let t = encodings::reaches(&g, 0);
+    let mut prev = eval_fuel(&t, 0);
+    let mut sizes = Vec::new();
+    for fuel in (0..120).step_by(8) {
+        let cur = eval_fuel(&t, fuel);
+        assert!(result_leq(&prev, &cur), "stream decreased at fuel {fuel}");
+        if let Term::Set(es) = &*cur {
+            sizes.push(es.len());
+        }
+        prev = cur;
+    }
+    assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    assert!(*sizes.first().unwrap() < *sizes.last().unwrap());
+}
