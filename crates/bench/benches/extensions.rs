@@ -55,7 +55,9 @@ fn bench_versioned_register(c: &mut Criterion) {
         // Deterministic shuffle (LCG) — no RNG dependency in the hot loop.
         let mut state = 0x2545F4914F6CDD1Du64;
         for i in (1..writes.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             writes.swap(i, (state as usize) % (i + 1));
         }
         group.bench_with_input(BenchmarkId::new("lww_joins", n), &n, |b, _| {

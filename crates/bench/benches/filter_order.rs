@@ -13,7 +13,12 @@ use lambda_join_filter::vleq;
 
 fn bench_filter(c: &mut Criterion) {
     let mut group = c.benchmark_group("filter_model");
-    let syms = [Symbol::tt(), Symbol::ff(), Symbol::Level(1), Symbol::Level(2)];
+    let syms = [
+        Symbol::tt(),
+        Symbol::ff(),
+        Symbol::Level(1),
+        Symbol::Level(2),
+    ];
     for depth in [2usize, 3] {
         let forms: Vec<_> = enumerate_vforms(&syms, depth)
             .into_iter()
@@ -51,8 +56,8 @@ fn bench_filter(c: &mut Criterion) {
         );
     }
     // Formula assignment on the paper's programs.
-    let evens = parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()")
-        .unwrap();
+    let evens =
+        parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()").unwrap();
     let goal = val(vset(vec![vint(0), vint(2), vint(4)]));
     group.bench_function("check_evens_has_024", |b| {
         b.iter(|| std::hint::black_box(check_closed(&evens, &goal, 30)))

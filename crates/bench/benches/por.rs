@@ -11,15 +11,21 @@ fn bench_por(c: &mut Criterion) {
     let mut group = c.benchmark_group("por");
     let cases: Vec<(&str, lambda_join_core::TermRef, lambda_join_core::TermRef)> = vec![
         ("true_true", thunk(tt()), thunk(tt())),
-        ("true_diverge", thunk(tt()), thunk(app(diverge_fn(), unit()))),
-        ("diverge_true", thunk(app(diverge_fn(), unit())), thunk(tt())),
+        (
+            "true_diverge",
+            thunk(tt()),
+            thunk(app(diverge_fn(), unit())),
+        ),
+        (
+            "diverge_true",
+            thunk(app(diverge_fn(), unit())),
+            thunk(tt()),
+        ),
         ("false_false", thunk(ff()), thunk(ff())),
     ];
     for (name, x, y) in cases {
         let t = apps(por(), vec![x, y]);
-        group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(eval_fuel(&t, 30)))
-        });
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(eval_fuel(&t, 30))));
     }
     group.finish();
 }

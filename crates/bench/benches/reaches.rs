@@ -23,43 +23,31 @@ fn bench_reaches(c: &mut Criterion) {
         // Fuel high enough to converge on every member of the suite.
         let fuel = 24 * g.edges.len().max(4);
 
-        group.bench_with_input(
-            BenchmarkId::new("lambda_naive", &name),
-            &g,
-            |b, g| {
-                let t = encodings::reaches(g, 0);
-                b.iter(|| {
-                    std::hint::black_box(lambda_join_core::bigstep::eval_with_budget(
-                        &t, fuel, 2_000_000,
-                    ))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lambda_memo", &name),
-            &g,
-            |b, g| {
-                let t = encodings::reaches(g, 0);
-                b.iter(|| {
-                    let mut m = MemoEval::new();
-                    std::hint::black_box(m.eval_fuel(&t, fuel))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lambda_seminaive", &name),
-            &g,
-            |b, g| {
-                // The incremental strategy §5.1 calls for: the λ∨ rule body
-                // is evaluated only on each round's delta.
-                let step = g.neighbors_fn();
-                b.iter(|| {
-                    let mut e = SeminaiveEngine::new(step.clone(), 64);
-                    e.push(vec![lambda_join_core::builder::int(0)]);
-                    std::hint::black_box(e.run(10_000))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lambda_naive", &name), &g, |b, g| {
+            let t = encodings::reaches(g, 0);
+            b.iter(|| {
+                std::hint::black_box(lambda_join_core::bigstep::eval_with_budget(
+                    &t, fuel, 2_000_000,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lambda_memo", &name), &g, |b, g| {
+            let t = encodings::reaches(g, 0);
+            b.iter(|| {
+                let mut m = MemoEval::new();
+                std::hint::black_box(m.eval_fuel(&t, fuel))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lambda_seminaive", &name), &g, |b, g| {
+            // The incremental strategy §5.1 calls for: the λ∨ rule body
+            // is evaluated only on each round's delta.
+            let step = g.neighbors_fn();
+            b.iter(|| {
+                let mut e = SeminaiveEngine::new(step.clone(), 64);
+                e.push(vec![lambda_join_core::builder::int(0)]);
+                std::hint::black_box(e.run(10_000))
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("datalog_naive", &name),
             &edges,
@@ -80,14 +68,10 @@ fn bench_reaches(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("lvars_par4", &name),
-            &edges,
-            |b, edges| {
-                let g = lv::Graph::from_edges(edges);
-                b.iter(|| std::hint::black_box(lv::reachable_par(&g, 0, 4)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lvars_par4", &name), &edges, |b, edges| {
+            let g = lv::Graph::from_edges(edges);
+            b.iter(|| std::hint::black_box(lv::reachable_par(&g, 0, 4)))
+        });
     }
     group.finish();
 }

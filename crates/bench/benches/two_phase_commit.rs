@@ -42,7 +42,12 @@ fn rules() -> RuleVec {
             if let Some(Flat::Known(p)) = s.get("proposal") {
                 out.insert(
                     "ok2",
-                    Flat::Known(p.parse::<i64>().map(|n| n <= 6).unwrap_or(false).to_string()),
+                    Flat::Known(
+                        p.parse::<i64>()
+                            .map(|n| n <= 6)
+                            .unwrap_or(false)
+                            .to_string(),
+                    ),
                 );
             }
             out

@@ -66,7 +66,10 @@ fn header(title: &str) {
 fn table1() {
     header("Table §1 — a non-monotone observer retracts output");
     let evens = encodings::evens();
-    println!("{:>6} {:>28} {:>12} {:>14}", "time", "evens()", "f(evens())", "action");
+    println!(
+        "{:>6} {:>28} {:>12} {:>14}",
+        "time", "evens()", "f(evens())", "action"
+    );
     let mut sent = false;
     for n in [4usize, 8, 10, 12, 16] {
         let obs = eval_fuel(&evens, n);
@@ -114,7 +117,11 @@ fn fig4() {
         let field = |name: &str| {
             let v = eval_fuel(&project(state.clone(), name), 8);
             let s = v.to_string();
-            if s == "bot" { "⊥".into() } else { s }
+            if s == "bot" {
+                "⊥".into()
+            } else {
+                s
+            }
         };
         println!(
             "{:>5} {:>10} {:>7} {:>7} {:>12}",

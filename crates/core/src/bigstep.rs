@@ -156,9 +156,7 @@ fn eval(e: &TermRef, depth: usize, budget: &mut Budget) -> TermRef {
                 Term::Sym(s2) if s.leq(s2) => eval(body, depth, budget),
                 // Version threshold (§5.2): fires once the version reaches
                 // the symbol threshold.
-                Term::Lex(ver, _)
-                    if crate::observe::result_leq(&builder::sym(s.clone()), ver) =>
-                {
+                Term::Lex(ver, _) if crate::observe::result_leq(&builder::sym(s.clone()), ver) => {
                     eval(body, depth, budget)
                 }
                 _ => builder::bot(),
@@ -327,7 +325,12 @@ pub fn fuel_trace(e: &TermRef, max_fuel: usize, step: usize) -> Vec<TermRef> {
 /// change. Stabilisation is a heuristic fixed-point detector — sound for
 /// programs whose output is finite (e.g. `reaches` on a finite graph), where
 /// it implements the "tabling" termination behaviour §5.1 asks for.
-pub fn eval_converged(e: &TermRef, max_fuel: usize, step: usize, patience: usize) -> (TermRef, usize) {
+pub fn eval_converged(
+    e: &TermRef,
+    max_fuel: usize,
+    step: usize,
+    patience: usize,
+) -> (TermRef, usize) {
     let step = step.max(1);
     let mut last = eval_fuel(e, 0);
     let mut last_change = 0;
@@ -380,17 +383,12 @@ mod tests {
 
     #[test]
     fn evens_streams_the_even_numbers() {
-        let evens = parse(
-            "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
-        )
-        .unwrap();
+        let evens =
+            parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()").unwrap();
         let r = eval_fuel(&evens, 40);
         // Result is a set containing at least 0, 2, 4.
         for n in [0, 2, 4] {
-            assert!(
-                result_leq(&set(vec![int(n)]), &r),
-                "expected {n} ∈ {r}"
-            );
+            assert!(result_leq(&set(vec![int(n)]), &r), "expected {n} ∈ {r}");
         }
         // And nothing odd.
         assert!(!result_leq(&set(vec![int(1)]), &r));

@@ -241,10 +241,7 @@ pub fn force(e: TermRef) -> TermRef {
 pub fn z_combinator() -> TermRef {
     let half = lam(
         "x",
-        app(
-            var("f"),
-            lam("v", app(app(var("x"), var("x")), var("v"))),
-        ),
+        app(var("f"), lam("v", app(app(var("x"), var("x")), var("v")))),
     );
     lam("f", app(half.clone(), half))
 }
@@ -324,8 +321,7 @@ mod tests {
         assert!(matches!(&*bot(), Term::Bot));
         assert!(matches!(&*join(bot(), top()), Term::Join(..)));
         assert!(lams(&["a", "b"], var("a")).alpha_eq(&lam("a", lam("b", var("a")))));
-        assert!(apps(var("f"), vec![int(1), int(2)])
-            .alpha_eq(&app(app(var("f"), int(1)), int(2))));
+        assert!(apps(var("f"), vec![int(1), int(2)]).alpha_eq(&app(app(var("f"), int(1)), int(2))));
     }
 
     #[test]

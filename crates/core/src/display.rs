@@ -188,18 +188,12 @@ mod tests {
     fn lambda_and_app() {
         assert_eq!(lam("x", var("x")).to_string(), "\\x. x");
         assert_eq!(app(var("f"), var("x")).to_string(), "f x");
-        assert_eq!(
-            app(app(var("f"), var("x")), var("y")).to_string(),
-            "f x y"
-        );
+        assert_eq!(app(app(var("f"), var("x")), var("y")).to_string(), "f x y");
         assert_eq!(
             app(var("f"), app(var("g"), var("x"))).to_string(),
             "f (g x)"
         );
-        assert_eq!(
-            app(lam("x", var("x")), int(1)).to_string(),
-            "(\\x. x) 1"
-        );
+        assert_eq!(app(lam("x", var("x")), int(1)).to_string(), "(\\x. x) 1");
     }
 
     #[test]
@@ -247,9 +241,6 @@ mod tests {
     #[test]
     fn pairs_always_parenthesised() {
         assert_eq!(pair(int(1), int(2)).to_string(), "(1, 2)");
-        assert_eq!(
-            app(var("f"), pair(int(1), int(2))).to_string(),
-            "f (1, 2)"
-        );
+        assert_eq!(app(var("f"), pair(int(1), int(2))).to_string(), "f (1, 2)");
     }
 }

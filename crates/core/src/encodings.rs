@@ -63,10 +63,7 @@ pub fn evens() -> TermRef {
         "evens",
         lam(
             "_",
-            join(
-                set(vec![int(0)]),
-                app(plus2all(), force(var("evens"))),
-            ),
+            join(set(vec![int(0)]), app(plus2all(), force(var("evens")))),
         ),
     );
     force(evens_fn)
@@ -110,7 +107,9 @@ impl Graph {
     /// A line `0 → 1 → … → n-1`.
     pub fn line(n: i64) -> Self {
         Graph {
-            edges: (0..n).map(|i| (i, if i + 1 < n { vec![i + 1] } else { vec![] })).collect(),
+            edges: (0..n)
+                .map(|i| (i, if i + 1 < n { vec![i + 1] } else { vec![] }))
+                .collect(),
         }
     }
 
@@ -209,18 +208,12 @@ pub fn two_phase_commit() -> TermRef {
     // peer1 {proposal} = {ok1 = proposal > 4}
     let peer1 = lam(
         "state",
-        record(vec![(
-            "ok1",
-            lt(int(4), project(var("state"), "proposal")),
-        )]),
+        record(vec![("ok1", lt(int(4), project(var("state"), "proposal")))]),
     );
     // peer2 {proposal} = {ok2 = proposal <= 6}
     let peer2 = lam(
         "state",
-        record(vec![(
-            "ok2",
-            le(project(var("state"), "proposal"), int(6)),
-        )]),
+        record(vec![("ok2", le(project(var("state"), "proposal"), int(6)))]),
     );
     // displayResult result = if result then "accepted" else "rejected"
     let display_result = lam(
@@ -243,10 +236,7 @@ pub fn two_phase_commit() -> TermRef {
                     project(var("state"), "ok2"),
                     record(vec![(
                         "res",
-                        app(
-                            display_result,
-                            apps(and, vec![var("ok1"), var("ok2")]),
-                        ),
+                        app(display_result, apps(and, vec![var("ok1"), var("ok2")])),
                     )]),
                 ),
             ),
@@ -298,10 +288,7 @@ pub mod peano {
                         let_sym(
                             Symbol::name("succ"),
                             var("%tag"),
-                            pair(
-                                name("succ"),
-                                apps(var("add"), vec![var("%pred"), var("n")]),
-                            ),
+                            pair(name("succ"), apps(var("add"), vec![var("%pred"), var("n")])),
                         ),
                     ),
                 ),
@@ -453,7 +440,10 @@ mod tests {
     fn graph_ground_truth() {
         assert_eq!(Graph::line(3).reachable(0), vec![0, 1, 2]);
         assert_eq!(Graph::cycle(3).reachable(1), vec![0, 1, 2]);
-        assert_eq!(Graph::binary_tree(2).reachable(0), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            Graph::binary_tree(2).reachable(0),
+            vec![0, 1, 2, 3, 4, 5, 6]
+        );
         assert_eq!(Graph::line(3).reachable(2), vec![2]);
     }
 }

@@ -59,4 +59,3 @@ pub mod trace;
 
 pub use symbol::Symbol;
 pub use term::{Prim, Term, TermRef, Var};
-

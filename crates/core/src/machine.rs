@@ -234,8 +234,16 @@ mod tests {
 
     #[test]
     fn if_then_else_observes_branch() {
-        assert!(converges_to(ite(tt(), string("yes"), string("no")), &string("yes"), 10));
-        assert!(converges_to(ite(ff(), string("yes"), string("no")), &string("no"), 10));
+        assert!(converges_to(
+            ite(tt(), string("yes"), string("no")),
+            &string("yes"),
+            10
+        ));
+        assert!(converges_to(
+            ite(ff(), string("yes"), string("no")),
+            &string("no"),
+            10
+        ));
     }
 
     #[test]
@@ -254,7 +262,10 @@ mod tests {
         // fromN-style growth: fix f. λn. (n :: f (n+1)) ∨ ⊥v applied to 0
         let from_n = fix(
             "f",
-            lam("n", join(cons(var("n"), app(var("f"), add(var("n"), int(1)))), botv())),
+            lam(
+                "n",
+                join(cons(var("n"), app(var("f"), add(var("n"), int(1)))), botv()),
+            ),
         );
         let trace = observation_trace(app(from_n, int(0)), 30);
         assert!(trace.len() >= 3, "expected several distinct observations");

@@ -62,9 +62,7 @@ pub fn observe(t: &TermRef) -> TermRef {
         // be unsound — the version join can mask version growth — but the
         // input version with a ⊥v payload is below every possible final
         // value `⟨v1 ⊔ v2, v2'⟩`.)
-        Term::LexMerge(v1, _) if v1.is_value() => {
-            crate::reduce::lex_lift(v1, &builder::botv())
-        }
+        Term::LexMerge(v1, _) if v1.is_value() => crate::reduce::lex_lift(v1, &builder::botv()),
         Term::Set(es) => {
             let mut out: Vec<TermRef> = Vec::new();
             for e in es {
@@ -119,9 +117,9 @@ pub fn result_leq(r1: &TermRef, r2: &TermRef) -> bool {
             result_leq(a1, a2) && (!result_leq(a2, a1) || result_leq(b1, b2))
         }
         (Term::Pair(a1, b1), Term::Pair(a2, b2)) => result_leq(a1, a2) && result_leq(b1, b2),
-        (Term::Set(es1), Term::Set(es2)) => es1
-            .iter()
-            .all(|e1| es2.iter().any(|e2| result_leq(e1, e2))),
+        (Term::Set(es1), Term::Set(es2)) => {
+            es1.iter().all(|e1| es2.iter().any(|e2| result_leq(e1, e2)))
+        }
         (Term::Lam(..), Term::Lam(..)) => r1.alpha_eq(r2),
         (Term::Var(x), Term::Var(y)) => x == y,
         _ => false,
@@ -164,7 +162,10 @@ mod tests {
 
     fn var_free_loop() -> TermRef {
         // A closed non-value application standing in for a running call.
-        app(lam("x", app(var("x"), var("x"))), lam("x", app(var("x"), var("x"))))
+        app(
+            lam("x", app(var("x"), var("x"))),
+            lam("x", app(var("x"), var("x"))),
+        )
     }
 
     #[test]

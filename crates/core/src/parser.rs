@@ -92,8 +92,8 @@ enum Tok {
     RParen,
     LBrace,
     RBrace,
-    LRec,   // {|
-    RRec,   // |}
+    LRec, // {|
+    RRec, // |}
     Semi,
     Equals,
     Arrow,
@@ -785,7 +785,10 @@ impl Parser {
                     self.expect(Tok::RRec, "'|}' closing record")?;
                 }
                 Ok(builder::record(
-                    fields.iter().map(|(f, e)| (f.as_str(), e.clone())).collect(),
+                    fields
+                        .iter()
+                        .map(|(f, e)| (f.as_str(), e.clone()))
+                        .collect(),
                 ))
             }
             _ => {
@@ -948,11 +951,7 @@ mod tests {
         assert!(p("let 'ok = c in 1").alpha_eq(&let_sym(Symbol::name("ok"), var("c"), int(1))));
         // Pair pattern becomes LetPair + inner lets.
         let t = p("let (a, b) = p in a");
-        let r = eval_result(
-            app(lam("p", t), pair(int(1), int(2))),
-            10,
-        )
-        .unwrap();
+        let r = eval_result(app(lam("p", t), pair(int(1), int(2))), 10).unwrap();
         assert!(r.alpha_eq(&int(1)));
         // Compound pattern: let ('cons, (h, t)) = …
         let t = p("let ('cons, (h, t)) = ('cons, (5, 'nil)) in h");

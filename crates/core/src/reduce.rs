@@ -35,7 +35,10 @@ use crate::term::{Prim, Term, TermRef};
 /// Panics if either argument is not a result; callers obtain arguments from
 /// reduction, which only produces results in join position.
 pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
-    assert!(r1.is_result() && r2.is_result(), "join_results on non-results");
+    assert!(
+        r1.is_result() && r2.is_result(),
+        "join_results on non-results"
+    );
     match (&**r1, &**r2) {
         // Laws of bounded semilattices for ⊥, ⊤, ⊥v.
         (Term::Bot, _) => r2.clone(),
@@ -71,7 +74,10 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
             } else {
                 e2.subst(y, &builder::var(x))
             };
-            Rc::new(Term::Lam(x.clone(), Rc::new(Term::Join(e1.clone(), e2_renamed))))
+            Rc::new(Term::Lam(
+                x.clone(),
+                Rc::new(Term::Join(e1.clone(), e2_renamed)),
+            ))
         }
         // Frozen values: joining equivalent frozen values is idempotent;
         // joining a frozen value with any value at or below its payload is
@@ -111,9 +117,7 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
                 (true, false) => r2.clone(),
                 (false, true) => r1.clone(),
                 (true, true) => lex_lift(a1, &join_results(b1, b2)),
-                (false, false) => {
-                    lex_lift(&join_results(a1, a2), &join_results(b1, b2))
-                }
+                (false, false) => lex_lift(&join_results(a1, a2), &join_results(b1, b2)),
             }
         }
         // Identical free variables join to themselves (idempotence); this
@@ -215,9 +219,7 @@ pub fn delta(op: Prim, args: &[TermRef]) -> TermRef {
         // never become right, is the error ⊤.
         Prim::Member => match (&*args[0], &*args[1]) {
             (Term::Frz(x), Term::Frz(s)) => match &**s {
-                Term::Set(es) => {
-                    bool_term(es.iter().any(|e| crate::observe::result_equiv(e, x)))
-                }
+                Term::Set(es) => bool_term(es.iter().any(|e| crate::observe::result_equiv(e, x))),
                 _ => builder::top(),
             },
             _ => builder::bot(),
@@ -297,9 +299,7 @@ pub fn head_step(t: &Term) -> Option<TermRef> {
             // Version threshold (§5.2): a symbol threshold fires on a
             // versioned pair once the *version* reaches it. Monotone —
             // versions only grow — and what makes versions observable.
-            Term::Lex(v, _)
-                if crate::observe::result_leq(&builder::sym(s.clone()), v) =>
-            {
+            Term::Lex(v, _) if crate::observe::result_leq(&builder::sym(s.clone()), v) => {
                 Some(body.clone())
             }
             _ => None,
@@ -318,10 +318,7 @@ pub fn head_step(t: &Term) -> Option<TermRef> {
             _ => None,
         },
         Term::LexBind(x, e, body) if e.is_value() => match thaw(e) {
-            Term::Lex(v1, v1p) => Some(Rc::new(Term::LexMerge(
-                v1.clone(),
-                body.subst(x, v1p),
-            ))),
+            Term::Lex(v1, v1p) => Some(Rc::new(Term::LexMerge(v1.clone(), body.subst(x, v1p)))),
             // ⊥v may still refine to a versioned pair; the least sound
             // answer is ⊥v itself (it is below every possible output).
             Term::BotV => Some(builder::botv()),
@@ -336,9 +333,7 @@ pub fn head_step(t: &Term) -> Option<TermRef> {
         // is what keeps `bind` monotone when its body thresholds on a
         // payload that a newer version has replaced (§5.2) — the output
         // version may never fall behind the input version.
-        Term::LexMerge(v1, e) if matches!(&**e, Term::Bot) => {
-            Some(lex_lift(v1, &builder::botv()))
-        }
+        Term::LexMerge(v1, e) if matches!(&**e, Term::Bot) => Some(lex_lift(v1, &builder::botv())),
         Term::Set(es) if es.iter().any(|e| matches!(&**e, Term::Bot)) => Some(builder::set(
             es.iter()
                 .filter(|e| !matches!(&***e, Term::Bot))
@@ -359,9 +354,7 @@ pub fn head_step(t: &Term) -> Option<TermRef> {
 fn top_in_eval_position(t: &Term) -> bool {
     match t {
         Term::Set(es) => es.iter().any(|e| matches!(&**e, Term::Top)),
-        Term::Join(a, b) => {
-            matches!(&**a, Term::Top) || matches!(&**b, Term::Top)
-        }
+        Term::Join(a, b) => matches!(&**a, Term::Top) || matches!(&**b, Term::Top),
         _ => eval_children(t)
             .iter()
             .any(|(_, c)| matches!(&***c, Term::Top)),
@@ -733,7 +726,9 @@ mod tests {
         assert!(head_step(&app(top(), int(1))).unwrap().alpha_eq(&top()));
         assert!(head_step(&pair(top(), int(1))).unwrap().alpha_eq(&top()));
         assert!(head_step(&pair(int(1), top())).unwrap().alpha_eq(&top()));
-        assert!(head_step(&set(vec![int(1), top()])).unwrap().alpha_eq(&top()));
+        assert!(head_step(&set(vec![int(1), top()]))
+            .unwrap()
+            .alpha_eq(&top()));
         assert!(head_step(&let_sym(Symbol::tt(), top(), int(1)))
             .unwrap()
             .alpha_eq(&top()));
@@ -812,12 +807,19 @@ mod tests {
     #[test]
     fn sequential_forms_expose_single_position() {
         // Application: function first.
-        let t = app(app(lam("x", var("x")), lam("y", var("y"))), app(lam("z", var("z")), int(1)));
+        let t = app(
+            app(lam("x", var("x")), lam("y", var("y"))),
+            app(lam("z", var("z")), int(1)),
+        );
         let kids = eval_children(&t);
         assert_eq!(kids.len(), 1);
         assert_eq!(kids[0].0, 0);
         // Sets: all non-result elements in parallel.
-        let s = set(vec![int(1), app(lam("x", var("x")), int(2)), force(lam("_", int(3)))]);
+        let s = set(vec![
+            int(1),
+            app(lam("x", var("x")), int(2)),
+            force(lam("_", int(3))),
+        ]);
         let kids = eval_children(&s);
         assert_eq!(kids.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![1, 2]);
     }

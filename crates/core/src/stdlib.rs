@@ -43,10 +43,7 @@ pub fn list_append() -> TermRef {
                                 "t",
                                 var("%p"),
                                 join(
-                                    cons(
-                                        var("h"),
-                                        apps(var("append"), vec![var("t"), var("ys")]),
-                                    ),
+                                    cons(var("h"), apps(var("append"), vec![var("t"), var("ys")])),
                                     botv(),
                                 ),
                             ),
@@ -223,10 +220,7 @@ mod tests {
     #[test]
     fn append_streams_prefix_of_infinite_lists() {
         // append (fromN 0) ys streams 0 :: 1 :: … without ever needing ys.
-        let t = apps(
-            list_append(),
-            vec![app(from_n(), int(0)), ints(&[99])],
-        );
+        let t = apps(list_append(), vec![app(from_n(), int(0)), ints(&[99])]);
         let r = eval_fuel(&t, 25);
         let prefix = cons(int(0), cons(int(1), botv()));
         assert!(result_leq(&prefix, &r), "got {r}");
@@ -241,7 +235,10 @@ mod tests {
         // On the infinite stream, a prefix of the image appears.
         let t = apps(list_map(), vec![double, app(from_n(), int(0))]);
         let r = eval_fuel(&t, 30);
-        assert!(result_leq(&cons(int(0), cons(int(2), botv())), &r), "got {r}");
+        assert!(
+            result_leq(&cons(int(0), cons(int(2), botv())), &r),
+            "got {r}"
+        );
     }
 
     #[test]
@@ -284,7 +281,11 @@ mod tests {
         // step x = {x+1} below 3, {} at 3+: closure of 0 is {0,1,2,3}.
         let step = lam(
             "x",
-            ite(lt(var("x"), int(3)), set(vec![add(var("x"), int(1))]), set(vec![])),
+            ite(
+                lt(var("x"), int(3)),
+                set(vec![add(var("x"), int(1))]),
+                set(vec![]),
+            ),
         );
         let t = app(app(iterate(), step), int(0));
         let r = eval_fuel(&t, 60);
@@ -295,7 +296,10 @@ mod tests {
     fn nats_upto_streams_downward() {
         let t = app(nats_upto(), int(4));
         assert!(result_equiv(&eval_fuel(&t, 40), &intset(&[0, 1, 2, 3])));
-        assert!(result_equiv(&eval_fuel(&app(nats_upto(), int(0)), 10), &intset(&[])));
+        assert!(result_equiv(
+            &eval_fuel(&app(nats_upto(), int(0)), 10),
+            &intset(&[])
+        ));
     }
 
     #[test]

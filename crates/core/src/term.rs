@@ -330,11 +330,15 @@ fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64
         )),
         Term::Frz(e) => Rc::new(Term::Frz(subst_impl(e, x, v, fv_v, counter))),
         Term::Set(es) => Rc::new(Term::Set(
-            es.iter().map(|e| subst_impl(e, x, v, fv_v, counter)).collect(),
+            es.iter()
+                .map(|e| subst_impl(e, x, v, fv_v, counter))
+                .collect(),
         )),
         Term::Prim(op, es) => Rc::new(Term::Prim(
             *op,
-            es.iter().map(|e| subst_impl(e, x, v, fv_v, counter)).collect(),
+            es.iter()
+                .map(|e| subst_impl(e, x, v, fv_v, counter))
+                .collect(),
         )),
         Term::LetPair(x1, x2, e, body) => {
             let e2 = subst_impl(e, x, v, fv_v, counter);
@@ -530,8 +534,11 @@ mod tests {
     fn alpha_eq_renames_binders() {
         assert!(lam("x", var("x")).alpha_eq(&lam("y", var("y"))));
         assert!(!lam("x", var("x")).alpha_eq(&lam("y", var("x"))));
-        assert!(big_join("a", set(vec![]), var("a"))
-            .alpha_eq(&big_join("b", set(vec![]), var("b"))));
+        assert!(big_join("a", set(vec![]), var("a")).alpha_eq(&big_join(
+            "b",
+            set(vec![]),
+            var("b")
+        )));
     }
 
     #[test]

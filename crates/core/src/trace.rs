@@ -132,11 +132,7 @@ pub fn render_trace(initial: &TermRef, trace: &[TraceStep]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "    {initial}");
     for step in trace {
-        let _ = writeln!(
-            s,
-            "↦ [{} @ {:?}]\n    {}",
-            step.rule, step.path, step.after
-        );
+        let _ = writeln!(s, "↦ [{} @ {:?}]\n    {}", step.rule, step.path, step.after);
     }
     s
 }
@@ -155,21 +151,25 @@ mod tests {
         let rules: Vec<Rule> = trace.iter().map(|s| s.rule).collect();
         assert_eq!(rules[0], Rule::Beta);
         assert!(rules.contains(&Rule::JoinResults));
-        assert!(trace.last().unwrap().after.alpha_eq(&set(vec![int(1), int(2)])));
+        assert!(trace
+            .last()
+            .unwrap()
+            .after
+            .alpha_eq(&set(vec![int(1), int(2)])));
     }
 
     #[test]
     fn all_rules_are_exercised_somewhere() {
         let programs = [
-            "(\\x. x) 1",                            // beta
-            "let (a, b) = (1, 2) in a",              // let-pair
-            "let 'k = 'k in 1",                      // let-sym
-            "for x in {1}. {x}",                     // big-join
-            "1 \\/ bot",                             // join
-            "1 + 1",                                 // delta
-            "(top, 1)",                              // top-prop
-            "let frz x = frz 1 in x",                // let-frz
-            "bind x <- lex(`1, 2) in lex(`2, x)",    // lex-bind + lex-merge
+            "(\\x. x) 1",                         // beta
+            "let (a, b) = (1, 2) in a",           // let-pair
+            "let 'k = 'k in 1",                   // let-sym
+            "for x in {1}. {x}",                  // big-join
+            "1 \\/ bot",                          // join
+            "1 + 1",                              // delta
+            "(top, 1)",                           // top-prop
+            "let frz x = frz 1 in x",             // let-frz
+            "bind x <- lex(`1, 2) in lex(`2, x)", // lex-bind + lex-merge
         ];
         let mut seen: HashSet<Rule> = HashSet::new();
         for p in programs {

@@ -141,10 +141,7 @@ fn diff_on_frozen_sets() {
 #[test]
 fn diff_result_streams_onward() {
     // The difference is a plain set again: it can be joined with more data.
-    let d = diff(
-        frz(set(vec![int(1), int(2)])),
-        frz(set(vec![int(1)])),
-    );
+    let d = diff(frz(set(vec![int(1), int(2)])), frz(set(vec![int(1)])));
     let t = join(d, set(vec![int(9)]));
     let r = run(t);
     assert!(result_equiv(&r, &set(vec![int(2), int(9)])));
@@ -198,7 +195,10 @@ fn frozen_aggregate_example_end_to_end() {
 #[test]
 fn observe_of_running_freeze_is_bot() {
     // frz applied to a still-running computation is all-or-nothing.
-    let running = app(lam("x", app(var("x"), var("x"))), lam("x", app(var("x"), var("x"))));
+    let running = app(
+        lam("x", app(var("x"), var("x"))),
+        lam("x", app(var("x"), var("x"))),
+    );
     assert!(observe(&frz(running)).alpha_eq(&bot()));
 }
 
@@ -301,11 +301,7 @@ fn bind_version_join_keeps_monotonicity() {
     // The body reports an *older* version; the bind result still carries the
     // newer input version, so downstream consumers never see time move
     // backwards.
-    let t = lex_bind(
-        "x",
-        lex(level(5), int(10)),
-        lex(level(1), var("x")),
-    );
+    let t = lex_bind("x", lex(level(5), int(10)), lex(level(1), var("x")));
     assert!(run(t).alpha_eq(&lex(level(5), int(10))));
 }
 
@@ -408,10 +404,7 @@ fn machine_runs_freeze_programs_to_quiescence() {
 
 #[test]
 fn machine_observations_stay_monotone_with_extensions() {
-    let t = parse(
-        "bind x <- lex(`1, {1}) in lex(`1, x \\/ {2, 3})",
-    )
-    .expect("parse");
+    let t = parse("bind x <- lex(`1, {1}) in lex(`1, x \\/ {2, 3})").expect("parse");
     let mut m = Machine::new(t);
     let mut prev = m.observe();
     for _ in 0..64 {

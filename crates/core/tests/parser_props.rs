@@ -37,7 +37,12 @@ fn arb_term() -> impl Strategy<Value = TermRef> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| b::pair(x, y)),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| b::join(x, y)),
             prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
-            (var_name.clone(), var_name.clone(), inner.clone(), inner.clone())
+            (
+                var_name.clone(),
+                var_name.clone(),
+                inner.clone(),
+                inner.clone()
+            )
                 .prop_map(|(x, y, e, body)| b::let_pair(x, y, e, body)),
             (arb_symbol(), inner.clone(), inner.clone())
                 .prop_map(|(s, e, body)| b::let_sym(s, e, body)),

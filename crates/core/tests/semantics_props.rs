@@ -39,11 +39,7 @@ fn arb_value() -> impl Strategy<Value = TermRef> {
 }
 
 fn arb_result() -> impl Strategy<Value = TermRef> {
-    prop_oneof![
-        Just(b::bot()),
-        Just(b::top()),
-        arb_value(),
-    ]
+    prop_oneof![Just(b::bot()), Just(b::top()), arb_value(),]
 }
 
 /// Random closed expressions that terminate quickly (no recursion).
@@ -59,14 +55,21 @@ fn arb_expr() -> impl Strategy<Value = TermRef> {
             (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::pair(a, b2)),
             (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::join(a, b2)),
             prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
-            inner.clone().prop_map(|e| b::app(b::lam("x", b::var("x")), e)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b2)| b::app(b::lam("x", b2), a)),
             inner
                 .clone()
-                .prop_map(|e| b::big_join("x", b::set(vec![e]), b::set(vec![b::var("x")]))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b2)| b::let_pair("p", "q", b::pair(a, b2), b::var("p"))),
+                .prop_map(|e| b::app(b::lam("x", b::var("x")), e)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::app(b::lam("x", b2), a)),
+            inner.clone().prop_map(|e| b::big_join(
+                "x",
+                b::set(vec![e]),
+                b::set(vec![b::var("x")])
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::let_pair(
+                "p",
+                "q",
+                b::pair(a, b2),
+                b::var("p")
+            )),
             // §5.2 extensions: freeze/thaw and versioned pairs.
             inner.clone().prop_map(b::frz),
             inner

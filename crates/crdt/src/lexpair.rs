@@ -12,7 +12,6 @@
 
 use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
 
-
 /// A lexicographically ordered version/payload pair.
 ///
 /// `V` is the version semilattice (often [`crate::VClock`] or

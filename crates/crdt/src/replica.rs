@@ -180,9 +180,7 @@ impl<S: JoinSemilattice + PartialEq + Clone> Cluster<S> {
 
     /// Whether all replicas currently agree.
     pub fn converged(&self) -> bool {
-        self.replicas
-            .windows(2)
-            .all(|w| w[0] == w[1])
+        self.replicas.windows(2).all(|w| w[0] == w[1])
     }
 }
 

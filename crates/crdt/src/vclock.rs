@@ -52,9 +52,7 @@ impl VClock {
 
     /// The causal order: `self ≤ other` iff every component is ≤.
     pub fn leq(&self, other: &Self) -> bool {
-        self.ticks
-            .iter()
-            .all(|(r, t)| *t <= other.get(*r))
+        self.ticks.iter().all(|(r, t)| *t <= other.get(*r))
     }
 
     /// Classifies the causal relationship.

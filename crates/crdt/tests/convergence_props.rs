@@ -95,6 +95,5 @@ proptest! {
 }
 
 fn arb_gset() -> impl Strategy<Value = GSet<i64>> {
-    prop::collection::btree_set(0i64..20, 0..8)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(0i64..20, 0..8).prop_map(|s| s.into_iter().collect())
 }

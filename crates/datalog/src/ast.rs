@@ -148,9 +148,7 @@ impl Program {
     /// Panics if the atom contains variables.
     pub fn fact(&mut self, atom: Atom) -> &mut Self {
         assert!(
-            atom.args
-                .iter()
-                .all(|t| matches!(t, AtomTerm::Const(_))),
+            atom.args.iter().all(|t| matches!(t, AtomTerm::Const(_))),
             "facts must be ground"
         );
         self.rules.push(Rule {

@@ -39,7 +39,10 @@ impl std::error::Error for DatalogParseError {}
 /// Returns the first syntax error; also rejects non-range-restricted rules
 /// and non-ground facts (via the `ast` constructors).
 pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
-    let mut p = P { src: src.as_bytes(), pos: 0 };
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let mut program = Program::new();
     loop {
         p.skip_ws();
@@ -65,7 +68,9 @@ pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
             for t in &head.args {
                 if let AtomTerm::Var(v) = t {
                     let bound = body.iter().any(|a| {
-                        a.args.iter().any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
+                        a.args
+                            .iter()
+                            .any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
                     });
                     if !bound {
                         return Err(DatalogParseError {
@@ -155,8 +160,7 @@ impl<'a> P<'a> {
 
     fn ident(&mut self) -> Result<String, DatalogParseError> {
         let start = self.pos;
-        while !self.eof()
-            && ((self.peek() as char).is_ascii_alphanumeric() || self.peek() == b'_')
+        while !self.eof() && ((self.peek() as char).is_ascii_alphanumeric() || self.peek() == b'_')
         {
             self.pos += 1;
         }

@@ -4,7 +4,9 @@
 
 use std::collections::BTreeSet;
 
-use lambda_join_datalog::eval::{eval, reaches_program, transitive_closure_program, Strategy as DlStrategy};
+use lambda_join_datalog::eval::{
+    eval, reaches_program, transitive_closure_program, Strategy as DlStrategy,
+};
 use lambda_join_datalog::Const;
 use proptest::prelude::*;
 

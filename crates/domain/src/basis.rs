@@ -301,8 +301,7 @@ pub mod constructions {
         type Elem = (A::Elem, B::Elem);
 
         fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
-            self.strictly(&a.0, &b.0)
-                || (self.0.equiv(&a.0, &b.0) && self.1.leq(&a.1, &b.1))
+            self.strictly(&a.0, &b.0) || (self.0.equiv(&a.0, &b.0) && self.1.leq(&a.1, &b.1))
         }
 
         fn join(&self, a: &Self::Elem, b: &Self::Elem) -> Option<Self::Elem> {
@@ -412,7 +411,10 @@ mod tests {
             &(Symbol::Level(1), Symbol::Level(1))
         ));
         assert_eq!(
-            b.join(&(Symbol::Level(0), Symbol::tt()), &(Symbol::Level(2), Symbol::tt())),
+            b.join(
+                &(Symbol::Level(0), Symbol::tt()),
+                &(Symbol::Level(2), Symbol::tt())
+            ),
             Some((Symbol::Level(2), Symbol::tt()))
         );
     }
@@ -509,14 +511,8 @@ mod tests {
         // payload: the joined version is strictly above both sides, so the
         // lex order constrains the payload not at all.
         let b = LexProd(Lift(SymBasis), Lift(SymBasis));
-        let a = (
-            Lifted::Up(Symbol::tt()),
-            Lifted::Up(Symbol::name("a")),
-        );
-        let c = (
-            Lifted::Up(Symbol::ff()),
-            Lifted::Up(Symbol::name("b")),
-        );
+        let a = (Lifted::Up(Symbol::tt()), Lifted::Up(Symbol::name("a")));
+        let c = (Lifted::Up(Symbol::ff()), Lifted::Up(Symbol::name("b")));
         // tt ⊔ ff is undefined in Sym, so no version upper bound exists…
         assert_eq!(b.join(&a, &c), None);
         // …but with vector-clock versions the lub exists — and forgets the

@@ -65,9 +65,11 @@ impl<E: Clone + PartialEq + std::fmt::Debug> HoareSet<E> {
     pub fn normalise<B: FinitaryBasis<Elem = E>>(&self, basis: &B) -> Self {
         let mut keep: Vec<E> = Vec::new();
         for (i, g) in self.gens.iter().enumerate() {
-            let dominated = self.gens.iter().enumerate().any(|(j, h)| {
-                j != i && basis.leq(g, h) && !(basis.leq(h, g) && j > i)
-            });
+            let dominated = self
+                .gens
+                .iter()
+                .enumerate()
+                .any(|(j, h)| j != i && basis.leq(g, h) && !(basis.leq(h, g) && j > i));
             if !dominated && !keep.iter().any(|k| basis.equiv(k, g)) {
                 keep.push(g.clone());
             }
@@ -145,7 +147,12 @@ mod tests {
 
     #[test]
     fn union_assoc_comm_idem_laws() {
-        let syms = [Symbol::tt(), Symbol::ff(), Symbol::Level(1), Symbol::Level(2)];
+        let syms = [
+            Symbol::tt(),
+            Symbol::ff(),
+            Symbol::Level(1),
+            Symbol::Level(2),
+        ];
         let sets: Vec<HoareSet<Symbol>> = vec![
             HoareSet::empty(),
             HoareSet::from_generators(vec![syms[0].clone()]),
@@ -157,9 +164,7 @@ mod tests {
             for b in &sets {
                 assert!(a.union(b).set_eq(&SymBasis, &b.union(a)));
                 for c in &sets {
-                    assert!(a
-                        .union(&b.union(c))
-                        .set_eq(&SymBasis, &a.union(b).union(c)));
+                    assert!(a.union(&b.union(c)).set_eq(&SymBasis, &a.union(b).union(c)));
                 }
             }
         }

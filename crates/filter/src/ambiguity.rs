@@ -363,8 +363,7 @@ impl Cx {
                 // The results for all elements are joined together: the body
                 // shape joined with itself covers cross-element joins.
                 let (shape, top) = join_shapes(&rb.shape, &rb.shape);
-                Analysis::safe(shape)
-                    .with_reason(rs.may_top.or(rb.may_top).or(top))
+                Analysis::safe(shape).with_reason(rs.may_top.or(rb.may_top).or(top))
             }
             Term::LexBind(x, scrut, body) => {
                 let rs = self.analyze(env, scrut, fuel);
@@ -637,9 +636,7 @@ fn prim_shape(op: Prim, shapes: &[Shape]) -> Analysis {
             }
         }
         Prim::Eq => match (shapes[0].thaw(), shapes[1].thaw()) {
-            (Shape::Syms(xs), Shape::Syms(ys))
-                if xs.len() == 1 && ys.len() == 1 =>
-            {
+            (Shape::Syms(xs), Shape::Syms(ys)) if xs.len() == 1 && ys.len() == 1 => {
                 Analysis::safe(Shape::sym(bool_sym(xs == ys)))
             }
             (Shape::Syms(_) | Shape::AnyInt, Shape::Syms(_) | Shape::AnyInt) => {

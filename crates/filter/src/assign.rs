@@ -139,8 +139,7 @@ impl Checker {
                     }
                     match &**v {
                         VForm::BotV => {
-                            self.produces_value(env, a, fuel)
-                                && self.produces_value(env, b, fuel)
+                            self.produces_value(env, a, fuel) && self.produces_value(env, b, fuel)
                         }
                         VForm::Pair(t1, t2) => {
                             self.check(env, a, &CForm::Val(t1.clone()), fuel)
@@ -220,8 +219,7 @@ impl Checker {
                 match &*r {
                     Term::Top => true,
                     Term::Set(vs) => {
-                        let branches: Vec<TermRef> =
-                            vs.iter().map(|v| body.subst(x, v)).collect();
+                        let branches: Vec<TermRef> = vs.iter().map(|v| body.subst(x, v)).collect();
                         self.check_join(env, &branches, phi, fuel)
                     }
                     Term::Var(y) => match env.lookup(y).cloned() {
@@ -229,10 +227,8 @@ impl Checker {
                             VForm::Set(ts) => {
                                 // Bind x to each element formula; the goal
                                 // must be coverable by the branches.
-                                let envs: Vec<Env> = ts
-                                    .iter()
-                                    .map(|t| env.extend(x, t.clone()))
-                                    .collect();
+                                let envs: Vec<Env> =
+                                    ts.iter().map(|t| env.extend(x, t.clone())).collect();
                                 self.check_join_envs(
                                     &envs
                                         .iter()
@@ -278,21 +274,14 @@ impl Checker {
 
     /// Checks a join of branches (all under the same environment).
     fn check_join(&mut self, env: &Env, branches: &[TermRef], phi: &CForm, fuel: usize) -> bool {
-        let tagged: Vec<(Env, TermRef)> = branches
-            .iter()
-            .map(|b| (env.clone(), b.clone()))
-            .collect();
+        let tagged: Vec<(Env, TermRef)> =
+            branches.iter().map(|b| (env.clone(), b.clone())).collect();
         self.check_join_envs(&tagged, phi, fuel)
     }
 
     /// Checks `φ ⊑ ⊔i φi` where each `φi` ranges over the formulae of
     /// branch `i` — goal-directed decomposition by the shape of `φ`.
-    fn check_join_envs(
-        &mut self,
-        branches: &[(Env, TermRef)],
-        phi: &CForm,
-        fuel: usize,
-    ) -> bool {
+    fn check_join_envs(&mut self, branches: &[(Env, TermRef)], phi: &CForm, fuel: usize) -> bool {
         if !self.spend() {
             return false;
         }
@@ -302,9 +291,7 @@ impl Checker {
         // A single branch suffices whenever it derives φ itself (the other
         // branches contribute ⊥ by totality).
         let single = |ck: &mut Self, goal: &CForm| {
-            branches
-                .iter()
-                .any(|(env, b)| ck.check(env, b, goal, fuel))
+            branches.iter().any(|(env, b)| ck.check(env, b, goal, fuel))
         };
         match phi {
             CForm::Top => {
@@ -347,14 +334,8 @@ impl Checker {
                     if single(self, phi) {
                         return true;
                     }
-                    let left = CForm::Val(Rc::new(VForm::Pair(
-                        t1.clone(),
-                        Rc::new(VForm::BotV),
-                    )));
-                    let right = CForm::Val(Rc::new(VForm::Pair(
-                        Rc::new(VForm::BotV),
-                        t2.clone(),
-                    )));
+                    let left = CForm::Val(Rc::new(VForm::Pair(t1.clone(), Rc::new(VForm::BotV))));
+                    let right = CForm::Val(Rc::new(VForm::Pair(Rc::new(VForm::BotV), t2.clone())));
                     single(self, &left) && single(self, &right)
                 }
             },
@@ -409,8 +390,8 @@ impl Checker {
             (Term::Var(x), _) => match env.lookup(x) {
                 Some(t) => match &**t {
                     VForm::Fun(clauses) => {
-                        let targ = value_formula_in_env(&va, env)
-                            .unwrap_or_else(|| Rc::new(VForm::BotV));
+                        let targ =
+                            value_formula_in_env(&va, env).unwrap_or_else(|| Rc::new(VForm::BotV));
                         let outs: Vec<CForm> = clauses
                             .iter()
                             .filter(|(ti, _)| vleq(ti, &targ))
@@ -456,8 +437,7 @@ pub fn check_closed(e: &TermRef, phi: &CForm, fuel: usize) -> bool {
 /// Returns a formula certifying convergence, if the checker can derive any
 /// non-`⊥` behaviour for `e`: the paper's premise `⊥v ⪯log e` of Adequacy.
 pub fn derives_value(e: &TermRef, fuel: usize) -> bool {
-    check_closed(e, &CForm::Val(Rc::new(VForm::BotV)), fuel)
-        || check_closed(e, &CForm::Top, fuel)
+    check_closed(e, &CForm::Val(Rc::new(VForm::BotV)), fuel) || check_closed(e, &CForm::Top, fuel)
 }
 
 #[cfg(test)]

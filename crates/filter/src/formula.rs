@@ -339,10 +339,7 @@ mod tests {
 
     #[test]
     fn value_formula_of_results() {
-        assert_eq!(
-            value_formula(&tb::int(5)),
-            Some(vint(5))
-        );
+        assert_eq!(value_formula(&tb::int(5)), Some(vint(5)));
         assert_eq!(
             value_formula(&tb::pair(tb::int(1), tb::botv())),
             Some(vpair(vint(1), botv_v()))
@@ -352,10 +349,7 @@ mod tests {
             Some(vset(vec![vint(1)]))
         );
         // Lambdas become ⊥v.
-        assert_eq!(
-            value_formula(&tb::lam("x", tb::var("x"))),
-            Some(botv_v())
-        );
+        assert_eq!(value_formula(&tb::lam("x", tb::var("x"))), Some(botv_v()));
         // Open values have no closed formula.
         assert_eq!(value_formula(&tb::var("x")), None);
     }

@@ -29,9 +29,7 @@ pub fn vjoin(a: &VFormRef, b: &VFormRef) -> CForm {
             Some(s) => CForm::Val(Rc::new(VForm::Sym(s))),
             None => CForm::Top,
         },
-        (VForm::Pair(a1, b1), VForm::Pair(a2, b2)) => {
-            pair_lift(&vjoin(a1, a2), &vjoin(b1, b2))
-        }
+        (VForm::Pair(a1, b1), VForm::Pair(a2, b2)) => pair_lift(&vjoin(a1, a2), &vjoin(b1, b2)),
         (VForm::Set(e1), VForm::Set(e2)) => {
             let mut out = e1.clone();
             for t in e2 {
@@ -79,9 +77,7 @@ pub fn singleton_lift(a: &CForm) -> CForm {
 
 /// Joins a sequence of computation formulae (`⊥` if empty).
 pub fn cjoin_all<'a>(items: impl IntoIterator<Item = &'a CForm>) -> CForm {
-    items
-        .into_iter()
-        .fold(CForm::Bot, |acc, x| cjoin(&acc, x))
+    items.into_iter().fold(CForm::Bot, |acc, x| cjoin(&acc, x))
 }
 
 #[cfg(test)]
@@ -188,7 +184,10 @@ mod tests {
     #[test]
     fn unlike_values_join_to_top() {
         assert_eq!(cjoin(&val(vint(1)), &val(vset(vec![]))), top());
-        assert_eq!(cjoin(&val(VForm::empty_fun()), &val(vpair(vint(1), vint(1)))), top());
+        assert_eq!(
+            cjoin(&val(VForm::empty_fun()), &val(vpair(vint(1), vint(1)))),
+            top()
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@ use crate::join::cjoin_all;
 /// Decides `φ1 ⊑ φ2` (streaming order on computation formulae).
 pub fn cleq(a: &CForm, b: &CForm) -> bool {
     match (a, b) {
-        (CForm::Bot, _) => true,          // TApxBot
-        (_, CForm::Top) => true,          // TApxTop
-        (CForm::Top, _) => false,         // only ⊤ above ⊤
-        (_, CForm::Bot) => false,         // only ⊥ below ⊥
+        (CForm::Bot, _) => true,  // TApxBot
+        (_, CForm::Top) => true,  // TApxTop
+        (CForm::Top, _) => false, // only ⊤ above ⊤
+        (_, CForm::Bot) => false, // only ⊥ below ⊥
         (CForm::Val(v1), CForm::Val(v2)) => vleq(v1, v2),
     }
 }
@@ -30,13 +30,11 @@ pub fn cleq(a: &CForm, b: &CForm) -> bool {
 /// Decides `τ1 ⊑ τ2` (streaming order on value formulae).
 pub fn vleq(a: &VFormRef, b: &VFormRef) -> bool {
     match (&**a, &**b) {
-        (VForm::BotV, _) => true, // TApxBotV
+        (VForm::BotV, _) => true,                       // TApxBotV
         (VForm::Sym(s1), VForm::Sym(s2)) => s1.leq(s2), // TApxSym
         (VForm::Pair(a1, b1), VForm::Pair(a2, b2)) => vleq(a1, a2) && vleq(b1, b2), // TApxPair
         // TApxSet: ∀i ∃j. τi ⊑ τ'j
-        (VForm::Set(e1), VForm::Set(e2)) => {
-            e1.iter().all(|t| e2.iter().any(|t2| vleq(t, t2)))
-        }
+        (VForm::Set(e1), VForm::Set(e2)) => e1.iter().all(|t| e2.iter().any(|t2| vleq(t, t2))),
         // TApxFun, via the canonical-subset argument (module docs).
         (VForm::Fun(c1), VForm::Fun(c2)) => c1.iter().all(|(ti, pi)| {
             let triggered: Vec<&(VFormRef, CForm)> =
@@ -84,12 +82,9 @@ impl Env {
     /// The pointwise order `Γ ⊑ Γ'`: `dom Γ ⊆ dom Γ'` and each binding
     /// grows.
     pub fn leq(&self, other: &Env) -> bool {
-        self.bindings.iter().all(|(x, t)| {
-            other
-                .lookup(x)
-                .map(|t2| vleq(t, t2))
-                .unwrap_or(false)
-        })
+        self.bindings
+            .iter()
+            .all(|(x, t)| other.lookup(x).map(|t2| vleq(t, t2)).unwrap_or(false))
     }
 }
 
@@ -102,7 +97,15 @@ mod tests {
     use lambda_join_core::symbol::Symbol;
 
     fn universe() -> Vec<VFormRef> {
-        enumerate_vforms(&[Symbol::tt(), Symbol::ff(), Symbol::Level(1), Symbol::Level(2)], 2)
+        enumerate_vforms(
+            &[
+                Symbol::tt(),
+                Symbol::ff(),
+                Symbol::Level(1),
+                Symbol::Level(2),
+            ],
+            2,
+        )
     }
 
     #[test]
@@ -179,10 +182,7 @@ mod tests {
             &varrow(hi_in.clone(), lo_out.clone()),
             &varrow(lo_in.clone(), hi_out.clone())
         ));
-        assert!(!vleq(
-            &varrow(lo_in, lo_out),
-            &varrow(hi_in, hi_out)
-        ));
+        assert!(!vleq(&varrow(lo_in, lo_out), &varrow(hi_in, hi_out)));
     }
 
     #[test]

@@ -165,10 +165,9 @@ mod tests {
         ];
         for (i, p) in programs.iter().enumerate() {
             let e = parse(p).unwrap();
-            soundness_holds(&e, 20, xorshift(i as u64 + 1), 8, 25)
-                .unwrap_or_else(|(step, phi)| {
-                    panic!("soundness violated for {p} at step {step}: {phi}")
-                });
+            soundness_holds(&e, 20, xorshift(i as u64 + 1), 8, 25).unwrap_or_else(|(step, phi)| {
+                panic!("soundness violated for {p} at step {step}: {phi}")
+            });
         }
     }
 
@@ -193,7 +192,9 @@ mod tests {
     fn monotonicity_in_big_join_context() {
         let e1 = parse("{1}").unwrap();
         let e2 = parse("{1} \\/ {2}").unwrap();
-        let ctx = |hole: lambda_join_core::TermRef| big_join("x", hole, set(vec![add(var("x"), int(10))]));
+        let ctx = |hole: lambda_join_core::TermRef| {
+            big_join("x", hole, set(vec![add(var("x"), int(10))]))
+        };
         monotone_in_context(&e1, &e2, ctx, 6, 20)
             .unwrap_or_else(|phi| panic!("monotonicity violated at {phi}"));
     }

@@ -35,14 +35,21 @@ fn arb_expr() -> impl Strategy<Value = TermRef> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| b::pair(x, y)),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| b::join(x, y)),
             prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
-            inner.clone().prop_map(|x| b::app(b::lam("v", b::var("v")), x)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| b::app(b::lam("v", b::join(b::var("v"), y)), x)),
             inner
                 .clone()
-                .prop_map(|x| b::big_join("v", b::set(vec![x]), b::set(vec![b::var("v")]))),
-            (arb_symbol(), inner.clone(), inner)
-                .prop_map(|(s, x, y)| b::let_sym(s.clone(), b::join(b::sym(s), x), y)),
+                .prop_map(|x| b::app(b::lam("v", b::var("v")), x)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| b::app(b::lam("v", b::join(b::var("v"), y)), x)),
+            inner.clone().prop_map(|x| b::big_join(
+                "v",
+                b::set(vec![x]),
+                b::set(vec![b::var("v")])
+            )),
+            (arb_symbol(), inner.clone(), inner).prop_map(|(s, x, y)| b::let_sym(
+                s.clone(),
+                b::join(b::sym(s), x),
+                y
+            )),
         ]
     })
 }

@@ -164,14 +164,12 @@ pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
             }
         }
         // Versioned pairs join lexicographically (mirrors `join_results`).
-        (CVal::Lex(a1, b1), CVal::Lex(a2, b2)) => {
-            match (cval_leq(a1, a2), cval_leq(a2, a1)) {
-                (true, false) => b.clone(),
-                (false, true) => a.clone(),
-                (true, true) => lex_cval(a1.clone(), cval_join(b1, b2)),
-                (false, false) => lex_cval(cval_join(a1, a2), cval_join(b1, b2)),
-            }
-        }
+        (CVal::Lex(a1, b1), CVal::Lex(a2, b2)) => match (cval_leq(a1, a2), cval_leq(a2, a1)) {
+            (true, false) => b.clone(),
+            (false, true) => a.clone(),
+            (true, true) => lex_cval(a1.clone(), cval_join(b1, b2)),
+            (false, false) => lex_cval(cval_join(a1, a2), cval_join(b1, b2)),
+        },
         _ => Rc::new(CVal::Top),
     }
 }
@@ -201,9 +199,7 @@ pub fn cval_leq(a: &Rc<CVal>, b: &Rc<CVal>) -> bool {
             cval_leq(a1, a2) && (!cval_leq(a2, a1) || cval_leq(b1, b2))
         }
         (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => cval_leq(a1, a2) && cval_leq(b1, b2),
-        (CVal::Set(xs), CVal::Set(ys)) => {
-            xs.iter().all(|x| ys.iter().any(|y| cval_leq(x, y)))
-        }
+        (CVal::Set(xs), CVal::Set(ys)) => xs.iter().all(|x| ys.iter().any(|y| cval_leq(x, y))),
         (CVal::Clos(_), CVal::Clos(_)) => a == b,
         _ => false,
     }
@@ -271,7 +267,9 @@ fn eval(env: &Env, e: &TermRef, depth: usize, ex: &mut bool) -> Rc<CVal> {
             match thaw(&v) {
                 CVal::Top => Rc::new(CVal::Top),
                 CVal::Pair(a, b) => {
-                    let env2 = env.extend(x1.clone(), a.clone()).extend(x2.clone(), b.clone());
+                    let env2 = env
+                        .extend(x1.clone(), a.clone())
+                        .extend(x2.clone(), b.clone());
                     eval(&env2, body, depth, ex)
                 }
                 _ => Rc::new(CVal::Bot),
@@ -283,9 +281,7 @@ fn eval(env: &Env, e: &TermRef, depth: usize, ex: &mut bool) -> Rc<CVal> {
                 CVal::Top => Rc::new(CVal::Top),
                 CVal::Sym(s2) if s.leq(s2) => eval(env, body, depth, ex),
                 // Version threshold (§5.2).
-                CVal::Lex(ver, _)
-                    if cval_leq(&Rc::new(CVal::Sym(s.clone())), ver) =>
-                {
+                CVal::Lex(ver, _) if cval_leq(&Rc::new(CVal::Sym(s.clone())), ver) => {
                     eval(env, body, depth, ex)
                 }
                 _ => Rc::new(CVal::Bot),
@@ -399,8 +395,7 @@ fn merge_version_cval(v1: &Rc<CVal>, r: &Rc<CVal>) -> Rc<CVal> {
 
 /// Delta rules on semantic values (mirrors `reduce::delta`).
 fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
-    let boolean =
-        |b: bool| Rc::new(CVal::Sym(if b { Symbol::tt() } else { Symbol::ff() }));
+    let boolean = |b: bool| Rc::new(CVal::Sym(if b { Symbol::tt() } else { Symbol::ff() }));
     let as_int = |v: &Rc<CVal>| match thaw(v) {
         CVal::Sym(s) => s.as_int(),
         _ => None,
@@ -426,9 +421,7 @@ fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
         // Unfrozen operands block (wait for the freeze); see core::reduce.
         Prim::Member => match (&*vals[0], &*vals[1]) {
             (CVal::Frz(x), CVal::Frz(s)) => match &**s {
-                CVal::Set(es) => {
-                    boolean(es.iter().any(|e| cval_leq(e, x) && cval_leq(x, e)))
-                }
+                CVal::Set(es) => boolean(es.iter().any(|e| cval_leq(e, x) && cval_leq(x, e))),
                 _ => Rc::new(CVal::Top),
             },
             _ => Rc::new(CVal::Bot),
@@ -437,9 +430,7 @@ fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
             (CVal::Frz(s1), CVal::Frz(s2)) => match (&**s1, &**s2) {
                 (CVal::Set(es1), CVal::Set(es2)) => Rc::new(CVal::Set(
                     es1.iter()
-                        .filter(|e| {
-                            !es2.iter().any(|o| cval_leq(o, e) && cval_leq(e, o))
-                        })
+                        .filter(|e| !es2.iter().any(|o| cval_leq(o, e) && cval_leq(e, o)))
                         .cloned()
                         .collect(),
                 )),

@@ -162,8 +162,7 @@ mod tests {
     #[test]
     fn empty_seed_is_empty_fixpoint() {
         let es = edges();
-        let (fix, stats) =
-            seminaive_set_fixpoint(BTreeSet::<i64>::new(), expand_from(&es), 100);
+        let (fix, stats) = seminaive_set_fixpoint(BTreeSet::<i64>::new(), expand_from(&es), 100);
         assert!(fix.is_empty());
         assert_eq!(stats.work, 0);
     }

@@ -175,7 +175,10 @@ mod tests {
         assert!(small.freeze_leq(&big));
         let fs = small.freeze();
         let fb = big.freeze();
-        assert!(!fs.freeze_leq(&fb), "frz{{1}} must be incomparable to frz{{1,2}}");
+        assert!(
+            !fs.freeze_leq(&fb),
+            "frz{{1}} must be incomparable to frz{{1,2}}"
+        );
         assert!(!fb.freeze_leq(&fs));
         // And their join is the conflict error.
         assert_eq!(fs.join(&fb), Freeze::Conflict);

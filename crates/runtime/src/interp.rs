@@ -65,9 +65,7 @@ impl DiagonalTable {
     /// order (ignoring rows containing λ-values, where the syntactic order
     /// is partial).
     pub fn is_monotone(&self) -> bool {
-        let mono = |xs: &[TermRef]| {
-            xs.windows(2).all(|w| result_leq(&w[0], &w[1]))
-        };
+        let mono = |xs: &[TermRef]| xs.windows(2).all(|w| result_leq(&w[0], &w[1]));
         self.rows.iter().all(|r| mono(r)) && mono(&self.diagonal)
     }
 }
@@ -117,13 +115,16 @@ mod tests {
         // (they may differ transiently by a constant fuel offset).
         let last_diag = table.diagonal.last().unwrap().clone();
         let last_direct = direct.at(10);
-        assert!(last_diag.alpha_eq(&last_direct), "{last_diag} vs {last_direct}");
+        assert!(
+            last_diag.alpha_eq(&last_direct),
+            "{last_diag} vs {last_direct}"
+        );
     }
 
     #[test]
     fn time_to_reach_reports_latency() {
-        let e = parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()")
-            .unwrap();
+        let e =
+            parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()").unwrap();
         let t0 = time_to_reach(&e, &set(vec![int(0)]), 50).unwrap();
         let t4 = time_to_reach(&e, &set(vec![int(4)]), 50).unwrap();
         assert!(t0 < t4, "deeper elements take longer: {t0} vs {t4}");

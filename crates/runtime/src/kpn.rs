@@ -177,7 +177,10 @@ impl<T: Clone> Network<T> {
 
     /// The current contents of a channel.
     pub fn channel(&self, chan: ChanId) -> &[T] {
-        self.channels.get(&chan).map(|v| v.as_slice()).unwrap_or(&[])
+        self.channels
+            .get(&chan)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Runs to quiescence (or `max_rounds`), firing processes in the order

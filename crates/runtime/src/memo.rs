@@ -162,10 +162,7 @@ impl MemoEval {
                     Term::Sym(s2) if s.leq(s2) => self.eval(body, depth),
                     // Version threshold (§5.2).
                     Term::Lex(ver, _)
-                        if lambda_join_core::observe::result_leq(
-                            &builder::sym(s.clone()),
-                            ver,
-                        ) =>
+                        if lambda_join_core::observe::result_leq(&builder::sym(s.clone()), ver) =>
                     {
                         self.eval(body, depth)
                     }
@@ -328,10 +325,7 @@ mod tests {
     #[test]
     fn memoisation_hits_on_duplicate_calls() {
         // A diamond: f is called twice on the same argument.
-        let e = parse(
-            "let f = \\x. x + 1 in (f 10, f 10)",
-        )
-        .unwrap();
+        let e = parse("let f = \\x. x + 1 in (f 10, f 10)").unwrap();
         let mut m = MemoEval::new();
         m.eval_fuel(&e, 10);
         let (hits, _misses) = m.stats();

@@ -54,12 +54,7 @@ where
 ///
 /// Returns the stabilised state. Equal to the sequential Kleene fixed point
 /// of `x ↦ x ∨ ⋁ᵢ ruleᵢ(x)` for monotone rules (tested).
-pub fn chaotic_fixpoint<T>(
-    bottom: T,
-    rules: &Rules<T>,
-    workers: usize,
-    max_passes: usize,
-) -> T
+pub fn chaotic_fixpoint<T>(bottom: T, rules: &Rules<T>, workers: usize, max_passes: usize) -> T
 where
     T: JoinSemilattice + PartialEq + Send + Sync,
 {
@@ -71,9 +66,7 @@ where
             let clean_passes = &clean_passes;
             s.spawn(move |_| {
                 let mut pass = 0usize;
-                while clean_passes.load(Ordering::SeqCst) < workers.max(1)
-                    && pass < max_passes
-                {
+                while clean_passes.load(Ordering::SeqCst) < workers.max(1) && pass < max_passes {
                     pass += 1;
                     let mut changed = false;
                     // Each worker sweeps the rules in a different rotation,
@@ -104,11 +97,7 @@ where
 }
 
 /// The sequential reference for [`chaotic_fixpoint`].
-pub fn sequential_fixpoint<T>(
-    bottom: T,
-    rules: &Rules<T>,
-    max_rounds: usize,
-) -> T
+pub fn sequential_fixpoint<T>(bottom: T, rules: &Rules<T>, max_rounds: usize) -> T
 where
     T: JoinSemilattice + PartialEq,
 {
@@ -139,16 +128,13 @@ mod tests {
                 .map(|i| {
                     Box::new(move || {
                         // Stagger completion to shuffle arrival order.
-                        std::thread::sleep(std::time::Duration::from_micros(
-                            (7 - i as u64) * 50,
-                        ));
+                        std::thread::sleep(std::time::Duration::from_micros((7 - i as u64) * 50));
                         [i, i + 10].into_iter().collect::<BTreeSet<i64>>()
                     }) as Box<dyn FnOnce() -> BTreeSet<i64> + Send>
                 })
                 .collect();
             let r = join_all(tasks).unwrap();
-            let expect: BTreeSet<i64> =
-                (0..8).flat_map(|i| [i, i + 10]).collect();
+            let expect: BTreeSet<i64> = (0..8).flat_map(|i| [i, i + 10]).collect();
             assert_eq!(r, expect);
         }
     }
@@ -201,9 +187,7 @@ mod tests {
             Box::new(|s: &State| {
                 let mut out = State::new();
                 out.insert("proposal", Flat::Known("5".into()));
-                if let (Some(Flat::Known(a)), Some(Flat::Known(b))) =
-                    (s.get("ok1"), s.get("ok2"))
-                {
+                if let (Some(Flat::Known(a)), Some(Flat::Known(b))) = (s.get("ok1"), s.get("ok2")) {
                     let accepted = a == "true" && b == "true";
                     out.insert(
                         "res",

@@ -244,12 +244,7 @@ mod tests {
 
     #[test]
     fn flat_models_symbol_join() {
-        let sample = vec![
-            Flat::Empty,
-            Flat::Known(1),
-            Flat::Known(2),
-            Flat::Conflict,
-        ];
+        let sample = vec![Flat::Empty, Flat::Known(1), Flat::Known(2), Flat::Conflict];
         check_semilattice_laws(&sample).unwrap();
         assert_eq!(Flat::Known(1).join(&Flat::Known(1)), Flat::Known(1));
         assert_eq!(Flat::Known(1).join(&Flat::Known(2)), Flat::Conflict);

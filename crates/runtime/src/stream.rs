@@ -139,10 +139,17 @@ mod tests {
     #[test]
     fn join_is_pointwise() {
         let a = MonoStream::from_fn(|n| {
-            (0..n).step_by(2).map(|i| i as i64).collect::<BTreeSet<i64>>()
+            (0..n)
+                .step_by(2)
+                .map(|i| i as i64)
+                .collect::<BTreeSet<i64>>()
         });
         let b = MonoStream::from_fn(|n| {
-            (0..n).skip(1).step_by(2).map(|i| i as i64).collect::<BTreeSet<i64>>()
+            (0..n)
+                .skip(1)
+                .step_by(2)
+                .map(|i| i as i64)
+                .collect::<BTreeSet<i64>>()
         });
         let j = a.join(&b);
         assert_eq!(j.at(4), (0..4).map(|i| i as i64).collect::<BTreeSet<_>>());

@@ -23,10 +23,7 @@ fn arb_symbol() -> impl Strategy<Value = Symbol> {
 
 /// Random first-order closed values, extensions included.
 fn arb_value() -> impl Strategy<Value = TermRef> {
-    let leaf = prop_oneof![
-        Just(b::botv()),
-        arb_symbol().prop_map(b::sym),
-    ];
+    let leaf = prop_oneof![Just(b::botv()), arb_symbol().prop_map(b::sym),];
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
             3 => (inner.clone(), inner.clone()).prop_map(|(a, b2)| b::pair(a, b2)),

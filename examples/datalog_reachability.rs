@@ -44,7 +44,10 @@ fn main() {
     // 1. λ∨ naive (fuel sweep until stable).
     let term = encodings::reaches(&graph, 0);
     let (r, fuel) = lambda_join::core::bigstep::eval_converged(&term, 400, 10, 4);
-    println!("λ∨ naive evaluator:  {:?} (stable at fuel {fuel})", set_of(&r));
+    println!(
+        "λ∨ naive evaluator:  {:?} (stable at fuel {fuel})",
+        set_of(&r)
+    );
     assert_eq!(set_of(&r), truth);
 
     // 2. λ∨ with tabling (§5.1's memoisation).
@@ -58,7 +61,10 @@ fn main() {
     assert_eq!(set_of(&r), truth);
 
     // 3 & 4. Datalog.
-    for (strategy, name) in [(Strategy::Naive, "Datalog naive"), (Strategy::Seminaive, "Datalog seminaive")] {
+    for (strategy, name) in [
+        (Strategy::Naive, "Datalog naive"),
+        (Strategy::Seminaive, "Datalog seminaive"),
+    ] {
         let p = reaches_program(&edges, 0);
         let (db, stats) = eval(&p, strategy);
         let got: BTreeSet<i64> = db["reaches"]

@@ -11,9 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's flagship program (§1): the set of even naturals, defined
     // as a fixed point that would be a meaningless infinite loop in a
     // conventional strict language.
-    let evens = parse(
-        "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
-    )?;
+    let evens = parse("let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()")?;
 
     println!("evens() — observations as fuel increases:");
     for (i, obs) in fuel_trace(&evens, 40, 4).iter().enumerate() {
@@ -28,9 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsearching for 2 in evens(): {}", eval_fuel(&search, 40));
 
     // Records join pointwise, booleans are threshold queries.
-    let record = parse(
-        "let r = {| name = \"ada\" |} \\/ {| year = 1843 |} in (r@name, r@year)",
-    )?;
+    let record = parse("let r = {| name = \"ada\" |} \\/ {| year = 1843 |} in (r@name, r@year)")?;
     println!("record join: {}", eval_fuel(&record, 10));
 
     // Joining incomparable symbols is an ambiguity error ⊤.

@@ -23,12 +23,7 @@ fn main() {
     let arg = app(encodings::from_n(), int(0));
     println!("\nFigure 10 — diagonal evaluation of head (fromN 0):");
     let table = diagonal_table(&encodings::head(), &arg, 8);
-    for (i, (input, diag)) in table
-        .inputs
-        .iter()
-        .zip(&table.diagonal)
-        .enumerate()
-    {
+    for (i, (input, diag)) in table.inputs.iter().zip(&table.diagonal).enumerate() {
         println!("  t{i}: input ≈ {input}   head(input) = {diag}");
     }
     assert!(table.is_monotone());

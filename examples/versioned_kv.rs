@@ -47,10 +47,7 @@ fn main() {
     // `bind` reads a versioned value and produces a new one; the result
     // carries the *join* of both versions, so time never flows backwards
     // even if the transformation reports an older stamp.
-    let t = parse(
-        r#"bind doc <- lex(`3, 10) in lex(`1, doc * 2)"#,
-    )
-    .expect("parse");
+    let t = parse(r#"bind doc <- lex(`3, 10) in lex(`1, doc * 2)"#).expect("parse");
     let r = run(t);
     println!("bind threads versions: read@3, write@1 ⇒ {r}");
     assert_eq!(r.to_string(), "lex(`3, 20)");

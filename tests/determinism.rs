@@ -116,8 +116,7 @@ fn lvar_races_are_deterministic() {
                     if (i + round) % 2 == 0 {
                         std::thread::yield_now();
                     }
-                    lv.put(&[i * 10, i * 10 + 1].into_iter().collect())
-                        .unwrap();
+                    lv.put(&[i * 10, i * 10 + 1].into_iter().collect()).unwrap();
                 });
             }
         });
@@ -129,14 +128,25 @@ fn lvar_races_are_deterministic() {
 #[test]
 fn crdt_delivery_adversary_cannot_change_the_outcome() {
     let policies = [
-        DeliveryPolicy { duplicate_pct: 0, drop_pct: 0, max_delay: 0 },
-        DeliveryPolicy { duplicate_pct: 50, drop_pct: 0, max_delay: 3 },
-        DeliveryPolicy { duplicate_pct: 30, drop_pct: 40, max_delay: 7 },
+        DeliveryPolicy {
+            duplicate_pct: 0,
+            drop_pct: 0,
+            max_delay: 0,
+        },
+        DeliveryPolicy {
+            duplicate_pct: 50,
+            drop_pct: 0,
+            max_delay: 3,
+        },
+        DeliveryPolicy {
+            duplicate_pct: 30,
+            drop_pct: 40,
+            max_delay: 7,
+        },
     ];
     let mut outcomes = Vec::new();
     for (k, policy) in policies.into_iter().enumerate() {
-        let mut cluster: Cluster<GSet<i64>> =
-            Cluster::new(3, GSet::new(), 17 + k as u64, policy);
+        let mut cluster: Cluster<GSet<i64>> = Cluster::new(3, GSet::new(), 17 + k as u64, policy);
         for x in 0..9i64 {
             cluster.update((x % 3) as usize, |s| s.insert(x));
         }
@@ -173,7 +183,8 @@ fn non_monotone_observation_would_break_determinism() {
     // The non-monotone observer "set has exactly two elements" can differ
     // between schedules at intermediate times.
     let exactly_two = |obs: &[lambda_join::core::TermRef]| {
-        obs.iter().any(|o| matches!(&**o, lambda_join::core::Term::Set(es) if es.len() == 2))
+        obs.iter()
+            .any(|o| matches!(&**o, lambda_join::core::Term::Set(es) if es.len() == 2))
     };
     // (Not asserted to differ — schedules may coincide — but the monotone
     // query "contains 1" must agree in the limit for every schedule.)

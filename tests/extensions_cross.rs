@@ -66,7 +66,10 @@ fn versioned_programs_agree_across_evaluators() {
             "lex(`1, {1}) \\/ lex(`1, {2})",
             lex(level(1), set(vec![int(1), int(2)])),
         ),
-        ("bind x <- lex(`1, 4) in lex(`2, x * x)", lex(level(2), int(16))),
+        (
+            "bind x <- lex(`1, 4) in lex(`2, x * x)",
+            lex(level(2), int(16)),
+        ),
         ("bind x <- lex(`9, 1) in lex(`2, x)", lex(level(9), int(1))),
         ("lex(`1, 'a) \\/ lex(`1, 'b)", top()),
     ] {
@@ -127,10 +130,7 @@ fn lex_pairs_mirror_the_crdt_substrate() {
         let substrate = sa.join(&sb);
         match &substrate.value {
             Flat::Known(payload) => {
-                let expect = lex(
-                    level(substrate.version.0),
-                    string(payload),
-                );
+                let expect = lex(level(substrate.version.0), string(payload));
                 assert!(
                     result_equiv(&calculus, &expect),
                     "v1={v1} v2={v2}: calculus {calculus} vs substrate {expect}"
@@ -221,10 +221,7 @@ fn frozen_observation_is_all_or_nothing_under_scheduling() {
         prev = obs;
         m.run(1);
     }
-    assert!(result_equiv(
-        &prev,
-        &frz(set(vec![int(1), int(2), int(3)]))
-    ));
+    assert!(result_equiv(&prev, &frz(set(vec![int(1), int(2), int(3)]))));
 }
 
 #[test]
@@ -246,8 +243,7 @@ fn calculus_freeze_mirrors_the_runtime_freeze_lattice() {
     for a in &payloads {
         for b in &payloads {
             // frozen-vs-thawed in both systems.
-            let term_join =
-                lambda_join::core::reduce::join_results(&frz(to_term(a)), &to_term(b));
+            let term_join = lambda_join::core::reduce::join_results(&frz(to_term(a)), &to_term(b));
             let rt_join = Freeze::Frozen(to_gset(a)).join(&Freeze::Thawed(to_gset(b)));
             match rt_join {
                 Freeze::Conflict => assert!(

@@ -15,11 +15,13 @@ use lambda_join::runtime::interp::diagonal_table;
 fn figure_2_from_n_observations() {
     let prog = app(encodings::from_n(), int(0));
     let trace = observation_trace(prog, 16);
-    let expected_prefix = [bot(),
+    let expected_prefix = [
+        bot(),
         botv(),
         cons(int(0), botv()),
         cons(int(0), cons(int(1), botv())),
-        cons(int(0), cons(int(1), cons(int(2), botv())))];
+        cons(int(0), cons(int(1), cons(int(2), botv()))),
+    ];
     assert!(
         trace.len() >= expected_prefix.len(),
         "trace too short: {}",
@@ -80,7 +82,10 @@ fn section_1_non_monotone_observer_flip_flops() {
         .map(|o| result_leq(&set(vec![int(2)]), o))
         .collect();
     let first = mono.iter().position(|b| *b).expect("2 eventually appears");
-    assert!(mono[first..].iter().all(|b| *b), "monotone observer retracted");
+    assert!(
+        mono[first..].iter().all(|b| *b),
+        "monotone observer retracted"
+    );
 }
 
 /// §3.2: the big-join search over `evens()` reduces to `"success"`.

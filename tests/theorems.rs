@@ -70,7 +70,9 @@ fn monotonicity_theorem_4_15() {
             big_join("x", join(h, set(vec![])), set(vec![var("x")]))
         }),
         ("pair-left", |h| pair(h, int(0))),
-        ("under-lambda-applied", |h| app(lam("y", pair(var("y"), h)), int(3))),
+        ("under-lambda-applied", |h| {
+            app(lam("y", pair(var("y"), h)), int(3))
+        }),
     ];
     for (s1, s2) in pairs {
         let e1 = parse(s1).unwrap();
@@ -144,7 +146,13 @@ fn theorem_4_18_logical_implies_contextual() {
     type Ctx = fn(lambda_join::core::TermRef) -> lambda_join::core::TermRef;
     let contexts: Vec<Ctx> = vec![
         |h| h,
-        |h| big_join("x", h, let_sym(lambda_join::core::Symbol::Int(1), var("x"), int(7))),
+        |h| {
+            big_join(
+                "x",
+                h,
+                let_sym(lambda_join::core::Symbol::Int(1), var("x"), int(7)),
+            )
+        },
         |h| pair(int(0), h),
         |h| app(lam("s", var("s")), h),
     ];

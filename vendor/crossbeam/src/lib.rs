@@ -1,0 +1,129 @@
+//! Vendored stand-in for the `crossbeam` crate's scoped threads.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry. The workspace only uses `crossbeam::scope` /
+//! `Scope::spawn`, which since Rust 1.63 can be expressed directly on
+//! [`std::thread::scope`]; this crate adapts std's API to crossbeam's:
+//!
+//! * [`scope`] returns `Result<R, Box<dyn Any + Send>>` — `Err` when any
+//!   spawned thread panicked — instead of propagating the panic;
+//! * spawned closures receive a `&Scope` argument so they can spawn
+//!   nested siblings, exactly like crossbeam's.
+
+#![warn(missing_docs)]
+
+use std::panic::AssertUnwindSafe;
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    use super::*;
+
+    /// The error half of [`Result`]: the payload of a panicked thread.
+    pub type Panic = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Result of a scope or of joining a scoped thread.
+    pub type Result<T> = std::result::Result<T, Panic>;
+
+    /// A handle to a scope in which threads can be spawned; created by
+    /// [`scope`] and passed by reference to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// itself so it can spawn further siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned with [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which spawned threads are guaranteed to be joined
+    /// before the call returns.
+    ///
+    /// Returns `Err` with the panic payload if the closure or any
+    /// *unjoined* spawned thread panicked (crossbeam semantics: the scope
+    /// absorbs child panics rather than unwinding through the caller).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("child dies"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| 6 * 7);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,199 @@
+//! Strategies for collections (`prop::collection::{vec, btree_set, btree_map}`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// A range of collection sizes, `[min, max)` with `max > min`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with sizes drawn from `size`.
+///
+/// Duplicates drawn from `element` collapse, so the generator retries
+/// (boundedly) to reach the minimum size; if the element domain is too
+/// small the set may come up short of the minimum, matching proptest's
+/// best-effort behaviour for under-sized domains.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Clone, Copy, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 16 * target + 16 {
+            set.insert(self.element.gen_value(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with sizes drawn from `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.pick(rng);
+        let mut map = BTreeMap::new();
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < 16 * target + 16 {
+            map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut rng = TestRng::new(1);
+        let s = vec(0i64..100, 2..5);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_min_size() {
+        let mut rng = TestRng::new(2);
+        let s = btree_set(0i64..1000, 3..6);
+        for _ in 0..200 {
+            let set = s.gen_value(&mut rng);
+            assert!((3..6).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_small_domain_saturates() {
+        let mut rng = TestRng::new(3);
+        // Domain of 2 but minimum size 2: always ends up with {0, 1}.
+        let s = btree_set(0i64..2, 2..3);
+        let set = s.gen_value(&mut rng);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn btree_map_sizes_in_range() {
+        let mut rng = TestRng::new(4);
+        let s = btree_map(0i64..1000, 0u8..10, 1..4);
+        for _ in 0..100 {
+            let m = s.gen_value(&mut rng);
+            assert!((1..4).contains(&m.len()));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Vendored stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates registry, so the subset of proptest the workspace's property
+//! tests use is re-implemented here with the same names and shapes:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, `prop_recursive`, and `boxed`;
+//! * strategies for integer ranges, tuples, [`Just`](strategy::Just),
+//!   weighted unions ([`prop_oneof!`]), and collections
+//!   ([`collection::vec`], [`collection::btree_set`]);
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, and
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from upstream, chosen deliberately for an offline CI:
+//!
+//! * **Deterministic**: seeds derive from the test's fully qualified name,
+//!   so every run (and every machine) generates the same cases. There is
+//!   no persistence file because there is no nondeterminism to persist.
+//! * **No shrinking**: failures report the generated case number instead;
+//!   determinism makes the case reproducible by re-running the test.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Builds a strategy choosing between alternatives, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a property-test condition (maps to [`assert!`]; this harness
+/// fails fast rather than collecting a counterexample to shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test (maps to [`assert_eq!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test (maps to [`assert_ne!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::rng::TestRng::new($crate::rng::seed_from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            ));
+            // Build the strategies once, not per case: a tuple of
+            // strategies is itself a strategy for a tuple of values.
+            let strategies = ($($strategy,)*);
+            for case in 0..config.cases {
+                let _guard = $crate::rng::CaseGuard::new(stringify!($name), case);
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::gen_value(&strategies, &mut rng);
+                // The closure gives `$body` a `Result` return scope, so
+                // tests can `return Ok(())` to accept a case early.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err(failure) => panic!("{failure}"),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            xs in prop::collection::vec(prop_oneof![Just(1i64), 10i64..20], 1..8),
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|x| *x == 1 || (10..20).contains(x)));
+        }
+    }
+
+    proptest! {
+        // Default config path (no inner attribute).
+        #[test]
+        fn weighted_oneof_respects_domain(x in prop_oneof![3 => 0i64..5, 1 => 100i64..105]) {
+            prop_assert!((0..5).contains(&x) || (100..105).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The [`Strategy`] trait and core combinators.
+//!
+//! A strategy here is simply a deterministic generator: `gen_value` draws
+//! one value from the strategy's distribution using the test's RNG. There
+//! is no shrinking — on failure the harness reports the case number, which
+//! (with the deterministic per-test seed) is enough to reproduce.
+
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into composite values, nested up to `depth`
+    /// levels.
+    ///
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// proptest API compatibility; size is controlled here by `depth`
+    /// alone, with a fixed leaf-vs-recurse bias at every level keeping
+    /// expected value sizes small.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strategy = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strategy).boxed();
+            strategy = Union::new_weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        strategy
+    }
+}
+
+/// Object-safe shim so [`BoxedStrategy`] can hold any strategy.
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Weighted choice between boxed strategies; what `prop_oneof!` builds.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice between the options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice; weights need not be normalised.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return option.gen_value(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(
+                    self.start() <= self.end(),
+                    "empty range strategy {}..={}", self.start(), self.end()
+                );
+                // Full-width ranges (e.g. `0u64..=u64::MAX`) have a span of
+                // 2^64, which would wrap to 0 as a u64 — draw raw instead.
+                let span = *self.end() as i128 - *self.start() as i128 + 1;
+                let offset = if span > u64::MAX as i128 {
+                    rng.next_u64()
+                } else {
+                    rng.below(span as u64)
+                };
+                (*self.start() as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+
+    fn gen_value(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        assert!(lo < hi, "empty char range strategy");
+        for _ in 0..64 {
+            let candidate = lo + rng.below(u64::from(hi - lo)) as u32;
+            if let Some(c) = char::from_u32(candidate) {
+                return c;
+            }
+        }
+        self.start
+    }
+}
+
+/// The empty tuple is the strategy for "no inputs" — it lets `proptest!`
+/// treat an argument list of any length, including zero, as one tuple
+/// strategy.
+impl Strategy for () {
+    type Value = ();
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Self::Value {}
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn just_clones() {
+        assert_eq!(Just(7).gen_value(&mut rng()), 7);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10i64..20).gen_value(&mut r);
+            assert!((10..20).contains(&v));
+            let w = (0u8..=3).gen_value(&mut r);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_collapse() {
+        let mut r = rng();
+        let mut distinct_u64 = std::collections::BTreeSet::new();
+        let mut distinct_i64 = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            distinct_u64.insert((0u64..=u64::MAX).gen_value(&mut r));
+            distinct_i64.insert((i64::MIN..=i64::MAX).gen_value(&mut r));
+        }
+        assert!(distinct_u64.len() > 1, "u64 full range collapsed");
+        assert!(distinct_i64.len() > 1, "i64 full range collapsed");
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let doubled = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.gen_value(&mut r) % 2, 0);
+        }
+        let nested = (1usize..4).prop_flat_map(|n| crate::collection::vec(0i64..10, n..n + 1));
+        for _ in 0..100 {
+            let v = nested.gen_value(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_option() {
+        let mut r = rng();
+        let s = Union::new(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.gen_value(&mut r));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut r = rng();
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.gen_value(&mut r);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never took the composite branch");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0i64..5, 10i64..15, Just("x")).gen_value(&mut r);
+        assert!((0..5).contains(&a));
+        assert!((10..15).contains(&b));
+        assert_eq!(c, "x");
+    }
+}

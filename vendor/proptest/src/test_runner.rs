@@ -1,0 +1,56 @@
+//! Test-run configuration (`ProptestConfig`).
+
+/// Configuration accepted by `proptest! { #![proptest_config(..)] .. }`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Matches upstream proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error a property-test case can signal instead of panicking; the
+/// `proptest!` harness turns it into a panic with context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The generated input was rejected (counted as skipped upstream;
+    /// treated as a pass here).
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "property failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+/// What a `proptest!` case body evaluates to: `Ok(())` to accept the case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_cases_sets_cases() {
+        assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}
