@@ -1,0 +1,83 @@
+//! Experiment E-deep: evaluation depth scaling — the explicit-stack frame
+//! machine against the recursive executable specification.
+//!
+//! Two regimes per workload family:
+//!
+//! * **shallow** — depths the recursive spec can still evaluate on a stock
+//!   main-thread stack: both engines run, measuring the frame machine's
+//!   dispatch overhead (expected: within ~20% of the recursion, at parity
+//!   on substitution-dominated shapes);
+//! * **deep** — depths past the old 64 MiB `RUST_MIN_STACK` crutch's
+//!   comfort zone (fuel ≳ 8192, 64k-deep application contexts): only the
+//!   frame machine runs — the recursive baseline would overflow, which is
+//!   precisely the point of the engine.
+//!
+//! Workloads: deeply nested `let`s (syntactic nesting + substitution
+//! pressure), deeply nested applications (pending-context pressure), a
+//! recursive countdown (β-chain depth), and the paper's `fromN` stream
+//! pipeline (deep value accumulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_bench::workloads::{countdown, from_n_pipeline, nested_apps, nested_lets};
+use lambda_join_core::bigstep::{eval_fuel, spec};
+use lambda_join_core::builder::int;
+use lambda_join_core::term::TermRef;
+
+/// (label, term, fuel, expected) — shallow enough for the recursive spec.
+fn shallow_suite() -> Vec<(&'static str, TermRef, usize, Option<TermRef>)> {
+    let (down, down_fuel) = countdown(512);
+    vec![
+        ("lets-512", nested_lets(512), 512 + 8, Some(int(511))),
+        ("apps-2048", nested_apps(2048), 2, Some(int(1))),
+        ("countdown-512", down, down_fuel, Some(int(0))),
+        ("fromN-2048", from_n_pipeline(), 2048, None),
+    ]
+}
+
+/// Depths only the frame machine survives (recursive spec would overflow
+/// the stack — do not add a `recursive` bench here).
+fn deep_suite() -> Vec<(&'static str, TermRef, usize)> {
+    let (down, down_fuel) = countdown(4096);
+    vec![
+        // Substitution-based lets are O(n²) in nesting; 2048 keeps one
+        // iteration under a second while still far past the recursive
+        // spec's stack ceiling under the debug profile.
+        ("lets-2048", nested_lets(2048), 2048 + 8),
+        ("apps-65536", nested_apps(65536), 2),
+        ("countdown-4096", down, down_fuel),
+        ("fromN-8192", from_n_pipeline(), 8192),
+    ]
+}
+
+fn bench_deep_nesting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deep_nesting");
+    group.sample_size(10);
+
+    for (name, t, fuel, expect) in shallow_suite() {
+        // Sanity: both engines agree (and match the closed form if known).
+        let frame = eval_fuel(&t, fuel);
+        let rec = spec::eval_fuel_recursive(&t, fuel);
+        assert!(frame.alpha_eq(&rec), "{name}: engines disagree");
+        if let Some(want) = expect {
+            assert!(frame.alpha_eq(&want), "{name}: wrong result");
+        }
+
+        group.bench_with_input(BenchmarkId::new("frame", name), &t, |b, t| {
+            b.iter(|| std::hint::black_box(eval_fuel(t, fuel)))
+        });
+        group.bench_with_input(BenchmarkId::new("recursive", name), &t, |b, t| {
+            b.iter(|| std::hint::black_box(spec::eval_fuel_recursive(t, fuel)))
+        });
+    }
+
+    for (name, t, fuel) in deep_suite() {
+        group.bench_with_input(BenchmarkId::new("frame_only", name), &t, |b, t| {
+            b.iter(|| std::hint::black_box(eval_fuel(t, fuel)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_deep_nesting);
+criterion_main!(benches);

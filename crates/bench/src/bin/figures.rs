@@ -8,11 +8,15 @@
 //!
 //! Items: `table1`, `fig2`, `fig4`, `fig10`, `evens`, `por`, `reaches`,
 //! `eq2`, `ext` (the §5.2/§6 extension experiments E-frz/E-lex/E-amb/
-//! E-semi). The outputs are recorded against the paper in EXPERIMENTS.md.
+//! E-semi), and `deep` (E-deep: the explicit-stack engine on workloads past
+//! the recursive evaluator's stack ceiling). The outputs are recorded
+//! against the paper in EXPERIMENTS.md.
 
 use std::collections::BTreeSet;
 
-use lambda_join_bench::workloads::{diamond_chain, edge_pairs};
+use lambda_join_bench::workloads::{
+    countdown, diamond_chain, edge_pairs, from_n_pipeline, nested_apps, nested_lets,
+};
 use lambda_join_core::bigstep::{eval_fuel, eval_fuel_counting};
 use lambda_join_core::builder::*;
 use lambda_join_core::encodings::{self, Graph};
@@ -55,6 +59,9 @@ fn main() {
     }
     if want("ext") {
         ext_fig();
+    }
+    if want("deep") {
+        deep_fig();
     }
 }
 
@@ -313,6 +320,58 @@ fn ext_fig() {
             n.step_calls
         );
     }
+}
+
+/// E-deep: the explicit-stack engine on workloads past the recursive
+/// evaluator's stack ceiling (the depths PR 1's 64 MiB `RUST_MIN_STACK`
+/// crutch existed for — now deleted).
+fn deep_fig() {
+    use lambda_join_core::bigstep::spec;
+    header("E-deep — explicit-stack engine vs. recursive spec ceiling");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>16}",
+        "workload", "depth", "β-steps", "result", "recursive spec"
+    );
+    // Shallow: the spec still fits the stack — verify agreement.
+    let (down, down_fuel) = countdown(256);
+    let shallow: Vec<(&str, _, usize, usize)> = vec![
+        ("lets", nested_lets(256), 256 + 8, 256),
+        ("apps", nested_apps(1024), 2, 1024),
+        ("countdown", down, down_fuel, 256),
+    ];
+    for (name, t, fuel, depth) in shallow {
+        let (r, betas) = eval_fuel_counting(&t, fuel);
+        let agree = r.alpha_eq(&spec::eval_fuel_recursive(&t, fuel));
+        println!(
+            "{name:<18} {depth:>10} {betas:>12} {:>10} {:>16}",
+            r.to_string(),
+            if agree { "agrees" } else { "DISAGREES!" }
+        );
+        assert!(agree, "{name}: engine diverges from spec");
+    }
+    // Deep: engine-only territory (the spec would overflow the stack).
+    let (deep_down, deep_down_fuel) = countdown(8192);
+    let deep: Vec<(&str, _, usize, usize)> = vec![
+        ("apps (deep)", nested_apps(100_000), 2, 100_000),
+        ("countdown (deep)", deep_down, deep_down_fuel, 8192),
+    ];
+    for (name, t, fuel, depth) in deep {
+        let (r, betas) = eval_fuel_counting(&t, fuel);
+        println!(
+            "{name:<18} {depth:>10} {betas:>12} {:>10} {:>16}",
+            r.to_string(),
+            "out of reach"
+        );
+    }
+    // The stream pipeline: observed prefix depth grows with fuel on a
+    // stock stack (this line alone used to require 64 MiB).
+    let from_n = from_n_pipeline();
+    let (v, betas) = eval_fuel_counting(&from_n, 8192);
+    println!(
+        "{:<18} {:>10} {betas:>12} {:>10} {:>16}",
+        "fromN (deep)", 8192, "cons…", "out of reach"
+    );
+    let _ = v; // deep value: display would be enormous; drop iteratively
 }
 
 /// Eq. (2): the domain equation checks.

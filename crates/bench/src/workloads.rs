@@ -1,6 +1,8 @@
 //! Shared workload builders for benches and the `figures` binary.
 
+use lambda_join_core::builder::*;
 use lambda_join_core::encodings::Graph;
+use lambda_join_core::term::TermRef;
 
 /// Graph families used by the reachability experiments.
 pub fn graph_suite() -> Vec<(String, Graph)> {
@@ -33,6 +35,54 @@ pub fn edge_pairs(g: &Graph) -> Vec<(i64, i64)> {
         .iter()
         .flat_map(|(s, ts)| ts.iter().map(move |t| (*s, *t)))
         .collect()
+}
+
+/// `let a0 = 0 in let a1 = a0 + 1 in … in a(n-1)` — `n` nested lets, one
+/// β (on a single path) each; evaluates to `n - 1`. Exercises syntactic
+/// nesting: term depth grows with `n`, and the substitution evaluator walks
+/// the remaining body at every β.
+pub fn nested_lets(n: usize) -> TermRef {
+    assert!(n >= 1);
+    let mut body: TermRef = var(&format!("a{}", n - 1));
+    for i in (1..n).rev() {
+        body = let_in(
+            &format!("a{i}"),
+            add(var(&format!("a{}", i - 1)), int(1)),
+            body,
+        );
+    }
+    let_in("a0", int(0), body)
+}
+
+/// `id (id (… (id 1) …))` — `n` nested applications of the identity.
+/// Each application is its own path of β-depth 1 (arguments evaluate at
+/// the caller's fuel), so fuel 2 converges at any `n`; what grows with `n`
+/// is the number of *pending application contexts* the evaluator must hold.
+pub fn nested_apps(n: usize) -> TermRef {
+    let mut t: TermRef = int(1);
+    for _ in 0..n {
+        t = app(lam("x", var("x")), t);
+    }
+    t
+}
+
+/// `down n` — a recursive countdown: a β-chain roughly `4 n` deep on one
+/// path (the Z-combinator costs ~3 extra βs per unfolding). The fuel that
+/// converges is returned alongside the term.
+pub fn countdown(n: usize) -> (TermRef, usize) {
+    let t = lambda_join_core::parser::parse(&format!(
+        "let rec down n = if n <= 0 then 0 else down (n - 1) in down {n}"
+    ))
+    .expect("countdown parses");
+    (t, 4 * n + 16)
+}
+
+/// `fromN 0` — the paper's stream of naturals; at fuel `f` the observed
+/// prefix (a cons chain) is ~`f/2` deep. The long-pipeline workload for
+/// the deep-nesting experiments.
+pub fn from_n_pipeline() -> TermRef {
+    lambda_join_core::parser::parse("let rec fromN n = (n :: fromN (n + 1)) \\/ botv in fromN 0")
+        .expect("fromN parses")
 }
 
 #[cfg(test)]

@@ -18,10 +18,15 @@
 //! Sweeping `n = 0, 1, 2, …` yields the diagonal of Figure 10: at stage `n`
 //! both the input a function receives and the output it produces are
 //! computed to depth `n`.
+//!
+//! Since the explicit-stack refactor, the functions here are thin wrappers
+//! over the defunctionalised frame machine in [`crate::engine`]: evaluation
+//! depth scales with the heap, not the OS thread stack. The original
+//! recursive evaluator survives as the executable specification in
+//! [`spec`], and the engine is property-tested against it.
 
-use crate::builder;
-use crate::reduce::{delta, join_results, lex_lift, pair_lift};
-use crate::term::{Term, TermRef};
+use crate::engine::{self, Budget, NoTable};
+use crate::term::TermRef;
 
 /// Evaluates `e` to a result with the given fuel budget.
 ///
@@ -62,236 +67,257 @@ pub fn eval_fuel_counting(e: &TermRef, fuel: usize) -> (TermRef, usize) {
 ///
 /// Returns the result and the number of β-steps performed.
 pub fn eval_with_budget(e: &TermRef, fuel: usize, max_betas: usize) -> (TermRef, usize) {
-    let mut budget = Budget {
-        beta: max_betas,
-        used: 0,
-        exhausted: false,
-    };
-    let r = eval(e, fuel, &mut budget);
-    (r, budget.used)
+    let mut budget = Budget::new(max_betas);
+    let r = engine::run(e, fuel, &mut budget, &mut NoTable);
+    (r, budget.used())
 }
 
-struct Budget {
-    /// Remaining global β-steps; a safety valve against exponential blowup
-    /// when the per-path `depth` alone would admit huge terms.
-    beta: usize,
-    /// β-steps performed so far.
-    used: usize,
-    /// Whether any approximation step fired (fuel/β-budget exhaustion)
-    /// since the flag was last cleared. Freezing consults this: `frz e`
-    /// may only seal a payload whose evaluation was *complete* — stuck
-    /// subterms are exact (they never fire), but a fuel cut-off is not,
-    /// and sealing it would break monotonicity in fuel.
-    exhausted: bool,
-}
+/// The recursive reference evaluator — the executable specification.
+///
+/// This is the direct transcription of the fuel-indexed big-step relation:
+/// one Rust stack frame per pending evaluation context, which makes the
+/// code an auditable mirror of the semantics but bounds evaluation depth by
+/// the OS thread stack. Production callers use [`super::eval_fuel`] (the
+/// frame machine in [`crate::engine`]); this module exists so property
+/// tests and benches can compare the engine against the specification.
+pub mod spec {
+    use crate::builder;
+    use crate::engine::merge_version;
+    use crate::reduce::{delta, join_results, lex_lift, pair_lift};
+    use crate::term::{Term, TermRef};
 
-fn eval(e: &TermRef, depth: usize, budget: &mut Budget) -> TermRef {
-    match &**e {
-        _ if e.is_value() => e.clone(),
-        Term::Bot => builder::bot(),
-        Term::Top => builder::top(),
-        Term::Pair(a, b) => {
-            let va = eval(a, depth, budget);
-            match &*va {
-                Term::Bot => builder::bot(),
-                Term::Top => builder::top(),
-                _ => {
-                    let vb = eval(b, depth, budget);
-                    pair_lift(&va, &vb)
-                }
-            }
-        }
-        Term::Set(es) => {
-            let mut out: Vec<TermRef> = Vec::new();
-            for el in es {
-                let v = eval(el, depth, budget);
-                match &*v {
-                    Term::Top => return builder::top(),
-                    Term::Bot => {}
+    /// Recursive counterpart of [`crate::bigstep::eval_fuel`].
+    ///
+    /// Native stack usage grows with fuel: callers are responsible for
+    /// running it on a thread with a stack proportional to the budget.
+    pub fn eval_fuel_recursive(e: &TermRef, fuel: usize) -> TermRef {
+        eval_with_budget_recursive(e, fuel, usize::MAX).0
+    }
+
+    /// Recursive counterpart of [`crate::bigstep::eval_with_budget`].
+    pub fn eval_with_budget_recursive(
+        e: &TermRef,
+        fuel: usize,
+        max_betas: usize,
+    ) -> (TermRef, usize) {
+        let mut budget = Budget {
+            beta: max_betas,
+            used: 0,
+            exhausted: false,
+        };
+        let r = eval(e, fuel, &mut budget);
+        (r, budget.used)
+    }
+
+    struct Budget {
+        /// Remaining global β-steps; a safety valve against exponential blowup
+        /// when the per-path `depth` alone would admit huge terms.
+        beta: usize,
+        /// β-steps performed so far.
+        used: usize,
+        /// Whether any approximation step fired (fuel/β-budget exhaustion)
+        /// since the flag was last cleared. Freezing consults this: `frz e`
+        /// may only seal a payload whose evaluation was *complete* — stuck
+        /// subterms are exact (they never fire), but a fuel cut-off is not,
+        /// and sealing it would break monotonicity in fuel.
+        exhausted: bool,
+    }
+
+    fn eval(e: &TermRef, depth: usize, budget: &mut Budget) -> TermRef {
+        match &**e {
+            _ if e.is_value() => e.clone(),
+            Term::Bot => builder::bot(),
+            Term::Top => builder::top(),
+            Term::Pair(a, b) => {
+                let va = eval(a, depth, budget);
+                match &*va {
+                    Term::Bot => builder::bot(),
+                    Term::Top => builder::top(),
                     _ => {
-                        if !out.iter().any(|o| o.alpha_eq(&v)) {
-                            out.push(v);
-                        }
+                        let vb = eval(b, depth, budget);
+                        pair_lift(&va, &vb)
                     }
                 }
             }
-            builder::set(out)
-        }
-        Term::Join(a, b) => {
-            let va = eval(a, depth, budget);
-            let vb = eval(b, depth, budget);
-            join_results(&va, &vb)
-        }
-        Term::App(f, a) => {
-            let vf = eval(f, depth, budget);
-            match &*vf {
-                Term::Bot => return builder::bot(),
-                Term::Top => return builder::top(),
-                _ => {}
-            }
-            let va = eval(a, depth, budget);
-            match &*va {
-                Term::Bot => return builder::bot(),
-                Term::Top => return builder::top(),
-                _ => {}
-            }
-            apply(&vf, &va, depth, budget)
-        }
-        Term::LetPair(x1, x2, scrut, body) => {
-            let v = eval(scrut, depth, budget);
-            match thaw_or(&v) {
-                Term::Top => builder::top(),
-                Term::Pair(v1, v2) => {
-                    let body = body.subst(x1, v1).subst(x2, v2);
-                    eval(&body, depth, budget)
-                }
-                // ⊥, ⊥v, and non-pairs: nothing to stream yet / stuck.
-                _ => builder::bot(),
-            }
-        }
-        Term::LetSym(s, scrut, body) => {
-            let v = eval(scrut, depth, budget);
-            match thaw_or(&v) {
-                Term::Top => builder::top(),
-                Term::Sym(s2) if s.leq(s2) => eval(body, depth, budget),
-                // Version threshold (§5.2): fires once the version reaches
-                // the symbol threshold.
-                Term::Lex(ver, _) if crate::observe::result_leq(&builder::sym(s.clone()), ver) => {
-                    eval(body, depth, budget)
-                }
-                _ => builder::bot(),
-            }
-        }
-        Term::BigJoin(x, scrut, body) => {
-            let v = eval(scrut, depth, budget);
-            match thaw_or(&v) {
-                Term::Top => builder::top(),
-                Term::Set(vs) => {
-                    let mut acc = builder::bot();
-                    for el in vs {
-                        let b = body.subst(x, el);
-                        let r = eval(&b, depth, budget);
-                        acc = join_results(&acc, &r);
-                        if matches!(&*acc, Term::Top) {
-                            return acc;
+            Term::Set(es) => {
+                let mut out: Vec<TermRef> = Vec::new();
+                for el in es {
+                    let v = eval(el, depth, budget);
+                    match &*v {
+                        Term::Top => return builder::top(),
+                        Term::Bot => {}
+                        _ => {
+                            if !out.iter().any(|o| o.alpha_eq(&v)) {
+                                out.push(v);
+                            }
                         }
                     }
-                    acc
                 }
-                _ => builder::bot(),
+                builder::set(out)
             }
-        }
-        Term::Prim(op, args) => {
-            let mut vals = Vec::with_capacity(args.len());
-            for a in args {
-                let v = eval(a, depth, budget);
-                match &*v {
+            Term::Join(a, b) => {
+                let va = eval(a, depth, budget);
+                let vb = eval(b, depth, budget);
+                join_results(&va, &vb)
+            }
+            Term::App(f, a) => {
+                let vf = eval(f, depth, budget);
+                match &*vf {
                     Term::Bot => return builder::bot(),
                     Term::Top => return builder::top(),
-                    _ => vals.push(v),
+                    _ => {}
+                }
+                let va = eval(a, depth, budget);
+                match &*va {
+                    Term::Bot => return builder::bot(),
+                    Term::Top => return builder::top(),
+                    _ => {}
+                }
+                apply(&vf, &va, depth, budget)
+            }
+            Term::LetPair(x1, x2, scrut, body) => {
+                let v = eval(scrut, depth, budget);
+                match thaw_or(&v) {
+                    Term::Top => builder::top(),
+                    Term::Pair(v1, v2) => {
+                        let body = body.subst(x1, v1).subst(x2, v2);
+                        eval(&body, depth, budget)
+                    }
+                    // ⊥, ⊥v, and non-pairs: nothing to stream yet / stuck.
+                    _ => builder::bot(),
                 }
             }
-            delta(*op, &vals)
-        }
-        Term::Frz(inner) => {
-            // Freeze is all-or-nothing: the payload must evaluate without
-            // any approximation (fuel cut-off) before it may be sealed;
-            // otherwise the freeze is still pending (⊥).
-            let saved = budget.exhausted;
-            budget.exhausted = false;
-            let v = eval(inner, depth, budget);
-            let complete = !budget.exhausted;
-            budget.exhausted |= saved;
-            if complete {
-                crate::reduce::frz_lift(&v)
-            } else {
-                builder::bot()
-            }
-        }
-        Term::LetFrz(x, scrut, body) => {
-            let v = eval(scrut, depth, budget);
-            match &*v {
-                Term::Top => builder::top(),
-                Term::Frz(payload) => {
-                    let body = body.subst(x, payload);
-                    eval(&body, depth, budget)
-                }
-                // Unfrozen scrutinees leave the query unanswered.
-                _ => builder::bot(),
-            }
-        }
-        Term::Lex(a, b) => {
-            let va = eval(a, depth, budget);
-            match &*va {
-                Term::Bot => builder::bot(),
-                Term::Top => builder::top(),
-                _ => {
-                    let vb = eval(b, depth, budget);
-                    lex_lift(&va, &vb)
+            Term::LetSym(s, scrut, body) => {
+                let v = eval(scrut, depth, budget);
+                match thaw_or(&v) {
+                    Term::Top => builder::top(),
+                    Term::Sym(s2) if s.leq(s2) => eval(body, depth, budget),
+                    // Version threshold (§5.2): fires once the version reaches
+                    // the symbol threshold.
+                    Term::Lex(ver, _)
+                        if crate::observe::result_leq(&builder::sym(s.clone()), ver) =>
+                    {
+                        eval(body, depth, budget)
+                    }
+                    _ => builder::bot(),
                 }
             }
-        }
-        Term::LexBind(x, scrut, body) => {
-            let v = eval(scrut, depth, budget);
-            match thaw_or(&v) {
-                Term::Top => builder::top(),
-                Term::BotV => builder::botv(),
-                Term::Lex(v1, v1p) => {
-                    let body = body.subst(x, v1p);
-                    let r = eval(&body, depth, budget);
-                    merge_version(v1, &r)
+            Term::BigJoin(x, scrut, body) => {
+                let v = eval(scrut, depth, budget);
+                match thaw_or(&v) {
+                    Term::Top => builder::top(),
+                    Term::Set(vs) => {
+                        let mut acc = builder::bot();
+                        for el in vs {
+                            let b = body.subst(x, el);
+                            let r = eval(&b, depth, budget);
+                            acc = join_results(&acc, &r);
+                            if matches!(&*acc, Term::Top) {
+                                return acc;
+                            }
+                        }
+                        acc
+                    }
+                    _ => builder::bot(),
                 }
-                Term::Bot => builder::bot(),
-                _ => builder::top(),
             }
+            Term::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = eval(a, depth, budget);
+                    match &*v {
+                        Term::Bot => return builder::bot(),
+                        Term::Top => return builder::top(),
+                        _ => vals.push(v),
+                    }
+                }
+                delta(*op, &vals)
+            }
+            Term::Frz(inner) => {
+                // Freeze is all-or-nothing: the payload must evaluate without
+                // any approximation (fuel cut-off) before it may be sealed;
+                // otherwise the freeze is still pending (⊥).
+                let saved = budget.exhausted;
+                budget.exhausted = false;
+                let v = eval(inner, depth, budget);
+                let complete = !budget.exhausted;
+                budget.exhausted |= saved;
+                if complete {
+                    crate::reduce::frz_lift(&v)
+                } else {
+                    builder::bot()
+                }
+            }
+            Term::LetFrz(x, scrut, body) => {
+                let v = eval(scrut, depth, budget);
+                match &*v {
+                    Term::Top => builder::top(),
+                    Term::Frz(payload) => {
+                        let body = body.subst(x, payload);
+                        eval(&body, depth, budget)
+                    }
+                    // Unfrozen scrutinees leave the query unanswered.
+                    _ => builder::bot(),
+                }
+            }
+            Term::Lex(a, b) => {
+                let va = eval(a, depth, budget);
+                match &*va {
+                    Term::Bot => builder::bot(),
+                    Term::Top => builder::top(),
+                    _ => {
+                        let vb = eval(b, depth, budget);
+                        lex_lift(&va, &vb)
+                    }
+                }
+            }
+            Term::LexBind(x, scrut, body) => {
+                let v = eval(scrut, depth, budget);
+                match thaw_or(&v) {
+                    Term::Top => builder::top(),
+                    Term::BotV => builder::botv(),
+                    Term::Lex(v1, v1p) => {
+                        let body = body.subst(x, v1p);
+                        let r = eval(&body, depth, budget);
+                        merge_version(v1, &r)
+                    }
+                    Term::Bot => builder::bot(),
+                    _ => builder::top(),
+                }
+            }
+            Term::LexMerge(v1, comp) => {
+                let r = eval(comp, depth, budget);
+                merge_version(v1, &r)
+            }
+            // Covered by the is_value guard, but kept for exhaustiveness.
+            Term::Var(_) | Term::BotV | Term::Sym(_) | Term::Lam(..) => e.clone(),
         }
-        Term::LexMerge(v1, comp) => {
-            let r = eval(comp, depth, budget);
-            merge_version(v1, &r)
-        }
-        // Covered by the is_value guard, but kept for exhaustiveness.
-        Term::Var(_) | Term::BotV | Term::Sym(_) | Term::Lam(..) => e.clone(),
     }
-}
 
-/// Folds an accumulated version into the result of a versioned-bind body:
-/// `⟨v2, v2'⟩` becomes `⟨v1 ⊔ v2, v2'⟩` (Figure 5-style lifting for the
-/// §5.2 bind extension).
-fn merge_version(v1: &TermRef, r: &TermRef) -> TermRef {
-    match &**r {
-        Term::Lex(v2, v2p) => lex_lift(&join_results(v1, v2), v2p),
-        // A silent body still yields the input version over ⊥v — this is
-        // what keeps `bind` monotone when the body thresholds on a payload
-        // that a newer version has replaced (§5.2).
-        Term::Bot | Term::BotV => lex_lift(v1, &builder::botv()),
-        Term::Top => builder::top(),
-        _ => builder::top(),
+    /// Sees through `frz` for monotone eliminations (see `reduce::thaw`);
+    /// unlike `thaw` this does not wrap the borrow in `Rc` plumbing.
+    fn thaw_or(v: &TermRef) -> &Term {
+        crate::reduce::thaw(v)
     }
-}
 
-/// Sees through `frz` for monotone eliminations (see `reduce::thaw`);
-/// unlike `thaw` this does not wrap the borrow in `Rc` plumbing.
-fn thaw_or(v: &TermRef) -> &Term {
-    crate::reduce::thaw(v)
-}
-
-fn apply(vf: &TermRef, va: &TermRef, depth: usize, budget: &mut Budget) -> TermRef {
-    match thaw_or(vf) {
-        Term::Lam(x, body) => {
-            if depth == 0 || budget.beta == 0 {
-                budget.exhausted = true;
-                return builder::bot(); // approximation step: out of fuel
+    fn apply(vf: &TermRef, va: &TermRef, depth: usize, budget: &mut Budget) -> TermRef {
+        match thaw_or(vf) {
+            Term::Lam(x, body) => {
+                if depth == 0 || budget.beta == 0 {
+                    budget.exhausted = true;
+                    return builder::bot(); // approximation step: out of fuel
+                }
+                budget.beta -= 1;
+                budget.used += 1;
+                let body = body.subst(x, va);
+                eval(&body, depth - 1, budget)
             }
-            budget.beta -= 1;
-            budget.used += 1;
-            let body = body.subst(x, va);
-            eval(&body, depth - 1, budget)
+            // Inspecting ⊥v yields ⊥ (§2.1).
+            Term::BotV => builder::bot(),
+            // Applying a non-function is stuck; the approximate semantics
+            // discards it.
+            _ => builder::bot(),
         }
-        // Inspecting ⊥v yields ⊥ (§2.1).
-        Term::BotV => builder::bot(),
-        // Applying a non-function is stuck; the approximate semantics
-        // discards it.
-        _ => builder::bot(),
     }
 }
 

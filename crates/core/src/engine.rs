@@ -1,0 +1,708 @@
+//! The explicit-stack evaluation engine: a defunctionalised frame machine
+//! for the fuel-indexed big-step semantics.
+//!
+//! [`crate::bigstep`] specifies evaluation as a recursive function — one
+//! Rust stack frame per pending evaluation context. That is the right shape
+//! for a specification, but it bounds evaluation depth by the OS thread
+//! stack: at fuel `n` a β-chain is `n` native frames deep, so deep
+//! workloads (long `fromN` pipelines, `reaches` chains, high-fuel
+//! convergence sweeps) used to need a 64 MiB `RUST_MIN_STACK` override just
+//! to run under the debug profile.
+//!
+//! This module is the production engine: the recursive evaluator
+//! *defunctionalised* into a worklist of [`Frame`]s on the heap. Each
+//! evaluation context of the big-step relation — the function and argument
+//! positions of an application, the sides of a join, the body of a big
+//! join, the operands of a primitive, a pending freeze, … — becomes one
+//! frame variant, and [`run`] is a flat loop over a control state
+//! (*evaluate this term* / *return this result*) and the frame stack.
+//! Evaluation depth now scales with the heap; a stock 2 MiB thread runs
+//! fuel budgets that used to overflow 64 MiB (regression-tested on a
+//! 512 KiB thread in `tests/deep_recursion.rs`).
+//!
+//! The engine is shared by all evaluation substrates:
+//!
+//! * [`crate::bigstep::eval_fuel`] runs it with [`NoTable`];
+//! * `lambda-join-runtime`'s `MemoEval` runs it with a memoising
+//!   [`BetaTable`] (tabled evaluation, §5.1);
+//! * the runtime's closure evaluator mirrors the same frame discipline over
+//!   semantic values and environments;
+//! * the runtime's `interp` streams are built from the two above.
+//!
+//! The recursive evaluator is retained as [`crate::bigstep::spec`] — the
+//! executable specification the engine is property-tested against.
+
+use crate::builder;
+use crate::reduce::{delta, frz_lift, join_results, lex_lift, pair_lift, thaw};
+use crate::term::{Term, TermRef};
+
+/// The global evaluation budget and approximation bookkeeping for one run.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Remaining global β-steps; a safety valve against exponential blowup
+    /// when the per-path fuel alone would admit huge terms.
+    beta: usize,
+    /// β-steps performed so far.
+    used: usize,
+    /// Whether any approximation step fired (fuel/β-budget exhaustion)
+    /// since the flag was last cleared. Freezing consults this: `frz e`
+    /// may only seal a payload whose evaluation was *complete* — stuck
+    /// subterms are exact (they never fire), but a fuel cut-off is not,
+    /// and sealing it would break monotonicity in fuel.
+    exhausted: bool,
+}
+
+impl Budget {
+    /// A fresh budget allowing at most `max_betas` β-steps in total.
+    pub fn new(max_betas: usize) -> Self {
+        Budget {
+            beta: max_betas,
+            used: 0,
+            exhausted: false,
+        }
+    }
+
+    /// The number of β-steps performed so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Whether any approximation step (fuel or β-budget exhaustion) fired.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+/// A hook tabling β-reductions, keyed on `(function value, argument value,
+/// remaining fuel)` — the λ∨ analogue of logic-programming tabling (§5.1).
+///
+/// The engine consults the table exactly where the recursive evaluators
+/// perform a β-step: [`BetaTable::lookup`] before substituting, and
+/// [`BetaTable::store`] once the instantiated body has evaluated. The
+/// `exhausted` flag carried alongside each cached result records whether
+/// that sub-evaluation involved an approximation step, so replaying a hit
+/// keeps freeze-completeness tracking exact.
+pub trait BetaTable {
+    /// Returns the cached result (and its exhaustion flag) for a β-step, if
+    /// present.
+    fn lookup(&mut self, f: &TermRef, a: &TermRef, fuel: usize) -> Option<(TermRef, bool)>;
+
+    /// Records the result of a β-step for future [`BetaTable::lookup`]s.
+    fn store(&mut self, f: &TermRef, a: &TermRef, fuel: usize, r: &TermRef, exhausted: bool);
+
+    /// Whether the table caches at all. When `false` the engine skips the
+    /// per-β exhaustion save/restore that memoisation needs.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The trivial table: caches nothing (plain big-step evaluation).
+pub struct NoTable;
+
+impl BetaTable for NoTable {
+    fn lookup(&mut self, _f: &TermRef, _a: &TermRef, _fuel: usize) -> Option<(TermRef, bool)> {
+        None
+    }
+
+    fn store(&mut self, _f: &TermRef, _a: &TermRef, _fuel: usize, _r: &TermRef, _ex: bool) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Folds an accumulated version into the result of a versioned-bind body:
+/// `⟨v2, v2'⟩` becomes `⟨v1 ⊔ v2, v2'⟩` (Figure 5-style lifting for the
+/// §5.2 bind extension).
+pub fn merge_version(v1: &TermRef, r: &TermRef) -> TermRef {
+    match &**r {
+        Term::Lex(v2, v2p) => lex_lift(&join_results(v1, v2), v2p),
+        // A silent body still yields the input version over ⊥v — this is
+        // what keeps `bind` monotone when the body thresholds on a payload
+        // that a newer version has replaced (§5.2).
+        Term::Bot | Term::BotV => lex_lift(v1, &builder::botv()),
+        Term::Top => builder::top(),
+        _ => builder::top(),
+    }
+}
+
+/// The machine control state: either evaluate a term at some remaining
+/// fuel, or return a result to the innermost frame.
+enum Ctrl {
+    Eval(TermRef, usize),
+    Ret(TermRef),
+}
+
+/// One defunctionalised evaluation context. Each variant stores the
+/// *source term* of the context (one shared handle, no per-child clones)
+/// plus whatever evaluation state the context has accumulated, and the fuel
+/// at which it resumes.
+enum Frame {
+    /// `(□, e)` — `term` is the `Pair`; evaluate its second component.
+    PairSnd { term: TermRef, fuel: usize },
+    /// `(v, □)` — lift the completed pair.
+    PairDone { fst: TermRef },
+    /// `{v…, □, e…}` — `term` is the `Set`; `next` indexes its elements.
+    SetCollect {
+        term: TermRef,
+        next: usize,
+        out: Vec<TermRef>,
+        fuel: usize,
+    },
+    /// `□ ∨ e` — `term` is the `Join`; evaluate its right side.
+    JoinRight { term: TermRef, fuel: usize },
+    /// `v ∨ □` — join the two results.
+    JoinDone { lhs: TermRef },
+    /// `□ e` — `term` is the `App`; evaluate its argument.
+    AppArg { term: TermRef, fuel: usize },
+    /// `v □` — perform the β-step once the argument returns.
+    AppApply { func: TermRef, fuel: usize },
+    /// `let (x1, x2) = □ in e` — `term` is the `LetPair`.
+    LetPairBody { term: TermRef, fuel: usize },
+    /// `let s = □ in e` — `term` is the `LetSym`.
+    LetSymBody { term: TermRef, fuel: usize },
+    /// `⋁_{x ∈ □} e` — `term` is the `BigJoin`, scrutinee still evaluating.
+    BigJoinScrut { term: TermRef, fuel: usize },
+    /// `⋁` iteration: `scrut` is the evaluated `Set` value, `next` indexes
+    /// its elements, `acc` the join so far.
+    BigJoinIter {
+        term: TermRef,
+        scrut: TermRef,
+        next: usize,
+        acc: TermRef,
+        fuel: usize,
+    },
+    /// `op(v…, □, e…)` — `term` is the `Prim`; `next` indexes its operands.
+    PrimCollect {
+        term: TermRef,
+        next: usize,
+        vals: Vec<TermRef>,
+        fuel: usize,
+    },
+    /// `frz □` — seal the payload if its evaluation was complete.
+    FrzSeal { saved: bool },
+    /// `let frz x = □ in e` — `term` is the `LetFrz`.
+    LetFrzBody { term: TermRef, fuel: usize },
+    /// `⟨□, e⟩` — `term` is the `Lex`.
+    LexSnd { term: TermRef, fuel: usize },
+    /// `⟨v, □⟩`.
+    LexDone { fst: TermRef },
+    /// `x ← □; e` — `term` is the `LexBind`.
+    LexBindScrut { term: TermRef, fuel: usize },
+    /// Fold an accumulated version into the returning bind body.
+    MergeVersion { version: TermRef },
+    /// Record a finished β-step in the [`BetaTable`].
+    TableStore {
+        func: TermRef,
+        arg: TermRef,
+        fuel: usize,
+        saved: bool,
+    },
+}
+
+/// Runs the frame machine on `e` with per-path fuel `fuel`.
+///
+/// Equivalent to `bigstep::spec::eval` (property-tested), but iterative:
+/// native stack usage is O(1) in fuel and term depth. `budget` carries the
+/// global β valve and the approximation flag across the run; `table`
+/// intercepts β-steps (use [`NoTable`] for plain evaluation).
+pub fn run<T: BetaTable>(e: &TermRef, fuel: usize, budget: &mut Budget, table: &mut T) -> TermRef {
+    let mut stack: Vec<Frame> = Vec::with_capacity(32);
+    let mut ctrl = Ctrl::Eval(e.clone(), fuel);
+    loop {
+        ctrl = match ctrl {
+            Ctrl::Eval(e, fuel) => step_eval(e, fuel, &mut stack, budget, table),
+            Ctrl::Ret(v) => match stack.pop() {
+                None => return v,
+                Some(frame) => step_ret(frame, v, &mut stack, budget, table),
+            },
+        };
+    }
+}
+
+/// Dispatches on a term: either produces a result immediately or pushes the
+/// frame for its evaluation context and descends into the first subterm.
+fn step_eval<T: BetaTable>(
+    e: TermRef,
+    fuel: usize,
+    stack: &mut Vec<Frame>,
+    budget: &mut Budget,
+    table: &mut T,
+) -> Ctrl {
+    if e.is_value() {
+        return Ctrl::Ret(e);
+    }
+    match &*e {
+        Term::Bot => Ctrl::Ret(builder::bot()),
+        Term::Top => Ctrl::Ret(builder::top()),
+        Term::Pair(a, _) => {
+            let a = a.clone();
+            stack.push(Frame::PairSnd { term: e, fuel });
+            Ctrl::Eval(a, fuel)
+        }
+        Term::Set(es) => match es.first() {
+            // Unreachable in practice (an empty set literal is a value),
+            // kept for totality.
+            None => Ctrl::Ret(builder::set(Vec::new())),
+            Some(first) => {
+                let first = first.clone();
+                stack.push(Frame::SetCollect {
+                    term: e,
+                    next: 1,
+                    out: Vec::new(),
+                    fuel,
+                });
+                Ctrl::Eval(first, fuel)
+            }
+        },
+        Term::Join(a, b) => {
+            // Joins of values need no evaluation frames.
+            if a.is_value() && b.is_value() {
+                return Ctrl::Ret(join_results(a, b));
+            }
+            let a = a.clone();
+            stack.push(Frame::JoinRight { term: e, fuel });
+            Ctrl::Eval(a, fuel)
+        }
+        Term::App(f, a) => {
+            // β fast path: after substitution most redexes apply a value to
+            // a value — skip the two frame round-trips. (Values are never
+            // `⊥`/`⊤`, so the error checks of the slow path cannot fire.)
+            if f.is_value() && a.is_value() {
+                return apply(f.clone(), a.clone(), fuel, stack, budget, table);
+            }
+            let f = f.clone();
+            stack.push(Frame::AppArg { term: e, fuel });
+            Ctrl::Eval(f, fuel)
+        }
+        Term::LetPair(_, _, scrut, _) => {
+            // Value scrutinees evaluate to themselves: eliminate directly.
+            if scrut.is_value() {
+                return cont_let_pair(&e, scrut, fuel);
+            }
+            let scrut = scrut.clone();
+            stack.push(Frame::LetPairBody { term: e, fuel });
+            Ctrl::Eval(scrut, fuel)
+        }
+        Term::LetSym(_, scrut, _) => {
+            // Value scrutinees evaluate to themselves: eliminate directly.
+            if scrut.is_value() {
+                return cont_let_sym(&e, scrut, fuel);
+            }
+            let scrut = scrut.clone();
+            stack.push(Frame::LetSymBody { term: e, fuel });
+            Ctrl::Eval(scrut, fuel)
+        }
+        Term::BigJoin(_, scrut, _) => {
+            let scrut = scrut.clone();
+            stack.push(Frame::BigJoinScrut { term: e, fuel });
+            Ctrl::Eval(scrut, fuel)
+        }
+        Term::Prim(op, args) => {
+            // Saturated fast path: operands that are already values (the
+            // common case after substitution) need no collection frames,
+            // and evaluate to themselves.
+            if args.iter().all(|x| x.is_value()) {
+                return Ctrl::Ret(delta(*op, args));
+            }
+            match args.first() {
+                None => Ctrl::Ret(delta(*op, &[])),
+                Some(first) => {
+                    let (first, n) = (first.clone(), args.len());
+                    stack.push(Frame::PrimCollect {
+                        term: e,
+                        next: 1,
+                        vals: Vec::with_capacity(n),
+                        fuel,
+                    });
+                    Ctrl::Eval(first, fuel)
+                }
+            }
+        }
+        Term::Frz(inner) => {
+            // Freeze is all-or-nothing: the payload must evaluate without
+            // any approximation (fuel cut-off) before it may be sealed;
+            // otherwise the freeze is still pending (⊥).
+            stack.push(Frame::FrzSeal {
+                saved: budget.exhausted,
+            });
+            budget.exhausted = false;
+            Ctrl::Eval(inner.clone(), fuel)
+        }
+        Term::LetFrz(_, scrut, _) => {
+            let scrut = scrut.clone();
+            stack.push(Frame::LetFrzBody { term: e, fuel });
+            Ctrl::Eval(scrut, fuel)
+        }
+        Term::Lex(a, _) => {
+            let a = a.clone();
+            stack.push(Frame::LexSnd { term: e, fuel });
+            Ctrl::Eval(a, fuel)
+        }
+        Term::LexBind(_, scrut, _) => {
+            let scrut = scrut.clone();
+            stack.push(Frame::LexBindScrut { term: e, fuel });
+            Ctrl::Eval(scrut, fuel)
+        }
+        Term::LexMerge(v1, comp) => {
+            let comp = comp.clone();
+            stack.push(Frame::MergeVersion {
+                version: v1.clone(),
+            });
+            Ctrl::Eval(comp, fuel)
+        }
+        // Covered by the is_value guard, but kept for exhaustiveness.
+        Term::Var(_) | Term::BotV | Term::Sym(_) | Term::Lam(..) => Ctrl::Ret(e.clone()),
+    }
+}
+
+/// The `let (x1, x2) = v in e` continuation, shared by the frame return
+/// path and the value fast path in [`step_eval`].
+fn cont_let_pair(term: &TermRef, v: &TermRef, fuel: usize) -> Ctrl {
+    match thaw(v) {
+        Term::Top => Ctrl::Ret(builder::top()),
+        Term::Pair(v1, v2) => {
+            let Term::LetPair(x1, x2, _, body) = &**term else {
+                unreachable!("LetPairBody holds a LetPair")
+            };
+            Ctrl::Eval(body.subst(x1, v1).subst(x2, v2), fuel)
+        }
+        // ⊥, ⊥v, and non-pairs: nothing to stream yet / stuck.
+        _ => Ctrl::Ret(builder::bot()),
+    }
+}
+
+/// The `let s = v in e` continuation (threshold query), shared by the frame
+/// return path and the value fast path in [`step_eval`].
+fn cont_let_sym(term: &TermRef, v: &TermRef, fuel: usize) -> Ctrl {
+    let Term::LetSym(sym, _, body) = &**term else {
+        unreachable!("LetSymBody holds a LetSym")
+    };
+    match thaw(v) {
+        Term::Top => Ctrl::Ret(builder::top()),
+        Term::Sym(s2) if sym.leq(s2) => Ctrl::Eval(body.clone(), fuel),
+        // Version threshold (§5.2): fires once the version reaches
+        // the symbol threshold.
+        Term::Lex(ver, _) if crate::observe::result_leq(&builder::sym(sym.clone()), ver) => {
+            Ctrl::Eval(body.clone(), fuel)
+        }
+        _ => Ctrl::Ret(builder::bot()),
+    }
+}
+
+/// Resumes the innermost evaluation context with the result `v`.
+fn step_ret<T: BetaTable>(
+    frame: Frame,
+    v: TermRef,
+    stack: &mut Vec<Frame>,
+    budget: &mut Budget,
+    table: &mut T,
+) -> Ctrl {
+    match frame {
+        Frame::PairSnd { term, fuel } => match &*v {
+            Term::Bot => Ctrl::Ret(builder::bot()),
+            Term::Top => Ctrl::Ret(builder::top()),
+            _ => {
+                let Term::Pair(_, b) = &*term else {
+                    unreachable!("PairSnd holds a Pair")
+                };
+                let b = b.clone();
+                stack.push(Frame::PairDone { fst: v });
+                Ctrl::Eval(b, fuel)
+            }
+        },
+        Frame::PairDone { fst } => Ctrl::Ret(pair_lift(&fst, &v)),
+        Frame::SetCollect {
+            term,
+            next,
+            mut out,
+            fuel,
+        } => {
+            match &*v {
+                Term::Top => return Ctrl::Ret(builder::top()),
+                Term::Bot => {}
+                _ => {
+                    if !out.iter().any(|o| o.alpha_eq(&v)) {
+                        out.push(v);
+                    }
+                }
+            }
+            let Term::Set(es) = &*term else {
+                unreachable!("SetCollect holds a Set")
+            };
+            match es.get(next).cloned() {
+                Some(e) => {
+                    stack.push(Frame::SetCollect {
+                        term: term.clone(),
+                        next: next + 1,
+                        out,
+                        fuel,
+                    });
+                    Ctrl::Eval(e, fuel)
+                }
+                None => Ctrl::Ret(builder::set(out)),
+            }
+        }
+        Frame::JoinRight { term, fuel } => {
+            let Term::Join(_, b) = &*term else {
+                unreachable!("JoinRight holds a Join")
+            };
+            let b = b.clone();
+            stack.push(Frame::JoinDone { lhs: v });
+            Ctrl::Eval(b, fuel)
+        }
+        Frame::JoinDone { lhs } => Ctrl::Ret(join_results(&lhs, &v)),
+        Frame::AppArg { term, fuel } => match &*v {
+            Term::Bot => Ctrl::Ret(builder::bot()),
+            Term::Top => Ctrl::Ret(builder::top()),
+            _ => {
+                let Term::App(_, a) = &*term else {
+                    unreachable!("AppArg holds an App")
+                };
+                let a = a.clone();
+                stack.push(Frame::AppApply { func: v, fuel });
+                Ctrl::Eval(a, fuel)
+            }
+        },
+        Frame::AppApply { func, fuel } => match &*v {
+            Term::Bot => Ctrl::Ret(builder::bot()),
+            Term::Top => Ctrl::Ret(builder::top()),
+            _ => apply(func, v, fuel, stack, budget, table),
+        },
+        Frame::LetPairBody { term, fuel } => cont_let_pair(&term, &v, fuel),
+        Frame::LetSymBody { term, fuel } => cont_let_sym(&term, &v, fuel),
+        Frame::BigJoinScrut { term, fuel } => match thaw(&v) {
+            Term::Top => Ctrl::Ret(builder::top()),
+            Term::Set(vs) => match vs.first() {
+                None => Ctrl::Ret(builder::bot()),
+                Some(first) => {
+                    let Term::BigJoin(x, _, body) = &*term else {
+                        unreachable!("BigJoinScrut holds a BigJoin")
+                    };
+                    let inst = body.subst(x, first);
+                    let scrut = match &*v {
+                        // Keep the *unthawed* scrutinee out of the frame so
+                        // indexing matches the thawed view.
+                        Term::Frz(p) => p.clone(),
+                        _ => v.clone(),
+                    };
+                    stack.push(Frame::BigJoinIter {
+                        term,
+                        scrut,
+                        next: 1,
+                        acc: builder::bot(),
+                        fuel,
+                    });
+                    Ctrl::Eval(inst, fuel)
+                }
+            },
+            _ => Ctrl::Ret(builder::bot()),
+        },
+        Frame::BigJoinIter {
+            term,
+            scrut,
+            next,
+            acc,
+            fuel,
+        } => {
+            let acc = join_results(&acc, &v);
+            if matches!(&*acc, Term::Top) {
+                return Ctrl::Ret(acc);
+            }
+            let Term::Set(vs) = &*scrut else {
+                unreachable!("BigJoinIter scrutinee is a Set value")
+            };
+            match vs.get(next) {
+                Some(el) => {
+                    let Term::BigJoin(x, _, body) = &*term else {
+                        unreachable!("BigJoinIter holds a BigJoin")
+                    };
+                    let inst = body.subst(x, el);
+                    stack.push(Frame::BigJoinIter {
+                        term: term.clone(),
+                        scrut: scrut.clone(),
+                        next: next + 1,
+                        acc,
+                        fuel,
+                    });
+                    Ctrl::Eval(inst, fuel)
+                }
+                None => Ctrl::Ret(acc),
+            }
+        }
+        Frame::PrimCollect {
+            term,
+            next,
+            mut vals,
+            fuel,
+        } => {
+            match &*v {
+                Term::Bot => return Ctrl::Ret(builder::bot()),
+                Term::Top => return Ctrl::Ret(builder::top()),
+                _ => vals.push(v),
+            }
+            let Term::Prim(op, args) = &*term else {
+                unreachable!("PrimCollect holds a Prim")
+            };
+            match args.get(next).cloned() {
+                Some(a) => {
+                    stack.push(Frame::PrimCollect {
+                        term: term.clone(),
+                        next: next + 1,
+                        vals,
+                        fuel,
+                    });
+                    Ctrl::Eval(a, fuel)
+                }
+                None => Ctrl::Ret(delta(*op, &vals)),
+            }
+        }
+        Frame::FrzSeal { saved } => {
+            let complete = !budget.exhausted;
+            budget.exhausted |= saved;
+            if complete {
+                Ctrl::Ret(frz_lift(&v))
+            } else {
+                Ctrl::Ret(builder::bot())
+            }
+        }
+        Frame::LetFrzBody { term, fuel } => match &*v {
+            Term::Top => Ctrl::Ret(builder::top()),
+            Term::Frz(payload) => {
+                let Term::LetFrz(x, _, body) = &*term else {
+                    unreachable!("LetFrzBody holds a LetFrz")
+                };
+                Ctrl::Eval(body.subst(x, payload), fuel)
+            }
+            // Unfrozen scrutinees leave the query unanswered.
+            _ => Ctrl::Ret(builder::bot()),
+        },
+        Frame::LexSnd { term, fuel } => match &*v {
+            Term::Bot => Ctrl::Ret(builder::bot()),
+            Term::Top => Ctrl::Ret(builder::top()),
+            _ => {
+                let Term::Lex(_, b) = &*term else {
+                    unreachable!("LexSnd holds a Lex")
+                };
+                let b = b.clone();
+                stack.push(Frame::LexDone { fst: v });
+                Ctrl::Eval(b, fuel)
+            }
+        },
+        Frame::LexDone { fst } => Ctrl::Ret(lex_lift(&fst, &v)),
+        Frame::LexBindScrut { term, fuel } => match thaw(&v) {
+            Term::Top => Ctrl::Ret(builder::top()),
+            Term::BotV => Ctrl::Ret(builder::botv()),
+            Term::Lex(v1, v1p) => {
+                let Term::LexBind(x, _, body) = &*term else {
+                    unreachable!("LexBindScrut holds a LexBind")
+                };
+                stack.push(Frame::MergeVersion {
+                    version: v1.clone(),
+                });
+                Ctrl::Eval(body.subst(x, v1p), fuel)
+            }
+            Term::Bot => Ctrl::Ret(builder::bot()),
+            _ => Ctrl::Ret(builder::top()),
+        },
+        Frame::MergeVersion { version } => Ctrl::Ret(merge_version(&version, &v)),
+        Frame::TableStore {
+            func,
+            arg,
+            fuel,
+            saved,
+        } => {
+            let sub_exhausted = budget.exhausted;
+            table.store(&func, &arg, fuel, &v, sub_exhausted);
+            budget.exhausted |= saved;
+            Ctrl::Ret(v)
+        }
+    }
+}
+
+/// The β-step: applies the function value `vf` to the argument value `va`.
+fn apply<T: BetaTable>(
+    vf: TermRef,
+    va: TermRef,
+    fuel: usize,
+    stack: &mut Vec<Frame>,
+    budget: &mut Budget,
+    table: &mut T,
+) -> Ctrl {
+    match thaw(&vf) {
+        Term::Lam(x, body) => {
+            if fuel == 0 || budget.beta == 0 {
+                budget.exhausted = true;
+                return Ctrl::Ret(builder::bot()); // approximation step: out of fuel
+            }
+            if let Some((r, exhausted)) = table.lookup(&vf, &va, fuel) {
+                budget.exhausted |= exhausted;
+                return Ctrl::Ret(r);
+            }
+            budget.beta -= 1;
+            budget.used += 1;
+            let inst = body.subst(x, &va);
+            if table.enabled() {
+                stack.push(Frame::TableStore {
+                    func: vf.clone(),
+                    arg: va.clone(),
+                    fuel,
+                    saved: budget.exhausted,
+                });
+                budget.exhausted = false;
+            }
+            Ctrl::Eval(inst, fuel - 1)
+        }
+        // Inspecting ⊥v yields ⊥ (§2.1).
+        Term::BotV => Ctrl::Ret(builder::bot()),
+        // Applying a non-function is stuck; the approximate semantics
+        // discards it.
+        _ => Ctrl::Ret(builder::bot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn values_return_without_frames() {
+        let mut budget = Budget::new(usize::MAX);
+        let r = run(&int(3), 0, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&int(3)));
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn beta_counts_and_budget_valve() {
+        // (λx. x x) applied to the identity: two βs.
+        let t = app(lam("x", app(var("x"), var("x"))), lam("y", var("y")));
+        let mut budget = Budget::new(usize::MAX);
+        let r = run(&t, 10, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&lam("y", var("y"))));
+        assert_eq!(budget.used(), 2);
+
+        // A global β valve of 1 cuts the run short with an approximation.
+        let mut budget = Budget::new(1);
+        let r = run(&t, 10, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&bot()));
+        assert!(budget.exhausted());
+    }
+
+    #[test]
+    fn deep_argument_nesting_is_heap_bounded() {
+        // id (id (… (id 1) …)) nested 100k deep: each application is a
+        // separate path of β-depth 1, so tiny fuel suffices — but the
+        // *context* stack is 100k frames, which must live on the heap.
+        let mut t = int(1);
+        for _ in 0..100_000 {
+            t = app(lam("x", var("x")), t);
+        }
+        let mut budget = Budget::new(usize::MAX);
+        let r = run(&t, 2, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&int(1)));
+        assert_eq!(budget.used(), 100_000);
+    }
+}

@@ -21,7 +21,11 @@
 //! * [`machine`] — a deterministic fair small-step machine;
 //! * [`bigstep`] — a fuel-indexed big-step evaluator realising
 //!   approximation steps deterministically (pipeline parallelism à la
-//!   Figure 10);
+//!   Figure 10), with the recursive executable specification in
+//!   [`bigstep::spec`];
+//! * [`engine`] — the explicit-stack (defunctionalised frame machine)
+//!   evaluation engine behind [`bigstep`] and the runtime's memoised
+//!   evaluator: depth scales with the heap, not the OS thread stack;
 //! * [`encodings`] — the paper's example programs (`fromN`, `evens`,
 //!   parallel or, `reaches`, two-phase commit, Peano numerals);
 //! * [`stdlib`] — streaming list/set combinators built from the core
@@ -48,6 +52,7 @@ pub mod bigstep;
 pub mod builder;
 pub mod display;
 pub mod encodings;
+pub mod engine;
 pub mod machine;
 pub mod observe;
 pub mod parser;

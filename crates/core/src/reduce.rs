@@ -39,6 +39,21 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
         r1.is_result() && r2.is_result(),
         "join_results on non-results"
     );
+    join_rec(r1, r2, 128)
+}
+
+/// [`join_results`] with bounded native recursion: the self-recursive arms
+/// (pointwise pairs, lexicographic pairs) descend natively to the cap and
+/// hand deeper spines to the worklist in [`join_iter`], so joining two
+/// deeply accumulated stream values cannot overflow the thread stack.
+/// (The arguments are subterms of checked results, so re-asserting
+/// `is_result` on every level is unnecessary — and would itself be
+/// quadratic on deep values.)
+fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
+    if depth == 0 {
+        return join_iter(r1, r2);
+    }
+    let d = depth - 1;
     match (&**r1, &**r2) {
         // Laws of bounded semilattices for ⊥, ⊤, ⊥v.
         (Term::Bot, _) => r2.clone(),
@@ -53,8 +68,8 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
         },
         // Pairs join pointwise, through the computational lifting.
         (Term::Pair(a1, b1), Term::Pair(a2, b2)) => {
-            let a = join_results(a1, a2);
-            let b = join_results(b1, b2);
+            let a = join_rec(a1, a2, d);
+            let b = join_rec(b1, b2, d);
             pair_lift(&a, &b)
         }
         // Sets join by union (deduplicated up to α-equivalence).
@@ -116,8 +131,8 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
             match (le, ge) {
                 (true, false) => r2.clone(),
                 (false, true) => r1.clone(),
-                (true, true) => lex_lift(a1, &join_results(b1, b2)),
-                (false, false) => lex_lift(&join_results(a1, a2), &join_results(b1, b2)),
+                (true, true) => lex_lift(a1, &join_rec(b1, b2, d)),
+                (false, false) => lex_lift(&join_rec(a1, a2, d), &join_rec(b1, b2, d)),
             }
         }
         // Identical free variables join to themselves (idempotence); this
@@ -126,6 +141,69 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
         // Anything else is an ambiguity error.
         _ => builder::top(),
     }
+}
+
+/// The worklist continuation of [`join_rec`] past the recursion cap: the
+/// Pair/Lex spine structure is defunctionalised into visit/combine jobs, so
+/// native stack stays O(1) in spine depth. Non-spine arms terminate within
+/// [`join_rec`]'s fresh cap.
+#[cold]
+fn join_iter(r1: &TermRef, r2: &TermRef) -> TermRef {
+    enum Job {
+        Visit(TermRef, TermRef),
+        /// Combine the last two results with [`pair_lift`].
+        PairLift,
+        /// `lex_lift` the carried (equivalent) version onto the last result.
+        LexGrow(TermRef),
+        /// `lex_lift` the last two results (joined version, joined payload).
+        LexBoth,
+    }
+    let mut jobs: Vec<Job> = vec![Job::Visit(r1.clone(), r2.clone())];
+    let mut results: Vec<TermRef> = Vec::new();
+    while let Some(job) = jobs.pop() {
+        match job {
+            Job::Visit(a, b) => match (&*a, &*b) {
+                (Term::Pair(a1, b1), Term::Pair(a2, b2)) => {
+                    jobs.push(Job::PairLift);
+                    jobs.push(Job::Visit(b1.clone(), b2.clone()));
+                    jobs.push(Job::Visit(a1.clone(), a2.clone()));
+                }
+                (Term::Lex(a1, b1), Term::Lex(a2, b2)) => {
+                    use crate::observe::result_leq;
+                    match (result_leq(a1, a2), result_leq(a2, a1)) {
+                        (true, false) => results.push(b.clone()),
+                        (false, true) => results.push(a.clone()),
+                        (true, true) => {
+                            jobs.push(Job::LexGrow(a1.clone()));
+                            jobs.push(Job::Visit(b1.clone(), b2.clone()));
+                        }
+                        (false, false) => {
+                            jobs.push(Job::LexBoth);
+                            jobs.push(Job::Visit(b1.clone(), b2.clone()));
+                            jobs.push(Job::Visit(a1.clone(), a2.clone()));
+                        }
+                    }
+                }
+                // Non-spine arms cannot re-enter the spine recursion.
+                _ => results.push(join_rec(&a, &b, 128)),
+            },
+            Job::PairLift => {
+                let snd = results.pop().expect("pair join lost its second");
+                let fst = results.pop().expect("pair join lost its first");
+                results.push(pair_lift(&fst, &snd));
+            }
+            Job::LexGrow(version) => {
+                let payload = results.pop().expect("lex join lost its payload");
+                results.push(lex_lift(&version, &payload));
+            }
+            Job::LexBoth => {
+                let payload = results.pop().expect("lex join lost its payload");
+                let version = results.pop().expect("lex join lost its version");
+                results.push(lex_lift(&version, &payload));
+            }
+        }
+    }
+    results.pop().expect("join produced no result")
 }
 
 /// The computational lifting `(r, r')c` from Figure 5.

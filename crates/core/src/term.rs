@@ -165,14 +165,51 @@ impl Term {
     ///
     /// Values are variables, `⊥v`, abstractions, pairs of values, symbols,
     /// and sets of values.
+    ///
+    /// Iterative: the check is called on every dispatch of the evaluation
+    /// engine, and values (streams accumulated over many fuel levels) can
+    /// nest far deeper than the OS stack allows recursion.
     pub fn is_value(&self) -> bool {
-        match self {
-            Term::Var(_) | Term::BotV | Term::Lam(..) | Term::Sym(_) => true,
-            Term::Pair(a, b) | Term::Lex(a, b) => a.is_value() && b.is_value(),
-            Term::Frz(v) => v.is_value(),
-            Term::Set(es) => es.iter().all(|e| e.is_value()),
-            _ => false,
+        // Bounded recursion keeps the common shallow case allocation-free;
+        // past the depth cap the worklist takes over (None = ran out).
+        fn bounded(t: &Term, depth: u32) -> Option<bool> {
+            if depth == 0 {
+                return None;
+            }
+            match t {
+                Term::Var(_) | Term::BotV | Term::Lam(..) | Term::Sym(_) => Some(true),
+                Term::Pair(a, b) | Term::Lex(a, b) => {
+                    Some(bounded(a, depth - 1)? && bounded(b, depth - 1)?)
+                }
+                Term::Frz(v) => bounded(v, depth - 1),
+                Term::Set(es) => {
+                    for e in es {
+                        if !bounded(e, depth - 1)? {
+                            return Some(false);
+                        }
+                    }
+                    Some(true)
+                }
+                _ => Some(false),
+            }
         }
+        if let Some(b) = bounded(self, 64) {
+            return b;
+        }
+        let mut todo: Vec<&Term> = vec![self];
+        while let Some(t) = todo.pop() {
+            match t {
+                Term::Var(_) | Term::BotV | Term::Lam(..) | Term::Sym(_) => {}
+                Term::Pair(a, b) | Term::Lex(a, b) => {
+                    todo.push(a);
+                    todo.push(b);
+                }
+                Term::Frz(v) => todo.push(v),
+                Term::Set(es) => todo.extend(es.iter().map(|e| &**e)),
+                _ => return false,
+            }
+        }
+        true
     }
 
     /// Returns `true` if the term is a result (`Res` in Figure 1):
@@ -187,58 +224,81 @@ impl Term {
     }
 
     /// The set of free variables of the term.
+    ///
+    /// Iterative (an explicit worklist of visit/bind/unbind tasks):
+    /// substitution computes the free variables of the value being plugged
+    /// in, which during streaming evaluation can be a value far deeper than
+    /// the OS stack allows recursion.
     pub fn free_vars(&self) -> Vec<Var> {
-        fn go(t: &Term, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
-            match t {
-                Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => {}
-                Term::Var(x) => {
-                    if !bound.contains(x) && !out.contains(x) {
-                        out.push(x.clone());
+        // Leaf fast paths: the values the evaluator substitutes are very
+        // often symbols or single variables.
+        match self {
+            Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => return Vec::new(),
+            Term::Var(x) => return vec![x.clone()],
+            _ => {}
+        }
+        enum Task<'a> {
+            Visit(&'a Term),
+            Bind(&'a Var),
+            Unbind(usize),
+        }
+        let mut bound: Vec<Var> = Vec::new();
+        let mut out: Vec<Var> = Vec::new();
+        // Tasks are pushed in reverse so they pop in syntactic order.
+        let mut todo: Vec<Task<'_>> = vec![Task::Visit(self)];
+        while let Some(task) = todo.pop() {
+            match task {
+                Task::Bind(x) => bound.push(x.clone()),
+                Task::Unbind(n) => {
+                    let keep = bound.len() - n;
+                    bound.truncate(keep);
+                }
+                Task::Visit(t) => match t {
+                    Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => {}
+                    Term::Var(x) => {
+                        if !bound.contains(x) && !out.contains(x) {
+                            out.push(x.clone());
+                        }
                     }
-                }
-                Term::Lam(x, b) => {
-                    bound.push(x.clone());
-                    go(b, bound, out);
-                    bound.pop();
-                }
-                Term::Pair(a, b)
-                | Term::App(a, b)
-                | Term::Join(a, b)
-                | Term::Lex(a, b)
-                | Term::LexMerge(a, b) => {
-                    go(a, bound, out);
-                    go(b, bound, out);
-                }
-                Term::Frz(e) => go(e, bound, out),
-                Term::Set(es) | Term::Prim(_, es) => {
-                    for e in es {
-                        go(e, bound, out);
+                    Term::Lam(x, b) => {
+                        todo.push(Task::Unbind(1));
+                        todo.push(Task::Visit(b));
+                        todo.push(Task::Bind(x));
                     }
-                }
-                Term::LetPair(x1, x2, e, body) => {
-                    go(e, bound, out);
-                    bound.push(x1.clone());
-                    bound.push(x2.clone());
-                    go(body, bound, out);
-                    bound.pop();
-                    bound.pop();
-                }
-                Term::LetSym(_, e, body) => {
-                    go(e, bound, out);
-                    go(body, bound, out);
-                }
-                Term::BigJoin(x, e, body)
-                | Term::LetFrz(x, e, body)
-                | Term::LexBind(x, e, body) => {
-                    go(e, bound, out);
-                    bound.push(x.clone());
-                    go(body, bound, out);
-                    bound.pop();
-                }
+                    Term::Pair(a, b)
+                    | Term::App(a, b)
+                    | Term::Join(a, b)
+                    | Term::Lex(a, b)
+                    | Term::LexMerge(a, b) => {
+                        todo.push(Task::Visit(b));
+                        todo.push(Task::Visit(a));
+                    }
+                    Term::Frz(e) => todo.push(Task::Visit(e)),
+                    Term::Set(es) | Term::Prim(_, es) => {
+                        todo.extend(es.iter().rev().map(|e| Task::Visit(e)));
+                    }
+                    Term::LetPair(x1, x2, e, body) => {
+                        todo.push(Task::Unbind(2));
+                        todo.push(Task::Visit(body));
+                        todo.push(Task::Bind(x2));
+                        todo.push(Task::Bind(x1));
+                        todo.push(Task::Visit(e));
+                    }
+                    Term::LetSym(_, e, body) => {
+                        todo.push(Task::Visit(body));
+                        todo.push(Task::Visit(e));
+                    }
+                    Term::BigJoin(x, e, body)
+                    | Term::LetFrz(x, e, body)
+                    | Term::LexBind(x, e, body) => {
+                        todo.push(Task::Unbind(1));
+                        todo.push(Task::Visit(body));
+                        todo.push(Task::Bind(x));
+                        todo.push(Task::Visit(e));
+                    }
+                },
             }
         }
-        let mut out = Vec::new();
-        go(self, &mut Vec::new(), &mut out);
         out
     }
 
@@ -247,9 +307,18 @@ impl Term {
     /// Binders that would capture a free variable of `v` are renamed with a
     /// fresh name. During closed-program evaluation `v` is always closed, so
     /// renaming never fires on that path; it exists for open-term utilities.
+    ///
+    /// The closed-`v` case — every substitution the evaluation engine
+    /// performs — runs iteratively, so deeply nested programs substitute
+    /// without consuming native stack. Open `v` falls back to the recursive
+    /// spec-shaped walk (which may rename binders).
     pub fn subst(self: &Rc<Self>, x: &str, v: &TermRef) -> TermRef {
         let fv = v.free_vars();
-        subst_impl(self, x, v, &fv, &mut 0)
+        if fv.is_empty() {
+            subst_closed(self, x, v)
+        } else {
+            subst_impl(self, x, v, &fv, &mut 0)
+        }
     }
 
     /// Structural equality up to renaming of bound variables.
@@ -257,24 +326,467 @@ impl Term {
         alpha_eq_impl(self, other, &mut Vec::new())
     }
 
-    /// A size measure: the number of AST nodes.
+    /// A size measure: the number of AST nodes. Iterative via [`Term::children`].
     pub fn size(&self) -> usize {
-        match self {
-            Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => 1,
-            Term::Lam(_, b) | Term::Frz(b) => 1 + b.size(),
+        let mut n = 0;
+        let mut todo: Vec<&Term> = vec![self];
+        while let Some(t) = todo.pop() {
+            n += 1;
+            todo.extend(t.children().map(|c| &**c));
+        }
+        n
+    }
+
+    /// Iterates over the direct subterms of the node, in syntactic order.
+    ///
+    /// Binders are *not* entered specially: the iterator yields every child
+    /// `TermRef` regardless of scoping, which is what generic traversals
+    /// (sizing, frame construction in the evaluation engine, iterative
+    /// deallocation) need. Scope-aware walks ([`Term::free_vars`],
+    /// substitution) handle binders themselves.
+    pub fn children(&self) -> Children<'_> {
+        Children(match self {
+            Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => ChildrenRepr::Zero,
+            Term::Lam(_, b) | Term::Frz(b) => ChildrenRepr::One(b),
             Term::Pair(a, b)
             | Term::App(a, b)
             | Term::Join(a, b)
             | Term::Lex(a, b)
-            | Term::LexMerge(a, b) => 1 + a.size() + b.size(),
-            Term::Set(es) | Term::Prim(_, es) => 1 + es.iter().map(|e| e.size()).sum::<usize>(),
-            Term::LetPair(_, _, e, b) => 1 + e.size() + b.size(),
-            Term::LetSym(_, e, b) => 1 + e.size() + b.size(),
-            Term::BigJoin(_, e, b) | Term::LetFrz(_, e, b) | Term::LexBind(_, e, b) => {
-                1 + e.size() + b.size()
+            | Term::LexMerge(a, b)
+            | Term::LetPair(_, _, a, b)
+            | Term::LetSym(_, a, b)
+            | Term::BigJoin(_, a, b)
+            | Term::LetFrz(_, a, b)
+            | Term::LexBind(_, a, b) => ChildrenRepr::Two(a, b),
+            Term::Set(es) | Term::Prim(_, es) => ChildrenRepr::Slice(es.iter()),
+        })
+    }
+}
+
+/// Iterator over the direct children of a term; see [`Term::children`].
+pub struct Children<'a>(ChildrenRepr<'a>);
+
+enum ChildrenRepr<'a> {
+    Zero,
+    One(&'a TermRef),
+    Two(&'a TermRef, &'a TermRef),
+    Slice(std::slice::Iter<'a, TermRef>),
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = &'a TermRef;
+
+    fn next(&mut self) -> Option<&'a TermRef> {
+        match std::mem::replace(&mut self.0, ChildrenRepr::Zero) {
+            ChildrenRepr::Zero => None,
+            ChildrenRepr::One(a) => Some(a),
+            ChildrenRepr::Two(a, b) => {
+                self.0 = ChildrenRepr::One(b);
+                Some(a)
+            }
+            ChildrenRepr::Slice(mut it) => {
+                let next = it.next();
+                self.0 = ChildrenRepr::Slice(it);
+                next
             }
         }
     }
+}
+
+fn is_leaf(t: &Term) -> bool {
+    matches!(
+        t,
+        Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_)
+    )
+}
+
+/// Dropping a term iterates instead of recursing: deeply nested terms and
+/// deeply accumulated stream values (fuel ≫ stack depth) would otherwise
+/// overflow the stack in the automatically derived destructor.
+use std::cell::Cell;
+
+thread_local! {
+    /// True while [`drop_deep`] is unwinding a tree: every composite node
+    /// dropped inside the loop has already handed its children to the
+    /// worklist, so its destructor must do nothing but the derived
+    /// (shallow) field drops.
+    static IN_TEARDOWN: Cell<bool> = const { Cell::new(false) };
+    /// The native stack position (address of a destructor-frame local) of
+    /// the shallowest recent composite drop; see [`Term::drop`].
+    static DROP_ANCHOR: Cell<usize> = const { Cell::new(0) };
+}
+
+/// How much native stack a recursive (derived) teardown may consume before
+/// [`drop_deep`] takes over. Measured in actual bytes via the stack probe,
+/// so it is frame-size-independent; small enough to leave ample headroom
+/// even on a 512 KiB thread.
+const DROP_STACK_BUDGET: usize = 64 * 1024;
+
+impl Drop for Term {
+    fn drop(&mut self) {
+        // Leaves hold no subterms — the overwhelmingly common case.
+        if is_leaf(self) {
+            return;
+        }
+        if IN_TEARDOWN.with(Cell::get) {
+            // A worklist teardown is running. Nodes the worklist manages
+            // have all their composite children enqueued (count ≥ 2), so
+            // only shallow field drops remain; anything else reaching here
+            // (a solely-owned deep child surfacing through a side container)
+            // re-enters the worklist rather than recursing.
+            let managed = self
+                .children()
+                .all(|c| is_leaf(c) || Rc::strong_count(c) >= 2);
+            if !managed {
+                drop_deep(self);
+            }
+            return;
+        }
+        // Stack probe: compare this destructor frame's position against the
+        // shallowest recent drop site. The derived field drops may recurse
+        // — at full native speed — until the recursion has consumed
+        // `DROP_STACK_BUDGET` bytes below the anchor; past that, the
+        // iterative worklist takes over. (Stacks grow downward: a nested
+        // drop sits at a lower address; a drop at or above the anchor means
+        // the previous recursion is finished, so the anchor moves here.)
+        let marker = 0u8;
+        let here = std::ptr::addr_of!(marker) as usize;
+        let within_budget = DROP_ANCHOR.with(|a| {
+            let anchor = a.get();
+            if anchor == 0 || here >= anchor {
+                a.set(here);
+                true
+            } else {
+                anchor - here <= DROP_STACK_BUDGET
+            }
+        });
+        if within_budget {
+            return;
+        }
+        // Past the budget. Engage the worklist only if this node actually
+        // has something to flatten (a solely-owned composite child);
+        // trivial composites (e.g. `λx.x`) drop shallowly either way, and
+        // skipping them keeps deep-running callers off the cold path. The
+        // anchor itself never moves downward: re-anchoring mid-cascade
+        // would let interleaved sibling drops ratchet it down and unbound
+        // the native descent.
+        let has_flattenable = self
+            .children()
+            .any(|c| Rc::strong_count(c) == 1 && !is_leaf(c));
+        if has_flattenable {
+            drop_deep(self);
+        }
+    }
+}
+
+/// The worklist teardown for a term with solely-owned composite children.
+///
+/// The root *moves* its composite children into the worklist (replacing
+/// them with a `⊥` placeholder — its own field drops run only after this
+/// function, so it must relinquish ownership first). Interior nodes are
+/// cheaper: when a pop finds us sole owner, the node's composite children
+/// are *cloned* into the worklist — the extra handle lifts their count to
+/// ≥ 2, so the node's derived field drops (which run inside this loop,
+/// before its children are popped) merely decrement, and each child
+/// returns to sole ownership by the time it is popped. A thread-local
+/// scratch vector avoids an allocation per teardown; nodes dropped inside
+/// the loop take the shallow fast path, so the scratch is never re-entered
+/// (guarded regardless).
+#[cold]
+fn drop_deep(t: &mut Term) {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<Vec<TermRef>> = const { RefCell::new(Vec::new()) };
+    }
+    fn detach_root(t: &mut Term, pending: &mut Vec<TermRef>) {
+        thread_local! {
+            static NIL: TermRef = Rc::new(Term::Bot);
+        }
+        let nil: TermRef = NIL.with(Rc::clone);
+        let take = |slot: &mut TermRef, pending: &mut Vec<TermRef>| {
+            if !is_leaf(slot) {
+                pending.push(std::mem::replace(slot, nil.clone()));
+            }
+        };
+        match t {
+            Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => {}
+            Term::Lam(_, b) | Term::Frz(b) => take(b, pending),
+            Term::Pair(a, b)
+            | Term::App(a, b)
+            | Term::Join(a, b)
+            | Term::Lex(a, b)
+            | Term::LexMerge(a, b)
+            | Term::LetPair(_, _, a, b)
+            | Term::LetSym(_, a, b)
+            | Term::BigJoin(_, a, b)
+            | Term::LetFrz(_, a, b)
+            | Term::LexBind(_, a, b) => {
+                take(a, pending);
+                take(b, pending);
+            }
+            Term::Set(es) | Term::Prim(_, es) => {
+                for e in es {
+                    take(e, pending);
+                }
+            }
+        }
+    }
+    /// Restores [`IN_TEARDOWN`] even if the loop panics (allocation
+    /// failure); saves the prior value so re-entrant teardowns nest.
+    struct TeardownGuard(bool);
+    impl Drop for TeardownGuard {
+        fn drop(&mut self) {
+            let prev = self.0;
+            IN_TEARDOWN.with(|f| f.set(prev));
+        }
+    }
+    let _guard = TeardownGuard(IN_TEARDOWN.with(|f| f.replace(true)));
+    let mut run = |pending: &mut Vec<TermRef>| {
+        detach_root(t, pending);
+        while let Some(child) = pending.pop() {
+            if let Some(inner) = Rc::into_inner(child) {
+                pending.extend(inner.children().filter(|c| !is_leaf(c)).cloned());
+            }
+        }
+    };
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut pending) => run(&mut pending),
+        Err(_) => run(&mut Vec::new()),
+    });
+}
+
+/// Substitution of a *closed* value: no capture is possible, so binders
+/// equal to `x` simply stop the descent. This is the substitution the
+/// explicit-stack engine performs at every β-step: it recurses natively
+/// while shallow (allocation-free, exactly the spec-shaped walk) and hands
+/// any subtree deeper than the cap to the iterative worklist, so native
+/// stack usage is bounded regardless of term depth.
+fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
+    fn rec(t: &TermRef, x: &str, v: &TermRef, depth: u32) -> TermRef {
+        if depth == 0 {
+            return subst_closed_iter(t, x, v);
+        }
+        let d = depth - 1;
+        match &**t {
+            Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => t.clone(),
+            Term::Var(y) => {
+                if &**y == x {
+                    v.clone()
+                } else {
+                    t.clone()
+                }
+            }
+            Term::Lam(y, b) => {
+                if &**y == x {
+                    t.clone()
+                } else {
+                    Rc::new(Term::Lam(y.clone(), rec(b, x, v, d)))
+                }
+            }
+            Term::Pair(a, b) => Rc::new(Term::Pair(rec(a, x, v, d), rec(b, x, v, d))),
+            Term::App(a, b) => Rc::new(Term::App(rec(a, x, v, d), rec(b, x, v, d))),
+            Term::Join(a, b) => Rc::new(Term::Join(rec(a, x, v, d), rec(b, x, v, d))),
+            Term::Lex(a, b) => Rc::new(Term::Lex(rec(a, x, v, d), rec(b, x, v, d))),
+            Term::LexMerge(a, b) => Rc::new(Term::LexMerge(rec(a, x, v, d), rec(b, x, v, d))),
+            Term::Frz(e) => Rc::new(Term::Frz(rec(e, x, v, d))),
+            Term::Set(es) => Rc::new(Term::Set(es.iter().map(|e| rec(e, x, v, d)).collect())),
+            Term::Prim(op, es) => Rc::new(Term::Prim(
+                *op,
+                es.iter().map(|e| rec(e, x, v, d)).collect(),
+            )),
+            Term::LetPair(x1, x2, e, body) => {
+                let body = if &**x1 == x || &**x2 == x {
+                    body.clone()
+                } else {
+                    rec(body, x, v, d)
+                };
+                Rc::new(Term::LetPair(x1.clone(), x2.clone(), rec(e, x, v, d), body))
+            }
+            Term::LetSym(s, e, body) => {
+                Rc::new(Term::LetSym(s.clone(), rec(e, x, v, d), rec(body, x, v, d)))
+            }
+            Term::BigJoin(y, e, body) => {
+                let body = if &**y == x {
+                    body.clone()
+                } else {
+                    rec(body, x, v, d)
+                };
+                Rc::new(Term::BigJoin(y.clone(), rec(e, x, v, d), body))
+            }
+            Term::LetFrz(y, e, body) => {
+                let body = if &**y == x {
+                    body.clone()
+                } else {
+                    rec(body, x, v, d)
+                };
+                Rc::new(Term::LetFrz(y.clone(), rec(e, x, v, d), body))
+            }
+            Term::LexBind(y, e, body) => {
+                let body = if &**y == x {
+                    body.clone()
+                } else {
+                    rec(body, x, v, d)
+                };
+                Rc::new(Term::LexBind(y.clone(), rec(e, x, v, d), body))
+            }
+        }
+    }
+    rec(t, x, v, 128)
+}
+
+/// The worklist continuation of [`subst_closed`] for subtrees deeper than
+/// its recursion cap. Produces exactly the term the recursive
+/// [`subst_impl`] would (substituting a closed value never renames).
+fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
+    enum Job {
+        Visit(TermRef),
+        /// Rebuild `node` from the last `built` entries of the result stack.
+        Rebuild {
+            node: TermRef,
+            built: usize,
+        },
+    }
+    let mut jobs: Vec<Job> = vec![Job::Visit(t.clone())];
+    let mut results: Vec<TermRef> = Vec::new();
+    while let Some(job) = jobs.pop() {
+        match job {
+            Job::Visit(t) => match &*t {
+                Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => results.push(t.clone()),
+                Term::Var(y) => results.push(if &**y == x { v.clone() } else { t.clone() }),
+                Term::Lam(y, b) => {
+                    if &**y == x {
+                        results.push(t.clone());
+                    } else {
+                        let b = b.clone();
+                        jobs.push(Job::Rebuild { node: t, built: 1 });
+                        jobs.push(Job::Visit(b));
+                    }
+                }
+                Term::Pair(a, b)
+                | Term::App(a, b)
+                | Term::Join(a, b)
+                | Term::Lex(a, b)
+                | Term::LexMerge(a, b)
+                | Term::LetSym(_, a, b) => {
+                    let (a, b) = (a.clone(), b.clone());
+                    jobs.push(Job::Rebuild { node: t, built: 2 });
+                    jobs.push(Job::Visit(b));
+                    jobs.push(Job::Visit(a));
+                }
+                Term::Frz(e) => {
+                    let e = e.clone();
+                    jobs.push(Job::Rebuild { node: t, built: 1 });
+                    jobs.push(Job::Visit(e));
+                }
+                Term::Set(es) | Term::Prim(_, es) => {
+                    let built = es.len();
+                    let children: Vec<TermRef> = es.clone();
+                    jobs.push(Job::Rebuild { node: t, built });
+                    jobs.extend(children.into_iter().rev().map(Job::Visit));
+                }
+                Term::LetPair(x1, x2, e, body) => {
+                    // A shadowing binder leaves the body untouched.
+                    let built = if &**x1 == x || &**x2 == x { 1 } else { 2 };
+                    let (e, body) = (e.clone(), body.clone());
+                    jobs.push(Job::Rebuild { node: t, built });
+                    if built == 2 {
+                        jobs.push(Job::Visit(body));
+                    }
+                    jobs.push(Job::Visit(e));
+                }
+                Term::BigJoin(y, e, body)
+                | Term::LetFrz(y, e, body)
+                | Term::LexBind(y, e, body) => {
+                    let built = if &**y == x { 1 } else { 2 };
+                    let (e, body) = (e.clone(), body.clone());
+                    jobs.push(Job::Rebuild { node: t, built });
+                    if built == 2 {
+                        jobs.push(Job::Visit(body));
+                    }
+                    jobs.push(Job::Visit(e));
+                }
+            },
+            Job::Rebuild { node, built } => {
+                // The last `built` results are the node's new children, in
+                // visit (i.e. syntactic) order.
+                let mut children = results.split_off(results.len() - built);
+                let rebuilt = match &*node {
+                    Term::Lam(y, _) => Rc::new(Term::Lam(y.clone(), children.pop().unwrap())),
+                    Term::Frz(_) => Rc::new(Term::Frz(children.pop().unwrap())),
+                    Term::Pair(..) => {
+                        let b = children.pop().unwrap();
+                        Rc::new(Term::Pair(children.pop().unwrap(), b))
+                    }
+                    Term::App(..) => {
+                        let b = children.pop().unwrap();
+                        Rc::new(Term::App(children.pop().unwrap(), b))
+                    }
+                    Term::Join(..) => {
+                        let b = children.pop().unwrap();
+                        Rc::new(Term::Join(children.pop().unwrap(), b))
+                    }
+                    Term::Lex(..) => {
+                        let b = children.pop().unwrap();
+                        Rc::new(Term::Lex(children.pop().unwrap(), b))
+                    }
+                    Term::LexMerge(..) => {
+                        let b = children.pop().unwrap();
+                        Rc::new(Term::LexMerge(children.pop().unwrap(), b))
+                    }
+                    Term::LetSym(s, ..) => {
+                        let b = children.pop().unwrap();
+                        Rc::new(Term::LetSym(s.clone(), children.pop().unwrap(), b))
+                    }
+                    Term::Set(_) => Rc::new(Term::Set(children)),
+                    Term::Prim(op, _) => Rc::new(Term::Prim(*op, children)),
+                    Term::LetPair(x1, x2, _, body) => {
+                        let b = if built == 2 {
+                            children.pop().unwrap()
+                        } else {
+                            body.clone()
+                        };
+                        Rc::new(Term::LetPair(
+                            x1.clone(),
+                            x2.clone(),
+                            children.pop().unwrap(),
+                            b,
+                        ))
+                    }
+                    Term::BigJoin(y, _, body) => {
+                        let b = if built == 2 {
+                            children.pop().unwrap()
+                        } else {
+                            body.clone()
+                        };
+                        Rc::new(Term::BigJoin(y.clone(), children.pop().unwrap(), b))
+                    }
+                    Term::LetFrz(y, _, body) => {
+                        let b = if built == 2 {
+                            children.pop().unwrap()
+                        } else {
+                            body.clone()
+                        };
+                        Rc::new(Term::LetFrz(y.clone(), children.pop().unwrap(), b))
+                    }
+                    Term::LexBind(y, _, body) => {
+                        let b = if built == 2 {
+                            children.pop().unwrap()
+                        } else {
+                            body.clone()
+                        };
+                        Rc::new(Term::LexBind(y.clone(), children.pop().unwrap(), b))
+                    }
+                    // Leaves never queue a rebuild.
+                    Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => {
+                        unreachable!("leaf queued for rebuild")
+                    }
+                };
+                results.push(rebuilt);
+            }
+        }
+    }
+    debug_assert_eq!(results.len(), 1);
+    results.pop().expect("substitution produced no result")
 }
 
 fn fresh(base: &str, avoid: &[Var], counter: &mut u64) -> Var {

@@ -87,6 +87,36 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
+    fn frame_engine_agrees_with_recursive_spec(e in arb_expr(), fuel in 0usize..10) {
+        // The explicit-stack engine behind `eval_fuel` must be
+        // observationally identical to the recursive executable
+        // specification it defunctionalises.
+        let engine = lambda_join_core::bigstep::eval_fuel(&e, fuel);
+        let spec = lambda_join_core::bigstep::spec::eval_fuel_recursive(&e, fuel);
+        prop_assert!(
+            engine.alpha_eq(&spec),
+            "{e} at fuel {fuel}: engine {engine} vs spec {spec}"
+        );
+    }
+
+    #[test]
+    fn frame_engine_beta_counts_match_spec(e in arb_expr(), max_betas in 0usize..8) {
+        // Not just the result: the number of β-steps and the effect of the
+        // global β valve must match, both under a tight budget and an
+        // unbounded one.
+        for budget in [max_betas, usize::MAX] {
+            let (re, ue) = lambda_join_core::bigstep::eval_with_budget(&e, 8, budget);
+            let (rs, us) =
+                lambda_join_core::bigstep::spec::eval_with_budget_recursive(&e, 8, budget);
+            prop_assert!(
+                re.alpha_eq(&rs),
+                "{e} with β-budget {budget}: engine {re} vs spec {rs}"
+            );
+            prop_assert_eq!(ue, us, "β-count diverges on {} (budget {})", e, budget);
+        }
+    }
+
+    #[test]
     fn join_results_idempotent(r in arb_result()) {
         // The syntactic order treats λ-bodies up to α only, so joins of
         // lambdas (λx.e ⊔ λx.e = λx.e∨e) are excluded here; the filter

@@ -211,6 +211,7 @@ pub fn check_ambiguity(e: &TermRef) -> Verdict {
 pub fn check_ambiguity_fuel(e: &TermRef, fuel: usize) -> Verdict {
     let mut cx = Cx {
         budget: fuel.saturating_mul(64).saturating_add(256),
+        depth: 0,
     };
     let a = cx.analyze(&Env::new(), e, fuel);
     match a.may_top {
@@ -224,13 +225,23 @@ pub fn check_ambiguity_fuel(e: &TermRef, fuel: usize) -> Verdict {
 pub fn analyze(env: &Env, e: &TermRef, fuel: usize) -> Analysis {
     let mut cx = Cx {
         budget: fuel.saturating_mul(64).saturating_add(256),
+        depth: 0,
     };
     cx.analyze(env, e, fuel)
 }
 
+/// The analysis recurses natively; past this depth it degrades to a sound
+/// may-`⊤` answer instead of risking the thread stack. Debug-profile
+/// `analyze` frames run to a few KiB, so 96 levels stay comfortably inside
+/// the 1 MiB stack the whole suite is CI-gated at; real programs nest far
+/// shallower than this before the node budget bites anyway.
+const MAX_ANALYSIS_DEPTH: usize = 96;
+
 struct Cx {
     /// Global node budget — a safety valve against exponential inlining.
     budget: usize,
+    /// Current native recursion depth (bounded by [`MAX_ANALYSIS_DEPTH`]).
+    depth: usize,
 }
 
 impl Cx {
@@ -243,6 +254,16 @@ impl Cx {
     }
 
     fn analyze(&mut self, env: &Env, e: &TermRef, fuel: usize) -> Analysis {
+        if self.depth >= MAX_ANALYSIS_DEPTH {
+            return Analysis::top("analysis depth budget exhausted".into());
+        }
+        self.depth += 1;
+        let r = self.analyze_at(env, e, fuel);
+        self.depth -= 1;
+        r
+    }
+
+    fn analyze_at(&mut self, env: &Env, e: &TermRef, fuel: usize) -> Analysis {
         if !self.spend() {
             return Analysis::top("analysis budget exhausted".into());
         }

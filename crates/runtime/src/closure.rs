@@ -11,6 +11,15 @@
 //! [`eval_closure`] agrees with
 //! [`lambda_join_core::bigstep::eval_fuel`] on first-order results
 //! (property-tested); the bench suite measures the speedup.
+//!
+//! Like the core engine ([`lambda_join_core::engine`]), the evaluator is an
+//! explicit-stack frame machine: every pending evaluation context is a
+//! heap-allocated [`Frame`](self) rather than a native stack frame, so
+//! evaluation depth — β-chains *and* syntactic nesting (a 50 000-deep chain
+//! of `let`s runs fine on a 512 KiB thread) — scales with the heap.
+//! Environments and semantic values also drop iteratively: a long
+//! environment spine or a deeply accumulated stream value would otherwise
+//! overflow the stack in the derived destructor.
 
 use std::rc::Rc;
 
@@ -80,6 +89,166 @@ impl Env {
     }
 }
 
+/// Dropping an environment node unlinks the spine iteratively: a long
+/// environment (one node per binding on an evaluation path) would overflow
+/// the stack in the derived recursive destructor.
+impl Drop for EnvNode {
+    fn drop(&mut self) {
+        let mut rest = std::mem::take(&mut self.rest);
+        while let Some(node) = rest.0.take() {
+            match Rc::into_inner(node) {
+                // Sole owner: detach its tail, drop the node shallowly.
+                Some(mut n) => rest = std::mem::take(&mut n.rest),
+                // Shared tail: someone else keeps it alive; stop here.
+                None => break,
+            }
+        }
+    }
+}
+
+fn cval_is_leaf(v: &CVal) -> bool {
+    matches!(v, CVal::Bot | CVal::Top | CVal::BotV | CVal::Sym(_))
+}
+
+thread_local! {
+    /// True while [`drop_cval_deep`] is unwinding: composite values dropped
+    /// inside the loop have already handed their children to the worklist.
+    static IN_CVAL_TEARDOWN: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Stack position of the shallowest recent composite drop (see
+    /// [`CVal`]'s `Drop`).
+    static CVAL_DROP_ANCHOR: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Native stack the derived recursive teardown may consume before the
+/// worklist takes over (byte-exact via the stack probe; mirrors
+/// `lambda_join_core::term`).
+const CVAL_DROP_STACK_BUDGET: usize = 64 * 1024;
+
+/// Dropping a semantic value recurses natively while shallow and switches
+/// to a worklist once the teardown has consumed a bounded amount of stack,
+/// so deeply accumulated stream values (fuel ≫ stack depth) deallocate
+/// safely. Closure environments are handled by the [`EnvNode`] destructor.
+impl Drop for CVal {
+    fn drop(&mut self) {
+        if cval_is_leaf(self) {
+            return;
+        }
+        if IN_CVAL_TEARDOWN.with(std::cell::Cell::get) {
+            // Nodes the worklist manages have all composite children
+            // enqueued (count ≥ 2). A solely-owned deep child can still
+            // surface here through a closure environment — re-enter the
+            // worklist for it instead of recursing.
+            let safe = |c: &Rc<CVal>| cval_is_leaf(c) || Rc::strong_count(c) >= 2;
+            let managed = match self {
+                CVal::Pair(a, b) | CVal::Lex(a, b) => safe(a) && safe(b),
+                CVal::Set(es) => es.iter().all(safe),
+                CVal::Frz(p) => safe(p),
+                // Closures: environments tear down via `EnvNode`'s
+                // destructor; their values re-enter through this `Drop`.
+                _ => true,
+            };
+            if !managed {
+                drop_cval_deep(self);
+            }
+            return;
+        }
+        let marker = 0u8;
+        let here = std::ptr::addr_of!(marker) as usize;
+        let within_budget = CVAL_DROP_ANCHOR.with(|a| {
+            let anchor = a.get();
+            if anchor == 0 || here >= anchor {
+                a.set(here);
+                true
+            } else {
+                anchor - here <= CVAL_DROP_STACK_BUDGET
+            }
+        });
+        if within_budget {
+            return;
+        }
+        // Only engage the worklist when there is a solely-owned composite
+        // child to flatten; never re-anchor downward (see
+        // `lambda_join_core::term` for why that would unbound the descent).
+        let risky = |c: &Rc<CVal>| Rc::strong_count(c) == 1 && !cval_is_leaf(c);
+        let has_flattenable = match self {
+            CVal::Pair(a, b) | CVal::Lex(a, b) => risky(a) || risky(b),
+            CVal::Set(es) => es.iter().any(risky),
+            CVal::Frz(p) => risky(p),
+            _ => false,
+        };
+        if has_flattenable {
+            drop_cval_deep(self);
+        }
+    }
+}
+
+/// Worklist teardown mirroring `lambda_join_core::term`'s: the root moves
+/// its composite children out (placeholder-replaced — its field drops run
+/// after this function); interior nodes clone children into the worklist
+/// so their own derived drops merely decrement, and sole ownership returns
+/// by the time each child is popped.
+#[cold]
+fn drop_cval_deep(v: &mut CVal) {
+    fn detach_root(v: &mut CVal, pending: &mut Vec<Rc<CVal>>) {
+        let nil: Rc<CVal> = Rc::new(CVal::Bot);
+        let take = |slot: &mut Rc<CVal>, pending: &mut Vec<Rc<CVal>>| {
+            if !cval_is_leaf(slot) {
+                pending.push(std::mem::replace(slot, nil.clone()));
+            }
+        };
+        match v {
+            CVal::Bot | CVal::Top | CVal::BotV | CVal::Sym(_) | CVal::Clos(_) => {}
+            CVal::Pair(a, b) | CVal::Lex(a, b) => {
+                take(a, pending);
+                take(b, pending);
+            }
+            CVal::Set(es) => {
+                for e in es {
+                    take(e, pending);
+                }
+            }
+            CVal::Frz(p) => take(p, pending),
+        }
+    }
+    fn push_children(v: &CVal, pending: &mut Vec<Rc<CVal>>) {
+        let push = |c: &Rc<CVal>, pending: &mut Vec<Rc<CVal>>| {
+            if !cval_is_leaf(c) {
+                pending.push(c.clone());
+            }
+        };
+        match v {
+            CVal::Bot | CVal::Top | CVal::BotV | CVal::Sym(_) | CVal::Clos(_) => {}
+            CVal::Pair(a, b) | CVal::Lex(a, b) => {
+                push(a, pending);
+                push(b, pending);
+            }
+            CVal::Set(es) => {
+                for e in es {
+                    push(e, pending);
+                }
+            }
+            CVal::Frz(p) => push(p, pending),
+        }
+    }
+    /// Restores the teardown flag even if the loop panics; saves the prior
+    /// value so re-entrant teardowns nest.
+    struct TeardownGuard(bool);
+    impl Drop for TeardownGuard {
+        fn drop(&mut self) {
+            let prev = self.0;
+            IN_CVAL_TEARDOWN.with(|f| f.set(prev));
+        }
+    }
+    let _guard = TeardownGuard(IN_CVAL_TEARDOWN.with(|f| f.replace(true)));
+    let mut pending: Vec<Rc<CVal>> = Vec::new();
+    detach_root(v, &mut pending);
+    while let Some(child) = pending.pop() {
+        if let Some(inner) = Rc::into_inner(child) {
+            push_children(&inner, &mut pending);
+        }
+    }
+}
+
 fn is_err(v: &CVal) -> bool {
     matches!(v, CVal::Bot | CVal::Top)
 }
@@ -95,6 +264,17 @@ fn thaw(v: &Rc<CVal>) -> &CVal {
 
 /// Joins two semantic values (the `r ⊔ r'` metafunction on `CVal`).
 pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
+    cval_join_rec(a, b, 128)
+}
+
+/// [`cval_join`] with bounded native recursion: the self-recursive arms
+/// (pairs, lexicographic pairs) hand spines deeper than the cap to the
+/// worklist in [`cval_join_iter`] (mirrors `reduce::join_results`).
+fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
+    if depth == 0 {
+        return cval_join_iter(a, b);
+    }
+    let d = depth - 1;
     match (&**a, &**b) {
         (CVal::Bot, _) => b.clone(),
         (_, CVal::Bot) => a.clone(),
@@ -106,14 +286,14 @@ pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
             None => Rc::new(CVal::Top),
         },
         (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => {
-            let l = cval_join(a1, a2);
+            let l = cval_join_rec(a1, a2, d);
             if is_err(&l) {
                 return match &*l {
                     CVal::Top => Rc::new(CVal::Top),
                     _ => Rc::new(CVal::Bot),
                 };
             }
-            let r = cval_join(b1, b2);
+            let r = cval_join_rec(b1, b2, d);
             if is_err(&r) {
                 return match &*r {
                     CVal::Top => Rc::new(CVal::Top),
@@ -167,11 +347,79 @@ pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
         (CVal::Lex(a1, b1), CVal::Lex(a2, b2)) => match (cval_leq(a1, a2), cval_leq(a2, a1)) {
             (true, false) => b.clone(),
             (false, true) => a.clone(),
-            (true, true) => lex_cval(a1.clone(), cval_join(b1, b2)),
-            (false, false) => lex_cval(cval_join(a1, a2), cval_join(b1, b2)),
+            (true, true) => lex_cval(a1.clone(), cval_join_rec(b1, b2, d)),
+            (false, false) => lex_cval(cval_join_rec(a1, a2, d), cval_join_rec(b1, b2, d)),
         },
         _ => Rc::new(CVal::Top),
     }
+}
+
+/// Worklist continuation of [`cval_join_rec`] past the recursion cap.
+#[cold]
+fn cval_join_iter(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
+    enum Job {
+        Visit(Rc<CVal>, Rc<CVal>),
+        /// Combine the last two results into a pair (error-absorbing).
+        PairLift,
+        /// `lex_cval` the carried (equivalent) version onto the last result.
+        LexGrow(Rc<CVal>),
+        /// `lex_cval` the last two results (joined version, joined payload).
+        LexBoth,
+    }
+    let collapse = |v: Rc<CVal>| match &*v {
+        CVal::Top => Rc::new(CVal::Top),
+        _ => Rc::new(CVal::Bot),
+    };
+    let mut jobs: Vec<Job> = vec![Job::Visit(a.clone(), b.clone())];
+    let mut results: Vec<Rc<CVal>> = Vec::new();
+    while let Some(job) = jobs.pop() {
+        match job {
+            Job::Visit(a, b) => match (&*a, &*b) {
+                (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => {
+                    jobs.push(Job::PairLift);
+                    jobs.push(Job::Visit(b1.clone(), b2.clone()));
+                    jobs.push(Job::Visit(a1.clone(), a2.clone()));
+                }
+                (CVal::Lex(a1, b1), CVal::Lex(a2, b2)) => {
+                    match (cval_leq(a1, a2), cval_leq(a2, a1)) {
+                        (true, false) => results.push(b.clone()),
+                        (false, true) => results.push(a.clone()),
+                        (true, true) => {
+                            jobs.push(Job::LexGrow(a1.clone()));
+                            jobs.push(Job::Visit(b1.clone(), b2.clone()));
+                        }
+                        (false, false) => {
+                            jobs.push(Job::LexBoth);
+                            jobs.push(Job::Visit(b1.clone(), b2.clone()));
+                            jobs.push(Job::Visit(a1.clone(), a2.clone()));
+                        }
+                    }
+                }
+                _ => results.push(cval_join_rec(&a, &b, 128)),
+            },
+            Job::PairLift => {
+                let snd = results.pop().expect("pair join lost its second");
+                let fst = results.pop().expect("pair join lost its first");
+                if is_err(&fst) {
+                    results.push(collapse(fst));
+                } else if is_err(&snd) {
+                    results.push(collapse(snd));
+                } else {
+                    results.push(Rc::new(CVal::Pair(fst, snd)));
+                }
+            }
+            Job::LexGrow(version) => {
+                let payload = results.pop().expect("lex join lost its payload");
+                results.push(lex_cval(version, payload));
+            }
+            Job::LexBoth => {
+                let payload = results.pop().expect("lex join lost its payload");
+                let version = results.pop().expect("lex join lost its version");
+                results.push(lex_cval(version, payload));
+            }
+        }
+    }
+    results.pop().expect("join produced no result")
 }
 
 fn lex_cval(a: Rc<CVal>, b: Rc<CVal>) -> Rc<CVal> {
@@ -208,176 +456,518 @@ pub fn cval_leq(a: &Rc<CVal>, b: &Rc<CVal>) -> bool {
 /// Evaluates a closed term with the environment machine.
 pub fn eval_closure(e: &TermRef, fuel: usize) -> Rc<CVal> {
     let mut exhausted = false;
-    eval(&Env::new(), e, fuel, &mut exhausted)
+    run(
+        Ctrl::Eval(Env::new(), e.clone(), fuel),
+        Vec::new(),
+        &mut exhausted,
+    )
 }
 
-fn eval(env: &Env, e: &TermRef, depth: usize, ex: &mut bool) -> Rc<CVal> {
-    match &**e {
-        Term::Bot => Rc::new(CVal::Bot),
-        Term::Top => Rc::new(CVal::Top),
-        Term::BotV => Rc::new(CVal::BotV),
-        Term::Sym(s) => Rc::new(CVal::Sym(s.clone())),
-        Term::Var(x) => env.lookup(x).unwrap_or(Rc::new(CVal::Bot)),
-        Term::Lam(x, body) => Rc::new(CVal::Clos(vec![(env.clone(), x.clone(), body.clone())])),
+/// The machine control state: evaluate a term in an environment at some
+/// remaining fuel, or return a semantic value to the innermost frame.
+enum Ctrl {
+    Eval(Env, TermRef, usize),
+    Ret(Rc<CVal>),
+}
+
+/// One defunctionalised evaluation context of the closure evaluator — the
+/// environment-machine counterpart of `lambda_join_core::engine`'s frames.
+enum Frame {
+    /// `(□, e)`.
+    PairSnd { env: Env, snd: TermRef, fuel: usize },
+    /// `(v, □)`.
+    PairDone { fst: Rc<CVal> },
+    /// `{v…, □, e…}`.
+    SetCollect {
+        env: Env,
+        elems: Vec<TermRef>,
+        next: usize,
+        out: Vec<Rc<CVal>>,
+        fuel: usize,
+    },
+    /// `□ ∨ e`.
+    JoinRight { env: Env, rhs: TermRef, fuel: usize },
+    /// `v ∨ □`.
+    JoinDone { lhs: Rc<CVal> },
+    /// `□ e`.
+    AppArg { env: Env, arg: TermRef, fuel: usize },
+    /// `v □`.
+    AppApply { func: Rc<CVal>, fuel: usize },
+    /// Application to a join of closures: apply every component closure to
+    /// the argument and join the results (the approximable-mapping view).
+    ApplyClos {
+        cs: Vec<(Env, Var, TermRef)>,
+        next: usize,
+        arg: Rc<CVal>,
+        acc: Rc<CVal>,
+        fuel: usize,
+    },
+    /// `let (x1, x2) = □ in e`.
+    LetPairBody {
+        env: Env,
+        x1: Var,
+        x2: Var,
+        body: TermRef,
+        fuel: usize,
+    },
+    /// `let s = □ in e`.
+    LetSymBody {
+        env: Env,
+        sym: Symbol,
+        body: TermRef,
+        fuel: usize,
+    },
+    /// `⋁_{x ∈ □} e`.
+    BigJoinScrut {
+        env: Env,
+        x: Var,
+        body: TermRef,
+        fuel: usize,
+    },
+    /// `⋁` iteration over the scrutinee's elements.
+    BigJoinIter {
+        env: Env,
+        x: Var,
+        body: TermRef,
+        elems: Vec<Rc<CVal>>,
+        next: usize,
+        acc: Rc<CVal>,
+        fuel: usize,
+    },
+    /// `op(v…, □, e…)`.
+    PrimCollect {
+        env: Env,
+        op: Prim,
+        args: Vec<TermRef>,
+        next: usize,
+        vals: Vec<Rc<CVal>>,
+        fuel: usize,
+    },
+    /// `frz □`.
+    FrzSeal { saved: bool },
+    /// `let frz x = □ in e`.
+    LetFrzBody {
+        env: Env,
+        x: Var,
+        body: TermRef,
+        fuel: usize,
+    },
+    /// `⟨□, e⟩`.
+    LexSnd { env: Env, snd: TermRef, fuel: usize },
+    /// `⟨v, □⟩`.
+    LexDone { fst: Rc<CVal> },
+    /// `x ← □; e`.
+    LexBindScrut {
+        env: Env,
+        x: Var,
+        body: TermRef,
+        fuel: usize,
+    },
+    /// Administrative `LexMerge`: the version evaluated, the body pending.
+    LexMergeComp {
+        env: Env,
+        comp: TermRef,
+        fuel: usize,
+    },
+    /// Fold an accumulated version into the returning bind body.
+    MergeVersion { version: Rc<CVal> },
+}
+
+/// The flat machine loop shared by [`eval_closure`] and [`apply`].
+fn run(ctrl: Ctrl, mut stack: Vec<Frame>, ex: &mut bool) -> Rc<CVal> {
+    let mut ctrl = ctrl;
+    loop {
+        ctrl = match ctrl {
+            Ctrl::Eval(env, e, fuel) => step_eval(env, e, fuel, &mut stack, ex),
+            Ctrl::Ret(v) => match stack.pop() {
+                None => return v,
+                Some(frame) => step_ret(frame, v, &mut stack, ex),
+            },
+        };
+    }
+}
+
+fn step_eval(env: Env, e: TermRef, fuel: usize, stack: &mut Vec<Frame>, ex: &mut bool) -> Ctrl {
+    match &*e {
+        Term::Bot => Ctrl::Ret(Rc::new(CVal::Bot)),
+        Term::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+        Term::BotV => Ctrl::Ret(Rc::new(CVal::BotV)),
+        Term::Sym(s) => Ctrl::Ret(Rc::new(CVal::Sym(s.clone()))),
+        Term::Var(x) => Ctrl::Ret(env.lookup(x).unwrap_or(Rc::new(CVal::Bot))),
+        Term::Lam(x, body) => Ctrl::Ret(Rc::new(CVal::Clos(vec![(env, x.clone(), body.clone())]))),
         Term::Pair(a, b) => {
-            let va = eval(env, a, depth, ex);
-            if is_err(&va) {
-                return va;
-            }
-            let vb = eval(env, b, depth, ex);
-            if is_err(&vb) {
-                return vb;
-            }
-            Rc::new(CVal::Pair(va, vb))
+            stack.push(Frame::PairSnd {
+                env: env.clone(),
+                snd: b.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, a.clone(), fuel)
         }
-        Term::Set(es) => {
-            let mut out: Vec<Rc<CVal>> = Vec::new();
-            for el in es {
-                let v = eval(env, el, depth, ex);
-                match &*v {
-                    CVal::Top => return v,
-                    CVal::Bot => {}
-                    _ => {
-                        if !out.iter().any(|o| o == &v) {
-                            out.push(v);
-                        }
-                    }
-                }
+        Term::Set(es) => match es.first() {
+            None => Ctrl::Ret(Rc::new(CVal::Set(Vec::new()))),
+            Some(first) => {
+                stack.push(Frame::SetCollect {
+                    env: env.clone(),
+                    elems: es.clone(),
+                    next: 1,
+                    out: Vec::new(),
+                    fuel,
+                });
+                Ctrl::Eval(env, first.clone(), fuel)
             }
-            Rc::new(CVal::Set(out))
-        }
+        },
         Term::Join(a, b) => {
-            let va = eval(env, a, depth, ex);
-            let vb = eval(env, b, depth, ex);
-            cval_join(&va, &vb)
+            stack.push(Frame::JoinRight {
+                env: env.clone(),
+                rhs: b.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, a.clone(), fuel)
         }
         Term::App(f, a) => {
-            let vf = eval(env, f, depth, ex);
-            if is_err(&vf) {
-                return vf;
-            }
-            let va = eval(env, a, depth, ex);
-            if is_err(&va) {
-                return va;
-            }
-            apply(&vf, &va, depth, ex)
+            stack.push(Frame::AppArg {
+                env: env.clone(),
+                arg: a.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, f.clone(), fuel)
         }
         Term::LetPair(x1, x2, scrut, body) => {
-            let v = eval(env, scrut, depth, ex);
-            match thaw(&v) {
-                CVal::Top => Rc::new(CVal::Top),
-                CVal::Pair(a, b) => {
-                    let env2 = env
-                        .extend(x1.clone(), a.clone())
-                        .extend(x2.clone(), b.clone());
-                    eval(&env2, body, depth, ex)
-                }
-                _ => Rc::new(CVal::Bot),
-            }
+            stack.push(Frame::LetPairBody {
+                env: env.clone(),
+                x1: x1.clone(),
+                x2: x2.clone(),
+                body: body.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, scrut.clone(), fuel)
         }
         Term::LetSym(s, scrut, body) => {
-            let v = eval(env, scrut, depth, ex);
-            match thaw(&v) {
-                CVal::Top => Rc::new(CVal::Top),
-                CVal::Sym(s2) if s.leq(s2) => eval(env, body, depth, ex),
-                // Version threshold (§5.2).
-                CVal::Lex(ver, _) if cval_leq(&Rc::new(CVal::Sym(s.clone())), ver) => {
-                    eval(env, body, depth, ex)
-                }
-                _ => Rc::new(CVal::Bot),
-            }
+            stack.push(Frame::LetSymBody {
+                env: env.clone(),
+                sym: s.clone(),
+                body: body.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, scrut.clone(), fuel)
         }
         Term::BigJoin(x, scrut, body) => {
-            let v = eval(env, scrut, depth, ex);
-            match thaw(&v) {
-                CVal::Top => Rc::new(CVal::Top),
-                CVal::Set(vs) => {
-                    let mut acc = Rc::new(CVal::Bot);
-                    for el in vs {
-                        let env2 = env.extend(x.clone(), el.clone());
-                        let r = eval(&env2, body, depth, ex);
-                        acc = cval_join(&acc, &r);
-                        if matches!(&*acc, CVal::Top) {
-                            return acc;
-                        }
-                    }
-                    acc
-                }
-                _ => Rc::new(CVal::Bot),
-            }
+            stack.push(Frame::BigJoinScrut {
+                env: env.clone(),
+                x: x.clone(),
+                body: body.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, scrut.clone(), fuel)
         }
-        Term::Prim(op, args) => {
-            let mut vals = Vec::with_capacity(args.len());
-            for a in args {
-                let v = eval(env, a, depth, ex);
-                match &*v {
-                    CVal::Bot => return Rc::new(CVal::Bot),
-                    CVal::Top => return Rc::new(CVal::Top),
-                    _ => vals.push(v),
-                }
+        Term::Prim(op, args) => match args.first() {
+            None => Ctrl::Ret(delta_cval(*op, &[])),
+            Some(first) => {
+                stack.push(Frame::PrimCollect {
+                    env: env.clone(),
+                    op: *op,
+                    args: args.clone(),
+                    next: 1,
+                    vals: Vec::with_capacity(args.len()),
+                    fuel,
+                });
+                Ctrl::Eval(env, first.clone(), fuel)
             }
-            if vals.iter().any(|v| matches!(&**v, CVal::BotV)) {
-                return Rc::new(CVal::BotV);
-            }
-            delta_cval(*op, &vals)
-        }
+        },
         Term::Frz(inner) => {
-            // Freeze seals only complete payloads (see bigstep::eval).
-            let saved = *ex;
+            // Freeze seals only complete payloads (see the core engine).
+            stack.push(Frame::FrzSeal { saved: *ex });
             *ex = false;
-            let v = eval(env, inner, depth, ex);
+            Ctrl::Eval(env, inner.clone(), fuel)
+        }
+        Term::LetFrz(x, scrut, body) => {
+            stack.push(Frame::LetFrzBody {
+                env: env.clone(),
+                x: x.clone(),
+                body: body.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, scrut.clone(), fuel)
+        }
+        Term::Lex(a, b) => {
+            stack.push(Frame::LexSnd {
+                env: env.clone(),
+                snd: b.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, a.clone(), fuel)
+        }
+        Term::LexBind(x, scrut, body) => {
+            stack.push(Frame::LexBindScrut {
+                env: env.clone(),
+                x: x.clone(),
+                body: body.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, scrut.clone(), fuel)
+        }
+        Term::LexMerge(v1e, comp) => {
+            stack.push(Frame::LexMergeComp {
+                env: env.clone(),
+                comp: comp.clone(),
+                fuel,
+            });
+            Ctrl::Eval(env, v1e.clone(), fuel)
+        }
+    }
+}
+
+fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) -> Ctrl {
+    match frame {
+        Frame::PairSnd { env, snd, fuel } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
+            }
+            stack.push(Frame::PairDone { fst: v });
+            Ctrl::Eval(env, snd, fuel)
+        }
+        Frame::PairDone { fst } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
+            }
+            Ctrl::Ret(Rc::new(CVal::Pair(fst, v)))
+        }
+        Frame::SetCollect {
+            env,
+            elems,
+            next,
+            mut out,
+            fuel,
+        } => {
+            match &*v {
+                CVal::Top => return Ctrl::Ret(v),
+                CVal::Bot => {}
+                _ => {
+                    if !out.iter().any(|o| o == &v) {
+                        out.push(v);
+                    }
+                }
+            }
+            match elems.get(next).cloned() {
+                Some(e) => {
+                    stack.push(Frame::SetCollect {
+                        env: env.clone(),
+                        elems,
+                        next: next + 1,
+                        out,
+                        fuel,
+                    });
+                    Ctrl::Eval(env, e, fuel)
+                }
+                None => Ctrl::Ret(Rc::new(CVal::Set(out))),
+            }
+        }
+        Frame::JoinRight { env, rhs, fuel } => {
+            stack.push(Frame::JoinDone { lhs: v });
+            Ctrl::Eval(env, rhs, fuel)
+        }
+        Frame::JoinDone { lhs } => Ctrl::Ret(cval_join(&lhs, &v)),
+        Frame::AppArg { env, arg, fuel } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
+            }
+            stack.push(Frame::AppApply { func: v, fuel });
+            Ctrl::Eval(env, arg, fuel)
+        }
+        Frame::AppApply { func, fuel } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
+            }
+            apply_step(func, v, fuel, stack, ex)
+        }
+        Frame::ApplyClos {
+            cs,
+            next,
+            arg,
+            acc,
+            fuel,
+        } => {
+            let acc = cval_join(&acc, &v);
+            match cs.get(next) {
+                Some((env, x, body)) => {
+                    let env2 = env.extend(x.clone(), arg.clone());
+                    let body = body.clone();
+                    stack.push(Frame::ApplyClos {
+                        cs,
+                        next: next + 1,
+                        arg,
+                        acc,
+                        fuel,
+                    });
+                    Ctrl::Eval(env2, body, fuel - 1)
+                }
+                None => Ctrl::Ret(acc),
+            }
+        }
+        Frame::LetPairBody {
+            env,
+            x1,
+            x2,
+            body,
+            fuel,
+        } => match thaw(&v) {
+            CVal::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+            CVal::Pair(a, b) => {
+                let env2 = env.extend(x1, a.clone()).extend(x2, b.clone());
+                Ctrl::Eval(env2, body, fuel)
+            }
+            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+        },
+        Frame::LetSymBody {
+            env,
+            sym,
+            body,
+            fuel,
+        } => match thaw(&v) {
+            CVal::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+            CVal::Sym(s2) if sym.leq(s2) => Ctrl::Eval(env, body, fuel),
+            // Version threshold (§5.2).
+            CVal::Lex(ver, _) if cval_leq(&Rc::new(CVal::Sym(sym.clone())), ver) => {
+                Ctrl::Eval(env, body, fuel)
+            }
+            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+        },
+        Frame::BigJoinScrut { env, x, body, fuel } => match thaw(&v) {
+            CVal::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+            CVal::Set(vs) => match vs.first() {
+                None => Ctrl::Ret(Rc::new(CVal::Bot)),
+                Some(first) => {
+                    let env2 = env.extend(x.clone(), first.clone());
+                    let first_body = body.clone();
+                    stack.push(Frame::BigJoinIter {
+                        env,
+                        x,
+                        body,
+                        elems: vs.clone(),
+                        next: 1,
+                        acc: Rc::new(CVal::Bot),
+                        fuel,
+                    });
+                    Ctrl::Eval(env2, first_body, fuel)
+                }
+            },
+            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+        },
+        Frame::BigJoinIter {
+            env,
+            x,
+            body,
+            elems,
+            next,
+            acc,
+            fuel,
+        } => {
+            let acc = cval_join(&acc, &v);
+            if matches!(&*acc, CVal::Top) {
+                return Ctrl::Ret(acc);
+            }
+            match elems.get(next) {
+                Some(el) => {
+                    let env2 = env.extend(x.clone(), el.clone());
+                    let next_body = body.clone();
+                    stack.push(Frame::BigJoinIter {
+                        env,
+                        x,
+                        body,
+                        elems,
+                        next: next + 1,
+                        acc,
+                        fuel,
+                    });
+                    Ctrl::Eval(env2, next_body, fuel)
+                }
+                None => Ctrl::Ret(acc),
+            }
+        }
+        Frame::PrimCollect {
+            env,
+            op,
+            args,
+            next,
+            mut vals,
+            fuel,
+        } => {
+            match &*v {
+                CVal::Bot => return Ctrl::Ret(Rc::new(CVal::Bot)),
+                CVal::Top => return Ctrl::Ret(Rc::new(CVal::Top)),
+                _ => vals.push(v),
+            }
+            match args.get(next).cloned() {
+                Some(a) => {
+                    stack.push(Frame::PrimCollect {
+                        env: env.clone(),
+                        op,
+                        args,
+                        next: next + 1,
+                        vals,
+                        fuel,
+                    });
+                    Ctrl::Eval(env, a, fuel)
+                }
+                None => {
+                    if vals.iter().any(|v| matches!(&**v, CVal::BotV)) {
+                        return Ctrl::Ret(Rc::new(CVal::BotV));
+                    }
+                    Ctrl::Ret(delta_cval(op, &vals))
+                }
+            }
+        }
+        Frame::FrzSeal { saved } => {
             let complete = !*ex;
             *ex |= saved;
             if !complete {
-                return Rc::new(CVal::Bot);
+                return Ctrl::Ret(Rc::new(CVal::Bot));
             }
             match &*v {
-                CVal::Bot | CVal::Top => v,
-                _ => Rc::new(CVal::Frz(v)),
+                CVal::Bot | CVal::Top => Ctrl::Ret(v),
+                _ => Ctrl::Ret(Rc::new(CVal::Frz(v))),
             }
         }
-        Term::LetFrz(x, scrut, body) => {
-            let v = eval(env, scrut, depth, ex);
-            match &*v {
-                CVal::Top => v,
-                CVal::Frz(payload) => {
-                    let env2 = env.extend(x.clone(), payload.clone());
-                    eval(&env2, body, depth, ex)
-                }
-                _ => Rc::new(CVal::Bot),
+        Frame::LetFrzBody { env, x, body, fuel } => match &*v {
+            CVal::Top => Ctrl::Ret(v),
+            CVal::Frz(payload) => {
+                let env2 = env.extend(x, payload.clone());
+                Ctrl::Eval(env2, body, fuel)
             }
+            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+        },
+        Frame::LexSnd { env, snd, fuel } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
+            }
+            stack.push(Frame::LexDone { fst: v });
+            Ctrl::Eval(env, snd, fuel)
         }
-        Term::Lex(a, b) => {
-            let va = eval(env, a, depth, ex);
-            if is_err(&va) {
-                return va;
+        Frame::LexDone { fst } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
             }
-            let vb = eval(env, b, depth, ex);
-            if is_err(&vb) {
-                return vb;
-            }
-            Rc::new(CVal::Lex(va, vb))
+            Ctrl::Ret(Rc::new(CVal::Lex(fst, v)))
         }
-        Term::LexBind(x, scrut, body) => {
-            let v = eval(env, scrut, depth, ex);
-            match thaw(&v) {
-                CVal::Top | CVal::Bot | CVal::BotV => v.clone(),
-                CVal::Lex(v1, v1p) => {
-                    let env2 = env.extend(x.clone(), v1p.clone());
-                    let r = eval(&env2, body, depth, ex);
-                    merge_version_cval(v1, &r)
-                }
-                _ => Rc::new(CVal::Top),
+        Frame::LexBindScrut { env, x, body, fuel } => match thaw(&v) {
+            CVal::Top | CVal::Bot | CVal::BotV => Ctrl::Ret(v.clone()),
+            CVal::Lex(v1, v1p) => {
+                let env2 = env.extend(x, v1p.clone());
+                stack.push(Frame::MergeVersion {
+                    version: v1.clone(),
+                });
+                Ctrl::Eval(env2, body, fuel)
             }
-        }
-        Term::LexMerge(v1e, comp) => {
-            let v1 = eval(env, v1e, depth, ex);
-            if is_err(&v1) {
-                return v1;
+            _ => Ctrl::Ret(Rc::new(CVal::Top)),
+        },
+        Frame::LexMergeComp { env, comp, fuel } => {
+            if is_err(&v) {
+                return Ctrl::Ret(v);
             }
-            let r = eval(env, comp, depth, ex);
-            merge_version_cval(&v1, &r)
+            stack.push(Frame::MergeVersion { version: v });
+            Ctrl::Eval(env, comp, fuel)
         }
+        Frame::MergeVersion { version } => Ctrl::Ret(merge_version_cval(&version, &v)),
     }
 }
 
@@ -456,23 +1046,50 @@ fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
     }
 }
 
-fn apply(vf: &Rc<CVal>, va: &Rc<CVal>, depth: usize, ex: &mut bool) -> Rc<CVal> {
-    match thaw(vf) {
+/// Applies a function value to an argument value by entering the machine at
+/// the application step: a semantic function value is a join of closures,
+/// applied pointwise. Useful for projecting fields out of record values
+/// (encoded as functions) that [`eval_closure`] returned; `ex` reports
+/// whether the application hit the fuel cut-off.
+pub fn apply(vf: &Rc<CVal>, va: &Rc<CVal>, fuel: usize, ex: &mut bool) -> Rc<CVal> {
+    let mut stack = Vec::new();
+    let ctrl = apply_step(vf.clone(), va.clone(), fuel, &mut stack, ex);
+    run(ctrl, stack, ex)
+}
+
+/// The β-step on semantic values: a function value is a join of closures,
+/// applied by applying every component and joining the results.
+fn apply_step(
+    vf: Rc<CVal>,
+    va: Rc<CVal>,
+    fuel: usize,
+    stack: &mut Vec<Frame>,
+    ex: &mut bool,
+) -> Ctrl {
+    match thaw(&vf) {
         CVal::Clos(cs) => {
-            if depth == 0 {
+            if fuel == 0 {
                 *ex = true;
-                return Rc::new(CVal::Bot);
+                return Ctrl::Ret(Rc::new(CVal::Bot));
             }
-            let mut acc = Rc::new(CVal::Bot);
-            for (env, x, body) in cs {
-                let env2 = env.extend(x.clone(), va.clone());
-                let r = eval(&env2, body, depth - 1, ex);
-                acc = cval_join(&acc, &r);
+            match cs.first() {
+                None => Ctrl::Ret(Rc::new(CVal::Bot)),
+                Some((env, x, body)) => {
+                    let env2 = env.extend(x.clone(), va.clone());
+                    let first_body = body.clone();
+                    stack.push(Frame::ApplyClos {
+                        cs: cs.clone(),
+                        next: 1,
+                        arg: va,
+                        acc: Rc::new(CVal::Bot),
+                        fuel,
+                    });
+                    Ctrl::Eval(env2, first_body, fuel - 1)
+                }
             }
-            acc
         }
-        CVal::BotV => Rc::new(CVal::Bot),
-        _ => Rc::new(CVal::Bot),
+        CVal::BotV => Ctrl::Ret(Rc::new(CVal::Bot)),
+        _ => Ctrl::Ret(Rc::new(CVal::Bot)),
     }
 }
 

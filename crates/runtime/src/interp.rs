@@ -5,11 +5,20 @@
 //! evaluation, and the stream is monotone in the streaming order.
 //! [`diagonal_table`] reproduces the interleaving table of Figure 10 for an
 //! application `(λx.e') e`.
+//!
+//! Both stream constructors run on the shared explicit-stack engine
+//! ([`lambda_join_core::engine`]): [`term_stream`] through the plain
+//! big-step wrapper, [`term_stream_memo`] through a persistent
+//! [`MemoEval`] table shared across fuel levels, so deep observation
+//! sweeps neither overflow the native stack nor recompute shared calls.
+
+use std::cell::RefCell;
 
 use lambda_join_core::bigstep::eval_fuel;
 use lambda_join_core::observe::result_leq;
 use lambda_join_core::term::{Term, TermRef};
 
+use crate::memo::MemoEval;
 use crate::stream::MonoStream;
 
 /// The observation stream of a closed term: `n ↦ eval_fuel(e, n)`.
@@ -18,6 +27,16 @@ use crate::stream::MonoStream;
 pub fn term_stream(e: &TermRef) -> MonoStream<TermRef> {
     let e = e.clone();
     MonoStream::from_fn(move |n| eval_fuel(&e, n))
+}
+
+/// Like [`term_stream`], but backed by a persistent memo table: β-steps
+/// shared between fuel levels (and between duplicated calls within one
+/// level) are evaluated once — the tabled counterpart of the paper's
+/// diagonal strategy (§5.1). Observationally equal to [`term_stream`].
+pub fn term_stream_memo(e: &TermRef) -> MonoStream<TermRef> {
+    let e = e.clone();
+    let memo = RefCell::new(MemoEval::new());
+    MonoStream::from_fn(move |n| memo.borrow_mut().eval_fuel(&e, n))
 }
 
 /// The Figure 10 table for `(λx.e') e`: rows are observations `v_i` of the
@@ -119,6 +138,25 @@ mod tests {
             last_diag.alpha_eq(&last_direct),
             "{last_diag} vs {last_direct}"
         );
+    }
+
+    #[test]
+    fn memoised_stream_agrees_with_plain_stream() {
+        for src in [
+            "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
+            "let rec fromN n = (n :: fromN (n + 1)) \\/ botv in fromN 0",
+        ] {
+            let e = parse(src).unwrap();
+            let plain = term_stream(&e);
+            let memo = term_stream_memo(&e);
+            for n in 0..20 {
+                assert!(
+                    plain.at(n).alpha_eq(&memo.at(n)),
+                    "{src} diverges from memoised stream at fuel {n}"
+                );
+            }
+            assert!(memo.is_monotone_upto(20, result_leq));
+        }
     }
 
     #[test]

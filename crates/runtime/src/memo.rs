@@ -8,6 +8,14 @@
 //! depth)`: the λ∨ analogue of logic-programming tabling, which the paper
 //! identifies with memoisation in the functional setting.
 //!
+//! The table plugs into the shared explicit-stack engine
+//! ([`lambda_join_core::engine`]) through its
+//! [`BetaTable`](lambda_join_core::engine::BetaTable) hook: the engine
+//! consults the cache exactly where it would perform a β-step, so the
+//! memoised evaluator is the *same* frame machine as
+//! [`lambda_join_core::bigstep::eval_fuel`] — heap-bounded depth included —
+//! plus a cache lookup per application.
+//!
 //! [`MemoEval`] is observationally equivalent to
 //! [`lambda_join_core::bigstep::eval_fuel`] (tested), but shares work
 //! across duplicated calls — turning the exponential recomputation of
@@ -16,19 +24,36 @@
 
 use std::collections::HashMap;
 
-use lambda_join_core::builder;
-use lambda_join_core::reduce::{delta, join_results, lex_lift, pair_lift};
-use lambda_join_core::term::{Term, TermRef};
+use lambda_join_core::engine::{self, BetaTable, Budget};
+use lambda_join_core::term::TermRef;
 
-/// Folds an accumulated version into the result of a versioned bind
-/// (mirrors `bigstep::merge_version` in the core crate).
-fn merge_version(v1: &TermRef, r: &TermRef) -> TermRef {
-    match &**r {
-        Term::Lex(v2, v2p) => lex_lift(&join_results(v1, v2), v2p),
-        // Silent bodies keep the input version (monotonicity; see core).
-        Term::Bot | Term::BotV => lex_lift(v1, &builder::botv()),
-        Term::Top => builder::top(),
-        _ => builder::top(),
+/// The memo cache: a [`BetaTable`] recording each β-step's result together
+/// with whether its sub-evaluation involved an approximation step (the
+/// freeze-completeness flag).
+#[derive(Default)]
+struct MemoTable {
+    cache: HashMap<(TermRef, TermRef, usize), (TermRef, bool)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl BetaTable for MemoTable {
+    fn lookup(&mut self, f: &TermRef, a: &TermRef, fuel: usize) -> Option<(TermRef, bool)> {
+        match self.cache.get(&(f.clone(), a.clone(), fuel)) {
+            Some((r, exhausted)) => {
+                self.hits += 1;
+                Some((r.clone(), *exhausted))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, f: &TermRef, a: &TermRef, fuel: usize, r: &TermRef, exhausted: bool) {
+        self.cache
+            .insert((f.clone(), a.clone(), fuel), (r.clone(), exhausted));
     }
 }
 
@@ -39,12 +64,7 @@ fn merge_version(v1: &TermRef, r: &TermRef) -> TermRef {
 /// changed.
 #[derive(Default)]
 pub struct MemoEval {
-    cache: HashMap<(TermRef, TermRef, usize), (TermRef, bool)>,
-    hits: usize,
-    misses: usize,
-    /// Whether any approximation (depth cut-off) fired since last cleared;
-    /// freezing consults this (see `bigstep`).
-    exhausted: bool,
+    table: MemoTable,
 }
 
 impl MemoEval {
@@ -55,12 +75,13 @@ impl MemoEval {
 
     /// Cache statistics `(hits, misses)`.
     pub fn stats(&self) -> (usize, usize) {
-        (self.hits, self.misses)
+        (self.table.hits, self.table.misses)
     }
 
     /// Evaluates with the given fuel (β-depth), memoising β-calls.
     pub fn eval_fuel(&mut self, e: &TermRef, fuel: usize) -> TermRef {
-        self.eval(e, fuel)
+        let mut budget = Budget::new(usize::MAX);
+        engine::run(e, fuel, &mut budget, &mut self.table)
     }
 
     /// Evaluates with increasing fuel until the result stabilises for
@@ -74,13 +95,13 @@ impl MemoEval {
         patience: usize,
     ) -> (TermRef, usize) {
         let step = step.max(1);
-        let mut last = self.eval(e, 0);
+        let mut last = self.eval_fuel(e, 0);
         let mut last_change = 0;
         let mut fuel = 0;
         let mut stable = 0;
         while fuel < max_fuel && stable < patience {
             fuel += step;
-            let r = self.eval(e, fuel);
+            let r = self.eval_fuel(e, fuel);
             if r.alpha_eq(&last) {
                 stable += 1;
             } else {
@@ -90,199 +111,6 @@ impl MemoEval {
             }
         }
         (last, last_change)
-    }
-
-    fn eval(&mut self, e: &TermRef, depth: usize) -> TermRef {
-        match &**e {
-            _ if e.is_value() => e.clone(),
-            Term::Bot => builder::bot(),
-            Term::Top => builder::top(),
-            Term::Pair(a, b) => {
-                let va = self.eval(a, depth);
-                match &*va {
-                    Term::Bot => builder::bot(),
-                    Term::Top => builder::top(),
-                    _ => {
-                        let vb = self.eval(b, depth);
-                        pair_lift(&va, &vb)
-                    }
-                }
-            }
-            Term::Set(es) => {
-                let mut out: Vec<TermRef> = Vec::new();
-                for el in es {
-                    let v = self.eval(el, depth);
-                    match &*v {
-                        Term::Top => return builder::top(),
-                        Term::Bot => {}
-                        _ => {
-                            if !out.iter().any(|o| o.alpha_eq(&v)) {
-                                out.push(v);
-                            }
-                        }
-                    }
-                }
-                builder::set(out)
-            }
-            Term::Join(a, b) => {
-                let va = self.eval(a, depth);
-                let vb = self.eval(b, depth);
-                join_results(&va, &vb)
-            }
-            Term::App(f, a) => {
-                let vf = self.eval(f, depth);
-                match &*vf {
-                    Term::Bot => return builder::bot(),
-                    Term::Top => return builder::top(),
-                    _ => {}
-                }
-                let va = self.eval(a, depth);
-                match &*va {
-                    Term::Bot => return builder::bot(),
-                    Term::Top => return builder::top(),
-                    _ => {}
-                }
-                self.apply(&vf, &va, depth)
-            }
-            Term::LetPair(x1, x2, scrut, body) => {
-                let v = self.eval(scrut, depth);
-                match lambda_join_core::reduce::thaw(&v) {
-                    Term::Top => builder::top(),
-                    Term::Pair(v1, v2) => {
-                        let body = body.subst(x1, v1).subst(x2, v2);
-                        self.eval(&body, depth)
-                    }
-                    _ => builder::bot(),
-                }
-            }
-            Term::LetSym(s, scrut, body) => {
-                let v = self.eval(scrut, depth);
-                match lambda_join_core::reduce::thaw(&v) {
-                    Term::Top => builder::top(),
-                    Term::Sym(s2) if s.leq(s2) => self.eval(body, depth),
-                    // Version threshold (§5.2).
-                    Term::Lex(ver, _)
-                        if lambda_join_core::observe::result_leq(&builder::sym(s.clone()), ver) =>
-                    {
-                        self.eval(body, depth)
-                    }
-                    _ => builder::bot(),
-                }
-            }
-            Term::BigJoin(x, scrut, body) => {
-                let v = self.eval(scrut, depth);
-                match lambda_join_core::reduce::thaw(&v) {
-                    Term::Top => builder::top(),
-                    Term::Set(vs) => {
-                        let mut acc = builder::bot();
-                        for el in vs {
-                            let b = body.subst(x, el);
-                            let r = self.eval(&b, depth);
-                            acc = join_results(&acc, &r);
-                            if matches!(&*acc, Term::Top) {
-                                return acc;
-                            }
-                        }
-                        acc
-                    }
-                    _ => builder::bot(),
-                }
-            }
-            Term::Prim(op, args) => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    let v = self.eval(a, depth);
-                    match &*v {
-                        Term::Bot => return builder::bot(),
-                        Term::Top => return builder::top(),
-                        _ => vals.push(v),
-                    }
-                }
-                delta(*op, &vals)
-            }
-            Term::Frz(inner) => {
-                // Freeze seals only complete payloads (see bigstep::eval).
-                let saved = self.exhausted;
-                self.exhausted = false;
-                let v = self.eval(inner, depth);
-                let complete = !self.exhausted;
-                self.exhausted |= saved;
-                if complete {
-                    lambda_join_core::reduce::frz_lift(&v)
-                } else {
-                    builder::bot()
-                }
-            }
-            Term::LetFrz(x, scrut, body) => {
-                let v = self.eval(scrut, depth);
-                match &*v {
-                    Term::Top => builder::top(),
-                    Term::Frz(payload) => {
-                        let body = body.subst(x, payload);
-                        self.eval(&body, depth)
-                    }
-                    _ => builder::bot(),
-                }
-            }
-            Term::Lex(a, b) => {
-                let va = self.eval(a, depth);
-                match &*va {
-                    Term::Bot => builder::bot(),
-                    Term::Top => builder::top(),
-                    _ => {
-                        let vb = self.eval(b, depth);
-                        lex_lift(&va, &vb)
-                    }
-                }
-            }
-            Term::LexBind(x, scrut, body) => {
-                let v = self.eval(scrut, depth);
-                match lambda_join_core::reduce::thaw(&v) {
-                    Term::Top => builder::top(),
-                    Term::BotV => builder::botv(),
-                    Term::Lex(v1, v1p) => {
-                        let body = body.subst(x, v1p);
-                        let r = self.eval(&body, depth);
-                        merge_version(v1, &r)
-                    }
-                    Term::Bot => builder::bot(),
-                    _ => builder::top(),
-                }
-            }
-            Term::LexMerge(v1, comp) => {
-                let r = self.eval(comp, depth);
-                merge_version(v1, &r)
-            }
-            Term::Var(_) | Term::BotV | Term::Sym(_) | Term::Lam(..) => e.clone(),
-        }
-    }
-
-    fn apply(&mut self, vf: &TermRef, va: &TermRef, depth: usize) -> TermRef {
-        match lambda_join_core::reduce::thaw(vf) {
-            Term::Lam(x, body) => {
-                if depth == 0 {
-                    self.exhausted = true;
-                    return builder::bot();
-                }
-                let key = (vf.clone(), va.clone(), depth);
-                if let Some((r, ex)) = self.cache.get(&key) {
-                    self.hits += 1;
-                    self.exhausted |= *ex;
-                    return r.clone();
-                }
-                self.misses += 1;
-                let body = body.subst(x, va);
-                let saved = self.exhausted;
-                self.exhausted = false;
-                let r = self.eval(&body, depth - 1);
-                let sub_ex = self.exhausted;
-                self.exhausted |= saved;
-                self.cache.insert(key, (r.clone(), sub_ex));
-                r
-            }
-            Term::BotV => builder::bot(),
-            _ => builder::bot(),
-        }
     }
 }
 
@@ -382,5 +210,27 @@ mod tests {
         m.eval_fuel(&e, 10); // identical query: pure hits
         let (_, misses_after) = m.stats();
         assert_eq!(misses_before, misses_after);
+    }
+
+    #[test]
+    fn memoised_engine_agrees_with_recursive_spec() {
+        // The tabled engine must be observationally equal to the recursive
+        // executable specification, not just to the plain frame machine.
+        use lambda_join_core::bigstep::spec::eval_fuel_recursive;
+        let programs = [
+            "let f = \\x. x + 1 in (f 10, f 10)",
+            "frz {1, 2}",
+            "let frz x = frz (1 + 2) in x * 2",
+            "bind x <- lex(`1, 10) in lex(`2, x + 1)",
+            "let rec evens _ = {0} \\/ (for x in evens () . {x + 2}) in evens ()",
+        ];
+        for p in programs {
+            let e = parse(p).unwrap();
+            for fuel in [0, 1, 5, 12] {
+                let spec = eval_fuel_recursive(&e, fuel);
+                let memo = eval_fuel_memo(&e, fuel);
+                assert!(spec.alpha_eq(&memo), "{p} at fuel {fuel}: {spec} vs {memo}");
+            }
+        }
     }
 }

@@ -1,0 +1,114 @@
+//! Deep-recursion regressions for the runtime substrates (closure machine,
+//! memoised engine, observation streams) — the runtime counterpart of
+//! `lambda-join-core/tests/deep_recursion.rs`. Everything must run on a
+//! 512 KiB thread.
+
+use std::rc::Rc;
+
+use lambda_join_core::builder::*;
+use lambda_join_core::parser::parse;
+use lambda_join_core::term::TermRef;
+use lambda_join_runtime::closure::{eval_closure, readback, CVal};
+use lambda_join_runtime::interp::term_stream_memo;
+use lambda_join_runtime::MemoEval;
+
+fn on_tiny_stack(name: &str, f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .stack_size(512 * 1024)
+        .spawn(f)
+        .expect("spawn tiny-stack thread")
+        .join()
+        .expect("evaluation must fit a 512 KiB stack");
+}
+
+#[test]
+fn closure_machine_runs_50k_nested_lets_on_tiny_stack() {
+    // The environment machine never substitutes, so syntactic nesting is
+    // limited only by heap: 50 000 nested lets, one β (and one environment
+    // node) each, all on one path.
+    on_tiny_stack("closure-deep-lets", || {
+        let n = 50_000usize;
+        let mut body: TermRef = var(&format!("a{}", n - 1));
+        for i in (1..n).rev() {
+            body = let_in(
+                &format!("a{i}"),
+                add(var(&format!("a{}", i - 1)), int(1)),
+                body,
+            );
+        }
+        let t = let_in("a0", int(0), body);
+        // One β per let; the environment spine (50k nodes) must also
+        // *drop* iteratively when the result goes out of scope.
+        let r = eval_closure(&t, n + 8);
+        assert!(readback(&r).alpha_eq(&int((n - 1) as i64)));
+    });
+}
+
+#[test]
+fn closure_machine_runs_deep_beta_chain_on_tiny_stack() {
+    on_tiny_stack("closure-deep-beta", || {
+        let n = 20_000usize;
+        let t = parse(&format!(
+            "let rec down n = if n <= 0 then 0 else down (n - 1) in down {n}"
+        ))
+        .unwrap();
+        let r = eval_closure(&t, 4 * n + 16);
+        assert!(readback(&r).alpha_eq(&int(0)));
+    });
+}
+
+#[test]
+fn memoised_engine_runs_deep_beta_chain_on_tiny_stack() {
+    on_tiny_stack("memo-deep-beta", || {
+        let n = 20_000usize;
+        let t = parse(&format!(
+            "let rec down n = if n <= 0 then 0 else down (n - 1) in down {n}"
+        ))
+        .unwrap();
+        let mut m = MemoEval::new();
+        let r = m.eval_fuel(&t, 4 * n + 16);
+        assert!(r.alpha_eq(&int(0)));
+    });
+}
+
+#[test]
+fn deep_cval_and_env_drop_iteratively() {
+    on_tiny_stack("deep-cval-drop", || {
+        // A 100 000-deep pair value: the derived destructor would recurse.
+        let mut v = Rc::new(CVal::Sym(lambda_join_core::Symbol::Int(0)));
+        for _ in 0..100_000 {
+            v = Rc::new(CVal::Pair(v, Rc::new(CVal::BotV)));
+        }
+        drop(v);
+        // A 100 000-deep stream *term* value via the closure machine.
+        let t = parse("let rec fromN n = (n :: fromN (n + 1)) \\/ botv in fromN 0").unwrap();
+        let r = eval_closure(&t, 2000);
+        assert!(matches!(&*r, CVal::Pair(..)));
+    });
+}
+
+#[test]
+fn joining_two_deep_cvals_fits_tiny_stack() {
+    // `cval_join`'s pointwise descent over two deep pair spines must be
+    // heap-bounded, like `reduce::join_results` in core.
+    on_tiny_stack("deep-cval-join", || {
+        let t = parse(
+            "let rec fromN n = (n :: fromN (n + 1)) \\/ botv in \
+             fromN 0 \\/ fromN 0",
+        )
+        .unwrap();
+        let r = eval_closure(&t, 4000);
+        assert!(matches!(&*r, CVal::Pair(..)));
+    });
+}
+
+#[test]
+fn memo_stream_sweeps_deep_fuel_on_tiny_stack() {
+    on_tiny_stack("memo-stream-sweep", || {
+        let t = parse("let rec down n = if n <= 0 then 0 else down (n - 1) in down 500").unwrap();
+        let s = term_stream_memo(&t);
+        // Sweep up to convergence; every level runs on the shared engine.
+        assert!(s.at(500 * 4 + 16).alpha_eq(&int(0)));
+    });
+}
