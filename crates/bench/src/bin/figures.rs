@@ -11,6 +11,10 @@
 //! E-semi), and `deep` (E-deep: the explicit-stack engine on workloads past
 //! the recursive evaluator's stack ceiling). The outputs are recorded
 //! against the paper in EXPERIMENTS.md.
+//!
+//! `perf` (not part of the default run) times the hot-path workloads and
+//! writes machine-readable `BENCH_perf.json` (workload → ns/iter) so the
+//! perf trajectory is tracked across PRs; CI uploads it as an artifact.
 
 use std::collections::BTreeSet;
 
@@ -63,6 +67,157 @@ fn main() {
     if want("deep") {
         deep_fig();
     }
+    // Explicit-only: timing runs are not part of the default figures pass.
+    if which.iter().any(|w| w == "perf") {
+        perf_fig();
+    }
+}
+
+/// `perf` — times the memo/seminaive/naive hot paths and writes
+/// `BENCH_perf.json` mapping workload names to ns/iter (median of batches).
+fn perf_fig() {
+    use std::time::Instant;
+
+    header("perf — hot-path timings (written to BENCH_perf.json)");
+
+    /// Times one closure: runs `min_batches` batches sized to take roughly
+    /// `batch_ns` each and reports the median per-iteration time.
+    fn time_ns(mut f: impl FnMut()) -> u64 {
+        // Warm up and calibrate the batch size.
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        let batch_ns: u64 = 40_000_000;
+        let iters = (batch_ns / once).clamp(1, 10_000) as usize;
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            samples.push(t.elapsed().as_nanos() as u64 / iters as u64);
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    }
+
+    let mut results: Vec<(&str, u64)> = Vec::new();
+
+    // Memoised (tabled) reaches on a cycle — cache probes dominate.
+    let g = Graph::cycle(6);
+    let t = encodings::reaches(&g, 0);
+    let fuel = 24 * g.edges.len();
+    results.push((
+        "memo_reaches_cycle6",
+        time_ns(|| {
+            let mut m = MemoEval::new();
+            let _ = m.eval_fuel(&t, fuel);
+        }),
+    ));
+
+    // Memoised reaches on the diamond DAG — sharing-heavy probe traffic.
+    let g = diamond_chain(5);
+    let t = encodings::reaches(&g, 0);
+    let fuel = 24 * g.edges.len();
+    results.push((
+        "memo_reaches_diamond5",
+        time_ns(|| {
+            let mut m = MemoEval::new();
+            let _ = m.eval_fuel(&t, fuel);
+        }),
+    ));
+
+    // Memoised converging sweep — the persistent-cache fuel sweep.
+    let g = Graph::cycle(5);
+    let t = encodings::reaches(&g, 0);
+    results.push((
+        "memo_converge_cycle5",
+        time_ns(|| {
+            let mut m = MemoEval::new();
+            let _ = m.eval_converged(&t, 400, 10, 4);
+        }),
+    ));
+
+    // Seminaive transitive closure (λ∨ fixpoint engine) on a line.
+    let g = Graph::line(16);
+    let step = g.neighbors_fn();
+    results.push((
+        "seminaive_reaches_line16",
+        time_ns(|| {
+            let mut e = lambda_join_runtime::seminaive::SeminaiveEngine::new(step.clone(), 64);
+            e.push(vec![int(0)]);
+            let _ = e.run(10_000);
+        }),
+    ));
+
+    // Seminaive reaches on a dense graph: every step call streams a large
+    // neighbour set, so per-element dedup against the accumulator (the
+    // O(1)-membership path) dominates.
+    let dense = Graph {
+        edges: (0..32i64)
+            .map(|i| (i, (0..32i64).filter(|j| *j != i).collect()))
+            .collect(),
+    };
+    let step = dense.neighbors_fn();
+    results.push((
+        "seminaive_reaches_dense32",
+        time_ns(|| {
+            let mut e = lambda_join_runtime::seminaive::SeminaiveEngine::new(step.clone(), 64);
+            e.push(vec![int(0)]);
+            let _ = e.run(10_000);
+        }),
+    ));
+
+    // Naive λ∨ fixpoint baseline — per-round accumulator traffic.
+    let g = Graph::line(12);
+    let step = g.neighbors_fn();
+    results.push((
+        "naive_fixpoint_line12",
+        time_ns(|| {
+            let _ = lambda_join_runtime::seminaive::naive_rounds(&step, vec![int(0)], 64, 10_000);
+        }),
+    ));
+
+    // The naive (untabled) line-8 micro — must not regress.
+    let g = Graph::line(8);
+    let t = encodings::reaches(&g, 0);
+    let fuel = 24 * g.edges.len().max(4);
+    results.push((
+        "naive_reaches_line8",
+        time_ns(|| {
+            let _ = eval_fuel(&t, fuel);
+        }),
+    ));
+
+    // Datalog seminaive transitive closure — delta joins over indexed
+    // relations.
+    let edges: Vec<(i64, i64)> = (0..48).map(|i| (i, i + 1)).collect();
+    let tc = lambda_join_datalog::eval::transitive_closure_program(&edges);
+    results.push((
+        "datalog_tc_seminaive_48",
+        time_ns(|| {
+            let _ = datalog_eval(&tc, Strategy::Seminaive);
+        }),
+    ));
+
+    // Two-phase commit protocol evolution — the §4 workload.
+    let system = encodings::two_phase_commit();
+    results.push((
+        "two_phase_commit",
+        time_ns(|| {
+            let _ = eval_fuel(&system, 16);
+        }),
+    ));
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        println!("  {name:<26} {ns:>12} ns/iter");
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_perf.json", json).expect("write BENCH_perf.json");
+    println!("  (written to BENCH_perf.json)");
 }
 
 fn header(title: &str) {

@@ -19,19 +19,38 @@ use std::rc::Rc;
 use crate::symbol::Symbol;
 use crate::term::{Prim, Term, TermRef};
 
+// Hash-consed leaves: the evaluation engine returns `⊥`/`⊤`/`⊥v` on every
+// stuck or exhausted path and the workload builders mint the same small
+// integers millions of times; one shared allocation per leaf (per thread —
+// terms are `Rc`-based) removes that traffic, and the shared handles feed
+// the `Rc::ptr_eq` fast paths in joins, ordering, and α-equivalence.
+thread_local! {
+    static BOT: TermRef = Rc::new(Term::Bot);
+    static TOP: TermRef = Rc::new(Term::Top);
+    static BOTV: TermRef = Rc::new(Term::BotV);
+    static TT: TermRef = Rc::new(Term::Sym(Symbol::tt()));
+    static FF: TermRef = Rc::new(Term::Sym(Symbol::ff()));
+    static UNIT: TermRef = Rc::new(Term::Sym(Symbol::unit()));
+    static SMALL_INTS: Vec<TermRef> =
+        (0..=SMALL_INT_MAX).map(|n| Rc::new(Term::Sym(Symbol::Int(n)))).collect();
+}
+
+/// Largest integer literal served from the per-thread hash-consed pool.
+const SMALL_INT_MAX: i64 = 255;
+
 /// `⊥` — the meaningless computation.
 pub fn bot() -> TermRef {
-    Rc::new(Term::Bot)
+    BOT.with(Rc::clone)
 }
 
 /// `⊤` — the ambiguity error.
 pub fn top() -> TermRef {
-    Rc::new(Term::Top)
+    TOP.with(Rc::clone)
 }
 
 /// `⊥v` — the least value.
 pub fn botv() -> TermRef {
-    Rc::new(Term::BotV)
+    BOTV.with(Rc::clone)
 }
 
 /// A variable reference.
@@ -76,7 +95,11 @@ pub fn name(n: &str) -> TermRef {
 
 /// An integer symbol literal.
 pub fn int(n: i64) -> TermRef {
-    sym(Symbol::Int(n))
+    if (0..=SMALL_INT_MAX).contains(&n) {
+        SMALL_INTS.with(|pool| pool[n as usize].clone())
+    } else {
+        sym(Symbol::Int(n))
+    }
 }
 
 /// A string symbol literal.
@@ -91,17 +114,17 @@ pub fn level(n: u64) -> TermRef {
 
 /// The unit symbol `()`.
 pub fn unit() -> TermRef {
-    sym(Symbol::unit())
+    UNIT.with(Rc::clone)
 }
 
 /// The boolean `'true`.
 pub fn tt() -> TermRef {
-    sym(Symbol::tt())
+    TT.with(Rc::clone)
 }
 
 /// The boolean `'false`.
 pub fn ff() -> TermRef {
-    sym(Symbol::ff())
+    FF.with(Rc::clone)
 }
 
 /// Set literal `{e1, …, en}`.

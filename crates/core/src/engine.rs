@@ -32,6 +32,8 @@
 //! The recursive evaluator is retained as [`crate::bigstep::spec`] — the
 //! executable specification the engine is property-tested against.
 
+use std::rc::Rc;
+
 use crate::builder;
 use crate::reduce::{delta, frz_lift, join_results, lex_lift, pair_lift, thaw};
 use crate::term::{Term, TermRef};
@@ -82,6 +84,11 @@ impl Budget {
 /// `exhausted` flag carried alongside each cached result records whether
 /// that sub-evaluation involved an approximation step, so replaying a hit
 /// keeps freeze-completeness tracking exact.
+///
+/// The production implementation is [`crate::intern::InternTable`], which
+/// interns both values in a hash-consing arena and keys the cache on
+/// `Copy` canonical `(TermId, TermId, fuel)` triples: probes are O(1) id
+/// comparisons with no tree hashing and no `Rc` clones.
 pub trait BetaTable {
     /// Returns the cached result (and its exhaustion flag) for a β-step, if
     /// present.
@@ -423,7 +430,7 @@ fn step_ret<T: BetaTable>(
                 Term::Top => return Ctrl::Ret(builder::top()),
                 Term::Bot => {}
                 _ => {
-                    if !out.iter().any(|o| o.alpha_eq(&v)) {
+                    if !out.iter().any(|o| Rc::ptr_eq(o, &v) || o.alpha_eq(&v)) {
                         out.push(v);
                     }
                 }

@@ -1,0 +1,1173 @@
+//! Hash-consed term interning: O(1) equality, hashing, and set membership.
+//!
+//! Every hot path of the reproduction used to pay for deep term traversals:
+//! the tabling hook and memo cache hashed entire `(function, argument)`
+//! trees on every probe, and the fixpoint engines deduplicated streamed
+//! elements by linear α-comparison. The standard remedy in tabled
+//! logic-programming engines is *interning*: map every distinct term to a
+//! small integer id once, and from then on equality, hashing, and set
+//! membership are id comparisons.
+//!
+//! [`Interner`] is that arena. It maps structurally-equal [`Term`] nodes to
+//! a `Copy` [`TermId`] (`u32`) and caches per-node metadata — [`size`],
+//! [`is_value`], the free-variable summary, and a precomputed structural
+//! hash — computed once, bottom-up, at interning time ([`TermMeta`]).
+//!
+//! Structural identity is not yet α-equivalence: `λx.x` and `λy.y` are
+//! distinct trees. [`Interner::canon`] closes the gap by renaming every
+//! binder to a canonical de Bruijn-*level* name (the number of enclosing
+//! binders at its introduction), so α-equivalent terms canonicalise to
+//! *identical* trees and therefore intern to the *same* id:
+//!
+//! ```text
+//! canon_id(t) == canon_id(u)  ⟺  t.alpha_eq(&u)      (property-tested)
+//! ```
+//!
+//! **Invariant: only canonical ids are used as memo/tabling keys** (see
+//! [`InternTable`]) — raw structural ids would under-share α-variants of
+//! the same call. Canonical binder names use the `'\u{1}'` prefix, which
+//! the surface parser cannot produce, so they never collide with free
+//! variables of source programs.
+//!
+//! All traversals here (interning, canonicalisation) are worklist-based and
+//! the arena's storage is flat `Vec`s of shared handles, so interning a
+//! term deeper than the OS stack and dropping the arena afterwards both run
+//! in O(1) native stack (regression-tested on 512 KiB threads; term
+//! teardown itself is handled by [`Term`]'s iterative destructor).
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_join_core::builder::*;
+//! use lambda_join_core::intern::Interner;
+//!
+//! let mut arena = Interner::new();
+//! let t = lam("x", var("x"));
+//! let u = lam("y", var("y"));
+//! assert_ne!(arena.intern(&t), arena.intern(&u)); // structurally distinct
+//! assert_eq!(arena.canon_id(&t), arena.canon_id(&u)); // α-equivalent
+//! let id = arena.intern(&t);
+//! assert!(arena.meta(id).is_value);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::rc::Rc;
+
+use crate::engine::BetaTable;
+use crate::symbol::Symbol;
+use crate::term::{Prim, Term, TermRef, Var};
+
+/// A fast FxHash-style hasher for the arena's small fixed-width keys
+/// (pointers, `TermId` tuples). The std SipHash default is DoS-hardened,
+/// which the probe path does not need — these maps are process-local and
+/// keyed by allocation pointers / dense ids.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+const FAST_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FastHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(FAST_SEED);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche so dense ids spread across buckets.
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// The interned id of a term: a dense `u32` index into the arena.
+///
+/// `Copy`, O(1) equality and hashing. Ids from *different* arenas are
+/// unrelated; keep one arena per table/engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The dense index of the id (0-based insertion order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Cached subterm metadata, computed bottom-up at interning time.
+#[derive(Debug, Clone)]
+pub struct TermMeta {
+    /// AST node count (saturating), matching [`Term::size`].
+    pub size: usize,
+    /// Whether the term is a value, matching [`Term::is_value`].
+    pub is_value: bool,
+    /// A structural hash combining the node shape with the child hashes.
+    /// Arena-independent: equal terms hash equally in any arena.
+    pub hash: u64,
+    /// Whether the term contains any binder (λ, `let (x1,x2)`, `⋁`,
+    /// `let frz`, `bind`). Binder-free terms canonicalise independently of
+    /// the ambient binder depth, which the canonical pointer cache relies
+    /// on.
+    pub has_binders: bool,
+    /// The free variables, sorted and deduplicated (set view of
+    /// [`Term::free_vars`]). Shared: closed terms all point at one empty
+    /// slice.
+    pub free_vars: Rc<[Var]>,
+}
+
+impl TermMeta {
+    /// Whether the term is closed (no free variables).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars.is_empty()
+    }
+}
+
+/// The shallow shape of a node over already-interned children — the arena's
+/// hash-consing key. One probe of `HashMap<NodeKey, TermId>` replaces a
+/// full-tree hash + full-tree comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Bot,
+    Top,
+    BotV,
+    Var(Var),
+    Sym(Symbol),
+    Lam(Var, TermId),
+    Frz(TermId),
+    Pair(TermId, TermId),
+    App(TermId, TermId),
+    Join(TermId, TermId),
+    Lex(TermId, TermId),
+    LexMerge(TermId, TermId),
+    LetSym(Symbol, TermId, TermId),
+    LetPair(Var, Var, TermId, TermId),
+    BigJoin(Var, TermId, TermId),
+    LetFrz(Var, TermId, TermId),
+    LexBind(Var, TermId, TermId),
+    Set(Box<[TermId]>),
+    Prim(Prim, Box<[TermId]>),
+}
+
+/// One canonical pointer-cache entry: the id minted for this allocation
+/// and the retained handle (which pins the allocation so the pointer key
+/// can never be recycled).
+///
+/// The fused canonical key space uses de Bruijn *indices* (binder
+/// distance), so a **closed** subtree keys identically under any ambient
+/// binder environment and its entry is reusable everywhere. An *open*
+/// subtree's keys depend on the environment (free occurrences may be
+/// captured and renamed), so open entries — which only roots mint — are
+/// reusable only where the environment is empty.
+#[derive(Debug, Clone)]
+struct CanonEntry {
+    id: TermId,
+    _retained: TermRef,
+}
+
+/// A hash-consing arena for λ∨ terms. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// Shallow node shape → id.
+    nodes: HashMap<NodeKey, TermId>,
+    /// Per-id representative term (also keeps ptr-cache keys alive).
+    terms: Vec<TermRef>,
+    /// Per-id cached metadata.
+    metas: Vec<TermMeta>,
+    /// Allocation-pointer → id cache for [`Interner::intern`]. The mapped
+    /// `TermRef` retains the allocation, so a key pointer can never be
+    /// reused by a different term while its entry lives.
+    by_ptr: FastMap<*const Term, (TermId, TermRef)>,
+    /// Allocation-pointer → *canonical* id cache for
+    /// [`Interner::canon_id`] (same retention scheme). Canonical binder
+    /// names are absolute de Bruijn levels, so every entry records the
+    /// binder depth it was minted at; see [`CanonEntry`] for the reuse
+    /// rule.
+    canon_by_ptr: FastMap<*const Term, CanonEntry>,
+    /// Canonical binder names by de Bruijn level, allocated once.
+    canon_names: Vec<Var>,
+    /// The shared empty free-variable slice.
+    no_vars: Rc<[Var]>,
+}
+
+impl Interner {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The representative term of an id: structurally equal to the interned
+    /// node for ids from [`Interner::intern`], α-equivalent to it for ids
+    /// minted by [`Interner::canon_id`] (which keys nodes by canonical
+    /// binder names but keeps the first term seen as representative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this arena.
+    pub fn term(&self, id: TermId) -> &TermRef {
+        &self.terms[id.index()]
+    }
+
+    /// The cached metadata of an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this arena.
+    pub fn meta(&self, id: TermId) -> &TermMeta {
+        &self.metas[id.index()]
+    }
+
+    /// Interns a term *structurally*: equal trees (including binder names)
+    /// get equal ids. Iterative; amortised O(1) per repeated handle via the
+    /// pointer cache. For α-insensitive ids use [`Interner::canon_id`].
+    pub fn intern(&mut self, t: &TermRef) -> TermId {
+        if let Some((id, _)) = self.by_ptr.get(&Rc::as_ptr(t)) {
+            return *id;
+        }
+        enum Job {
+            Visit(TermRef),
+            /// Rebuild `node`'s key from the last `n` ids on the stack.
+            Build(TermRef, usize),
+        }
+        let mut jobs: Vec<Job> = vec![Job::Visit(t.clone())];
+        let mut ids: Vec<TermId> = Vec::new();
+        while let Some(job) = jobs.pop() {
+            match job {
+                Job::Visit(t) => {
+                    if let Some((id, _)) = self.by_ptr.get(&Rc::as_ptr(&t)) {
+                        ids.push(*id);
+                        continue;
+                    }
+                    let children: Vec<TermRef> = t.children().cloned().collect();
+                    if children.is_empty() {
+                        let id = self.intern_shallow(&t, &[]);
+                        self.by_ptr.insert(Rc::as_ptr(&t), (id, t));
+                        ids.push(id);
+                    } else {
+                        jobs.push(Job::Build(t, children.len()));
+                        jobs.extend(children.into_iter().rev().map(Job::Visit));
+                    }
+                }
+                Job::Build(t, n) => {
+                    let child_ids = ids.split_off(ids.len() - n);
+                    let id = self.intern_shallow(&t, &child_ids);
+                    self.by_ptr.insert(Rc::as_ptr(&t), (id, t));
+                    ids.push(id);
+                }
+            }
+        }
+        debug_assert_eq!(ids.len(), 1);
+        ids.pop().expect("interning produced no id")
+    }
+
+    /// Interns the canonical form of a term: the id is the same for all
+    /// α-equivalent terms. **This is the id to key memo/tabling caches
+    /// and fixpoint accumulators on.** Amortised O(1) per repeated handle.
+    ///
+    /// Decides the same equivalence as `intern(&canon(t))`
+    /// (property-tested), but fused into one id-producing pass in a
+    /// *de Bruijn-index* key space: no canonical tree is materialised,
+    /// bound occurrences are keyed by binder *distance* (so closed
+    /// subtrees key identically at any ambient depth), and already
+    /// canonicalised closed subtrees short-circuit by pointer.
+    pub fn canon_id(&mut self, t: &TermRef) -> TermId {
+        if let Some(e) = self.canon_by_ptr.get(&Rc::as_ptr(t)) {
+            // Root probes run with an empty ambient environment: root
+            // entries were minted the same way, and interior-minted
+            // entries are closed (environment-independent).
+            return e.id;
+        }
+        let id = self.canon_intern(t);
+        self.canon_by_ptr.insert(
+            Rc::as_ptr(t),
+            CanonEntry {
+                id,
+                _retained: t.clone(),
+            },
+        );
+        id
+    }
+
+    /// The single-pass worker behind [`Interner::canon_id`]: walks the term
+    /// with a binder environment, mapping every node directly to the id of
+    /// its canonical form. Binders are keyed with the reserved `'\u{1}'`
+    /// sentinel name and bound occurrences with their de Bruijn *index*
+    /// (distance to the binder), so the key of a closed subtree does not
+    /// depend on the ambient binder depth.
+    fn canon_intern(&mut self, root: &TermRef) -> TermId {
+        enum Job<'a> {
+            Visit(&'a TermRef),
+            Bind(&'a Var),
+            Unbind(usize),
+            /// Key `node` from the last `n` ids on the stack.
+            Build(&'a TermRef, usize),
+        }
+        // Original binder names by level; canonical names are positional.
+        let mut bound: Vec<&Var> = Vec::new();
+        let mut jobs: Vec<Job<'_>> = vec![Job::Visit(root)];
+        let mut ids: Vec<TermId> = Vec::new();
+        while let Some(job) = jobs.pop() {
+            match job {
+                Job::Bind(x) => bound.push(x),
+                Job::Unbind(n) => {
+                    let keep = bound.len() - n;
+                    bound.truncate(keep);
+                }
+                Job::Visit(t) => {
+                    // A cached entry is reusable when the subtree's keys
+                    // cannot depend on the ambient environment: closed
+                    // subtrees (indices are internal, free names absent)
+                    // at any depth, and anything when the environment is
+                    // empty (the minting context). See [`CanonEntry`].
+                    if let Some(e) = self.canon_by_ptr.get(&Rc::as_ptr(t)) {
+                        let id = e.id;
+                        if bound.is_empty() || self.metas[id.index()].is_closed() {
+                            ids.push(id);
+                            continue;
+                        }
+                    }
+                    match &**t {
+                        Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => {
+                            ids.push(self.intern_leaf(t));
+                        }
+                        Term::Var(x) => {
+                            let key = match bound.iter().rposition(|b| *b == x) {
+                                // De Bruijn index: distance to the binder.
+                                Some(pos) => NodeKey::Var(self.canon_name(bound.len() - 1 - pos)),
+                                None => NodeKey::Var(x.clone()),
+                            };
+                            ids.push(self.intern_key(key, t));
+                        }
+                        Term::Lam(x, b) => {
+                            jobs.push(Job::Build(t, 1));
+                            jobs.push(Job::Unbind(1));
+                            jobs.push(Job::Visit(b));
+                            jobs.push(Job::Bind(x));
+                        }
+                        Term::Pair(a, b)
+                        | Term::App(a, b)
+                        | Term::Join(a, b)
+                        | Term::Lex(a, b)
+                        | Term::LexMerge(a, b)
+                        | Term::LetSym(_, a, b) => {
+                            jobs.push(Job::Build(t, 2));
+                            jobs.push(Job::Visit(b));
+                            jobs.push(Job::Visit(a));
+                        }
+                        Term::Frz(e) => {
+                            jobs.push(Job::Build(t, 1));
+                            jobs.push(Job::Visit(e));
+                        }
+                        Term::Set(es) | Term::Prim(_, es) => {
+                            jobs.push(Job::Build(t, es.len()));
+                            jobs.extend(es.iter().rev().map(Job::Visit));
+                        }
+                        Term::LetPair(x1, x2, e, body) => {
+                            jobs.push(Job::Build(t, 2));
+                            jobs.push(Job::Unbind(2));
+                            jobs.push(Job::Visit(body));
+                            jobs.push(Job::Bind(x2));
+                            jobs.push(Job::Bind(x1));
+                            jobs.push(Job::Visit(e));
+                        }
+                        Term::BigJoin(x, e, body)
+                        | Term::LetFrz(x, e, body)
+                        | Term::LexBind(x, e, body) => {
+                            jobs.push(Job::Build(t, 2));
+                            jobs.push(Job::Unbind(1));
+                            jobs.push(Job::Visit(body));
+                            jobs.push(Job::Bind(x));
+                            jobs.push(Job::Visit(e));
+                        }
+                    }
+                }
+                Job::Build(t, n) => {
+                    let c = ids.split_off(ids.len() - n);
+                    let t_ptr = Rc::as_ptr(t);
+                    let key = match &**t {
+                        Term::Lam(..) => NodeKey::Lam(canon_binder(), c[0]),
+                        Term::Frz(_) => NodeKey::Frz(c[0]),
+                        Term::Pair(..) => NodeKey::Pair(c[0], c[1]),
+                        Term::App(..) => NodeKey::App(c[0], c[1]),
+                        Term::Join(..) => NodeKey::Join(c[0], c[1]),
+                        Term::Lex(..) => NodeKey::Lex(c[0], c[1]),
+                        Term::LexMerge(..) => NodeKey::LexMerge(c[0], c[1]),
+                        Term::LetSym(s, ..) => NodeKey::LetSym(s.clone(), c[0], c[1]),
+                        Term::LetPair(..) => {
+                            NodeKey::LetPair(canon_binder(), canon_binder(), c[0], c[1])
+                        }
+                        Term::BigJoin(..) => NodeKey::BigJoin(canon_binder(), c[0], c[1]),
+                        Term::LetFrz(..) => NodeKey::LetFrz(canon_binder(), c[0], c[1]),
+                        Term::LexBind(..) => NodeKey::LexBind(canon_binder(), c[0], c[1]),
+                        Term::Set(_) => NodeKey::Set(c.into()),
+                        Term::Prim(op, _) => NodeKey::Prim(*op, c.into()),
+                        Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => {
+                            unreachable!("leaves are keyed in place")
+                        }
+                    };
+                    let id = self.intern_key(key, t);
+                    // Pointer-cache *large closed* interior nodes:
+                    // substitution shares untouched subtrees across
+                    // β-unfoldings, so a rebuilt term re-probes in
+                    // O(changed spine). Closed subtrees key identically at
+                    // any ambient depth (indices are internal), so the
+                    // entry is reusable everywhere. Interior entries alias
+                    // subtrees the retained root keeps alive anyway, so
+                    // each costs one map entry, and the size threshold
+                    // keeps leaf-heavy churn out of the map.
+                    let meta = &self.metas[id.index()];
+                    if meta.size >= CANON_PTR_CACHE_MIN_SIZE && meta.is_closed() {
+                        self.canon_by_ptr.insert(
+                            t_ptr,
+                            CanonEntry {
+                                id,
+                                _retained: t.clone(),
+                            },
+                        );
+                    }
+                    ids.push(id);
+                }
+            }
+        }
+        debug_assert_eq!(ids.len(), 1);
+        ids.pop().expect("canonical interning produced no id")
+    }
+
+    /// The cached canonical binder name for a de Bruijn level.
+    fn canon_name(&mut self, level: usize) -> Var {
+        while self.canon_names.len() <= level {
+            self.canon_names
+                .push(canonical_name(self.canon_names.len()));
+        }
+        self.canon_names[level].clone()
+    }
+
+    /// Interns a leaf term (no children, no renaming).
+    fn intern_leaf(&mut self, t: &TermRef) -> TermId {
+        let key = self.node_key(t, &[]);
+        match self.nodes.get(&key) {
+            Some(id) => *id,
+            None => self.insert_node(key, t),
+        }
+    }
+
+    /// Interns a pre-built (possibly binder-renamed) node key, with `t` as
+    /// the α-equivalent representative if the node is new.
+    fn intern_key(&mut self, key: NodeKey, t: &TermRef) -> TermId {
+        match self.nodes.get(&key) {
+            Some(id) => *id,
+            None => self.insert_node(key, t),
+        }
+    }
+
+    /// O(1) α-equivalence through the arena: two terms are α-equivalent
+    /// iff their canonical ids coincide (property-tested against
+    /// [`Term::alpha_eq`]).
+    pub fn alpha_eq(&mut self, t: &TermRef, u: &TermRef) -> bool {
+        Rc::ptr_eq(t, u) || self.canon_id(t) == self.canon_id(u)
+    }
+
+    /// Renames every binder to its canonical de Bruijn-level name, so that
+    /// α-equivalent terms become *identical* trees. Free variables are
+    /// untouched; unchanged subtrees are shared with the input (a term with
+    /// no binders canonicalises to itself, zero-copy).
+    ///
+    /// Iterative: canonicalising a term deeper than the OS stack is safe.
+    pub fn canon(&mut self, t: &TermRef) -> TermRef {
+        enum Job<'a> {
+            Visit(&'a TermRef),
+            Bind(&'a Var, Var),
+            Unbind(usize),
+            /// Rebuild `node` from the last `built` results; `names` are
+            /// the canonical binder names chosen at visit time.
+            Build {
+                node: &'a TermRef,
+                built: usize,
+                names: [Option<Var>; 2],
+            },
+        }
+        // (original, canonical) pairs; shadowing resolved by reverse scan.
+        let mut bound: Vec<(Var, Var)> = Vec::new();
+        let mut jobs: Vec<Job<'_>> = vec![Job::Visit(t)];
+        let mut results: Vec<TermRef> = Vec::new();
+        while let Some(job) = jobs.pop() {
+            match job {
+                Job::Bind(orig, canon) => bound.push((orig.clone(), canon)),
+                Job::Unbind(n) => {
+                    let keep = bound.len() - n;
+                    bound.truncate(keep);
+                }
+                Job::Visit(t) => match &**t {
+                    Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => results.push(t.clone()),
+                    Term::Var(x) => {
+                        match bound.iter().rev().find(|(orig, _)| orig == x) {
+                            // Bound: rename to the binder's canonical name
+                            // (shared when already canonical).
+                            Some((_, canon)) if canon == x => results.push(t.clone()),
+                            Some((_, canon)) => {
+                                results.push(Rc::new(Term::Var(canon.clone())));
+                            }
+                            // Free: untouched.
+                            None => results.push(t.clone()),
+                        }
+                    }
+                    Term::Lam(x, b) => {
+                        let cx = canonical_name(bound.len());
+                        jobs.push(Job::Build {
+                            node: t,
+                            built: 1,
+                            names: [Some(cx.clone()), None],
+                        });
+                        jobs.push(Job::Unbind(1));
+                        jobs.push(Job::Visit(b));
+                        jobs.push(Job::Bind(x, cx));
+                    }
+                    Term::Pair(a, b)
+                    | Term::App(a, b)
+                    | Term::Join(a, b)
+                    | Term::Lex(a, b)
+                    | Term::LexMerge(a, b)
+                    | Term::LetSym(_, a, b) => {
+                        jobs.push(Job::Build {
+                            node: t,
+                            built: 2,
+                            names: [None, None],
+                        });
+                        jobs.push(Job::Visit(b));
+                        jobs.push(Job::Visit(a));
+                    }
+                    Term::Frz(e) => {
+                        jobs.push(Job::Build {
+                            node: t,
+                            built: 1,
+                            names: [None, None],
+                        });
+                        jobs.push(Job::Visit(e));
+                    }
+                    Term::Set(es) | Term::Prim(_, es) => {
+                        jobs.push(Job::Build {
+                            node: t,
+                            built: es.len(),
+                            names: [None, None],
+                        });
+                        jobs.extend(es.iter().rev().map(Job::Visit));
+                    }
+                    Term::LetPair(x1, x2, e, body) => {
+                        let c1 = canonical_name(bound.len());
+                        let c2 = canonical_name(bound.len() + 1);
+                        jobs.push(Job::Build {
+                            node: t,
+                            built: 2,
+                            names: [Some(c1.clone()), Some(c2.clone())],
+                        });
+                        jobs.push(Job::Unbind(2));
+                        jobs.push(Job::Visit(body));
+                        jobs.push(Job::Bind(x2, c2));
+                        jobs.push(Job::Bind(x1, c1));
+                        jobs.push(Job::Visit(e));
+                    }
+                    Term::BigJoin(x, e, body)
+                    | Term::LetFrz(x, e, body)
+                    | Term::LexBind(x, e, body) => {
+                        let cx = canonical_name(bound.len());
+                        jobs.push(Job::Build {
+                            node: t,
+                            built: 2,
+                            names: [Some(cx.clone()), None],
+                        });
+                        jobs.push(Job::Unbind(1));
+                        jobs.push(Job::Visit(body));
+                        jobs.push(Job::Bind(x, cx));
+                        jobs.push(Job::Visit(e));
+                    }
+                },
+                Job::Build { node, built, names } => {
+                    let children = results.split_off(results.len() - built);
+                    results.push(rebuild_canon(node, children, names));
+                }
+            }
+        }
+        debug_assert_eq!(results.len(), 1);
+        results.pop().expect("canonicalisation produced no result")
+    }
+}
+
+/// The canonical name of the binder introduced with `depth` binders already
+/// in scope (used by the term-building [`Interner::canon`]), doubling as
+/// the spelling of de Bruijn index `depth` in the fused key space. The
+/// `'\u{1}'` prefix is not producible by the surface parser, so canonical
+/// names never collide with source-program variables.
+fn canonical_name(depth: usize) -> Var {
+    Rc::from(format!("\u{1}{depth}").as_str())
+}
+
+thread_local! {
+    /// The reserved sentinel binder name of the fused de Bruijn-index key
+    /// space: every binder keys identically (occurrences carry the binding
+    /// structure as indices). Distinct from every [`canonical_name`]
+    /// (which always appends digits).
+    static CANON_BINDER: Var = Rc::from("\u{1}");
+}
+
+/// The shared sentinel binder name (see [`CANON_BINDER`]).
+fn canon_binder() -> Var {
+    CANON_BINDER.with(Rc::clone)
+}
+
+/// Whether a binder name is the fused key space's sentinel, i.e. the node
+/// key came from [`Interner::canon_intern`] and its body's bound
+/// occurrences are de Bruijn indices rather than names.
+fn is_canon_binder(x: &Var) -> bool {
+    &**x == "\u{1}"
+}
+
+/// The de Bruijn index spelled by a canonical occurrence name, if it is
+/// one.
+fn canon_index(x: &Var) -> Option<usize> {
+    x.strip_prefix('\u{1}').and_then(|d| d.parse().ok())
+}
+
+/// Minimum cached size for closed interior nodes in the canonical pointer
+/// cache (see [`Interner::canon_intern`]). Small nodes re-key cheaply;
+/// caching them would cost more memory than the probes they save.
+const CANON_PTR_CACHE_MIN_SIZE: usize = 16;
+
+/// Rebuilds `node` with canonicalised children and binder `names`, sharing
+/// the original allocation when nothing changed.
+fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>; 2]) -> TermRef {
+    let unchanged = |orig: &[&TermRef], new: &[TermRef]| {
+        orig.len() == new.len() && orig.iter().zip(new).all(|(o, n)| Rc::ptr_eq(o, n))
+    };
+    macro_rules! pop2 {
+        () => {{
+            let b = children.pop().expect("canon lost a child");
+            let a = children.pop().expect("canon lost a child");
+            (a, b)
+        }};
+    }
+    match &**node {
+        Term::Lam(x, b) => {
+            let cx = names[0].clone().expect("Lam canon name");
+            let nb = children.pop().expect("canon lost a body");
+            if cx == *x && Rc::ptr_eq(b, &nb) {
+                node.clone()
+            } else {
+                Rc::new(Term::Lam(cx, nb))
+            }
+        }
+        Term::Frz(e) => {
+            let ne = children.pop().expect("canon lost a payload");
+            if Rc::ptr_eq(e, &ne) {
+                node.clone()
+            } else {
+                Rc::new(Term::Frz(ne))
+            }
+        }
+        Term::Pair(a, b) => {
+            let (na, nb) = pop2!();
+            if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
+                node.clone()
+            } else {
+                Rc::new(Term::Pair(na, nb))
+            }
+        }
+        Term::App(a, b) => {
+            let (na, nb) = pop2!();
+            if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
+                node.clone()
+            } else {
+                Rc::new(Term::App(na, nb))
+            }
+        }
+        Term::Join(a, b) => {
+            let (na, nb) = pop2!();
+            if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
+                node.clone()
+            } else {
+                Rc::new(Term::Join(na, nb))
+            }
+        }
+        Term::Lex(a, b) => {
+            let (na, nb) = pop2!();
+            if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
+                node.clone()
+            } else {
+                Rc::new(Term::Lex(na, nb))
+            }
+        }
+        Term::LexMerge(a, b) => {
+            let (na, nb) = pop2!();
+            if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
+                node.clone()
+            } else {
+                Rc::new(Term::LexMerge(na, nb))
+            }
+        }
+        Term::LetSym(s, a, b) => {
+            let (na, nb) = pop2!();
+            if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
+                node.clone()
+            } else {
+                Rc::new(Term::LetSym(s.clone(), na, nb))
+            }
+        }
+        Term::LetPair(x1, x2, e, body) => {
+            let (ne, nbody) = pop2!();
+            let c1 = names[0].clone().expect("LetPair canon name");
+            let c2 = names[1].clone().expect("LetPair canon name");
+            if c1 == *x1 && c2 == *x2 && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+                node.clone()
+            } else {
+                Rc::new(Term::LetPair(c1, c2, ne, nbody))
+            }
+        }
+        Term::BigJoin(x, e, body) => {
+            let (ne, nbody) = pop2!();
+            let cx = names[0].clone().expect("BigJoin canon name");
+            if cx == *x && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+                node.clone()
+            } else {
+                Rc::new(Term::BigJoin(cx, ne, nbody))
+            }
+        }
+        Term::LetFrz(x, e, body) => {
+            let (ne, nbody) = pop2!();
+            let cx = names[0].clone().expect("LetFrz canon name");
+            if cx == *x && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+                node.clone()
+            } else {
+                Rc::new(Term::LetFrz(cx, ne, nbody))
+            }
+        }
+        Term::LexBind(x, e, body) => {
+            let (ne, nbody) = pop2!();
+            let cx = names[0].clone().expect("LexBind canon name");
+            if cx == *x && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+                node.clone()
+            } else {
+                Rc::new(Term::LexBind(cx, ne, nbody))
+            }
+        }
+        Term::Set(es) => {
+            if unchanged(&es.iter().collect::<Vec<_>>(), &children) {
+                node.clone()
+            } else {
+                Rc::new(Term::Set(children))
+            }
+        }
+        Term::Prim(op, es) => {
+            if unchanged(&es.iter().collect::<Vec<_>>(), &children) {
+                node.clone()
+            } else {
+                Rc::new(Term::Prim(*op, children))
+            }
+        }
+        Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => {
+            unreachable!("leaves are rebuilt in place")
+        }
+    }
+}
+
+impl Interner {
+    /// Interns one node whose children are already interned.
+    fn intern_shallow(&mut self, t: &TermRef, child_ids: &[TermId]) -> TermId {
+        let key = self.node_key(t, child_ids);
+        self.intern_key(key, t)
+    }
+
+    /// Allocates a fresh id for a new node key, computing the cached
+    /// metadata bottom-up from the children recorded in the key.
+    fn insert_node(&mut self, key: NodeKey, t: &TermRef) -> TermId {
+        let child_ids = key_children(&key);
+        let meta = self.compute_meta(&key, &child_ids);
+        let id = TermId(u32::try_from(self.terms.len()).expect("interner full: > u32::MAX nodes"));
+        self.terms.push(t.clone());
+        self.metas.push(meta);
+        self.nodes.insert(key, id);
+        id
+    }
+
+    /// The shallow hash-consing key of `t` over `child_ids` (which are in
+    /// [`Term::children`] order).
+    fn node_key(&self, t: &TermRef, ids: &[TermId]) -> NodeKey {
+        match &**t {
+            Term::Bot => NodeKey::Bot,
+            Term::Top => NodeKey::Top,
+            Term::BotV => NodeKey::BotV,
+            Term::Var(x) => NodeKey::Var(x.clone()),
+            Term::Sym(s) => NodeKey::Sym(s.clone()),
+            Term::Lam(x, _) => NodeKey::Lam(x.clone(), ids[0]),
+            Term::Frz(_) => NodeKey::Frz(ids[0]),
+            Term::Pair(..) => NodeKey::Pair(ids[0], ids[1]),
+            Term::App(..) => NodeKey::App(ids[0], ids[1]),
+            Term::Join(..) => NodeKey::Join(ids[0], ids[1]),
+            Term::Lex(..) => NodeKey::Lex(ids[0], ids[1]),
+            Term::LexMerge(..) => NodeKey::LexMerge(ids[0], ids[1]),
+            Term::LetSym(s, ..) => NodeKey::LetSym(s.clone(), ids[0], ids[1]),
+            Term::LetPair(x1, x2, ..) => NodeKey::LetPair(x1.clone(), x2.clone(), ids[0], ids[1]),
+            Term::BigJoin(x, ..) => NodeKey::BigJoin(x.clone(), ids[0], ids[1]),
+            Term::LetFrz(x, ..) => NodeKey::LetFrz(x.clone(), ids[0], ids[1]),
+            Term::LexBind(x, ..) => NodeKey::LexBind(x.clone(), ids[0], ids[1]),
+            Term::Set(_) => NodeKey::Set(ids.into()),
+            Term::Prim(op, _) => NodeKey::Prim(*op, ids.into()),
+        }
+    }
+
+    /// Computes a node's metadata from its children's cached metadata.
+    fn compute_meta(&mut self, key: &NodeKey, child_ids: &[TermId]) -> TermMeta {
+        let size = 1 + child_ids.iter().fold(0usize, |n, id| {
+            n.saturating_add(self.metas[id.index()].size)
+        });
+        let all_value = |ids: &[TermId]| ids.iter().all(|id| self.metas[id.index()].is_value);
+        let is_value = match key {
+            NodeKey::Var(_) | NodeKey::BotV | NodeKey::Sym(_) | NodeKey::Lam(..) => true,
+            NodeKey::Pair(..) | NodeKey::Lex(..) | NodeKey::Frz(_) | NodeKey::Set(_) => {
+                all_value(child_ids)
+            }
+            _ => false,
+        };
+        let has_binders = matches!(
+            key,
+            NodeKey::Lam(..)
+                | NodeKey::LetPair(..)
+                | NodeKey::BigJoin(..)
+                | NodeKey::LetFrz(..)
+                | NodeKey::LexBind(..)
+        ) || child_ids
+            .iter()
+            .any(|id| self.metas[id.index()].has_binders);
+        let free_vars = self.compute_free_vars(key, child_ids);
+        let hash = self.compute_hash(key, child_ids);
+        TermMeta {
+            size,
+            is_value,
+            hash,
+            has_binders,
+            free_vars,
+        }
+    }
+
+    /// De Bruijn-shifts a free-variable summary through `k` sentinel
+    /// binders: indexed occurrences below `k` are bound here and dropped,
+    /// deeper ones shift down by `k`, named (free) variables pass through.
+    fn shift_indices(&mut self, fv: &[Var], k: usize) -> Vec<Var> {
+        let mut out: Vec<Var> = Vec::with_capacity(fv.len());
+        for x in fv {
+            match canon_index(x) {
+                Some(i) if i < k => {}
+                Some(i) => out.push(self.canon_name(i - k)),
+                None => out.push(x.clone()),
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The free variables of a node, from its children's summaries:
+    /// sorted-merge of child sets minus the node's binders. Sentinel
+    /// binders (fused de Bruijn-index keys) bind by index shift instead of
+    /// by name.
+    fn compute_free_vars(&mut self, key: &NodeKey, child_ids: &[TermId]) -> Rc<[Var]> {
+        let child = |metas: &[TermMeta], i: usize| -> Rc<[Var]> {
+            metas[child_ids[i].index()].free_vars.clone()
+        };
+        let out: Vec<Var> = match key {
+            NodeKey::Bot | NodeKey::Top | NodeKey::BotV | NodeKey::Sym(_) => Vec::new(),
+            NodeKey::Var(x) => vec![x.clone()],
+            NodeKey::Lam(x, _) => {
+                let body = child(&self.metas, 0);
+                if is_canon_binder(x) {
+                    self.shift_indices(&body, 1)
+                } else {
+                    minus(&body, std::slice::from_ref(x))
+                }
+            }
+            NodeKey::LetPair(x1, x2, ..) => {
+                let (e, body) = (child(&self.metas, 0), child(&self.metas, 1));
+                let body = if is_canon_binder(x1) {
+                    self.shift_indices(&body, 2)
+                } else {
+                    minus(&body, &[x1.clone(), x2.clone()])
+                };
+                merge(&e, &body)
+            }
+            NodeKey::BigJoin(x, ..) | NodeKey::LetFrz(x, ..) | NodeKey::LexBind(x, ..) => {
+                let (e, body) = (child(&self.metas, 0), child(&self.metas, 1));
+                let body = if is_canon_binder(x) {
+                    self.shift_indices(&body, 1)
+                } else {
+                    minus(&body, std::slice::from_ref(x))
+                };
+                merge(&e, &body)
+            }
+            NodeKey::Frz(_) => child(&self.metas, 0).to_vec(),
+            NodeKey::Pair(..)
+            | NodeKey::App(..)
+            | NodeKey::Join(..)
+            | NodeKey::Lex(..)
+            | NodeKey::LexMerge(..)
+            | NodeKey::LetSym(..) => merge(&child(&self.metas, 0), &child(&self.metas, 1)),
+            NodeKey::Set(_) | NodeKey::Prim(..) => {
+                let mut acc: Vec<Var> = Vec::new();
+                for i in 0..child_ids.len() {
+                    let fv = child(&self.metas, i);
+                    if !fv.is_empty() {
+                        acc = merge(&acc, &fv);
+                    }
+                }
+                acc
+            }
+        };
+        if out.is_empty() {
+            self.no_vars.clone()
+        } else {
+            Rc::from(out)
+        }
+    }
+
+    /// A structural hash: node tag + local data + child hashes. Equal terms
+    /// hash equally regardless of arena.
+    fn compute_hash(&self, key: &NodeKey, child_ids: &[TermId]) -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        std::mem::discriminant(key).hash(&mut h);
+        match key {
+            NodeKey::Var(x) | NodeKey::Lam(x, _) => x.hash(&mut h),
+            NodeKey::Sym(s) | NodeKey::LetSym(s, ..) => s.hash(&mut h),
+            NodeKey::LetPair(x1, x2, ..) => {
+                x1.hash(&mut h);
+                x2.hash(&mut h);
+            }
+            NodeKey::BigJoin(x, ..) | NodeKey::LetFrz(x, ..) | NodeKey::LexBind(x, ..) => {
+                x.hash(&mut h)
+            }
+            NodeKey::Prim(op, _) => op.hash(&mut h),
+            _ => {}
+        }
+        for id in child_ids {
+            h.write_u64(self.metas[id.index()].hash);
+        }
+        h.finish()
+    }
+}
+
+/// The child ids recorded in a node key, in [`Term::children`] order.
+fn key_children(key: &NodeKey) -> Vec<TermId> {
+    match key {
+        NodeKey::Bot | NodeKey::Top | NodeKey::BotV | NodeKey::Var(_) | NodeKey::Sym(_) => {
+            Vec::new()
+        }
+        NodeKey::Lam(_, b) | NodeKey::Frz(b) => vec![*b],
+        NodeKey::Pair(a, b)
+        | NodeKey::App(a, b)
+        | NodeKey::Join(a, b)
+        | NodeKey::Lex(a, b)
+        | NodeKey::LexMerge(a, b)
+        | NodeKey::LetSym(_, a, b)
+        | NodeKey::LetPair(_, _, a, b)
+        | NodeKey::BigJoin(_, a, b)
+        | NodeKey::LetFrz(_, a, b)
+        | NodeKey::LexBind(_, a, b) => vec![*a, *b],
+        NodeKey::Set(ids) | NodeKey::Prim(_, ids) => ids.to_vec(),
+    }
+}
+
+/// Sorted-set union of two sorted, deduplicated slices.
+fn merge(a: &[Var], b: &[Var]) -> Vec<Var> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sorted-set difference `a \ remove` (`remove` need not be sorted; it is
+/// at most two binder names).
+fn minus(a: &[Var], remove: &[Var]) -> Vec<Var> {
+    a.iter().filter(|x| !remove.contains(x)).cloned().collect()
+}
+
+/// A memoising [`BetaTable`] keyed on **canonical interned ids**: the cache
+/// probe is two pointer-cache hits plus one `Copy`-key map probe — no term
+/// traversal, no `Rc` clones, no tree hashing (regression-tested with a
+/// counting allocator). α-equivalent `(function, argument)` pairs share one
+/// entry, which strictly increases sharing over structural keys.
+#[derive(Debug, Clone, Default)]
+pub struct InternTable {
+    interner: Interner,
+    cache: FastMap<(TermId, TermId, usize), (TermRef, bool)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl InternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        InternTable::default()
+    }
+
+    /// Cache statistics `(hits, misses)`.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// The number of cached β-results.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The arena backing the table's keys (shared with callers that want to
+    /// intern related data).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+}
+
+impl BetaTable for InternTable {
+    fn lookup(&mut self, f: &TermRef, a: &TermRef, fuel: usize) -> Option<(TermRef, bool)> {
+        let key = (self.interner.canon_id(f), self.interner.canon_id(a), fuel);
+        match self.cache.get(&key) {
+            Some((r, exhausted)) => {
+                self.hits += 1;
+                Some((r.clone(), *exhausted))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, f: &TermRef, a: &TermRef, fuel: usize, r: &TermRef, exhausted: bool) {
+        let key = (self.interner.canon_id(f), self.interner.canon_id(a), fuel);
+        self.cache.insert(key, (r.clone(), exhausted));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn structural_sharing() {
+        let mut arena = Interner::new();
+        let a = pair(int(1), int(2));
+        let b = pair(int(1), int(2));
+        assert!(!Rc::ptr_eq(&a, &b));
+        assert_eq!(arena.intern(&a), arena.intern(&b));
+        assert_ne!(arena.intern(&a), arena.intern(&pair(int(2), int(1))));
+    }
+
+    #[test]
+    fn canon_identifies_alpha_variants() {
+        let mut arena = Interner::new();
+        let t = lam("x", app(var("x"), var("free")));
+        let u = lam("y", app(var("y"), var("free")));
+        let v = lam("y", app(var("y"), var("other")));
+        assert_eq!(arena.canon_id(&t), arena.canon_id(&u));
+        assert_ne!(arena.canon_id(&t), arena.canon_id(&v));
+        // Shadowing: λx.λx.x ≡ λa.λb.b, ≢ λa.λb.a.
+        let s1 = lam("x", lam("x", var("x")));
+        let s2 = lam("a", lam("b", var("b")));
+        let s3 = lam("a", lam("b", var("a")));
+        assert_eq!(arena.canon_id(&s1), arena.canon_id(&s2));
+        assert_ne!(arena.canon_id(&s1), arena.canon_id(&s3));
+    }
+
+    #[test]
+    fn canon_is_zero_copy_on_binder_free_terms() {
+        let mut arena = Interner::new();
+        let t = set(vec![int(1), pair(int(2), int(3))]);
+        let c = arena.canon(&t);
+        assert!(Rc::ptr_eq(&t, &c));
+    }
+
+    #[test]
+    fn metadata_matches_term_layer() {
+        let mut arena = Interner::new();
+        for t in [
+            lam("x", app(var("x"), var("y"))),
+            pair(int(1), app(var("f"), int(2))),
+            big_join("x", var("s"), var("x")),
+            set(vec![int(1), lam("x", var("x"))]),
+            let_pair("a", "b", var("p"), app(var("a"), var("c"))),
+        ] {
+            let id = arena.intern(&t);
+            let meta = arena.meta(id).clone();
+            assert_eq!(meta.size, t.size());
+            assert_eq!(meta.is_value, t.is_value());
+            let mut fv = t.free_vars();
+            fv.sort();
+            assert_eq!(meta.free_vars.to_vec(), fv);
+        }
+    }
+
+    #[test]
+    fn intern_table_hits_on_alpha_variants() {
+        let mut table = InternTable::new();
+        let f1 = lam("x", var("x"));
+        let f2 = lam("y", var("y"));
+        let arg = int(3);
+        assert!(table.lookup(&f1, &arg, 5).is_none());
+        table.store(&f1, &arg, 5, &arg, false);
+        let (r, ex) = table.lookup(&f2, &arg, 5).expect("α-variant must hit");
+        assert!(r.alpha_eq(&arg));
+        assert!(!ex);
+        assert_eq!(table.stats(), (1, 1));
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`engine`] — the explicit-stack (defunctionalised frame machine)
 //!   evaluation engine behind [`bigstep`] and the runtime's memoised
 //!   evaluator: depth scales with the heap, not the OS thread stack;
+//! * [`intern`] — the hash-consing arena: `Copy` term ids with O(1)
+//!   equality/hashing, cached subterm metadata, and canonical ids that
+//!   decide α-equivalence by id comparison (the memo/tabling key type);
 //! * [`encodings`] — the paper's example programs (`fromN`, `evens`,
 //!   parallel or, `reaches`, two-phase commit, Peano numerals);
 //! * [`stdlib`] — streaming list/set combinators built from the core
@@ -53,6 +56,7 @@ pub mod builder;
 pub mod display;
 pub mod encodings;
 pub mod engine;
+pub mod intern;
 pub mod machine;
 pub mod observe;
 pub mod parser;

@@ -95,6 +95,11 @@ pub fn observe(t: &TermRef) -> TermRef {
 /// sets by `∀∃` (every element of the smaller has an upper bound in the
 /// larger).
 pub fn result_leq(r1: &TermRef, r2: &TermRef) -> bool {
+    // Id fast path: the order is reflexive, and hash-consed spines make
+    // shared handles the common case.
+    if std::rc::Rc::ptr_eq(r1, r2) {
+        return true;
+    }
     match (&**r1, &**r2) {
         (Term::Bot, _) => true,
         (_, Term::Top) => true,

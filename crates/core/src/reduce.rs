@@ -50,6 +50,12 @@ pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
 /// `is_result` on every level is unnecessary — and would itself be
 /// quadratic on deep values.)
 fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
+    // Id fast path: results are idempotent under join (`r ⊔ r = r`), so one
+    // shared handle — the common case once hash-consing shares spines —
+    // answers without descending.
+    if Rc::ptr_eq(r1, r2) {
+        return r1.clone();
+    }
     if depth == 0 {
         return join_iter(r1, r2);
     }
@@ -76,7 +82,7 @@ fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
         (Term::Set(es1), Term::Set(es2)) => {
             let mut out: Vec<TermRef> = es1.clone();
             for e in es2 {
-                if !out.iter().any(|o| o.alpha_eq(e)) {
+                if !out.iter().any(|o| Rc::ptr_eq(o, e) || o.alpha_eq(e)) {
                     out.push(e.clone());
                 }
             }
@@ -163,6 +169,7 @@ fn join_iter(r1: &TermRef, r2: &TermRef) -> TermRef {
     while let Some(job) = jobs.pop() {
         match job {
             Job::Visit(a, b) => match (&*a, &*b) {
+                _ if Rc::ptr_eq(&a, &b) => results.push(a.clone()),
                 (Term::Pair(a1, b1), Term::Pair(a2, b2)) => {
                     jobs.push(Job::PairLift);
                     jobs.push(Job::Visit(b1.clone(), b2.clone()));

@@ -323,7 +323,10 @@ impl Term {
 
     /// Structural equality up to renaming of bound variables.
     pub fn alpha_eq(&self, other: &Term) -> bool {
-        alpha_eq_impl(self, other, &mut Vec::new())
+        // Shared-node fast path: sound here (but not under the binder
+        // environment of the recursive walk, where a shared open subterm
+        // can relate a variable to a different binder on each side).
+        std::ptr::eq(self, other) || alpha_eq_impl(self, other, &mut Vec::new())
     }
 
     /// A size measure: the number of AST nodes. Iterative via [`Term::children`].
@@ -561,77 +564,132 @@ fn drop_deep(t: &mut Term) {
 /// while shallow (allocation-free, exactly the spec-shaped walk) and hands
 /// any subtree deeper than the cap to the iterative worklist, so native
 /// stack usage is bounded regardless of term depth.
+///
+/// Subtrees the substitution does not touch are **shared, not rebuilt**:
+/// a node whose children all come back pointer-identical is returned as
+/// the original handle. Besides saving allocation, this preserves sharing
+/// across β-unfoldings, which the hash-consing arena
+/// ([`crate::intern`]) exploits to intern repeated probes in O(changed
+/// spine) instead of O(term).
 fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
-    fn rec(t: &TermRef, x: &str, v: &TermRef, depth: u32) -> TermRef {
+    // `None` means "unchanged — share the original handle". Untouched
+    // subtrees (everything off the occurrence spine, e.g. the closed set
+    // literals of a rule body) cost a traversal but zero refcount traffic
+    // and zero allocation.
+    fn rec(t: &TermRef, x: &str, v: &TermRef, depth: u32) -> Option<TermRef> {
         if depth == 0 {
-            return subst_closed_iter(t, x, v);
+            // The worklist fallback reports unchanged results by pointer.
+            let r = subst_closed_iter(t, x, v);
+            return if Rc::ptr_eq(t, &r) { None } else { Some(r) };
         }
         let d = depth - 1;
+        // Rebuilds a two-child node around at-least-one changed child.
+        let share2 = |a: &TermRef,
+                      b: &TermRef,
+                      na: Option<TermRef>,
+                      nb: Option<TermRef>,
+                      mk: fn(TermRef, TermRef) -> Term|
+         -> Option<TermRef> {
+            match (na, nb) {
+                (None, None) => None,
+                (na, nb) => Some(Rc::new(mk(
+                    na.unwrap_or_else(|| a.clone()),
+                    nb.unwrap_or_else(|| b.clone()),
+                ))),
+            }
+        };
         match &**t {
-            Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => t.clone(),
+            Term::Bot | Term::Top | Term::BotV | Term::Sym(_) => None,
             Term::Var(y) => {
                 if &**y == x {
-                    v.clone()
+                    Some(v.clone())
                 } else {
-                    t.clone()
+                    None
                 }
             }
             Term::Lam(y, b) => {
                 if &**y == x {
-                    t.clone()
+                    None
                 } else {
-                    Rc::new(Term::Lam(y.clone(), rec(b, x, v, d)))
+                    let nb = rec(b, x, v, d)?;
+                    Some(Rc::new(Term::Lam(y.clone(), nb)))
                 }
             }
-            Term::Pair(a, b) => Rc::new(Term::Pair(rec(a, x, v, d), rec(b, x, v, d))),
-            Term::App(a, b) => Rc::new(Term::App(rec(a, x, v, d), rec(b, x, v, d))),
-            Term::Join(a, b) => Rc::new(Term::Join(rec(a, x, v, d), rec(b, x, v, d))),
-            Term::Lex(a, b) => Rc::new(Term::Lex(rec(a, x, v, d), rec(b, x, v, d))),
-            Term::LexMerge(a, b) => Rc::new(Term::LexMerge(rec(a, x, v, d), rec(b, x, v, d))),
-            Term::Frz(e) => Rc::new(Term::Frz(rec(e, x, v, d))),
-            Term::Set(es) => Rc::new(Term::Set(es.iter().map(|e| rec(e, x, v, d)).collect())),
-            Term::Prim(op, es) => Rc::new(Term::Prim(
-                *op,
-                es.iter().map(|e| rec(e, x, v, d)).collect(),
-            )),
+            Term::Pair(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::Pair),
+            Term::App(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::App),
+            Term::Join(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::Join),
+            Term::Lex(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::Lex),
+            Term::LexMerge(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::LexMerge),
+            Term::Frz(e) => {
+                let ne = rec(e, x, v, d)?;
+                Some(Rc::new(Term::Frz(ne)))
+            }
+            Term::Set(es) | Term::Prim(_, es) => {
+                // Allocate the rebuilt element vector only once a child
+                // actually changes.
+                let mut out: Option<Vec<TermRef>> = None;
+                for (i, e) in es.iter().enumerate() {
+                    let ne = rec(e, x, v, d);
+                    match (&mut out, ne) {
+                        (Some(o), ne) => o.push(ne.unwrap_or_else(|| e.clone())),
+                        (None, Some(ne)) => {
+                            let mut o = Vec::with_capacity(es.len());
+                            o.extend_from_slice(&es[..i]);
+                            o.push(ne);
+                            out = Some(o);
+                        }
+                        (None, None) => {}
+                    }
+                }
+                let nes = out?;
+                Some(if let Term::Prim(op, _) = &**t {
+                    Rc::new(Term::Prim(*op, nes))
+                } else {
+                    Rc::new(Term::Set(nes))
+                })
+            }
             Term::LetPair(x1, x2, e, body) => {
-                let body = if &**x1 == x || &**x2 == x {
-                    body.clone()
+                let nbody = if &**x1 == x || &**x2 == x {
+                    None
                 } else {
                     rec(body, x, v, d)
                 };
-                Rc::new(Term::LetPair(x1.clone(), x2.clone(), rec(e, x, v, d), body))
+                match (rec(e, x, v, d), nbody) {
+                    (None, None) => None,
+                    (ne, nbody) => Some(Rc::new(Term::LetPair(
+                        x1.clone(),
+                        x2.clone(),
+                        ne.unwrap_or_else(|| e.clone()),
+                        nbody.unwrap_or_else(|| body.clone()),
+                    ))),
+                }
             }
-            Term::LetSym(s, e, body) => {
-                Rc::new(Term::LetSym(s.clone(), rec(e, x, v, d), rec(body, x, v, d)))
-            }
-            Term::BigJoin(y, e, body) => {
-                let body = if &**y == x {
-                    body.clone()
-                } else {
-                    rec(body, x, v, d)
-                };
-                Rc::new(Term::BigJoin(y.clone(), rec(e, x, v, d), body))
-            }
-            Term::LetFrz(y, e, body) => {
-                let body = if &**y == x {
-                    body.clone()
-                } else {
-                    rec(body, x, v, d)
-                };
-                Rc::new(Term::LetFrz(y.clone(), rec(e, x, v, d), body))
-            }
-            Term::LexBind(y, e, body) => {
-                let body = if &**y == x {
-                    body.clone()
-                } else {
-                    rec(body, x, v, d)
-                };
-                Rc::new(Term::LexBind(y.clone(), rec(e, x, v, d), body))
+            Term::LetSym(s, e, body) => match (rec(e, x, v, d), rec(body, x, v, d)) {
+                (None, None) => None,
+                (ne, nbody) => Some(Rc::new(Term::LetSym(
+                    s.clone(),
+                    ne.unwrap_or_else(|| e.clone()),
+                    nbody.unwrap_or_else(|| body.clone()),
+                ))),
+            },
+            Term::BigJoin(y, e, body) | Term::LetFrz(y, e, body) | Term::LexBind(y, e, body) => {
+                let nbody = if &**y == x { None } else { rec(body, x, v, d) };
+                match (rec(e, x, v, d), nbody) {
+                    (None, None) => None,
+                    (ne, nbody) => {
+                        let e2 = ne.unwrap_or_else(|| e.clone());
+                        let b2 = nbody.unwrap_or_else(|| body.clone());
+                        Some(match &**t {
+                            Term::BigJoin(..) => Rc::new(Term::BigJoin(y.clone(), e2, b2)),
+                            Term::LetFrz(..) => Rc::new(Term::LetFrz(y.clone(), e2, b2)),
+                            _ => Rc::new(Term::LexBind(y.clone(), e2, b2)),
+                        })
+                    }
+                }
             }
         }
     }
-    rec(t, x, v, 128)
+    rec(t, x, v, 128).unwrap_or_else(|| t.clone())
 }
 
 /// The worklist continuation of [`subst_closed`] for subtrees deeper than
@@ -708,73 +766,89 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
             },
             Job::Rebuild { node, built } => {
                 // The last `built` results are the node's new children, in
-                // visit (i.e. syntactic) order.
+                // visit (i.e. syntactic) order. Untouched nodes (children
+                // all pointer-identical) are shared, mirroring the
+                // recursive walk above.
                 let mut children = results.split_off(results.len() - built);
                 let rebuilt = match &*node {
-                    Term::Lam(y, _) => Rc::new(Term::Lam(y.clone(), children.pop().unwrap())),
-                    Term::Frz(_) => Rc::new(Term::Frz(children.pop().unwrap())),
-                    Term::Pair(..) => {
+                    Term::Lam(y, b0) => {
                         let b = children.pop().unwrap();
-                        Rc::new(Term::Pair(children.pop().unwrap(), b))
+                        if Rc::ptr_eq(b0, &b) {
+                            node.clone()
+                        } else {
+                            Rc::new(Term::Lam(y.clone(), b))
+                        }
                     }
-                    Term::App(..) => {
+                    Term::Frz(e0) => {
+                        let e = children.pop().unwrap();
+                        if Rc::ptr_eq(e0, &e) {
+                            node.clone()
+                        } else {
+                            Rc::new(Term::Frz(e))
+                        }
+                    }
+                    Term::Pair(a0, b0)
+                    | Term::App(a0, b0)
+                    | Term::Join(a0, b0)
+                    | Term::Lex(a0, b0)
+                    | Term::LexMerge(a0, b0)
+                    | Term::LetSym(_, a0, b0) => {
                         let b = children.pop().unwrap();
-                        Rc::new(Term::App(children.pop().unwrap(), b))
+                        let a = children.pop().unwrap();
+                        if Rc::ptr_eq(a0, &a) && Rc::ptr_eq(b0, &b) {
+                            node.clone()
+                        } else {
+                            Rc::new(match &*node {
+                                Term::Pair(..) => Term::Pair(a, b),
+                                Term::App(..) => Term::App(a, b),
+                                Term::Join(..) => Term::Join(a, b),
+                                Term::Lex(..) => Term::Lex(a, b),
+                                Term::LexMerge(..) => Term::LexMerge(a, b),
+                                Term::LetSym(s, ..) => Term::LetSym(s.clone(), a, b),
+                                _ => unreachable!(),
+                            })
+                        }
                     }
-                    Term::Join(..) => {
-                        let b = children.pop().unwrap();
-                        Rc::new(Term::Join(children.pop().unwrap(), b))
+                    Term::Set(es) | Term::Prim(_, es) => {
+                        if es.iter().zip(&children).all(|(e, ne)| Rc::ptr_eq(e, ne)) {
+                            node.clone()
+                        } else if let Term::Prim(op, _) = &*node {
+                            Rc::new(Term::Prim(*op, children))
+                        } else {
+                            Rc::new(Term::Set(children))
+                        }
                     }
-                    Term::Lex(..) => {
-                        let b = children.pop().unwrap();
-                        Rc::new(Term::Lex(children.pop().unwrap(), b))
-                    }
-                    Term::LexMerge(..) => {
-                        let b = children.pop().unwrap();
-                        Rc::new(Term::LexMerge(children.pop().unwrap(), b))
-                    }
-                    Term::LetSym(s, ..) => {
-                        let b = children.pop().unwrap();
-                        Rc::new(Term::LetSym(s.clone(), children.pop().unwrap(), b))
-                    }
-                    Term::Set(_) => Rc::new(Term::Set(children)),
-                    Term::Prim(op, _) => Rc::new(Term::Prim(*op, children)),
-                    Term::LetPair(x1, x2, _, body) => {
+                    Term::LetPair(x1, x2, e0, body) => {
                         let b = if built == 2 {
                             children.pop().unwrap()
                         } else {
                             body.clone()
                         };
-                        Rc::new(Term::LetPair(
-                            x1.clone(),
-                            x2.clone(),
-                            children.pop().unwrap(),
-                            b,
-                        ))
+                        let e = children.pop().unwrap();
+                        if Rc::ptr_eq(e0, &e) && Rc::ptr_eq(body, &b) {
+                            node.clone()
+                        } else {
+                            Rc::new(Term::LetPair(x1.clone(), x2.clone(), e, b))
+                        }
                     }
-                    Term::BigJoin(y, _, body) => {
+                    Term::BigJoin(y, e0, body)
+                    | Term::LetFrz(y, e0, body)
+                    | Term::LexBind(y, e0, body) => {
                         let b = if built == 2 {
                             children.pop().unwrap()
                         } else {
                             body.clone()
                         };
-                        Rc::new(Term::BigJoin(y.clone(), children.pop().unwrap(), b))
-                    }
-                    Term::LetFrz(y, _, body) => {
-                        let b = if built == 2 {
-                            children.pop().unwrap()
+                        let e = children.pop().unwrap();
+                        if Rc::ptr_eq(e0, &e) && Rc::ptr_eq(body, &b) {
+                            node.clone()
                         } else {
-                            body.clone()
-                        };
-                        Rc::new(Term::LetFrz(y.clone(), children.pop().unwrap(), b))
-                    }
-                    Term::LexBind(y, _, body) => {
-                        let b = if built == 2 {
-                            children.pop().unwrap()
-                        } else {
-                            body.clone()
-                        };
-                        Rc::new(Term::LexBind(y.clone(), children.pop().unwrap(), b))
+                            Rc::new(match &*node {
+                                Term::BigJoin(..) => Term::BigJoin(y.clone(), e, b),
+                                Term::LetFrz(..) => Term::LetFrz(y.clone(), e, b),
+                                _ => Term::LexBind(y.clone(), e, b),
+                            })
+                        }
                     }
                     // Leaves never queue a rebuild.
                     Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => {

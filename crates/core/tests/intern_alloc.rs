@@ -1,0 +1,71 @@
+//! Allocation regression test for the tabled cache probe path.
+//!
+//! The pre-interning memo table allocated a fresh `(f.clone(), a.clone(),
+//! fuel)` tuple on every cache *lookup*; with canonical-id keys a warm
+//! probe is two pointer-cache hits plus one `Copy`-key map probe and must
+//! allocate nothing. This binary installs a counting global allocator and
+//! pins that down. (Kept as its own integration-test binary so the
+//! counter sees no unrelated traffic; the single test runs alone.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_memo_probe_allocates_nothing() {
+    use lambda_join_core::builder::*;
+    use lambda_join_core::engine::BetaTable;
+    use lambda_join_core::intern::InternTable;
+
+    let mut table = InternTable::new();
+    // A realistic key shape: a recursive-function value and a symbol
+    // argument (as the tabled engine probes at every β-step).
+    let f = lam("x", app(var("x"), add(var("x"), int(1))));
+    let a = int(1_000); // outside the small-int pool: a fresh allocation
+    let r = set(vec![int(1), int(2)]);
+
+    // Miss, store, then warm the pointer caches with one hit.
+    assert!(table.lookup(&f, &a, 9).is_none());
+    table.store(&f, &a, 9, &r, false);
+    assert!(table.lookup(&f, &a, 9).is_some());
+
+    // The warm probe path: no term traversal, no Rc clones of the key, no
+    // allocation — hit or miss (the missing-fuel probe is warm too).
+    let before = allocations();
+    for fuel in [9usize, 9, 3, 9] {
+        let _ = table.lookup(&f, &a, fuel);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm probes must not allocate (counted {} allocations)",
+        after - before
+    );
+}

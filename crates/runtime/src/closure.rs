@@ -271,6 +271,12 @@ pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
 /// (pairs, lexicographic pairs) hand spines deeper than the cap to the
 /// worklist in [`cval_join_iter`] (mirrors `reduce::join_results`).
 fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
+    // Id fast path: join is idempotent on semantic values, so one shared
+    // handle answers without descending (for a shared closure list this
+    // also skips the dedup scan, which would rediscover every component).
+    if Rc::ptr_eq(a, b) {
+        return a.clone();
+    }
     if depth == 0 {
         return cval_join_iter(a, b);
     }
@@ -305,7 +311,7 @@ fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
         (CVal::Set(x), CVal::Set(y)) => {
             let mut out = x.clone();
             for v in y {
-                if !out.iter().any(|o| o == v) {
+                if !out.iter().any(|o| Rc::ptr_eq(o, v) || o == v) {
                     out.push(v.clone());
                 }
             }
@@ -375,6 +381,7 @@ fn cval_join_iter(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
     while let Some(job) = jobs.pop() {
         match job {
             Job::Visit(a, b) => match (&*a, &*b) {
+                _ if Rc::ptr_eq(&a, &b) => results.push(a.clone()),
                 (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => {
                     jobs.push(Job::PairLift);
                     jobs.push(Job::Visit(b1.clone(), b2.clone()));
@@ -433,6 +440,10 @@ fn lex_cval(a: Rc<CVal>, b: Rc<CVal>) -> Rc<CVal> {
 /// The streaming order on semantic values, mirroring
 /// [`lambda_join_core::observe::result_leq`]; closures compare by equality.
 pub fn cval_leq(a: &Rc<CVal>, b: &Rc<CVal>) -> bool {
+    // Id fast path: the order is reflexive.
+    if Rc::ptr_eq(a, b) {
+        return true;
+    }
     match (&**a, &**b) {
         (CVal::Bot, _) => true,
         (_, CVal::Top) => true,

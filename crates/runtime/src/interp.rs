@@ -55,6 +55,11 @@ pub struct DiagonalTable {
 /// Builds the Figure 10 table for the application of `lam` (which must be
 /// an abstraction) to `arg`, with `n` time steps.
 ///
+/// The whole grid shares one memo table: a β-step performed for cell
+/// `(i, j)` is keyed on canonical interned ids, so every later cell (and
+/// every later row — adjacent rows differ only in the substituted
+/// observation) replays it instead of re-evaluating.
+///
 /// # Panics
 ///
 /// Panics if `lam` is not a λ-abstraction.
@@ -63,12 +68,13 @@ pub fn diagonal_table(lam: &TermRef, arg: &TermRef, n: usize) -> DiagonalTable {
         Term::Lam(x, body) => (x.clone(), body.clone()),
         _ => panic!("diagonal_table requires an abstraction"),
     };
-    let inputs: Vec<TermRef> = (0..n).map(|i| eval_fuel(arg, i)).collect();
+    let mut memo = MemoEval::new();
+    let inputs: Vec<TermRef> = (0..n).map(|i| memo.eval_fuel(arg, i)).collect();
     let rows: Vec<Vec<TermRef>> = inputs
         .iter()
         .map(|v| {
             let inst = body.subst(&x, v);
-            (0..n).map(|j| eval_fuel(&inst, j)).collect()
+            (0..n).map(|j| memo.eval_fuel(&inst, j)).collect()
         })
         .collect();
     let diagonal = (0..n).map(|i| rows[i][i].clone()).collect();

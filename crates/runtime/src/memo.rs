@@ -21,41 +21,17 @@
 //! across duplicated calls — turning the exponential recomputation of
 //! `reaches` on dense graphs into polynomial work (measured in the bench
 //! suite).
+//!
+//! The cache itself is [`lambda_join_core::intern::InternTable`]: keys are
+//! *canonical interned ids* `(TermId, TermId, fuel)` from the hash-consing
+//! arena, so a probe is two pointer-cache hits plus one `Copy`-key map
+//! probe — no term-tree hashing, no per-probe `Rc` clones (the old table
+//! allocated a fresh `(f.clone(), a.clone(), fuel)` tuple on every
+//! *lookup*), and α-equivalent calls share one entry.
 
-use std::collections::HashMap;
-
-use lambda_join_core::engine::{self, BetaTable, Budget};
+use lambda_join_core::engine::{self, Budget};
+use lambda_join_core::intern::InternTable;
 use lambda_join_core::term::TermRef;
-
-/// The memo cache: a [`BetaTable`] recording each β-step's result together
-/// with whether its sub-evaluation involved an approximation step (the
-/// freeze-completeness flag).
-#[derive(Default)]
-struct MemoTable {
-    cache: HashMap<(TermRef, TermRef, usize), (TermRef, bool)>,
-    hits: usize,
-    misses: usize,
-}
-
-impl BetaTable for MemoTable {
-    fn lookup(&mut self, f: &TermRef, a: &TermRef, fuel: usize) -> Option<(TermRef, bool)> {
-        match self.cache.get(&(f.clone(), a.clone(), fuel)) {
-            Some((r, exhausted)) => {
-                self.hits += 1;
-                Some((r.clone(), *exhausted))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn store(&mut self, f: &TermRef, a: &TermRef, fuel: usize, r: &TermRef, exhausted: bool) {
-        self.cache
-            .insert((f.clone(), a.clone(), fuel), (r.clone(), exhausted));
-    }
-}
 
 /// A memoising evaluator with a persistent call cache.
 ///
@@ -64,7 +40,7 @@ impl BetaTable for MemoTable {
 /// changed.
 #[derive(Default)]
 pub struct MemoEval {
-    table: MemoTable,
+    table: InternTable,
 }
 
 impl MemoEval {
@@ -75,7 +51,7 @@ impl MemoEval {
 
     /// Cache statistics `(hits, misses)`.
     pub fn stats(&self) -> (usize, usize) {
-        (self.table.hits, self.table.misses)
+        self.table.stats()
     }
 
     /// Evaluates with the given fuel (β-depth), memoising β-calls.

@@ -20,12 +20,20 @@
 //! the same interface; they agree on every fixpoint (property-tested) and
 //! the bench suite (`reaches` experiment) measures the work gap.
 //!
+//! Both engines deduplicate streamed elements through the hash-consing
+//! arena ([`lambda_join_core::intern`]): membership is one O(1) probe of a
+//! `HashSet<TermId>` of canonical ids, replacing the old O(n·size) linear
+//! α-comparison scan per candidate element.
+//!
 //! The engine also supports *input deltas* ([`SeminaiveEngine::push`]):
 //! elements arriving from outside mid-run, the streaming scenario where
 //! incrementality pays off most — exactly the "change in input" case.
 
+use std::collections::HashSet;
+
 use lambda_join_core::bigstep::eval_fuel;
 use lambda_join_core::builder;
+use lambda_join_core::intern::{Interner, TermId};
 use lambda_join_core::term::{Term, TermRef};
 
 /// Work statistics for one engine run.
@@ -64,8 +72,14 @@ pub struct SeminaiveEngine {
     step: TermRef,
     /// Fuel for each `step x` evaluation.
     fuel: usize,
-    /// All elements discovered so far (deduplicated up to α-equivalence).
+    /// All elements discovered so far, in discovery order (deduplicated up
+    /// to α-equivalence via `seen`).
     acc: Vec<TermRef>,
+    /// Canonical interned ids of everything in `acc`: membership is one
+    /// O(1) id probe instead of a linear α-comparison scan.
+    seen: HashSet<TermId>,
+    /// The hash-consing arena backing `seen`.
+    interner: Interner,
     /// Elements discovered in the last round but not yet expanded.
     delta: Vec<TermRef>,
     /// Work counters.
@@ -82,6 +96,8 @@ impl SeminaiveEngine {
             step,
             fuel,
             acc: Vec::new(),
+            seen: HashSet::new(),
+            interner: Interner::new(),
             delta: Vec::new(),
             stats: SeminaiveStats::default(),
             saw_top: false,
@@ -94,15 +110,11 @@ impl SeminaiveEngine {
     /// data is idempotent, mirroring join idempotence in the calculus.
     pub fn push(&mut self, elements: impl IntoIterator<Item = TermRef>) {
         for el in elements {
-            if !self.known(&el) {
+            if self.seen.insert(self.interner.canon_id(&el)) {
                 self.acc.push(el.clone());
                 self.delta.push(el);
             }
         }
-    }
-
-    fn known(&self, el: &TermRef) -> bool {
-        self.acc.iter().any(|o| o.alpha_eq(el))
     }
 
     /// Runs rounds until the delta drains or `max_rounds` is hit; returns
@@ -133,7 +145,9 @@ impl SeminaiveEngine {
             match &*r {
                 Term::Set(es) => {
                     for el in es {
-                        if !self.known(el) && !fresh.iter().any(|o: &TermRef| o.alpha_eq(el)) {
+                        // One id probe replaces the two linear α-scans
+                        // (against the accumulator and the fresh batch).
+                        if self.seen.insert(self.interner.canon_id(el)) {
                             fresh.push(el.clone());
                         }
                     }
@@ -180,9 +194,11 @@ pub fn naive_rounds(
     fuel: usize,
     max_rounds: usize,
 ) -> (TermRef, SeminaiveStats) {
+    let mut interner = Interner::new();
+    let mut seen: HashSet<TermId> = HashSet::new();
     let mut acc: Vec<TermRef> = Vec::new();
     for el in seed {
-        if !acc.iter().any(|o| o.alpha_eq(&el)) {
+        if seen.insert(interner.canon_id(&el)) {
             acc.push(el);
         }
     }
@@ -190,15 +206,19 @@ pub fn naive_rounds(
     let mut saw_top = false;
     for _ in 0..max_rounds {
         stats.rounds += 1;
-        let mut next = acc.clone();
-        for x in &acc {
+        // One accumulator across rounds: this round expands the prefix that
+        // existed when it started, and discoveries append past it (the old
+        // per-round `acc.clone()` made every fixpoint O(n²) in clones).
+        let round_len = acc.len();
+        for i in 0..round_len {
             stats.step_calls += 1;
-            let r = eval_fuel(&builder::app(step.clone(), x.clone()), fuel);
+            let x = acc[i].clone();
+            let r = eval_fuel(&builder::app(step.clone(), x), fuel);
             match &*r {
                 Term::Set(es) => {
                     for el in es {
-                        if !next.iter().any(|o| o.alpha_eq(el)) {
-                            next.push(el.clone());
+                        if seen.insert(interner.canon_id(el)) {
+                            acc.push(el.clone());
                         }
                     }
                 }
@@ -206,10 +226,9 @@ pub fn naive_rounds(
                 _ => {}
             }
         }
-        if next.len() == acc.len() {
+        if acc.len() == round_len {
             break;
         }
-        acc = next;
     }
     let result = if saw_top {
         builder::top()
