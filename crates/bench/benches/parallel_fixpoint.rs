@@ -1,0 +1,77 @@
+//! Experiment E-par: the parallel fixpoint engines across worker counts.
+//!
+//! Sweeps `ParSeminaiveEngine` (λ∨ seminaive reachability on a dense
+//! graph — wide per-round deltas, the shape that parallelises) and
+//! `eval_seminaive_par` (Datalog transitive closure) over 1/2/4/8
+//! workers, with the sequential engines as the w=0 baseline, so the
+//! speedup curve recorded in DESIGN.md §4 is reproducible from one
+//! command:
+//!
+//! ```sh
+//! cargo bench -p lambda-join-bench --bench parallel_fixpoint
+//! ```
+//!
+//! On a single-core host the curve is flat (the sweep then measures pure
+//! coordination overhead: chunking, the shared interner's shard locks,
+//! and thread spawn/join per round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda_join_core::builder::int;
+use lambda_join_core::encodings::Graph;
+use lambda_join_datalog::eval::{
+    eval as datalog_eval, eval_seminaive_par, transitive_closure_program, Strategy,
+};
+use lambda_join_runtime::par_seminaive::ParSeminaiveEngine;
+use lambda_join_runtime::seminaive::SeminaiveEngine;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn dense_graph(n: i64) -> Graph {
+    Graph {
+        edges: (0..n)
+            .map(|i| (i, (0..n).filter(|j| *j != i).collect()))
+            .collect(),
+    }
+}
+
+fn bench_par_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_seminaive_dense32");
+    group.sample_size(10);
+    let step = dense_graph(32).neighbors_fn();
+    group.bench_function(BenchmarkId::new("seq", 0), |b| {
+        b.iter(|| {
+            let mut e = SeminaiveEngine::new(step.clone(), 64);
+            e.push(vec![int(0)]);
+            std::hint::black_box(e.run(10_000))
+        })
+    });
+    for workers in WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let mut e = ParSeminaiveEngine::new(step.clone(), 64, w);
+                e.push(vec![int(0)]);
+                std::hint::black_box(e.run(10_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_datalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_datalog_tc48");
+    group.sample_size(10);
+    let edges: Vec<(i64, i64)> = (0..48).map(|i| (i, i + 1)).collect();
+    let tc = transitive_closure_program(&edges);
+    group.bench_function(BenchmarkId::new("seq", 0), |b| {
+        b.iter(|| std::hint::black_box(datalog_eval(&tc, Strategy::Seminaive)))
+    });
+    for workers in WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::new("par", workers), &workers, |b, &w| {
+            b.iter(|| std::hint::black_box(eval_seminaive_par(&tc, w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_seminaive, bench_par_datalog);
+criterion_main!(benches);

@@ -295,7 +295,7 @@ pub mod spec {
     }
 
     /// Sees through `frz` for monotone eliminations (see `reduce::thaw`);
-    /// unlike `thaw` this does not wrap the borrow in `Rc` plumbing.
+    /// unlike `thaw` this does not wrap the borrow in `Arc` plumbing.
     fn thaw_or(v: &TermRef) -> &Term {
         crate::reduce::thaw(v)
     }

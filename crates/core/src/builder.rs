@@ -14,53 +14,55 @@
 //! assert!(t.is_closed());
 //! ```
 
-use std::rc::Rc;
+use std::sync::{Arc, LazyLock};
 
 use crate::symbol::Symbol;
 use crate::term::{Prim, Term, TermRef};
 
 // Hash-consed leaves: the evaluation engine returns `⊥`/`⊤`/`⊥v` on every
 // stuck or exhausted path and the workload builders mint the same small
-// integers millions of times; one shared allocation per leaf (per thread —
-// terms are `Rc`-based) removes that traffic, and the shared handles feed
-// the `Rc::ptr_eq` fast paths in joins, ordering, and α-equivalence.
-thread_local! {
-    static BOT: TermRef = Rc::new(Term::Bot);
-    static TOP: TermRef = Rc::new(Term::Top);
-    static BOTV: TermRef = Rc::new(Term::BotV);
-    static TT: TermRef = Rc::new(Term::Sym(Symbol::tt()));
-    static FF: TermRef = Rc::new(Term::Sym(Symbol::ff()));
-    static UNIT: TermRef = Rc::new(Term::Sym(Symbol::unit()));
-    static SMALL_INTS: Vec<TermRef> =
-        (0..=SMALL_INT_MAX).map(|n| Rc::new(Term::Sym(Symbol::Int(n)))).collect();
-}
+// integers millions of times; one shared allocation per leaf (process-wide —
+// terms are `Arc`-based, so every worker thread sees the same handles)
+// removes that traffic, and the shared handles feed the `Arc::ptr_eq` fast
+// paths in joins, ordering, α-equivalence, and the interner pointer caches.
+static BOT: LazyLock<TermRef> = LazyLock::new(|| Arc::new(Term::Bot));
+static TOP: LazyLock<TermRef> = LazyLock::new(|| Arc::new(Term::Top));
+static BOTV: LazyLock<TermRef> = LazyLock::new(|| Arc::new(Term::BotV));
+static TT: LazyLock<TermRef> = LazyLock::new(|| Arc::new(Term::Sym(Symbol::tt())));
+static FF: LazyLock<TermRef> = LazyLock::new(|| Arc::new(Term::Sym(Symbol::ff())));
+static UNIT: LazyLock<TermRef> = LazyLock::new(|| Arc::new(Term::Sym(Symbol::unit())));
+static SMALL_INTS: LazyLock<Vec<TermRef>> = LazyLock::new(|| {
+    (0..=SMALL_INT_MAX)
+        .map(|n| Arc::new(Term::Sym(Symbol::Int(n))))
+        .collect()
+});
 
-/// Largest integer literal served from the per-thread hash-consed pool.
+/// Largest integer literal served from the shared hash-consed pool.
 const SMALL_INT_MAX: i64 = 255;
 
 /// `⊥` — the meaningless computation.
 pub fn bot() -> TermRef {
-    BOT.with(Rc::clone)
+    BOT.clone()
 }
 
 /// `⊤` — the ambiguity error.
 pub fn top() -> TermRef {
-    TOP.with(Rc::clone)
+    TOP.clone()
 }
 
 /// `⊥v` — the least value.
 pub fn botv() -> TermRef {
-    BOTV.with(Rc::clone)
+    BOTV.clone()
 }
 
 /// A variable reference.
 pub fn var(x: &str) -> TermRef {
-    Rc::new(Term::Var(Rc::from(x)))
+    Arc::new(Term::Var(Arc::from(x)))
 }
 
 /// `λx. body`.
 pub fn lam(x: &str, body: TermRef) -> TermRef {
-    Rc::new(Term::Lam(Rc::from(x), body))
+    Arc::new(Term::Lam(Arc::from(x), body))
 }
 
 /// A multi-argument curried lambda `λx1 … xn. body`.
@@ -70,7 +72,7 @@ pub fn lams(xs: &[&str], body: TermRef) -> TermRef {
 
 /// Application `f a`.
 pub fn app(f: TermRef, a: TermRef) -> TermRef {
-    Rc::new(Term::App(f, a))
+    Arc::new(Term::App(f, a))
 }
 
 /// Curried application `f a1 … an`.
@@ -80,12 +82,12 @@ pub fn apps(f: TermRef, args: Vec<TermRef>) -> TermRef {
 
 /// Pair `(a, b)`.
 pub fn pair(a: TermRef, b: TermRef) -> TermRef {
-    Rc::new(Term::Pair(a, b))
+    Arc::new(Term::Pair(a, b))
 }
 
 /// A symbol literal.
 pub fn sym(s: Symbol) -> TermRef {
-    Rc::new(Term::Sym(s))
+    Arc::new(Term::Sym(s))
 }
 
 /// A name symbol literal `'n`.
@@ -96,7 +98,7 @@ pub fn name(n: &str) -> TermRef {
 /// An integer symbol literal.
 pub fn int(n: i64) -> TermRef {
     if (0..=SMALL_INT_MAX).contains(&n) {
-        SMALL_INTS.with(|pool| pool[n as usize].clone())
+        SMALL_INTS[n as usize].clone()
     } else {
         sym(Symbol::Int(n))
     }
@@ -114,27 +116,27 @@ pub fn level(n: u64) -> TermRef {
 
 /// The unit symbol `()`.
 pub fn unit() -> TermRef {
-    UNIT.with(Rc::clone)
+    UNIT.clone()
 }
 
 /// The boolean `'true`.
 pub fn tt() -> TermRef {
-    TT.with(Rc::clone)
+    TT.clone()
 }
 
 /// The boolean `'false`.
 pub fn ff() -> TermRef {
-    FF.with(Rc::clone)
+    FF.clone()
 }
 
 /// Set literal `{e1, …, en}`.
 pub fn set(es: Vec<TermRef>) -> TermRef {
-    Rc::new(Term::Set(es))
+    Arc::new(Term::Set(es))
 }
 
 /// Binary join `a ∨ b`.
 pub fn join(a: TermRef, b: TermRef) -> TermRef {
-    Rc::new(Term::Join(a, b))
+    Arc::new(Term::Join(a, b))
 }
 
 /// Joins a non-empty list of terms left-associatively; `⊥` if empty.
@@ -148,12 +150,12 @@ pub fn joins(es: Vec<TermRef>) -> TermRef {
 
 /// `let (x1, x2) = e in body`.
 pub fn let_pair(x1: &str, x2: &str, e: TermRef, body: TermRef) -> TermRef {
-    Rc::new(Term::LetPair(Rc::from(x1), Rc::from(x2), e, body))
+    Arc::new(Term::LetPair(Arc::from(x1), Arc::from(x2), e, body))
 }
 
 /// `let s = e in body` — threshold query.
 pub fn let_sym(s: Symbol, e: TermRef, body: TermRef) -> TermRef {
-    Rc::new(Term::LetSym(s, e, body))
+    Arc::new(Term::LetSym(s, e, body))
 }
 
 /// `let x = e in body`, encoded as `(λx. body) e`.
@@ -163,32 +165,32 @@ pub fn let_in(x: &str, e: TermRef, body: TermRef) -> TermRef {
 
 /// `⋁_{x ∈ e} body` — big join over a set.
 pub fn big_join(x: &str, e: TermRef, body: TermRef) -> TermRef {
-    Rc::new(Term::BigJoin(Rc::from(x), e, body))
+    Arc::new(Term::BigJoin(Arc::from(x), e, body))
 }
 
 /// Saturated primitive application.
 pub fn prim(op: Prim, args: Vec<TermRef>) -> TermRef {
-    Rc::new(Term::Prim(op, args))
+    Arc::new(Term::Prim(op, args))
 }
 
 /// `frz e` — freeze a value (§5.2 extension).
 pub fn frz(e: TermRef) -> TermRef {
-    Rc::new(Term::Frz(e))
+    Arc::new(Term::Frz(e))
 }
 
 /// `let frz x = e in body` — thaw elimination.
 pub fn let_frz(x: &str, e: TermRef, body: TermRef) -> TermRef {
-    Rc::new(Term::LetFrz(Rc::from(x), e, body))
+    Arc::new(Term::LetFrz(Arc::from(x), e, body))
 }
 
 /// `⟨a, b⟩` — lexicographic (versioned) pair.
 pub fn lex(a: TermRef, b: TermRef) -> TermRef {
-    Rc::new(Term::Lex(a, b))
+    Arc::new(Term::Lex(a, b))
 }
 
 /// `x ← e; body` — monadic bind on versioned pairs.
 pub fn lex_bind(x: &str, e: TermRef, body: TermRef) -> TermRef {
-    Rc::new(Term::LexBind(Rc::from(x), e, body))
+    Arc::new(Term::LexBind(Arc::from(x), e, body))
 }
 
 /// `member(v, s)` — membership in a frozen set.

@@ -32,7 +32,7 @@
 //! The recursive evaluator is retained as [`crate::bigstep::spec`] — the
 //! executable specification the engine is property-tested against.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::builder;
 use crate::reduce::{delta, frz_lift, join_results, lex_lift, pair_lift, thaw};
@@ -88,7 +88,7 @@ impl Budget {
 /// The production implementation is [`crate::intern::InternTable`], which
 /// interns both values in a hash-consing arena and keys the cache on
 /// `Copy` canonical `(TermId, TermId, fuel)` triples: probes are O(1) id
-/// comparisons with no tree hashing and no `Rc` clones.
+/// comparisons with no tree hashing and no `Arc` clones.
 pub trait BetaTable {
     /// Returns the cached result (and its exhaustion flag) for a β-step, if
     /// present.
@@ -430,7 +430,7 @@ fn step_ret<T: BetaTable>(
                 Term::Top => return Ctrl::Ret(builder::top()),
                 Term::Bot => {}
                 _ => {
-                    if !out.iter().any(|o| Rc::ptr_eq(o, &v) || o.alpha_eq(&v)) {
+                    if !out.iter().any(|o| Arc::ptr_eq(o, &v) || o.alpha_eq(&v)) {
                         out.push(v);
                     }
                 }

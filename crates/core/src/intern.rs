@@ -52,7 +52,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::engine::BetaTable;
 use crate::symbol::Symbol;
@@ -96,7 +96,29 @@ impl Hasher for FastHasher {
     }
 }
 
-type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A raw allocation address used as an identity key in the pointer caches.
+///
+/// Every map entry keyed by a `PtrKey` also retains a handle to the
+/// allocation (see the cache fields), so the address cannot be recycled by
+/// a different term while the entry lives. The pointer is never
+/// dereferenced — it is an identity token — which is what makes the caches
+/// safe to move between threads along with the arena that owns them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct PtrKey(*const Term);
+
+impl PtrKey {
+    pub(crate) fn of(t: &TermRef) -> Self {
+        PtrKey(Arc::as_ptr(t))
+    }
+}
+
+// SAFETY: `PtrKey` is an identity token; it is hashed and compared but
+// never dereferenced, and the allocation it names is retained by the entry
+// that carries it.
+unsafe impl Send for PtrKey {}
+unsafe impl Sync for PtrKey {}
 
 /// The interned id of a term: a dense `u32` index into the arena.
 ///
@@ -109,6 +131,17 @@ impl TermId {
     /// The dense index of the id (0-based insertion order).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds an id from its raw bit pattern (the sharded interner packs a
+    /// shard tag into the low bits; see [`crate::sharded`]).
+    pub(crate) fn from_raw(raw: u32) -> TermId {
+        TermId(raw)
+    }
+
+    /// The raw bit pattern of the id.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -130,7 +163,7 @@ pub struct TermMeta {
     /// The free variables, sorted and deduplicated (set view of
     /// [`Term::free_vars`]). Shared: closed terms all point at one empty
     /// slice.
-    pub free_vars: Rc<[Var]>,
+    pub free_vars: Arc<[Var]>,
 }
 
 impl TermMeta {
@@ -144,7 +177,7 @@ impl TermMeta {
 /// hash-consing key. One probe of `HashMap<NodeKey, TermId>` replaces a
 /// full-tree hash + full-tree comparison.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum NodeKey {
+pub(crate) enum NodeKey {
     Bot,
     Top,
     BotV,
@@ -182,6 +215,15 @@ struct CanonEntry {
     _retained: TermRef,
 }
 
+// Compile-time assertion: the owned arena (and the tables and engines
+// built on it) can move between worker threads — `PtrKey` carries the
+// `Send` obligation for the pointer caches.
+const _: () = {
+    const fn require_send<T: Send>() {}
+    require_send::<Interner>();
+    require_send::<InternTable>();
+};
+
 /// A hash-consing arena for λ∨ terms. See the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
@@ -194,17 +236,17 @@ pub struct Interner {
     /// Allocation-pointer → id cache for [`Interner::intern`]. The mapped
     /// `TermRef` retains the allocation, so a key pointer can never be
     /// reused by a different term while its entry lives.
-    by_ptr: FastMap<*const Term, (TermId, TermRef)>,
+    by_ptr: FastMap<PtrKey, (TermId, TermRef)>,
     /// Allocation-pointer → *canonical* id cache for
     /// [`Interner::canon_id`] (same retention scheme). Canonical binder
     /// names are absolute de Bruijn levels, so every entry records the
     /// binder depth it was minted at; see [`CanonEntry`] for the reuse
     /// rule.
-    canon_by_ptr: FastMap<*const Term, CanonEntry>,
+    canon_by_ptr: FastMap<PtrKey, CanonEntry>,
     /// Canonical binder names by de Bruijn level, allocated once.
     canon_names: Vec<Var>,
     /// The shared empty free-variable slice.
-    no_vars: Rc<[Var]>,
+    no_vars: Arc<[Var]>,
 }
 
 impl Interner {
@@ -248,7 +290,7 @@ impl Interner {
     /// get equal ids. Iterative; amortised O(1) per repeated handle via the
     /// pointer cache. For α-insensitive ids use [`Interner::canon_id`].
     pub fn intern(&mut self, t: &TermRef) -> TermId {
-        if let Some((id, _)) = self.by_ptr.get(&Rc::as_ptr(t)) {
+        if let Some((id, _)) = self.by_ptr.get(&PtrKey::of(t)) {
             return *id;
         }
         enum Job {
@@ -261,14 +303,14 @@ impl Interner {
         while let Some(job) = jobs.pop() {
             match job {
                 Job::Visit(t) => {
-                    if let Some((id, _)) = self.by_ptr.get(&Rc::as_ptr(&t)) {
+                    if let Some((id, _)) = self.by_ptr.get(&PtrKey::of(&t)) {
                         ids.push(*id);
                         continue;
                     }
                     let children: Vec<TermRef> = t.children().cloned().collect();
                     if children.is_empty() {
                         let id = self.intern_shallow(&t, &[]);
-                        self.by_ptr.insert(Rc::as_ptr(&t), (id, t));
+                        self.by_ptr.insert(PtrKey::of(&t), (id, t));
                         ids.push(id);
                     } else {
                         jobs.push(Job::Build(t, children.len()));
@@ -278,7 +320,7 @@ impl Interner {
                 Job::Build(t, n) => {
                     let child_ids = ids.split_off(ids.len() - n);
                     let id = self.intern_shallow(&t, &child_ids);
-                    self.by_ptr.insert(Rc::as_ptr(&t), (id, t));
+                    self.by_ptr.insert(PtrKey::of(&t), (id, t));
                     ids.push(id);
                 }
             }
@@ -298,7 +340,7 @@ impl Interner {
     /// subtrees key identically at any ambient depth), and already
     /// canonicalised closed subtrees short-circuit by pointer.
     pub fn canon_id(&mut self, t: &TermRef) -> TermId {
-        if let Some(e) = self.canon_by_ptr.get(&Rc::as_ptr(t)) {
+        if let Some(e) = self.canon_by_ptr.get(&PtrKey::of(t)) {
             // Root probes run with an empty ambient environment: root
             // entries were minted the same way, and interior-minted
             // entries are closed (environment-independent).
@@ -306,7 +348,7 @@ impl Interner {
         }
         let id = self.canon_intern(t);
         self.canon_by_ptr.insert(
-            Rc::as_ptr(t),
+            PtrKey::of(t),
             CanonEntry {
                 id,
                 _retained: t.clone(),
@@ -346,7 +388,7 @@ impl Interner {
                     // subtrees (indices are internal, free names absent)
                     // at any depth, and anything when the environment is
                     // empty (the minting context). See [`CanonEntry`].
-                    if let Some(e) = self.canon_by_ptr.get(&Rc::as_ptr(t)) {
+                    if let Some(e) = self.canon_by_ptr.get(&PtrKey::of(t)) {
                         let id = e.id;
                         if bound.is_empty() || self.metas[id.index()].is_closed() {
                             ids.push(id);
@@ -410,7 +452,7 @@ impl Interner {
                 }
                 Job::Build(t, n) => {
                     let c = ids.split_off(ids.len() - n);
-                    let t_ptr = Rc::as_ptr(t);
+                    let t_ptr = PtrKey::of(t);
                     let key = match &**t {
                         Term::Lam(..) => NodeKey::Lam(canon_binder(), c[0]),
                         Term::Frz(_) => NodeKey::Frz(c[0]),
@@ -491,7 +533,7 @@ impl Interner {
     /// iff their canonical ids coincide (property-tested against
     /// [`Term::alpha_eq`]).
     pub fn alpha_eq(&mut self, t: &TermRef, u: &TermRef) -> bool {
-        Rc::ptr_eq(t, u) || self.canon_id(t) == self.canon_id(u)
+        Arc::ptr_eq(t, u) || self.canon_id(t) == self.canon_id(u)
     }
 
     /// Renames every binder to its canonical de Bruijn-level name, so that
@@ -532,7 +574,7 @@ impl Interner {
                             // (shared when already canonical).
                             Some((_, canon)) if canon == x => results.push(t.clone()),
                             Some((_, canon)) => {
-                                results.push(Rc::new(Term::Var(canon.clone())));
+                                results.push(Arc::new(Term::Var(canon.clone())));
                             }
                             // Free: untouched.
                             None => results.push(t.clone()),
@@ -624,46 +666,62 @@ impl Interner {
 /// the spelling of de Bruijn index `depth` in the fused key space. The
 /// `'\u{1}'` prefix is not producible by the surface parser, so canonical
 /// names never collide with source-program variables.
-fn canonical_name(depth: usize) -> Var {
-    Rc::from(format!("\u{1}{depth}").as_str())
+pub(crate) fn canonical_name(depth: usize) -> Var {
+    // Per-thread cache: the free-variable shift in `compute_meta_from`
+    // spells an index per shifted occurrence on every fresh node insert,
+    // and allocating a string each time would reintroduce the traffic the
+    // owned arena's `canon_names` cache exists to remove. Names from
+    // different threads are distinct allocations but compare (and hash)
+    // equal as strings, which is all the node keys need.
+    use std::cell::RefCell;
+    thread_local! {
+        static CACHE: RefCell<Vec<Var>> = const { RefCell::new(Vec::new()) };
+    }
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        while c.len() <= depth {
+            let next: Var = Arc::from(format!("\u{1}{}", c.len()).as_str());
+            c.push(next);
+        }
+        c[depth].clone()
+    })
 }
 
-thread_local! {
-    /// The reserved sentinel binder name of the fused de Bruijn-index key
-    /// space: every binder keys identically (occurrences carry the binding
-    /// structure as indices). Distinct from every [`canonical_name`]
-    /// (which always appends digits).
-    static CANON_BINDER: Var = Rc::from("\u{1}");
-}
+/// The reserved sentinel binder name of the fused de Bruijn-index key
+/// space: every binder keys identically (occurrences carry the binding
+/// structure as indices). Distinct from every [`canonical_name`] (which
+/// always appends digits). Process-wide so all arenas (and all shards of
+/// the shared interner) alias one allocation.
+static CANON_BINDER: std::sync::LazyLock<Var> = std::sync::LazyLock::new(|| Arc::from("\u{1}"));
 
 /// The shared sentinel binder name (see [`CANON_BINDER`]).
-fn canon_binder() -> Var {
-    CANON_BINDER.with(Rc::clone)
+pub(crate) fn canon_binder() -> Var {
+    CANON_BINDER.clone()
 }
 
 /// Whether a binder name is the fused key space's sentinel, i.e. the node
 /// key came from [`Interner::canon_intern`] and its body's bound
 /// occurrences are de Bruijn indices rather than names.
-fn is_canon_binder(x: &Var) -> bool {
+pub(crate) fn is_canon_binder(x: &Var) -> bool {
     &**x == "\u{1}"
 }
 
 /// The de Bruijn index spelled by a canonical occurrence name, if it is
 /// one.
-fn canon_index(x: &Var) -> Option<usize> {
+pub(crate) fn canon_index(x: &Var) -> Option<usize> {
     x.strip_prefix('\u{1}').and_then(|d| d.parse().ok())
 }
 
 /// Minimum cached size for closed interior nodes in the canonical pointer
 /// cache (see [`Interner::canon_intern`]). Small nodes re-key cheaply;
 /// caching them would cost more memory than the probes they save.
-const CANON_PTR_CACHE_MIN_SIZE: usize = 16;
+pub(crate) const CANON_PTR_CACHE_MIN_SIZE: usize = 16;
 
 /// Rebuilds `node` with canonicalised children and binder `names`, sharing
 /// the original allocation when nothing changed.
 fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>; 2]) -> TermRef {
     let unchanged = |orig: &[&TermRef], new: &[TermRef]| {
-        orig.len() == new.len() && orig.iter().zip(new).all(|(o, n)| Rc::ptr_eq(o, n))
+        orig.len() == new.len() && orig.iter().zip(new).all(|(o, n)| Arc::ptr_eq(o, n))
     };
     macro_rules! pop2 {
         () => {{
@@ -676,18 +734,18 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
         Term::Lam(x, b) => {
             let cx = names[0].clone().expect("Lam canon name");
             let nb = children.pop().expect("canon lost a body");
-            if cx == *x && Rc::ptr_eq(b, &nb) {
+            if cx == *x && Arc::ptr_eq(b, &nb) {
                 node.clone()
             } else {
-                Rc::new(Term::Lam(cx, nb))
+                Arc::new(Term::Lam(cx, nb))
             }
         }
         Term::Frz(e) => {
             let ne = children.pop().expect("canon lost a payload");
-            if Rc::ptr_eq(e, &ne) {
+            if Arc::ptr_eq(e, &ne) {
                 node.clone()
             } else {
-                Rc::new(Term::Frz(ne))
+                Arc::new(Term::Frz(ne))
             }
         }
         Term::Pair(a, b) => {
@@ -695,7 +753,7 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
             if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
                 node.clone()
             } else {
-                Rc::new(Term::Pair(na, nb))
+                Arc::new(Term::Pair(na, nb))
             }
         }
         Term::App(a, b) => {
@@ -703,7 +761,7 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
             if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
                 node.clone()
             } else {
-                Rc::new(Term::App(na, nb))
+                Arc::new(Term::App(na, nb))
             }
         }
         Term::Join(a, b) => {
@@ -711,7 +769,7 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
             if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
                 node.clone()
             } else {
-                Rc::new(Term::Join(na, nb))
+                Arc::new(Term::Join(na, nb))
             }
         }
         Term::Lex(a, b) => {
@@ -719,7 +777,7 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
             if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
                 node.clone()
             } else {
-                Rc::new(Term::Lex(na, nb))
+                Arc::new(Term::Lex(na, nb))
             }
         }
         Term::LexMerge(a, b) => {
@@ -727,7 +785,7 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
             if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
                 node.clone()
             } else {
-                Rc::new(Term::LexMerge(na, nb))
+                Arc::new(Term::LexMerge(na, nb))
             }
         }
         Term::LetSym(s, a, b) => {
@@ -735,58 +793,58 @@ fn rebuild_canon(node: &TermRef, mut children: Vec<TermRef>, names: [Option<Var>
             if unchanged(&[a, b], &[na.clone(), nb.clone()]) {
                 node.clone()
             } else {
-                Rc::new(Term::LetSym(s.clone(), na, nb))
+                Arc::new(Term::LetSym(s.clone(), na, nb))
             }
         }
         Term::LetPair(x1, x2, e, body) => {
             let (ne, nbody) = pop2!();
             let c1 = names[0].clone().expect("LetPair canon name");
             let c2 = names[1].clone().expect("LetPair canon name");
-            if c1 == *x1 && c2 == *x2 && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+            if c1 == *x1 && c2 == *x2 && Arc::ptr_eq(e, &ne) && Arc::ptr_eq(body, &nbody) {
                 node.clone()
             } else {
-                Rc::new(Term::LetPair(c1, c2, ne, nbody))
+                Arc::new(Term::LetPair(c1, c2, ne, nbody))
             }
         }
         Term::BigJoin(x, e, body) => {
             let (ne, nbody) = pop2!();
             let cx = names[0].clone().expect("BigJoin canon name");
-            if cx == *x && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+            if cx == *x && Arc::ptr_eq(e, &ne) && Arc::ptr_eq(body, &nbody) {
                 node.clone()
             } else {
-                Rc::new(Term::BigJoin(cx, ne, nbody))
+                Arc::new(Term::BigJoin(cx, ne, nbody))
             }
         }
         Term::LetFrz(x, e, body) => {
             let (ne, nbody) = pop2!();
             let cx = names[0].clone().expect("LetFrz canon name");
-            if cx == *x && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+            if cx == *x && Arc::ptr_eq(e, &ne) && Arc::ptr_eq(body, &nbody) {
                 node.clone()
             } else {
-                Rc::new(Term::LetFrz(cx, ne, nbody))
+                Arc::new(Term::LetFrz(cx, ne, nbody))
             }
         }
         Term::LexBind(x, e, body) => {
             let (ne, nbody) = pop2!();
             let cx = names[0].clone().expect("LexBind canon name");
-            if cx == *x && Rc::ptr_eq(e, &ne) && Rc::ptr_eq(body, &nbody) {
+            if cx == *x && Arc::ptr_eq(e, &ne) && Arc::ptr_eq(body, &nbody) {
                 node.clone()
             } else {
-                Rc::new(Term::LexBind(cx, ne, nbody))
+                Arc::new(Term::LexBind(cx, ne, nbody))
             }
         }
         Term::Set(es) => {
             if unchanged(&es.iter().collect::<Vec<_>>(), &children) {
                 node.clone()
             } else {
-                Rc::new(Term::Set(children))
+                Arc::new(Term::Set(children))
             }
         }
         Term::Prim(op, es) => {
             if unchanged(&es.iter().collect::<Vec<_>>(), &children) {
                 node.clone()
             } else {
-                Rc::new(Term::Prim(*op, children))
+                Arc::new(Term::Prim(*op, children))
             }
         }
         Term::Bot | Term::Top | Term::BotV | Term::Var(_) | Term::Sym(_) => {
@@ -817,168 +875,184 @@ impl Interner {
     /// The shallow hash-consing key of `t` over `child_ids` (which are in
     /// [`Term::children`] order).
     fn node_key(&self, t: &TermRef, ids: &[TermId]) -> NodeKey {
-        match &**t {
-            Term::Bot => NodeKey::Bot,
-            Term::Top => NodeKey::Top,
-            Term::BotV => NodeKey::BotV,
-            Term::Var(x) => NodeKey::Var(x.clone()),
-            Term::Sym(s) => NodeKey::Sym(s.clone()),
-            Term::Lam(x, _) => NodeKey::Lam(x.clone(), ids[0]),
-            Term::Frz(_) => NodeKey::Frz(ids[0]),
-            Term::Pair(..) => NodeKey::Pair(ids[0], ids[1]),
-            Term::App(..) => NodeKey::App(ids[0], ids[1]),
-            Term::Join(..) => NodeKey::Join(ids[0], ids[1]),
-            Term::Lex(..) => NodeKey::Lex(ids[0], ids[1]),
-            Term::LexMerge(..) => NodeKey::LexMerge(ids[0], ids[1]),
-            Term::LetSym(s, ..) => NodeKey::LetSym(s.clone(), ids[0], ids[1]),
-            Term::LetPair(x1, x2, ..) => NodeKey::LetPair(x1.clone(), x2.clone(), ids[0], ids[1]),
-            Term::BigJoin(x, ..) => NodeKey::BigJoin(x.clone(), ids[0], ids[1]),
-            Term::LetFrz(x, ..) => NodeKey::LetFrz(x.clone(), ids[0], ids[1]),
-            Term::LexBind(x, ..) => NodeKey::LexBind(x.clone(), ids[0], ids[1]),
-            Term::Set(_) => NodeKey::Set(ids.into()),
-            Term::Prim(op, _) => NodeKey::Prim(*op, ids.into()),
-        }
-    }
-
-    /// Computes a node's metadata from its children's cached metadata.
-    fn compute_meta(&mut self, key: &NodeKey, child_ids: &[TermId]) -> TermMeta {
-        let size = 1 + child_ids.iter().fold(0usize, |n, id| {
-            n.saturating_add(self.metas[id.index()].size)
-        });
-        let all_value = |ids: &[TermId]| ids.iter().all(|id| self.metas[id.index()].is_value);
-        let is_value = match key {
-            NodeKey::Var(_) | NodeKey::BotV | NodeKey::Sym(_) | NodeKey::Lam(..) => true,
-            NodeKey::Pair(..) | NodeKey::Lex(..) | NodeKey::Frz(_) | NodeKey::Set(_) => {
-                all_value(child_ids)
-            }
-            _ => false,
-        };
-        let has_binders = matches!(
-            key,
-            NodeKey::Lam(..)
-                | NodeKey::LetPair(..)
-                | NodeKey::BigJoin(..)
-                | NodeKey::LetFrz(..)
-                | NodeKey::LexBind(..)
-        ) || child_ids
-            .iter()
-            .any(|id| self.metas[id.index()].has_binders);
-        let free_vars = self.compute_free_vars(key, child_ids);
-        let hash = self.compute_hash(key, child_ids);
-        TermMeta {
-            size,
-            is_value,
-            hash,
-            has_binders,
-            free_vars,
-        }
-    }
-
-    /// De Bruijn-shifts a free-variable summary through `k` sentinel
-    /// binders: indexed occurrences below `k` are bound here and dropped,
-    /// deeper ones shift down by `k`, named (free) variables pass through.
-    fn shift_indices(&mut self, fv: &[Var], k: usize) -> Vec<Var> {
-        let mut out: Vec<Var> = Vec::with_capacity(fv.len());
-        for x in fv {
-            match canon_index(x) {
-                Some(i) if i < k => {}
-                Some(i) => out.push(self.canon_name(i - k)),
-                None => out.push(x.clone()),
-            }
-        }
-        out.sort_unstable();
-        out
-    }
-
-    /// The free variables of a node, from its children's summaries:
-    /// sorted-merge of child sets minus the node's binders. Sentinel
-    /// binders (fused de Bruijn-index keys) bind by index shift instead of
-    /// by name.
-    fn compute_free_vars(&mut self, key: &NodeKey, child_ids: &[TermId]) -> Rc<[Var]> {
-        let child = |metas: &[TermMeta], i: usize| -> Rc<[Var]> {
-            metas[child_ids[i].index()].free_vars.clone()
-        };
-        let out: Vec<Var> = match key {
-            NodeKey::Bot | NodeKey::Top | NodeKey::BotV | NodeKey::Sym(_) => Vec::new(),
-            NodeKey::Var(x) => vec![x.clone()],
-            NodeKey::Lam(x, _) => {
-                let body = child(&self.metas, 0);
-                if is_canon_binder(x) {
-                    self.shift_indices(&body, 1)
-                } else {
-                    minus(&body, std::slice::from_ref(x))
-                }
-            }
-            NodeKey::LetPair(x1, x2, ..) => {
-                let (e, body) = (child(&self.metas, 0), child(&self.metas, 1));
-                let body = if is_canon_binder(x1) {
-                    self.shift_indices(&body, 2)
-                } else {
-                    minus(&body, &[x1.clone(), x2.clone()])
-                };
-                merge(&e, &body)
-            }
-            NodeKey::BigJoin(x, ..) | NodeKey::LetFrz(x, ..) | NodeKey::LexBind(x, ..) => {
-                let (e, body) = (child(&self.metas, 0), child(&self.metas, 1));
-                let body = if is_canon_binder(x) {
-                    self.shift_indices(&body, 1)
-                } else {
-                    minus(&body, std::slice::from_ref(x))
-                };
-                merge(&e, &body)
-            }
-            NodeKey::Frz(_) => child(&self.metas, 0).to_vec(),
-            NodeKey::Pair(..)
-            | NodeKey::App(..)
-            | NodeKey::Join(..)
-            | NodeKey::Lex(..)
-            | NodeKey::LexMerge(..)
-            | NodeKey::LetSym(..) => merge(&child(&self.metas, 0), &child(&self.metas, 1)),
-            NodeKey::Set(_) | NodeKey::Prim(..) => {
-                let mut acc: Vec<Var> = Vec::new();
-                for i in 0..child_ids.len() {
-                    let fv = child(&self.metas, i);
-                    if !fv.is_empty() {
-                        acc = merge(&acc, &fv);
-                    }
-                }
-                acc
-            }
-        };
-        if out.is_empty() {
-            self.no_vars.clone()
-        } else {
-            Rc::from(out)
-        }
-    }
-
-    /// A structural hash: node tag + local data + child hashes. Equal terms
-    /// hash equally regardless of arena.
-    fn compute_hash(&self, key: &NodeKey, child_ids: &[TermId]) -> u64 {
-        let mut h = std::hash::DefaultHasher::new();
-        std::mem::discriminant(key).hash(&mut h);
-        match key {
-            NodeKey::Var(x) | NodeKey::Lam(x, _) => x.hash(&mut h),
-            NodeKey::Sym(s) | NodeKey::LetSym(s, ..) => s.hash(&mut h),
-            NodeKey::LetPair(x1, x2, ..) => {
-                x1.hash(&mut h);
-                x2.hash(&mut h);
-            }
-            NodeKey::BigJoin(x, ..) | NodeKey::LetFrz(x, ..) | NodeKey::LexBind(x, ..) => {
-                x.hash(&mut h)
-            }
-            NodeKey::Prim(op, _) => op.hash(&mut h),
-            _ => {}
-        }
-        for id in child_ids {
-            h.write_u64(self.metas[id.index()].hash);
-        }
-        h.finish()
+        node_key_of(t, ids)
     }
 }
 
+/// The shallow hash-consing key of `t` over already-interned child ids (in
+/// [`Term::children`] order). Shared by the owned arena and the sharded
+/// interner.
+pub(crate) fn node_key_of(t: &Term, ids: &[TermId]) -> NodeKey {
+    match t {
+        Term::Bot => NodeKey::Bot,
+        Term::Top => NodeKey::Top,
+        Term::BotV => NodeKey::BotV,
+        Term::Var(x) => NodeKey::Var(x.clone()),
+        Term::Sym(s) => NodeKey::Sym(s.clone()),
+        Term::Lam(x, _) => NodeKey::Lam(x.clone(), ids[0]),
+        Term::Frz(_) => NodeKey::Frz(ids[0]),
+        Term::Pair(..) => NodeKey::Pair(ids[0], ids[1]),
+        Term::App(..) => NodeKey::App(ids[0], ids[1]),
+        Term::Join(..) => NodeKey::Join(ids[0], ids[1]),
+        Term::Lex(..) => NodeKey::Lex(ids[0], ids[1]),
+        Term::LexMerge(..) => NodeKey::LexMerge(ids[0], ids[1]),
+        Term::LetSym(s, ..) => NodeKey::LetSym(s.clone(), ids[0], ids[1]),
+        Term::LetPair(x1, x2, ..) => NodeKey::LetPair(x1.clone(), x2.clone(), ids[0], ids[1]),
+        Term::BigJoin(x, ..) => NodeKey::BigJoin(x.clone(), ids[0], ids[1]),
+        Term::LetFrz(x, ..) => NodeKey::LetFrz(x.clone(), ids[0], ids[1]),
+        Term::LexBind(x, ..) => NodeKey::LexBind(x.clone(), ids[0], ids[1]),
+        Term::Set(_) => NodeKey::Set(ids.into()),
+        Term::Prim(op, _) => NodeKey::Prim(*op, ids.into()),
+    }
+}
+
+impl Interner {
+    /// Computes a node's metadata from its children's cached metadata.
+    fn compute_meta(&mut self, key: &NodeKey, child_ids: &[TermId]) -> TermMeta {
+        let children: Vec<&TermMeta> = child_ids.iter().map(|id| &self.metas[id.index()]).collect();
+        compute_meta_from(key, &children, &self.no_vars)
+    }
+}
+
+/// Computes a node's metadata from its children's metadata (in
+/// [`Term::children`] order). Shared by the owned arena and the sharded
+/// interner; deterministic in its arguments, so racing shards that compute
+/// the same node's metadata twice agree.
+pub(crate) fn compute_meta_from(
+    key: &NodeKey,
+    children: &[&TermMeta],
+    no_vars: &Arc<[Var]>,
+) -> TermMeta {
+    let size = 1 + children
+        .iter()
+        .fold(0usize, |n, m| n.saturating_add(m.size));
+    let is_value = match key {
+        NodeKey::Var(_) | NodeKey::BotV | NodeKey::Sym(_) | NodeKey::Lam(..) => true,
+        NodeKey::Pair(..) | NodeKey::Lex(..) | NodeKey::Frz(_) | NodeKey::Set(_) => {
+            children.iter().all(|m| m.is_value)
+        }
+        _ => false,
+    };
+    let has_binders = matches!(
+        key,
+        NodeKey::Lam(..)
+            | NodeKey::LetPair(..)
+            | NodeKey::BigJoin(..)
+            | NodeKey::LetFrz(..)
+            | NodeKey::LexBind(..)
+    ) || children.iter().any(|m| m.has_binders);
+    let free_vars = compute_free_vars(key, children, no_vars);
+    let hash = compute_hash(key, children);
+    TermMeta {
+        size,
+        is_value,
+        hash,
+        has_binders,
+        free_vars,
+    }
+}
+
+/// De Bruijn-shifts a free-variable summary through `k` sentinel binders:
+/// indexed occurrences below `k` are bound here and dropped, deeper ones
+/// shift down by `k`, named (free) variables pass through.
+fn shift_indices(fv: &[Var], k: usize) -> Vec<Var> {
+    let mut out: Vec<Var> = Vec::with_capacity(fv.len());
+    for x in fv {
+        match canon_index(x) {
+            Some(i) if i < k => {}
+            Some(i) => out.push(canonical_name(i - k)),
+            None => out.push(x.clone()),
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The free variables of a node, from its children's summaries:
+/// sorted-merge of child sets minus the node's binders. Sentinel binders
+/// (fused de Bruijn-index keys) bind by index shift instead of by name.
+fn compute_free_vars(key: &NodeKey, children: &[&TermMeta], no_vars: &Arc<[Var]>) -> Arc<[Var]> {
+    let child = |i: usize| -> &[Var] { &children[i].free_vars };
+    let out: Vec<Var> = match key {
+        NodeKey::Bot | NodeKey::Top | NodeKey::BotV | NodeKey::Sym(_) => Vec::new(),
+        NodeKey::Var(x) => vec![x.clone()],
+        NodeKey::Lam(x, _) => {
+            let body = child(0);
+            if is_canon_binder(x) {
+                shift_indices(body, 1)
+            } else {
+                minus(body, std::slice::from_ref(x))
+            }
+        }
+        NodeKey::LetPair(x1, x2, ..) => {
+            let (e, body) = (child(0), child(1));
+            let body = if is_canon_binder(x1) {
+                shift_indices(body, 2)
+            } else {
+                minus(body, &[x1.clone(), x2.clone()])
+            };
+            merge(e, &body)
+        }
+        NodeKey::BigJoin(x, ..) | NodeKey::LetFrz(x, ..) | NodeKey::LexBind(x, ..) => {
+            let (e, body) = (child(0), child(1));
+            let body = if is_canon_binder(x) {
+                shift_indices(body, 1)
+            } else {
+                minus(body, std::slice::from_ref(x))
+            };
+            merge(e, &body)
+        }
+        NodeKey::Frz(_) => child(0).to_vec(),
+        NodeKey::Pair(..)
+        | NodeKey::App(..)
+        | NodeKey::Join(..)
+        | NodeKey::Lex(..)
+        | NodeKey::LexMerge(..)
+        | NodeKey::LetSym(..) => merge(child(0), child(1)),
+        NodeKey::Set(_) | NodeKey::Prim(..) => {
+            let mut acc: Vec<Var> = Vec::new();
+            for i in 0..children.len() {
+                let fv = child(i);
+                if !fv.is_empty() {
+                    acc = merge(&acc, fv);
+                }
+            }
+            acc
+        }
+    };
+    if out.is_empty() {
+        no_vars.clone()
+    } else {
+        Arc::from(out)
+    }
+}
+
+/// A structural hash: node tag + local data + child hashes. Equal terms
+/// hash equally regardless of arena.
+fn compute_hash(key: &NodeKey, children: &[&TermMeta]) -> u64 {
+    let mut h = std::hash::DefaultHasher::new();
+    std::mem::discriminant(key).hash(&mut h);
+    match key {
+        NodeKey::Var(x) | NodeKey::Lam(x, _) => x.hash(&mut h),
+        NodeKey::Sym(s) | NodeKey::LetSym(s, ..) => s.hash(&mut h),
+        NodeKey::LetPair(x1, x2, ..) => {
+            x1.hash(&mut h);
+            x2.hash(&mut h);
+        }
+        NodeKey::BigJoin(x, ..) | NodeKey::LetFrz(x, ..) | NodeKey::LexBind(x, ..) => {
+            x.hash(&mut h)
+        }
+        NodeKey::Prim(op, _) => op.hash(&mut h),
+        _ => {}
+    }
+    for m in children {
+        h.write_u64(m.hash);
+    }
+    h.finish()
+}
+
 /// The child ids recorded in a node key, in [`Term::children`] order.
-fn key_children(key: &NodeKey) -> Vec<TermId> {
+pub(crate) fn key_children(key: &NodeKey) -> Vec<TermId> {
     match key {
         NodeKey::Bot | NodeKey::Top | NodeKey::BotV | NodeKey::Var(_) | NodeKey::Sym(_) => {
             Vec::new()
@@ -1038,13 +1112,23 @@ fn minus(a: &[Var], remove: &[Var]) -> Vec<Var> {
 
 /// A memoising [`BetaTable`] keyed on **canonical interned ids**: the cache
 /// probe is two pointer-cache hits plus one `Copy`-key map probe — no term
-/// traversal, no `Rc` clones, no tree hashing (regression-tested with a
+/// traversal, no `Arc` clones, no tree hashing (regression-tested with a
 /// counting allocator). α-equivalent `(function, argument)` pairs share one
 /// entry, which strictly increases sharing over structural keys.
 #[derive(Debug, Clone, Default)]
 pub struct InternTable {
     interner: Interner,
     cache: FastMap<(TermId, TermId, usize), (TermRef, bool)>,
+    /// Pointer-identity front cache over `cache`: `(f, a, fuel)` keyed by
+    /// allocation address instead of canonical id, so a *repeated* probe
+    /// with the same handles — the steady state of converging fuel sweeps,
+    /// where the same β-redexes are replayed at the same fuel — is one map
+    /// hit with no canonical-id resolution at all. Entries are only minted
+    /// after both operands passed through `canon_id`, whose root cache
+    /// retains them, so the addresses are pinned for the table's lifetime.
+    /// Sound because evaluation is deterministic: a `(f, a, fuel)` key is
+    /// never re-stored with a different result.
+    front: FastMap<(PtrKey, PtrKey, usize), (TermRef, bool)>,
     hits: usize,
     misses: usize,
 }
@@ -1079,10 +1163,16 @@ impl InternTable {
 
 impl BetaTable for InternTable {
     fn lookup(&mut self, f: &TermRef, a: &TermRef, fuel: usize) -> Option<(TermRef, bool)> {
+        let fkey = (PtrKey::of(f), PtrKey::of(a), fuel);
+        if let Some((r, exhausted)) = self.front.get(&fkey) {
+            self.hits += 1;
+            return Some((r.clone(), *exhausted));
+        }
         let key = (self.interner.canon_id(f), self.interner.canon_id(a), fuel);
         match self.cache.get(&key) {
             Some((r, exhausted)) => {
                 self.hits += 1;
+                self.front.insert(fkey, (r.clone(), *exhausted));
                 Some((r.clone(), *exhausted))
             }
             None => {
@@ -1095,6 +1185,8 @@ impl BetaTable for InternTable {
     fn store(&mut self, f: &TermRef, a: &TermRef, fuel: usize, r: &TermRef, exhausted: bool) {
         let key = (self.interner.canon_id(f), self.interner.canon_id(a), fuel);
         self.cache.insert(key, (r.clone(), exhausted));
+        self.front
+            .insert((PtrKey::of(f), PtrKey::of(a), fuel), (r.clone(), exhausted));
     }
 }
 
@@ -1108,7 +1200,7 @@ mod tests {
         let mut arena = Interner::new();
         let a = pair(int(1), int(2));
         let b = pair(int(1), int(2));
-        assert!(!Rc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(arena.intern(&a), arena.intern(&b));
         assert_ne!(arena.intern(&a), arena.intern(&pair(int(2), int(1))));
     }
@@ -1134,7 +1226,7 @@ mod tests {
         let mut arena = Interner::new();
         let t = set(vec![int(1), pair(int(2), int(3))]);
         let c = arena.canon(&t);
-        assert!(Rc::ptr_eq(&t, &c));
+        assert!(Arc::ptr_eq(&t, &c));
     }
 
     #[test]

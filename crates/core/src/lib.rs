@@ -29,6 +29,10 @@
 //! * [`intern`] — the hash-consing arena: `Copy` term ids with O(1)
 //!   equality/hashing, cached subterm metadata, and canonical ids that
 //!   decide α-equivalence by id comparison (the memo/tabling key type);
+//! * [`sharded`] — the thread-shared counterpart: a sharded hash-consing
+//!   interner and memo table usable concurrently from worker threads;
+//! * [`pool`] — bounded fork–join worker helpers shared by every parallel
+//!   fixpoint path in the workspace;
 //! * [`encodings`] — the paper's example programs (`fromN`, `evens`,
 //!   parallel or, `reaches`, two-phase commit, Peano numerals);
 //! * [`stdlib`] — streaming list/set combinators built from the core
@@ -60,7 +64,9 @@ pub mod intern;
 pub mod machine;
 pub mod observe;
 pub mod parser;
+pub mod pool;
 pub mod reduce;
+pub mod sharded;
 pub mod stdlib;
 pub mod symbol;
 pub mod term;

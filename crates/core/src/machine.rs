@@ -211,7 +211,7 @@ enum Never {}
 #[allow(dead_code)]
 fn _assert_traits() {
     fn assert_send<T: Send>() {}
-    // Machine is intentionally single-threaded (Rc-based); the
+    // Machine is intentionally single-threaded (Arc-based); the
     // thread-parallel evaluator lives in lambda-join-runtime.
     let _ = core::mem::size_of::<Never>();
 }

@@ -97,7 +97,7 @@ pub fn observe(t: &TermRef) -> TermRef {
 pub fn result_leq(r1: &TermRef, r2: &TermRef) -> bool {
     // Id fast path: the order is reflexive, and hash-consed spines make
     // shared handles the common case.
-    if std::rc::Rc::ptr_eq(r1, r2) {
+    if std::sync::Arc::ptr_eq(r1, r2) {
         return true;
     }
     match (&**r1, &**r2) {

@@ -39,7 +39,7 @@
 //! ```
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::builder;
 use crate::symbol::Symbol;
@@ -729,7 +729,7 @@ impl Parser {
                 let mut args = self.call_args(2, "')' closing lexmerge")?;
                 let b = args.pop().expect("two args");
                 let a = args.pop().expect("two args");
-                Ok(Rc::new(Term::LexMerge(a, b)))
+                Ok(Arc::new(Term::LexMerge(a, b)))
             }
             Some(Tok::MemberKw) => {
                 let args = self.call_args(2, "')' closing member")?;
@@ -840,9 +840,9 @@ fn desugar_let(pat: &Pattern, scrut: TermRef, body: TermRef, fresh: &mut u32) ->
                 Pattern::Var(x) => x.clone(),
                 _ => "_".to_string(),
             };
-            Rc::new(Term::LetPair(
-                Rc::from(nm(p1).as_str()),
-                Rc::from(nm(p2).as_str()),
+            Arc::new(Term::LetPair(
+                Arc::from(nm(p1).as_str()),
+                Arc::from(nm(p2).as_str()),
                 scrut,
                 body,
             ))
@@ -857,9 +857,9 @@ fn desugar_let(pat: &Pattern, scrut: TermRef, body: TermRef, fresh: &mut u32) ->
                 desugar_let(p1, builder::var(&x1), body, fresh),
                 fresh,
             );
-            Rc::new(Term::LetPair(
-                Rc::from(x1.as_str()),
-                Rc::from(x2.as_str()),
+            Arc::new(Term::LetPair(
+                Arc::from(x1.as_str()),
+                Arc::from(x2.as_str()),
                 scrut,
                 inner,
             ))
@@ -877,9 +877,9 @@ fn desugar_case(scrut: TermRef, arms: Vec<(String, Pattern, TermRef)>) -> TermRe
             let tag_var = "%tag";
             let pay_var = "%payload";
             let matched = desugar_let(&pat, builder::var(pay_var), body, &mut fresh);
-            Rc::new(Term::LetPair(
-                Rc::from(tag_var),
-                Rc::from(pay_var),
+            Arc::new(Term::LetPair(
+                Arc::from(tag_var),
+                Arc::from(pay_var),
                 builder::var("%scrut"),
                 builder::let_sym(Symbol::name(&tag), builder::var(tag_var), matched),
             )) as TermRef

@@ -1,0 +1,195 @@
+//! Bounded fork–join worker helpers for the parallel fixpoint engines.
+//!
+//! The paper's thesis is that monotone computation over join semilattices
+//! is deterministic under *any* interleaving, so the runtime layers are
+//! free to fan work out across OS threads. Every parallel hot path in this
+//! workspace — the parallel seminaive engine, the parallel Datalog rounds,
+//! the parallel diagonal table, `runtime::parallel::join_all` — shares the
+//! same shape: split a work list into contiguous chunks, evaluate the
+//! chunks on a bounded set of scoped worker threads, and merge the results
+//! **in chunk order** so the merge is schedule-independent.
+//!
+//! This module is that shape, once. Threads are spawned per call via
+//! crossbeam's scoped API (a fork–join round, not a persistent pool):
+//! fixpoint rounds are few and long relative to thread spawn cost, and
+//! scoped borrows keep the API free of `'static` bounds. The worker count
+//! is always bounded — by the caller's request and by the chunk count —
+//! so no call path can spawn one thread per task item.
+
+use std::num::NonZeroUsize;
+
+/// The default worker bound: the machine's available parallelism (1 when
+/// it cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `workers` contiguous chunk ranges of
+/// near-equal size (the first `len % k` chunks are one longer).
+fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let k = workers.max(1).min(len);
+    if k == 0 {
+        return Vec::new();
+    }
+    let (base, extra) = (len / k, len % k);
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Applies `f` to contiguous chunks of `items` on at most `workers` scoped
+/// threads, returning the per-chunk results **in chunk order**.
+///
+/// Deterministic scheduling contract: the chunk decomposition depends only
+/// on `items.len()` and `workers`, and results are joined in chunk order,
+/// so any merge the caller performs over the output is independent of how
+/// the OS interleaves the workers. With `workers <= 1` (or a single chunk)
+/// everything runs inline on the caller's thread — the zero-overhead
+/// sequential mode the determinism property tests compare against.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure.
+pub fn map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len(), workers);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|r| f(&items[r])).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(ranges.len(), || None);
+    crossbeam::scope(|s| {
+        // First chunk runs inline; the rest go to scoped workers.
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        let mut it = ranges.iter().cloned().enumerate();
+        let (_, first) = it.next().expect("ranges checked non-empty");
+        for (i, range) in it {
+            let f = &f;
+            handles.push((i, s.spawn(move |_| f(&items[range]))));
+        }
+        slots[0] = Some(f(&items[first]));
+        for (i, h) in handles {
+            slots[i] = Some(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|r| r.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Like [`map_chunks`], but consumes the items and applies `f` to each one,
+/// returning per-item results in item order. Used where the work items are
+/// themselves one-shot closures (`runtime::parallel::join_all`).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure.
+pub fn map_items<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len(), workers);
+    if ranges.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Carve the items into per-chunk vectors (consuming, back to front so
+    // `split_off` is O(chunk)).
+    let mut rest = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+    for range in ranges.iter().rev() {
+        chunks.push(rest.split_off(range.start));
+    }
+    chunks.reverse();
+    let mut slots: Vec<Option<Vec<R>>> = Vec::new();
+    slots.resize_with(chunks.len(), || None);
+    crossbeam::scope(|s| {
+        let mut handles = Vec::with_capacity(chunks.len());
+        let mut first: Option<(usize, Vec<T>)> = None;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            if first.is_none() {
+                first = Some((i, chunk));
+                continue;
+            }
+            let f = &f;
+            handles.push((i, s.spawn(move |_| chunk.into_iter().map(f).collect())));
+        }
+        let (i0, chunk0) = first.expect("ranges checked non-empty");
+        slots[i0] = Some(chunk0.into_iter().map(&f).collect());
+        for (i, h) in handles {
+            slots[i] = Some(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .flat_map(|r| r.expect("every chunk produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_in_order() {
+        for len in [0usize, 1, 2, 5, 16, 17] {
+            for workers in [0usize, 1, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(len, workers);
+                let flat: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "{len}/{workers}");
+                assert!(ranges.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_matches_sequential() {
+        let items: Vec<i64> = (0..100).collect();
+        let seq: i64 = items.iter().sum();
+        for workers in [1, 2, 3, 7, 200] {
+            let sums = map_chunks(&items, workers, |chunk| chunk.iter().sum::<i64>());
+            assert_eq!(sums.iter().sum::<i64>(), seq, "with {workers} workers");
+        }
+    }
+
+    #[test]
+    fn map_items_preserves_order() {
+        let items: Vec<i64> = (0..37).collect();
+        for workers in [1, 2, 5, 100] {
+            let out = map_items(items.clone(), workers, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<i64> = (0..8).collect();
+        map_chunks(&items, 4, |chunk| {
+            if chunk.contains(&5) {
+                panic!("boom");
+            }
+            0
+        });
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

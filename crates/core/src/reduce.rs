@@ -14,7 +14,7 @@
 //! A deterministic *fair* strategy on top of this relation lives in
 //! [`crate::machine`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::builder;
 use crate::symbol::Symbol;
@@ -32,10 +32,13 @@ use crate::term::{Prim, Term, TermRef};
 ///
 /// # Panics
 ///
-/// Panics if either argument is not a result; callers obtain arguments from
-/// reduction, which only produces results in join position.
+/// In debug builds, panics if either argument is not a result; callers
+/// obtain arguments from reduction, which only produces results in join
+/// position. (Release builds skip the check: it re-walks both operands —
+/// `O(|acc|)` per element when a big join folds into a growing accumulator
+/// — purely to restate an invariant the reduction rules already maintain.)
 pub fn join_results(r1: &TermRef, r2: &TermRef) -> TermRef {
-    assert!(
+    debug_assert!(
         r1.is_result() && r2.is_result(),
         "join_results on non-results"
     );
@@ -53,7 +56,7 @@ fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
     // Id fast path: results are idempotent under join (`r ⊔ r = r`), so one
     // shared handle — the common case once hash-consing shares spines —
     // answers without descending.
-    if Rc::ptr_eq(r1, r2) {
+    if Arc::ptr_eq(r1, r2) {
         return r1.clone();
     }
     if depth == 0 {
@@ -82,7 +85,7 @@ fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
         (Term::Set(es1), Term::Set(es2)) => {
             let mut out: Vec<TermRef> = es1.clone();
             for e in es2 {
-                if !out.iter().any(|o| Rc::ptr_eq(o, e) || o.alpha_eq(e)) {
+                if !out.iter().any(|o| Arc::ptr_eq(o, e) || o.alpha_eq(e)) {
                     out.push(e.clone());
                 }
             }
@@ -95,9 +98,9 @@ fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
             } else {
                 e2.subst(y, &builder::var(x))
             };
-            Rc::new(Term::Lam(
+            Arc::new(Term::Lam(
                 x.clone(),
-                Rc::new(Term::Join(e1.clone(), e2_renamed)),
+                Arc::new(Term::Join(e1.clone(), e2_renamed)),
             ))
         }
         // Frozen values: joining equivalent frozen values is idempotent;
@@ -169,7 +172,7 @@ fn join_iter(r1: &TermRef, r2: &TermRef) -> TermRef {
     while let Some(job) = jobs.pop() {
         match job {
             Job::Visit(a, b) => match (&*a, &*b) {
-                _ if Rc::ptr_eq(&a, &b) => results.push(a.clone()),
+                _ if Arc::ptr_eq(&a, &b) => results.push(a.clone()),
                 (Term::Pair(a1, b1), Term::Pair(a2, b2)) => {
                     jobs.push(Job::PairLift);
                     jobs.push(Job::Visit(b1.clone(), b2.clone()));
@@ -223,7 +226,7 @@ pub fn pair_lift(r1: &TermRef, r2: &TermRef) -> TermRef {
         (Term::Top, _) => builder::top(),
         (_, Term::Bot) => builder::bot(),
         (_, Term::Top) => builder::top(),
-        _ => Rc::new(Term::Pair(r1.clone(), r2.clone())),
+        _ => Arc::new(Term::Pair(r1.clone(), r2.clone())),
     }
 }
 
@@ -235,7 +238,7 @@ pub fn lex_lift(r1: &TermRef, r2: &TermRef) -> TermRef {
         (Term::Top, _) => builder::top(),
         (_, Term::Bot) => builder::bot(),
         (_, Term::Top) => builder::top(),
-        _ => Rc::new(Term::Lex(r1.clone(), r2.clone())),
+        _ => Arc::new(Term::Lex(r1.clone(), r2.clone())),
     }
 }
 
@@ -245,7 +248,7 @@ pub fn frz_lift(r: &TermRef) -> TermRef {
     match &**r {
         Term::Bot => builder::bot(),
         Term::Top => builder::top(),
-        _ => Rc::new(Term::Frz(r.clone())),
+        _ => Arc::new(Term::Frz(r.clone())),
     }
 }
 
@@ -403,7 +406,7 @@ pub fn head_step(t: &Term) -> Option<TermRef> {
             _ => None,
         },
         Term::LexBind(x, e, body) if e.is_value() => match thaw(e) {
-            Term::Lex(v1, v1p) => Some(Rc::new(Term::LexMerge(v1.clone(), body.subst(x, v1p)))),
+            Term::Lex(v1, v1p) => Some(Arc::new(Term::LexMerge(v1.clone(), body.subst(x, v1p)))),
             // ⊥v may still refine to a versioned pair; the least sound
             // answer is ⊥v itself (it is below every possible output).
             Term::BotV => Some(builder::botv()),
@@ -552,34 +555,34 @@ pub fn child_at(t: &Term, slot: usize) -> Option<&TermRef> {
 /// Rebuilds `t` with the child at slot `slot` replaced by `new`.
 fn replace_child(t: &Term, slot: usize, new: TermRef) -> TermRef {
     match (t, slot) {
-        (Term::Pair(_, b), 0) => Rc::new(Term::Pair(new, b.clone())),
-        (Term::Pair(a, _), 1) => Rc::new(Term::Pair(a.clone(), new)),
-        (Term::App(_, b), 0) => Rc::new(Term::App(new, b.clone())),
-        (Term::App(a, _), 1) => Rc::new(Term::App(a.clone(), new)),
-        (Term::Join(_, b), 0) => Rc::new(Term::Join(new, b.clone())),
-        (Term::Join(a, _), 1) => Rc::new(Term::Join(a.clone(), new)),
+        (Term::Pair(_, b), 0) => Arc::new(Term::Pair(new, b.clone())),
+        (Term::Pair(a, _), 1) => Arc::new(Term::Pair(a.clone(), new)),
+        (Term::App(_, b), 0) => Arc::new(Term::App(new, b.clone())),
+        (Term::App(a, _), 1) => Arc::new(Term::App(a.clone(), new)),
+        (Term::Join(_, b), 0) => Arc::new(Term::Join(new, b.clone())),
+        (Term::Join(a, _), 1) => Arc::new(Term::Join(a.clone(), new)),
         (Term::Set(es), i) => {
             let mut es = es.clone();
             es[i] = new;
-            Rc::new(Term::Set(es))
+            Arc::new(Term::Set(es))
         }
         (Term::Prim(op, es), i) => {
             let mut es = es.clone();
             es[i] = new;
-            Rc::new(Term::Prim(*op, es))
+            Arc::new(Term::Prim(*op, es))
         }
         (Term::LetPair(x1, x2, _, b), 0) => {
-            Rc::new(Term::LetPair(x1.clone(), x2.clone(), new, b.clone()))
+            Arc::new(Term::LetPair(x1.clone(), x2.clone(), new, b.clone()))
         }
-        (Term::LetSym(s, _, b), 0) => Rc::new(Term::LetSym(s.clone(), new, b.clone())),
-        (Term::BigJoin(x, _, b), 0) => Rc::new(Term::BigJoin(x.clone(), new, b.clone())),
-        (Term::Lex(_, b), 0) => Rc::new(Term::Lex(new, b.clone())),
-        (Term::Lex(a, _), 1) => Rc::new(Term::Lex(a.clone(), new)),
-        (Term::Frz(_), 0) => Rc::new(Term::Frz(new)),
-        (Term::LexMerge(_, e), 0) => Rc::new(Term::LexMerge(new, e.clone())),
-        (Term::LexMerge(a, _), 1) => Rc::new(Term::LexMerge(a.clone(), new)),
-        (Term::LetFrz(x, _, b), 0) => Rc::new(Term::LetFrz(x.clone(), new, b.clone())),
-        (Term::LexBind(x, _, b), 0) => Rc::new(Term::LexBind(x.clone(), new, b.clone())),
+        (Term::LetSym(s, _, b), 0) => Arc::new(Term::LetSym(s.clone(), new, b.clone())),
+        (Term::BigJoin(x, _, b), 0) => Arc::new(Term::BigJoin(x.clone(), new, b.clone())),
+        (Term::Lex(_, b), 0) => Arc::new(Term::Lex(new, b.clone())),
+        (Term::Lex(a, _), 1) => Arc::new(Term::Lex(a.clone(), new)),
+        (Term::Frz(_), 0) => Arc::new(Term::Frz(new)),
+        (Term::LexMerge(_, e), 0) => Arc::new(Term::LexMerge(new, e.clone())),
+        (Term::LexMerge(a, _), 1) => Arc::new(Term::LexMerge(a.clone(), new)),
+        (Term::LetFrz(x, _, b), 0) => Arc::new(Term::LetFrz(x.clone(), new, b.clone())),
+        (Term::LexBind(x, _, b), 0) => Arc::new(Term::LexBind(x.clone(), new, b.clone())),
         _ => panic!("replace_child: invalid slot {slot}"),
     }
 }

@@ -21,7 +21,7 @@
 //!   version counters from §5.2.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A λ∨ symbol: an atomic constant with a partial join.
 ///
@@ -43,9 +43,9 @@ use std::rc::Rc;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Symbol {
     /// A named atomic constant (e.g. `true`, `nil`, a record label).
-    Name(Rc<str>),
+    Name(Arc<str>),
     /// A string literal.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A primitive integer with the discrete streaming order.
     Int(i64),
     /// A level in a totally ordered chain; join is `max`.
@@ -55,12 +55,12 @@ pub enum Symbol {
 impl Symbol {
     /// Creates a name symbol.
     pub fn name(s: &str) -> Self {
-        Symbol::Name(Rc::from(s))
+        Symbol::Name(Arc::from(s))
     }
 
     /// Creates a string-literal symbol.
     pub fn string(s: &str) -> Self {
-        Symbol::Str(Rc::from(s))
+        Symbol::Str(Arc::from(s))
     }
 
     /// The unit value `()`, represented as the name `unit`.

@@ -1,6 +1,6 @@
 //! Abstract syntax of λ∨ terms (Figure 1 of the paper).
 //!
-//! Terms are immutable trees shared behind [`Rc`]; [`TermRef`] is the
+//! Terms are immutable trees shared behind [`Arc`]; [`TermRef`] is the
 //! reference-counted handle used throughout the crate. Binding is by name
 //! with capture-avoiding substitution; terms are compared up to
 //! α-equivalence by [`Term::alpha_eq`].
@@ -13,15 +13,23 @@
 //! substitution is recorded in `DESIGN.md`.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::symbol::Symbol;
 
 /// A shared, immutable reference to a term.
-pub type TermRef = Rc<Term>;
+pub type TermRef = Arc<Term>;
 
 /// A variable name.
-pub type Var = Rc<str>;
+pub type Var = Arc<str>;
+
+// Compile-time assertion: the term substrate is thread-shareable — the
+// parallel fixpoint engines move terms freely across worker threads, and
+// a reintroduced `Rc`/`Cell` field must fail the build, not the runtime.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Term>();
+};
 
 /// Primitive operations on integer symbols (delta rules).
 ///
@@ -312,7 +320,7 @@ impl Term {
     /// performs — runs iteratively, so deeply nested programs substitute
     /// without consuming native stack. Open `v` falls back to the recursive
     /// spec-shaped walk (which may rename binders).
-    pub fn subst(self: &Rc<Self>, x: &str, v: &TermRef) -> TermRef {
+    pub fn subst(self: &Arc<Self>, x: &str, v: &TermRef) -> TermRef {
         let fv = v.free_vars();
         if fv.is_empty() {
             subst_closed(self, x, v)
@@ -431,6 +439,15 @@ impl Drop for Term {
         if is_leaf(self) {
             return;
         }
+        // Composites whose children are all leaves recurse exactly one
+        // level in the derived drop: nothing to flatten, no teardown or
+        // probe bookkeeping needed. This skips both TLS reads for the
+        // second-most-common case (small substituted redexes, guard
+        // clauses, primitive applications), which matters because every
+        // evaluation step churns thousands of such nodes.
+        if self.children().all(|c| is_leaf(c)) {
+            return;
+        }
         if IN_TEARDOWN.with(Cell::get) {
             // A worklist teardown is running. Nodes the worklist manages
             // have all their composite children enqueued (count ≥ 2), so
@@ -439,7 +456,7 @@ impl Drop for Term {
             // re-enters the worklist rather than recursing.
             let managed = self
                 .children()
-                .all(|c| is_leaf(c) || Rc::strong_count(c) >= 2);
+                .all(|c| is_leaf(c) || Arc::strong_count(c) >= 2);
             if !managed {
                 drop_deep(self);
             }
@@ -475,7 +492,7 @@ impl Drop for Term {
         // the native descent.
         let has_flattenable = self
             .children()
-            .any(|c| Rc::strong_count(c) == 1 && !is_leaf(c));
+            .any(|c| Arc::strong_count(c) == 1 && !is_leaf(c));
         if has_flattenable {
             drop_deep(self);
         }
@@ -502,10 +519,8 @@ fn drop_deep(t: &mut Term) {
         static SCRATCH: RefCell<Vec<TermRef>> = const { RefCell::new(Vec::new()) };
     }
     fn detach_root(t: &mut Term, pending: &mut Vec<TermRef>) {
-        thread_local! {
-            static NIL: TermRef = Rc::new(Term::Bot);
-        }
-        let nil: TermRef = NIL.with(Rc::clone);
+        static NIL: std::sync::LazyLock<TermRef> = std::sync::LazyLock::new(|| Arc::new(Term::Bot));
+        let nil: TermRef = NIL.clone();
         let take = |slot: &mut TermRef, pending: &mut Vec<TermRef>| {
             if !is_leaf(slot) {
                 pending.push(std::mem::replace(slot, nil.clone()));
@@ -547,7 +562,7 @@ fn drop_deep(t: &mut Term) {
     let mut run = |pending: &mut Vec<TermRef>| {
         detach_root(t, pending);
         while let Some(child) = pending.pop() {
-            if let Some(inner) = Rc::into_inner(child) {
+            if let Some(inner) = Arc::into_inner(child) {
                 pending.extend(inner.children().filter(|c| !is_leaf(c)).cloned());
             }
         }
@@ -580,7 +595,7 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
         if depth == 0 {
             // The worklist fallback reports unchanged results by pointer.
             let r = subst_closed_iter(t, x, v);
-            return if Rc::ptr_eq(t, &r) { None } else { Some(r) };
+            return if Arc::ptr_eq(t, &r) { None } else { Some(r) };
         }
         let d = depth - 1;
         // Rebuilds a two-child node around at-least-one changed child.
@@ -592,7 +607,7 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
          -> Option<TermRef> {
             match (na, nb) {
                 (None, None) => None,
-                (na, nb) => Some(Rc::new(mk(
+                (na, nb) => Some(Arc::new(mk(
                     na.unwrap_or_else(|| a.clone()),
                     nb.unwrap_or_else(|| b.clone()),
                 ))),
@@ -612,7 +627,7 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                     None
                 } else {
                     let nb = rec(b, x, v, d)?;
-                    Some(Rc::new(Term::Lam(y.clone(), nb)))
+                    Some(Arc::new(Term::Lam(y.clone(), nb)))
                 }
             }
             Term::Pair(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::Pair),
@@ -622,7 +637,7 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
             Term::LexMerge(a, b) => share2(a, b, rec(a, x, v, d), rec(b, x, v, d), Term::LexMerge),
             Term::Frz(e) => {
                 let ne = rec(e, x, v, d)?;
-                Some(Rc::new(Term::Frz(ne)))
+                Some(Arc::new(Term::Frz(ne)))
             }
             Term::Set(es) | Term::Prim(_, es) => {
                 // Allocate the rebuilt element vector only once a child
@@ -643,9 +658,9 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                 }
                 let nes = out?;
                 Some(if let Term::Prim(op, _) = &**t {
-                    Rc::new(Term::Prim(*op, nes))
+                    Arc::new(Term::Prim(*op, nes))
                 } else {
-                    Rc::new(Term::Set(nes))
+                    Arc::new(Term::Set(nes))
                 })
             }
             Term::LetPair(x1, x2, e, body) => {
@@ -656,7 +671,7 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                 };
                 match (rec(e, x, v, d), nbody) {
                     (None, None) => None,
-                    (ne, nbody) => Some(Rc::new(Term::LetPair(
+                    (ne, nbody) => Some(Arc::new(Term::LetPair(
                         x1.clone(),
                         x2.clone(),
                         ne.unwrap_or_else(|| e.clone()),
@@ -666,7 +681,7 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
             }
             Term::LetSym(s, e, body) => match (rec(e, x, v, d), rec(body, x, v, d)) {
                 (None, None) => None,
-                (ne, nbody) => Some(Rc::new(Term::LetSym(
+                (ne, nbody) => Some(Arc::new(Term::LetSym(
                     s.clone(),
                     ne.unwrap_or_else(|| e.clone()),
                     nbody.unwrap_or_else(|| body.clone()),
@@ -680,9 +695,9 @@ fn subst_closed(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                         let e2 = ne.unwrap_or_else(|| e.clone());
                         let b2 = nbody.unwrap_or_else(|| body.clone());
                         Some(match &**t {
-                            Term::BigJoin(..) => Rc::new(Term::BigJoin(y.clone(), e2, b2)),
-                            Term::LetFrz(..) => Rc::new(Term::LetFrz(y.clone(), e2, b2)),
-                            _ => Rc::new(Term::LexBind(y.clone(), e2, b2)),
+                            Term::BigJoin(..) => Arc::new(Term::BigJoin(y.clone(), e2, b2)),
+                            Term::LetFrz(..) => Arc::new(Term::LetFrz(y.clone(), e2, b2)),
+                            _ => Arc::new(Term::LexBind(y.clone(), e2, b2)),
                         })
                     }
                 }
@@ -773,18 +788,18 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                 let rebuilt = match &*node {
                     Term::Lam(y, b0) => {
                         let b = children.pop().unwrap();
-                        if Rc::ptr_eq(b0, &b) {
+                        if Arc::ptr_eq(b0, &b) {
                             node.clone()
                         } else {
-                            Rc::new(Term::Lam(y.clone(), b))
+                            Arc::new(Term::Lam(y.clone(), b))
                         }
                     }
                     Term::Frz(e0) => {
                         let e = children.pop().unwrap();
-                        if Rc::ptr_eq(e0, &e) {
+                        if Arc::ptr_eq(e0, &e) {
                             node.clone()
                         } else {
-                            Rc::new(Term::Frz(e))
+                            Arc::new(Term::Frz(e))
                         }
                     }
                     Term::Pair(a0, b0)
@@ -795,10 +810,10 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                     | Term::LetSym(_, a0, b0) => {
                         let b = children.pop().unwrap();
                         let a = children.pop().unwrap();
-                        if Rc::ptr_eq(a0, &a) && Rc::ptr_eq(b0, &b) {
+                        if Arc::ptr_eq(a0, &a) && Arc::ptr_eq(b0, &b) {
                             node.clone()
                         } else {
-                            Rc::new(match &*node {
+                            Arc::new(match &*node {
                                 Term::Pair(..) => Term::Pair(a, b),
                                 Term::App(..) => Term::App(a, b),
                                 Term::Join(..) => Term::Join(a, b),
@@ -810,12 +825,12 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                         }
                     }
                     Term::Set(es) | Term::Prim(_, es) => {
-                        if es.iter().zip(&children).all(|(e, ne)| Rc::ptr_eq(e, ne)) {
+                        if es.iter().zip(&children).all(|(e, ne)| Arc::ptr_eq(e, ne)) {
                             node.clone()
                         } else if let Term::Prim(op, _) = &*node {
-                            Rc::new(Term::Prim(*op, children))
+                            Arc::new(Term::Prim(*op, children))
                         } else {
-                            Rc::new(Term::Set(children))
+                            Arc::new(Term::Set(children))
                         }
                     }
                     Term::LetPair(x1, x2, e0, body) => {
@@ -825,10 +840,10 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                             body.clone()
                         };
                         let e = children.pop().unwrap();
-                        if Rc::ptr_eq(e0, &e) && Rc::ptr_eq(body, &b) {
+                        if Arc::ptr_eq(e0, &e) && Arc::ptr_eq(body, &b) {
                             node.clone()
                         } else {
-                            Rc::new(Term::LetPair(x1.clone(), x2.clone(), e, b))
+                            Arc::new(Term::LetPair(x1.clone(), x2.clone(), e, b))
                         }
                     }
                     Term::BigJoin(y, e0, body)
@@ -840,10 +855,10 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
                             body.clone()
                         };
                         let e = children.pop().unwrap();
-                        if Rc::ptr_eq(e0, &e) && Rc::ptr_eq(body, &b) {
+                        if Arc::ptr_eq(e0, &e) && Arc::ptr_eq(body, &b) {
                             node.clone()
                         } else {
-                            Rc::new(match &*node {
+                            Arc::new(match &*node {
                                 Term::BigJoin(..) => Term::BigJoin(y.clone(), e, b),
                                 Term::LetFrz(..) => Term::LetFrz(y.clone(), e, b),
                                 _ => Term::LexBind(y.clone(), e, b),
@@ -866,7 +881,7 @@ fn subst_closed_iter(t: &TermRef, x: &str, v: &TermRef) -> TermRef {
 fn fresh(base: &str, avoid: &[Var], counter: &mut u64) -> Var {
     loop {
         *counter += 1;
-        let cand: Var = Rc::from(format!("{base}%{counter}").as_str());
+        let cand: Var = Arc::from(format!("{base}%{counter}").as_str());
         if !avoid.contains(&cand) {
             return cand;
         }
@@ -888,39 +903,39 @@ fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64
                 t.clone()
             } else if fv_v.iter().any(|w| w == y) {
                 let y2 = fresh(y, fv_v, counter);
-                let b2 = b.subst(y, &Rc::new(Term::Var(y2.clone())));
-                Rc::new(Term::Lam(y2, subst_impl(&b2, x, v, fv_v, counter)))
+                let b2 = b.subst(y, &Arc::new(Term::Var(y2.clone())));
+                Arc::new(Term::Lam(y2, subst_impl(&b2, x, v, fv_v, counter)))
             } else {
-                Rc::new(Term::Lam(y.clone(), subst_impl(b, x, v, fv_v, counter)))
+                Arc::new(Term::Lam(y.clone(), subst_impl(b, x, v, fv_v, counter)))
             }
         }
-        Term::Pair(a, b) => Rc::new(Term::Pair(
+        Term::Pair(a, b) => Arc::new(Term::Pair(
             subst_impl(a, x, v, fv_v, counter),
             subst_impl(b, x, v, fv_v, counter),
         )),
-        Term::App(a, b) => Rc::new(Term::App(
+        Term::App(a, b) => Arc::new(Term::App(
             subst_impl(a, x, v, fv_v, counter),
             subst_impl(b, x, v, fv_v, counter),
         )),
-        Term::Join(a, b) => Rc::new(Term::Join(
+        Term::Join(a, b) => Arc::new(Term::Join(
             subst_impl(a, x, v, fv_v, counter),
             subst_impl(b, x, v, fv_v, counter),
         )),
-        Term::Lex(a, b) => Rc::new(Term::Lex(
+        Term::Lex(a, b) => Arc::new(Term::Lex(
             subst_impl(a, x, v, fv_v, counter),
             subst_impl(b, x, v, fv_v, counter),
         )),
-        Term::LexMerge(a, b) => Rc::new(Term::LexMerge(
+        Term::LexMerge(a, b) => Arc::new(Term::LexMerge(
             subst_impl(a, x, v, fv_v, counter),
             subst_impl(b, x, v, fv_v, counter),
         )),
-        Term::Frz(e) => Rc::new(Term::Frz(subst_impl(e, x, v, fv_v, counter))),
-        Term::Set(es) => Rc::new(Term::Set(
+        Term::Frz(e) => Arc::new(Term::Frz(subst_impl(e, x, v, fv_v, counter))),
+        Term::Set(es) => Arc::new(Term::Set(
             es.iter()
                 .map(|e| subst_impl(e, x, v, fv_v, counter))
                 .collect(),
         )),
-        Term::Prim(op, es) => Rc::new(Term::Prim(
+        Term::Prim(op, es) => Arc::new(Term::Prim(
             *op,
             es.iter()
                 .map(|e| subst_impl(e, x, v, fv_v, counter))
@@ -929,20 +944,20 @@ fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64
         Term::LetPair(x1, x2, e, body) => {
             let e2 = subst_impl(e, x, v, fv_v, counter);
             if &**x1 == x || &**x2 == x {
-                Rc::new(Term::LetPair(x1.clone(), x2.clone(), e2, body.clone()))
+                Arc::new(Term::LetPair(x1.clone(), x2.clone(), e2, body.clone()))
             } else {
                 let (mut x1n, mut x2n, mut body_n) = (x1.clone(), x2.clone(), body.clone());
                 if fv_v.iter().any(|w| w == &x1n) {
                     let f = fresh(&x1n, fv_v, counter);
-                    body_n = body_n.subst(&x1n, &Rc::new(Term::Var(f.clone())));
+                    body_n = body_n.subst(&x1n, &Arc::new(Term::Var(f.clone())));
                     x1n = f;
                 }
                 if fv_v.iter().any(|w| w == &x2n) {
                     let f = fresh(&x2n, fv_v, counter);
-                    body_n = body_n.subst(&x2n, &Rc::new(Term::Var(f.clone())));
+                    body_n = body_n.subst(&x2n, &Arc::new(Term::Var(f.clone())));
                     x2n = f;
                 }
-                Rc::new(Term::LetPair(
+                Arc::new(Term::LetPair(
                     x1n,
                     x2n,
                     e2,
@@ -950,7 +965,7 @@ fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64
                 ))
             }
         }
-        Term::LetSym(s, e, body) => Rc::new(Term::LetSym(
+        Term::LetSym(s, e, body) => Arc::new(Term::LetSym(
             s.clone(),
             subst_impl(e, x, v, fv_v, counter),
             subst_impl(body, x, v, fv_v, counter),
@@ -958,9 +973,9 @@ fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64
         Term::BigJoin(y, e, body) | Term::LetFrz(y, e, body) | Term::LexBind(y, e, body) => {
             let rebuild = |y: Var, e: TermRef, b: TermRef| -> TermRef {
                 match &**t {
-                    Term::BigJoin(..) => Rc::new(Term::BigJoin(y, e, b)),
-                    Term::LetFrz(..) => Rc::new(Term::LetFrz(y, e, b)),
-                    _ => Rc::new(Term::LexBind(y, e, b)),
+                    Term::BigJoin(..) => Arc::new(Term::BigJoin(y, e, b)),
+                    Term::LetFrz(..) => Arc::new(Term::LetFrz(y, e, b)),
+                    _ => Arc::new(Term::LexBind(y, e, b)),
                 }
             };
             let e2 = subst_impl(e, x, v, fv_v, counter);
@@ -968,7 +983,7 @@ fn subst_impl(t: &TermRef, x: &str, v: &TermRef, fv_v: &[Var], counter: &mut u64
                 rebuild(y.clone(), e2, body.clone())
             } else if fv_v.iter().any(|w| w == y) {
                 let y2 = fresh(y, fv_v, counter);
-                let body2 = body.subst(y, &Rc::new(Term::Var(y2.clone())));
+                let body2 = body.subst(y, &Arc::new(Term::Var(y2.clone())));
                 rebuild(y2, e2, subst_impl(&body2, x, v, fv_v, counter))
             } else {
                 rebuild(y.clone(), e2, subst_impl(body, x, v, fv_v, counter))
@@ -1072,14 +1087,14 @@ mod tests {
     #[test]
     fn free_vars_of_binders() {
         let t = lam("x", app(var("x"), var("y")));
-        assert_eq!(t.free_vars(), vec![Rc::from("y") as Var]);
+        assert_eq!(t.free_vars(), vec![Arc::from("y") as Var]);
         let t = let_pair("a", "b", var("p"), app(var("a"), var("c")));
         let fv = t.free_vars();
         assert!(fv.iter().any(|v| &**v == "p"));
         assert!(fv.iter().any(|v| &**v == "c"));
         assert!(!fv.iter().any(|v| &**v == "a"));
         let t = big_join("x", var("s"), var("x"));
-        assert_eq!(t.free_vars(), vec![Rc::from("s") as Var]);
+        assert_eq!(t.free_vars(), vec![Arc::from("s") as Var]);
     }
 
     #[test]
@@ -1113,7 +1128,7 @@ mod tests {
     }
 
     fn var_name(s: &str) -> Var {
-        Rc::from(s)
+        Arc::from(s)
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn warm_memo_probe_allocates_nothing() {
     table.store(&f, &a, 9, &r, false);
     assert!(table.lookup(&f, &a, 9).is_some());
 
-    // The warm probe path: no term traversal, no Rc clones of the key, no
+    // The warm probe path: no term traversal, no Arc clones of the key, no
     // allocation — hit or miss (the missing-fuel probe is warm too).
     let before = allocations();
     for fuel in [9usize, 9, 3, 9] {

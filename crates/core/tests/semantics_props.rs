@@ -1,7 +1,7 @@
 //! Property tests for the core operational semantics: semilattice laws for
 //! result joins, monotonicity of observations, and schedule independence.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::builder as b;
 use lambda_join_core::machine::{Machine, StepOutcome};
@@ -242,7 +242,7 @@ proptest! {
     #[test]
     fn subst_preserves_closedness(v in arb_value()) {
         let body = b::lam("y", b::join(b::var("x"), b::var("y")));
-        let t: TermRef = Rc::new(Term::Lam(Rc::from("x"), b::app(body, b::var("x"))));
+        let t: TermRef = Arc::new(Term::Lam(Arc::from("x"), b::app(body, b::var("x"))));
         let applied = b::app(t, v);
         prop_assert!(applied.is_closed());
     }

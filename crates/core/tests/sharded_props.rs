@@ -1,0 +1,210 @@
+//! Concurrency tests for the sharded interner (`core::sharded`): canonical
+//! ids agree across threads and shards, and the hash-consing invariant
+//! `canon_id(t) == canon_id(u) ⟺ alpha_eq(t, u)` survives concurrent
+//! interning from racing workers.
+
+use std::sync::Arc;
+
+use lambda_join_core::builder as b;
+use lambda_join_core::intern::Interner;
+use lambda_join_core::sharded::SharedInterner;
+use lambda_join_core::symbol::Symbol;
+use lambda_join_core::term::TermRef;
+use proptest::prelude::*;
+
+/// Random terms rich in binders and shared names (same shape as the owned
+/// arena's property suite, so the two suites exercise the same key space).
+fn arb_term() -> impl Strategy<Value = TermRef> {
+    let name = prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")];
+    let leaf = prop_oneof![
+        Just(b::bot()),
+        Just(b::top()),
+        Just(b::botv()),
+        (0i64..4).prop_map(b::int),
+        (0u64..3).prop_map(|n| b::sym(Symbol::Level(n))),
+        name.clone().prop_map(b::var),
+    ];
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        let name = prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")];
+        prop_oneof![
+            3 => (name.clone(), inner.clone()).prop_map(|(x, e)| b::lam(x, e)),
+            2 => (inner.clone(), inner.clone()).prop_map(|(f, a)| b::app(f, a)),
+            2 => (inner.clone(), inner.clone()).prop_map(|(a, e)| b::pair(a, e)),
+            1 => (inner.clone(), inner.clone()).prop_map(|(a, e)| b::join(a, e)),
+            1 => prop::collection::vec(inner.clone(), 0..3).prop_map(b::set),
+            2 => (name.clone(), name.clone(), inner.clone(), inner.clone())
+                .prop_map(|(x1, x2, e, body)| b::let_pair(x1, x2, e, body)),
+            2 => (name.clone(), inner.clone(), inner.clone())
+                .prop_map(|(x, e, body)| b::big_join(x, e, body)),
+            1 => inner.clone().prop_map(b::frz),
+        ]
+    })
+}
+
+/// An α-renaming of `t` with fresh binder names (so the variant is a
+/// different tree, usually routed through different pointer-cache shards).
+fn rename_binders(t: &TermRef, salt: &str) -> TermRef {
+    use lambda_join_core::term::Term;
+    match &**t {
+        Term::Lam(x, body) => {
+            let nx = format!("{x}{salt}");
+            let renamed = body.subst(x, &b::var(&nx));
+            b::lam(&nx, rename_binders(&renamed, salt))
+        }
+        Term::BigJoin(x, e, body) => {
+            let nx = format!("{x}{salt}");
+            let renamed = body.subst(x, &b::var(&nx));
+            b::big_join(&nx, rename_binders(e, salt), rename_binders(&renamed, salt))
+        }
+        Term::Pair(a, c) => b::pair(rename_binders(a, salt), rename_binders(c, salt)),
+        Term::App(f, a) => b::app(rename_binders(f, salt), rename_binders(a, salt)),
+        Term::Join(a, c) => b::join(rename_binders(a, salt), rename_binders(c, salt)),
+        Term::Set(es) => b::set(es.iter().map(|e| rename_binders(e, salt)).collect()),
+        Term::Frz(e) => b::frz(rename_binders(e, salt)),
+        _ => t.clone(),
+    }
+}
+
+/// The satellite stress test: the same term (and α-variants of it)
+/// interned from k racing threads yields exactly one canonical id.
+#[test]
+fn concurrent_interning_agrees_on_one_id() {
+    let arena = Arc::new(SharedInterner::new());
+    // A term with binders, shadowing, and closed subtrees big enough to
+    // hit the interior pointer cache.
+    let t = b::lam(
+        "x",
+        b::app(
+            b::lam("x", b::big_join("y", b::var("x"), b::var("y"))),
+            b::set((0..24).map(b::int).collect()),
+        ),
+    );
+    for round in 0..8 {
+        let ids: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|k| {
+                    let arena = arena.clone();
+                    // Each thread builds its own α-variant tree (distinct
+                    // allocations, distinct binder names for odd k).
+                    let mine = if k % 2 == 0 {
+                        t.clone()
+                    } else {
+                        rename_binders(&t, &format!("_{round}_{k}"))
+                    };
+                    s.spawn(move || {
+                        let mut last = arena.canon_id(&mine);
+                        for _ in 0..50 {
+                            std::thread::yield_now();
+                            let id = arena.canon_id(&mine);
+                            assert_eq!(id, last, "id changed under repeat probe");
+                            last = id;
+                        }
+                        last
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            ids.windows(2).all(|w| w[0] == w[1]),
+            "threads disagree on the canonical id: {ids:?}"
+        );
+    }
+}
+
+/// Distinct terms keep distinct ids under concurrency (no spurious
+/// sharing when different keys race into the same shard).
+#[test]
+fn concurrent_interning_keeps_distinct_terms_distinct() {
+    let arena = Arc::new(SharedInterner::new());
+    let terms: Vec<TermRef> = (0..64)
+        .map(|i| b::pair(b::int(i), b::lam("x", b::app(b::var("x"), b::int(i)))))
+        .collect();
+    let all_ids: Vec<Vec<_>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|k| {
+                let arena = arena.clone();
+                let terms = terms.clone();
+                s.spawn(move || {
+                    // Different threads visit in different orders.
+                    let mut ids = vec![None; terms.len()];
+                    for j in 0..terms.len() {
+                        let idx = (j * 7 + k * 13) % terms.len();
+                        ids[idx] = Some(arena.canon_id(&terms[idx]));
+                        if j % 5 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    ids.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for ids in &all_ids {
+        assert_eq!(ids, &all_ids[0], "threads disagree on some id");
+    }
+    let mut uniq = all_ids[0].clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), terms.len(), "distinct terms collided");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant, under threads: two random terms interned
+    /// concurrently from racing workers (each probing both terms, in
+    /// opposite orders, with yields in between) get ids that coincide
+    /// exactly when the terms are α-equivalent — and exactly when the
+    /// owned arena says so.
+    #[test]
+    fn canon_ids_decide_alpha_equivalence_under_threads(t in arb_term(), u in arb_term()) {
+        let arena = Arc::new(SharedInterner::new());
+        let pairs: Vec<(lambda_join_core::intern::TermId, lambda_join_core::intern::TermId)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|k| {
+                        let arena = arena.clone();
+                        let (t, u) = (t.clone(), u.clone());
+                        s.spawn(move || {
+                            if k % 2 == 0 {
+                                let it = arena.canon_id(&t);
+                                std::thread::yield_now();
+                                let iu = arena.canon_id(&u);
+                                (it, iu)
+                            } else {
+                                let iu = arena.canon_id(&u);
+                                std::thread::yield_now();
+                                let it = arena.canon_id(&t);
+                                (it, iu)
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        for (it, iu) in &pairs {
+            prop_assert_eq!(it, &pairs[0].0, "threads disagree on t's id");
+            prop_assert_eq!(iu, &pairs[0].1, "threads disagree on u's id");
+        }
+        let ids_equal = pairs[0].0 == pairs[0].1;
+        prop_assert_eq!(ids_equal, t.alpha_eq(&u), "t = {}, u = {}", t, u);
+        let mut owned = Interner::new();
+        prop_assert_eq!(ids_equal, owned.canon_id(&t) == owned.canon_id(&u));
+    }
+
+    /// Shared-arena metadata agrees with the term layer regardless of
+    /// which shard a node landed in.
+    #[test]
+    fn sharded_metadata_matches_term_layer(t in arb_term()) {
+        let arena = SharedInterner::new();
+        let id = arena.intern(&t);
+        let meta = arena.meta(id);
+        prop_assert_eq!(meta.size, t.size());
+        prop_assert_eq!(meta.is_value, t.is_value());
+        let mut fv = t.free_vars();
+        fv.sort();
+        prop_assert_eq!(meta.free_vars.to_vec(), fv);
+    }
+}

@@ -14,6 +14,17 @@
 //! only the tuples sharing that first column are enumerated instead of the
 //! whole relation — the standard bound-argument indexing of bottom-up
 //! engines.
+//!
+//! [`eval_seminaive_par`] runs the same seminaive rounds with the delta
+//! **partitioned across a persistent worker set**: each body-position
+//! delta join touches exactly one delta tuple per instantiation, so
+//! splitting the delta partitions the instantiation space exactly.
+//! Workers are spawned once for the whole fixpoint (rounds are many and
+//! deltas small — per-round spawning would dominate), fire rules against
+//! the read-shared database (and first-argument index), and the
+//! coordinator merges their derivations in chunk order. Database, delta
+//! evolution, round count, and derivation count are all identical to the
+//! sequential engine at every worker count (tested).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -248,6 +259,117 @@ fn eval_seminaive(program: &Program) -> (Database, EvalStats) {
     (db.rels, stats)
 }
 
+/// One worker's round report: chunk index, derived facts, derivations.
+type WorkerBatch = (usize, Vec<(String, Vec<Const>)>, usize);
+
+/// Evaluates the program to its least model with seminaive rounds whose
+/// delta joins fan out over at most `workers` threads. Exactly equal to
+/// `eval(program, Strategy::Seminaive)` — database, stats, and per-round
+/// deltas — at every worker count; `workers <= 1` runs inline.
+pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalStats) {
+    let workers = workers.max(1);
+    if workers == 1 {
+        return eval_seminaive(program);
+    }
+    let mut db = IndexedDb::default();
+    let mut stats = EvalStats::default();
+    // Round 0: facts fire over the empty database (sequential: there is no
+    // delta to partition yet, and fact rules are cheap).
+    let mut delta = Database::new();
+    stats.rounds += 1;
+    let mut new_facts = Vec::new();
+    for rule in &program.rules {
+        if rule.body.is_empty() {
+            fire_rule(rule, &db, None, &mut stats, &mut new_facts);
+        }
+    }
+    for (pred, tuple) in new_facts {
+        if db.insert(&pred, &tuple) {
+            delta.entry(pred).or_default().insert(tuple);
+        }
+    }
+    // Workers are spawned ONCE and fed one sub-delta per round over
+    // channels — fixpoints run tens of rounds with small deltas, and a
+    // per-round thread spawn would dwarf the join work. The database is
+    // behind an RwLock: read-shared by all workers during a round,
+    // write-locked by the coordinator for the merge between rounds.
+    let db = std::sync::RwLock::new(db);
+    let result = crossbeam::scope(|s| {
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<WorkerBatch>();
+        let mut job_txs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, Database)>();
+            job_txs.push(tx);
+            let res_tx = res_tx.clone();
+            let db = &db;
+            s.spawn(move |_| {
+                while let Ok((chunk_idx, sub)) = rx.recv() {
+                    let guard = db.read().expect("db lock poisoned");
+                    let mut local = EvalStats::default();
+                    let mut out = Vec::new();
+                    for rule in &program.rules {
+                        for at in 0..rule.body.len() {
+                            fire_rule(rule, &guard, Some((&sub, at)), &mut local, &mut out);
+                        }
+                    }
+                    drop(guard);
+                    if res_tx.send((chunk_idx, out, local.derivations)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        // Rounds: partition the delta tuples (in the database's
+        // deterministic iteration order) into per-worker sub-databases,
+        // dispatch, and merge the batches in chunk order.
+        while !delta.is_empty() {
+            stats.rounds += 1;
+            let tuples: Vec<(&String, &Vec<Const>)> = delta
+                .iter()
+                .flat_map(|(pred, rel)| rel.iter().map(move |t| (pred, t)))
+                .collect();
+            let k = workers.min(tuples.len());
+            let (base, extra) = (tuples.len() / k, tuples.len() % k);
+            let mut start = 0;
+            for (chunk_idx, tx) in job_txs.iter().take(k).enumerate() {
+                let size = base + usize::from(chunk_idx < extra);
+                let mut sub = Database::new();
+                for (pred, tuple) in &tuples[start..start + size] {
+                    sub.entry((*pred).clone())
+                        .or_default()
+                        .insert((*tuple).clone());
+                }
+                start += size;
+                tx.send((chunk_idx, sub)).expect("worker hung up");
+            }
+            let mut batches: Vec<Option<WorkerBatch>> = vec![None; k];
+            for _ in 0..k {
+                let batch = res_rx.recv().expect("worker hung up");
+                let slot = batch.0;
+                batches[slot] = Some(batch);
+            }
+            let mut next_delta = Database::new();
+            let mut guard = db.write().expect("db lock poisoned");
+            for batch in batches {
+                let (_, new_facts, derivations) = batch.expect("every chunk reports");
+                stats.derivations += derivations;
+                for (pred, tuple) in new_facts {
+                    if guard.insert(&pred, &tuple) {
+                        next_delta.entry(pred).or_default().insert(tuple);
+                    }
+                }
+            }
+            drop(guard);
+            delta = next_delta;
+        }
+        drop(job_txs); // workers drain and exit before the scope closes
+        stats
+    })
+    .expect("datalog worker panicked");
+    let db = db.into_inner().expect("db lock poisoned");
+    (db.rels, result)
+}
+
 /// Convenience: the tuples of a predicate, or empty.
 pub fn rows<'a>(db: &'a Database, pred: &str) -> Vec<&'a Vec<Const>> {
     db.get(pred).map(|s| s.iter().collect()).unwrap_or_default()
@@ -328,6 +450,24 @@ mod tests {
             let (naive, _) = eval(&p, Strategy::Naive);
             let (semi, _) = eval(&p, Strategy::Seminaive);
             assert_eq!(naive, semi, "disagree on {edges:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_equal_sequential() {
+        for edges in [
+            (0..30).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)],
+            vec![(0, 0)],
+            vec![],
+        ] {
+            let p = transitive_closure_program(&edges);
+            let (want_db, want_stats) = eval(&p, Strategy::Seminaive);
+            for workers in [1, 2, 3, 4, 9] {
+                let (db, stats) = eval_seminaive_par(&p, workers);
+                assert_eq!(db, want_db, "db diverges at {workers} workers");
+                assert_eq!(stats, want_stats, "stats diverge at {workers} workers");
+            }
         }
     }
 

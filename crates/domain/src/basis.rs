@@ -145,7 +145,7 @@ impl FinitaryBasis for VFormBasis {
     }
 
     fn bottom(&self) -> Option<Self::Elem> {
-        Some(std::rc::Rc::new(lambda_join_filter::VForm::BotV))
+        Some(std::sync::Arc::new(lambda_join_filter::VForm::BotV))
     }
 }
 

@@ -15,7 +15,7 @@
 //! * [`fun_iso_holds`] — Lemma B.8: function formulae vs approximable
 //!   mappings.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::Symbol;
 use lambda_join_filter::{CForm, VForm, VFormRef};
@@ -54,11 +54,11 @@ pub fn decompose(v: &VFormRef) -> Component {
 /// direction).
 pub fn recompose(c: &Component) -> VFormRef {
     match c {
-        Component::BotV => Rc::new(VForm::BotV),
-        Component::Sym(s) => Rc::new(VForm::Sym(s.clone())),
-        Component::Pair(a, b) => Rc::new(VForm::Pair(a.clone(), b.clone())),
-        Component::Set(es) => Rc::new(VForm::Set(es.clone())),
-        Component::Fun(cs) => Rc::new(VForm::Fun(cs.clone())),
+        Component::BotV => Arc::new(VForm::BotV),
+        Component::Sym(s) => Arc::new(VForm::Sym(s.clone())),
+        Component::Pair(a, b) => Arc::new(VForm::Pair(a.clone(), b.clone())),
+        Component::Set(es) => Arc::new(VForm::Set(es.clone())),
+        Component::Fun(cs) => Arc::new(VForm::Fun(cs.clone())),
     }
 }
 
@@ -105,10 +105,10 @@ pub fn pair_iso_holds(fragment: &[VFormRef]) -> Result<(), String> {
     use lambda_join_filter::vleq;
     for a1 in fragment {
         for a2 in fragment {
-            let pa: VFormRef = Rc::new(VForm::Pair(a1.clone(), a2.clone()));
+            let pa: VFormRef = Arc::new(VForm::Pair(a1.clone(), a2.clone()));
             for b1 in fragment {
                 for b2 in fragment {
-                    let pb: VFormRef = Rc::new(VForm::Pair(b1.clone(), b2.clone()));
+                    let pb: VFormRef = Arc::new(VForm::Pair(b1.clone(), b2.clone()));
                     let formula_side = vleq(&pa, &pb);
                     let product_side = vleq(a1, b1) && vleq(a2, b2);
                     if formula_side != product_side {
@@ -127,10 +127,10 @@ pub fn set_iso_holds(fragment: &[VFormRef], set_sizes: usize) -> Result<(), Stri
     use lambda_join_filter::vleq;
     let sets = subsets_upto(fragment, set_sizes);
     for a in &sets {
-        let fa: VFormRef = Rc::new(VForm::Set(a.clone()));
+        let fa: VFormRef = Arc::new(VForm::Set(a.clone()));
         let ha = HoareSet::from_generators(a.clone());
         for b in &sets {
-            let fb: VFormRef = Rc::new(VForm::Set(b.clone()));
+            let fb: VFormRef = Arc::new(VForm::Set(b.clone()));
             let hb = HoareSet::from_generators(b.clone());
             let formula_side = vleq(&fa, &fb);
             let power_side = ha.subset(&VFormBasis, &hb);
@@ -165,10 +165,10 @@ pub fn fun_iso_holds(
         clause_sets = next;
     }
     for c1 in &clause_sets {
-        let f1: VFormRef = Rc::new(VForm::Fun(c1.clone()));
+        let f1: VFormRef = Arc::new(VForm::Fun(c1.clone()));
         let m1 = ApproxMap::from_pairs(c1.clone());
         for c2 in &clause_sets {
-            let f2: VFormRef = Rc::new(VForm::Fun(c2.clone()));
+            let f2: VFormRef = Arc::new(VForm::Fun(c2.clone()));
             let m2 = ApproxMap::from_pairs(c2.clone());
             let formula_side = vleq(&f1, &f2);
             let mapping_side = m1.leq(&VFormBasis, &CFormBasis, &m2);

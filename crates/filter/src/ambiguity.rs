@@ -23,7 +23,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::symbol::Symbol;
 use lambda_join_core::term::{Prim, Term, TermRef, Var};
@@ -60,15 +60,15 @@ pub enum Shape {
     /// One of a finite set of symbols (possibly grown by joins).
     Syms(BTreeSet<Symbol>),
     /// A pair with component shapes.
-    Pair(Rc<Shape>, Rc<Shape>),
+    Pair(Arc<Shape>, Arc<Shape>),
     /// A set whose elements have the given shape (alternative-merged).
-    Set(Rc<Shape>),
+    Set(Arc<Shape>),
     /// A join of abstract closures (param, body, env).
     Fun(Vec<(Var, TermRef, Env)>),
     /// A frozen value of the given payload shape.
-    Frz(Rc<Shape>),
+    Frz(Arc<Shape>),
     /// A versioned pair of version/payload shapes.
-    Lex(Rc<Shape>, Rc<Shape>),
+    Lex(Arc<Shape>, Arc<Shape>),
     /// Some integer symbol, value unknown (e.g. the result of arithmetic on
     /// unknown operands). Joining two possibly-distinct integers is a
     /// potential `⊤`; using one as an operand is fine.
@@ -121,7 +121,7 @@ impl fmt::Display for Shape {
 
 /// An abstract environment: variable → shape.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Env(Option<Rc<EnvNode>>);
+pub struct Env(Option<Arc<EnvNode>>);
 
 #[derive(Debug, PartialEq, Eq)]
 struct EnvNode {
@@ -137,7 +137,7 @@ impl Env {
     }
 
     fn extend(&self, name: Var, shape: Shape) -> Env {
-        Env(Some(Rc::new(EnvNode {
+        Env(Some(Arc::new(EnvNode {
             name,
             shape,
             rest: self.clone(),
@@ -282,18 +282,18 @@ impl Cx {
             Term::Pair(a, b) => {
                 let ra = self.analyze(env, a, fuel);
                 let rb = self.analyze(env, b, fuel);
-                Analysis::safe(Shape::Pair(Rc::new(ra.shape), Rc::new(rb.shape)))
+                Analysis::safe(Shape::Pair(Arc::new(ra.shape), Arc::new(rb.shape)))
                     .with_reason(ra.may_top.or(rb.may_top))
             }
             Term::Lex(a, b) => {
                 let ra = self.analyze(env, a, fuel);
                 let rb = self.analyze(env, b, fuel);
-                Analysis::safe(Shape::Lex(Rc::new(ra.shape), Rc::new(rb.shape)))
+                Analysis::safe(Shape::Lex(Arc::new(ra.shape), Arc::new(rb.shape)))
                     .with_reason(ra.may_top.or(rb.may_top))
             }
             Term::Frz(inner) => {
                 let r = self.analyze(env, inner, fuel);
-                Analysis::safe(Shape::Frz(Rc::new(r.shape))).with_reason(r.may_top)
+                Analysis::safe(Shape::Frz(Arc::new(r.shape))).with_reason(r.may_top)
             }
             Term::Set(es) => {
                 let mut elem = Shape::Bot;
@@ -303,7 +303,7 @@ impl Cx {
                     elem = alt(&elem, &r.shape);
                     reason = reason.or(r.may_top);
                 }
-                Analysis::safe(Shape::Set(Rc::new(elem))).with_reason(reason)
+                Analysis::safe(Shape::Set(Arc::new(elem))).with_reason(reason)
             }
             Term::Join(a, b) => {
                 let ra = self.analyze(env, a, fuel);
@@ -472,13 +472,13 @@ impl Cx {
         match &body.shape {
             Shape::Lex(v2, p) => {
                 let (ver, top) = join_shapes(v1, v2);
-                Analysis::safe(Shape::Lex(Rc::new(ver), p.clone()))
+                Analysis::safe(Shape::Lex(Arc::new(ver), p.clone()))
                     .with_reason(body.may_top.clone().or(top))
             }
             // A silent body keeps the input version over ⊥v (the
             // monotonicity fallback mirrored from the evaluators).
             Shape::Bot | Shape::BotV => {
-                Analysis::safe(Shape::Lex(Rc::new(v1.clone()), Rc::new(Shape::BotV)))
+                Analysis::safe(Shape::Lex(Arc::new(v1.clone()), Arc::new(Shape::BotV)))
                     .with_reason(body.may_top.clone())
             }
             Shape::Any => Analysis::top("versioned bind body of unknown shape".into()),
@@ -497,9 +497,9 @@ fn alt(a: &Shape, b: &Shape) -> Shape {
         (Shape::BotV, x) | (x, Shape::BotV) => x.clone(),
         (Shape::Syms(x), Shape::Syms(y)) => Shape::Syms(x.union(y).cloned().collect()),
         (Shape::Pair(a1, b1), Shape::Pair(a2, b2)) => {
-            Shape::Pair(Rc::new(alt(a1, a2)), Rc::new(alt(b1, b2)))
+            Shape::Pair(Arc::new(alt(a1, a2)), Arc::new(alt(b1, b2)))
         }
-        (Shape::Set(x), Shape::Set(y)) => Shape::Set(Rc::new(alt(x, y))),
+        (Shape::Set(x), Shape::Set(y)) => Shape::Set(Arc::new(alt(x, y))),
         (Shape::Fun(x), Shape::Fun(y)) => {
             let mut out = x.clone();
             for c in y {
@@ -509,9 +509,9 @@ fn alt(a: &Shape, b: &Shape) -> Shape {
             }
             Shape::Fun(out)
         }
-        (Shape::Frz(x), Shape::Frz(y)) => Shape::Frz(Rc::new(alt(x, y))),
+        (Shape::Frz(x), Shape::Frz(y)) => Shape::Frz(Arc::new(alt(x, y))),
         (Shape::Lex(a1, b1), Shape::Lex(a2, b2)) => {
-            Shape::Lex(Rc::new(alt(a1, a2)), Rc::new(alt(b1, b2)))
+            Shape::Lex(Arc::new(alt(a1, a2)), Arc::new(alt(b1, b2)))
         }
         (Shape::AnyInt, Shape::AnyInt) => Shape::AnyInt,
         (Shape::AnyInt, Shape::Syms(ss)) | (Shape::Syms(ss), Shape::AnyInt)
@@ -556,11 +556,11 @@ fn join_shapes(a: &Shape, b: &Shape) -> (Shape, Option<String>) {
         (Shape::Pair(a1, b1), Shape::Pair(a2, b2)) => {
             let (l, t1) = join_shapes(a1, a2);
             let (r, t2) = join_shapes(b1, b2);
-            (Shape::Pair(Rc::new(l), Rc::new(r)), t1.or(t2))
+            (Shape::Pair(Arc::new(l), Arc::new(r)), t1.or(t2))
         }
         (Shape::Set(x), Shape::Set(y)) => {
             // Set join is union; elements are never joined with each other.
-            (Shape::Set(Rc::new(alt(x, y))), None)
+            (Shape::Set(Arc::new(alt(x, y))), None)
         }
         (Shape::Fun(x), Shape::Fun(y)) => {
             // λ-joins always succeed (bodies are joined lazily at
@@ -598,7 +598,7 @@ fn join_shapes(a: &Shape, b: &Shape) -> (Shape, Option<String>) {
             // incomparable (both join); either way both joins may occur.
             let (v, t1) = join_shapes(a1, a2);
             let (p, t2) = join_shapes(b1, b2);
-            (Shape::Lex(Rc::new(v), Rc::new(p)), t1.or(t2))
+            (Shape::Lex(Arc::new(v), Arc::new(p)), t1.or(t2))
         }
         (x, y) => (
             Shape::Any,

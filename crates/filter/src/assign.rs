@@ -27,7 +27,7 @@
 //!   the environment's function formula as an approximable mapping
 //!   (triggered clauses joined, then `φ ⊑` the join).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::bigstep::eval_fuel;
 use lambda_join_core::term::{Term, TermRef};
@@ -103,7 +103,7 @@ impl Checker {
             },
             // TSym + TSub.
             Term::Sym(s) => match phi {
-                CForm::Val(v) => vleq(v, &Rc::new(VForm::Sym(s.clone()))),
+                CForm::Val(v) => vleq(v, &Arc::new(VForm::Sym(s.clone()))),
                 _ => false,
             },
             // TBotV.
@@ -269,7 +269,7 @@ impl Checker {
     /// Does `e` produce *some* value? Equivalent (by downward closure) to
     /// deriving `⊥v`.
     fn produces_value(&mut self, env: &Env, e: &TermRef, fuel: usize) -> bool {
-        self.check(env, e, &CForm::Val(Rc::new(VForm::BotV)), fuel)
+        self.check(env, e, &CForm::Val(Arc::new(VForm::BotV)), fuel)
     }
 
     /// Checks a join of branches (all under the same environment).
@@ -314,7 +314,7 @@ impl Checker {
                 // Set joins are unions: each required element from any
                 // branch.
                 VForm::Set(ts) => ts.iter().all(|t| {
-                    let goal = CForm::Val(Rc::new(VForm::Set(vec![t.clone()])));
+                    let goal = CForm::Val(Arc::new(VForm::Set(vec![t.clone()])));
                     branches
                         .iter()
                         .any(|(env, b)| self.check(env, b, &goal, fuel))
@@ -323,7 +323,7 @@ impl Checker {
                 // branch. (Incomplete for cross-branch clause mixing; see
                 // module docs.)
                 VForm::Fun(cs) => cs.iter().all(|c| {
-                    let goal = CForm::Val(Rc::new(VForm::Fun(vec![c.clone()])));
+                    let goal = CForm::Val(Arc::new(VForm::Fun(vec![c.clone()])));
                     branches
                         .iter()
                         .any(|(env, b)| self.check(env, b, &goal, fuel))
@@ -334,8 +334,9 @@ impl Checker {
                     if single(self, phi) {
                         return true;
                     }
-                    let left = CForm::Val(Rc::new(VForm::Pair(t1.clone(), Rc::new(VForm::BotV))));
-                    let right = CForm::Val(Rc::new(VForm::Pair(Rc::new(VForm::BotV), t2.clone())));
+                    let left = CForm::Val(Arc::new(VForm::Pair(t1.clone(), Arc::new(VForm::BotV))));
+                    let right =
+                        CForm::Val(Arc::new(VForm::Pair(Arc::new(VForm::BotV), t2.clone())));
                     single(self, &left) && single(self, &right)
                 }
             },
@@ -391,7 +392,7 @@ impl Checker {
                 Some(t) => match &**t {
                     VForm::Fun(clauses) => {
                         let targ =
-                            value_formula_in_env(&va, env).unwrap_or_else(|| Rc::new(VForm::BotV));
+                            value_formula_in_env(&va, env).unwrap_or_else(|| Arc::new(VForm::BotV));
                         let outs: Vec<CForm> = clauses
                             .iter()
                             .filter(|(ti, _)| vleq(ti, &targ))
@@ -416,14 +417,14 @@ pub fn value_formula_in_env(v: &TermRef, env: &Env) -> Option<VFormRef> {
     match &**v {
         Term::Var(x) => env.lookup(x).cloned(),
         Term::BotV | Term::Sym(_) | Term::Lam(..) => value_formula(v),
-        Term::Pair(a, b) => Some(Rc::new(VForm::Pair(
+        Term::Pair(a, b) => Some(Arc::new(VForm::Pair(
             value_formula_in_env(a, env)?,
             value_formula_in_env(b, env)?,
         ))),
         Term::Set(es) => {
             let ts: Option<Vec<VFormRef>> =
                 es.iter().map(|e| value_formula_in_env(e, env)).collect();
-            Some(Rc::new(VForm::Set(ts?)))
+            Some(Arc::new(VForm::Set(ts?)))
         }
         _ => None,
     }
@@ -437,7 +438,7 @@ pub fn check_closed(e: &TermRef, phi: &CForm, fuel: usize) -> bool {
 /// Returns a formula certifying convergence, if the checker can derive any
 /// non-`⊥` behaviour for `e`: the paper's premise `⊥v ⪯log e` of Adequacy.
 pub fn derives_value(e: &TermRef, fuel: usize) -> bool {
-    check_closed(e, &CForm::Val(Rc::new(VForm::BotV)), fuel) || check_closed(e, &CForm::Top, fuel)
+    check_closed(e, &CForm::Val(Arc::new(VForm::BotV)), fuel) || check_closed(e, &CForm::Top, fuel)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! with `semantics::logical_leq_fragment` it gives both directions of
 //! Theorem 4.18 an executable face.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::builder as b;
 use lambda_join_core::symbol::Symbol;
@@ -147,7 +147,7 @@ pub fn ctx_equiv_bounded(e1: &TermRef, e2: &TermRef, fuel: usize) -> bool {
 /// check the law that motivates it — a value approximates its joins:
 /// `v ⪯ctx v ∨ v'` whenever the join is consistent.
 pub fn value_approximates_join(v: &TermRef, v2: &TermRef, fuel: usize) -> bool {
-    let joined = Rc::new(Term::Join(v.clone(), v2.clone()));
+    let joined = Arc::new(Term::Join(v.clone(), v2.clone()));
     find_ctx_counterexample(v, &joined, fuel).is_none()
 }
 

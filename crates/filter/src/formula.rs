@@ -13,13 +13,13 @@
 //! ```
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::symbol::Symbol;
 use lambda_join_core::term::{Term, TermRef};
 
 /// A shared value formula.
-pub type VFormRef = Rc<VForm>;
+pub type VFormRef = Arc<VForm>;
 
 /// A value formula `τ` (Figure 6).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,13 +51,13 @@ pub enum CForm {
 impl VForm {
     /// The empty-set formula `{}`.
     pub fn empty_set() -> VFormRef {
-        Rc::new(VForm::Set(vec![]))
+        Arc::new(VForm::Set(vec![]))
     }
 
     /// The empty function formula (the 0-clause join), least among function
     /// behaviours.
     pub fn empty_fun() -> VFormRef {
-        Rc::new(VForm::Fun(vec![]))
+        Arc::new(VForm::Fun(vec![]))
     }
 
     /// The *size* of a formula: its height as a syntax tree (Lemma 4.3's
@@ -109,7 +109,7 @@ impl From<VFormRef> for CForm {
 
 impl From<Symbol> for CForm {
     fn from(s: Symbol) -> CForm {
-        CForm::Val(Rc::new(VForm::Sym(s)))
+        CForm::Val(Arc::new(VForm::Sym(s)))
     }
 }
 
@@ -171,17 +171,17 @@ pub mod build {
 
     /// `⊥v` as a computation formula.
     pub fn botv() -> CForm {
-        CForm::Val(Rc::new(VForm::BotV))
+        CForm::Val(Arc::new(VForm::BotV))
     }
 
     /// `⊥v` as a value formula.
     pub fn botv_v() -> VFormRef {
-        Rc::new(VForm::BotV)
+        Arc::new(VForm::BotV)
     }
 
     /// A symbol value formula.
     pub fn vsym(s: Symbol) -> VFormRef {
-        Rc::new(VForm::Sym(s))
+        Arc::new(VForm::Sym(s))
     }
 
     /// An integer-symbol value formula.
@@ -196,22 +196,22 @@ pub mod build {
 
     /// A pair value formula.
     pub fn vpair(a: VFormRef, b: VFormRef) -> VFormRef {
-        Rc::new(VForm::Pair(a, b))
+        Arc::new(VForm::Pair(a, b))
     }
 
     /// A set value formula.
     pub fn vset(es: Vec<VFormRef>) -> VFormRef {
-        Rc::new(VForm::Set(es))
+        Arc::new(VForm::Set(es))
     }
 
     /// A single-clause function formula `τ → φ`.
     pub fn varrow(t: VFormRef, p: CForm) -> VFormRef {
-        Rc::new(VForm::Fun(vec![(t, p)]))
+        Arc::new(VForm::Fun(vec![(t, p)]))
     }
 
     /// A multi-clause function formula.
     pub fn vfun(cs: Vec<(VFormRef, CForm)>) -> VFormRef {
-        Rc::new(VForm::Fun(cs))
+        Arc::new(VForm::Fun(cs))
     }
 
     /// Lifts a value formula into a computation formula.
@@ -229,20 +229,20 @@ pub mod build {
 /// Returns `None` for open values (free variables).
 pub fn value_formula(v: &TermRef) -> Option<VFormRef> {
     match &**v {
-        Term::BotV => Some(Rc::new(VForm::BotV)),
-        Term::Sym(s) => Some(Rc::new(VForm::Sym(s.clone()))),
-        Term::Pair(a, b) => Some(Rc::new(VForm::Pair(value_formula(a)?, value_formula(b)?))),
+        Term::BotV => Some(Arc::new(VForm::BotV)),
+        Term::Sym(s) => Some(Arc::new(VForm::Sym(s.clone()))),
+        Term::Pair(a, b) => Some(Arc::new(VForm::Pair(value_formula(a)?, value_formula(b)?))),
         Term::Set(es) => {
             let ts: Option<Vec<VFormRef>> = es.iter().map(value_formula).collect();
-            Some(Rc::new(VForm::Set(ts?)))
+            Some(Arc::new(VForm::Set(ts?)))
         }
-        Term::Lam(..) => Some(Rc::new(VForm::BotV)),
+        Term::Lam(..) => Some(Arc::new(VForm::BotV)),
         // Extension values (§5.2 frozen values and versioned pairs) are
         // under-approximated by ⊥v, like lambdas: the formula language of
         // Figure 6 describes the core calculus only.
         Term::Frz(_) | Term::Lex(..) => {
             if v.is_value() {
-                Some(Rc::new(VForm::BotV))
+                Some(Arc::new(VForm::BotV))
             } else {
                 None
             }
@@ -272,8 +272,8 @@ pub fn enumerate_vforms(symbols: &[Symbol], depth: usize) -> Vec<VFormRef> {
     if depth == 0 {
         return vec![];
     }
-    let mut out: Vec<VFormRef> = vec![Rc::new(VForm::BotV)];
-    out.extend(symbols.iter().map(|s| Rc::new(VForm::Sym(s.clone()))));
+    let mut out: Vec<VFormRef> = vec![Arc::new(VForm::BotV)];
+    out.extend(symbols.iter().map(|s| Arc::new(VForm::Sym(s.clone()))));
     if depth == 1 {
         out.push(VForm::empty_set());
         out.push(VForm::empty_fun());
@@ -283,16 +283,16 @@ pub fn enumerate_vforms(symbols: &[Symbol], depth: usize) -> Vec<VFormRef> {
     // Pairs.
     for a in &smaller {
         for b in &smaller {
-            out.push(Rc::new(VForm::Pair(a.clone(), b.clone())));
+            out.push(Arc::new(VForm::Pair(a.clone(), b.clone())));
         }
     }
     // Sets of size ≤ 2.
     out.push(VForm::empty_set());
     for a in &smaller {
-        out.push(Rc::new(VForm::Set(vec![a.clone()])));
+        out.push(Arc::new(VForm::Set(vec![a.clone()])));
         for b in &smaller {
-            if !Rc::ptr_eq(a, b) {
-                out.push(Rc::new(VForm::Set(vec![a.clone(), b.clone()])));
+            if !Arc::ptr_eq(a, b) {
+                out.push(Arc::new(VForm::Set(vec![a.clone(), b.clone()])));
             }
         }
     }
@@ -302,14 +302,14 @@ pub fn enumerate_vforms(symbols: &[Symbol], depth: usize) -> Vec<VFormRef> {
     out.push(VForm::empty_fun());
     for t in &smaller {
         for p in &outputs {
-            out.push(Rc::new(VForm::Fun(vec![(t.clone(), p.clone())])));
+            out.push(Arc::new(VForm::Fun(vec![(t.clone(), p.clone())])));
         }
     }
     for t1 in smaller.iter().take(4) {
         for p1 in outputs.iter().take(4) {
             for t2 in smaller.iter().take(4) {
                 for p2 in outputs.iter().take(4) {
-                    out.push(Rc::new(VForm::Fun(vec![
+                    out.push(Arc::new(VForm::Fun(vec![
                         (t1.clone(), p1.clone()),
                         (t2.clone(), p2.clone()),
                     ])));

@@ -5,7 +5,7 @@
 //! here and in `order.rs`) shows it is a least upper bound for the streaming
 //! order.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::formula::{CForm, VForm, VFormRef};
 
@@ -26,7 +26,7 @@ pub fn vjoin(a: &VFormRef, b: &VFormRef) -> CForm {
         (VForm::BotV, _) => CForm::Val(b.clone()),
         (_, VForm::BotV) => CForm::Val(a.clone()),
         (VForm::Sym(s1), VForm::Sym(s2)) => match s1.join(s2) {
-            Some(s) => CForm::Val(Rc::new(VForm::Sym(s))),
+            Some(s) => CForm::Val(Arc::new(VForm::Sym(s))),
             None => CForm::Top,
         },
         (VForm::Pair(a1, b1), VForm::Pair(a2, b2)) => pair_lift(&vjoin(a1, a2), &vjoin(b1, b2)),
@@ -37,7 +37,7 @@ pub fn vjoin(a: &VFormRef, b: &VFormRef) -> CForm {
                     out.push(t.clone());
                 }
             }
-            CForm::Val(Rc::new(VForm::Set(out)))
+            CForm::Val(Arc::new(VForm::Set(out)))
         }
         (VForm::Fun(c1), VForm::Fun(c2)) => {
             let mut out = c1.clone();
@@ -46,7 +46,7 @@ pub fn vjoin(a: &VFormRef, b: &VFormRef) -> CForm {
                     out.push(c.clone());
                 }
             }
-            CForm::Val(Rc::new(VForm::Fun(out)))
+            CForm::Val(Arc::new(VForm::Fun(out)))
         }
         _ => CForm::Top,
     }
@@ -61,7 +61,7 @@ pub fn pair_lift(a: &CForm, b: &CForm) -> CForm {
         (CForm::Val(_), CForm::Top) => CForm::Top,
         (CForm::Val(_), CForm::Bot) => CForm::Bot,
         (CForm::Val(v1), CForm::Val(v2)) => {
-            CForm::Val(Rc::new(VForm::Pair(v1.clone(), v2.clone())))
+            CForm::Val(Arc::new(VForm::Pair(v1.clone(), v2.clone())))
         }
     }
 }
@@ -71,7 +71,7 @@ pub fn singleton_lift(a: &CForm) -> CForm {
     match a {
         CForm::Top => CForm::Top,
         CForm::Bot => CForm::Bot,
-        CForm::Val(v) => CForm::Val(Rc::new(VForm::Set(vec![v.clone()]))),
+        CForm::Val(v) => CForm::Val(Arc::new(VForm::Set(vec![v.clone()]))),
     }
 }
 

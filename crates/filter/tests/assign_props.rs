@@ -2,7 +2,7 @@
 //! evaluator on randomly generated closed terms, and downward closure /
 //! directedness of checked formula sets.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::bigstep::eval_fuel;
 use lambda_join_core::builder as b;
@@ -82,7 +82,7 @@ proptest! {
         }
         let candidates = [
             lambda_join_filter::CForm::Bot,
-            lambda_join_filter::CForm::Val(Rc::new(VForm::BotV)),
+            lambda_join_filter::CForm::Val(Arc::new(VForm::BotV)),
             phi.clone(),
         ];
         for psi in &candidates {
@@ -116,7 +116,7 @@ proptest! {
     fn checker_never_accepts_wrong_symbols(s1 in arb_symbol(), s2 in arb_symbol()) {
         // ⊢ s1 : s2 iff s2 ≤ s1 — the checker is exact on symbols.
         let e = b::sym(s1.clone());
-        let phi = lambda_join_filter::CForm::Val(Rc::new(VForm::Sym(s2.clone())));
+        let phi = lambda_join_filter::CForm::Val(Arc::new(VForm::Sym(s2.clone())));
         prop_assert_eq!(check_closed(&e, &phi, 5), s2.leq(&s1));
     }
 }

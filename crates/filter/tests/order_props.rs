@@ -2,7 +2,7 @@
 //! least-upper-bound laws (Lemma 4.2), the size-of-joins bound (Lemma 4.3),
 //! and distributivity (Lemma 4.1) over randomly generated formulae.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::symbol::Symbol;
 use lambda_join_filter::formula::{CForm, VForm, VFormRef};
@@ -22,8 +22,8 @@ fn arb_symbol() -> impl Strategy<Value = Symbol> {
 
 fn arb_vform() -> impl Strategy<Value = VFormRef> {
     let leaf = prop_oneof![
-        Just(Rc::new(VForm::BotV)),
-        arb_symbol().prop_map(|s| Rc::new(VForm::Sym(s))),
+        Just(Arc::new(VForm::BotV)),
+        arb_symbol().prop_map(|s| Arc::new(VForm::Sym(s))),
         Just(VForm::empty_set()),
         Just(VForm::empty_fun()),
     ];
@@ -34,9 +34,9 @@ fn arb_vform() -> impl Strategy<Value = VFormRef> {
             inner.clone().prop_map(CForm::Val),
         ];
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rc::new(VForm::Pair(a, b))),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(|es| Rc::new(VForm::Set(es))),
-            prop::collection::vec((inner, cform), 0..3).prop_map(|cs| Rc::new(VForm::Fun(cs))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arc::new(VForm::Pair(a, b))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(|es| Arc::new(VForm::Set(es))),
+            prop::collection::vec((inner, cform), 0..3).prop_map(|cs| Arc::new(VForm::Fun(cs))),
         ]
     })
 }
@@ -114,8 +114,8 @@ proptest! {
     fn distributivity_lemma_4_1(t in arb_vform(), p1 in arb_cform(), p2 in arb_cform()) {
         // τ → (φ ⊔ φ') ⊑ (τ → φ) ∨ (τ → φ')
         let joined = cjoin(&p1, &p2);
-        let lhs = Rc::new(VForm::Fun(vec![(t.clone(), joined)]));
-        let rhs = Rc::new(VForm::Fun(vec![(t.clone(), p1), (t, p2)]));
+        let lhs = Arc::new(VForm::Fun(vec![(t.clone(), joined)]));
+        let rhs = Arc::new(VForm::Fun(vec![(t.clone(), p1), (t, p2)]));
         prop_assert!(vleq(&lhs, &rhs));
     }
 
@@ -137,6 +137,6 @@ proptest! {
 
     #[test]
     fn botv_least_value(v in arb_vform()) {
-        prop_assert!(vleq(&Rc::new(VForm::BotV), &v));
+        prop_assert!(vleq(&Arc::new(VForm::BotV), &v));
     }
 }

@@ -21,7 +21,7 @@
 //! environment spine or a deeply accumulated stream value would otherwise
 //! overflow the stack in the derived destructor.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::builder;
 use lambda_join_core::symbol::Symbol;
@@ -39,25 +39,25 @@ pub enum CVal {
     /// A symbol.
     Sym(Symbol),
     /// A pair.
-    Pair(Rc<CVal>, Rc<CVal>),
+    Pair(Arc<CVal>, Arc<CVal>),
     /// A set of values.
-    Set(Vec<Rc<CVal>>),
+    Set(Vec<Arc<CVal>>),
     /// A join of closures `(env, x, body)` — the function values.
     Clos(Vec<(Env, Var, TermRef)>),
     /// A frozen value (§5.2 extension): discretely ordered.
-    Frz(Rc<CVal>),
+    Frz(Arc<CVal>),
     /// A lexicographic versioned pair (§5.2 extension).
-    Lex(Rc<CVal>, Rc<CVal>),
+    Lex(Arc<CVal>, Arc<CVal>),
 }
 
 /// A persistent environment (shared-tail linked list).
 #[derive(Debug, Clone, PartialEq, Default)]
-pub struct Env(Option<Rc<EnvNode>>);
+pub struct Env(Option<Arc<EnvNode>>);
 
 #[derive(Debug, PartialEq)]
 struct EnvNode {
     name: Var,
-    value: Rc<CVal>,
+    value: Arc<CVal>,
     rest: Env,
 }
 
@@ -68,8 +68,8 @@ impl Env {
     }
 
     /// Extends with a binding.
-    pub fn extend(&self, name: Var, value: Rc<CVal>) -> Env {
-        Env(Some(Rc::new(EnvNode {
+    pub fn extend(&self, name: Var, value: Arc<CVal>) -> Env {
+        Env(Some(Arc::new(EnvNode {
             name,
             value,
             rest: self.clone(),
@@ -77,7 +77,7 @@ impl Env {
     }
 
     /// Looks up a variable.
-    pub fn lookup(&self, name: &str) -> Option<Rc<CVal>> {
+    pub fn lookup(&self, name: &str) -> Option<Arc<CVal>> {
         let mut cur = &self.0;
         while let Some(node) = cur {
             if &*node.name == name {
@@ -96,7 +96,7 @@ impl Drop for EnvNode {
     fn drop(&mut self) {
         let mut rest = std::mem::take(&mut self.rest);
         while let Some(node) = rest.0.take() {
-            match Rc::into_inner(node) {
+            match Arc::into_inner(node) {
                 // Sole owner: detach its tail, drop the node shallowly.
                 Some(mut n) => rest = std::mem::take(&mut n.rest),
                 // Shared tail: someone else keeps it alive; stop here.
@@ -138,7 +138,7 @@ impl Drop for CVal {
             // enqueued (count ≥ 2). A solely-owned deep child can still
             // surface here through a closure environment — re-enter the
             // worklist for it instead of recursing.
-            let safe = |c: &Rc<CVal>| cval_is_leaf(c) || Rc::strong_count(c) >= 2;
+            let safe = |c: &Arc<CVal>| cval_is_leaf(c) || Arc::strong_count(c) >= 2;
             let managed = match self {
                 CVal::Pair(a, b) | CVal::Lex(a, b) => safe(a) && safe(b),
                 CVal::Set(es) => es.iter().all(safe),
@@ -169,7 +169,7 @@ impl Drop for CVal {
         // Only engage the worklist when there is a solely-owned composite
         // child to flatten; never re-anchor downward (see
         // `lambda_join_core::term` for why that would unbound the descent).
-        let risky = |c: &Rc<CVal>| Rc::strong_count(c) == 1 && !cval_is_leaf(c);
+        let risky = |c: &Arc<CVal>| Arc::strong_count(c) == 1 && !cval_is_leaf(c);
         let has_flattenable = match self {
             CVal::Pair(a, b) | CVal::Lex(a, b) => risky(a) || risky(b),
             CVal::Set(es) => es.iter().any(risky),
@@ -189,9 +189,9 @@ impl Drop for CVal {
 /// by the time each child is popped.
 #[cold]
 fn drop_cval_deep(v: &mut CVal) {
-    fn detach_root(v: &mut CVal, pending: &mut Vec<Rc<CVal>>) {
-        let nil: Rc<CVal> = Rc::new(CVal::Bot);
-        let take = |slot: &mut Rc<CVal>, pending: &mut Vec<Rc<CVal>>| {
+    fn detach_root(v: &mut CVal, pending: &mut Vec<Arc<CVal>>) {
+        let nil: Arc<CVal> = Arc::new(CVal::Bot);
+        let take = |slot: &mut Arc<CVal>, pending: &mut Vec<Arc<CVal>>| {
             if !cval_is_leaf(slot) {
                 pending.push(std::mem::replace(slot, nil.clone()));
             }
@@ -210,8 +210,8 @@ fn drop_cval_deep(v: &mut CVal) {
             CVal::Frz(p) => take(p, pending),
         }
     }
-    fn push_children(v: &CVal, pending: &mut Vec<Rc<CVal>>) {
-        let push = |c: &Rc<CVal>, pending: &mut Vec<Rc<CVal>>| {
+    fn push_children(v: &CVal, pending: &mut Vec<Arc<CVal>>) {
+        let push = |c: &Arc<CVal>, pending: &mut Vec<Arc<CVal>>| {
             if !cval_is_leaf(c) {
                 pending.push(c.clone());
             }
@@ -240,10 +240,10 @@ fn drop_cval_deep(v: &mut CVal) {
         }
     }
     let _guard = TeardownGuard(IN_CVAL_TEARDOWN.with(|f| f.replace(true)));
-    let mut pending: Vec<Rc<CVal>> = Vec::new();
+    let mut pending: Vec<Arc<CVal>> = Vec::new();
     detach_root(v, &mut pending);
     while let Some(child) = pending.pop() {
-        if let Some(inner) = Rc::into_inner(child) {
+        if let Some(inner) = Arc::into_inner(child) {
             push_children(&inner, &mut pending);
         }
     }
@@ -255,7 +255,7 @@ fn is_err(v: &CVal) -> bool {
 
 /// Sees through a frozen wrapper: monotone eliminations are
 /// freeze-transparent (mirrors `reduce::thaw` at the semantic-value level).
-fn thaw(v: &Rc<CVal>) -> &CVal {
+fn thaw(v: &Arc<CVal>) -> &CVal {
     match &**v {
         CVal::Frz(p) => p,
         other => other,
@@ -263,18 +263,18 @@ fn thaw(v: &Rc<CVal>) -> &CVal {
 }
 
 /// Joins two semantic values (the `r ⊔ r'` metafunction on `CVal`).
-pub fn cval_join(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
+pub fn cval_join(a: &Arc<CVal>, b: &Arc<CVal>) -> Arc<CVal> {
     cval_join_rec(a, b, 128)
 }
 
 /// [`cval_join`] with bounded native recursion: the self-recursive arms
 /// (pairs, lexicographic pairs) hand spines deeper than the cap to the
 /// worklist in [`cval_join_iter`] (mirrors `reduce::join_results`).
-fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
+fn cval_join_rec(a: &Arc<CVal>, b: &Arc<CVal>, depth: u32) -> Arc<CVal> {
     // Id fast path: join is idempotent on semantic values, so one shared
     // handle answers without descending (for a shared closure list this
     // also skips the dedup scan, which would rediscover every component).
-    if Rc::ptr_eq(a, b) {
+    if Arc::ptr_eq(a, b) {
         return a.clone();
     }
     if depth == 0 {
@@ -284,38 +284,38 @@ fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
     match (&**a, &**b) {
         (CVal::Bot, _) => b.clone(),
         (_, CVal::Bot) => a.clone(),
-        (CVal::Top, _) | (_, CVal::Top) => Rc::new(CVal::Top),
+        (CVal::Top, _) | (_, CVal::Top) => Arc::new(CVal::Top),
         (CVal::BotV, _) => b.clone(),
         (_, CVal::BotV) => a.clone(),
         (CVal::Sym(s1), CVal::Sym(s2)) => match s1.join(s2) {
-            Some(s) => Rc::new(CVal::Sym(s)),
-            None => Rc::new(CVal::Top),
+            Some(s) => Arc::new(CVal::Sym(s)),
+            None => Arc::new(CVal::Top),
         },
         (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => {
             let l = cval_join_rec(a1, a2, d);
             if is_err(&l) {
                 return match &*l {
-                    CVal::Top => Rc::new(CVal::Top),
-                    _ => Rc::new(CVal::Bot),
+                    CVal::Top => Arc::new(CVal::Top),
+                    _ => Arc::new(CVal::Bot),
                 };
             }
             let r = cval_join_rec(b1, b2, d);
             if is_err(&r) {
                 return match &*r {
-                    CVal::Top => Rc::new(CVal::Top),
-                    _ => Rc::new(CVal::Bot),
+                    CVal::Top => Arc::new(CVal::Top),
+                    _ => Arc::new(CVal::Bot),
                 };
             }
-            Rc::new(CVal::Pair(l, r))
+            Arc::new(CVal::Pair(l, r))
         }
         (CVal::Set(x), CVal::Set(y)) => {
             let mut out = x.clone();
             for v in y {
-                if !out.iter().any(|o| Rc::ptr_eq(o, v) || o == v) {
+                if !out.iter().any(|o| Arc::ptr_eq(o, v) || o == v) {
                     out.push(v.clone());
                 }
             }
-            Rc::new(CVal::Set(out))
+            Arc::new(CVal::Set(out))
         }
         (CVal::Clos(x), CVal::Clos(y)) => {
             let mut out = x.clone();
@@ -324,7 +324,7 @@ fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
                     out.push(c.clone());
                 }
             }
-            Rc::new(CVal::Clos(out))
+            Arc::new(CVal::Clos(out))
         }
         // Frozen values: absorb anything at or below the payload; everything
         // else is a freeze violation (mirrors `join_results` in core).
@@ -332,21 +332,21 @@ fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
             if cval_leq(x, y) && cval_leq(y, x) {
                 a.clone()
             } else {
-                Rc::new(CVal::Top)
+                Arc::new(CVal::Top)
             }
         }
         (CVal::Frz(x), _) => {
             if cval_leq(b, x) {
                 a.clone()
             } else {
-                Rc::new(CVal::Top)
+                Arc::new(CVal::Top)
             }
         }
         (_, CVal::Frz(y)) => {
             if cval_leq(a, y) {
                 b.clone()
             } else {
-                Rc::new(CVal::Top)
+                Arc::new(CVal::Top)
             }
         }
         // Versioned pairs join lexicographically (mirrors `join_results`).
@@ -356,32 +356,32 @@ fn cval_join_rec(a: &Rc<CVal>, b: &Rc<CVal>, depth: u32) -> Rc<CVal> {
             (true, true) => lex_cval(a1.clone(), cval_join_rec(b1, b2, d)),
             (false, false) => lex_cval(cval_join_rec(a1, a2, d), cval_join_rec(b1, b2, d)),
         },
-        _ => Rc::new(CVal::Top),
+        _ => Arc::new(CVal::Top),
     }
 }
 
 /// Worklist continuation of [`cval_join_rec`] past the recursion cap.
 #[cold]
-fn cval_join_iter(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
+fn cval_join_iter(a: &Arc<CVal>, b: &Arc<CVal>) -> Arc<CVal> {
     enum Job {
-        Visit(Rc<CVal>, Rc<CVal>),
+        Visit(Arc<CVal>, Arc<CVal>),
         /// Combine the last two results into a pair (error-absorbing).
         PairLift,
         /// `lex_cval` the carried (equivalent) version onto the last result.
-        LexGrow(Rc<CVal>),
+        LexGrow(Arc<CVal>),
         /// `lex_cval` the last two results (joined version, joined payload).
         LexBoth,
     }
-    let collapse = |v: Rc<CVal>| match &*v {
-        CVal::Top => Rc::new(CVal::Top),
-        _ => Rc::new(CVal::Bot),
+    let collapse = |v: Arc<CVal>| match &*v {
+        CVal::Top => Arc::new(CVal::Top),
+        _ => Arc::new(CVal::Bot),
     };
     let mut jobs: Vec<Job> = vec![Job::Visit(a.clone(), b.clone())];
-    let mut results: Vec<Rc<CVal>> = Vec::new();
+    let mut results: Vec<Arc<CVal>> = Vec::new();
     while let Some(job) = jobs.pop() {
         match job {
             Job::Visit(a, b) => match (&*a, &*b) {
-                _ if Rc::ptr_eq(&a, &b) => results.push(a.clone()),
+                _ if Arc::ptr_eq(&a, &b) => results.push(a.clone()),
                 (CVal::Pair(a1, b1), CVal::Pair(a2, b2)) => {
                     jobs.push(Job::PairLift);
                     jobs.push(Job::Visit(b1.clone(), b2.clone()));
@@ -412,7 +412,7 @@ fn cval_join_iter(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
                 } else if is_err(&snd) {
                     results.push(collapse(snd));
                 } else {
-                    results.push(Rc::new(CVal::Pair(fst, snd)));
+                    results.push(Arc::new(CVal::Pair(fst, snd)));
                 }
             }
             Job::LexGrow(version) => {
@@ -429,19 +429,19 @@ fn cval_join_iter(a: &Rc<CVal>, b: &Rc<CVal>) -> Rc<CVal> {
     results.pop().expect("join produced no result")
 }
 
-fn lex_cval(a: Rc<CVal>, b: Rc<CVal>) -> Rc<CVal> {
+fn lex_cval(a: Arc<CVal>, b: Arc<CVal>) -> Arc<CVal> {
     match (&*a, &*b) {
-        (CVal::Bot, _) | (_, CVal::Bot) => Rc::new(CVal::Bot),
-        (CVal::Top, _) | (_, CVal::Top) => Rc::new(CVal::Top),
-        _ => Rc::new(CVal::Lex(a, b)),
+        (CVal::Bot, _) | (_, CVal::Bot) => Arc::new(CVal::Bot),
+        (CVal::Top, _) | (_, CVal::Top) => Arc::new(CVal::Top),
+        _ => Arc::new(CVal::Lex(a, b)),
     }
 }
 
 /// The streaming order on semantic values, mirroring
 /// [`lambda_join_core::observe::result_leq`]; closures compare by equality.
-pub fn cval_leq(a: &Rc<CVal>, b: &Rc<CVal>) -> bool {
+pub fn cval_leq(a: &Arc<CVal>, b: &Arc<CVal>) -> bool {
     // Id fast path: the order is reflexive.
-    if Rc::ptr_eq(a, b) {
+    if Arc::ptr_eq(a, b) {
         return true;
     }
     match (&**a, &**b) {
@@ -465,7 +465,7 @@ pub fn cval_leq(a: &Rc<CVal>, b: &Rc<CVal>) -> bool {
 }
 
 /// Evaluates a closed term with the environment machine.
-pub fn eval_closure(e: &TermRef, fuel: usize) -> Rc<CVal> {
+pub fn eval_closure(e: &TermRef, fuel: usize) -> Arc<CVal> {
     let mut exhausted = false;
     run(
         Ctrl::Eval(Env::new(), e.clone(), fuel),
@@ -478,7 +478,7 @@ pub fn eval_closure(e: &TermRef, fuel: usize) -> Rc<CVal> {
 /// remaining fuel, or return a semantic value to the innermost frame.
 enum Ctrl {
     Eval(Env, TermRef, usize),
-    Ret(Rc<CVal>),
+    Ret(Arc<CVal>),
 }
 
 /// One defunctionalised evaluation context of the closure evaluator — the
@@ -487,30 +487,30 @@ enum Frame {
     /// `(□, e)`.
     PairSnd { env: Env, snd: TermRef, fuel: usize },
     /// `(v, □)`.
-    PairDone { fst: Rc<CVal> },
+    PairDone { fst: Arc<CVal> },
     /// `{v…, □, e…}`.
     SetCollect {
         env: Env,
         elems: Vec<TermRef>,
         next: usize,
-        out: Vec<Rc<CVal>>,
+        out: Vec<Arc<CVal>>,
         fuel: usize,
     },
     /// `□ ∨ e`.
     JoinRight { env: Env, rhs: TermRef, fuel: usize },
     /// `v ∨ □`.
-    JoinDone { lhs: Rc<CVal> },
+    JoinDone { lhs: Arc<CVal> },
     /// `□ e`.
     AppArg { env: Env, arg: TermRef, fuel: usize },
     /// `v □`.
-    AppApply { func: Rc<CVal>, fuel: usize },
+    AppApply { func: Arc<CVal>, fuel: usize },
     /// Application to a join of closures: apply every component closure to
     /// the argument and join the results (the approximable-mapping view).
     ApplyClos {
         cs: Vec<(Env, Var, TermRef)>,
         next: usize,
-        arg: Rc<CVal>,
-        acc: Rc<CVal>,
+        arg: Arc<CVal>,
+        acc: Arc<CVal>,
         fuel: usize,
     },
     /// `let (x1, x2) = □ in e`.
@@ -540,9 +540,9 @@ enum Frame {
         env: Env,
         x: Var,
         body: TermRef,
-        elems: Vec<Rc<CVal>>,
+        elems: Vec<Arc<CVal>>,
         next: usize,
-        acc: Rc<CVal>,
+        acc: Arc<CVal>,
         fuel: usize,
     },
     /// `op(v…, □, e…)`.
@@ -551,7 +551,7 @@ enum Frame {
         op: Prim,
         args: Vec<TermRef>,
         next: usize,
-        vals: Vec<Rc<CVal>>,
+        vals: Vec<Arc<CVal>>,
         fuel: usize,
     },
     /// `frz □`.
@@ -566,7 +566,7 @@ enum Frame {
     /// `⟨□, e⟩`.
     LexSnd { env: Env, snd: TermRef, fuel: usize },
     /// `⟨v, □⟩`.
-    LexDone { fst: Rc<CVal> },
+    LexDone { fst: Arc<CVal> },
     /// `x ← □; e`.
     LexBindScrut {
         env: Env,
@@ -581,11 +581,11 @@ enum Frame {
         fuel: usize,
     },
     /// Fold an accumulated version into the returning bind body.
-    MergeVersion { version: Rc<CVal> },
+    MergeVersion { version: Arc<CVal> },
 }
 
 /// The flat machine loop shared by [`eval_closure`] and [`apply`].
-fn run(ctrl: Ctrl, mut stack: Vec<Frame>, ex: &mut bool) -> Rc<CVal> {
+fn run(ctrl: Ctrl, mut stack: Vec<Frame>, ex: &mut bool) -> Arc<CVal> {
     let mut ctrl = ctrl;
     loop {
         ctrl = match ctrl {
@@ -600,12 +600,12 @@ fn run(ctrl: Ctrl, mut stack: Vec<Frame>, ex: &mut bool) -> Rc<CVal> {
 
 fn step_eval(env: Env, e: TermRef, fuel: usize, stack: &mut Vec<Frame>, ex: &mut bool) -> Ctrl {
     match &*e {
-        Term::Bot => Ctrl::Ret(Rc::new(CVal::Bot)),
-        Term::Top => Ctrl::Ret(Rc::new(CVal::Top)),
-        Term::BotV => Ctrl::Ret(Rc::new(CVal::BotV)),
-        Term::Sym(s) => Ctrl::Ret(Rc::new(CVal::Sym(s.clone()))),
-        Term::Var(x) => Ctrl::Ret(env.lookup(x).unwrap_or(Rc::new(CVal::Bot))),
-        Term::Lam(x, body) => Ctrl::Ret(Rc::new(CVal::Clos(vec![(env, x.clone(), body.clone())]))),
+        Term::Bot => Ctrl::Ret(Arc::new(CVal::Bot)),
+        Term::Top => Ctrl::Ret(Arc::new(CVal::Top)),
+        Term::BotV => Ctrl::Ret(Arc::new(CVal::BotV)),
+        Term::Sym(s) => Ctrl::Ret(Arc::new(CVal::Sym(s.clone()))),
+        Term::Var(x) => Ctrl::Ret(env.lookup(x).unwrap_or(Arc::new(CVal::Bot))),
+        Term::Lam(x, body) => Ctrl::Ret(Arc::new(CVal::Clos(vec![(env, x.clone(), body.clone())]))),
         Term::Pair(a, b) => {
             stack.push(Frame::PairSnd {
                 env: env.clone(),
@@ -615,7 +615,7 @@ fn step_eval(env: Env, e: TermRef, fuel: usize, stack: &mut Vec<Frame>, ex: &mut
             Ctrl::Eval(env, a.clone(), fuel)
         }
         Term::Set(es) => match es.first() {
-            None => Ctrl::Ret(Rc::new(CVal::Set(Vec::new()))),
+            None => Ctrl::Ret(Arc::new(CVal::Set(Vec::new()))),
             Some(first) => {
                 stack.push(Frame::SetCollect {
                     env: env.clone(),
@@ -728,7 +728,7 @@ fn step_eval(env: Env, e: TermRef, fuel: usize, stack: &mut Vec<Frame>, ex: &mut
     }
 }
 
-fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) -> Ctrl {
+fn step_ret(frame: Frame, v: Arc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) -> Ctrl {
     match frame {
         Frame::PairSnd { env, snd, fuel } => {
             if is_err(&v) {
@@ -741,7 +741,7 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
             if is_err(&v) {
                 return Ctrl::Ret(v);
             }
-            Ctrl::Ret(Rc::new(CVal::Pair(fst, v)))
+            Ctrl::Ret(Arc::new(CVal::Pair(fst, v)))
         }
         Frame::SetCollect {
             env,
@@ -770,7 +770,7 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
                     });
                     Ctrl::Eval(env, e, fuel)
                 }
-                None => Ctrl::Ret(Rc::new(CVal::Set(out))),
+                None => Ctrl::Ret(Arc::new(CVal::Set(out))),
             }
         }
         Frame::JoinRight { env, rhs, fuel } => {
@@ -822,12 +822,12 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
             body,
             fuel,
         } => match thaw(&v) {
-            CVal::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+            CVal::Top => Ctrl::Ret(Arc::new(CVal::Top)),
             CVal::Pair(a, b) => {
                 let env2 = env.extend(x1, a.clone()).extend(x2, b.clone());
                 Ctrl::Eval(env2, body, fuel)
             }
-            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+            _ => Ctrl::Ret(Arc::new(CVal::Bot)),
         },
         Frame::LetSymBody {
             env,
@@ -835,18 +835,18 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
             body,
             fuel,
         } => match thaw(&v) {
-            CVal::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+            CVal::Top => Ctrl::Ret(Arc::new(CVal::Top)),
             CVal::Sym(s2) if sym.leq(s2) => Ctrl::Eval(env, body, fuel),
             // Version threshold (§5.2).
-            CVal::Lex(ver, _) if cval_leq(&Rc::new(CVal::Sym(sym.clone())), ver) => {
+            CVal::Lex(ver, _) if cval_leq(&Arc::new(CVal::Sym(sym.clone())), ver) => {
                 Ctrl::Eval(env, body, fuel)
             }
-            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+            _ => Ctrl::Ret(Arc::new(CVal::Bot)),
         },
         Frame::BigJoinScrut { env, x, body, fuel } => match thaw(&v) {
-            CVal::Top => Ctrl::Ret(Rc::new(CVal::Top)),
+            CVal::Top => Ctrl::Ret(Arc::new(CVal::Top)),
             CVal::Set(vs) => match vs.first() {
-                None => Ctrl::Ret(Rc::new(CVal::Bot)),
+                None => Ctrl::Ret(Arc::new(CVal::Bot)),
                 Some(first) => {
                     let env2 = env.extend(x.clone(), first.clone());
                     let first_body = body.clone();
@@ -856,13 +856,13 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
                         body,
                         elems: vs.clone(),
                         next: 1,
-                        acc: Rc::new(CVal::Bot),
+                        acc: Arc::new(CVal::Bot),
                         fuel,
                     });
                     Ctrl::Eval(env2, first_body, fuel)
                 }
             },
-            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+            _ => Ctrl::Ret(Arc::new(CVal::Bot)),
         },
         Frame::BigJoinIter {
             env,
@@ -904,8 +904,8 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
             fuel,
         } => {
             match &*v {
-                CVal::Bot => return Ctrl::Ret(Rc::new(CVal::Bot)),
-                CVal::Top => return Ctrl::Ret(Rc::new(CVal::Top)),
+                CVal::Bot => return Ctrl::Ret(Arc::new(CVal::Bot)),
+                CVal::Top => return Ctrl::Ret(Arc::new(CVal::Top)),
                 _ => vals.push(v),
             }
             match args.get(next).cloned() {
@@ -922,7 +922,7 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
                 }
                 None => {
                     if vals.iter().any(|v| matches!(&**v, CVal::BotV)) {
-                        return Ctrl::Ret(Rc::new(CVal::BotV));
+                        return Ctrl::Ret(Arc::new(CVal::BotV));
                     }
                     Ctrl::Ret(delta_cval(op, &vals))
                 }
@@ -932,11 +932,11 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
             let complete = !*ex;
             *ex |= saved;
             if !complete {
-                return Ctrl::Ret(Rc::new(CVal::Bot));
+                return Ctrl::Ret(Arc::new(CVal::Bot));
             }
             match &*v {
                 CVal::Bot | CVal::Top => Ctrl::Ret(v),
-                _ => Ctrl::Ret(Rc::new(CVal::Frz(v))),
+                _ => Ctrl::Ret(Arc::new(CVal::Frz(v))),
             }
         }
         Frame::LetFrzBody { env, x, body, fuel } => match &*v {
@@ -945,7 +945,7 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
                 let env2 = env.extend(x, payload.clone());
                 Ctrl::Eval(env2, body, fuel)
             }
-            _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+            _ => Ctrl::Ret(Arc::new(CVal::Bot)),
         },
         Frame::LexSnd { env, snd, fuel } => {
             if is_err(&v) {
@@ -958,7 +958,7 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
             if is_err(&v) {
                 return Ctrl::Ret(v);
             }
-            Ctrl::Ret(Rc::new(CVal::Lex(fst, v)))
+            Ctrl::Ret(Arc::new(CVal::Lex(fst, v)))
         }
         Frame::LexBindScrut { env, x, body, fuel } => match thaw(&v) {
             CVal::Top | CVal::Bot | CVal::BotV => Ctrl::Ret(v.clone()),
@@ -969,7 +969,7 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
                 });
                 Ctrl::Eval(env2, body, fuel)
             }
-            _ => Ctrl::Ret(Rc::new(CVal::Top)),
+            _ => Ctrl::Ret(Arc::new(CVal::Top)),
         },
         Frame::LexMergeComp { env, comp, fuel } => {
             if is_err(&v) {
@@ -984,20 +984,20 @@ fn step_ret(frame: Frame, v: Rc<CVal>, stack: &mut Vec<Frame>, ex: &mut bool) ->
 
 /// Folds an accumulated version into the result of a versioned bind
 /// (mirrors `bigstep::merge_version`).
-fn merge_version_cval(v1: &Rc<CVal>, r: &Rc<CVal>) -> Rc<CVal> {
+fn merge_version_cval(v1: &Arc<CVal>, r: &Arc<CVal>) -> Arc<CVal> {
     match &**r {
         CVal::Lex(v2, v2p) => lex_cval(cval_join(v1, v2), v2p.clone()),
         // Silent bodies keep the input version (monotonicity; see core).
-        CVal::Bot | CVal::BotV => lex_cval(v1.clone(), Rc::new(CVal::BotV)),
+        CVal::Bot | CVal::BotV => lex_cval(v1.clone(), Arc::new(CVal::BotV)),
         CVal::Top => r.clone(),
-        _ => Rc::new(CVal::Top),
+        _ => Arc::new(CVal::Top),
     }
 }
 
 /// Delta rules on semantic values (mirrors `reduce::delta`).
-fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
-    let boolean = |b: bool| Rc::new(CVal::Sym(if b { Symbol::tt() } else { Symbol::ff() }));
-    let as_int = |v: &Rc<CVal>| match thaw(v) {
+fn delta_cval(op: Prim, vals: &[Arc<CVal>]) -> Arc<CVal> {
+    let boolean = |b: bool| Arc::new(CVal::Sym(if b { Symbol::tt() } else { Symbol::ff() }));
+    let as_int = |v: &Arc<CVal>| match thaw(v) {
         CVal::Sym(s) => s.as_int(),
         _ => None,
     };
@@ -1005,54 +1005,54 @@ fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
         Prim::Add | Prim::Sub | Prim::Mul | Prim::Le | Prim::Lt => {
             match (as_int(&vals[0]), as_int(&vals[1])) {
                 (Some(a), Some(b)) => match op {
-                    Prim::Add => Rc::new(CVal::Sym(Symbol::Int(a.wrapping_add(b)))),
-                    Prim::Sub => Rc::new(CVal::Sym(Symbol::Int(a.wrapping_sub(b)))),
-                    Prim::Mul => Rc::new(CVal::Sym(Symbol::Int(a.wrapping_mul(b)))),
+                    Prim::Add => Arc::new(CVal::Sym(Symbol::Int(a.wrapping_add(b)))),
+                    Prim::Sub => Arc::new(CVal::Sym(Symbol::Int(a.wrapping_sub(b)))),
+                    Prim::Mul => Arc::new(CVal::Sym(Symbol::Int(a.wrapping_mul(b)))),
                     Prim::Le => boolean(a <= b),
                     Prim::Lt => boolean(a < b),
                     _ => unreachable!(),
                 },
-                _ => Rc::new(CVal::Top),
+                _ => Arc::new(CVal::Top),
             }
         }
         Prim::Eq => match (thaw(&vals[0]), thaw(&vals[1])) {
             (CVal::Sym(a), CVal::Sym(b)) => boolean(a == b),
-            _ => Rc::new(CVal::Top),
+            _ => Arc::new(CVal::Top),
         },
         // Unfrozen operands block (wait for the freeze); see core::reduce.
         Prim::Member => match (&*vals[0], &*vals[1]) {
             (CVal::Frz(x), CVal::Frz(s)) => match &**s {
                 CVal::Set(es) => boolean(es.iter().any(|e| cval_leq(e, x) && cval_leq(x, e))),
-                _ => Rc::new(CVal::Top),
+                _ => Arc::new(CVal::Top),
             },
-            _ => Rc::new(CVal::Bot),
+            _ => Arc::new(CVal::Bot),
         },
         Prim::Diff => match (&*vals[0], &*vals[1]) {
             (CVal::Frz(s1), CVal::Frz(s2)) => match (&**s1, &**s2) {
-                (CVal::Set(es1), CVal::Set(es2)) => Rc::new(CVal::Set(
+                (CVal::Set(es1), CVal::Set(es2)) => Arc::new(CVal::Set(
                     es1.iter()
                         .filter(|e| !es2.iter().any(|o| cval_leq(o, e) && cval_leq(e, o)))
                         .cloned()
                         .collect(),
                 )),
-                _ => Rc::new(CVal::Top),
+                _ => Arc::new(CVal::Top),
             },
-            _ => Rc::new(CVal::Bot),
+            _ => Arc::new(CVal::Bot),
         },
         Prim::SetSize => match &*vals[0] {
             CVal::Frz(s) => match &**s {
                 CVal::Set(es) => {
-                    let mut distinct: Vec<&Rc<CVal>> = Vec::new();
+                    let mut distinct: Vec<&Arc<CVal>> = Vec::new();
                     for e in es {
                         if !distinct.iter().any(|o| o == &e) {
                             distinct.push(e);
                         }
                     }
-                    Rc::new(CVal::Sym(Symbol::Int(distinct.len() as i64)))
+                    Arc::new(CVal::Sym(Symbol::Int(distinct.len() as i64)))
                 }
-                _ => Rc::new(CVal::Top),
+                _ => Arc::new(CVal::Top),
             },
-            _ => Rc::new(CVal::Bot),
+            _ => Arc::new(CVal::Bot),
         },
     }
 }
@@ -1062,7 +1062,7 @@ fn delta_cval(op: Prim, vals: &[Rc<CVal>]) -> Rc<CVal> {
 /// applied pointwise. Useful for projecting fields out of record values
 /// (encoded as functions) that [`eval_closure`] returned; `ex` reports
 /// whether the application hit the fuel cut-off.
-pub fn apply(vf: &Rc<CVal>, va: &Rc<CVal>, fuel: usize, ex: &mut bool) -> Rc<CVal> {
+pub fn apply(vf: &Arc<CVal>, va: &Arc<CVal>, fuel: usize, ex: &mut bool) -> Arc<CVal> {
     let mut stack = Vec::new();
     let ctrl = apply_step(vf.clone(), va.clone(), fuel, &mut stack, ex);
     run(ctrl, stack, ex)
@@ -1071,8 +1071,8 @@ pub fn apply(vf: &Rc<CVal>, va: &Rc<CVal>, fuel: usize, ex: &mut bool) -> Rc<CVa
 /// The β-step on semantic values: a function value is a join of closures,
 /// applied by applying every component and joining the results.
 fn apply_step(
-    vf: Rc<CVal>,
-    va: Rc<CVal>,
+    vf: Arc<CVal>,
+    va: Arc<CVal>,
     fuel: usize,
     stack: &mut Vec<Frame>,
     ex: &mut bool,
@@ -1081,10 +1081,10 @@ fn apply_step(
         CVal::Clos(cs) => {
             if fuel == 0 {
                 *ex = true;
-                return Ctrl::Ret(Rc::new(CVal::Bot));
+                return Ctrl::Ret(Arc::new(CVal::Bot));
             }
             match cs.first() {
-                None => Ctrl::Ret(Rc::new(CVal::Bot)),
+                None => Ctrl::Ret(Arc::new(CVal::Bot)),
                 Some((env, x, body)) => {
                     let env2 = env.extend(x.clone(), va.clone());
                     let first_body = body.clone();
@@ -1092,15 +1092,15 @@ fn apply_step(
                         cs: cs.clone(),
                         next: 1,
                         arg: va,
-                        acc: Rc::new(CVal::Bot),
+                        acc: Arc::new(CVal::Bot),
                         fuel,
                     });
                     Ctrl::Eval(env2, first_body, fuel - 1)
                 }
             }
         }
-        CVal::BotV => Ctrl::Ret(Rc::new(CVal::Bot)),
-        _ => Ctrl::Ret(Rc::new(CVal::Bot)),
+        CVal::BotV => Ctrl::Ret(Arc::new(CVal::Bot)),
+        _ => Ctrl::Ret(Arc::new(CVal::Bot)),
     }
 }
 
@@ -1217,7 +1217,7 @@ mod tests {
         let v = eval_closure(&system, 16);
         // The state is a closure join; project `res` by application.
         let mut ex = false;
-        let res = apply(&v, &Rc::new(CVal::Sym(Symbol::name("res"))), 8, &mut ex);
+        let res = apply(&v, &Arc::new(CVal::Sym(Symbol::name("res"))), 8, &mut ex);
         assert_eq!(readback(&res).to_string(), "\"accepted\"");
     }
 }

@@ -20,7 +20,11 @@
 //! * [`freeze`] — §5.2's frozen values: seal a grown value, unlocking
 //!   otherwise non-monotone queries with quasi-deterministic conflicts;
 //! * [`parallel`] — deterministic thread parallelism: parallel joins and
-//!   concurrent chaotic iteration with schedule-independent results.
+//!   concurrent chaotic iteration with schedule-independent results;
+//! * [`par_seminaive`] — the thread-parallel seminaive engine: each
+//!   round's delta fans out over a bounded worker pool, deduplicated
+//!   through the process-shared sharded interner, with results
+//!   term-for-term equal to the sequential engine.
 //!
 //! # Example
 //!
@@ -40,11 +44,13 @@ pub mod freeze;
 pub mod interp;
 pub mod kpn;
 pub mod memo;
+pub mod par_seminaive;
 pub mod parallel;
 pub mod semilattice;
 pub mod seminaive;
 pub mod stream;
 
 pub use memo::MemoEval;
+pub use par_seminaive::ParSeminaiveEngine;
 pub use semilattice::{BoundedJoinSemilattice, JoinSemilattice};
 pub use stream::MonoStream;

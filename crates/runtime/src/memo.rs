@@ -25,7 +25,7 @@
 //! The cache itself is [`lambda_join_core::intern::InternTable`]: keys are
 //! *canonical interned ids* `(TermId, TermId, fuel)` from the hash-consing
 //! arena, so a probe is two pointer-cache hits plus one `Copy`-key map
-//! probe — no term-tree hashing, no per-probe `Rc` clones (the old table
+//! probe — no term-tree hashing, no per-probe `Arc` clones (the old table
 //! allocated a fresh `(f.clone(), a.clone(), fuel)` tuple on every
 //! *lookup*), and α-equivalent calls share one entry.
 

@@ -3,18 +3,25 @@
 //! The paper's thesis is that monotone computation over join semilattices
 //! is *deterministic by construction*: however threads interleave, the
 //! final state is the same. This module provides the two runtime shapes
-//! that claim takes in practice, built on crossbeam scoped threads:
+//! that claim takes in practice:
 //!
 //! * [`join_all`] — λ∨'s `e1 ∨ … ∨ en`: run independent computations in
 //!   parallel and join their results (determinism is immediate from
-//!   commutativity/associativity);
+//!   commutativity/associativity). Tasks are chunked over the bounded
+//!   worker pool ([`lambda_join_core::pool`]) — submitting ten thousand
+//!   tasks spawns `available_parallelism` threads, not ten thousand;
 //! * [`chaotic_fixpoint`] — concurrent *chaotic iteration*: worker threads
 //!   repeatedly apply monotone rules to a shared state cell until
 //!   quiescence. The result equals the sequential Kleene fixed point no
 //!   matter the schedule (property-tested with randomised yields).
+//!   Quiescence is detected through a **state version counter**: a pass is
+//!   clean iff the version at its end equals the version at its start, one
+//!   integer comparison instead of re-running every rule just to deep-
+//!   compare lattice values that nobody changed.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
+use lambda_join_core::pool;
 use parking_lot::Mutex;
 
 use crate::semilattice::JoinSemilattice;
@@ -23,29 +30,41 @@ use crate::semilattice::JoinSemilattice;
 /// worker threads.
 pub type Rules<T> = [Box<dyn Fn(&T) -> T + Sync>];
 
-/// Runs the closures on separate threads and joins all results.
+/// Runs the closures on a bounded set of worker threads and joins all
+/// results in task order.
 ///
 /// Deterministic: the result is the semilattice join of the individual
-/// results, independent of completion order.
+/// results, independent of completion order (and, by commutativity, would
+/// be the same under any other order). The worker count is
+/// [`pool::default_workers`]; tasks are chunked, so the thread count never
+/// exceeds the machine's parallelism regardless of `tasks.len()`.
 pub fn join_all<T, F>(tasks: Vec<F>) -> Option<T>
 where
     T: JoinSemilattice + Send,
     F: FnOnce() -> T + Send,
 {
-    let results: Mutex<Vec<T>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
-        for t in tasks {
-            s.spawn(|_| {
-                let r = t();
-                results.lock().push(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    let collected = results.into_inner();
-    let mut it = collected.into_iter();
+    join_all_with(tasks, pool::default_workers())
+}
+
+/// [`join_all`] with an explicit worker bound (`<= 1` runs inline).
+pub fn join_all_with<T, F>(tasks: Vec<F>, workers: usize) -> Option<T>
+where
+    T: JoinSemilattice + Send,
+    F: FnOnce() -> T + Send,
+{
+    let results = pool::map_items(tasks, workers, |t| t());
+    let mut it = results.into_iter();
     let first = it.next()?;
     Some(it.fold(first, |acc, x| acc.join(&x)))
+}
+
+/// A lattice value paired with its monotonically increasing version: the
+/// version bumps exactly when the value strictly grows, so "nothing
+/// changed since I last looked" is one integer comparison.
+#[derive(Debug)]
+struct Versioned<T> {
+    value: T,
+    version: u64,
 }
 
 /// Concurrent chaotic iteration: `workers` threads repeatedly pick rules
@@ -54,38 +73,50 @@ where
 ///
 /// Returns the stabilised state. Equal to the sequential Kleene fixed point
 /// of `x ↦ x ∨ ⋁ᵢ ruleᵢ(x)` for monotone rules (tested).
+///
+/// Quiescence: each worker records the state *version* before a pass and
+/// declares the pass clean iff the version is unchanged after it — i.e. no
+/// worker (itself included) grew the state at any point during the pass,
+/// in which case the pass just witnessed every rule fixed at the current
+/// state, which is therefore the fixed point. The version bumps only on
+/// strict growth, so detection costs one lock + integer compare per pass
+/// instead of a deep lattice comparison per rule application round.
 pub fn chaotic_fixpoint<T>(bottom: T, rules: &Rules<T>, workers: usize, max_passes: usize) -> T
 where
     T: JoinSemilattice + PartialEq + Send + Sync,
 {
-    let state = Mutex::new(bottom);
-    let clean_passes = AtomicUsize::new(0);
+    let state = Mutex::new(Versioned {
+        value: bottom,
+        version: 0,
+    });
+    let done = AtomicBool::new(false);
     crossbeam::scope(|s| {
         for w in 0..workers.max(1) {
             let state = &state;
-            let clean_passes = &clean_passes;
+            let done = &done;
             s.spawn(move |_| {
                 let mut pass = 0usize;
-                while clean_passes.load(Ordering::SeqCst) < workers.max(1) && pass < max_passes {
+                while !done.load(Ordering::SeqCst) && pass < max_passes {
                     pass += 1;
-                    let mut changed = false;
+                    let v_start = state.lock().version;
                     // Each worker sweeps the rules in a different rotation,
                     // exercising different interleavings.
                     for i in 0..rules.len() {
                         let rule = &rules[(i + w) % rules.len()];
-                        let snapshot = state.lock().clone();
+                        let snapshot = state.lock().value.clone();
                         let out = rule(&snapshot);
                         let mut guard = state.lock();
-                        let joined = guard.join(&out);
-                        if joined != *guard {
-                            *guard = joined;
-                            changed = true;
+                        let joined = guard.value.join(&out);
+                        if joined != guard.value {
+                            guard.value = joined;
+                            guard.version += 1;
                         }
                     }
-                    if changed {
-                        clean_passes.store(0, Ordering::SeqCst);
-                    } else {
-                        clean_passes.fetch_add(1, Ordering::SeqCst);
+                    // Version unchanged across the whole pass ⇒ every rule
+                    // was applied to the (constant) current state and
+                    // produced nothing new: fixed point reached.
+                    if state.lock().version == v_start {
+                        done.store(true, Ordering::SeqCst);
                     }
                     std::thread::yield_now();
                 }
@@ -93,7 +124,7 @@ where
         }
     })
     .expect("worker thread panicked");
-    state.into_inner()
+    state.into_inner().value
 }
 
 /// The sequential reference for [`chaotic_fixpoint`].
@@ -143,6 +174,17 @@ mod tests {
     fn join_all_empty_is_none() {
         let tasks: Vec<Box<dyn FnOnce() -> bool + Send>> = vec![];
         assert_eq!(join_all(tasks), None);
+    }
+
+    #[test]
+    fn join_all_bounds_thread_count() {
+        // Many more tasks than workers: all results still arrive, joined
+        // in a deterministic total. (The bound itself is structural —
+        // `pool::map_items` chunks over at most `workers` threads.)
+        let tasks: Vec<Box<dyn FnOnce() -> Max<u64> + Send>> = (0..10_000u64)
+            .map(|i| Box::new(move || Max(i)) as Box<dyn FnOnce() -> Max<u64> + Send>)
+            .collect();
+        assert_eq!(join_all_with(tasks, 4), Some(Max(9_999)));
     }
 
     type RuleVec = Vec<Box<dyn Fn(&BTreeSet<i64>) -> BTreeSet<i64> + Sync>>;
@@ -232,5 +274,12 @@ mod tests {
         ];
         let r = chaotic_fixpoint(Max(0), &rules, 4, 10_000);
         assert_eq!(r, Max(20));
+    }
+
+    #[test]
+    fn chaotic_with_no_rules_is_bottom() {
+        let rules: RuleVec = vec![];
+        let seed: BTreeSet<i64> = [1].into_iter().collect();
+        assert_eq!(chaotic_fixpoint(seed.clone(), &rules, 3, 100), seed);
     }
 }

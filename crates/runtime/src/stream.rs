@@ -7,7 +7,7 @@
 //! [`MonoStream`] is that representation; [`MonoStream::diagonal`] is the
 //! monadic join of Figure 10.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::semilattice::JoinSemilattice;
 
@@ -16,7 +16,7 @@ use crate::semilattice::JoinSemilattice;
 ///
 /// Streams are cheap to clone (the closure is shared).
 pub struct MonoStream<T> {
-    f: Rc<dyn Fn(usize) -> T>,
+    f: Arc<dyn Fn(usize) -> T>,
 }
 
 impl<T> Clone for MonoStream<T> {
@@ -31,7 +31,7 @@ impl<T: 'static> MonoStream<T> {
     /// The caller promises monotonicity; [`MonoStream::is_monotone_upto`]
     /// checks it on a prefix.
     pub fn from_fn(f: impl Fn(usize) -> T + 'static) -> Self {
-        MonoStream { f: Rc::new(f) }
+        MonoStream { f: Arc::new(f) }
     }
 
     /// The constant stream (`unit` of the Reader monad).

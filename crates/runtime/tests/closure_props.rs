@@ -10,7 +10,7 @@ use lambda_join_core::symbol::Symbol;
 use lambda_join_core::term::TermRef;
 use lambda_join_runtime::closure::{cval_join, cval_leq, eval_closure, readback, CVal};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn arb_symbol() -> impl Strategy<Value = Symbol> {
     prop_oneof![
@@ -34,7 +34,7 @@ fn arb_value() -> impl Strategy<Value = TermRef> {
     })
 }
 
-fn to_cval(v: &TermRef) -> Rc<CVal> {
+fn to_cval(v: &TermRef) -> Arc<CVal> {
     eval_closure(v, 4)
 }
 

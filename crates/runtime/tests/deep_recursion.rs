@@ -3,7 +3,7 @@
 //! `lambda-join-core/tests/deep_recursion.rs`. Everything must run on a
 //! 512 KiB thread.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda_join_core::builder::*;
 use lambda_join_core::parser::parse;
@@ -76,9 +76,9 @@ fn memoised_engine_runs_deep_beta_chain_on_tiny_stack() {
 fn deep_cval_and_env_drop_iteratively() {
     on_tiny_stack("deep-cval-drop", || {
         // A 100 000-deep pair value: the derived destructor would recurse.
-        let mut v = Rc::new(CVal::Sym(lambda_join_core::Symbol::Int(0)));
+        let mut v = Arc::new(CVal::Sym(lambda_join_core::Symbol::Int(0)));
         for _ in 0..100_000 {
-            v = Rc::new(CVal::Pair(v, Rc::new(CVal::BotV)));
+            v = Arc::new(CVal::Pair(v, Arc::new(CVal::BotV)));
         }
         drop(v);
         // A 100 000-deep stream *term* value via the closure machine.

@@ -1,0 +1,141 @@
+//! Determinism property tests for the parallel seminaive engine: for
+//! arbitrary graphs, worker counts (hence partition shapes), and scheduler
+//! perturbation, `ParSeminaiveEngine` produces results *term-for-term*
+//! α-equal to the sequential `SeminaiveEngine`, with identical `saw_top`
+//! and round/step counts.
+//!
+//! Scheduler randomisation is loom-style in spirit: alongside each
+//! parallel run, a fleet of antagonist threads spins yields and short
+//! sleeps, continuously perturbing which worker the OS runs next, so
+//! consecutive cases observe genuinely different interleavings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use lambda_join_core::builder::*;
+use lambda_join_core::encodings::Graph;
+use lambda_join_core::parser::parse;
+use lambda_join_core::term::TermRef;
+use lambda_join_runtime::par_seminaive::ParSeminaiveEngine;
+use lambda_join_runtime::seminaive::SeminaiveEngine;
+use proptest::prelude::*;
+
+/// A random directed graph on `n ≤ 8` nodes as adjacency pairs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1i64..=8)
+        .prop_flat_map(|n| {
+            let edges = prop::collection::vec((0..n, 0..n), 0..=(n as usize * 2));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, pairs)| {
+            let mut adj: Vec<(i64, Vec<i64>)> = (0..n).map(|i| (i, Vec::new())).collect();
+            for (s, t) in pairs {
+                let entry = &mut adj[s as usize].1;
+                if !entry.contains(&t) {
+                    entry.push(t);
+                }
+            }
+            Graph { edges: adj }
+        })
+}
+
+/// Runs `f` while antagonist threads perturb the scheduler, loom-style.
+fn with_schedule_noise<R>(f: impl FnOnce() -> R) -> R {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for i in 0..2 {
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if i == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(20));
+                    }
+                }
+            });
+        }
+        let r = f();
+        stop.store(true, Ordering::Relaxed);
+        r
+    })
+}
+
+/// One parallel-vs-sequential comparison: same fixpoint term (element for
+/// element), same stats, same quiescence.
+fn assert_par_matches_seq(step: &TermRef, seeds: Vec<TermRef>, fuel: usize, workers: usize) {
+    let mut seq = SeminaiveEngine::new(step.clone(), fuel);
+    seq.push(seeds.clone());
+    let want = seq.run(1000);
+    let got = with_schedule_noise(|| {
+        let mut par = ParSeminaiveEngine::new(step.clone(), fuel, workers);
+        par.push(seeds);
+        let got = par.run(1000);
+        assert_eq!(
+            par.stats(),
+            seq.stats(),
+            "stats diverge at {workers} workers"
+        );
+        assert_eq!(par.is_quiescent(), seq.is_quiescent());
+        got
+    });
+    assert!(
+        got.alpha_eq(&want),
+        "fixpoints diverge at {workers} workers: {got} vs {want}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole determinism spec: random graph, random worker count
+    /// (hence random partition shape), random seed set — the parallel
+    /// engine is indistinguishable from the sequential one.
+    #[test]
+    fn par_equals_seq_on_random_graphs(
+        g in arb_graph(),
+        workers in 1usize..=6,
+        seeds in prop::collection::vec(0i64..8, 1..4),
+    ) {
+        let n = g.edges.len() as i64;
+        let seeds: Vec<TermRef> = seeds.into_iter().map(|s| int(s % n)).collect();
+        assert_par_matches_seq(&g.neighbors_fn(), seeds, 64, workers);
+    }
+
+    /// ⊤-producing rules surface identically (same `saw_top`) no matter
+    /// which worker hits the ambiguity: bounded growth with a poisoned
+    /// clause at node 3 (`{…} ∨ 'oops` joins to ⊤).
+    #[test]
+    fn top_is_schedule_independent(workers in 1usize..=5) {
+        let step =
+            parse("\\n. (let 3 = n in 'oops) \\/ (if n < 6 then {n + 1} else {})").unwrap();
+        assert_par_matches_seq(&step, vec![int(0)], 64, workers);
+    }
+}
+
+/// Repeated runs at a fixed configuration under schedule noise: the
+/// fixpoint term must be bit-for-bit the same element order every time.
+#[test]
+fn repeated_runs_are_identical() {
+    let dense = Graph {
+        edges: (0..12i64)
+            .map(|i| (i, (0..12i64).filter(|j| *j != i).collect()))
+            .collect(),
+    };
+    let step = dense.neighbors_fn();
+    let mut reference: Option<TermRef> = None;
+    for round in 0..6 {
+        let workers = 1 + (round % 4);
+        let fix = with_schedule_noise(|| {
+            let mut e = ParSeminaiveEngine::new(step.clone(), 64, workers);
+            e.push(vec![int(0)]);
+            e.run(100)
+        });
+        match &reference {
+            None => reference = Some(fix),
+            Some(want) => assert!(
+                fix.alpha_eq(want),
+                "run {round} (w={workers}) diverged: {fix} vs {want}"
+            ),
+        }
+    }
+}
