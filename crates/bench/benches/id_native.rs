@@ -1,0 +1,80 @@
+//! Experiment E-id: the arena-native evaluation paths in isolation.
+//!
+//! The tree-level entry points (`eval_fuel`, `MemoEval::eval_fuel`) pay a
+//! boundary conversion per call — canonical interning on the way in, tree
+//! extraction on the way out. These benches measure the id-level APIs the
+//! runtime hot loops actually sit on, where both costs are amortised away:
+//! a persistent arena serves `eval_fuel_id` calls whose operands are
+//! already `Copy` ids, β-instantiation is `ideval::beta_subst` over shared
+//! subtrees, and fixpoint rounds dedup by id equality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda_join_core::encodings::{self, Graph};
+use lambda_join_core::ideval;
+use lambda_join_core::intern::Interner;
+use lambda_join_runtime::seminaive::SeminaiveEngine;
+use lambda_join_runtime::MemoEval;
+
+fn dense(n: i64) -> Graph {
+    Graph {
+        edges: (0..n)
+            .map(|i| (i, (0..n).filter(|j| *j != i).collect()))
+            .collect(),
+    }
+}
+
+fn bench_id_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("id_native");
+    group.sample_size(10);
+
+    // Warm tabled evaluation: one persistent evaluator, the term already
+    // interned — every iteration is the id frame machine plus memo hits.
+    group.bench_function("id_memo_reaches_cycle6", |b| {
+        let g = Graph::cycle(6);
+        let t = encodings::reaches(&g, 0);
+        let fuel = 24 * g.edges.len();
+        let mut m = MemoEval::new();
+        let id = m.canon_id(&t);
+        b.iter(|| std::hint::black_box(m.eval_fuel_id(id, fuel)));
+    });
+
+    // Id-native seminaive rounds on the dense graph, without the tree
+    // extraction of `current()`: the pure fixpoint loop.
+    group.bench_function("id_seminaive_dense32", |b| {
+        let g = dense(32);
+        let step = g.neighbors_fn();
+        b.iter(|| {
+            let mut e = SeminaiveEngine::new(step.clone(), 64);
+            e.push(vec![lambda_join_core::builder::int(0)]);
+            while e.round() {}
+            std::hint::black_box(e.current_ids().len())
+        });
+    });
+
+    // Warm two-phase commit: protocol state evolution on the id machine
+    // with a persistent arena (untabled, like the figures entry).
+    group.bench_function("id_two_phase_commit", |b| {
+        let system = encodings::two_phase_commit();
+        let mut m = MemoEval::new();
+        let id = m.canon_id(&system);
+        b.iter(|| std::hint::black_box(m.eval_fuel_id_untabled(id, 16)));
+    });
+
+    // The β-substitution primitive alone: instantiating a body whose
+    // occurrence spine is shallow but whose off-spine subtree is large —
+    // the O(changed spine) claim (the big closed subterm is shared as one
+    // `Copy` id).
+    group.bench_function("id_beta_subst", |b| {
+        use lambda_join_core::builder::{app, int, join, lam, var};
+        let mut ar = Interner::new();
+        let big = encodings::reaches(&Graph::line(6), 0);
+        let f = ar.canon_id(&lam("x", join(app(var("x"), int(1)), big)));
+        let arg = ar.canon_id(&lam("y", var("y")));
+        b.iter(|| std::hint::black_box(ideval::beta_subst(&mut ar, f, arg)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_id_native);
+criterion_main!(benches);

@@ -244,6 +244,45 @@ fn perf_fig() {
         }),
     ));
 
+    // --- Arena-native entries (PR 5): the id-level APIs the hot loops sit
+    // on, with the tree↔id boundary amortised away. ---
+
+    // Warm tabled reaches: the term interned once, every iteration pure
+    // id frame machine + memo probes (no conversion, no extraction).
+    let g = Graph::cycle(6);
+    let t = encodings::reaches(&g, 0);
+    let fuel = 24 * g.edges.len();
+    results.push(("id_memo_reaches", {
+        let mut m = MemoEval::new();
+        let id = m.canon_id(&t);
+        time_ns(move || {
+            let _ = m.eval_fuel_id(id, fuel);
+        })
+    }));
+
+    // Id-native seminaive rounds on the dense graph without the
+    // `current()` tree extraction: the pure fixpoint loop.
+    let step = dense.neighbors_fn();
+    results.push(("id_seminaive_dense32", {
+        let step = step.clone();
+        time_ns(move || {
+            let mut e = lambda_join_runtime::seminaive::SeminaiveEngine::new(step.clone(), 64);
+            e.push(vec![int(0)]);
+            while e.round() {}
+        })
+    }));
+
+    // Warm two-phase commit on a persistent arena: protocol evolution as
+    // pure id evaluation.
+    let system = encodings::two_phase_commit();
+    results.push(("id_2pc", {
+        let mut m = MemoEval::new();
+        let id = m.canon_id(&system);
+        time_ns(move || {
+            let _ = m.eval_fuel_id_untabled(id, 16);
+        })
+    }));
+
     let mut json = String::from("{\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         println!("  {name:<26} {ns:>12} ns/iter");

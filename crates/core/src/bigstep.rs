@@ -25,8 +25,28 @@
 //! recursive evaluator survives as the executable specification in
 //! [`spec`], and the engine is property-tested against it.
 
-use crate::engine::{self, Budget, NoTable};
+use std::cell::RefCell;
+
+use crate::engine::{self, Budget, NoIdTable};
+use crate::intern::Interner;
 use crate::term::TermRef;
+
+thread_local! {
+    /// The arena behind the tree-level evaluation API: `eval_fuel` and
+    /// friends convert tree → canonical id once on the way in, run the
+    /// id-native frame machine, and extract a tree once on the way out.
+    /// Keeping the arena per-thread (rather than per-call) makes repeated
+    /// evaluations of related terms — fuel sweeps, fixpoint rounds, the
+    /// figures — hit the interner's pointer caches, so the warm boundary
+    /// conversion is O(1).
+    static EVAL_ARENA: RefCell<Interner> = RefCell::new(Interner::new());
+}
+
+/// Node-count bound at which the thread-local evaluation arena is dropped
+/// and restarted: a safety valve so a long-lived thread evaluating
+/// unboundedly many *distinct* terms (e.g. a fuzzing loop) cannot grow the
+/// arena without bound. Re-interning after a reset is O(term).
+const EVAL_ARENA_RESET_NODES: usize = 1 << 20;
 
 /// Evaluates `e` to a result with the given fuel budget.
 ///
@@ -66,10 +86,26 @@ pub fn eval_fuel_counting(e: &TermRef, fuel: usize) -> (TermRef, usize) {
 /// `⊥` for the remaining work, which is still a valid approximation.
 ///
 /// Returns the result and the number of β-steps performed.
+///
+/// Since the arena-native refactor this is a thin boundary over the id
+/// frame machine ([`engine::run_id`]): the term is canonically interned
+/// once (pointer-cached across calls on the same thread), evaluated
+/// entirely over `Copy` ids, and the result id extracted back to a tree.
 pub fn eval_with_budget(e: &TermRef, fuel: usize, max_betas: usize) -> (TermRef, usize) {
-    let mut budget = Budget::new(max_betas);
-    let r = engine::run(e, fuel, &mut budget, &mut NoTable);
-    (r, budget.used())
+    // Values evaluate to themselves: keep the caller's handle untouched.
+    if e.is_value() {
+        return (e.clone(), 0);
+    }
+    EVAL_ARENA.with(|arena| {
+        let mut ar = arena.borrow_mut();
+        if ar.len() > EVAL_ARENA_RESET_NODES {
+            *ar = Interner::new();
+        }
+        let id = ar.canon_id(e);
+        let mut budget = Budget::new(max_betas);
+        let r = engine::run_id(&mut ar, id, fuel, &mut budget, &mut NoIdTable);
+        (ar.extract(r), budget.used())
+    })
 }
 
 /// The recursive reference evaluator — the executable specification.
@@ -77,7 +113,7 @@ pub fn eval_with_budget(e: &TermRef, fuel: usize, max_betas: usize) -> (TermRef,
 /// This is the direct transcription of the fuel-indexed big-step relation:
 /// one Rust stack frame per pending evaluation context, which makes the
 /// code an auditable mirror of the semantics but bounds evaluation depth by
-/// the OS thread stack. Production callers use [`super::eval_fuel`] (the
+/// the OS thread stack. Production callers use [`crate::bigstep::eval_fuel`] (the
 /// frame machine in [`crate::engine`]); this module exists so property
 /// tests and benches can compare the engine against the specification.
 pub mod spec {
@@ -180,7 +216,7 @@ pub mod spec {
                 match thaw_or(&v) {
                     Term::Top => builder::top(),
                     Term::Pair(v1, v2) => {
-                        let body = body.subst(x1, v1).subst(x2, v2);
+                        let body = crate::reduce::subst_pair(body, x1, v1, x2, v2);
                         eval(&body, depth, budget)
                     }
                     // ⊥, ⊥v, and non-pairs: nothing to stream yet / stuck.

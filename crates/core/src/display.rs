@@ -51,15 +51,27 @@ fn write_paren(
     }
 }
 
+/// Renders a variable name, spelling canonical binder names (the reserved
+/// `'\u{1}'` prefix the arena extraction uses; unreachable from source
+/// programs) as `%%N` so extracted terms print readably.
+fn write_var(f: &mut fmt::Formatter<'_>, x: &str) -> fmt::Result {
+    match x.strip_prefix('\u{1}') {
+        Some(rest) => write!(f, "%%{rest}"),
+        None => write!(f, "{x}"),
+    }
+}
+
 fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: Prec) -> fmt::Result {
     match t {
         Term::Bot => f.write_str("bot"),
         Term::Top => f.write_str("top"),
         Term::BotV => f.write_str("botv"),
-        Term::Var(x) => write!(f, "{x}"),
+        Term::Var(x) => write_var(f, x),
         Term::Sym(s) => write!(f, "{s}"),
         Term::Lam(x, b) => write_paren(f, prec > Prec::Lowest, |f| {
-            write!(f, "\\{x}. ")?;
+            f.write_str("\\")?;
+            write_var(f, x)?;
+            f.write_str(". ")?;
             write_term(f, b, Prec::Lowest)
         }),
         Term::Pair(a, b) => {
@@ -85,7 +97,11 @@ fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: Prec) -> fmt::Result {
             write_term(f, b, Prec::Atom)
         }),
         Term::LetPair(x1, x2, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
-            write!(f, "let ({x1}, {x2}) = ")?;
+            f.write_str("let (")?;
+            write_var(f, x1)?;
+            f.write_str(", ")?;
+            write_var(f, x2)?;
+            f.write_str(") = ")?;
             write_term(f, e, Prec::Join)?;
             f.write_str(" in ")?;
             write_term(f, b, Prec::Lowest)
@@ -97,7 +113,9 @@ fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: Prec) -> fmt::Result {
             write_term(f, b, Prec::Lowest)
         }),
         Term::BigJoin(x, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
-            write!(f, "for {x} in ")?;
+            f.write_str("for ")?;
+            write_var(f, x)?;
+            f.write_str(" in ")?;
             write_term(f, e, Prec::Join)?;
             f.write_str(". ")?;
             write_term(f, b, Prec::Lowest)
@@ -136,7 +154,9 @@ fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: Prec) -> fmt::Result {
             write_term(f, e, Prec::Atom)
         }),
         Term::LetFrz(x, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
-            write!(f, "let frz {x} = ")?;
+            f.write_str("let frz ")?;
+            write_var(f, x)?;
+            f.write_str(" = ")?;
             write_term(f, e, Prec::Join)?;
             f.write_str(" in ")?;
             write_term(f, b, Prec::Lowest)
@@ -149,7 +169,9 @@ fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: Prec) -> fmt::Result {
             f.write_str(")")
         }
         Term::LexBind(x, e, b) => write_paren(f, prec > Prec::Lowest, |f| {
-            write!(f, "bind {x} <- ")?;
+            f.write_str("bind ")?;
+            write_var(f, x)?;
+            f.write_str(" <- ")?;
             write_term(f, e, Prec::Join)?;
             f.write_str(" in ")?;
             write_term(f, b, Prec::Lowest)

@@ -10,7 +10,7 @@
 //! to run under the debug profile.
 //!
 //! This module is the production engine: the recursive evaluator
-//! *defunctionalised* into a worklist of [`Frame`]s on the heap. Each
+//! *defunctionalised* into a worklist of frames on the heap. Each
 //! evaluation context of the big-step relation — the function and argument
 //! positions of an application, the sides of a join, the body of a big
 //! join, the operands of a primitive, a pending freeze, … — becomes one
@@ -20,17 +20,26 @@
 //! fuel budgets that used to overflow 64 MiB (regression-tested on a
 //! 512 KiB thread in `tests/deep_recursion.rs`).
 //!
-//! The engine is shared by all evaluation substrates:
+//! Since the arena-native refactor the **production machine is the id
+//! variant** ([`run_id`]): frames carry `Copy` canonical ids of the
+//! hash-consing arena ([`crate::intern`]), dispatch reads cached metadata
+//! instead of walking trees, and the metafunctions come from
+//! [`crate::ideval`]. The substrates:
 //!
-//! * [`crate::bigstep::eval_fuel`] runs it with [`NoTable`];
-//! * `lambda-join-runtime`'s `MemoEval` runs it with a memoising
-//!   [`BetaTable`] (tabled evaluation, §5.1);
+//! * [`crate::bigstep::eval_fuel`] runs [`run_id`] over a thread-local
+//!   arena (tree ↔ id conversion once per call, pointer-cached);
+//! * `lambda-join-runtime`'s `MemoEval` and the seminaive engines run
+//!   [`run_id`] over their own arenas, with the memoising [`IdBetaTable`]
+//!   probing the `(function, argument, fuel)` ids already in hand
+//!   (tabled evaluation, §5.1);
+//! * the tree machine ([`run`]) survives for the shared-table concurrent
+//!   path (`SharedInternTable` fans one memo out across worker threads);
 //! * the runtime's closure evaluator mirrors the same frame discipline over
-//!   semantic values and environments;
-//! * the runtime's `interp` streams are built from the two above.
+//!   semantic values and environments.
 //!
 //! The recursive evaluator is retained as [`crate::bigstep::spec`] — the
-//! executable specification the engine is property-tested against.
+//! executable specification both machines are property-tested against
+//! (results α-equal *and* β-counts identical).
 
 use std::sync::Arc;
 
@@ -373,7 +382,7 @@ fn cont_let_pair(term: &TermRef, v: &TermRef, fuel: usize) -> Ctrl {
             let Term::LetPair(x1, x2, _, body) = &**term else {
                 unreachable!("LetPairBody holds a LetPair")
             };
-            Ctrl::Eval(body.subst(x1, v1).subst(x2, v2), fuel)
+            Ctrl::Eval(crate::reduce::subst_pair(body, x1, v1, x2, v2), fuel)
         }
         // ⊥, ⊥v, and non-pairs: nothing to stream yet / stuck.
         _ => Ctrl::Ret(builder::bot()),
@@ -669,6 +678,728 @@ fn apply<T: BetaTable>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The arena-native machine: frames carry `Copy` ids, not trees
+// ---------------------------------------------------------------------------
+
+use crate::ideval;
+use crate::intern::{Interner, NodeKey, TermId};
+
+/// The tabling hook of the id-native machine: probes are keyed on the
+/// canonical `(function, argument, fuel)` ids the engine already holds in
+/// hand, so lookup and store involve **zero translation** — no `canon_id`
+/// walk, no tree traversal, no allocation. The production implementation is
+/// [`crate::intern::InternTable`].
+pub trait IdBetaTable {
+    /// Returns the cached result id (and exhaustion flag) for a β-step.
+    fn lookup(&mut self, f: TermId, a: TermId, fuel: usize) -> Option<(TermId, bool)>;
+
+    /// Records the result of a β-step.
+    fn store(&mut self, f: TermId, a: TermId, fuel: usize, r: TermId, exhausted: bool);
+
+    /// Whether the table caches at all (mirrors [`BetaTable::enabled`]).
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The trivial id table: caches nothing (plain big-step evaluation).
+pub struct NoIdTable;
+
+impl IdBetaTable for NoIdTable {
+    fn lookup(&mut self, _f: TermId, _a: TermId, _fuel: usize) -> Option<(TermId, bool)> {
+        None
+    }
+
+    fn store(&mut self, _f: TermId, _a: TermId, _fuel: usize, _r: TermId, _ex: bool) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Control state of the id machine.
+enum IdCtrl {
+    Eval(TermId, usize),
+    Ret(TermId),
+}
+
+/// One defunctionalised evaluation context over arena ids. Every field is
+/// a `Copy` id (plus the collection vectors sets/primitives need), so
+/// pushing a frame moves a few words — no `Arc` refcount traffic at all.
+enum IdFrame {
+    PairSnd {
+        term: TermId,
+        fuel: usize,
+    },
+    PairDone {
+        fst: TermId,
+    },
+    SetCollect {
+        term: TermId,
+        next: usize,
+        out: Vec<TermId>,
+        fuel: usize,
+    },
+    JoinRight {
+        term: TermId,
+        fuel: usize,
+    },
+    JoinDone {
+        lhs: TermId,
+    },
+    AppArg {
+        term: TermId,
+        fuel: usize,
+    },
+    AppApply {
+        func: TermId,
+        fuel: usize,
+    },
+    LetPairBody {
+        term: TermId,
+        fuel: usize,
+    },
+    LetSymBody {
+        term: TermId,
+        fuel: usize,
+    },
+    BigJoinScrut {
+        term: TermId,
+        fuel: usize,
+    },
+    BigJoinIter {
+        term: TermId,
+        scrut: TermId,
+        next: usize,
+        acc: TermId,
+        fuel: usize,
+    },
+    PrimCollect {
+        term: TermId,
+        next: usize,
+        vals: Vec<TermId>,
+        fuel: usize,
+    },
+    FrzSeal {
+        saved: bool,
+    },
+    LetFrzBody {
+        term: TermId,
+        fuel: usize,
+    },
+    LexSnd {
+        term: TermId,
+        fuel: usize,
+    },
+    LexDone {
+        fst: TermId,
+    },
+    LexBindScrut {
+        term: TermId,
+        fuel: usize,
+    },
+    MergeVersion {
+        version: TermId,
+    },
+    TableStore {
+        func: TermId,
+        arg: TermId,
+        fuel: usize,
+        saved: bool,
+    },
+}
+
+/// Runs the frame machine directly on a canonical interned id — the
+/// production evaluation path. Semantics are identical to [`run`] (and to
+/// `bigstep::spec`; property-tested for result α-equality *and* β-counts),
+/// but every dispatch is an O(1) arena read: value-ness is a cached
+/// metadata bit instead of a tree walk, β-substitution shares untouched
+/// subtrees as `Copy` ids, joins deduplicate by id equality, and the
+/// tabling hook probes with the ids already in hand.
+///
+/// `e` must be a canonical id of `ar` ([`Interner::canon_id`]); the result
+/// is a canonical id (use [`Interner::extract`] at the API boundary).
+pub fn run_id<T: IdBetaTable>(
+    ar: &mut Interner,
+    e: TermId,
+    fuel: usize,
+    budget: &mut Budget,
+    table: &mut T,
+) -> TermId {
+    let mut stack: Vec<IdFrame> = Vec::with_capacity(32);
+    let mut ctrl = IdCtrl::Eval(e, fuel);
+    loop {
+        ctrl = match ctrl {
+            IdCtrl::Eval(e, fuel) => step_eval_id(ar, e, fuel, &mut stack, budget, table),
+            IdCtrl::Ret(v) => match stack.pop() {
+                None => return v,
+                Some(frame) => step_ret_id(ar, frame, v, &mut stack, budget, table),
+            },
+        };
+    }
+}
+
+/// Dispatches on a node id, mirroring [`step_eval`] arm for arm.
+fn step_eval_id<T: IdBetaTable>(
+    ar: &mut Interner,
+    e: TermId,
+    fuel: usize,
+    stack: &mut Vec<IdFrame>,
+    budget: &mut Budget,
+    table: &mut T,
+) -> IdCtrl {
+    if ar.meta(e).is_value {
+        return IdCtrl::Ret(e);
+    }
+    /// What the dispatch decided, with the ids it needs copied out (so the
+    /// arena borrow of the key match ends before any minting happens).
+    enum Act {
+        RetBot,
+        RetTop,
+        Ret(TermId),
+        PairFst(TermId),
+        SetFirst(TermId),
+        JoinFast(TermId, TermId),
+        JoinLeft(TermId),
+        ApplyFast(TermId, TermId),
+        AppFun(TermId),
+        LetPairFast(TermId),
+        LetPairScrut(TermId),
+        LetSymFast(TermId),
+        LetSymScrut(TermId),
+        BigJoinScrut(TermId),
+        PrimFast,
+        PrimFirst(TermId, usize),
+        PrimEmpty,
+        Frz(TermId),
+        LetFrzScrut(TermId),
+        LexFst(TermId),
+        LexBindScrut(TermId),
+        LexMerge(TermId, TermId),
+    }
+    let act = {
+        let value = |id: TermId| ar.meta(id).is_value;
+        match ar.key(e) {
+            NodeKey::Bot => Act::RetBot,
+            NodeKey::Top => Act::RetTop,
+            NodeKey::Pair(a, _) => Act::PairFst(*a),
+            NodeKey::Set(es) => match es.first() {
+                // Unreachable in practice (an empty set literal is a
+                // value), kept for totality.
+                None => Act::Ret(e),
+                Some(first) => Act::SetFirst(*first),
+            },
+            NodeKey::Join(a, b) => {
+                // Joins of values need no evaluation frames.
+                if value(*a) && value(*b) {
+                    Act::JoinFast(*a, *b)
+                } else {
+                    Act::JoinLeft(*a)
+                }
+            }
+            NodeKey::App(f, a) => {
+                // β fast path: after substitution most redexes apply a
+                // value to a value — skip the two frame round-trips.
+                if value(*f) && value(*a) {
+                    Act::ApplyFast(*f, *a)
+                } else {
+                    Act::AppFun(*f)
+                }
+            }
+            NodeKey::LetPair(_, _, scrut, _) => {
+                if value(*scrut) {
+                    Act::LetPairFast(*scrut)
+                } else {
+                    Act::LetPairScrut(*scrut)
+                }
+            }
+            NodeKey::LetSym(_, scrut, _) => {
+                if value(*scrut) {
+                    Act::LetSymFast(*scrut)
+                } else {
+                    Act::LetSymScrut(*scrut)
+                }
+            }
+            NodeKey::BigJoin(_, scrut, _) => Act::BigJoinScrut(*scrut),
+            NodeKey::Prim(_, args) => {
+                // Saturated fast path: operands already values.
+                if args.iter().all(|x| value(*x)) {
+                    Act::PrimFast
+                } else {
+                    match args.first() {
+                        None => Act::PrimEmpty,
+                        Some(first) => Act::PrimFirst(*first, args.len()),
+                    }
+                }
+            }
+            NodeKey::Frz(inner) => Act::Frz(*inner),
+            NodeKey::LetFrz(_, scrut, _) => Act::LetFrzScrut(*scrut),
+            NodeKey::Lex(a, _) => Act::LexFst(*a),
+            NodeKey::LexBind(_, scrut, _) => Act::LexBindScrut(*scrut),
+            NodeKey::LexMerge(v1, comp) => Act::LexMerge(*v1, *comp),
+            // Covered by the is_value guard, kept for exhaustiveness.
+            NodeKey::Var(_) | NodeKey::BotV | NodeKey::Sym(_) | NodeKey::Lam(..) => Act::Ret(e),
+        }
+    };
+    match act {
+        Act::RetBot => IdCtrl::Ret(ar.bot_id()),
+        Act::RetTop => IdCtrl::Ret(ar.top_id()),
+        Act::Ret(id) => IdCtrl::Ret(id),
+        Act::PairFst(a) => {
+            stack.push(IdFrame::PairSnd { term: e, fuel });
+            IdCtrl::Eval(a, fuel)
+        }
+        Act::SetFirst(first) => {
+            stack.push(IdFrame::SetCollect {
+                term: e,
+                next: 1,
+                out: Vec::new(),
+                fuel,
+            });
+            IdCtrl::Eval(first, fuel)
+        }
+        Act::JoinFast(a, b) => IdCtrl::Ret(ideval::join_results_id(ar, a, b)),
+        Act::JoinLeft(a) => {
+            stack.push(IdFrame::JoinRight { term: e, fuel });
+            IdCtrl::Eval(a, fuel)
+        }
+        Act::ApplyFast(f, a) => apply_id(ar, f, a, fuel, stack, budget, table),
+        Act::AppFun(f) => {
+            stack.push(IdFrame::AppArg { term: e, fuel });
+            IdCtrl::Eval(f, fuel)
+        }
+        Act::LetPairFast(scrut) => cont_let_pair_id(ar, e, scrut, fuel),
+        Act::LetPairScrut(scrut) => {
+            stack.push(IdFrame::LetPairBody { term: e, fuel });
+            IdCtrl::Eval(scrut, fuel)
+        }
+        Act::LetSymFast(scrut) => cont_let_sym_id(ar, e, scrut, fuel),
+        Act::LetSymScrut(scrut) => {
+            stack.push(IdFrame::LetSymBody { term: e, fuel });
+            IdCtrl::Eval(scrut, fuel)
+        }
+        Act::BigJoinScrut(scrut) => {
+            stack.push(IdFrame::BigJoinScrut { term: e, fuel });
+            IdCtrl::Eval(scrut, fuel)
+        }
+        Act::PrimFast => {
+            let (op, args) = match ar.key(e) {
+                NodeKey::Prim(op, args) => (*op, args.to_vec()),
+                _ => unreachable!("PrimFast holds a Prim"),
+            };
+            IdCtrl::Ret(ideval::delta_id(ar, op, &args))
+        }
+        Act::PrimEmpty => {
+            let op = match ar.key(e) {
+                NodeKey::Prim(op, _) => *op,
+                _ => unreachable!("PrimEmpty holds a Prim"),
+            };
+            IdCtrl::Ret(ideval::delta_id(ar, op, &[]))
+        }
+        Act::PrimFirst(first, n) => {
+            stack.push(IdFrame::PrimCollect {
+                term: e,
+                next: 1,
+                vals: Vec::with_capacity(n),
+                fuel,
+            });
+            IdCtrl::Eval(first, fuel)
+        }
+        Act::Frz(inner) => {
+            // Freeze is all-or-nothing: see the tree engine.
+            stack.push(IdFrame::FrzSeal {
+                saved: budget.exhausted,
+            });
+            budget.exhausted = false;
+            IdCtrl::Eval(inner, fuel)
+        }
+        Act::LetFrzScrut(scrut) => {
+            stack.push(IdFrame::LetFrzBody { term: e, fuel });
+            IdCtrl::Eval(scrut, fuel)
+        }
+        Act::LexFst(a) => {
+            stack.push(IdFrame::LexSnd { term: e, fuel });
+            IdCtrl::Eval(a, fuel)
+        }
+        Act::LexBindScrut(scrut) => {
+            stack.push(IdFrame::LexBindScrut { term: e, fuel });
+            IdCtrl::Eval(scrut, fuel)
+        }
+        Act::LexMerge(v1, comp) => {
+            stack.push(IdFrame::MergeVersion { version: v1 });
+            IdCtrl::Eval(comp, fuel)
+        }
+    }
+}
+
+/// The `let (x1, x2) = v in e` continuation over ids: simultaneous
+/// substitution of both components (innermost binder first).
+fn cont_let_pair_id(ar: &mut Interner, term: TermId, v: TermId, fuel: usize) -> IdCtrl {
+    let thawed = ideval::thaw_id(ar, v);
+    match ar.key(thawed) {
+        NodeKey::Top => IdCtrl::Ret(ar.top_id()),
+        NodeKey::Pair(v1, v2) => {
+            let (v1, v2) = (*v1, *v2);
+            let body = match ar.key(term) {
+                NodeKey::LetPair(_, _, _, body) => *body,
+                _ => unreachable!("LetPairBody holds a LetPair"),
+            };
+            IdCtrl::Eval(ideval::subst_eval(ar, body, &[v2, v1]), fuel)
+        }
+        // ⊥, ⊥v, and non-pairs: nothing to stream yet / stuck.
+        _ => IdCtrl::Ret(ar.bot_id()),
+    }
+}
+
+/// The `let s = v in e` continuation (threshold query) over ids.
+fn cont_let_sym_id(ar: &mut Interner, term: TermId, v: TermId, fuel: usize) -> IdCtrl {
+    let (sym, body) = match ar.key(term) {
+        NodeKey::LetSym(s, _, body) => (s.clone(), *body),
+        _ => unreachable!("LetSymBody holds a LetSym"),
+    };
+    let thawed = ideval::thaw_id(ar, v);
+    enum Verdict {
+        Top,
+        Fire,
+        CheckVersion(TermId),
+        Stuck,
+    }
+    let verdict = match ar.key(thawed) {
+        NodeKey::Top => Verdict::Top,
+        NodeKey::Sym(s2) if sym.leq(s2) => Verdict::Fire,
+        NodeKey::Lex(ver, _) => Verdict::CheckVersion(*ver),
+        _ => Verdict::Stuck,
+    };
+    match verdict {
+        Verdict::Top => IdCtrl::Ret(ar.top_id()),
+        Verdict::Fire => IdCtrl::Eval(body, fuel),
+        Verdict::CheckVersion(ver) => {
+            // Version threshold (§5.2): fires once the version reaches the
+            // symbol threshold.
+            let s_id = ideval::sym_id(ar, sym);
+            if ideval::result_leq_id(ar, s_id, ver) {
+                IdCtrl::Eval(body, fuel)
+            } else {
+                IdCtrl::Ret(ar.bot_id())
+            }
+        }
+        Verdict::Stuck => IdCtrl::Ret(ar.bot_id()),
+    }
+}
+
+/// Resumes the innermost id frame with result `v` — mirrors [`step_ret`].
+fn step_ret_id<T: IdBetaTable>(
+    ar: &mut Interner,
+    frame: IdFrame,
+    v: TermId,
+    stack: &mut Vec<IdFrame>,
+    budget: &mut Budget,
+    table: &mut T,
+) -> IdCtrl {
+    match frame {
+        IdFrame::PairSnd { term, fuel } => match ar.key(v) {
+            NodeKey::Bot => IdCtrl::Ret(v),
+            NodeKey::Top => IdCtrl::Ret(v),
+            _ => {
+                let b = match ar.key(term) {
+                    NodeKey::Pair(_, b) => *b,
+                    _ => unreachable!("PairSnd holds a Pair"),
+                };
+                stack.push(IdFrame::PairDone { fst: v });
+                IdCtrl::Eval(b, fuel)
+            }
+        },
+        IdFrame::PairDone { fst } => IdCtrl::Ret(ideval::pair_lift_id(ar, fst, v)),
+        IdFrame::SetCollect {
+            term,
+            next,
+            mut out,
+            fuel,
+        } => {
+            match ar.key(v) {
+                NodeKey::Top => return IdCtrl::Ret(v),
+                NodeKey::Bot => {}
+                _ => {
+                    // Id equality is α-equivalence: one compare per element.
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            let el = match ar.key(term) {
+                NodeKey::Set(es) => es.get(next).copied(),
+                _ => unreachable!("SetCollect holds a Set"),
+            };
+            match el {
+                Some(e) => {
+                    stack.push(IdFrame::SetCollect {
+                        term,
+                        next: next + 1,
+                        out,
+                        fuel,
+                    });
+                    IdCtrl::Eval(e, fuel)
+                }
+                None => IdCtrl::Ret(ar.intern_node(NodeKey::Set(out.into()))),
+            }
+        }
+        IdFrame::JoinRight { term, fuel } => {
+            let b = match ar.key(term) {
+                NodeKey::Join(_, b) => *b,
+                _ => unreachable!("JoinRight holds a Join"),
+            };
+            stack.push(IdFrame::JoinDone { lhs: v });
+            IdCtrl::Eval(b, fuel)
+        }
+        IdFrame::JoinDone { lhs } => IdCtrl::Ret(ideval::join_results_id(ar, lhs, v)),
+        IdFrame::AppArg { term, fuel } => match ar.key(v) {
+            NodeKey::Bot | NodeKey::Top => IdCtrl::Ret(v),
+            _ => {
+                let a = match ar.key(term) {
+                    NodeKey::App(_, a) => *a,
+                    _ => unreachable!("AppArg holds an App"),
+                };
+                stack.push(IdFrame::AppApply { func: v, fuel });
+                IdCtrl::Eval(a, fuel)
+            }
+        },
+        IdFrame::AppApply { func, fuel } => match ar.key(v) {
+            NodeKey::Bot | NodeKey::Top => IdCtrl::Ret(v),
+            _ => apply_id(ar, func, v, fuel, stack, budget, table),
+        },
+        IdFrame::LetPairBody { term, fuel } => cont_let_pair_id(ar, term, v, fuel),
+        IdFrame::LetSymBody { term, fuel } => cont_let_sym_id(ar, term, v, fuel),
+        IdFrame::BigJoinScrut { term, fuel } => {
+            let thawed = ideval::thaw_id(ar, v);
+            enum S {
+                Top,
+                First(TermId, TermId),
+                Empty,
+                Stuck,
+            }
+            let s = match ar.key(thawed) {
+                NodeKey::Top => S::Top,
+                NodeKey::Set(vs) => match vs.first() {
+                    None => S::Empty,
+                    Some(first) => S::First(thawed, *first),
+                },
+                _ => S::Stuck,
+            };
+            match s {
+                S::Top => IdCtrl::Ret(ar.top_id()),
+                S::Empty | S::Stuck => IdCtrl::Ret(ar.bot_id()),
+                S::First(scrut, first) => {
+                    let body = match ar.key(term) {
+                        NodeKey::BigJoin(_, _, body) => *body,
+                        _ => unreachable!("BigJoinScrut holds a BigJoin"),
+                    };
+                    let inst = ideval::subst_eval(ar, body, &[first]);
+                    let acc = ar.bot_id();
+                    stack.push(IdFrame::BigJoinIter {
+                        term,
+                        scrut,
+                        next: 1,
+                        acc,
+                        fuel,
+                    });
+                    IdCtrl::Eval(inst, fuel)
+                }
+            }
+        }
+        IdFrame::BigJoinIter {
+            term,
+            scrut,
+            next,
+            acc,
+            fuel,
+        } => {
+            let acc = ideval::join_results_id(ar, acc, v);
+            if matches!(ar.key(acc), NodeKey::Top) {
+                return IdCtrl::Ret(acc);
+            }
+            let el = match ar.key(scrut) {
+                NodeKey::Set(vs) => vs.get(next).copied(),
+                _ => unreachable!("BigJoinIter scrutinee is a Set value"),
+            };
+            match el {
+                Some(el) => {
+                    let body = match ar.key(term) {
+                        NodeKey::BigJoin(_, _, body) => *body,
+                        _ => unreachable!("BigJoinIter holds a BigJoin"),
+                    };
+                    let inst = ideval::subst_eval(ar, body, &[el]);
+                    stack.push(IdFrame::BigJoinIter {
+                        term,
+                        scrut,
+                        next: next + 1,
+                        acc,
+                        fuel,
+                    });
+                    IdCtrl::Eval(inst, fuel)
+                }
+                None => IdCtrl::Ret(acc),
+            }
+        }
+        IdFrame::PrimCollect {
+            term,
+            next,
+            mut vals,
+            fuel,
+        } => {
+            match ar.key(v) {
+                NodeKey::Bot | NodeKey::Top => return IdCtrl::Ret(v),
+                _ => vals.push(v),
+            }
+            let next_arg = match ar.key(term) {
+                NodeKey::Prim(op, args) => (*op, args.get(next).copied()),
+                _ => unreachable!("PrimCollect holds a Prim"),
+            };
+            match next_arg {
+                (_, Some(a)) => {
+                    stack.push(IdFrame::PrimCollect {
+                        term,
+                        next: next + 1,
+                        vals,
+                        fuel,
+                    });
+                    IdCtrl::Eval(a, fuel)
+                }
+                (op, None) => IdCtrl::Ret(ideval::delta_id(ar, op, &vals)),
+            }
+        }
+        IdFrame::FrzSeal { saved } => {
+            let complete = !budget.exhausted;
+            budget.exhausted |= saved;
+            if complete {
+                IdCtrl::Ret(ideval::frz_lift_id(ar, v))
+            } else {
+                IdCtrl::Ret(ar.bot_id())
+            }
+        }
+        IdFrame::LetFrzBody { term, fuel } => {
+            enum S {
+                Top,
+                Payload(TermId),
+                Stuck,
+            }
+            let s = match ar.key(v) {
+                NodeKey::Top => S::Top,
+                NodeKey::Frz(payload) => S::Payload(*payload),
+                _ => S::Stuck,
+            };
+            match s {
+                S::Top => IdCtrl::Ret(ar.top_id()),
+                S::Payload(payload) => {
+                    let body = match ar.key(term) {
+                        NodeKey::LetFrz(_, _, body) => *body,
+                        _ => unreachable!("LetFrzBody holds a LetFrz"),
+                    };
+                    IdCtrl::Eval(ideval::subst_eval(ar, body, &[payload]), fuel)
+                }
+                // Unfrozen scrutinees leave the query unanswered.
+                S::Stuck => IdCtrl::Ret(ar.bot_id()),
+            }
+        }
+        IdFrame::LexSnd { term, fuel } => match ar.key(v) {
+            NodeKey::Bot | NodeKey::Top => IdCtrl::Ret(v),
+            _ => {
+                let b = match ar.key(term) {
+                    NodeKey::Lex(_, b) => *b,
+                    _ => unreachable!("LexSnd holds a Lex"),
+                };
+                stack.push(IdFrame::LexDone { fst: v });
+                IdCtrl::Eval(b, fuel)
+            }
+        },
+        IdFrame::LexDone { fst } => IdCtrl::Ret(ideval::lex_lift_id(ar, fst, v)),
+        IdFrame::LexBindScrut { term, fuel } => {
+            let thawed = ideval::thaw_id(ar, v);
+            enum S {
+                Top,
+                BotV,
+                Bot,
+                Lex(TermId, TermId),
+                Other,
+            }
+            let s = match ar.key(thawed) {
+                NodeKey::Top => S::Top,
+                NodeKey::BotV => S::BotV,
+                NodeKey::Bot => S::Bot,
+                NodeKey::Lex(v1, v1p) => S::Lex(*v1, *v1p),
+                _ => S::Other,
+            };
+            match s {
+                S::Top | S::Other => IdCtrl::Ret(ar.top_id()),
+                S::BotV => IdCtrl::Ret(ar.botv_id()),
+                S::Bot => IdCtrl::Ret(ar.bot_id()),
+                S::Lex(v1, v1p) => {
+                    let body = match ar.key(term) {
+                        NodeKey::LexBind(_, _, body) => *body,
+                        _ => unreachable!("LexBindScrut holds a LexBind"),
+                    };
+                    stack.push(IdFrame::MergeVersion { version: v1 });
+                    IdCtrl::Eval(ideval::subst_eval(ar, body, &[v1p]), fuel)
+                }
+            }
+        }
+        IdFrame::MergeVersion { version } => IdCtrl::Ret(ideval::merge_version_id(ar, version, v)),
+        IdFrame::TableStore {
+            func,
+            arg,
+            fuel,
+            saved,
+        } => {
+            let sub_exhausted = budget.exhausted;
+            table.store(func, arg, fuel, v, sub_exhausted);
+            budget.exhausted |= saved;
+            IdCtrl::Ret(v)
+        }
+    }
+}
+
+/// The β-step over ids: applies the function value to the argument value.
+fn apply_id<T: IdBetaTable>(
+    ar: &mut Interner,
+    vf: TermId,
+    va: TermId,
+    fuel: usize,
+    stack: &mut Vec<IdFrame>,
+    budget: &mut Budget,
+    table: &mut T,
+) -> IdCtrl {
+    let thawed = ideval::thaw_id(ar, vf);
+    let body = match ar.key(thawed) {
+        NodeKey::Lam(_, body) => Some(*body),
+        // Inspecting ⊥v yields ⊥ (§2.1); applying a non-function is stuck.
+        _ => None,
+    };
+    let Some(body) = body else {
+        return IdCtrl::Ret(ar.bot_id());
+    };
+    if fuel == 0 || budget.beta == 0 {
+        budget.exhausted = true;
+        return IdCtrl::Ret(ar.bot_id()); // approximation step: out of fuel
+    }
+    if let Some((r, exhausted)) = table.lookup(vf, va, fuel) {
+        budget.exhausted |= exhausted;
+        return IdCtrl::Ret(r);
+    }
+    budget.beta -= 1;
+    budget.used += 1;
+    let inst = ideval::subst_eval(ar, body, &[va]);
+    if table.enabled() {
+        stack.push(IdFrame::TableStore {
+            func: vf,
+            arg: va,
+            fuel,
+            saved: budget.exhausted,
+        });
+        budget.exhausted = false;
+    }
+    IdCtrl::Eval(inst, fuel - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,6 +1427,39 @@ mod tests {
         let r = run(&t, 10, &mut budget, &mut NoTable);
         assert!(r.alpha_eq(&bot()));
         assert!(budget.exhausted());
+    }
+
+    #[test]
+    fn id_machine_agrees_with_tree_machine() {
+        use crate::intern::Interner;
+        let t = app(lam("x", app(var("x"), var("x"))), lam("y", var("y")));
+        let mut ar = Interner::new();
+        let id = ar.canon_id(&t);
+        let mut budget = Budget::new(usize::MAX);
+        let r = run_id(&mut ar, id, 10, &mut budget, &mut NoIdTable);
+        assert!(ar.extract(r).alpha_eq(&lam("y", var("y"))));
+        assert_eq!(budget.used(), 2);
+
+        // The β valve cuts the id machine short exactly like the tree one.
+        let mut budget = Budget::new(1);
+        let r = run_id(&mut ar, id, 10, &mut budget, &mut NoIdTable);
+        assert!(ar.extract(r).alpha_eq(&bot()));
+        assert!(budget.exhausted());
+    }
+
+    #[test]
+    fn id_machine_deep_argument_nesting_is_heap_bounded() {
+        use crate::intern::Interner;
+        let mut t = int(1);
+        for _ in 0..50_000 {
+            t = app(lam("x", var("x")), t);
+        }
+        let mut ar = Interner::new();
+        let id = ar.canon_id(&t);
+        let mut budget = Budget::new(usize::MAX);
+        let r = run_id(&mut ar, id, 2, &mut budget, &mut NoIdTable);
+        assert!(ar.extract(r).alpha_eq(&int(1)));
+        assert_eq!(budget.used(), 50_000);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! membership are id comparisons.
 //!
 //! [`Interner`] is that arena. It maps structurally-equal [`Term`] nodes to
-//! a `Copy` [`TermId`] (`u32`) and caches per-node metadata — [`size`],
-//! [`is_value`], the free-variable summary, and a precomputed structural
+//! a `Copy` [`TermId`] (`u32`) and caches per-node metadata — size,
+//! value-ness, the free-variable summary, and a precomputed structural
 //! hash — computed once, bottom-up, at interning time ([`TermMeta`]).
 //!
 //! Structural identity is not yet α-equivalence: `λx.x` and `λy.y` are
@@ -54,7 +54,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::Arc;
 
-use crate::engine::BetaTable;
+use crate::engine::IdBetaTable;
 use crate::symbol::Symbol;
 use crate::term::{Prim, Term, TermRef, Var};
 
@@ -97,6 +97,11 @@ impl Hasher for FastHasher {
 }
 
 pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A fast-hashed set of [`TermId`]s — the dedup-set type of the fixpoint
+/// engines (`Copy` keys, process-local, no DoS surface: the std SipHash
+/// default would pay for hardening the hot membership probe cannot use).
+pub type IdSet = std::collections::HashSet<TermId, BuildHasherDefault<FastHasher>>;
 
 /// A raw allocation address used as an identity key in the pointer caches.
 ///
@@ -199,6 +204,54 @@ pub(crate) enum NodeKey {
     Prim(Prim, Box<[TermId]>),
 }
 
+/// A public, borrow-light view of an arena node's shallow shape: the
+/// arena-native counterpart of pattern-matching on [`Term`]. Child
+/// positions hold `Copy` [`TermId`]s; binder spellings are omitted (in the
+/// canonical id space every binder is the same sentinel — binding structure
+/// lives in the occurrences' de Bruijn indices).
+#[derive(Debug, Clone, Copy)]
+pub enum TermView<'a> {
+    /// `⊥`.
+    Bot,
+    /// `⊤`.
+    Top,
+    /// `⊥v`.
+    BotV,
+    /// A free variable (canonical bound occurrences are spelled as de
+    /// Bruijn indices with a reserved prefix and never escape evaluation).
+    Var(&'a Var),
+    /// A symbol literal.
+    Sym(&'a Symbol),
+    /// `λ. body`.
+    Lam(TermId),
+    /// `frz e`.
+    Frz(TermId),
+    /// `(a, b)`.
+    Pair(TermId, TermId),
+    /// `f a`.
+    App(TermId, TermId),
+    /// `a ∨ b`.
+    Join(TermId, TermId),
+    /// `⟨a, b⟩`.
+    Lex(TermId, TermId),
+    /// The administrative version-merge frame.
+    LexMerge(TermId, TermId),
+    /// `let s = e in body`.
+    LetSym(&'a Symbol, TermId, TermId),
+    /// `let (x1, x2) = e in body`.
+    LetPair(TermId, TermId),
+    /// `⋁_{x ∈ e} body`.
+    BigJoin(TermId, TermId),
+    /// `let frz x = e in body`.
+    LetFrz(TermId, TermId),
+    /// `x ← e; body`.
+    LexBind(TermId, TermId),
+    /// `{e1, …, en}`.
+    Set(&'a [TermId]),
+    /// A saturated primitive application.
+    Prim(Prim, &'a [TermId]),
+}
+
 /// One canonical pointer-cache entry: the id minted for this allocation
 /// and the retained handle (which pins the allocation so the pointer key
 /// can never be recycled).
@@ -224,15 +277,108 @@ const _: () = {
     require_send::<InternTable>();
 };
 
+/// The hash-cons index: an open-addressing table mapping node-key hashes
+/// to ids, with the keys themselves stored **once** in the arena's `keys`
+/// vector. The id engine probes this on every node it mints (substitution
+/// rebuilds, set collection, joins), so the table is purpose-built for
+/// that path: one hash per operation, no key clone on insert (a std map
+/// would store a second copy of every `NodeKey`), linear probing over a
+/// flat `(hash, id)` slot vector, and the arena's fast hasher throughout
+/// (keys are process-local — SipHash's DoS hardening buys nothing).
+#[derive(Debug, Clone, Default)]
+struct NodeIndex {
+    /// `(hash, id + 1)` slots; 0 in the second field marks an empty slot.
+    slots: Vec<(u64, u32)>,
+    /// Occupied slot count.
+    len: usize,
+}
+
+impl NodeIndex {
+    /// Looks up the id whose stored hash matches and whose key satisfies
+    /// `eq` (called only on hash-equal candidates).
+    fn find(&self, hash: u64, mut eq: impl FnMut(TermId) -> bool) -> Option<TermId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, tag) = self.slots[i];
+            if tag == 0 {
+                return None;
+            }
+            if h == hash {
+                let id = TermId(tag - 1);
+                if eq(id) {
+                    return Some(id);
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Records `hash → id` (the caller has already checked absence).
+    fn insert(&mut self, hash: u64, id: TermId) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i].1 != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (hash, id.0 + 1);
+        self.len += 1;
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); new_cap]);
+        let mask = new_cap - 1;
+        for (h, tag) in old {
+            if tag != 0 {
+                let mut i = (h as usize) & mask;
+                while self.slots[i].1 != 0 {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = (h, tag);
+            }
+        }
+    }
+}
+
+/// The fast structural hash of a node key (one [`FastHasher`] pass).
+fn hash_node_key(key: &NodeKey) -> u64 {
+    use std::hash::BuildHasher;
+    BuildHasherDefault::<FastHasher>::default().hash_one(key)
+}
+
 /// A hash-consing arena for λ∨ terms. See the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
-    /// Shallow node shape → id.
-    nodes: HashMap<NodeKey, TermId>,
-    /// Per-id representative term (also keeps ptr-cache keys alive).
-    terms: Vec<TermRef>,
+    /// Shallow node shape → id (see [`NodeIndex`]).
+    nodes: NodeIndex,
+    /// Per-id shallow node shape (the inverse of `nodes`): this is what
+    /// makes the arena *evaluable in place* — the id-native toolkit
+    /// ([`crate::ideval`]) and the id frame machine ([`crate::engine`])
+    /// pattern-match on these keys instead of walking trees.
+    keys: Vec<NodeKey>,
+    /// Per-id representative term, **lazy**: ids minted from real trees
+    /// ([`Interner::intern`] / [`Interner::canon_id`]) record the tree they
+    /// came from; ids minted by id-native evaluation (substitution
+    /// results, joins, delta reducts) record `None` and only materialise a
+    /// tree if [`Interner::extract`] reaches them. This is what lets the
+    /// hot paths allocate arena nodes only, tree nodes never.
+    terms: Vec<Option<TermRef>>,
     /// Per-id cached metadata.
     metas: Vec<TermMeta>,
+    /// Cached ids of the shared result leaves (`⊥`, `⊤`, `⊥v`), minted on
+    /// first use: the id engine returns these on every stuck or exhausted
+    /// path, and a field read beats a map probe.
+    leaf_bot: Option<TermId>,
+    leaf_top: Option<TermId>,
+    leaf_botv: Option<TermId>,
     /// Allocation-pointer → id cache for [`Interner::intern`]. The mapped
     /// `TermRef` retains the allocation, so a key pointer can never be
     /// reused by a different term while its entry lives.
@@ -265,18 +411,6 @@ impl Interner {
         self.terms.is_empty()
     }
 
-    /// The representative term of an id: structurally equal to the interned
-    /// node for ids from [`Interner::intern`], α-equivalent to it for ids
-    /// minted by [`Interner::canon_id`] (which keys nodes by canonical
-    /// binder names but keeps the first term seen as representative).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not from this arena.
-    pub fn term(&self, id: TermId) -> &TermRef {
-        &self.terms[id.index()]
-    }
-
     /// The cached metadata of an id.
     ///
     /// # Panics
@@ -284,6 +418,84 @@ impl Interner {
     /// Panics if `id` is not from this arena.
     pub fn meta(&self, id: TermId) -> &TermMeta {
         &self.metas[id.index()]
+    }
+
+    /// The shallow shape of an id's node, over child *ids*: the arena-native
+    /// replacement for pattern-matching on [`Term`]. O(1), no tree access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this arena.
+    pub fn view(&self, id: TermId) -> TermView<'_> {
+        match &self.keys[id.index()] {
+            NodeKey::Bot => TermView::Bot,
+            NodeKey::Top => TermView::Top,
+            NodeKey::BotV => TermView::BotV,
+            NodeKey::Var(x) => TermView::Var(x),
+            NodeKey::Sym(s) => TermView::Sym(s),
+            NodeKey::Lam(_, b) => TermView::Lam(*b),
+            NodeKey::Frz(e) => TermView::Frz(*e),
+            NodeKey::Pair(a, b) => TermView::Pair(*a, *b),
+            NodeKey::App(a, b) => TermView::App(*a, *b),
+            NodeKey::Join(a, b) => TermView::Join(*a, *b),
+            NodeKey::Lex(a, b) => TermView::Lex(*a, *b),
+            NodeKey::LexMerge(a, b) => TermView::LexMerge(*a, *b),
+            NodeKey::LetSym(s, a, b) => TermView::LetSym(s, *a, *b),
+            NodeKey::LetPair(_, _, a, b) => TermView::LetPair(*a, *b),
+            NodeKey::BigJoin(_, a, b) => TermView::BigJoin(*a, *b),
+            NodeKey::LetFrz(_, a, b) => TermView::LetFrz(*a, *b),
+            NodeKey::LexBind(_, a, b) => TermView::LexBind(*a, *b),
+            NodeKey::Set(ids) => TermView::Set(ids),
+            NodeKey::Prim(op, ids) => TermView::Prim(*op, ids),
+        }
+    }
+
+    /// The raw node key of an id (crate-internal: the id toolkit and the
+    /// frame machine need binder spellings, not just child ids).
+    pub(crate) fn key(&self, id: TermId) -> &NodeKey {
+        &self.keys[id.index()]
+    }
+
+    /// The cached id of `⊥`, minted on first use.
+    pub fn bot_id(&mut self) -> TermId {
+        if let Some(id) = self.leaf_bot {
+            return id;
+        }
+        let id = self.intern_node(NodeKey::Bot);
+        self.leaf_bot = Some(id);
+        id
+    }
+
+    /// The cached id of `⊤`, minted on first use.
+    pub fn top_id(&mut self) -> TermId {
+        if let Some(id) = self.leaf_top {
+            return id;
+        }
+        let id = self.intern_node(NodeKey::Top);
+        self.leaf_top = Some(id);
+        id
+    }
+
+    /// The cached id of `⊥v`, minted on first use.
+    pub fn botv_id(&mut self) -> TermId {
+        if let Some(id) = self.leaf_botv {
+            return id;
+        }
+        let id = self.intern_node(NodeKey::BotV);
+        self.leaf_botv = Some(id);
+        id
+    }
+
+    /// Hash-conses a node over already-interned children. The node gets no
+    /// representative tree — a tree is materialised only if
+    /// [`Interner::extract`] ever reaches it.
+    pub(crate) fn intern_node(&mut self, key: NodeKey) -> TermId {
+        let hash = hash_node_key(&key);
+        let (nodes, keys) = (&self.nodes, &self.keys);
+        match nodes.find(hash, |id| keys[id.index()] == key) {
+            Some(id) => id,
+            None => self.insert_node(hash, key, None),
+        }
     }
 
     /// Interns a term *structurally*: equal trees (including binder names)
@@ -514,18 +726,17 @@ impl Interner {
     /// Interns a leaf term (no children, no renaming).
     fn intern_leaf(&mut self, t: &TermRef) -> TermId {
         let key = self.node_key(t, &[]);
-        match self.nodes.get(&key) {
-            Some(id) => *id,
-            None => self.insert_node(key, t),
-        }
+        self.intern_key(key, t)
     }
 
     /// Interns a pre-built (possibly binder-renamed) node key, with `t` as
     /// the α-equivalent representative if the node is new.
     fn intern_key(&mut self, key: NodeKey, t: &TermRef) -> TermId {
-        match self.nodes.get(&key) {
-            Some(id) => *id,
-            None => self.insert_node(key, t),
+        let hash = hash_node_key(&key);
+        let (nodes, keys) = (&self.nodes, &self.keys);
+        match nodes.find(hash, |id| keys[id.index()] == key) {
+            Some(id) => id,
+            None => self.insert_node(hash, key, Some(t)),
         }
     }
 
@@ -658,6 +869,181 @@ impl Interner {
         }
         debug_assert_eq!(results.len(), 1);
         results.pop().expect("canonicalisation produced no result")
+    }
+
+    /// Materialises a named tree for an id — the tree↔id boundary in the
+    /// outbound direction. The result is α-equivalent to the interned node:
+    /// ids minted from trees return the recorded representative; ids minted
+    /// by id-native evaluation rebuild a tree from the node keys, renaming
+    /// sentinel binders to fresh canonical level names and de Bruijn-index
+    /// occurrences to the matching binder name.
+    ///
+    /// Rebuilt **closed** subtrees are memoised per id (binder names inside
+    /// a closed subtree are self-contained, so the cached tree splices
+    /// correctly under any ambient binder depth): extracting the same
+    /// fixpoint accumulator round after round costs one handle clone per
+    /// already-extracted element. Iterative; safe on 512 KiB threads.
+    pub fn extract(&mut self, id: TermId) -> TermRef {
+        if let (true, Some(t)) = (self.metas[id.index()].is_closed(), &self.terms[id.index()]) {
+            return t.clone();
+        }
+        enum Job {
+            Visit(TermId),
+            Bind(usize),
+            Unbind(usize),
+            /// Rebuild `id`'s node from the last `n` results.
+            Build(TermId, usize),
+        }
+        let mut depth: usize = 0;
+        let mut jobs: Vec<Job> = vec![Job::Visit(id)];
+        let mut results: Vec<TermRef> = Vec::new();
+        while let Some(job) = jobs.pop() {
+            match job {
+                Job::Bind(n) => depth += n,
+                Job::Unbind(n) => depth -= n,
+                Job::Visit(id) => {
+                    if let (true, Some(t)) =
+                        (self.metas[id.index()].is_closed(), &self.terms[id.index()])
+                    {
+                        results.push(t.clone());
+                        continue;
+                    }
+                    match &self.keys[id.index()] {
+                        NodeKey::Bot => results.push(crate::builder::bot()),
+                        NodeKey::Top => results.push(crate::builder::top()),
+                        NodeKey::BotV => results.push(crate::builder::botv()),
+                        NodeKey::Sym(s) => results.push(Arc::new(Term::Sym(s.clone()))),
+                        NodeKey::Var(x) => {
+                            // A bound occurrence names the binder that is
+                            // `index` levels up, i.e. the one introduced at
+                            // level `depth - 1 - index`.
+                            let name = match canon_index(x) {
+                                Some(i) if i < depth => canonical_name(depth - 1 - i),
+                                _ => x.clone(),
+                            };
+                            results.push(Arc::new(Term::Var(name)));
+                        }
+                        NodeKey::Lam(_, b) | NodeKey::Frz(b) => {
+                            let binds =
+                                usize::from(matches!(&self.keys[id.index()], NodeKey::Lam(..)));
+                            let b = *b;
+                            jobs.push(Job::Build(id, 1));
+                            jobs.push(Job::Unbind(binds));
+                            jobs.push(Job::Visit(b));
+                            jobs.push(Job::Bind(binds));
+                        }
+                        NodeKey::Pair(a, b)
+                        | NodeKey::App(a, b)
+                        | NodeKey::Join(a, b)
+                        | NodeKey::Lex(a, b)
+                        | NodeKey::LexMerge(a, b)
+                        | NodeKey::LetSym(_, a, b) => {
+                            let (a, b) = (*a, *b);
+                            jobs.push(Job::Build(id, 2));
+                            jobs.push(Job::Visit(b));
+                            jobs.push(Job::Visit(a));
+                        }
+                        NodeKey::LetPair(_, _, e, body) => {
+                            let (e, body) = (*e, *body);
+                            jobs.push(Job::Build(id, 2));
+                            jobs.push(Job::Unbind(2));
+                            jobs.push(Job::Visit(body));
+                            jobs.push(Job::Bind(2));
+                            jobs.push(Job::Visit(e));
+                        }
+                        NodeKey::BigJoin(_, e, body)
+                        | NodeKey::LetFrz(_, e, body)
+                        | NodeKey::LexBind(_, e, body) => {
+                            let (e, body) = (*e, *body);
+                            jobs.push(Job::Build(id, 2));
+                            jobs.push(Job::Unbind(1));
+                            jobs.push(Job::Visit(body));
+                            jobs.push(Job::Bind(1));
+                            jobs.push(Job::Visit(e));
+                        }
+                        NodeKey::Set(ids) | NodeKey::Prim(_, ids) => {
+                            let n = ids.len();
+                            let ids: Vec<TermId> = ids.to_vec();
+                            jobs.push(Job::Build(id, n));
+                            jobs.extend(ids.into_iter().rev().map(Job::Visit));
+                        }
+                    }
+                }
+                Job::Build(id, n) => {
+                    let mut children = results.split_off(results.len() - n);
+                    // Binder names: sentinel binders are renamed to the
+                    // canonical level name of their position; structural
+                    // (named) binders keep their spelling.
+                    let binder = |x: &Var, offset: usize| -> Var {
+                        if is_canon_binder(x) {
+                            canonical_name(depth + offset)
+                        } else {
+                            x.clone()
+                        }
+                    };
+                    let built: TermRef = match &self.keys[id.index()] {
+                        NodeKey::Lam(x, _) => {
+                            let b = children.pop().expect("extract lost a body");
+                            Arc::new(Term::Lam(binder(x, 0), b))
+                        }
+                        NodeKey::Frz(_) => {
+                            Arc::new(Term::Frz(children.pop().expect("extract lost a payload")))
+                        }
+                        NodeKey::Pair(..)
+                        | NodeKey::App(..)
+                        | NodeKey::Join(..)
+                        | NodeKey::Lex(..)
+                        | NodeKey::LexMerge(..)
+                        | NodeKey::LetSym(..) => {
+                            let b = children.pop().expect("extract lost a child");
+                            let a = children.pop().expect("extract lost a child");
+                            Arc::new(match &self.keys[id.index()] {
+                                NodeKey::Pair(..) => Term::Pair(a, b),
+                                NodeKey::App(..) => Term::App(a, b),
+                                NodeKey::Join(..) => Term::Join(a, b),
+                                NodeKey::Lex(..) => Term::Lex(a, b),
+                                NodeKey::LexMerge(..) => Term::LexMerge(a, b),
+                                NodeKey::LetSym(s, ..) => Term::LetSym(s.clone(), a, b),
+                                _ => unreachable!(),
+                            })
+                        }
+                        NodeKey::LetPair(x1, x2, ..) => {
+                            let body = children.pop().expect("extract lost a body");
+                            let e = children.pop().expect("extract lost a scrutinee");
+                            Arc::new(Term::LetPair(binder(x1, 0), binder(x2, 1), e, body))
+                        }
+                        NodeKey::BigJoin(x, ..)
+                        | NodeKey::LetFrz(x, ..)
+                        | NodeKey::LexBind(x, ..) => {
+                            let body = children.pop().expect("extract lost a body");
+                            let e = children.pop().expect("extract lost a scrutinee");
+                            let x = binder(x, 0);
+                            Arc::new(match &self.keys[id.index()] {
+                                NodeKey::BigJoin(..) => Term::BigJoin(x, e, body),
+                                NodeKey::LetFrz(..) => Term::LetFrz(x, e, body),
+                                _ => Term::LexBind(x, e, body),
+                            })
+                        }
+                        NodeKey::Set(_) => Arc::new(Term::Set(children)),
+                        NodeKey::Prim(op, _) => Arc::new(Term::Prim(*op, children)),
+                        NodeKey::Bot
+                        | NodeKey::Top
+                        | NodeKey::BotV
+                        | NodeKey::Var(_)
+                        | NodeKey::Sym(_) => unreachable!("leaves are built in place"),
+                    };
+                    // Memoise closed rebuilds: their binder names are
+                    // self-contained, so the tree is reusable at any depth.
+                    let slot = id.index();
+                    if self.metas[slot].is_closed() && self.terms[slot].is_none() {
+                        self.terms[slot] = Some(built.clone());
+                    }
+                    results.push(built);
+                }
+            }
+        }
+        debug_assert_eq!(results.len(), 1);
+        results.pop().expect("extraction produced no result")
     }
 }
 
@@ -861,14 +1247,41 @@ impl Interner {
     }
 
     /// Allocates a fresh id for a new node key, computing the cached
-    /// metadata bottom-up from the children recorded in the key.
-    fn insert_node(&mut self, key: NodeKey, t: &TermRef) -> TermId {
-        let child_ids = key_children(&key);
-        let meta = self.compute_meta(&key, &child_ids);
+    /// metadata bottom-up from the children recorded in the key. The
+    /// representative tree is optional: id-native evaluation mints nodes
+    /// with `None` and a tree exists only if extraction ever needs one.
+    ///
+    /// This is the allocation site of every arena node the id engine
+    /// mints, so the ≤ 2-children common case gathers child metadata on
+    /// the stack and the key is stored exactly once (moved into `keys`;
+    /// the hash-cons index holds only `(hash, id)`).
+    fn insert_node(&mut self, hash: u64, key: NodeKey, rep: Option<&TermRef>) -> TermId {
+        let m = |id: &TermId| &self.metas[id.index()];
+        let meta = match &key {
+            NodeKey::Bot | NodeKey::Top | NodeKey::BotV | NodeKey::Var(_) | NodeKey::Sym(_) => {
+                compute_meta_from(&key, &[], &self.no_vars)
+            }
+            NodeKey::Lam(_, b) | NodeKey::Frz(b) => compute_meta_from(&key, &[m(b)], &self.no_vars),
+            NodeKey::Pair(a, b)
+            | NodeKey::App(a, b)
+            | NodeKey::Join(a, b)
+            | NodeKey::Lex(a, b)
+            | NodeKey::LexMerge(a, b)
+            | NodeKey::LetSym(_, a, b)
+            | NodeKey::LetPair(_, _, a, b)
+            | NodeKey::BigJoin(_, a, b)
+            | NodeKey::LetFrz(_, a, b)
+            | NodeKey::LexBind(_, a, b) => compute_meta_from(&key, &[m(a), m(b)], &self.no_vars),
+            NodeKey::Set(ids) | NodeKey::Prim(_, ids) => {
+                let children: Vec<&TermMeta> = ids.iter().map(m).collect();
+                compute_meta_from(&key, &children, &self.no_vars)
+            }
+        };
         let id = TermId(u32::try_from(self.terms.len()).expect("interner full: > u32::MAX nodes"));
-        self.terms.push(t.clone());
+        self.terms.push(rep.cloned());
         self.metas.push(meta);
-        self.nodes.insert(key, id);
+        self.keys.push(key);
+        self.nodes.insert(hash, id);
         id
     }
 
@@ -903,14 +1316,6 @@ pub(crate) fn node_key_of(t: &Term, ids: &[TermId]) -> NodeKey {
         Term::LexBind(x, ..) => NodeKey::LexBind(x.clone(), ids[0], ids[1]),
         Term::Set(_) => NodeKey::Set(ids.into()),
         Term::Prim(op, _) => NodeKey::Prim(*op, ids.into()),
-    }
-}
-
-impl Interner {
-    /// Computes a node's metadata from its children's cached metadata.
-    fn compute_meta(&mut self, key: &NodeKey, child_ids: &[TermId]) -> TermMeta {
-        let children: Vec<&TermMeta> = child_ids.iter().map(|id| &self.metas[id.index()]).collect();
-        compute_meta_from(key, &children, &self.no_vars)
     }
 }
 
@@ -1030,7 +1435,10 @@ fn compute_free_vars(key: &NodeKey, children: &[&TermMeta], no_vars: &Arc<[Var]>
 /// A structural hash: node tag + local data + child hashes. Equal terms
 /// hash equally regardless of arena.
 fn compute_hash(key: &NodeKey, children: &[&TermMeta]) -> u64 {
-    let mut h = std::hash::DefaultHasher::new();
+    // The arena's fast hasher: this runs once per *new* node, but the id
+    // engine mints nodes on every substitution rebuild, so SipHash setup
+    // cost here was measurable on the seminaive round loop.
+    let mut h = FastHasher::default();
     std::mem::discriminant(key).hash(&mut h);
     match key {
         NodeKey::Var(x) | NodeKey::Lam(x, _) => x.hash(&mut h),
@@ -1110,25 +1518,19 @@ fn minus(a: &[Var], remove: &[Var]) -> Vec<Var> {
     a.iter().filter(|x| !remove.contains(x)).cloned().collect()
 }
 
-/// A memoising [`BetaTable`] keyed on **canonical interned ids**: the cache
-/// probe is two pointer-cache hits plus one `Copy`-key map probe — no term
-/// traversal, no `Arc` clones, no tree hashing (regression-tested with a
-/// counting allocator). α-equivalent `(function, argument)` pairs share one
-/// entry, which strictly increases sharing over structural keys.
+/// The memoising β-table of the id-native engine, keyed on **canonical
+/// interned ids** with *zero translation*: the engine holds the function
+/// and argument ids in hand at every β-step, so a probe is exactly one
+/// `Copy`-key map access — no tree traversal, no `canon_id` walk, no `Arc`
+/// clones, no allocation (regression-tested with a counting allocator).
+/// α-equivalent `(function, argument)` pairs share one entry by
+/// construction, since α-equivalent terms *are* the same id.
+///
+/// The table does not own the arena: the engine's caller keeps one arena
+/// and threads it alongside (see `lambda-join-runtime`'s `MemoEval`).
 #[derive(Debug, Clone, Default)]
 pub struct InternTable {
-    interner: Interner,
-    cache: FastMap<(TermId, TermId, usize), (TermRef, bool)>,
-    /// Pointer-identity front cache over `cache`: `(f, a, fuel)` keyed by
-    /// allocation address instead of canonical id, so a *repeated* probe
-    /// with the same handles — the steady state of converging fuel sweeps,
-    /// where the same β-redexes are replayed at the same fuel — is one map
-    /// hit with no canonical-id resolution at all. Entries are only minted
-    /// after both operands passed through `canon_id`, whose root cache
-    /// retains them, so the addresses are pinned for the table's lifetime.
-    /// Sound because evaluation is deterministic: a `(f, a, fuel)` key is
-    /// never re-stored with a different result.
-    front: FastMap<(PtrKey, PtrKey, usize), (TermRef, bool)>,
+    cache: FastMap<(TermId, TermId, usize), (TermId, bool)>,
     hits: usize,
     misses: usize,
 }
@@ -1153,27 +1555,14 @@ impl InternTable {
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
     }
-
-    /// The arena backing the table's keys (shared with callers that want to
-    /// intern related data).
-    pub fn interner_mut(&mut self) -> &mut Interner {
-        &mut self.interner
-    }
 }
 
-impl BetaTable for InternTable {
-    fn lookup(&mut self, f: &TermRef, a: &TermRef, fuel: usize) -> Option<(TermRef, bool)> {
-        let fkey = (PtrKey::of(f), PtrKey::of(a), fuel);
-        if let Some((r, exhausted)) = self.front.get(&fkey) {
-            self.hits += 1;
-            return Some((r.clone(), *exhausted));
-        }
-        let key = (self.interner.canon_id(f), self.interner.canon_id(a), fuel);
-        match self.cache.get(&key) {
+impl IdBetaTable for InternTable {
+    fn lookup(&mut self, f: TermId, a: TermId, fuel: usize) -> Option<(TermId, bool)> {
+        match self.cache.get(&(f, a, fuel)) {
             Some((r, exhausted)) => {
                 self.hits += 1;
-                self.front.insert(fkey, (r.clone(), *exhausted));
-                Some((r.clone(), *exhausted))
+                Some((*r, *exhausted))
             }
             None => {
                 self.misses += 1;
@@ -1182,11 +1571,8 @@ impl BetaTable for InternTable {
         }
     }
 
-    fn store(&mut self, f: &TermRef, a: &TermRef, fuel: usize, r: &TermRef, exhausted: bool) {
-        let key = (self.interner.canon_id(f), self.interner.canon_id(a), fuel);
-        self.cache.insert(key, (r.clone(), exhausted));
-        self.front
-            .insert((PtrKey::of(f), PtrKey::of(a), fuel), (r.clone(), exhausted));
+    fn store(&mut self, f: TermId, a: TermId, fuel: usize, r: TermId, exhausted: bool) {
+        self.cache.insert((f, a, fuel), (r, exhausted));
     }
 }
 
@@ -1251,15 +1637,34 @@ mod tests {
 
     #[test]
     fn intern_table_hits_on_alpha_variants() {
+        let mut arena = Interner::new();
         let mut table = InternTable::new();
-        let f1 = lam("x", var("x"));
-        let f2 = lam("y", var("y"));
-        let arg = int(3);
-        assert!(table.lookup(&f1, &arg, 5).is_none());
-        table.store(&f1, &arg, 5, &arg, false);
-        let (r, ex) = table.lookup(&f2, &arg, 5).expect("α-variant must hit");
-        assert!(r.alpha_eq(&arg));
+        let f1 = arena.canon_id(&lam("x", var("x")));
+        let f2 = arena.canon_id(&lam("y", var("y")));
+        assert_eq!(f1, f2, "α-variants intern to one id");
+        let arg = arena.canon_id(&int(3));
+        assert!(table.lookup(f1, arg, 5).is_none());
+        table.store(f1, arg, 5, arg, false);
+        let (r, ex) = table.lookup(f2, arg, 5).expect("α-variant must hit");
+        assert_eq!(r, arg);
         assert!(!ex);
         assert_eq!(table.stats(), (1, 1));
+    }
+
+    #[test]
+    fn extract_round_trips_alpha_classes() {
+        let mut arena = Interner::new();
+        for t in [
+            lam("x", app(var("x"), var("free"))),
+            lam("x", lam("x", var("x"))),
+            let_pair("a", "b", pair(int(1), int(2)), app(var("a"), var("b"))),
+            big_join("x", set(vec![int(1)]), set(vec![var("x")])),
+            set(vec![int(1), pair(int(2), int(3))]),
+        ] {
+            let id = arena.canon_id(&t);
+            let back = arena.extract(id);
+            assert!(back.alpha_eq(&t), "{t} extracted as {back}");
+            assert_eq!(arena.canon_id(&back), id);
+        }
     }
 }

@@ -29,6 +29,9 @@
 //! * [`intern`] — the hash-consing arena: `Copy` term ids with O(1)
 //!   equality/hashing, cached subterm metadata, and canonical ids that
 //!   decide α-equivalence by id comparison (the memo/tabling key type);
+//! * [`ideval`] — the id-native evaluation toolkit: substitution, result
+//!   joins, the streaming order, delta rules, and head reduction computed
+//!   directly over arena nodes (tree allocations: zero);
 //! * [`sharded`] — the thread-shared counterpart: a sharded hash-consing
 //!   interner and memo table usable concurrently from worker threads;
 //! * [`pool`] — bounded fork–join worker helpers shared by every parallel
@@ -60,6 +63,7 @@ pub mod builder;
 pub mod display;
 pub mod encodings;
 pub mod engine;
+pub mod ideval;
 pub mod intern;
 pub mod machine;
 pub mod observe;

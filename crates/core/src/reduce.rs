@@ -91,8 +91,14 @@ fn join_rec(r1: &TermRef, r2: &TermRef, depth: u32) -> TermRef {
             }
             builder::set(out)
         }
-        // Abstractions join to an abstraction whose body is the join.
+        // Abstractions join to an abstraction whose body is the join;
+        // α-equivalent abstractions join to themselves (idempotence — the
+        // id-space join decides this by id equality, and the tree join
+        // must agree α-for-α, property-tested in `tests/ideval_props.rs`).
         (Term::Lam(x, e1), Term::Lam(y, e2)) => {
+            if r1.alpha_eq(r2) {
+                return r1.clone();
+            }
             let e2_renamed = if x == y {
                 e2.clone()
             } else {
@@ -261,6 +267,46 @@ pub fn thaw(v: &TermRef) -> &Term {
     }
 }
 
+/// The *simultaneous* substitution `body[v1/x1, v2/x2]` of a pair
+/// elimination, with `x2` the inner binder.
+///
+/// Sequencing two single substitutions gets this wrong in two corners that
+/// α-equivalence cares about: with `x1 == x2` the inner binder shadows the
+/// outer entirely (so only `v2` may be substituted — substituting `x1`
+/// first resolves occurrences to the *outer* binder, disagreeing with
+/// [`Term::alpha_eq`] and the canonical interner, which resolve to the
+/// innermost); and when one value mentions the other binder's name free, a
+/// naive sequencing rewrites occurrences it just introduced. Evaluation
+/// must respect α-equivalence — the id-native engine keys work on canonical
+/// ids, where α-variants are literally the same term — so the elimination
+/// forms route through this helper.
+pub(crate) fn subst_pair(
+    body: &TermRef,
+    x1: &str,
+    v1: &TermRef,
+    x2: &str,
+    v2: &TermRef,
+) -> TermRef {
+    if x1 == x2 {
+        // The inner binder shadows the outer one everywhere.
+        return body.subst(x2, v2);
+    }
+    let mentions = |v: &TermRef, x: &str| v.free_vars().iter().any(|w| &**w == x);
+    if !mentions(v2, x1) {
+        body.subst(x2, v2).subst(x1, v1)
+    } else if !mentions(v1, x2) {
+        body.subst(x1, v1).subst(x2, v2)
+    } else {
+        // Both values mention the other binder: detour through a reserved
+        // placeholder (the '\u{1}' prefix is unreachable from source
+        // programs, so it cannot occur free in `body` or the values).
+        let tmp: crate::term::Var = Arc::from("\u{1}swap");
+        body.subst(x2, &builder::var(&tmp))
+            .subst(x1, v1)
+            .subst(&tmp, v2)
+    }
+}
+
 /// Applies a primitive's delta rule to value operands.
 ///
 /// Returns the reduct, or `None` if some operand is `⊥v` on the left of a
@@ -376,10 +422,7 @@ pub fn head_step(t: &Term) -> Option<TermRef> {
             _ => None,
         },
         Term::LetPair(x1, x2, e, body) if e.is_value() => match thaw(e) {
-            Term::Pair(v1, v2) => {
-                // Reduction is over closed terms, so x2 cannot be free in v1.
-                Some(body.subst(x1, v1).subst(x2, v2))
-            }
+            Term::Pair(v1, v2) => Some(subst_pair(body, x1, v1, x2, v2)),
             _ => None,
         },
         Term::LetSym(s, e, body) if e.is_value() => match thaw(e) {

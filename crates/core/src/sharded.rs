@@ -11,7 +11,7 @@
 //!   structural hash of the node key**, each a `parking_lot::Mutex` around
 //!   an append-only arena slice. Concurrent interning contends only when
 //!   two workers touch nodes that land in the same shard;
-//! * ids are global: the shard tag lives in the low [`SHARD_BITS`] bits of
+//! * ids are global: the shard tag lives in the low `SHARD_BITS` bits of
 //!   the `u32`, the shard-local index above them, so child ids minted by
 //!   any shard can appear in any other shard's node keys;
 //! * the pointer caches (amortised-O(1) repeat probes, exactly as in the
@@ -51,7 +51,7 @@ use crate::intern::{
 };
 use crate::term::{Term, TermRef, Var};
 
-/// Number of hash-cons shards (a power of two; the tag fits [`SHARD_BITS`]).
+/// Number of hash-cons shards (a power of two; the tag fits `SHARD_BITS`).
 pub const SHARDS: usize = 16;
 
 /// Bits of the id reserved for the shard tag.

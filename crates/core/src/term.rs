@@ -448,7 +448,14 @@ impl Drop for Term {
         if self.children().all(|c| is_leaf(c)) {
             return;
         }
-        if IN_TEARDOWN.with(Cell::get) {
+        // All thread-local accesses below use `try_with`: terms can be
+        // dropped *during thread-local destruction* (e.g. the thread-local
+        // evaluation arena tearing down after this module's TLS cells are
+        // gone), where `with` would panic-in-drop and abort the process.
+        // The fallbacks stay iterative-safe: an unavailable teardown flag
+        // reads as "not in a teardown", and an unavailable anchor reads as
+        // "budget exhausted", routing deep nodes to the worklist.
+        if IN_TEARDOWN.try_with(Cell::get).unwrap_or(false) {
             // A worklist teardown is running. Nodes the worklist manages
             // have all their composite children enqueued (count ≥ 2), so
             // only shallow field drops remain; anything else reaching here
@@ -471,15 +478,17 @@ impl Drop for Term {
         // the previous recursion is finished, so the anchor moves here.)
         let marker = 0u8;
         let here = std::ptr::addr_of!(marker) as usize;
-        let within_budget = DROP_ANCHOR.with(|a| {
-            let anchor = a.get();
-            if anchor == 0 || here >= anchor {
-                a.set(here);
-                true
-            } else {
-                anchor - here <= DROP_STACK_BUDGET
-            }
-        });
+        let within_budget = DROP_ANCHOR
+            .try_with(|a| {
+                let anchor = a.get();
+                if anchor == 0 || here >= anchor {
+                    a.set(here);
+                    true
+                } else {
+                    anchor - here <= DROP_STACK_BUDGET
+                }
+            })
+            .unwrap_or(false);
         if within_budget {
             return;
         }
@@ -551,14 +560,18 @@ fn drop_deep(t: &mut Term) {
     }
     /// Restores [`IN_TEARDOWN`] even if the loop panics (allocation
     /// failure); saves the prior value so re-entrant teardowns nest.
+    /// Accesses are `try_with`: during thread-local destruction the flag
+    /// may already be gone, in which case nodes popped by the loop below
+    /// take the anchor-unavailable worklist path instead (see
+    /// [`Term::drop`]), which is slower but still iterative-safe.
     struct TeardownGuard(bool);
     impl Drop for TeardownGuard {
         fn drop(&mut self) {
             let prev = self.0;
-            IN_TEARDOWN.with(|f| f.set(prev));
+            let _ = IN_TEARDOWN.try_with(|f| f.set(prev));
         }
     }
-    let _guard = TeardownGuard(IN_TEARDOWN.with(|f| f.replace(true)));
+    let _guard = TeardownGuard(IN_TEARDOWN.try_with(|f| f.replace(true)).unwrap_or(false));
     let mut run = |pending: &mut Vec<TermRef>| {
         detach_root(t, pending);
         while let Some(child) = pending.pop() {
@@ -567,10 +580,10 @@ fn drop_deep(t: &mut Term) {
             }
         }
     };
-    SCRATCH.with(|s| match s.try_borrow_mut() {
-        Ok(mut pending) => run(&mut pending),
-        Err(_) => run(&mut Vec::new()),
-    });
+    match SCRATCH.try_with(|s| s.try_borrow_mut().ok().map(|mut p| run(&mut p))) {
+        Ok(Some(())) => {}
+        _ => run(&mut Vec::new()),
+    }
 }
 
 /// Substitution of a *closed* value: no capture is possible, so binders

@@ -1,11 +1,11 @@
-//! Allocation regression test for the tabled cache probe path.
+//! Allocation regression test for the arena-native warm paths.
 //!
-//! The pre-interning memo table allocated a fresh `(f.clone(), a.clone(),
-//! fuel)` tuple on every cache *lookup*; with canonical-id keys a warm
-//! probe is two pointer-cache hits plus one `Copy`-key map probe and must
-//! allocate nothing. This binary installs a counting global allocator and
-//! pins that down. (Kept as its own integration-test binary so the
-//! counter sees no unrelated traffic; the single test runs alone.)
+//! The warm-path invariant of the id-native engine: once the operands are
+//! interned, a memo probe is one `Copy`-key map access and an idempotent
+//! re-join returns an existing id — **no tree traversal, no `canon_id`
+//! walk, and no allocation of any kind**. This binary installs a counting
+//! global allocator and pins all three down. (Kept as its own
+//! integration-test binary so the counter sees no unrelated traffic.)
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,34 +38,72 @@ fn allocations() -> usize {
 }
 
 #[test]
-fn warm_memo_probe_allocates_nothing() {
+fn warm_id_paths_allocate_nothing() {
     use lambda_join_core::builder::*;
-    use lambda_join_core::engine::BetaTable;
-    use lambda_join_core::intern::InternTable;
+    use lambda_join_core::engine::IdBetaTable;
+    use lambda_join_core::ideval::{beta_subst, join_results_id, result_leq_id, subst};
+    use lambda_join_core::intern::{InternTable, Interner};
 
+    let mut arena = Interner::new();
     let mut table = InternTable::new();
+
     // A realistic key shape: a recursive-function value and a symbol
-    // argument (as the tabled engine probes at every β-step).
-    let f = lam("x", app(var("x"), add(var("x"), int(1))));
-    let a = int(1_000); // outside the small-int pool: a fresh allocation
-    let r = set(vec![int(1), int(2)]);
+    // argument (what the tabled engine probes at every β-step).
+    let f = arena.canon_id(&lam("x", app(var("x"), add(var("x"), int(1)))));
+    let a = arena.canon_id(&int(1_000));
+    let r = arena.canon_id(&set(vec![int(1), int(2)]));
 
-    // Miss, store, then warm the pointer caches with one hit.
-    assert!(table.lookup(&f, &a, 9).is_none());
-    table.store(&f, &a, 9, &r, false);
-    assert!(table.lookup(&f, &a, 9).is_some());
+    // Miss, then store.
+    assert!(table.lookup(f, a, 9).is_none());
+    table.store(f, a, 9, r, false);
+    assert_eq!(table.lookup(f, a, 9), Some((r, false)));
 
-    // The warm probe path: no term traversal, no Arc clones of the key, no
-    // allocation — hit or miss (the missing-fuel probe is warm too).
+    // Warm-path joins: idempotent re-join, subset union, pointwise pair of
+    // already-interned results. Run once to warm every node.
+    let sub = arena.canon_id(&set(vec![int(2)]));
+    let p1 = arena.canon_id(&pair(int(1), botv()));
+    let p2 = arena.canon_id(&pair(int(1), int(2)));
+    let _ = join_results_id(&mut arena, r, sub);
+    let _ = join_results_id(&mut arena, p1, p2);
+    // Warm the β-substitution path too: re-substituting the same argument
+    // rebuilds only already-interned nodes.
+    let _ = beta_subst(&mut arena, f, a);
+
+    // The pinned invariant: warm memo probes (hit or miss), warm joins,
+    // warm ordering checks, and warm β-substitution allocate *nothing* —
+    // no tree nodes, no Arc clones, no scratch vectors that survive.
     let before = allocations();
     for fuel in [9usize, 9, 3, 9] {
-        let _ = table.lookup(&f, &a, fuel);
+        let _ = table.lookup(f, a, fuel);
     }
+    assert_eq!(join_results_id(&mut arena, r, r), r, "idempotent join");
+    assert_eq!(
+        join_results_id(&mut arena, r, sub),
+        r,
+        "subset union returns the accumulator id"
+    );
+    assert!(result_leq_id(&arena, p1, p2));
+    assert!(!result_leq_id(&arena, p2, p1));
     let after = allocations();
     assert_eq!(
         after - before,
         0,
-        "warm probes must not allocate (counted {} allocations)",
+        "warm id probes/joins must not allocate (counted {} allocations)",
+        after - before
+    );
+
+    // β-substitution on the warm path allocates no *tree* nodes: every
+    // node it produces is already interned, so the only traffic is the
+    // substitution worklist itself. Pin that it stays within a small
+    // constant (worklist vectors), far below one-allocation-per-node.
+    let before = allocations();
+    let inst = beta_subst(&mut arena, f, a);
+    let after = allocations();
+    assert!(inst.index() < arena.len());
+    assert_eq!(subst(&mut arena, inst, &[]), inst, "arity-0 subst shares");
+    assert!(
+        after - before <= 8,
+        "warm β-substitution should only touch the worklist ({} allocations)",
         after - before
     );
 }

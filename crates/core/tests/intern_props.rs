@@ -107,18 +107,35 @@ proptest! {
         prop_assert_eq!(arena.len(), len);
     }
 
-    /// The tabled cache hits on α-variant keys.
+    /// The tabled cache hits on α-variant keys: α-variants canonicalise to
+    /// the *same id*, so one table entry serves the whole α-class, and the
+    /// fuel stays part of the key.
     #[test]
     fn intern_table_is_alpha_insensitive(f in arb_term(), a in arb_term()) {
-        use lambda_join_core::engine::BetaTable;
+        use lambda_join_core::engine::IdBetaTable;
         let mut table = InternTable::new();
         let mut arena = Interner::new();
+        let (fid, aid) = (arena.canon_id(&f), arena.canon_id(&a));
+        let r = arena.canon_id(&b::int(1));
+        table.store(fid, aid, 7, r, false);
+        // Probing with the ids of freshly canonicalised α-variants hits.
         let fc = arena.canon(&f);
         let ac = arena.canon(&a);
-        table.store(&f, &a, 7, &b::int(1), false);
-        let hit = table.lookup(&fc, &ac, 7);
-        prop_assert!(hit.is_some(), "α-variant probe missed: {} / {}", f, a);
-        prop_assert!(table.lookup(&fc, &ac, 8).is_none(), "fuel is part of the key");
+        let (fid2, aid2) = (arena.canon_id(&fc), arena.canon_id(&ac));
+        prop_assert_eq!((fid2, aid2), (fid, aid), "α-variant ids differ: {} / {}", f, a);
+        prop_assert!(table.lookup(fid2, aid2, 7).is_some(), "α-variant probe missed");
+        prop_assert!(table.lookup(fid2, aid2, 8).is_none(), "fuel is part of the key");
+    }
+
+    /// Extraction is a section of canonical interning: `extract(canon_id(t))`
+    /// is α-equivalent to `t` and re-interns to the same id.
+    #[test]
+    fn extract_round_trips(t in arb_term()) {
+        let mut arena = Interner::new();
+        let id = arena.canon_id(&t);
+        let back = arena.extract(id);
+        prop_assert!(back.alpha_eq(&t), "{} extracted as {}", t, back);
+        prop_assert_eq!(arena.canon_id(&back), id);
     }
 }
 

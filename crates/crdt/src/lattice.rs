@@ -2,118 +2,31 @@
 //!
 //! The Bloom^L language equips distributed programs with a library of
 //! lattices and *monotone morphisms* between them; the paper notes these
-//! "could be adopted in λ∨ without issue". This module provides the core
-//! quartet, each a [`JoinSemilattice`], together with the standard morphisms
-//! (threshold tests into [`LBool`], size bounds out of maps) used to build
-//! systems like the Anna KV store.
+//! "could be adopted in λ∨ without issue". The scalar quartet members are
+//! **re-exports of the one canonical implementation** in
+//! [`lambda_join_runtime::semilattice`] — this crate used to carry its own
+//! `LMax` that duplicated `runtime`'s `Max` line for line; the runtime
+//! versions are now generic over `Ord + Clone` and carry the threshold
+//! morphisms (`at_least`, `at_most`, `when`), so the CRDT layer only adds
+//! what is genuinely its own: the [`LMap`] map lattice below. All four are
+//! law-tested through the shared
+//! [`lambda_join_runtime::semilattice_law_props!`] macro in
+//! `tests/lattice_laws.rs`.
 
 use std::collections::BTreeMap;
 
 use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
 
-/// A monotone max-lattice over an ordered type.
-///
-/// # Examples
-///
-/// ```
-/// use lambda_join_crdt::LMax;
-/// use lambda_join_runtime::semilattice::JoinSemilattice;
-///
-/// assert_eq!(LMax(3).join(&LMax(7)), LMax(7));
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct LMax<T: Ord + Clone>(pub T);
+/// Bloom's `lmax` — the canonical max-lattice (see
+/// [`lambda_join_runtime::semilattice::Max`]).
+pub use lambda_join_runtime::semilattice::Max as LMax;
 
-impl<T: Ord + Clone> JoinSemilattice for LMax<T> {
-    fn join(&self, other: &Self) -> Self {
-        if self.0 >= other.0 {
-            self.clone()
-        } else {
-            other.clone()
-        }
-    }
-}
+/// Bloom's `lmin` — the canonical min-lattice (see
+/// [`lambda_join_runtime::semilattice::Min`]).
+pub use lambda_join_runtime::semilattice::Min as LMin;
 
-impl<T: Ord + Clone + Default> BoundedJoinSemilattice for LMax<T> {
-    fn bottom() -> Self {
-        LMax(T::default())
-    }
-}
-
-impl<T: Ord + Clone> LMax<T> {
-    /// Monotone morphism into [`LBool`]: has the value reached `threshold`?
-    ///
-    /// Monotone because the max only grows, so once `true`, always `true`.
-    pub fn at_least(&self, threshold: &T) -> LBool {
-        LBool(self.0 >= *threshold)
-    }
-}
-
-/// A monotone *min*-lattice: the dual order, useful for high-water marks
-/// that shrink (e.g. "earliest outstanding timestamp").
-///
-/// # Examples
-///
-/// ```
-/// use lambda_join_crdt::LMin;
-/// use lambda_join_runtime::semilattice::JoinSemilattice;
-///
-/// assert_eq!(LMin(3).join(&LMin(7)), LMin(3));
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct LMin<T: Ord + Clone>(pub T);
-
-impl<T: Ord + Clone> JoinSemilattice for LMin<T> {
-    fn join(&self, other: &Self) -> Self {
-        if self.0 <= other.0 {
-            self.clone()
-        } else {
-            other.clone()
-        }
-    }
-}
-
-impl<T: Ord + Clone> LMin<T> {
-    /// Monotone morphism into [`LBool`]: has the value fallen to or below
-    /// `threshold`?
-    pub fn at_most(&self, threshold: &T) -> LBool {
-        LBool(self.0 <= *threshold)
-    }
-}
-
-/// The two-point once-true-always-true lattice (`false ⊑ true`).
-///
-/// Note this is *not* λ∨'s boolean encoding — there, `'true` and `'false`
-/// are deliberately incomparable symbols so that `if` can take one branch.
-/// `LBool` is the Bloom threshold lattice: the codomain of monotone tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct LBool(pub bool);
-
-impl JoinSemilattice for LBool {
-    fn join(&self, other: &Self) -> Self {
-        LBool(self.0 || other.0)
-    }
-}
-
-impl BoundedJoinSemilattice for LBool {
-    fn bottom() -> Self {
-        LBool(false)
-    }
-}
-
-impl LBool {
-    /// Monotone guard: `Some(value)` once the flag is set, `None` before.
-    ///
-    /// The Bloom idiom for acting on a threshold without reading the
-    /// un-reached state (the imperative cousin of a λ∨ threshold query).
-    pub fn when<T>(&self, value: T) -> Option<T> {
-        if self.0 {
-            Some(value)
-        } else {
-            None
-        }
-    }
-}
+/// Bloom's `lbool` — the once-true-always-true threshold lattice.
+pub use lambda_join_runtime::semilattice::LBool;
 
 /// A map lattice: keys accumulate, values join pointwise.
 ///

@@ -1,0 +1,63 @@
+//! Semilattice-law property tests for the domain layer, via the shared
+//! [`lambda_join_runtime::semilattice_law_props!`] macro.
+//!
+//! The Hoare powerdomain over a finitary basis is a join semilattice
+//! (union is the total join); its equality is *order*-equality of the
+//! represented down-sets, not structural equality of generator lists, so
+//! the instance under test is a small newtype fixing the symbol basis and
+//! implementing `PartialEq` by mutual inclusion.
+
+use lambda_join_core::Symbol;
+use lambda_join_domain::basis::SymBasis;
+use lambda_join_domain::powerdomain::HoareSet;
+use lambda_join_runtime::semilattice::JoinSemilattice;
+use proptest::prelude::*;
+
+/// A Hoare-powerdomain element over the symbol basis, compared up to
+/// order-equality — the form in which `P_H(Sym)` is a `JoinSemilattice`.
+#[derive(Debug, Clone)]
+struct SymHoare(HoareSet<Symbol>);
+
+impl PartialEq for SymHoare {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.set_eq(&SymBasis, &other.0)
+    }
+}
+
+impl JoinSemilattice for SymHoare {
+    fn join(&self, other: &Self) -> Self {
+        SymHoare(self.0.union(&other.0))
+    }
+}
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        (0i64..4).prop_map(Symbol::Int),
+        (0u64..4).prop_map(Symbol::Level),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Symbol::name),
+    ]
+}
+
+fn arb_hoare() -> impl Strategy<Value = SymHoare> {
+    prop::collection::vec(arb_symbol(), 0..5)
+        .prop_map(|gens| SymHoare(HoareSet::from_generators(gens)))
+}
+
+lambda_join_runtime::semilattice_law_props!(hoare_powerdomain_laws, SymHoare, arb_hoare());
+
+/// Union is the least upper bound, not just an upper bound: anything above
+/// both operands contains the union.
+#[test]
+fn union_is_least() {
+    let b = SymBasis;
+    let s = |gens: &[Symbol]| HoareSet::from_generators(gens.to_vec());
+    let x = s(&[Symbol::Int(1)]);
+    let y = s(&[Symbol::Level(2)]);
+    let u = x.union(&y);
+    let above = s(&[Symbol::Int(1), Symbol::Level(3)]);
+    // `above` dominates x and y? Level(2) ⊑ Level(3), so yes — and must
+    // then dominate the union.
+    assert!(x.subset(&b, &above));
+    assert!(y.subset(&b, &above));
+    assert!(u.subset(&b, &above));
+}

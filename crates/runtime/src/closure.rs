@@ -127,7 +127,7 @@ const CVAL_DROP_STACK_BUDGET: usize = 64 * 1024;
 /// Dropping a semantic value recurses natively while shallow and switches
 /// to a worklist once the teardown has consumed a bounded amount of stack,
 /// so deeply accumulated stream values (fuel ≫ stack depth) deallocate
-/// safely. Closure environments are handled by the [`EnvNode`] destructor.
+/// safely. Closure environments are handled by the `EnvNode` destructor.
 impl Drop for CVal {
     fn drop(&mut self) {
         if cval_is_leaf(self) {

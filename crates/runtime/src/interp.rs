@@ -58,27 +58,37 @@ pub struct DiagonalTable {
 /// Builds the Figure 10 table for the application of `lam` (which must be
 /// an abstraction) to `arg`, with `n` time steps.
 ///
-/// The whole grid shares one memo table: a β-step performed for cell
-/// `(i, j)` is keyed on canonical interned ids, so every later cell (and
-/// every later row — adjacent rows differ only in the substituted
-/// observation) replays it instead of re-evaluating.
+/// The whole grid runs **arena-native** on one memoising evaluator: the
+/// abstraction and argument are interned once, each row is instantiated by
+/// id-level β-substitution (`ideval::beta_subst` — shared subtrees are
+/// `Copy` ids), every cell evaluates on the id frame machine against one
+/// shared `(TermId, TermId, fuel)` memo, and trees are extracted once per
+/// distinct cell value at the end. Adjacent rows differ only in the
+/// substituted observation, so the β-work of row `i` is almost entirely
+/// replayed from the table in row `i + 1`.
 ///
 /// # Panics
 ///
 /// Panics if `lam` is not a λ-abstraction.
 pub fn diagonal_table(lam: &TermRef, arg: &TermRef, n: usize) -> DiagonalTable {
-    let (x, body) = match &**lam {
-        Term::Lam(x, body) => (x.clone(), body.clone()),
-        _ => panic!("diagonal_table requires an abstraction"),
-    };
+    if !matches!(&**lam, Term::Lam(..)) {
+        panic!("diagonal_table requires an abstraction");
+    }
     let mut memo = MemoEval::new();
-    let inputs: Vec<TermRef> = (0..n).map(|i| memo.eval_fuel(arg, i)).collect();
-    let rows: Vec<Vec<TermRef>> = inputs
+    let lam_id = memo.canon_id(lam);
+    let arg_id = memo.canon_id(arg);
+    let input_ids: Vec<_> = (0..n).map(|i| memo.eval_fuel_id(arg_id, i)).collect();
+    let row_ids: Vec<Vec<_>> = input_ids
         .iter()
         .map(|v| {
-            let inst = body.subst(&x, v);
-            (0..n).map(|j| memo.eval_fuel(&inst, j)).collect()
+            let inst = lambda_join_core::ideval::beta_subst(memo.interner_mut(), lam_id, *v);
+            (0..n).map(|j| memo.eval_fuel_id(inst, j)).collect()
         })
+        .collect();
+    let inputs: Vec<TermRef> = input_ids.iter().map(|id| memo.extract(*id)).collect();
+    let rows: Vec<Vec<TermRef>> = row_ids
+        .iter()
+        .map(|row| row.iter().map(|id| memo.extract(*id)).collect())
         .collect();
     let diagonal = (0..n).map(|i| rows[i][i].clone()).collect();
     DiagonalTable {

@@ -22,24 +22,35 @@
 //! `reaches` on dense graphs into polynomial work (measured in the bench
 //! suite).
 //!
-//! The cache itself is [`lambda_join_core::intern::InternTable`]: keys are
-//! *canonical interned ids* `(TermId, TermId, fuel)` from the hash-consing
-//! arena, so a probe is two pointer-cache hits plus one `Copy`-key map
-//! probe — no term-tree hashing, no per-probe `Arc` clones (the old table
-//! allocated a fresh `(f.clone(), a.clone(), fuel)` tuple on every
-//! *lookup*), and α-equivalent calls share one entry.
+//! Since the arena-native refactor the evaluator *is* the id frame
+//! machine ([`lambda_join_core::engine::run_id`]) running over a
+//! persistent arena: terms are canonically interned once at the API
+//! boundary, every frame carries `Copy` ids, and the cache —
+//! [`lambda_join_core::intern::InternTable`] — is probed with the
+//! `(function, argument, fuel)` ids the engine already holds in hand.
+//! A warm memo hit therefore performs **no tree traversal, no `canon_id`
+//! walk, and no tree-node allocation** (pinned by the counting-allocator
+//! test in `lambda-join-core/tests/intern_alloc.rs`), and α-equivalent
+//! calls share one entry by construction.
 
-use lambda_join_core::engine::{self, Budget};
-use lambda_join_core::intern::InternTable;
+use lambda_join_core::engine::{self, Budget, NoIdTable};
+use lambda_join_core::intern::{InternTable, Interner, TermId};
 use lambda_join_core::term::TermRef;
 
-/// A memoising evaluator with a persistent call cache.
+/// A memoising evaluator with a persistent call cache and its backing
+/// arena.
 ///
 /// Reusing one `MemoEval` across fuel levels makes converging sweeps
 /// (`eval_converged`-style) cheap: level `n+1` re-derives only what
 /// changed.
+///
+/// Both the cache and the arena grow monotonically for the evaluator's
+/// lifetime — that persistence *is* the memoisation. A service evaluating
+/// unboundedly many unrelated programs should scope one `MemoEval` per
+/// program (or generation) and drop it to release both.
 #[derive(Default)]
 pub struct MemoEval {
+    interner: Interner,
     table: InternTable,
 }
 
@@ -54,15 +65,56 @@ impl MemoEval {
         self.table.stats()
     }
 
+    /// The arena backing the evaluator's ids (shared with callers that
+    /// want to intern related data, e.g. the diagonal-table builder).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Canonically interns a term into the evaluator's arena.
+    pub fn canon_id(&mut self, e: &TermRef) -> TermId {
+        self.interner.canon_id(e)
+    }
+
+    /// Extracts a named tree for an id of the evaluator's arena.
+    pub fn extract(&mut self, id: TermId) -> TermRef {
+        self.interner.extract(id)
+    }
+
     /// Evaluates with the given fuel (β-depth), memoising β-calls.
     pub fn eval_fuel(&mut self, e: &TermRef, fuel: usize) -> TermRef {
+        // Values evaluate to themselves: keep the caller's handle.
+        if e.is_value() {
+            return e.clone();
+        }
+        let id = self.interner.canon_id(e);
+        let r = self.eval_fuel_id(id, fuel);
+        self.interner.extract(r)
+    }
+
+    /// Id-native evaluation: runs the frame machine directly on a
+    /// canonical id of this evaluator's arena, returning the result id.
+    /// No trees are touched anywhere on this path.
+    pub fn eval_fuel_id(&mut self, e: TermId, fuel: usize) -> TermId {
         let mut budget = Budget::new(usize::MAX);
-        engine::run(e, fuel, &mut budget, &mut self.table)
+        engine::run_id(&mut self.interner, e, fuel, &mut budget, &mut self.table)
+    }
+
+    /// Plain (untabled) id-native evaluation on this evaluator's arena,
+    /// reporting β-steps — useful for workloads that want the arena
+    /// sharing but not the cache.
+    pub fn eval_fuel_id_untabled(&mut self, e: TermId, fuel: usize) -> (TermId, usize) {
+        let mut budget = Budget::new(usize::MAX);
+        let r = engine::run_id(&mut self.interner, e, fuel, &mut budget, &mut NoIdTable);
+        (r, budget.used())
     }
 
     /// Evaluates with increasing fuel until the result stabilises for
     /// `patience` increments or `max_fuel` is reached — the tabled
     /// fixed-point strategy that terminates on cyclic `reaches`.
+    ///
+    /// The whole sweep runs at the id level: the per-level α-comparison is
+    /// one id equality, and a tree is extracted only for the final answer.
     pub fn eval_converged(
         &mut self,
         e: &TermRef,
@@ -71,14 +123,15 @@ impl MemoEval {
         patience: usize,
     ) -> (TermRef, usize) {
         let step = step.max(1);
-        let mut last = self.eval_fuel(e, 0);
+        let id = self.interner.canon_id(e);
+        let mut last = self.eval_fuel_id(id, 0);
         let mut last_change = 0;
         let mut fuel = 0;
         let mut stable = 0;
         while fuel < max_fuel && stable < patience {
             fuel += step;
-            let r = self.eval_fuel(e, fuel);
-            if r.alpha_eq(&last) {
+            let r = self.eval_fuel_id(id, fuel);
+            if r == last {
                 stable += 1;
             } else {
                 stable = 0;
@@ -86,7 +139,7 @@ impl MemoEval {
                 last_change = fuel;
             }
         }
-        (last, last_change)
+        (self.interner.extract(last), last_change)
     }
 }
 

@@ -9,9 +9,12 @@
 //! 1. **Partitioned rounds.** Each round splits the delta into contiguous
 //!    chunks over a bounded worker set
 //!    ([`lambda_join_core::pool::map_chunks`]). Workers evaluate `step x`
-//!    independently — the explicit-stack engine is a pure frame machine
-//!    over `Arc`-shared terms, so no synchronisation is needed to
-//!    evaluate.
+//!    on the **id-native frame machine** over a persistent *worker-local*
+//!    arena (the `step` term is interned once per worker and every redex
+//!    re-probes the worker's pointer caches across rounds), so evaluation
+//!    itself touches no locks and builds no trees; candidate elements are
+//!    extracted once at the worker boundary (memoised per id) for the
+//!    shared dedup below.
 //! 2. **Shared canonical ids.** Streamed elements are deduplicated by
 //!    canonical [`TermId`] through the process-wide sharded interner
 //!    ([`lambda_join_core::sharded::SharedInterner`]): workers agree on
@@ -29,17 +32,37 @@
 //! Speedups on multi-core hardware scale with the per-round delta width;
 //! `figures -- perf` records the `par_seminaive_dense32_w{1,2,4}` curve.
 
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use lambda_join_core::bigstep::eval_fuel;
 use lambda_join_core::builder;
-use lambda_join_core::intern::TermId;
+use lambda_join_core::engine::{self, Budget, NoIdTable};
+use lambda_join_core::ideval;
+use lambda_join_core::intern::{IdSet, Interner, TermId, TermView};
 use lambda_join_core::pool;
 use lambda_join_core::sharded::SharedInterner;
-use lambda_join_core::term::{Term, TermRef};
+use lambda_join_core::term::TermRef;
+use parking_lot::Mutex;
 
 use crate::seminaive::SeminaiveStats;
+
+/// One worker's persistent evaluation state: a private arena with the rule
+/// body pre-interned. Arenas survive across rounds, so the warm path — the
+/// same redexes replayed on new elements — runs entirely on pointer-cache
+/// and node-key hits.
+#[derive(Debug)]
+struct WorkerCtx {
+    arena: Interner,
+    step_id: TermId,
+}
+
+impl WorkerCtx {
+    fn new(step: &TermRef) -> Self {
+        let mut arena = Interner::new();
+        let step_id = arena.canon_id(step);
+        WorkerCtx { arena, step_id }
+    }
+}
 
 /// A parallel seminaive fixpoint engine for λ∨ set rules. Deterministic:
 /// produces the same fixpoint, in the same element order, as
@@ -62,7 +85,8 @@ use crate::seminaive::SeminaiveStats;
 /// ```
 #[derive(Debug)]
 pub struct ParSeminaiveEngine {
-    /// The λ∨ rule body: a function from one element to a set of elements.
+    /// The rule body (kept to rebuild worker contexts on
+    /// [`ParSeminaiveEngine::compact`]).
     step: TermRef,
     /// Fuel for each `step x` evaluation.
     fuel: usize,
@@ -72,9 +96,12 @@ pub struct ParSeminaiveEngine {
     acc: Vec<TermRef>,
     /// Canonical ids of everything in `acc`. Only the merge step (single-
     /// threaded, between rounds) mutates this; workers read a borrow.
-    seen: HashSet<TermId>,
+    seen: IdSet,
     /// The process-shared hash-consing arena backing `seen`.
     interner: Arc<SharedInterner>,
+    /// Persistent per-worker evaluation contexts (see [`WorkerCtx`]); a
+    /// chunk claims one by atomic ticket, so locks are uncontended.
+    ctxs: Vec<Mutex<WorkerCtx>>,
     /// Elements discovered in the last round but not yet expanded.
     delta: Vec<TermRef>,
     /// Work counters (identical to the sequential engine's on every run).
@@ -100,13 +127,18 @@ impl ParSeminaiveEngine {
         workers: usize,
         interner: Arc<SharedInterner>,
     ) -> Self {
+        let workers = workers.max(1);
+        let ctxs = (0..workers)
+            .map(|_| Mutex::new(WorkerCtx::new(&step)))
+            .collect();
         ParSeminaiveEngine {
             step,
             fuel,
-            workers: workers.max(1),
+            workers,
             acc: Vec::new(),
-            seen: HashSet::new(),
+            seen: IdSet::default(),
             interner,
+            ctxs,
             delta: Vec::new(),
             stats: SeminaiveStats::default(),
             saw_top: false,
@@ -146,30 +178,45 @@ impl ParSeminaiveEngine {
         self.stats.step_calls += work.len();
         // Fan out: workers see a read-only snapshot of `seen` (no clone —
         // nothing mutates it until the workers have joined) and the shared
-        // arena. Each returns candidate-new elements in input order.
+        // arena. Each chunk claims a persistent worker context by atomic
+        // ticket (chunks ≤ contexts, so the lock is uncontended), runs the
+        // id machine on the worker's private arena, and extracts candidate
+        // elements once (memoised per id) to mint the *shared* canonical
+        // ids the deterministic merge dedups on. Each returns
+        // candidate-new elements in input order.
         let batches = {
             let seen = &self.seen;
             let interner = &self.interner;
-            let step = &self.step;
+            let ctxs = &self.ctxs;
+            let ticket = AtomicUsize::new(0);
             let fuel = self.fuel;
             pool::map_chunks(&work, self.workers, |chunk| {
+                let slot = ticket.fetch_add(1, Ordering::Relaxed) % ctxs.len();
+                let mut ctx = ctxs[slot].lock();
+                let WorkerCtx { arena, step_id } = &mut *ctx;
                 let mut out: Vec<(TermId, TermRef)> = Vec::new();
-                let mut local: HashSet<TermId> = HashSet::new();
+                let mut local: IdSet = IdSet::default();
                 let mut saw_top = false;
                 for x in chunk {
-                    let r = eval_fuel(&builder::app(step.clone(), x.clone()), fuel);
-                    match &*r {
-                        Term::Set(es) => {
-                            for el in es {
-                                let id = interner.canon_id(el);
-                                if !seen.contains(&id) && local.insert(id) {
-                                    out.push((id, el.clone()));
-                                }
-                            }
+                    let xid = arena.canon_id(x);
+                    let call = ideval::app_id(arena, *step_id, xid);
+                    let mut budget = Budget::new(usize::MAX);
+                    let r = engine::run_id(arena, call, fuel, &mut budget, &mut NoIdTable);
+                    let els: Vec<TermId> = match arena.view(r) {
+                        TermView::Set(es) => es.to_vec(),
+                        TermView::Top => {
+                            saw_top = true;
+                            Vec::new()
                         }
-                        Term::Top => saw_top = true,
                         // ⊥ / ⊥v / non-sets contribute nothing.
-                        _ => {}
+                        _ => Vec::new(),
+                    };
+                    for el_id in els {
+                        let el = arena.extract(el_id);
+                        let id = interner.canon_id(&el);
+                        if !seen.contains(&id) && local.insert(id) {
+                            out.push((id, el));
+                        }
                     }
                 }
                 (out, saw_top)
@@ -213,6 +260,19 @@ impl ParSeminaiveEngine {
     /// The shared arena backing the engine's dedup ids.
     pub fn interner(&self) -> &Arc<SharedInterner> {
         &self.interner
+    }
+
+    /// Discards the per-worker evaluation arenas and rebuilds them with
+    /// just the rule body interned — the parallel counterpart of
+    /// `SeminaiveEngine::compact`. Worker arenas are pure caches (every id
+    /// the engine itself keeps lives in the *shared* interner), so this is
+    /// always safe; call it between input waves on a long-lived streaming
+    /// engine to cap the per-worker growth of hash-consed evaluation
+    /// intermediates.
+    pub fn compact_workers(&mut self) {
+        for ctx in &self.ctxs {
+            *ctx.lock() = WorkerCtx::new(&self.step);
+        }
     }
 }
 
@@ -285,6 +345,22 @@ mod tests {
             &set(vec![int(0), int(1), int(10), int(11)])
         ));
         assert_eq!(e.stats().step_calls - calls_before, 2);
+    }
+
+    #[test]
+    fn compact_workers_preserves_results() {
+        let g = Graph::line(5);
+        let mut e = ParSeminaiveEngine::new(g.neighbors_fn(), 32, 3);
+        e.push(vec![int(0)]);
+        let before = e.run(100);
+        e.compact_workers();
+        // New work after compaction evaluates on fresh worker arenas and
+        // still merges deterministically against the shared-id state.
+        e.push(vec![int(2)]); // known: deduplicated, no new work
+        let calls = e.stats().step_calls;
+        let after = e.run(100);
+        assert!(after.alpha_eq(&before));
+        assert_eq!(e.stats().step_calls, calls);
     }
 
     #[test]

@@ -38,20 +38,93 @@ pub trait BoundedJoinSemilattice: JoinSemilattice {
     fn bottom() -> Self;
 }
 
-/// A `u64` ordered by `≤` with `max` as join (the paper's `Level` symbols,
-/// Dynamo-style version counters).
+/// An ordered value with `max` as join (the paper's `Level` symbols,
+/// Dynamo-style version counters; Bloom's `lmax` — re-exported by the
+/// `crdt` crate as `LMax`, this is the one canonical implementation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Max<T: Ord + Copy>(pub T);
+pub struct Max<T: Ord + Clone>(pub T);
 
-impl<T: Ord + Copy> JoinSemilattice for Max<T> {
+impl<T: Ord + Clone> JoinSemilattice for Max<T> {
     fn join(&self, other: &Self) -> Self {
-        Max(self.0.max(other.0))
+        if self.0 >= other.0 {
+            self.clone()
+        } else {
+            other.clone()
+        }
     }
 }
 
-impl BoundedJoinSemilattice for Max<u64> {
+impl<T: Ord + Clone + Default> BoundedJoinSemilattice for Max<T> {
     fn bottom() -> Self {
-        Max(0)
+        Max(T::default())
+    }
+}
+
+impl<T: Ord + Clone> Max<T> {
+    /// Monotone morphism into [`LBool`]: has the value reached
+    /// `threshold`? Monotone because the max only grows — once `true`,
+    /// always `true` (the Bloom threshold-test idiom).
+    pub fn at_least(&self, threshold: &T) -> LBool {
+        LBool(self.0 >= *threshold)
+    }
+}
+
+/// An ordered value with `min` as join — the dual of [`Max`], useful for
+/// high-water marks that shrink (e.g. "earliest outstanding timestamp";
+/// Bloom's `lmin`, re-exported by the `crdt` crate as `LMin`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Min<T: Ord + Clone>(pub T);
+
+impl<T: Ord + Clone> JoinSemilattice for Min<T> {
+    fn join(&self, other: &Self) -> Self {
+        if self.0 <= other.0 {
+            self.clone()
+        } else {
+            other.clone()
+        }
+    }
+}
+
+impl<T: Ord + Clone> Min<T> {
+    /// Monotone morphism into [`LBool`]: has the value fallen to or below
+    /// `threshold`?
+    pub fn at_most(&self, threshold: &T) -> LBool {
+        LBool(self.0 <= *threshold)
+    }
+}
+
+/// The two-point once-true-always-true lattice (`false ⊑ true`) — the
+/// codomain of monotone threshold tests (Bloom's `lbool`, re-exported by
+/// the `crdt` crate).
+///
+/// Note this is *not* λ∨'s boolean encoding — there, `'true` and `'false`
+/// are deliberately incomparable symbols so that `if` can take one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LBool(pub bool);
+
+impl JoinSemilattice for LBool {
+    fn join(&self, other: &Self) -> Self {
+        LBool(self.0 || other.0)
+    }
+}
+
+impl BoundedJoinSemilattice for LBool {
+    fn bottom() -> Self {
+        LBool(false)
+    }
+}
+
+impl LBool {
+    /// Monotone guard: `Some(value)` once the flag is set, `None` before.
+    ///
+    /// The Bloom idiom for acting on a threshold without reading the
+    /// un-reached state (the imperative cousin of a λ∨ threshold query).
+    pub fn when<T>(&self, value: T) -> Option<T> {
+        if self.0 {
+            Some(value)
+        } else {
+            None
+        }
     }
 }
 
@@ -202,6 +275,67 @@ pub mod laws {
         }
         Ok(())
     }
+}
+
+/// Generates a property-test module pinning the [`JoinSemilattice`] laws
+/// for one instance: idempotence, commutativity, associativity, and
+/// upper-bound consistency of the derived order (`a ⊑ a ⊔ b` and
+/// `b ⊑ a ⊔ b`), over proptest-generated samples.
+///
+/// The consumer crate must depend on `proptest` (dev) and have
+/// `lambda_join_runtime` in scope. Usage:
+///
+/// ```ignore
+/// use proptest::prelude::*;
+/// lambda_join_runtime::semilattice_law_props!(
+///     lmax_laws,                       // module name
+///     lambda_join_runtime::semilattice::Max<u64>, // the instance
+///     proptest::prelude::any::<u64>().prop_map(lambda_join_runtime::semilattice::Max) // a Strategy
+/// );
+/// ```
+#[macro_export]
+macro_rules! semilattice_law_props {
+    ($modname:ident, $ty:ty, $strategy:expr) => {
+        mod $modname {
+            #[allow(unused_imports)]
+            use super::*;
+            use $crate::semilattice::JoinSemilattice as _;
+
+            proptest::proptest! {
+                #[test]
+                fn idempotent(a in $strategy) {
+                    let a: $ty = a;
+                    proptest::prop_assert!(a.join(&a) == a, "a ⊔ a ≠ a at {:?}", a);
+                }
+
+                #[test]
+                fn commutative(a in $strategy, b in $strategy) {
+                    let (a, b): ($ty, $ty) = (a, b);
+                    proptest::prop_assert!(
+                        a.join(&b) == b.join(&a),
+                        "a ⊔ b ≠ b ⊔ a at {:?}, {:?}", a, b
+                    );
+                }
+
+                #[test]
+                fn associative(a in $strategy, b in $strategy, c in $strategy) {
+                    let (a, b, c): ($ty, $ty, $ty) = (a, b, c);
+                    proptest::prop_assert!(
+                        a.join(&b.join(&c)) == a.join(&b).join(&c),
+                        "join not associative at {:?}, {:?}, {:?}", a, b, c
+                    );
+                }
+
+                #[test]
+                fn join_is_an_upper_bound(a in $strategy, b in $strategy) {
+                    let (a, b): ($ty, $ty) = (a, b);
+                    let j = a.join(&b);
+                    proptest::prop_assert!(a.leq(&j), "a ⋢ a ⊔ b at {:?}, {:?}", a, b);
+                    proptest::prop_assert!(b.leq(&j), "b ⋢ a ⊔ b at {:?}, {:?}", a, b);
+                }
+            }
+        }
+    };
 }
 
 #[cfg(test)]

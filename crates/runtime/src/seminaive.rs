@@ -20,21 +20,25 @@
 //! the same interface; they agree on every fixpoint (property-tested) and
 //! the bench suite (`reaches` experiment) measures the work gap.
 //!
-//! Both engines deduplicate streamed elements through the hash-consing
-//! arena ([`lambda_join_core::intern`]): membership is one O(1) probe of a
-//! `HashSet<TermId>` of canonical ids, replacing the old O(n·size) linear
-//! α-comparison scan per candidate element.
+//! Both engines run **arena-native**: the accumulator, the delta, and the
+//! dedup set all hold canonical [`TermId`]s of one engine-owned arena, the
+//! rule body is applied by interning one `App` node per element (`Copy`
+//! ids — no tree is built), and the id frame machine
+//! ([`lambda_join_core::engine::run_id`]) evaluates it in place. The round
+//! loop therefore never constructs or walks a tree: membership is one O(1)
+//! id probe, per-element dedup is id equality, and trees materialise only
+//! when [`SeminaiveEngine::current`] extracts the fixpoint at the API
+//! boundary (memoised per element — one handle clone each on re-extract).
 //!
 //! The engine also supports *input deltas* ([`SeminaiveEngine::push`]):
 //! elements arriving from outside mid-run, the streaming scenario where
 //! incrementality pays off most — exactly the "change in input" case.
 
-use std::collections::HashSet;
-
-use lambda_join_core::bigstep::eval_fuel;
 use lambda_join_core::builder;
-use lambda_join_core::intern::{Interner, TermId};
-use lambda_join_core::term::{Term, TermRef};
+use lambda_join_core::engine::{self, Budget, NoIdTable};
+use lambda_join_core::ideval;
+use lambda_join_core::intern::{IdSet, Interner, TermId, TermView};
+use lambda_join_core::term::TermRef;
 
 /// Work statistics for one engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,20 +72,19 @@ pub struct SeminaiveStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeminaiveEngine {
-    /// The λ∨ rule body: a function from one element to a set of elements.
-    step: TermRef,
+    /// The interned rule body: a function from one element to a set.
+    step_id: TermId,
     /// Fuel for each `step x` evaluation.
     fuel: usize,
-    /// All elements discovered so far, in discovery order (deduplicated up
-    /// to α-equivalence via `seen`).
-    acc: Vec<TermRef>,
-    /// Canonical interned ids of everything in `acc`: membership is one
-    /// O(1) id probe instead of a linear α-comparison scan.
-    seen: HashSet<TermId>,
-    /// The hash-consing arena backing `seen`.
+    /// Canonical ids of all elements discovered so far, in discovery order
+    /// (already deduplicated — ids decide α-equivalence).
+    acc: Vec<TermId>,
+    /// The same ids as a set: membership is one O(1) probe.
+    seen: IdSet,
+    /// The engine-owned arena every id lives in.
     interner: Interner,
-    /// Elements discovered in the last round but not yet expanded.
-    delta: Vec<TermRef>,
+    /// Ids discovered in the last round but not yet expanded.
+    delta: Vec<TermId>,
     /// Work counters.
     stats: SeminaiveStats,
     /// Whether any `step` evaluation produced `⊤`.
@@ -92,12 +95,14 @@ impl SeminaiveEngine {
     /// Creates an engine for the rule `step` (a λ∨ function term mapping an
     /// element to a set), evaluating each call with `fuel`.
     pub fn new(step: TermRef, fuel: usize) -> Self {
+        let mut interner = Interner::new();
+        let step_id = interner.canon_id(&step);
         SeminaiveEngine {
-            step,
+            step_id,
             fuel,
             acc: Vec::new(),
-            seen: HashSet::new(),
-            interner: Interner::new(),
+            seen: IdSet::default(),
+            interner,
             delta: Vec::new(),
             stats: SeminaiveStats::default(),
             saw_top: false,
@@ -110,9 +115,10 @@ impl SeminaiveEngine {
     /// data is idempotent, mirroring join idempotence in the calculus.
     pub fn push(&mut self, elements: impl IntoIterator<Item = TermRef>) {
         for el in elements {
-            if self.seen.insert(self.interner.canon_id(&el)) {
-                self.acc.push(el.clone());
-                self.delta.push(el);
+            let id = self.interner.canon_id(&el);
+            if self.seen.insert(id) {
+                self.acc.push(id);
+                self.delta.push(id);
             }
         }
     }
@@ -130,6 +136,7 @@ impl SeminaiveEngine {
 
     /// Performs one seminaive round: expands every element of the current
     /// delta, collecting previously unseen results into the next delta.
+    /// Entirely id-native — no trees are built or walked between rounds.
     ///
     /// Returns `false` once the delta is empty (fixpoint reached).
     pub fn round(&mut self) -> bool {
@@ -137,40 +144,99 @@ impl SeminaiveEngine {
             return false;
         }
         self.stats.rounds += 1;
-        let work: Vec<TermRef> = std::mem::take(&mut self.delta);
-        let mut fresh = Vec::new();
-        for x in &work {
+        let work: Vec<TermId> = std::mem::take(&mut self.delta);
+        let mut fresh: Vec<TermId> = Vec::new();
+        for x in work {
             self.stats.step_calls += 1;
-            let r = eval_fuel(&builder::app(self.step.clone(), x.clone()), self.fuel);
-            match &*r {
-                Term::Set(es) => {
+            let (step_id, fuel) = (self.step_id, self.fuel);
+            let call = ideval::app_id(&mut self.interner, step_id, x);
+            let mut budget = Budget::new(usize::MAX);
+            let r = engine::run_id(&mut self.interner, call, fuel, &mut budget, &mut NoIdTable);
+            match self.interner.view(r) {
+                TermView::Set(es) => {
+                    // One id probe per element replaces the two linear
+                    // α-scans (against the accumulator and the batch).
                     for el in es {
-                        // One id probe replaces the two linear α-scans
-                        // (against the accumulator and the fresh batch).
-                        if self.seen.insert(self.interner.canon_id(el)) {
-                            fresh.push(el.clone());
+                        if self.seen.insert(*el) {
+                            fresh.push(*el);
                         }
                     }
                 }
-                Term::Top => self.saw_top = true,
+                TermView::Top => self.saw_top = true,
                 // ⊥ / ⊥v / non-sets contribute nothing (the big join of an
                 // unproductive branch is ⊥).
                 _ => {}
             }
         }
-        self.acc.extend(fresh.iter().cloned());
+        self.acc.extend(fresh.iter().copied());
         self.delta = fresh;
         !self.delta.is_empty()
     }
 
     /// The set accumulated so far, as a λ∨ value (`⊤` if any rule
-    /// evaluation produced an ambiguity error).
-    pub fn current(&self) -> TermRef {
+    /// evaluation produced an ambiguity error). This is the tree boundary:
+    /// element extraction is memoised in the arena, so re-reading the
+    /// fixpoint after new rounds re-extracts only new elements.
+    pub fn current(&mut self) -> TermRef {
         if self.saw_top {
             builder::top()
         } else {
-            builder::set(self.acc.clone())
+            let els = self
+                .acc
+                .iter()
+                .map(|id| self.interner.extract(*id))
+                .collect();
+            builder::set(els)
         }
+    }
+
+    /// The canonical ids of the accumulated elements (the zero-copy view
+    /// of the fixpoint; pair with [`SeminaiveEngine::interner_mut`]).
+    pub fn current_ids(&self) -> &[TermId] {
+        &self.acc
+    }
+
+    /// The engine's arena (for callers composing further id-level work).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Rebuilds the engine's arena from scratch, retaining only the rule
+    /// body, the accumulated fixpoint, and the pending delta.
+    ///
+    /// Hash-consing has no per-term free: every node the rounds ever
+    /// interned — including evaluation intermediates — lives as long as
+    /// the arena, so a *long-lived streaming engine* (the
+    /// [`SeminaiveEngine::push`] scenario) grows with the total distinct
+    /// intermediates ever built, not with the fixpoint. Calling this
+    /// between input waves caps that growth: cost is O(|fixpoint| +
+    /// |step|) re-interning, after which the old arena (and every
+    /// intermediate) is dropped. Ids previously handed out by
+    /// [`SeminaiveEngine::current_ids`] are invalidated.
+    pub fn compact(&mut self) {
+        let mut fresh = Interner::new();
+        let step = self.interner.extract(self.step_id);
+        self.step_id = fresh.canon_id(&step);
+        let remap = |ids: &[TermId], old: &mut Interner, fresh: &mut Interner| {
+            ids.iter()
+                .map(|id| {
+                    let t = old.extract(*id);
+                    fresh.canon_id(&t)
+                })
+                .collect::<Vec<TermId>>()
+        };
+        self.acc = remap(
+            &std::mem::take(&mut self.acc),
+            &mut self.interner,
+            &mut fresh,
+        );
+        self.delta = remap(
+            &std::mem::take(&mut self.delta),
+            &mut self.interner,
+            &mut fresh,
+        );
+        self.seen = self.acc.iter().copied().collect();
+        self.interner = fresh;
     }
 
     /// Whether the engine has drained its delta (reached the fixpoint for
@@ -195,11 +261,13 @@ pub fn naive_rounds(
     max_rounds: usize,
 ) -> (TermRef, SeminaiveStats) {
     let mut interner = Interner::new();
-    let mut seen: HashSet<TermId> = HashSet::new();
-    let mut acc: Vec<TermRef> = Vec::new();
+    let step_id = interner.canon_id(step);
+    let mut seen: IdSet = IdSet::default();
+    let mut acc: Vec<TermId> = Vec::new();
     for el in seed {
-        if seen.insert(interner.canon_id(&el)) {
-            acc.push(el);
+        let id = interner.canon_id(&el);
+        if seen.insert(id) {
+            acc.push(id);
         }
     }
     let mut stats = SeminaiveStats::default();
@@ -212,17 +280,18 @@ pub fn naive_rounds(
         let round_len = acc.len();
         for i in 0..round_len {
             stats.step_calls += 1;
-            let x = acc[i].clone();
-            let r = eval_fuel(&builder::app(step.clone(), x), fuel);
-            match &*r {
-                Term::Set(es) => {
+            let call = ideval::app_id(&mut interner, step_id, acc[i]);
+            let mut budget = Budget::new(usize::MAX);
+            let r = engine::run_id(&mut interner, call, fuel, &mut budget, &mut NoIdTable);
+            match interner.view(r) {
+                TermView::Set(es) => {
                     for el in es {
-                        if seen.insert(interner.canon_id(el)) {
-                            acc.push(el.clone());
+                        if seen.insert(*el) {
+                            acc.push(*el);
                         }
                     }
                 }
-                Term::Top => saw_top = true,
+                TermView::Top => saw_top = true,
                 _ => {}
             }
         }
@@ -233,7 +302,7 @@ pub fn naive_rounds(
     let result = if saw_top {
         builder::top()
     } else {
-        builder::set(acc)
+        builder::set(acc.iter().map(|id| interner.extract(*id)).collect())
     };
     (result, stats)
 }
@@ -363,6 +432,30 @@ mod tests {
         let fix = e.run(100);
         let expect = set((0..=20).step_by(2).map(int).collect());
         assert!(result_equiv(&fix, &expect), "got {fix}");
+    }
+
+    #[test]
+    fn compact_preserves_state_and_shrinks_arena() {
+        let g = Graph::line(6);
+        let mut e = SeminaiveEngine::new(graph_step(&g), 32);
+        e.push(vec![int(0)]);
+        let fix_before = e.run(100);
+        let nodes_before = e.interner_mut().len();
+        e.compact();
+        assert!(
+            e.interner_mut().len() < nodes_before,
+            "compaction must drop evaluation intermediates ({} -> {})",
+            nodes_before,
+            e.interner_mut().len()
+        );
+        assert!(e.current().alpha_eq(&fix_before));
+        // The engine stays incremental across compaction: re-pushing known
+        // elements is still deduplicated, new input still runs.
+        let calls = e.stats().step_calls;
+        e.push(vec![int(0), int(3)]);
+        e.run(100);
+        assert_eq!(e.stats().step_calls, calls, "known elements re-expanded");
+        assert!(result_equiv(&e.current(), &expected_reachable(&g, 0)));
     }
 
     #[test]
