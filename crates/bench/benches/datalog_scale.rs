@@ -1,0 +1,80 @@
+//! Experiment E-dlscale: the id-native Datalog engine on the scalable
+//! graph generators (DESIGN.md §6).
+//!
+//! Sweeps seminaive reachability across the generator families at two
+//! sizes each (so the scaling slope is visible even under the vendored
+//! harness's fixed budget), plus full transitive closure on the
+//! closure-size-controlled chain forest and the naive-vs-seminaive gap at
+//! one fixed size. All benches run `eval_ids` — the flat interned store
+//! end to end, no tree decode.
+//!
+//! ```sh
+//! cargo bench -p lambda-join-bench --bench datalog_scale
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lambda_join_bench::workloads::{
+    chain_forest_edges, chain_forest_tc_size, grid_edges, random_sparse_edges, scale_free_edges,
+};
+use lambda_join_datalog::eval::{eval_ids, reaches_program, transitive_closure_program, Strategy};
+
+fn bench_reach_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_reach");
+    let families: Vec<(&str, Vec<(i64, i64)>)> = vec![
+        ("sparse_10k", random_sparse_edges(5_000, 10_000, 0xDA7A)),
+        ("sparse_40k", random_sparse_edges(20_000, 40_000, 0xDA7A)),
+        ("grid_10k", grid_edges(72, 72)),
+        ("grid_40k", grid_edges(144, 144)),
+        ("scalefree_10k", scale_free_edges(5_000, 2, 0xDA7A)),
+        ("scalefree_40k", scale_free_edges(20_000, 2, 0xDA7A)),
+    ];
+    for (name, edges) in families {
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        let p = reaches_program(&edges, 0);
+        group.bench_with_input(BenchmarkId::new("seminaive", name), &p, |b, p| {
+            b.iter(|| criterion::black_box(eval_ids(p, Strategy::Seminaive)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tc_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_tc_chains");
+    for (chains, len) in [(400i64, 10i64), (1_000, 20)] {
+        let edges = chain_forest_edges(chains, len);
+        let p = transitive_closure_program(&edges);
+        let want = chain_forest_tc_size(chains, len);
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("seminaive", format!("{}x{}", chains, len)),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let (idb, _) = eval_ids(p, Strategy::Seminaive);
+                    assert_eq!(idb.fact_count("path"), want);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_strategy_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_strategy_gap");
+    let p = transitive_closure_program(&chain_forest_edges(50, 20));
+    group.bench_function(BenchmarkId::new("naive", "chains_1k"), |b| {
+        b.iter(|| criterion::black_box(eval_ids(&p, Strategy::Naive)))
+    });
+    group.bench_function(BenchmarkId::new("seminaive", "chains_1k"), |b| {
+        b.iter(|| criterion::black_box(eval_ids(&p, Strategy::Seminaive)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reach_families,
+    bench_tc_chains,
+    bench_strategy_gap
+);
+criterion_main!(benches);

@@ -8,9 +8,11 @@
 //!
 //! Items: `table1`, `fig2`, `fig4`, `fig10`, `evens`, `por`, `reaches`,
 //! `eq2`, `ext` (the §5.2/§6 extension experiments E-frz/E-lex/E-amb/
-//! E-semi), and `deep` (E-deep: the explicit-stack engine on workloads past
-//! the recursive evaluator's stack ceiling). The outputs are recorded
-//! against the paper in EXPERIMENTS.md.
+//! E-semi), `deep` (E-deep: the explicit-stack engine on workloads past
+//! the recursive evaluator's stack ceiling), and `dl` (the Datalog scale
+//! generators at smoke sizes: every strategy must agree on every graph
+//! family — the CI gate that keeps the bench generators honest). The
+//! outputs are recorded against the paper in EXPERIMENTS.md.
 //!
 //! `perf` (not part of the default run) times the hot-path workloads and
 //! writes machine-readable `BENCH_perf.json` (workload → ns/iter) so the
@@ -19,7 +21,8 @@
 use std::collections::BTreeSet;
 
 use lambda_join_bench::workloads::{
-    countdown, diamond_chain, edge_pairs, from_n_pipeline, nested_apps, nested_lets,
+    chain_forest_edges, chain_forest_tc_size, countdown, diamond_chain, edge_pairs,
+    from_n_pipeline, grid_edges, nested_apps, nested_lets, random_sparse_edges, scale_free_edges,
 };
 use lambda_join_core::bigstep::{eval_fuel, eval_fuel_counting};
 use lambda_join_core::builder::*;
@@ -66,6 +69,9 @@ fn main() {
     }
     if want("deep") {
         deep_fig();
+    }
+    if want("dl") {
+        dl_fig();
     }
     // Explicit-only: timing runs are not part of the default figures pass.
     if which.iter().any(|w| w == "perf") {
@@ -216,8 +222,8 @@ fn perf_fig() {
         ));
     }
 
-    // Datalog seminaive transitive closure — delta joins over indexed
-    // relations.
+    // Datalog seminaive transitive closure — planned joins over the flat
+    // interned store, decoded to a tree Database at the boundary.
     let edges: Vec<(i64, i64)> = (0..48).map(|i| (i, i + 1)).collect();
     let tc = lambda_join_datalog::eval::transitive_closure_program(&edges);
     results.push((
@@ -234,6 +240,73 @@ fn perf_fig() {
             let _ = lambda_join_datalog::eval::eval_seminaive_par(&tc, 4);
         }),
     ));
+
+    // --- Datalog at scale (DESIGN.md §6): the id-native engine on the
+    // 10⁵–10⁶-edge generator families, via `eval_ids` (no tree decode —
+    // at these sizes the boundary materialisation would dominate). Each
+    // entry asserts its oracle so a wrong answer can't masquerade as a
+    // fast one. ---
+    use lambda_join_datalog::eval::{eval_ids, reaches_program as dl_reaches};
+
+    // Reachability scaling curve on uniform sparse digraphs: 10⁴ → 10⁶
+    // edges at mean out-degree 2.
+    for (name, nodes, edges) in [
+        ("datalog_reach_sparse_10k", 5_000i64, 10_000usize),
+        ("datalog_reach_sparse_100k", 50_000, 100_000),
+        ("datalog_reach_sparse_1m", 500_000, 1_000_000),
+    ] {
+        let es = random_sparse_edges(nodes, edges, 0xDA7A);
+        let p = dl_reaches(&es, 0);
+        results.push((
+            name,
+            time_ns(|| {
+                let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+                assert!(idb.fact_count("reaches") >= 1);
+            }),
+        ));
+    }
+
+    // Directed grid: long fixpoint (w+h rounds) with wide deltas.
+    {
+        let es = grid_edges(250, 200); // 99_550 edges, 50_000 nodes
+        let p = dl_reaches(&es, 0);
+        results.push((
+            "datalog_reach_grid_100k",
+            time_ns(|| {
+                let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+                assert_eq!(idb.fact_count("reaches"), 50_000);
+            }),
+        ));
+    }
+
+    // Scale-free (preferential attachment): skewed index buckets.
+    {
+        let es = scale_free_edges(50_000, 2, 0xDA7A); // ≈ 10⁵ edges
+        let p = dl_reaches(&es, 0);
+        results.push((
+            "datalog_reach_scalefree_100k",
+            time_ns(|| {
+                let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+                assert!(idb.fact_count("reaches") > 25_000);
+            }),
+        ));
+    }
+
+    // Full transitive closure over a 10⁵-edge chain forest — the
+    // closure-size-controlled family (1.3M path tuples, exact count
+    // asserted). The headline ≥10⁵-edge TC entry.
+    {
+        let es = chain_forest_edges(4_000, 25); // 100_000 edges
+        let p = lambda_join_datalog::eval::transitive_closure_program(&es);
+        let want = chain_forest_tc_size(4_000, 25);
+        results.push((
+            "datalog_tc_chains_100k",
+            time_ns(|| {
+                let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+                assert_eq!(idb.fact_count("path"), want);
+            }),
+        ));
+    }
 
     // Two-phase commit protocol evolution — the §4 workload.
     let system = encodings::two_phase_commit();
@@ -601,6 +674,65 @@ fn deep_fig() {
         "fromN (deep)", 8192, "cons…", "out of reach"
     );
     let _ = v; // deep value: display would be enormous; drop iteratively
+}
+
+/// `dl` — the Datalog scale generators at smoke sizes: every strategy
+/// (naive, seminaive, parallel×4) must agree on every graph family, and
+/// the families with closed-form oracles must hit them exactly. This is
+/// the CI gate that keeps `bench::workloads`' generators and the scale
+/// benchmarks from rotting.
+fn dl_fig() {
+    use lambda_join_datalog::eval::{
+        eval_ids, eval_seminaive_par_ids, reaches_program as dl_reaches, transitive_closure_program,
+    };
+
+    header("E-dl — Datalog scale generators (smoke sizes), all strategies agree");
+    println!(
+        "{:<22} {:>7} {:>9} {:>7} {:>12}",
+        "workload", "edb", "facts", "rounds", "derivations"
+    );
+    let workloads: Vec<(String, lambda_join_datalog::Program, Option<usize>)> = vec![
+        (
+            "tc chains 40×5".into(),
+            transitive_closure_program(&chain_forest_edges(40, 5)),
+            Some(chain_forest_tc_size(40, 5)),
+        ),
+        (
+            "reach sparse 1k".into(),
+            dl_reaches(&random_sparse_edges(500, 1_000, 0xDA7A), 0),
+            None,
+        ),
+        (
+            "reach grid 25×20".into(),
+            dl_reaches(&grid_edges(25, 20), 0),
+            Some(500),
+        ),
+        (
+            "reach scale-free 1k".into(),
+            dl_reaches(&scale_free_edges(500, 2, 0xDA7A), 0),
+            None,
+        ),
+    ];
+    for (name, p, oracle) in workloads {
+        let edges = p.rules.iter().filter(|r| r.body.is_empty()).count();
+        let (semi, stats) = eval_ids(&p, Strategy::Seminaive);
+        let (naive, _) = eval_ids(&p, Strategy::Naive);
+        let (par, par_stats) = eval_seminaive_par_ids(&p, 4);
+        let out = p.rules.last().expect("nonempty program").head.pred.clone();
+        assert_eq!(semi.rows(&out), naive.rows(&out), "{name}: naive diverges");
+        assert_eq!(semi.rows(&out), par.rows(&out), "{name}: parallel diverges");
+        assert_eq!(stats, par_stats, "{name}: parallel stats diverge");
+        if let Some(want) = oracle {
+            assert_eq!(semi.fact_count(&out), want, "{name}: oracle missed");
+        }
+        println!(
+            "{name:<22} {edges:>7} {:>9} {:>7} {:>12}",
+            semi.fact_count(&out),
+            stats.rounds,
+            stats.derivations
+        );
+    }
+    println!("(naive ≡ seminaive ≡ parallel on every family; oracles exact)");
 }
 
 /// Eq. (2): the domain equation checks.

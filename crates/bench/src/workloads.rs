@@ -1,4 +1,13 @@
 //! Shared workload builders for benches and the `figures` binary.
+//!
+//! Alongside the λ∨ term builders, this module hosts the **scalable graph
+//! generators** feeding the Datalog scaling benchmarks (10⁴–10⁶ edges):
+//! uniform random sparse digraphs, directed grids, preferential-attachment
+//! ("scale-free") digraphs, and chain forests (the family whose transitive
+//! closure size is exactly computable, so closure-heavy benchmarks stay
+//! bounded). All generators are deterministic: randomness comes from a
+//! seeded xorshift generator, so every bench run and CI smoke sees the
+//! same graph.
 
 use lambda_join_core::builder::*;
 use lambda_join_core::encodings::Graph;
@@ -35,6 +44,122 @@ pub fn edge_pairs(g: &Graph) -> Vec<(i64, i64)> {
         .iter()
         .flat_map(|(s, ts)| ts.iter().map(move |t| (*s, *t)))
         .collect()
+}
+
+/// A tiny deterministic xorshift64* RNG for workload generation — no
+/// external crates, stable across platforms and runs.
+#[derive(Debug, Clone)]
+pub struct XorShift64(u64);
+
+impl XorShift64 {
+    /// Seeds the generator (a zero seed is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift64(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    /// The next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value uniform in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A uniform random sparse digraph: `edges` directed edges drawn uniformly
+/// over `nodes × nodes` (self-loops and duplicates possible, as in real
+/// fact bases — the engine dedups). The workhorse for reachability
+/// scaling: expected out-degree `edges/nodes`.
+pub fn random_sparse_edges(nodes: i64, edges: usize, seed: u64) -> Vec<(i64, i64)> {
+    assert!(nodes > 0);
+    let mut rng = XorShift64::new(seed);
+    (0..edges)
+        .map(|_| {
+            (
+                rng.below(nodes as u64) as i64,
+                rng.below(nodes as u64) as i64,
+            )
+        })
+        .collect()
+}
+
+/// A directed `w × h` grid: node `y*w + x` has edges right and down.
+/// `2wh - w - h` edges; every node is reachable from the origin, and the
+/// longest path has length `w + h - 2` — many fixpoint rounds with wide
+/// deltas.
+pub fn grid_edges(w: i64, h: i64) -> Vec<(i64, i64)> {
+    assert!(w > 0 && h > 0);
+    let mut out = Vec::with_capacity((2 * w * h - w - h).max(0) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let n = y * w + x;
+            if x + 1 < w {
+                out.push((n, n + 1));
+            }
+            if y + 1 < h {
+                out.push((n, n + w));
+            }
+        }
+    }
+    out
+}
+
+/// A preferential-attachment ("scale-free") digraph: each new node `t`
+/// receives `per_node` edges from endpoints sampled with probability
+/// proportional to their current degree (the Barabási–Albert endpoint
+/// trick: sample uniformly from the running edge-endpoint list). Edges
+/// are oriented old → new, so early hubs reach almost everything — the
+/// skewed-degree shape that stresses per-key index bucket length.
+pub fn scale_free_edges(nodes: i64, per_node: usize, seed: u64) -> Vec<(i64, i64)> {
+    assert!(nodes >= 2 && per_node >= 1);
+    let mut rng = XorShift64::new(seed);
+    let mut out: Vec<(i64, i64)> = vec![(0, 1)];
+    // Endpoint pool: each edge contributes both ends, biasing sampling
+    // toward high-degree nodes.
+    let mut pool: Vec<i64> = vec![0, 1];
+    for t in 2..nodes {
+        for _ in 0..per_node {
+            let src = pool[rng.below(pool.len() as u64) as usize];
+            out.push((src, t));
+            pool.push(src);
+            pool.push(t);
+        }
+    }
+    out
+}
+
+/// A forest of `chains` disjoint directed chains, `len` edges each —
+/// `chains · len` edges whose transitive closure has exactly
+/// `chains · len·(len+1)/2` paths. The closure-size-controlled family:
+/// the only generator where a 10⁵-edge input keeps the full TC
+/// materialisable, which is what the `datalog_tc_chains_100k` bench runs.
+pub fn chain_forest_edges(chains: i64, len: i64) -> Vec<(i64, i64)> {
+    assert!(chains > 0 && len > 0);
+    let mut out = Vec::with_capacity((chains * len) as usize);
+    for c in 0..chains {
+        let base = c * (len + 1);
+        for i in 0..len {
+            out.push((base + i, base + i + 1));
+        }
+    }
+    out
+}
+
+/// The number of paths in the transitive closure of
+/// [`chain_forest_edges`]`(chains, len)` — the bench assertion oracle.
+pub fn chain_forest_tc_size(chains: i64, len: i64) -> usize {
+    (chains * len * (len + 1) / 2) as usize
 }
 
 /// `let a0 = 0 in let a1 = a0 + 1 in … in a(n-1)` — `n` nested lets, one
@@ -102,5 +227,50 @@ mod tests {
         // 2 nodes per layer × 4 layers = 8 nodes, all reachable from 0
         // except the sibling of the root.
         assert_eq!(g.reachable(0).len(), 7);
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_sized() {
+        assert_eq!(
+            random_sparse_edges(100, 500, 7),
+            random_sparse_edges(100, 500, 7)
+        );
+        assert_ne!(
+            random_sparse_edges(100, 500, 7),
+            random_sparse_edges(100, 500, 8)
+        );
+        assert_eq!(random_sparse_edges(100, 500, 7).len(), 500);
+        assert!(random_sparse_edges(100, 500, 7)
+            .iter()
+            .all(|&(s, t)| (0..100).contains(&s) && (0..100).contains(&t)));
+
+        let g = grid_edges(5, 4);
+        assert_eq!(g.len(), (2 * 5 * 4 - 5 - 4) as usize);
+
+        let sf = scale_free_edges(50, 2, 3);
+        assert_eq!(sf, scale_free_edges(50, 2, 3));
+        assert_eq!(sf.len(), 1 + 48 * 2);
+        assert!(sf.iter().all(|&(s, t)| s < 50 && t < 50));
+
+        let cf = chain_forest_edges(10, 4);
+        assert_eq!(cf.len(), 40);
+        assert_eq!(chain_forest_tc_size(10, 4), 10 * 4 * 5 / 2);
+    }
+
+    #[test]
+    fn generator_closures_match_oracles() {
+        use lambda_join_datalog::eval::{eval_ids, Strategy};
+
+        // Chain forest TC size is exactly the closed form.
+        let edges = chain_forest_edges(6, 5);
+        let p = lambda_join_datalog::eval::transitive_closure_program(&edges);
+        let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+        assert_eq!(idb.fact_count("path"), chain_forest_tc_size(6, 5));
+
+        // Every grid node is reachable from the origin.
+        let (w, h) = (6i64, 5i64);
+        let p = lambda_join_datalog::eval::reaches_program(&grid_edges(w, h), 0);
+        let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+        assert_eq!(idb.fact_count("reaches"), (w * h) as usize);
     }
 }

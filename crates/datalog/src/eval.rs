@@ -1,80 +1,53 @@
-//! Bottom-up evaluation of Datalog programs: naive and seminaive.
+//! Bottom-up evaluation of Datalog programs: naive, seminaive, parallel.
 //!
-//! Both compute the least model (the least fixed point of the immediate-
-//! consequence operator — Datalog's instance of the paper's monotone-
-//! fixpoint story). Naive evaluation re-joins every rule against the whole
-//! database each round; seminaive joins each rule against the *delta* of
-//! the previous round, requiring at least one delta atom per rule
-//! instantiation. They agree on the least model (tested); the work gap is
-//! measured in the bench suite.
+//! All three compute the least model (the least fixed point of the
+//! immediate-consequence operator — Datalog's instance of the paper's
+//! monotone-fixpoint story). Naive evaluation re-joins every rule against
+//! the whole database each round; seminaive joins each rule against the
+//! *delta* of the previous round, requiring exactly one delta atom per
+//! rule instantiation. They agree on the least model (property-tested);
+//! the work gap is measured in the bench suite.
 //!
-//! Joins probe a per-predicate **first-argument index** maintained
-//! incrementally alongside the database: when a body atom's first argument
-//! is already bound (a constant, or a variable bound by an earlier atom),
-//! only the tuples sharing that first column are enumerated instead of the
-//! whole relation — the standard bound-argument indexing of bottom-up
-//! engines.
+//! # The id-native engine
+//!
+//! Programs are first **compiled** (see the private `plan` module):
+//! constants and `(predicate, arity)` pairs become interned `u32` ids,
+//! rule variables become dense binding slots, and each rule gets one join
+//! plan per evaluation mode with its body atoms reordered by
+//! bound-variable propagation. Relations are flat `Vec<u32>` tuple stores
+//! ([`store`](crate::store)) with hash-based multi-column indexes over
+//! exactly the column sets the plans probe, maintained incrementally as
+//! facts are inserted. A rule instantiation is therefore a chain of
+//! word-compares and index probes over `Copy` ids — no string hashing, no
+//! tree walks, no per-binding allocation. The linear-recursive shape
+//! (`path(X,Z) :- Δpath(X,Y), edge(Y,Z)`) additionally runs merge-style:
+//! the delta is sorted by its probe key and each distinct key run probes
+//! the index once. Decoded, tree-shaped results ([`Database`]) are
+//! materialised only at the API boundary; [`eval_ids`] skips even that,
+//! which is what the 10⁵–10⁶-fact benchmarks run. DESIGN.md §6 documents
+//! the layout, the planner, and the measured speedups.
 //!
 //! [`eval_seminaive_par`] runs the same seminaive rounds with the delta
-//! **partitioned across a persistent worker set**: each body-position
-//! delta join touches exactly one delta tuple per instantiation, so
-//! splitting the delta partitions the instantiation space exactly.
-//! Workers are spawned once for the whole fixpoint (rounds are many and
-//! deltas small — per-round spawning would dominate), fire rules against
-//! the read-shared database (and first-argument index), and the
-//! coordinator merges their derivations in chunk order. Database, delta
-//! evolution, round count, and derivation count are all identical to the
-//! sequential engine at every worker count (tested).
+//! **partitioned across a persistent worker set**: each delta join touches
+//! exactly one delta tuple per instantiation, so splitting the delta
+//! partitions the instantiation space exactly. Workers fire rules against
+//! the read-shared database and the coordinator merges their derivations
+//! in chunk order. Database, delta evolution, round count, and derivation
+//! count are all identical to the sequential engine at every worker count
+//! (tested).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::ast::{Atom, AtomTerm, Const, Program, Rule};
+use crate::ast::{Atom, Const, Program};
+use crate::plan::{compile, Access, ArgOp, CompiledProgram, CompiledRule, Plan};
+use crate::store::{hash_cols, DeltaRel, Relation};
 
-/// A database: for each predicate, the set of derived tuples.
+pub use crate::store::IdDatabase;
+
+/// A decoded database: for each predicate, the sorted set of derived
+/// tuples. This is the tree-shaped boundary representation; evaluation
+/// itself runs on [`IdDatabase`]'s flat interned relations.
 pub type Database = BTreeMap<String, BTreeSet<Vec<Const>>>;
-
-/// A database together with its per-predicate first-argument index:
-/// `by_first[pred][c]` holds every tuple of `pred` whose first column is
-/// `c`. Maintained incrementally on insert, so index upkeep is O(log n)
-/// per new fact rather than a per-round rebuild.
-#[derive(Debug, Clone, Default)]
-struct IndexedDb {
-    rels: Database,
-    by_first: HashMap<String, HashMap<Const, BTreeSet<Vec<Const>>>>,
-}
-
-impl IndexedDb {
-    /// Whether the tuple is already derived.
-    fn contains(&self, pred: &str, tuple: &[Const]) -> bool {
-        self.rels.get(pred).is_some_and(|r| r.contains(tuple))
-    }
-
-    /// Inserts a tuple, updating the index; returns whether it was new.
-    /// Takes borrows and clones only for genuinely new tuples, so
-    /// duplicates — the majority of derivations in fixpoint rounds — pay
-    /// one membership probe and no clones.
-    fn insert(&mut self, pred: &str, tuple: &[Const]) -> bool {
-        if self.contains(pred, tuple) {
-            return false;
-        }
-        let tuple = tuple.to_vec();
-        if let Some(first) = tuple.first().cloned() {
-            self.by_first
-                .entry(pred.to_string())
-                .or_default()
-                .entry(first)
-                .or_default()
-                .insert(tuple.clone());
-        }
-        self.rels.entry(pred.to_string()).or_default().insert(tuple);
-        true
-    }
-
-    /// The tuples of `pred` whose first column is `c`, if any.
-    fn with_first(&self, pred: &str, c: &Const) -> Option<&BTreeSet<Vec<Const>>> {
-        self.by_first.get(pred).and_then(|m| m.get(c))
-    }
-}
 
 /// Evaluation statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,222 +69,402 @@ pub enum Strategy {
 
 /// Evaluates the program to its least model.
 pub fn eval(program: &Program, strategy: Strategy) -> (Database, EvalStats) {
-    match strategy {
-        Strategy::Naive => eval_naive(program),
-        Strategy::Seminaive => eval_seminaive(program),
+    let (idb, stats) = eval_ids(program, strategy);
+    (idb.to_database(), stats)
+}
+
+/// Evaluates the program to its least model, returning the flat
+/// [`IdDatabase`] without materialising tree-shaped tuples — the right
+/// entry point at scale (a 10⁶-fact closure stays one arena of `u32`s).
+///
+/// ```
+/// use lambda_join_datalog::eval::{eval_ids, transitive_closure_program, Strategy};
+///
+/// let p = transitive_closure_program(&[(0, 1), (1, 2), (2, 3)]);
+/// let (idb, stats) = eval_ids(&p, Strategy::Seminaive);
+/// assert_eq!(idb.fact_count("path"), 6);
+/// assert!(stats.rounds >= 3);
+/// ```
+pub fn eval_ids(program: &Program, strategy: Strategy) -> (IdDatabase, EvalStats) {
+    let cp = compile(program);
+    let (rels, stats) = match strategy {
+        Strategy::Naive => eval_naive_ids(&cp),
+        Strategy::Seminaive => eval_seminaive_ids(&cp),
+    };
+    (seal(cp, rels), stats)
+}
+
+fn seal(cp: CompiledProgram, rels: Vec<Relation>) -> IdDatabase {
+    IdDatabase {
+        rels,
+        names: cp.rel_names,
+        consts: cp.consts,
     }
 }
 
-type Bindings = HashMap<String, Const>;
+/// Shared read-side context for one join: the compiled program, the
+/// database relations, and (for seminaive plans) the round's delta.
+struct Cx<'a> {
+    prog: &'a CompiledProgram,
+    db: &'a [Relation],
+    delta: Option<&'a [DeltaRel]>,
+}
 
-fn unify(pattern: &Atom, tuple: &[Const], bindings: &Bindings) -> Option<Bindings> {
-    if pattern.args.len() != tuple.len() {
-        return None;
-    }
-    let mut out = bindings.clone();
-    for (t, c) in pattern.args.iter().zip(tuple) {
-        match t {
-            AtomTerm::Const(k) => {
-                if k != c {
-                    return None;
+#[inline]
+fn match_row(ops: &[ArgOp], row: &[u32], bindings: &mut [u32]) -> bool {
+    for (op, &v) in ops.iter().zip(row) {
+        match *op {
+            ArgOp::CheckConst(c) => {
+                if v != c {
+                    return false;
                 }
             }
-            AtomTerm::Var(v) => match out.get(v) {
-                Some(bound) => {
-                    if bound != c {
-                        return None;
+            ArgOp::CheckVar(s) => {
+                if bindings[s] != v {
+                    return false;
+                }
+            }
+            ArgOp::Bind(s) => bindings[s] = v,
+        }
+    }
+    true
+}
+
+#[inline]
+fn op_value(op: &ArgOp, bindings: &[u32]) -> u32 {
+    match *op {
+        ArgOp::CheckConst(c) => c,
+        ArgOp::CheckVar(s) => bindings[s],
+        ArgOp::Bind(_) => unreachable!("key ops are bound"),
+    }
+}
+
+/// Nested-loop join over the remaining planned atoms; a complete match
+/// instantiates the head into `out` and counts one derivation.
+///
+/// Backtracking needs no trail: a slot is written by exactly one `Bind`
+/// on any plan path and only read (`CheckVar`, head emission) strictly
+/// after that bind executes, so stale values left by backtracking are
+/// never observed.
+fn join(
+    cx: &Cx<'_>,
+    atoms: &[crate::plan::PlannedAtom],
+    rule: &CompiledRule,
+    bindings: &mut [u32],
+    scratch: &mut Vec<u32>,
+    out: &mut [DeltaRel],
+    stats: &mut EvalStats,
+) {
+    let Some(atom) = atoms.first() else {
+        stats.derivations += 1;
+        let o = &mut out[rule.head_rel as usize];
+        o.data
+            .extend(rule.head.iter().map(|op| op_value(op, bindings)));
+        o.rows += 1;
+        return;
+    };
+    let rest = &atoms[1..];
+    if atom.is_delta {
+        let d = &cx.delta.expect("delta atom outside a seminaive round")[atom.rel as usize];
+        let arity = cx.prog.arities[atom.rel as usize];
+        for i in 0..d.rows {
+            if match_row(&atom.ops, d.row(i, arity), bindings) {
+                join(cx, rest, rule, bindings, scratch, out, stats);
+            }
+        }
+        return;
+    }
+    let rel = &cx.db[atom.rel as usize];
+    match atom.access {
+        Access::Contains => {
+            scratch.clear();
+            scratch.extend(atom.ops.iter().map(|op| op_value(op, bindings)));
+            if rel.contains(scratch) {
+                join(cx, rest, rule, bindings, scratch, out, stats);
+            }
+        }
+        Access::Index { index_slot } => {
+            let h = hash_cols(atom.key_ops.iter().map(|op| op_value(op, bindings)));
+            for &r in rel.indexes[index_slot].probe(h) {
+                if match_row(&atom.ops, rel.row(r), bindings) {
+                    join(cx, rest, rule, bindings, scratch, out, stats);
+                }
+            }
+        }
+        Access::Scan => {
+            for i in 0..rel.len() as u32 {
+                if match_row(&atom.ops, rel.row(i), bindings) {
+                    join(cx, rest, rule, bindings, scratch, out, stats);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one plan. Merge-eligible seminaive plans (the linear-recursive
+/// shape) sort the delta by the downstream probe key and probe the index
+/// once per distinct key run; everything else goes straight to the
+/// nested-loop join.
+fn run_plan(
+    cx: &Cx<'_>,
+    rule: &CompiledRule,
+    plan: &Plan,
+    bindings: &mut [u32],
+    scratch: &mut Vec<u32>,
+    out: &mut [DeltaRel],
+    stats: &mut EvalStats,
+) {
+    if let (Some(merge_key), Some(delta)) = (&plan.merge_key, cx.delta) {
+        let datom = &plan.atoms[0];
+        let d = &delta[datom.rel as usize];
+        if d.rows == 0 {
+            return;
+        }
+        let arity = cx.prog.arities[datom.rel as usize];
+        let key_cols: Vec<usize> = merge_key
+            .iter()
+            .copied()
+            .filter(|&c| c != usize::MAX)
+            .collect();
+        let mut order: Vec<u32> = (0..d.rows as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let ra = d.row(a as usize, arity);
+            let rb = d.row(b as usize, arity);
+            key_cols
+                .iter()
+                .map(|&c| ra[c])
+                .cmp(key_cols.iter().map(|&c| rb[c]))
+        });
+        let patom = &plan.atoms[1];
+        let Access::Index { index_slot } = patom.access else {
+            unreachable!("merge plans probe an index")
+        };
+        let prel = &cx.db[patom.rel as usize];
+        let mut run = 0usize;
+        while run < order.len() {
+            let first = d.row(order[run] as usize, arity);
+            let mut end = run + 1;
+            while end < order.len()
+                && key_cols
+                    .iter()
+                    .all(|&c| d.row(order[end] as usize, arity)[c] == first[c])
+            {
+                end += 1;
+            }
+            let h = hash_cols(
+                patom
+                    .key_ops
+                    .iter()
+                    .zip(merge_key)
+                    .map(|(op, &dc)| match *op {
+                        ArgOp::CheckConst(c) => c,
+                        _ => first[dc],
+                    }),
+            );
+            let bucket = prel.indexes[index_slot].probe(h);
+            if !bucket.is_empty() {
+                for &di in &order[run..end] {
+                    if match_row(&datom.ops, d.row(di as usize, arity), bindings) {
+                        for &r in bucket {
+                            if match_row(&patom.ops, prel.row(r), bindings) {
+                                join(cx, &plan.atoms[2..], rule, bindings, scratch, out, stats);
+                            }
+                        }
                     }
                 }
-                None => {
-                    out.insert(v.clone(), c.clone());
+            }
+            run = end;
+        }
+        return;
+    }
+    join(cx, &plan.atoms, rule, bindings, scratch, out, stats);
+}
+
+/// Inserts every buffered derivation into the database; genuinely new
+/// facts are appended to `next_delta` (when given). Returns whether
+/// anything was new.
+fn merge_out(
+    cp: &CompiledProgram,
+    db: &mut [Relation],
+    out: &[DeltaRel],
+    mut next_delta: Option<&mut [DeltaRel]>,
+) -> bool {
+    let mut changed = false;
+    for (rel, o) in out.iter().enumerate() {
+        let arity = cp.arities[rel];
+        for i in 0..o.rows {
+            let row = o.row(i, arity);
+            if db[rel].insert(row) {
+                changed = true;
+                if let Some(d) = next_delta.as_deref_mut() {
+                    d[rel].push(row);
                 }
-            },
-        }
-    }
-    Some(out)
-}
-
-fn instantiate(head: &Atom, bindings: &Bindings) -> Vec<Const> {
-    head.args
-        .iter()
-        .map(|t| match t {
-            AtomTerm::Const(c) => c.clone(),
-            AtomTerm::Var(v) => bindings
-                .get(v)
-                .expect("range restriction guarantees binding")
-                .clone(),
-        })
-        .collect()
-}
-
-/// Joins the rule body against `db`, requiring (for seminaive) that the
-/// atom at `delta_at` matches within `delta` rather than `db`.
-///
-/// Database atoms whose first argument is bound (a constant, or a variable
-/// bound by an earlier atom) probe the first-argument index instead of
-/// scanning the whole relation; delta relations are small and scanned
-/// directly.
-fn fire_rule(
-    rule: &Rule,
-    db: &IndexedDb,
-    delta: Option<(&Database, usize)>,
-    stats: &mut EvalStats,
-    out: &mut Vec<(String, Vec<Const>)>,
-) {
-    /// The first argument of `atom` as a constant under `bindings`, if it
-    /// is bound at this point of the join.
-    fn bound_first<'a>(atom: &'a Atom, bindings: &'a Bindings) -> Option<&'a Const> {
-        match atom.args.first()? {
-            AtomTerm::Const(k) => Some(k),
-            AtomTerm::Var(v) => bindings.get(v),
-        }
-    }
-    fn go(
-        rule: &Rule,
-        db: &IndexedDb,
-        delta: Option<(&Database, usize)>,
-        idx: usize,
-        bindings: &Bindings,
-        stats: &mut EvalStats,
-        out: &mut Vec<(String, Vec<Const>)>,
-    ) {
-        if idx == rule.body.len() {
-            stats.derivations += 1;
-            out.push((rule.head.pred.clone(), instantiate(&rule.head, bindings)));
-            return;
-        }
-        let atom = &rule.body[idx];
-        let rel = match delta {
-            Some((d, at)) if at == idx => d.get(&atom.pred),
-            _ => match bound_first(atom, bindings) {
-                Some(k) => db.with_first(&atom.pred, k),
-                None => db.rels.get(&atom.pred),
-            },
-        };
-        let Some(rel) = rel else {
-            return;
-        };
-        for tuple in rel {
-            if let Some(b2) = unify(atom, tuple, bindings) {
-                go(rule, db, delta, idx + 1, &b2, stats, out);
             }
         }
     }
-    go(rule, db, delta, 0, &Bindings::new(), stats, out);
+    changed
 }
 
-fn eval_naive(program: &Program) -> (Database, EvalStats) {
-    let mut db = IndexedDb::default();
+fn binding_frame(cp: &CompiledProgram) -> Vec<u32> {
+    vec![0; cp.rules.iter().map(|r| r.nvars).max().unwrap_or(0)]
+}
+
+fn eval_naive_ids(cp: &CompiledProgram) -> (Vec<Relation>, EvalStats) {
+    let mut db = cp.fresh_store();
     let mut stats = EvalStats::default();
+    let mut bindings = binding_frame(cp);
+    let mut scratch = Vec::new();
     loop {
         stats.rounds += 1;
-        let mut new_facts = Vec::new();
-        for rule in &program.rules {
-            fire_rule(rule, &db, None, &mut stats, &mut new_facts);
+        let mut out = cp.fresh_delta();
+        let cx = Cx {
+            prog: cp,
+            db: &db,
+            delta: None,
+        };
+        for rule in &cp.rules {
+            run_plan(
+                &cx,
+                rule,
+                &rule.naive,
+                &mut bindings,
+                &mut scratch,
+                &mut out,
+                &mut stats,
+            );
         }
-        let mut changed = false;
-        for (pred, tuple) in new_facts {
-            if db.insert(&pred, &tuple) {
-                changed = true;
-            }
-        }
-        if !changed {
-            return (db.rels, stats);
+        if !merge_out(cp, &mut db, &out, None) {
+            return (db, stats);
         }
     }
 }
 
-fn eval_seminaive(program: &Program) -> (Database, EvalStats) {
-    let mut db = IndexedDb::default();
-    let mut stats = EvalStats::default();
-    // Round 0: facts and rules over the empty database (facts fire).
-    let mut delta = Database::new();
+/// Round 0 of seminaive evaluation: only facts (empty-body rules) fire.
+fn seminaive_round0(
+    cp: &CompiledProgram,
+    db: &mut Vec<Relation>,
+    stats: &mut EvalStats,
+    bindings: &mut [u32],
+    scratch: &mut Vec<u32>,
+) -> Vec<DeltaRel> {
     stats.rounds += 1;
-    let mut new_facts = Vec::new();
-    for rule in &program.rules {
-        if rule.body.is_empty() {
-            fire_rule(rule, &db, None, &mut stats, &mut new_facts);
-        }
-    }
-    for (pred, tuple) in new_facts {
-        if db.insert(&pred, &tuple) {
-            delta.entry(pred).or_default().insert(tuple);
-        }
-    }
-    // Subsequent rounds: for each rule and each body position, join with
-    // the delta at that position.
-    while !delta.is_empty() {
-        stats.rounds += 1;
-        let mut new_facts = Vec::new();
-        for rule in &program.rules {
-            for at in 0..rule.body.len() {
-                fire_rule(rule, &db, Some((&delta, at)), &mut stats, &mut new_facts);
+    let mut out = cp.fresh_delta();
+    {
+        let cx = Cx {
+            prog: cp,
+            db,
+            delta: None,
+        };
+        for rule in &cp.rules {
+            if rule.body_len == 0 {
+                run_plan(&cx, rule, &rule.naive, bindings, scratch, &mut out, stats);
             }
         }
-        let mut next_delta = Database::new();
-        for (pred, tuple) in new_facts {
-            if db.insert(&pred, &tuple) {
-                next_delta.entry(pred).or_default().insert(tuple);
-            }
-        }
-        delta = next_delta;
     }
-    (db.rels, stats)
+    let mut delta = cp.fresh_delta();
+    merge_out(cp, db, &out, Some(&mut delta));
+    delta
 }
 
-/// One worker's round report: chunk index, derived facts, derivations.
-type WorkerBatch = (usize, Vec<(String, Vec<Const>)>, usize);
+fn delta_nonempty(delta: &[DeltaRel]) -> bool {
+    delta.iter().any(|d| d.rows > 0)
+}
+
+/// Fires every seminaive plan of every rule against `delta`, skipping
+/// plans whose delta relation is empty this round.
+fn fire_delta_plans(
+    cx: &Cx<'_>,
+    bindings: &mut [u32],
+    scratch: &mut Vec<u32>,
+    out: &mut [DeltaRel],
+    stats: &mut EvalStats,
+) {
+    let delta = cx.delta.expect("seminaive rounds carry a delta");
+    for rule in &cx.prog.rules {
+        for plan in &rule.delta_plans {
+            if delta[plan.atoms[0].rel as usize].rows > 0 {
+                run_plan(cx, rule, plan, bindings, scratch, out, stats);
+            }
+        }
+    }
+}
+
+fn eval_seminaive_ids(cp: &CompiledProgram) -> (Vec<Relation>, EvalStats) {
+    let mut db = cp.fresh_store();
+    let mut stats = EvalStats::default();
+    let mut bindings = binding_frame(cp);
+    let mut scratch = Vec::new();
+    let mut delta = seminaive_round0(cp, &mut db, &mut stats, &mut bindings, &mut scratch);
+    while delta_nonempty(&delta) {
+        stats.rounds += 1;
+        let mut out = cp.fresh_delta();
+        let cx = Cx {
+            prog: cp,
+            db: &db,
+            delta: Some(&delta),
+        };
+        fire_delta_plans(&cx, &mut bindings, &mut scratch, &mut out, &mut stats);
+        let mut next = cp.fresh_delta();
+        merge_out(cp, &mut db, &out, Some(&mut next));
+        delta = next;
+    }
+    (db, stats)
+}
+
+/// One worker's round report: chunk index, derivation buffers, derivations.
+type WorkerBatch = (usize, Vec<DeltaRel>, usize);
 
 /// Evaluates the program to its least model with seminaive rounds whose
 /// delta joins fan out over at most `workers` threads. Exactly equal to
 /// `eval(program, Strategy::Seminaive)` — database, stats, and per-round
 /// deltas — at every worker count; `workers <= 1` runs inline.
 pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalStats) {
+    let (idb, stats) = eval_seminaive_par_ids(program, workers);
+    (idb.to_database(), stats)
+}
+
+/// [`eval_seminaive_par`] without the tree-shaped boundary: returns the
+/// flat [`IdDatabase`].
+pub fn eval_seminaive_par_ids(program: &Program, workers: usize) -> (IdDatabase, EvalStats) {
     let workers = workers.max(1);
+    let cp = compile(program);
     if workers == 1 {
-        return eval_seminaive(program);
+        let (rels, stats) = eval_seminaive_ids(&cp);
+        return (seal(cp, rels), stats);
     }
-    let mut db = IndexedDb::default();
+    let mut db = cp.fresh_store();
     let mut stats = EvalStats::default();
-    // Round 0: facts fire over the empty database (sequential: there is no
-    // delta to partition yet, and fact rules are cheap).
-    let mut delta = Database::new();
-    stats.rounds += 1;
-    let mut new_facts = Vec::new();
-    for rule in &program.rules {
-        if rule.body.is_empty() {
-            fire_rule(rule, &db, None, &mut stats, &mut new_facts);
-        }
-    }
-    for (pred, tuple) in new_facts {
-        if db.insert(&pred, &tuple) {
-            delta.entry(pred).or_default().insert(tuple);
-        }
-    }
+    let mut bindings = binding_frame(&cp);
+    let mut scratch = Vec::new();
+    let mut delta = seminaive_round0(&cp, &mut db, &mut stats, &mut bindings, &mut scratch);
     // Workers are spawned ONCE and fed one sub-delta per round over
     // channels — fixpoints run tens of rounds with small deltas, and a
     // per-round thread spawn would dwarf the join work. The database is
     // behind an RwLock: read-shared by all workers during a round,
     // write-locked by the coordinator for the merge between rounds.
     let db = std::sync::RwLock::new(db);
+    let cp_ref = &cp;
     let result = crossbeam::scope(|s| {
         let (res_tx, res_rx) = std::sync::mpsc::channel::<WorkerBatch>();
         let mut job_txs = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, Database)>();
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<DeltaRel>)>();
             job_txs.push(tx);
             let res_tx = res_tx.clone();
             let db = &db;
             s.spawn(move |_| {
+                let mut bindings = binding_frame(cp_ref);
+                let mut scratch = Vec::new();
                 while let Ok((chunk_idx, sub)) = rx.recv() {
                     let guard = db.read().expect("db lock poisoned");
                     let mut local = EvalStats::default();
-                    let mut out = Vec::new();
-                    for rule in &program.rules {
-                        for at in 0..rule.body.len() {
-                            fire_rule(rule, &guard, Some((&sub, at)), &mut local, &mut out);
-                        }
-                    }
+                    let mut out = cp_ref.fresh_delta();
+                    let cx = Cx {
+                        prog: cp_ref,
+                        db: &guard,
+                        delta: Some(&sub),
+                    };
+                    fire_delta_plans(&cx, &mut bindings, &mut scratch, &mut out, &mut local);
                     drop(guard);
                     if res_tx.send((chunk_idx, out, local.derivations)).is_err() {
                         return;
@@ -319,25 +472,24 @@ pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalS
                 }
             });
         }
-        // Rounds: partition the delta tuples (in the database's
-        // deterministic iteration order) into per-worker sub-databases,
-        // dispatch, and merge the batches in chunk order.
-        while !delta.is_empty() {
+        // Rounds: partition the delta tuples (relation id ascending, rows
+        // in derivation order) into per-worker sub-deltas, dispatch, and
+        // merge the batches in chunk order.
+        while delta_nonempty(&delta) {
             stats.rounds += 1;
-            let tuples: Vec<(&String, &Vec<Const>)> = delta
+            let tuples: Vec<(usize, usize)> = delta
                 .iter()
-                .flat_map(|(pred, rel)| rel.iter().map(move |t| (pred, t)))
+                .enumerate()
+                .flat_map(|(rel, d)| (0..d.rows).map(move |i| (rel, i)))
                 .collect();
             let k = workers.min(tuples.len());
             let (base, extra) = (tuples.len() / k, tuples.len() % k);
             let mut start = 0;
             for (chunk_idx, tx) in job_txs.iter().take(k).enumerate() {
                 let size = base + usize::from(chunk_idx < extra);
-                let mut sub = Database::new();
-                for (pred, tuple) in &tuples[start..start + size] {
-                    sub.entry((*pred).clone())
-                        .or_default()
-                        .insert((*tuple).clone());
+                let mut sub = cp.fresh_delta();
+                for &(rel, i) in &tuples[start..start + size] {
+                    sub[rel].push(delta[rel].row(i, cp.arities[rel]));
                 }
                 start += size;
                 tx.send((chunk_idx, sub)).expect("worker hung up");
@@ -348,16 +500,12 @@ pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalS
                 let slot = batch.0;
                 batches[slot] = Some(batch);
             }
-            let mut next_delta = Database::new();
+            let mut next_delta = cp.fresh_delta();
             let mut guard = db.write().expect("db lock poisoned");
             for batch in batches {
-                let (_, new_facts, derivations) = batch.expect("every chunk reports");
+                let (_, out, derivations) = batch.expect("every chunk reports");
                 stats.derivations += derivations;
-                for (pred, tuple) in new_facts {
-                    if guard.insert(&pred, &tuple) {
-                        next_delta.entry(pred).or_default().insert(tuple);
-                    }
-                }
+                merge_out(&cp, &mut guard, &out, Some(&mut next_delta));
             }
             drop(guard);
             delta = next_delta;
@@ -366,11 +514,17 @@ pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalS
         stats
     })
     .expect("datalog worker panicked");
-    let db = db.into_inner().expect("db lock poisoned");
-    (db.rels, result)
+    let rels = db.into_inner().expect("db lock poisoned");
+    (seal(cp, rels), result)
 }
 
 /// Convenience: the tuples of a predicate, or empty.
+///
+/// The order is **deterministic and strategy-independent**: tuples come
+/// back sorted ascending (by [`Const`]'s derived order), whichever of the
+/// naive, seminaive, or parallel engines produced the database and in
+/// whatever order they derived the facts. Pinned by the
+/// `rows_order_is_deterministic` tests.
 pub fn rows<'a>(db: &'a Database, pred: &str) -> Vec<&'a Vec<Const>> {
     db.get(pred).map(|s| s.iter().collect()).unwrap_or_default()
 }
@@ -542,5 +696,76 @@ mod tests {
         );
         let (db, _) = eval(&p, Strategy::Seminaive);
         assert!(db["ancestor"].contains(&vec![Const::from("abe"), Const::from("bart")]));
+    }
+
+    #[test]
+    fn mixed_arity_predicates_coexist() {
+        // One name at two arities: relations are keyed by (name, arity)
+        // internally and merged by name at the boundary.
+        let mut p = Program::new();
+        p.fact(Atom::new("p", vec![cst(1)]));
+        p.fact(Atom::new("p", vec![cst(1), cst(2)]));
+        p.rule(
+            Atom::new("q", vec![var("X")]),
+            vec![Atom::new("p", vec![var("X"), var("Y")])],
+        );
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        assert_eq!(db["p"].len(), 2);
+        assert_eq!(rows(&db, "q"), vec![&vec![Const::Int(1)]]);
+    }
+
+    #[test]
+    fn all_bound_atoms_act_as_filters() {
+        // dup(X) :- e(X, Y), e(Y, X): the second atom is fully bound and
+        // compiles to a membership probe.
+        let mut p = Program::new();
+        p.fact(Atom::new("e", vec![cst(1), cst(2)]));
+        p.fact(Atom::new("e", vec![cst(2), cst(1)]));
+        p.fact(Atom::new("e", vec![cst(2), cst(3)]));
+        p.rule(
+            Atom::new("dup", vec![var("X")]),
+            vec![
+                Atom::new("e", vec![var("X"), var("Y")]),
+                Atom::new("e", vec![var("Y"), var("X")]),
+            ],
+        );
+        let (db, _) = eval(&p, Strategy::Seminaive);
+        let got = rows(&db, "dup");
+        assert_eq!(got, vec![&vec![Const::Int(1)], &vec![Const::Int(2)]]);
+        let (naive, _) = eval(&p, Strategy::Naive);
+        assert_eq!(naive["dup"], db["dup"]);
+    }
+
+    #[test]
+    fn id_database_queries_match_tree_database() {
+        let p = transitive_closure_program(&[(0, 1), (1, 2), (2, 0)]);
+        let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+        let db = idb.to_database();
+        assert_eq!(idb.fact_count("path"), db["path"].len());
+        assert_eq!(idb.total_facts(), db.values().map(BTreeSet::len).sum());
+        assert!(idb.contains("path", &[Const::Int(0), Const::Int(0)]));
+        assert!(!idb.contains("path", &[Const::Int(0), Const::Int(7)]));
+        assert!(!idb.contains("nope", &[Const::Int(0)]));
+        let sorted: Vec<Vec<Const>> = db["path"].iter().cloned().collect();
+        assert_eq!(idb.rows("path"), sorted);
+    }
+
+    #[test]
+    fn rows_order_is_deterministic_across_strategies() {
+        // `rows` (and `IdDatabase::rows`) must not leak derivation order:
+        // naive, seminaive, and parallel runs derive facts in different
+        // orders but must report identical, sorted tuples.
+        let edges = vec![(2, 0), (0, 1), (1, 2), (2, 3), (3, 1), (0, 3)];
+        let p = transitive_closure_program(&edges);
+        let (naive, _) = eval(&p, Strategy::Naive);
+        let (semi, _) = eval(&p, Strategy::Seminaive);
+        let (par, _) = eval_seminaive_par(&p, 3);
+        let want: Vec<&Vec<Const>> = rows(&naive, "path");
+        assert!(want.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
+        assert_eq!(rows(&semi, "path"), want);
+        assert_eq!(rows(&par, "path"), want);
+        let (idb_n, _) = eval_ids(&p, Strategy::Naive);
+        let (idb_s, _) = eval_ids(&p, Strategy::Seminaive);
+        assert_eq!(idb_n.rows("path"), idb_s.rows("path"));
     }
 }

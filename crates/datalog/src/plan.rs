@@ -1,0 +1,370 @@
+//! Rule compilation and join planning over the interned substrate.
+//!
+//! Compilation interns every constant and `(predicate, arity)` pair to a
+//! `u32` id, resolves each rule's variables to dense binding slots, and
+//! produces one **join plan** per evaluation mode: a naive plan (all atoms
+//! against the full database) plus one seminaive plan per body position
+//! (that atom reads the round's delta, the rest read the database).
+//!
+//! Planning is bound-variable propagation: starting from the delta atom
+//! (seminaive) or an empty binding set (naive), the remaining atoms are
+//! ordered greedily — most bound argument positions first, smallest
+//! relation-arity and original position as deterministic tie-breaks — so
+//! each atom is evaluated with the largest possible bound prefix. Each
+//! planned database atom then gets an access path chosen statically:
+//!
+//! * **all columns bound** → a membership probe ([`Access::Contains`]);
+//! * **some columns bound** → a probe of the multi-column index over
+//!   exactly those columns ([`Access::Index`]); the planner registers the
+//!   index with the relation so it is maintained incrementally on insert;
+//! * **no columns bound** → a full scan ([`Access::Scan`]).
+//!
+//! A seminaive plan whose delta atom feeds a single index probe — the
+//! linear-recursive shape, `path(X,Z) :- Δpath(X,Y), edge(Y,Z)` — is
+//! additionally marked with the delta columns that form the probe key, so
+//! the evaluator can run it merge-style: sort the delta by key, probe the
+//! index once per distinct key run instead of once per delta tuple.
+
+use std::collections::HashMap;
+
+use crate::ast::{AtomTerm, Const, Program};
+use crate::store::{DeltaRel, Relation};
+
+/// One argument position of a compiled atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArgOp {
+    /// The column must equal this interned constant.
+    CheckConst(u32),
+    /// The column must equal the value already bound in this slot.
+    CheckVar(usize),
+    /// First occurrence of a variable: bind the slot to the column value.
+    Bind(usize),
+}
+
+/// How a planned database atom reaches its matching tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Access {
+    /// Every column bound: one membership probe, no enumeration.
+    Contains,
+    /// Probe the relation's index `index_slot` with the values of the
+    /// bound columns (in indexed-column order).
+    Index { index_slot: usize },
+    /// No column bound: enumerate the whole relation.
+    Scan,
+}
+
+/// A body atom in plan order.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedAtom {
+    /// The relation this atom reads (delta or database, per `is_delta`).
+    pub(crate) rel: u32,
+    /// Reads the round's delta instead of the database.
+    pub(crate) is_delta: bool,
+    /// Per-column match/bind operations.
+    pub(crate) ops: Vec<ArgOp>,
+    /// Access path (meaningful for database atoms only).
+    pub(crate) access: Access,
+    /// The ops over the bound ("key") columns, in indexed-column order —
+    /// what the evaluator hashes to form the probe key.
+    pub(crate) key_ops: Vec<ArgOp>,
+}
+
+/// A fully ordered join for one rule in one evaluation mode.
+#[derive(Debug, Clone)]
+pub(crate) struct Plan {
+    pub(crate) atoms: Vec<PlannedAtom>,
+    /// `Some(delta_cols)` when the plan is the linear-recursive shape —
+    /// a delta atom followed by an index probe keyed entirely by constants
+    /// and delta-bound variables. `delta_cols[i]` is the delta column
+    /// whose value feeds key op `i` (`usize::MAX` for constant key ops).
+    /// The evaluator may then sort the delta by these columns and probe
+    /// once per distinct key run (the merge-style path).
+    pub(crate) merge_key: Option<Vec<usize>>,
+}
+
+/// A compiled rule: interned head plus its per-mode join plans.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledRule {
+    pub(crate) head_rel: u32,
+    /// Head columns: `CheckConst` emits the constant, `CheckVar` emits the
+    /// bound slot (range restriction guarantees it is bound; `Bind` cannot
+    /// appear in heads).
+    pub(crate) head: Vec<ArgOp>,
+    /// Number of variable slots the binding frame needs.
+    pub(crate) nvars: usize,
+    /// Number of body atoms (0 for facts).
+    pub(crate) body_len: usize,
+    /// Plan joining every atom against the full database.
+    pub(crate) naive: Plan,
+    /// Plan `j` reads the delta at original body position `j`.
+    pub(crate) delta_plans: Vec<Plan>,
+}
+
+/// The whole program lowered onto ids, plus the symbol tables to decode
+/// results at the boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProgram {
+    pub(crate) rules: Vec<CompiledRule>,
+    /// Relation id → predicate name (one relation per name *and* arity).
+    pub(crate) rel_names: Vec<String>,
+    /// Relation id → arity.
+    pub(crate) arities: Vec<usize>,
+    /// Id → constant.
+    pub(crate) consts: Vec<Const>,
+    /// Pre-registered relations (indexes already attached), cloned into
+    /// the evaluator's database and delta stores.
+    pub(crate) template: Vec<Relation>,
+}
+
+impl CompiledProgram {
+    /// Fresh, empty relations with every planned index registered.
+    pub(crate) fn fresh_store(&self) -> Vec<Relation> {
+        self.template.clone()
+    }
+
+    /// Fresh per-relation delta buffers (flat rows, no indexes).
+    pub(crate) fn fresh_delta(&self) -> Vec<DeltaRel> {
+        vec![DeltaRel::default(); self.template.len()]
+    }
+}
+
+fn intern_const(consts: &mut Vec<Const>, ids: &mut HashMap<Const, u32>, c: &Const) -> u32 {
+    *ids.entry(c.clone()).or_insert_with(|| {
+        consts.push(c.clone());
+        u32::try_from(consts.len() - 1).expect("constant table overflow")
+    })
+}
+
+/// Greedy bound-propagation ordering: repeatedly pick the unplaced atom
+/// with the most bound argument positions (constants always count; a
+/// variable counts once any placed atom binds it), breaking ties toward
+/// fewer total arguments, then original position.
+fn order_atoms(raw: &[(u32, Vec<ArgOp>)], first: Option<usize>, nvars: usize) -> Vec<usize> {
+    let mut bound = vec![false; nvars];
+    let mut order = Vec::with_capacity(raw.len());
+    let mut placed = vec![false; raw.len()];
+    let place = |i: usize, bound: &mut Vec<bool>, placed: &mut Vec<bool>| {
+        placed[i] = true;
+        for op in &raw[i].1 {
+            if let ArgOp::Bind(s) | ArgOp::CheckVar(s) = op {
+                bound[*s] = true;
+            }
+        }
+    };
+    if let Some(i) = first {
+        order.push(i);
+        place(i, &mut bound, &mut placed);
+    }
+    while order.len() < raw.len() {
+        let best = (0..raw.len())
+            .filter(|&i| !placed[i])
+            .max_by_key(|&i| {
+                let bound_args = raw[i]
+                    .1
+                    .iter()
+                    .filter(|op| match op {
+                        ArgOp::CheckConst(_) => true,
+                        ArgOp::Bind(s) | ArgOp::CheckVar(s) => bound[*s],
+                    })
+                    .count();
+                // max_by_key keeps the *last* max; invert the index so
+                // ties resolve to the earliest original position.
+                (bound_args, usize::MAX - raw[i].1.len(), usize::MAX - i)
+            })
+            .expect("unplaced atom exists");
+        order.push(best);
+        place(best, &mut bound, &mut placed);
+    }
+    order
+}
+
+/// Lowers the ordered atoms to a [`Plan`], rewriting each atom's ops
+/// against the bound-slot state at its position and choosing its access
+/// path. Registers any needed index on the template relation.
+fn build_plan(
+    raw: &[(u32, Vec<ArgOp>)],
+    order: &[usize],
+    delta_at: Option<usize>,
+    nvars: usize,
+    template: &mut [Relation],
+) -> Plan {
+    let mut bound = vec![false; nvars];
+    let mut atoms = Vec::with_capacity(order.len());
+    for &i in order {
+        let (rel, shape) = &raw[i];
+        let is_delta = delta_at == Some(i);
+        // Re-derive ops relative to the current bound set: an op compiled
+        // as Bind in the original left-to-right pass may already be bound
+        // here (or vice versa). Duplicate occurrences *within* this atom
+        // stay CheckVar after the first Bind.
+        let mut ops = Vec::with_capacity(shape.len());
+        for op in shape {
+            ops.push(match *op {
+                ArgOp::CheckConst(c) => ArgOp::CheckConst(c),
+                ArgOp::Bind(s) | ArgOp::CheckVar(s) => {
+                    if bound[s] {
+                        ArgOp::CheckVar(s)
+                    } else {
+                        bound[s] = true;
+                        ArgOp::Bind(s)
+                    }
+                }
+            });
+        }
+        let key_cols: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| !matches!(op, ArgOp::Bind(_)))
+            .map(|(c, _)| c)
+            .collect();
+        let key_ops: Vec<ArgOp> = key_cols.iter().map(|&c| ops[c]).collect();
+        let access = if is_delta {
+            Access::Scan // deltas are small and unindexed: always scanned
+        } else if !ops.is_empty() && key_cols.len() == ops.len() {
+            Access::Contains
+        } else if key_cols.is_empty() {
+            Access::Scan
+        } else {
+            let index_slot = template[*rel as usize].register_index(key_cols);
+            Access::Index { index_slot }
+        };
+        atoms.push(PlannedAtom {
+            rel: *rel,
+            is_delta,
+            ops,
+            access,
+            key_ops,
+        });
+    }
+    // Merge-style eligibility: [delta, index-probe, ...] where every key
+    // op of the probe is a constant or a variable bound by the delta atom.
+    let merge_key = match atoms.as_slice() {
+        [d, p, ..] if d.is_delta && matches!(p.access, Access::Index { .. }) => {
+            let delta_col_of = |slot: usize| {
+                d.ops
+                    .iter()
+                    .position(|op| matches!(op, ArgOp::Bind(s) if *s == slot))
+            };
+            p.key_ops
+                .iter()
+                .map(|op| match op {
+                    ArgOp::CheckConst(_) => Some(usize::MAX),
+                    ArgOp::CheckVar(s) => delta_col_of(*s),
+                    ArgOp::Bind(_) => None,
+                })
+                .collect::<Option<Vec<usize>>>()
+        }
+        _ => None,
+    };
+    Plan { atoms, merge_key }
+}
+
+/// Compiles a whole program: interning, slot assignment, planning, and
+/// index registration.
+pub(crate) fn compile(program: &Program) -> CompiledProgram {
+    let mut consts: Vec<Const> = Vec::new();
+    let mut const_ids: HashMap<Const, u32> = HashMap::new();
+    let mut rel_ids: HashMap<(String, usize), u32> = HashMap::new();
+    let mut rel_names: Vec<String> = Vec::new();
+    let mut arities: Vec<usize> = Vec::new();
+
+    let mut rel_of =
+        |pred: &str, arity: usize, rel_names: &mut Vec<String>, arities: &mut Vec<usize>| {
+            *rel_ids.entry((pred.to_string(), arity)).or_insert_with(|| {
+                rel_names.push(pred.to_string());
+                arities.push(arity);
+                u32::try_from(rel_names.len() - 1).expect("relation table overflow")
+            })
+        };
+
+    // Pass 1: intern all atoms so relation ids exist before planning.
+    struct RawRule {
+        head_rel: u32,
+        head: Vec<ArgOp>,
+        body: Vec<(u32, Vec<ArgOp>)>,
+        nvars: usize,
+    }
+    let mut raw_rules = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        let mut slots: HashMap<String, usize> = HashMap::new();
+        let mut lower_atom = |atom: &crate::ast::Atom,
+                              slots: &mut HashMap<String, usize>,
+                              rel_names: &mut Vec<String>,
+                              arities: &mut Vec<usize>|
+         -> (u32, Vec<ArgOp>) {
+            let rel = rel_of(&atom.pred, atom.args.len(), rel_names, arities);
+            let ops = atom
+                .args
+                .iter()
+                .map(|arg| match arg {
+                    AtomTerm::Const(c) => {
+                        ArgOp::CheckConst(intern_const(&mut consts, &mut const_ids, c))
+                    }
+                    AtomTerm::Var(v) => {
+                        let next = slots.len();
+                        let slot = *slots.entry(v.clone()).or_insert(next);
+                        if slot == next {
+                            ArgOp::Bind(slot)
+                        } else {
+                            ArgOp::CheckVar(slot)
+                        }
+                    }
+                })
+                .collect();
+            (rel, ops)
+        };
+        let body: Vec<(u32, Vec<ArgOp>)> = rule
+            .body
+            .iter()
+            .map(|a| lower_atom(a, &mut slots, &mut rel_names, &mut arities))
+            .collect();
+        // Heads are lowered after the body so every head variable is a
+        // CheckVar against a body-bound slot (range restriction).
+        let (head_rel, head) = lower_atom(&rule.head, &mut slots, &mut rel_names, &mut arities);
+        let head = head
+            .into_iter()
+            .map(|op| match op {
+                ArgOp::Bind(_) => unreachable!("range restriction: head vars occur in body"),
+                op => op,
+            })
+            .collect();
+        raw_rules.push(RawRule {
+            head_rel,
+            head,
+            body,
+            nvars: slots.len(),
+        });
+    }
+
+    // Pass 2: plan each rule's modes, registering indexes on the template.
+    let mut template: Vec<Relation> = arities.iter().map(|&a| Relation::new(a)).collect();
+    let rules = raw_rules
+        .into_iter()
+        .map(|r| {
+            let naive_order = order_atoms(&r.body, None, r.nvars);
+            let naive = build_plan(&r.body, &naive_order, None, r.nvars, &mut template);
+            let delta_plans = (0..r.body.len())
+                .map(|j| {
+                    let order = order_atoms(&r.body, Some(j), r.nvars);
+                    build_plan(&r.body, &order, Some(j), r.nvars, &mut template)
+                })
+                .collect();
+            CompiledRule {
+                head_rel: r.head_rel,
+                head: r.head,
+                nvars: r.nvars,
+                body_len: r.body.len(),
+                naive,
+                delta_plans,
+            }
+        })
+        .collect();
+
+    CompiledProgram {
+        rules,
+        rel_names,
+        arities,
+        consts,
+        template,
+    }
+}

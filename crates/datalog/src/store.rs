@@ -1,0 +1,371 @@
+//! Flat, interned tuple storage — the id-native database substrate.
+//!
+//! Every constant and every `(predicate, arity)` pair is interned to a
+//! `u32` id at compile time (see the private `plan` module), so a tuple is
+//! a fixed-width run of `u32`s and a relation is one contiguous
+//! `Vec<u32>` in derivation order. Tuple equality is a word-by-word
+//! compare, membership is one probe of an open-addressed hash table of row
+//! indexes, and every multi-column index the join plan needs is a
+//! `key-hash → row-index` map maintained **incrementally on insert** —
+//! exactly once per new fact, never rebuilt per round. This is the
+//! Datalog instance of the workspace-wide id-native design (DESIGN.md
+//! §3/§5/§6): trees at the API boundary, `Copy` ids everywhere the
+//! fixpoint loop runs.
+//!
+//! [`IdDatabase`] is the public face: the result of
+//! [`eval_ids`](crate::eval::eval_ids), queryable without ever
+//! materialising a [`Database`](crate::eval::Database), and convertible
+//! into one at the boundary via [`IdDatabase::to_database`].
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::ast::Const;
+
+/// Sentinel for an empty open-addressing slot. Interning `u32::MAX` or
+/// more distinct constants is rejected at compile time.
+pub(crate) const EMPTY: u32 = u32::MAX;
+
+/// Hashes a run of column values with an FNV-style mix plus a strong
+/// finaliser (sequential integer ids are the common case; without the
+/// finaliser their low bits collide in power-of-two tables).
+#[inline]
+pub(crate) fn hash_cols(vals: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in vals {
+        h = (h ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// A pass-through [`Hasher`] for maps whose keys are already hashes
+/// (the per-index `key-hash → rows` maps): `write_u64` *is* the hash.
+#[derive(Default)]
+pub(crate) struct PreHashed(u64);
+
+impl Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PreHashed keys are u64 hashes");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type PreHashedMap<V> = HashMap<u64, V, BuildHasherDefault<PreHashed>>;
+
+/// A multi-column index over one relation: maps the hash of the values at
+/// `cols` to the rows carrying those values. Buckets may mix true matches
+/// with hash collisions; probers re-verify the key columns while matching
+/// the rest of the atom, so collisions cost a failed compare, never a
+/// wrong answer.
+#[derive(Debug, Clone)]
+pub(crate) struct ColIndex {
+    /// The indexed column positions, sorted ascending.
+    pub(crate) cols: Vec<usize>,
+    map: PreHashedMap<Vec<u32>>,
+}
+
+impl ColIndex {
+    fn new(cols: Vec<usize>) -> Self {
+        ColIndex {
+            cols,
+            map: PreHashedMap::default(),
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, row_idx: u32, row: &[u32]) {
+        let h = hash_cols(self.cols.iter().map(|&c| row[c]));
+        self.map.entry(h).or_default().push(row_idx);
+    }
+
+    /// The candidate rows for a key hash (computed by the caller from the
+    /// bound values via [`hash_cols`]).
+    #[inline]
+    pub(crate) fn probe(&self, key_hash: u64) -> &[u32] {
+        self.map.get(&key_hash).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// One relation: a fixed arity, all tuples flat in `data` (insertion =
+/// derivation order), an open-addressed membership table of row indexes,
+/// and the multi-column indexes registered by the join planner.
+#[derive(Debug, Clone)]
+pub(crate) struct Relation {
+    pub(crate) arity: usize,
+    /// Rows back to back: row `i` is `data[i*arity .. (i+1)*arity]`.
+    pub(crate) data: Vec<u32>,
+    /// Open-addressing table of row indexes (EMPTY = free), linear probing.
+    slots: Vec<u32>,
+    rows: usize,
+    pub(crate) indexes: Vec<ColIndex>,
+}
+
+impl Relation {
+    pub(crate) fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            data: Vec::new(),
+            slots: vec![EMPTY; 8],
+            rows: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Registers a multi-column index (before any tuples exist, so
+    /// incremental maintenance covers every row) and returns its slot.
+    /// Indexes are deduplicated by column set.
+    pub(crate) fn register_index(&mut self, cols: Vec<usize>) -> usize {
+        debug_assert_eq!(self.rows, 0, "indexes are registered pre-population");
+        if let Some(i) = self.indexes.iter().position(|ix| ix.cols == cols) {
+            return i;
+        }
+        self.indexes.push(ColIndex::new(cols));
+        self.indexes.len() - 1
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Row `i` as a column slice.
+    #[inline]
+    pub(crate) fn row(&self, i: u32) -> &[u32] {
+        let a = self.arity;
+        &self.data[i as usize * a..(i as usize + 1) * a]
+    }
+
+    #[inline]
+    fn find_slot(&self, row: &[u32]) -> (usize, bool) {
+        let mask = self.slots.len() - 1;
+        let mut i = hash_cols(row.iter().copied()) as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return (i, false);
+            }
+            if self.row(s) == row {
+                return (i, true);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Whether the tuple is present — one hash, then word compares.
+    #[inline]
+    pub(crate) fn contains(&self, row: &[u32]) -> bool {
+        self.find_slot(row).1
+    }
+
+    /// Inserts a tuple, maintaining the membership table and every
+    /// registered index; returns whether it was new. Duplicates — the
+    /// majority of derivations in fixpoint rounds — pay one probe and
+    /// touch nothing.
+    pub(crate) fn insert(&mut self, row: &[u32]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        let (slot, present) = self.find_slot(row);
+        if present {
+            return false;
+        }
+        let idx = self.rows as u32;
+        assert!(idx != EMPTY, "relation overflow");
+        self.data.extend_from_slice(row);
+        self.slots[slot] = idx;
+        self.rows += 1;
+        for ix in &mut self.indexes {
+            ix.add(idx, &self.data[idx as usize * self.arity..]);
+        }
+        if self.rows * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        true
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(new_len, EMPTY);
+        let mask = new_len - 1;
+        for r in 0..self.rows as u32 {
+            let mut i = hash_cols(self.row(r).iter().copied()) as usize & mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = r;
+        }
+    }
+}
+
+/// A per-round delta (or derivation buffer) for one relation: flat rows in
+/// derivation order, no membership table, no indexes — deltas are small
+/// and always scanned. The explicit row count (rather than
+/// `data.len() / arity`) keeps zero-arity relations representable.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaRel {
+    pub(crate) data: Vec<u32>,
+    pub(crate) rows: usize,
+}
+
+impl DeltaRel {
+    /// Row `i` as a column slice (the caller supplies the arity).
+    #[inline]
+    pub(crate) fn row(&self, i: usize, arity: usize) -> &[u32] {
+        &self.data[i * arity..(i + 1) * arity]
+    }
+
+    /// Appends a row.
+    #[inline]
+    pub(crate) fn push(&mut self, row: &[u32]) {
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+}
+
+/// The id-native result of evaluation: flat relations plus the symbol
+/// tables needed to read them back as [`Const`] tuples. Produced by
+/// [`eval_ids`](crate::eval::eval_ids); at scale (10⁵–10⁶ facts) query it
+/// directly — [`to_database`](IdDatabase::to_database) materialises one
+/// tree-shaped tuple per fact and is the expensive boundary step.
+#[derive(Debug, Clone)]
+pub struct IdDatabase {
+    pub(crate) rels: Vec<Relation>,
+    /// Per relation: predicate name (relations are keyed by name *and*
+    /// arity, so one name may own several relations).
+    pub(crate) names: Vec<String>,
+    /// Id → constant.
+    pub(crate) consts: Vec<Const>,
+}
+
+impl IdDatabase {
+    /// Total number of derived facts across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Number of facts of a predicate (over every arity it is used at).
+    pub fn fact_count(&self, pred: &str) -> usize {
+        self.rels
+            .iter()
+            .zip(&self.names)
+            .filter(|(_, n)| n.as_str() == pred)
+            .map(|(r, _)| r.len())
+            .sum()
+    }
+
+    /// The tuples of a predicate, decoded and **sorted ascending** — a
+    /// deterministic order independent of the evaluation strategy that
+    /// produced the database (internally rows sit in derivation order,
+    /// which differs between naive, seminaive, and parallel runs).
+    pub fn rows(&self, pred: &str) -> Vec<Vec<Const>> {
+        let mut out: Vec<Vec<Const>> = Vec::new();
+        for (rel, name) in self.rels.iter().zip(&self.names) {
+            if name.as_str() != pred {
+                continue;
+            }
+            for i in 0..rel.len() as u32 {
+                out.push(
+                    rel.row(i)
+                        .iter()
+                        .map(|&c| self.consts[c as usize].clone())
+                        .collect(),
+                );
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether a fact is present.
+    pub fn contains(&self, pred: &str, tuple: &[Const]) -> bool {
+        let ids: Option<Vec<u32>> = tuple
+            .iter()
+            .map(|c| self.consts.iter().position(|k| k == c).map(|i| i as u32))
+            .collect();
+        let Some(ids) = ids else { return false };
+        self.rels
+            .iter()
+            .zip(&self.names)
+            .any(|(r, n)| n.as_str() == pred && r.arity == ids.len() && r.contains(&ids))
+    }
+
+    /// Materialises the tree-shaped [`Database`](crate::eval::Database):
+    /// string-keyed, each relation a sorted set of constant tuples. The
+    /// sort is what makes databases from different strategies compare
+    /// equal even though their derivation orders differ.
+    pub fn to_database(&self) -> crate::eval::Database {
+        let mut db = crate::eval::Database::new();
+        for (rel, name) in self.rels.iter().zip(&self.names) {
+            if rel.len() == 0 {
+                continue;
+            }
+            let set = db.entry(name.clone()).or_default();
+            for i in 0..rel.len() as u32 {
+                set.insert(
+                    rel.row(i)
+                        .iter()
+                        .map(|&c| self.consts[c as usize].clone())
+                        .collect(),
+                );
+            }
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_indexes() {
+        let mut r = Relation::new(2);
+        let ix = r.register_index(vec![1]);
+        assert!(r.insert(&[1, 2]));
+        assert!(!r.insert(&[1, 2]));
+        assert!(r.insert(&[3, 2]));
+        assert!(r.insert(&[1, 4]));
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&[3, 2]));
+        assert!(!r.contains(&[2, 3]));
+        let hits = r.indexes[ix].probe(hash_cols([2]));
+        let matching: Vec<&[u32]> = hits
+            .iter()
+            .map(|&i| r.row(i))
+            .filter(|row| row[1] == 2)
+            .collect();
+        assert_eq!(matching, vec![&[1, 2][..], &[3, 2][..]]);
+    }
+
+    #[test]
+    fn growth_preserves_membership() {
+        let mut r = Relation::new(1);
+        for i in 0..1000u32 {
+            assert!(r.insert(&[i]));
+        }
+        for i in 0..1000u32 {
+            assert!(r.contains(&[i]), "{i} lost after growth");
+            assert!(!r.insert(&[i]));
+        }
+        assert_eq!(r.len(), 1000);
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_one_tuple() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert!(r.contains(&[]));
+        assert_eq!(r.len(), 1);
+    }
+}
