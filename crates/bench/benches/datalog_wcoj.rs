@@ -1,0 +1,85 @@
+//! Experiment E-wcoj: leapfrog triejoin vs. binary join plans on cyclic
+//! bodies (DESIGN.md §7).
+//!
+//! Triangle counting on symmetrised scale-free graphs is the canonical
+//! worst-case-optimal-join workload: the body `e(X,Y), e(Y,Z), e(X,Z)`
+//! forces any binary plan to materialise the wedge set (quadratic in the
+//! skewed-degree hubs) while the triejoin intersects three sorted tries
+//! level by level. Both plan kinds run on identical inputs at two sizes,
+//! so the gap and its growth are both visible; same-generation on the
+//! complete binary tree exercises the triejoin inside a multi-round
+//! fixpoint (delta tries rebuilt every round).
+//!
+//! ```sh
+//! cargo bench -p lambda-join-bench --bench datalog_wcoj
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lambda_join_bench::workloads::{
+    binary_tree_parent_edges, binary_tree_sg_size, brute_force_triangles, scale_free_edges,
+    symmetrize_edges,
+};
+use lambda_join_datalog::eval::{
+    eval_ids, eval_ids_mode, same_generation_program, triangle_program, JoinMode, Strategy,
+};
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_triangles");
+    // (nodes, per_node) pairs: ≈10⁴ and ≈4·10⁴ raw edges. The sizes stay
+    // below the figures-binary headline workload so the binary arm
+    // finishes inside criterion's sample budget.
+    for (name, nodes, per_node) in [
+        ("scalefree_10k", 5_000i64, 2usize),
+        ("scalefree_40k", 5_000, 8),
+    ] {
+        let es = symmetrize_edges(&scale_free_edges(nodes, per_node, 0xDA7A));
+        let want = brute_force_triangles(&es);
+        let p = triangle_program(&es);
+        group.throughput(Throughput::Elements(es.len() as u64));
+        group.bench_with_input(BenchmarkId::new("wcoj", name), &p, |b, p| {
+            b.iter(|| {
+                let (idb, _) = eval_ids(p, Strategy::Seminaive);
+                assert_eq!(idb.fact_count("triangle"), want);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary", name), &p, |b, p| {
+            b.iter(|| {
+                let (idb, _) = eval_ids_mode(p, Strategy::Seminaive, JoinMode::Binary);
+                assert_eq!(idb.fact_count("triangle"), want);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_same_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_same_generation");
+    for depth in [7u32, 9] {
+        let p = same_generation_program(&binary_tree_parent_edges(depth));
+        let want = binary_tree_sg_size(depth);
+        group.bench_with_input(
+            BenchmarkId::new("wcoj", format!("tree_d{depth}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let (idb, _) = eval_ids(p, Strategy::Seminaive);
+                    assert_eq!(idb.fact_count("sg"), want);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary", format!("tree_d{depth}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let (idb, _) = eval_ids_mode(p, Strategy::Seminaive, JoinMode::Binary);
+                    assert_eq!(idb.fact_count("sg"), want);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangles, bench_same_generation);
+criterion_main!(benches);

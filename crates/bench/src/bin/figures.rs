@@ -21,8 +21,9 @@
 use std::collections::BTreeSet;
 
 use lambda_join_bench::workloads::{
-    chain_forest_edges, chain_forest_tc_size, countdown, diamond_chain, edge_pairs,
-    from_n_pipeline, grid_edges, nested_apps, nested_lets, random_sparse_edges, scale_free_edges,
+    binary_tree_parent_edges, binary_tree_sg_size, brute_force_triangles, chain_forest_edges,
+    chain_forest_tc_size, countdown, diamond_chain, edge_pairs, from_n_pipeline, grid_edges,
+    nested_apps, nested_lets, random_sparse_edges, scale_free_edges, symmetrize_edges,
 };
 use lambda_join_core::bigstep::{eval_fuel, eval_fuel_counting};
 use lambda_join_core::builder::*;
@@ -233,13 +234,23 @@ fn perf_fig() {
         }),
     ));
 
-    // Parallel Datalog TC rounds at 4 workers.
-    results.push((
-        "par_datalog_tc_48_w4",
-        time_ns(|| {
-            let _ = lambda_join_datalog::eval::eval_seminaive_par(&tc, 4);
-        }),
-    ));
+    // Parallel Datalog TC rounds across worker counts — the scaling curve
+    // lands in the artifact next to the detected core count (`_meta`), so
+    // a flat curve on a single-core runner is self-explaining. w1 goes
+    // through the public entry and so records the effective-parallelism
+    // short-circuit (sequential loop, no pool spawn).
+    for (name, workers) in [
+        ("par_datalog_tc_48_w1", 1usize),
+        ("par_datalog_tc_48_w2", 2),
+        ("par_datalog_tc_48_w4", 4),
+    ] {
+        results.push((
+            name,
+            time_ns(|| {
+                let _ = lambda_join_datalog::eval::eval_seminaive_par(&tc, workers);
+            }),
+        ));
+    }
 
     // --- Datalog at scale (DESIGN.md §6): the id-native engine on the
     // 10⁵–10⁶-edge generator families, via `eval_ids` (no tree decode —
@@ -308,6 +319,74 @@ fn perf_fig() {
         ));
     }
 
+    // --- Worst-case-optimal joins (DESIGN.md §7): triangle counting,
+    // where the cyclic body e(X,Y), e(Y,Z), e(X,Z) makes a binary plan
+    // materialise the quadratic wedge set while the leapfrog triejoin
+    // intersects sorted tries. Both plan kinds are recorded on the same
+    // ~10⁵-edge graph so the ratio is visible in the artifact. ---
+    use lambda_join_datalog::eval::{
+        eval_ids_mode, same_generation_program, triangle_program, JoinMode,
+    };
+
+    // Symmetrised scale-free graph: 99_985 raw edges, 199_108 after
+    // symmetrisation, power-law degree skew. (The raw generator output is
+    // oriented old→new with bounded in-degree, a shape where binary join
+    // is near-linear — see `workloads::symmetrize_edges`.)
+    {
+        let es = symmetrize_edges(&scale_free_edges(12_500, 8, 0xDA7A));
+        let p = triangle_program(&es);
+        // One untimed run pins the answer; both timed variants must agree.
+        let (idb0, _) = eval_ids(&p, Strategy::Seminaive);
+        let want = idb0.fact_count("triangle");
+        assert!(want > 10_000, "triangle workload unexpectedly sparse");
+        results.push((
+            "datalog_triangles_scalefree_100k",
+            time_ns(|| {
+                let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+                assert_eq!(idb.fact_count("triangle"), want);
+            }),
+        ));
+        results.push((
+            "datalog_triangles_scalefree_100k_binary",
+            time_ns(|| {
+                let (idb, _) = eval_ids_mode(&p, Strategy::Seminaive, JoinMode::Binary);
+                assert_eq!(idb.fact_count("triangle"), want);
+            }),
+        ));
+    }
+
+    // The binary path on a graph small enough that it finishes promptly —
+    // the old plan kind keeps a perf entry of its own so a planner
+    // regression (WCOJ capturing acyclic bodies, say) shows up here.
+    {
+        let es = symmetrize_edges(&scale_free_edges(5_000, 2, 0xDA7A)); // ≈10⁴ raw edges
+        let p = triangle_program(&es);
+        let want = brute_force_triangles(&es);
+        results.push((
+            "datalog_triangles_binary_10k",
+            time_ns(|| {
+                let (idb, _) = eval_ids_mode(&p, Strategy::Seminaive, JoinMode::Binary);
+                assert_eq!(idb.fact_count("triangle"), want);
+            }),
+        ));
+    }
+
+    // Same-generation on the depth-9 complete binary tree: 2_046 parent
+    // edges, 349_524 sg facts (closed form asserted). The recursive rule
+    // is cyclic (runs under the triejoin); the sibling base rule stays on
+    // the binary path — one fixpoint exercising both plan kinds.
+    {
+        let p = same_generation_program(&binary_tree_parent_edges(9));
+        let want = binary_tree_sg_size(9);
+        results.push((
+            "datalog_sg_tree_depth9",
+            time_ns(|| {
+                let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+                assert_eq!(idb.fact_count("sg"), want);
+            }),
+        ));
+    }
+
     // Two-phase commit protocol evolution — the §4 workload.
     let system = encodings::two_phase_commit();
     results.push((
@@ -356,7 +435,17 @@ fn perf_fig() {
         })
     }));
 
+    // `_meta` records the machine context the numbers were taken in: the
+    // detected core count (so the par_* scaling keys can be read — a flat
+    // curve on one core is expected, not a regression) and which worker
+    // counts the sweep covers. Every workload key stays a bare number at
+    // the top level, so existing consumers are unaffected.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  (detected cores: {cores})");
     let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"_meta\": {{ \"cores\": {cores}, \"par_worker_counts\": [1, 2, 4] }},\n"
+    ));
     for (i, (name, ns)) in results.iter().enumerate() {
         println!("  {name:<26} {ns:>12} ns/iter");
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -682,16 +771,19 @@ fn deep_fig() {
 /// the CI gate that keeps `bench::workloads`' generators and the scale
 /// benchmarks from rotting.
 fn dl_fig() {
+    use lambda_join_datalog::ast::{cst, var};
     use lambda_join_datalog::eval::{
-        eval_ids, eval_seminaive_par_ids, reaches_program as dl_reaches, transitive_closure_program,
+        eval_ids, eval_seminaive_par_ids, reaches_program as dl_reaches, same_generation_program,
+        transitive_closure_program, triangle_program,
     };
+    use lambda_join_datalog::Atom;
 
     header("E-dl — Datalog scale generators (smoke sizes), all strategies agree");
     println!(
         "{:<22} {:>7} {:>9} {:>7} {:>12}",
         "workload", "edb", "facts", "rounds", "derivations"
     );
-    let workloads: Vec<(String, lambda_join_datalog::Program, Option<usize>)> = vec![
+    let mut workloads: Vec<(String, lambda_join_datalog::Program, Option<usize>)> = vec![
         (
             "tc chains 40×5".into(),
             transitive_closure_program(&chain_forest_edges(40, 5)),
@@ -713,6 +805,42 @@ fn dl_fig() {
             None,
         ),
     ];
+    // Triangle counting at smoke size — the leapfrog-triejoin path,
+    // checked against the brute-force oracle.
+    {
+        let es = symmetrize_edges(&scale_free_edges(400, 2, 0xDA7A));
+        let want = brute_force_triangles(&es);
+        workloads.push((
+            "triangles scale-free 400".into(),
+            triangle_program(&es),
+            Some(want),
+        ));
+    }
+    // Same-generation on the depth-5 complete binary tree: closed-form
+    // oracle, cyclic recursive rule + acyclic base rule in one program.
+    workloads.push((
+        "sg binary tree d5".into(),
+        same_generation_program(&binary_tree_parent_edges(5)),
+        Some(binary_tree_sg_size(5)),
+    ));
+    // Stratified negation smoke: chain-forest nodes *not* reachable from
+    // node 0 — stratum 1 anti-joins against the stratum-0 fixpoint. Chain
+    // 0 holds nodes 0..=5, so exactly 6 of the 240 nodes are reached.
+    {
+        let es = chain_forest_edges(40, 5);
+        let mut p = dl_reaches(&es, 0);
+        let nodes: BTreeSet<i64> = es.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let n_nodes = nodes.len();
+        for n in nodes {
+            p.fact(Atom::new("node", vec![cst(n)]));
+        }
+        p.rule_neg(
+            Atom::new("unreached", vec![var("X")]),
+            vec![Atom::new("node", vec![var("X")])],
+            vec![Atom::new("reaches", vec![var("X")])],
+        );
+        workloads.push(("unreached chains 40×5".into(), p, Some(n_nodes - 6)));
+    }
     for (name, p, oracle) in workloads {
         let edges = p.rules.iter().filter(|r| r.body.is_empty()).count();
         let (semi, stats) = eval_ids(&p, Strategy::Seminaive);

@@ -162,6 +162,67 @@ pub fn chain_forest_tc_size(chains: i64, len: i64) -> usize {
     (chains * len * (len + 1) / 2) as usize
 }
 
+/// Both directions of every non-loop edge, deduplicated and sorted. The
+/// triangle workloads symmetrize the scale-free generator's output: the
+/// generator orients every edge old→new, which makes the graph acyclic
+/// with in-degree bounded by `per_node` — a shape where a binary join
+/// plan is near-linear and nothing worst-case-optimal is being measured.
+/// The symmetrized graph keeps the power-law degree skew and actually
+/// exercises the multi-way intersection.
+pub fn symmetrize_edges(edges: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut set: std::collections::BTreeSet<(i64, i64)> = std::collections::BTreeSet::new();
+    for &(s, t) in edges {
+        if s != t {
+            set.insert((s, t));
+            set.insert((t, s));
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Brute-force triangle count over directed edges: the number of node
+/// triples with `e(x,y)`, `e(y,z)`, `e(x,z)` — the reference oracle for
+/// the worst-case-optimal-join workloads at smoke sizes. O(Σ deg(y))
+/// per edge, so keep inputs ≲ 10⁴ edges.
+pub fn brute_force_triangles(edges: &[(i64, i64)]) -> usize {
+    use std::collections::{BTreeMap, BTreeSet};
+    let set: BTreeSet<(i64, i64)> = edges.iter().copied().collect();
+    let mut succ: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+    for &(s, t) in &set {
+        succ.entry(s).or_default().push(t);
+    }
+    set.iter()
+        .map(|&(x, y)| {
+            succ.get(&y).map_or(0, |zs| {
+                zs.iter().filter(|z| set.contains(&(x, **z))).count()
+            })
+        })
+        .sum()
+}
+
+/// Parent edges `(parent, child)` of the complete binary tree with
+/// levels `0..=depth`: node `i < 2^depth - 1` has children `2i+1` and
+/// `2i+2`. `2^(depth+1) - 2` edges. Drives the same-generation program,
+/// whose recursive rule runs under the leapfrog triejoin and derives a
+/// full level of facts per fixpoint round.
+pub fn binary_tree_parent_edges(depth: u32) -> Vec<(i64, i64)> {
+    assert!(depth >= 1);
+    let internal = (1i64 << depth) - 1;
+    let mut out = Vec::with_capacity(2 * internal as usize);
+    for i in 0..internal {
+        out.push((i, 2 * i + 1));
+        out.push((i, 2 * i + 2));
+    }
+    out
+}
+
+/// The size of the same-generation relation on
+/// [`binary_tree_parent_edges`]`(depth)`: every ordered same-depth pair
+/// below the root, Σ_{d=1}^{depth} (2^d)² = (4^(depth+1) − 4) / 3.
+pub fn binary_tree_sg_size(depth: u32) -> usize {
+    ((4u64.pow(depth + 1) - 4) / 3) as usize
+}
+
 /// `let a0 = 0 in let a1 = a0 + 1 in … in a(n-1)` — `n` nested lets, one
 /// β (on a single path) each; evaluates to `n - 1`. Exercises syntactic
 /// nesting: term depth grows with `n`, and the substitution evaluator walks
@@ -272,5 +333,46 @@ mod tests {
         let p = lambda_join_datalog::eval::reaches_program(&grid_edges(w, h), 0);
         let (idb, _) = eval_ids(&p, Strategy::Seminaive);
         assert_eq!(idb.fact_count("reaches"), (w * h) as usize);
+    }
+
+    #[test]
+    fn triangle_oracle_matches_engine_on_scale_free() {
+        use lambda_join_datalog::eval::{
+            eval_ids, eval_ids_mode, triangle_program, JoinMode, Strategy,
+        };
+
+        // Both orientations: the raw old→new DAG and the symmetrized
+        // graph the perf workload runs on.
+        for es in [
+            scale_free_edges(400, 2, 0xDA7A),
+            symmetrize_edges(&scale_free_edges(400, 2, 0xDA7A)),
+        ] {
+            let p = triangle_program(&es);
+            let (wcoj, _) = eval_ids(&p, Strategy::Seminaive);
+            assert_eq!(wcoj.fact_count("triangle"), brute_force_triangles(&es));
+            let (binary, _) = eval_ids_mode(&p, Strategy::Seminaive, JoinMode::Binary);
+            assert_eq!(binary.fact_count("triangle"), wcoj.fact_count("triangle"));
+            // Scale-free graphs at this density actually contain
+            // triangles — the workload measures joins, not an empty
+            // intersection.
+            assert!(wcoj.fact_count("triangle") > 100);
+        }
+    }
+
+    #[test]
+    fn same_generation_oracle_matches_engine() {
+        use lambda_join_datalog::eval::{eval_ids, same_generation_program, Strategy};
+
+        for depth in [1u32, 2, 4, 6] {
+            let par = binary_tree_parent_edges(depth);
+            assert_eq!(par.len(), (1usize << (depth + 1)) - 2);
+            let p = same_generation_program(&par);
+            let (idb, _) = eval_ids(&p, Strategy::Seminaive);
+            assert_eq!(
+                idb.fact_count("sg"),
+                binary_tree_sg_size(depth),
+                "depth {depth}"
+            );
+        }
     }
 }

@@ -1,8 +1,14 @@
-//! Abstract syntax for negation-free Datalog programs (§6 "Datalog").
+//! Abstract syntax for Datalog programs (§6 "Datalog"), with stratified
+//! negation.
 //!
 //! The negation-free fragment "epitomizes monotonic-by-construction program
 //! semantics": facts only accumulate, and rule application is monotone in
-//! the database — the same streaming order λ∨ generalises.
+//! the database — the same streaming order λ∨ generalises. Negated body
+//! atoms ([`Rule::neg`]) break monotonicity *locally*, which is why the
+//! engine only accepts **stratified** programs (see
+//! [`stratify`](crate::strata::stratify)): each negated premise must be
+//! fully derived by a lower stratum before any rule reads its absence, so
+//! evaluation is a sequence of monotone fixpoints rather than one.
 
 use std::fmt;
 
@@ -90,35 +96,65 @@ impl fmt::Display for Atom {
     }
 }
 
-/// A Horn clause `head :- body1, …, bodyn` (facts have empty bodies).
+/// A clause `head :- body1, …, bodyn, not neg1, …, not negm` (facts have
+/// empty bodies; negation-free rules have an empty `neg`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// The derived atom.
     pub head: Atom,
-    /// The premises.
+    /// The positive premises.
     pub body: Vec<Atom>,
+    /// The negated premises: the rule fires only for bindings under which
+    /// none of these atoms is in the database. Programs with negation must
+    /// be stratified (checked at evaluation time).
+    pub neg: Vec<Atom>,
 }
 
 impl Rule {
-    /// Builds a rule, checking range restriction (every head variable
-    /// occurs in the body).
+    /// Builds a negation-free rule, checking range restriction (every head
+    /// variable occurs in the body).
     ///
     /// # Panics
     ///
     /// Panics if the rule is not range-restricted — such rules would derive
     /// infinitely many facts.
     pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        Rule::with_neg(head, body, vec![])
+    }
+
+    /// Builds a rule with negated premises, checking range restriction and
+    /// **safety**: every variable of the head and of each negated atom must
+    /// occur in a *positive* body atom, so negation is a finite anti-join,
+    /// never a complement over an infinite domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a head or negated-atom variable is unbound in the positive
+    /// body.
+    pub fn with_neg(head: Atom, body: Vec<Atom>, neg: Vec<Atom>) -> Self {
+        let bound = |v: &str| {
+            body.iter().any(|a| {
+                a.args
+                    .iter()
+                    .any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
+            })
+        };
         for t in &head.args {
             if let AtomTerm::Var(v) = t {
-                let bound = body.iter().any(|a| {
-                    a.args
-                        .iter()
-                        .any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
-                });
-                assert!(bound, "head variable {v} unbound in rule body");
+                assert!(bound(v), "head variable {v} unbound in rule body");
             }
         }
-        Rule { head, body }
+        for a in &neg {
+            for t in &a.args {
+                if let AtomTerm::Var(v) = t {
+                    assert!(
+                        bound(v),
+                        "variable {v} of negated atom {a} unbound in positive body"
+                    );
+                }
+            }
+        }
+        Rule { head, body, neg }
     }
 }
 
@@ -135,9 +171,15 @@ impl Program {
         Program::default()
     }
 
-    /// Adds a rule.
+    /// Adds a negation-free rule.
     pub fn rule(&mut self, head: Atom, body: Vec<Atom>) -> &mut Self {
         self.rules.push(Rule::new(head, body));
+        self
+    }
+
+    /// Adds a rule with negated premises (see [`Rule::with_neg`]).
+    pub fn rule_neg(&mut self, head: Atom, body: Vec<Atom>, neg: Vec<Atom>) -> &mut Self {
+        self.rules.push(Rule::with_neg(head, body, neg));
         self
     }
 
@@ -154,6 +196,7 @@ impl Program {
         self.rules.push(Rule {
             head: atom,
             body: vec![],
+            neg: vec![],
         });
         self
     }
@@ -180,6 +223,27 @@ mod tests {
     fn facts_must_be_ground() {
         let mut p = Program::new();
         p.fact(Atom::new("p", vec![var("X")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound in positive body")]
+    fn negation_safety_enforced() {
+        // p(X) :- q(X), not r(Y): Y occurs only under negation.
+        Rule::with_neg(
+            Atom::new("p", vec![var("X")]),
+            vec![Atom::new("q", vec![var("X")])],
+            vec![Atom::new("r", vec![var("Y")])],
+        );
+    }
+
+    #[test]
+    fn negated_rules_build() {
+        let r = Rule::with_neg(
+            Atom::new("p", vec![var("X")]),
+            vec![Atom::new("q", vec![var("X")])],
+            vec![Atom::new("r", vec![var("X"), cst(1)])],
+        );
+        assert_eq!(r.neg.len(), 1);
     }
 
     #[test]

@@ -1,31 +1,37 @@
 //! Bottom-up evaluation of Datalog programs: naive, seminaive, parallel.
 //!
-//! All three compute the least model (the least fixed point of the
-//! immediate-consequence operator — Datalog's instance of the paper's
-//! monotone-fixpoint story). Naive evaluation re-joins every rule against
-//! the whole database each round; seminaive joins each rule against the
-//! *delta* of the previous round, requiring exactly one delta atom per
-//! rule instantiation. They agree on the least model (property-tested);
-//! the work gap is measured in the bench suite.
+//! All three compute the least model — for stratified programs, the
+//! perfect model: one monotone fixpoint per stratum, in stratum order, so
+//! every negated premise is fully derived before any rule reads its
+//! absence. Naive evaluation re-joins every rule against the whole
+//! database each round; seminaive joins each rule against the *delta* of
+//! the previous round, requiring exactly one delta atom per rule
+//! instantiation. They agree on the model (property-tested); the work gap
+//! is measured in the bench suite.
 //!
 //! # The id-native engine
 //!
 //! Programs are first **compiled** (see the private `plan` module):
 //! constants and `(predicate, arity)` pairs become interned `u32` ids,
 //! rule variables become dense binding slots, and each rule gets one join
-//! plan per evaluation mode with its body atoms reordered by
-//! bound-variable propagation. Relations are flat `Vec<u32>` tuple stores
-//! ([`store`](crate::store)) with hash-based multi-column indexes over
-//! exactly the column sets the plans probe, maintained incrementally as
-//! facts are inserted. A rule instantiation is therefore a chain of
-//! word-compares and index probes over `Copy` ids — no string hashing, no
-//! tree walks, no per-binding allocation. The linear-recursive shape
-//! (`path(X,Z) :- Δpath(X,Y), edge(Y,Z)`) additionally runs merge-style:
-//! the delta is sorted by its probe key and each distinct key run probes
-//! the index once. Decoded, tree-shaped results ([`Database`]) are
-//! materialised only at the API boundary; [`eval_ids`] skips even that,
-//! which is what the 10⁵–10⁶-fact benchmarks run. DESIGN.md §6 documents
-//! the layout, the planner, and the measured speedups.
+//! plan per evaluation mode. Acyclic bodies run the planned **binary
+//! nested-loop join**: atoms reordered by bound-variable propagation, each
+//! a chain of word-compares and index probes over `Copy` ids, with the
+//! linear-recursive shape (`path(X,Z) :- Δpath(X,Y), edge(Y,Z)`) running
+//! merge-style — the delta sorted by its probe key, one index probe per
+//! distinct key run. Cyclic bodies — at least two join variables shared
+//! by at least two atoms, e.g. triangles — run a **worst-case-optimal
+//! leapfrog triejoin** ([`JoinMode::Auto`] picks per rule): one sorted
+//! trie per atom over a global variable elimination order, intersected
+//! level by level with galloping seeks, never enumerating a partial
+//! binding no atom can extend. Tries are maintained incrementally: each
+//! round only the newly derived rows are projected, sorted, and merged
+//! in. Negated premises execute as anti-join membership probes at the
+//! earliest plan point where their variables are bound. Decoded,
+//! tree-shaped results ([`Database`]) are materialised only at the API
+//! boundary; [`eval_ids`] skips even that, which is what the
+//! 10⁵–10⁶-fact benchmarks run. DESIGN.md §6–§7 document the layout, the
+//! planner, the triejoin, and the measured speedups.
 //!
 //! [`eval_seminaive_par`] runs the same seminaive rounds with the delta
 //! **partitioned across a persistent worker set**: each delta join touches
@@ -34,14 +40,21 @@
 //! the read-shared database and the coordinator merges their derivations
 //! in chunk order. Database, delta evolution, round count, and derivation
 //! count are all identical to the sequential engine at every worker count
-//! (tested).
+//! (tested). When *effective* parallelism is 1 — requested workers or
+//! detected cores, whichever is smaller — it short-circuits to the
+//! sequential engine, since a one-lane worker pool is pure overhead;
+//! [`eval_seminaive_par_pinned`] keeps the pool regardless, for testing
+//! the exchange itself.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{Atom, Const, Program};
-use crate::plan::{compile, Access, ArgOp, CompiledProgram, CompiledRule, Plan};
-use crate::store::{hash_cols, DeltaRel, Relation};
+use crate::plan::{
+    compile, Access, ArgOp, CompiledProgram, CompiledRule, NegCheck, Plan, PlannedAtom, WcojPlan,
+};
+use crate::store::{hash_cols, DeltaRel, Relation, Trie};
 
+pub use crate::plan::JoinMode;
 pub use crate::store::IdDatabase;
 
 /// A decoded database: for each predicate, the sorted set of derived
@@ -52,7 +65,7 @@ pub type Database = BTreeMap<String, BTreeSet<Vec<Const>>>;
 /// Evaluation statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Fixpoint rounds performed.
+    /// Fixpoint rounds performed (summed over strata).
     pub rounds: usize,
     /// Rule-body instantiations attempted (the work measure).
     pub derivations: usize,
@@ -67,13 +80,29 @@ pub enum Strategy {
     Seminaive,
 }
 
-/// Evaluates the program to its least model.
+/// Evaluates the program to its least (perfect) model.
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable — check with
+/// [`stratify`](crate::strata::stratify) first to handle that as an error.
 pub fn eval(program: &Program, strategy: Strategy) -> (Database, EvalStats) {
-    let (idb, stats) = eval_ids(program, strategy);
+    eval_mode(program, strategy, JoinMode::Auto)
+}
+
+/// [`eval`] with an explicit [`JoinMode`] — `JoinMode::Binary` forces the
+/// nested-loop path for every rule, which is how the triejoin is
+/// differentially tested and benchmarked.
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
+pub fn eval_mode(program: &Program, strategy: Strategy, mode: JoinMode) -> (Database, EvalStats) {
+    let (idb, stats) = eval_ids_mode(program, strategy, mode);
     (idb.to_database(), stats)
 }
 
-/// Evaluates the program to its least model, returning the flat
+/// Evaluates the program to its least (perfect) model, returning the flat
 /// [`IdDatabase`] without materialising tree-shaped tuples — the right
 /// entry point at scale (a 10⁶-fact closure stays one arena of `u32`s).
 ///
@@ -85,13 +114,34 @@ pub fn eval(program: &Program, strategy: Strategy) -> (Database, EvalStats) {
 /// assert_eq!(idb.fact_count("path"), 6);
 /// assert!(stats.rounds >= 3);
 /// ```
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
 pub fn eval_ids(program: &Program, strategy: Strategy) -> (IdDatabase, EvalStats) {
-    let cp = compile(program);
+    eval_ids_mode(program, strategy, JoinMode::Auto)
+}
+
+/// [`eval_ids`] with an explicit [`JoinMode`].
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
+pub fn eval_ids_mode(
+    program: &Program,
+    strategy: Strategy,
+    mode: JoinMode,
+) -> (IdDatabase, EvalStats) {
+    let cp = compile_or_panic(program, mode);
     let (rels, stats) = match strategy {
         Strategy::Naive => eval_naive_ids(&cp),
         Strategy::Seminaive => eval_seminaive_ids(&cp),
     };
     (seal(cp, rels), stats)
+}
+
+fn compile_or_panic(program: &Program, mode: JoinMode) -> CompiledProgram {
+    compile(program, mode).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn seal(cp: CompiledProgram, rels: Vec<Relation>) -> IdDatabase {
@@ -102,12 +152,35 @@ fn seal(cp: CompiledProgram, rels: Vec<Relation>) -> IdDatabase {
     }
 }
 
-/// Shared read-side context for one join: the compiled program, the
-/// database relations, and (for seminaive plans) the round's delta.
+/// Shared read-side context for one round's joins: the compiled program,
+/// the database relations, and (for seminaive plans) the round's delta.
+///
+/// `delta_tries` caches the tries leapfrog plans build over the delta:
+/// the delta plans of one rule (and often of several rules) project the
+/// same delta relation through identical specs, so without the cache a
+/// round sorts the same delta once per plan. A `Cx` lives for exactly
+/// one round, which is exactly the delta's lifetime — no invalidation
+/// logic needed.
 struct Cx<'a> {
     prog: &'a CompiledProgram,
     db: &'a [Relation],
     delta: Option<&'a [DeltaRel]>,
+    delta_tries: std::cell::RefCell<Vec<(u32, Trie)>>,
+}
+
+impl Cx<'_> {
+    fn new<'a>(
+        prog: &'a CompiledProgram,
+        db: &'a [Relation],
+        delta: Option<&'a [DeltaRel]>,
+    ) -> Cx<'a> {
+        Cx {
+            prog,
+            db,
+            delta,
+            delta_tries: std::cell::RefCell::new(Vec::new()),
+        }
+    }
 }
 
 #[inline]
@@ -139,22 +212,40 @@ fn op_value(op: &ArgOp, bindings: &[u32]) -> u32 {
     }
 }
 
+/// Anti-join: every negated premise scheduled at this point must be
+/// absent from the (stratification-complete) database.
+#[inline]
+fn neg_pass(cx: &Cx<'_>, checks: &[NegCheck], bindings: &[u32], scratch: &mut Vec<u32>) -> bool {
+    checks.iter().all(|c| {
+        scratch.clear();
+        scratch.extend(c.ops.iter().map(|op| op_value(op, bindings)));
+        !cx.db[c.rel as usize].contains(scratch)
+    })
+}
+
 /// Nested-loop join over the remaining planned atoms; a complete match
 /// instantiates the head into `out` and counts one derivation.
+/// `neg_after` stays aligned with `atoms` (`neg_after[0]` runs on entry,
+/// i.e. once the atoms before this call have all matched).
 ///
 /// Backtracking needs no trail: a slot is written by exactly one `Bind`
-/// on any plan path and only read (`CheckVar`, head emission) strictly
-/// after that bind executes, so stale values left by backtracking are
-/// never observed.
+/// on any plan path and only read (`CheckVar`, negation, head emission)
+/// strictly after that bind executes, so stale values left by
+/// backtracking are never observed.
+#[allow(clippy::too_many_arguments)]
 fn join(
     cx: &Cx<'_>,
-    atoms: &[crate::plan::PlannedAtom],
+    atoms: &[PlannedAtom],
+    neg_after: &[Vec<NegCheck>],
     rule: &CompiledRule,
     bindings: &mut [u32],
     scratch: &mut Vec<u32>,
     out: &mut [DeltaRel],
     stats: &mut EvalStats,
 ) {
+    if !neg_pass(cx, &neg_after[0], bindings, scratch) {
+        return;
+    }
     let Some(atom) = atoms.first() else {
         stats.derivations += 1;
         let o = &mut out[rule.head_rel as usize];
@@ -164,12 +255,13 @@ fn join(
         return;
     };
     let rest = &atoms[1..];
+    let negs = &neg_after[1..];
     if atom.is_delta {
         let d = &cx.delta.expect("delta atom outside a seminaive round")[atom.rel as usize];
         let arity = cx.prog.arities[atom.rel as usize];
         for i in 0..d.rows {
             if match_row(&atom.ops, d.row(i, arity), bindings) {
-                join(cx, rest, rule, bindings, scratch, out, stats);
+                join(cx, rest, negs, rule, bindings, scratch, out, stats);
             }
         }
         return;
@@ -180,31 +272,499 @@ fn join(
             scratch.clear();
             scratch.extend(atom.ops.iter().map(|op| op_value(op, bindings)));
             if rel.contains(scratch) {
-                join(cx, rest, rule, bindings, scratch, out, stats);
+                join(cx, rest, negs, rule, bindings, scratch, out, stats);
             }
         }
         Access::Index { index_slot } => {
             let h = hash_cols(atom.key_ops.iter().map(|op| op_value(op, bindings)));
             for &r in rel.indexes[index_slot].probe(h) {
                 if match_row(&atom.ops, rel.row(r), bindings) {
-                    join(cx, rest, rule, bindings, scratch, out, stats);
+                    join(cx, rest, negs, rule, bindings, scratch, out, stats);
                 }
             }
         }
         Access::Scan => {
             for i in 0..rel.len() as u32 {
                 if match_row(&atom.ops, rel.row(i), bindings) {
-                    join(cx, rest, rule, bindings, scratch, out, stats);
+                    join(cx, rest, negs, rule, bindings, scratch, out, stats);
                 }
             }
         }
     }
 }
 
-/// Runs one plan. Merge-eligible seminaive plans (the linear-recursive
-/// shape) sort the delta by the downstream probe key and probe the index
-/// once per distinct key run; everything else goes straight to the
-/// nested-loop join.
+/// A leapfrog cursor over one [`Trie`]'s sorted flat rows. A stack frame
+/// per open level holds `(cur, hi)`: the current position and the
+/// exclusive end of the parent's group. The **root frame counts in
+/// key-directory units** — the trie keeps its distinct level-0 keys in a
+/// dense sorted array, so root seeks binary-search contiguous memory and
+/// root `next` is an increment; deeper frames count in row units and all
+/// movement there is galloping (exponential probe, then binary search).
+/// A `seek` costs O(log distance) either way, which is what makes the
+/// leapfrog intersection worst-case optimal; the root directory only
+/// changes the constant, but the root is where a cursor intersects the
+/// whole relation, so that constant dominates.
+struct TrieIter<'a> {
+    data: &'a [u32],
+    w: usize,
+    rows: usize,
+    dir0: &'a [u32],
+    dir0_start: &'a [u32],
+    stack: Vec<(usize, usize)>,
+}
+
+impl<'a> TrieIter<'a> {
+    fn new(t: &'a Trie) -> Self {
+        TrieIter {
+            data: t.data(),
+            w: t.width(),
+            rows: t.len(),
+            dir0: t.dir0(),
+            dir0_start: t.dir0_start(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Column of the innermost open level.
+    #[inline]
+    fn col(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// First row in `[lo, hi)` whose value at `col` is `>= v` (`> v` when
+    /// `strict`). Short ranges — the leaf-adjacent runs, whose length is
+    /// a node's degree in graph workloads — scan linearly; galloping's
+    /// probe pattern only pays off once the range outgrows a cache line
+    /// or two.
+    fn gallop(&self, col: usize, mut lo: usize, hi: usize, v: u32, strict: bool) -> usize {
+        let below = |r: usize| {
+            let x = self.data[r * self.w + col];
+            if strict {
+                x <= v
+            } else {
+                x < v
+            }
+        };
+        if hi - lo <= 32 {
+            while lo < hi && below(lo) {
+                lo += 1;
+            }
+            return lo;
+        }
+        let mut step = 1usize;
+        while lo + step < hi && below(lo + step) {
+            lo += step;
+            step <<= 1;
+        }
+        let mut end = hi.min(lo + step);
+        while lo < end {
+            let mid = lo + (end - lo) / 2;
+            if below(mid) {
+                lo = mid + 1;
+            } else {
+                end = mid;
+            }
+        }
+        lo
+    }
+
+    /// End of the current key's run at the innermost level (row-unit
+    /// frames only; the root frame's runs come from the directory). At
+    /// the deepest level every run has length one — rows are distinct.
+    fn run_end(&self) -> usize {
+        let &(cur, hi) = self.stack.last().expect("open level");
+        let col = self.col();
+        if col + 1 == self.w {
+            return cur + 1;
+        }
+        self.gallop(col, cur, hi, self.data[cur * self.w + col], true)
+    }
+
+    /// Descends into the current key's children (or the root level).
+    fn open(&mut self) {
+        let frame = match self.stack.len() {
+            0 => (0, self.dir0.len()),
+            1 => {
+                let cur = self.stack[0].0;
+                (
+                    self.dir0_start[cur] as usize,
+                    self.dir0_start[cur + 1] as usize,
+                )
+            }
+            _ => {
+                let cur = self.stack.last().expect("open level").0;
+                (cur, self.run_end())
+            }
+        };
+        self.stack.push(frame);
+    }
+
+    fn up(&mut self) {
+        self.stack.pop();
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        let &(cur, hi) = self.stack.last().expect("open level");
+        cur >= hi
+    }
+
+    #[inline]
+    fn key(&self) -> u32 {
+        let &(cur, _) = self.stack.last().expect("open level");
+        if self.stack.len() == 1 {
+            self.dir0[cur]
+        } else {
+            self.data[cur * self.w + self.col()]
+        }
+    }
+
+    /// Advances to the next distinct key at this level.
+    fn next(&mut self) {
+        let e = if self.stack.len() == 1 {
+            self.stack[0].0 + 1
+        } else {
+            self.run_end()
+        };
+        self.stack.last_mut().expect("open level").0 = e;
+    }
+
+    /// The innermost open level's remaining keys as a raw strided view:
+    /// `(keys, stride, count)` — `keys[i * stride]` is the `i`-th key.
+    /// Root frames view the dense directory (stride 1); deeper frames
+    /// view the level's column inside the row storage (stride `w`).
+    fn leaf_view(&self) -> (&[u32], usize, usize) {
+        let &(cur, hi) = self.stack.last().expect("open level");
+        if self.stack.len() == 1 {
+            (&self.dir0[cur..hi], 1, hi - cur)
+        } else {
+            let col = self.col();
+            (&self.data[cur * self.w + col..], self.w, hi - cur)
+        }
+    }
+
+    /// Advances to the first key `>= v` at this level.
+    fn seek(&mut self, v: u32) {
+        let &(cur, hi) = self.stack.last().expect("open level");
+        let e = if self.stack.len() == 1 {
+            // Gallop the dense key directory.
+            let (mut lo, mut step) = (cur, 1usize);
+            while lo + step < hi && self.dir0[lo + step] < v {
+                lo += step;
+                step <<= 1;
+            }
+            let mut end = hi.min(lo + step);
+            while lo < end {
+                let mid = lo + (end - lo) / 2;
+                if self.dir0[mid] < v {
+                    lo = mid + 1;
+                } else {
+                    end = mid;
+                }
+            }
+            lo
+        } else {
+            self.gallop(self.col(), cur, hi, v, false)
+        };
+        self.stack.last_mut().expect("open level").0 = e;
+    }
+}
+
+/// Runs one leapfrog plan: builds the delta atom's trie from the round's
+/// flat delta rows (database tries were refreshed at round start), then
+/// recursively intersects all participating tries level by level.
+fn run_wcoj(
+    cx: &Cx<'_>,
+    rule: &CompiledRule,
+    plan: &WcojPlan,
+    bindings: &mut [u32],
+    scratch: &mut Vec<u32>,
+    out: &mut [DeltaRel],
+    stats: &mut EvalStats,
+) {
+    if !neg_pass(cx, &plan.neg_at[0], bindings, scratch) {
+        return;
+    }
+    // When the round's delta IS the whole relation (round 1 of a
+    // non-recursive stratum: everything inserted at round 0), the
+    // refreshed database trie with the same spec already holds exactly
+    // the delta's projection — reuse it instead of re-sorting the world.
+    let db_substitute = |a: &crate::plan::WcojAtom| {
+        let d = &cx.delta.expect("delta atom outside a seminaive round")[a.rel as usize];
+        let rel = &cx.db[a.rel as usize];
+        if d.rows == rel.len() {
+            rel.tries.iter().find(|t| t.spec == a.spec)
+        } else {
+            None
+        }
+    };
+    // Build any missing delta tries into the round cache first, then take
+    // shared references — sibling delta plans with the same (relation,
+    // spec) reuse the sort instead of repeating it.
+    {
+        let mut cache = cx.delta_tries.borrow_mut();
+        for a in plan.atoms.iter().filter(|a| a.is_delta) {
+            if db_substitute(a).is_none()
+                && !cache.iter().any(|(r, t)| *r == a.rel && t.spec == a.spec)
+            {
+                let d = &cx.delta.expect("delta atom outside a seminaive round")[a.rel as usize];
+                let t = Trie::build(
+                    a.spec.clone(),
+                    &d.data,
+                    cx.prog.arities[a.rel as usize],
+                    d.rows,
+                );
+                cache.push((a.rel, t));
+            }
+        }
+    }
+    let cache = cx.delta_tries.borrow();
+    let mut iters: Vec<TrieIter<'_>> = plan
+        .atoms
+        .iter()
+        .map(|a| {
+            TrieIter::new(if a.is_delta {
+                db_substitute(a).unwrap_or_else(|| {
+                    &cache
+                        .iter()
+                        .find(|(r, t)| *r == a.rel && t.spec == a.spec)
+                        .expect("delta trie built above")
+                        .1
+                })
+            } else {
+                &cx.db[a.rel as usize].tries[a.trie_slot]
+            })
+        })
+        .collect();
+    // An empty trie (including a fully-ground atom whose fact is absent)
+    // annihilates the whole join.
+    if iters.iter().any(|i| i.rows == 0) {
+        return;
+    }
+    let mut order_bufs: Vec<Vec<usize>> = vec![Vec::new(); plan.levels.len()];
+    wcoj_level(
+        cx,
+        rule,
+        plan,
+        0,
+        &mut iters,
+        &mut order_bufs,
+        bindings,
+        scratch,
+        out,
+        stats,
+    );
+}
+
+/// One level of the leapfrog search: open every participating trie at
+/// this level, enumerate the intersection of their key sets (classic
+/// leapfrog: repeatedly seek the smallest cursor to the current maximum;
+/// keys where all cursors agree are matches), bind the level's slot, and
+/// recurse. A complete assignment instantiates the head — the same set
+/// of assignments the binary plan enumerates, so derivation counts are
+/// identical across join modes.
+#[allow(clippy::too_many_arguments)]
+fn wcoj_level(
+    cx: &Cx<'_>,
+    rule: &CompiledRule,
+    plan: &WcojPlan,
+    level: usize,
+    iters: &mut [TrieIter<'_>],
+    order_bufs: &mut [Vec<usize>],
+    bindings: &mut [u32],
+    scratch: &mut Vec<u32>,
+    out: &mut [DeltaRel],
+    stats: &mut EvalStats,
+) {
+    if level == plan.levels.len() {
+        if neg_pass(cx, &plan.neg_at[level], bindings, scratch) {
+            stats.derivations += 1;
+            let o = &mut out[rule.head_rel as usize];
+            o.data
+                .extend(rule.head.iter().map(|op| op_value(op, bindings)));
+            o.rows += 1;
+        }
+        return;
+    }
+    let parts = &plan.at_level[level];
+    for &a in parts {
+        iters[a].open();
+    }
+    // A freshly opened level is never empty: the root was checked for
+    // emptiness up front, and every deeper range is some parent key's
+    // (non-empty) run.
+    macro_rules! descend {
+        ($key:expr) => {
+            bindings[plan.levels[level]] = $key;
+            if level + 1 == plan.levels.len()
+                || neg_pass(cx, &plan.neg_at[level + 1], bindings, scratch)
+            {
+                wcoj_level(
+                    cx,
+                    rule,
+                    plan,
+                    level + 1,
+                    iters,
+                    order_bufs,
+                    bindings,
+                    scratch,
+                    out,
+                    stats,
+                );
+            }
+        };
+    }
+    macro_rules! emit_match {
+        ($key:expr) => {
+            bindings[plan.levels[level]] = $key;
+            if neg_pass(cx, &plan.neg_at[level + 1], bindings, scratch) {
+                stats.derivations += 1;
+                let o = &mut out[rule.head_rel as usize];
+                o.data
+                    .extend(rule.head.iter().map(|op| op_value(op, bindings)));
+                o.rows += 1;
+            }
+        };
+    }
+    match *parts.as_slice() {
+        // One participant: every key at this level extends the binding.
+        [i0] => loop {
+            descend!(iters[i0].key());
+            iters[i0].next();
+            if iters[i0].at_end() {
+                break;
+            }
+        },
+        // Final level with two participants — where triangle and
+        // same-generation joins spend nearly all their time. Intersect
+        // the two runs directly on the sorted storage, emitting matches
+        // in place: a strided two-pointer merge for comparable run
+        // lengths, probe-the-longer with galloping when skewed (a hub
+        // node against an ordinary one).
+        [i0, i1] if level + 1 == plan.levels.len() => {
+            let gallop_s = |keys: &[u32], stride: usize, mut lo: usize, hi: usize, v: u32| {
+                if hi - lo <= 32 {
+                    while lo < hi && keys[lo * stride] < v {
+                        lo += 1;
+                    }
+                    return lo;
+                }
+                let mut step = 1usize;
+                while lo + step < hi && keys[(lo + step) * stride] < v {
+                    lo += step;
+                    step <<= 1;
+                }
+                let mut end = hi.min(lo + step);
+                while lo < end {
+                    let mid = lo + (end - lo) / 2;
+                    if keys[mid * stride] < v {
+                        lo = mid + 1;
+                    } else {
+                        end = mid;
+                    }
+                }
+                lo
+            };
+            let (ka, sa, na) = iters[i0].leaf_view();
+            let (kb, sb, nb) = iters[i1].leaf_view();
+            let (pk, ps, pn, qk, qs, qn) = if na <= nb {
+                (ka, sa, na, kb, sb, nb)
+            } else {
+                (kb, sb, nb, ka, sa, na)
+            };
+            if pn * 8 < qn {
+                let mut qpos = 0usize;
+                for i in 0..pn {
+                    let v = pk[i * ps];
+                    qpos = gallop_s(qk, qs, qpos, qn, v);
+                    if qpos == qn {
+                        break;
+                    }
+                    if qk[qpos * qs] == v {
+                        emit_match!(v);
+                        qpos += 1;
+                    }
+                }
+            } else {
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < pn && b < qn {
+                    let (x, y) = (pk[a * ps], qk[b * qs]);
+                    match x.cmp(&y) {
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                        std::cmp::Ordering::Equal => {
+                            emit_match!(x);
+                            a += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Two participants at an inner level: a plain two-cursor leapfrog
+        // with no ordering buffer.
+        [i0, i1] => loop {
+            let (ka, kb) = (iters[i0].key(), iters[i1].key());
+            let adv = match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    iters[i0].seek(kb);
+                    i0
+                }
+                std::cmp::Ordering::Greater => {
+                    iters[i1].seek(ka);
+                    i1
+                }
+                std::cmp::Ordering::Equal => {
+                    descend!(ka);
+                    iters[i0].next();
+                    i0
+                }
+            };
+            if iters[adv].at_end() {
+                break;
+            }
+        },
+        // The general ring: sort cursors by key, then repeatedly seek the
+        // smallest to the running maximum; agreement is a match.
+        _ => {
+            let mut order = std::mem::take(&mut order_bufs[level]);
+            order.clear();
+            order.extend_from_slice(parts);
+            order.sort_unstable_by_key(|&a| iters[a].key());
+            let k = order.len();
+            let mut p = 0usize;
+            let mut max = iters[order[k - 1]].key();
+            loop {
+                let it = &mut iters[order[p]];
+                if it.key() == max {
+                    descend!(max);
+                    let it = &mut iters[order[p]];
+                    it.next();
+                    if it.at_end() {
+                        break;
+                    }
+                    max = it.key();
+                } else {
+                    it.seek(max);
+                    if it.at_end() {
+                        break;
+                    }
+                    max = it.key();
+                }
+                p = (p + 1) % k;
+            }
+            order_bufs[level] = order;
+        }
+    }
+    for &a in parts {
+        iters[a].up();
+    }
+}
+
+/// Runs one plan. Merge-eligible seminaive binary plans (the
+/// linear-recursive shape) sort the delta by the downstream probe key and
+/// probe the index once per distinct key run; other binary plans go
+/// straight to the nested-loop join; leapfrog plans run the triejoin.
 fn run_plan(
     cx: &Cx<'_>,
     rule: &CompiledRule,
@@ -214,8 +774,19 @@ fn run_plan(
     out: &mut [DeltaRel],
     stats: &mut EvalStats,
 ) {
-    if let (Some(merge_key), Some(delta)) = (&plan.merge_key, cx.delta) {
-        let datom = &plan.atoms[0];
+    let (atoms, merge_key, neg_after) = match plan {
+        Plan::Wcoj(wp) => {
+            run_wcoj(cx, rule, wp, bindings, scratch, out, stats);
+            return;
+        }
+        Plan::Binary {
+            atoms,
+            merge_key,
+            neg_after,
+        } => (atoms, merge_key, neg_after),
+    };
+    if let (Some(merge_key), Some(delta)) = (merge_key, cx.delta) {
+        let datom = &atoms[0];
         let d = &delta[datom.rel as usize];
         if d.rows == 0 {
             return;
@@ -235,7 +806,7 @@ fn run_plan(
                 .map(|&c| ra[c])
                 .cmp(key_cols.iter().map(|&c| rb[c]))
         });
-        let patom = &plan.atoms[1];
+        let patom = &atoms[1];
         let Access::Index { index_slot } = patom.access else {
             unreachable!("merge plans probe an index")
         };
@@ -267,7 +838,16 @@ fn run_plan(
                     if match_row(&datom.ops, d.row(di as usize, arity), bindings) {
                         for &r in bucket {
                             if match_row(&patom.ops, prel.row(r), bindings) {
-                                join(cx, &plan.atoms[2..], rule, bindings, scratch, out, stats);
+                                join(
+                                    cx,
+                                    &atoms[2..],
+                                    &neg_after[2..],
+                                    rule,
+                                    bindings,
+                                    scratch,
+                                    out,
+                                    stats,
+                                );
                             }
                         }
                     }
@@ -277,7 +857,7 @@ fn run_plan(
         }
         return;
     }
-    join(cx, &plan.atoms, rule, bindings, scratch, out, stats);
+    join(cx, atoms, neg_after, rule, bindings, scratch, out, stats);
 }
 
 /// Inserts every buffered derivation into the database; genuinely new
@@ -305,8 +885,30 @@ fn merge_out(
     changed
 }
 
+/// Brings every relation's registered tries up to date — called at round
+/// start so leapfrog plans read current data. Relations without tries
+/// pay one empty-loop check.
+fn refresh_all_tries(db: &mut [Relation]) {
+    for r in db {
+        r.refresh_tries();
+    }
+}
+
 fn binding_frame(cp: &CompiledProgram) -> Vec<u32> {
     vec![0; cp.rules.iter().map(|r| r.nvars).max().unwrap_or(0)]
+}
+
+/// Appends the stratum's compiled fact blocks to the round's output —
+/// the fast path for ground facts, which carry no plans. Counted as one
+/// derivation per row, exactly as when each fact was a bodyless rule.
+fn fire_facts(cp: &CompiledProgram, si: usize, out: &mut [DeltaRel], stats: &mut EvalStats) {
+    for (rel, flat) in &cp.facts[si] {
+        let arity = cp.arities[*rel as usize];
+        let o = &mut out[*rel as usize];
+        o.data.extend_from_slice(flat);
+        o.rows += flat.len() / arity;
+        stats.derivations += flat.len() / arity;
+    }
 }
 
 fn eval_naive_ids(cp: &CompiledProgram) -> (Vec<Relation>, EvalStats) {
@@ -314,51 +916,54 @@ fn eval_naive_ids(cp: &CompiledProgram) -> (Vec<Relation>, EvalStats) {
     let mut stats = EvalStats::default();
     let mut bindings = binding_frame(cp);
     let mut scratch = Vec::new();
-    loop {
-        stats.rounds += 1;
-        let mut out = cp.fresh_delta();
-        let cx = Cx {
-            prog: cp,
-            db: &db,
-            delta: None,
-        };
-        for rule in &cp.rules {
-            run_plan(
-                &cx,
-                rule,
-                &rule.naive,
-                &mut bindings,
-                &mut scratch,
-                &mut out,
-                &mut stats,
-            );
-        }
-        if !merge_out(cp, &mut db, &out, None) {
-            return (db, stats);
+    for (si, stratum) in cp.strata.iter().enumerate() {
+        loop {
+            stats.rounds += 1;
+            refresh_all_tries(&mut db);
+            let mut out = cp.fresh_delta();
+            fire_facts(cp, si, &mut out, &mut stats);
+            let cx = Cx::new(cp, &db, None);
+            for &ri in stratum {
+                let rule = &cp.rules[ri];
+                run_plan(
+                    &cx,
+                    rule,
+                    &rule.naive,
+                    &mut bindings,
+                    &mut scratch,
+                    &mut out,
+                    &mut stats,
+                );
+            }
+            if !merge_out(cp, &mut db, &out, None) {
+                break;
+            }
         }
     }
+    (db, stats)
 }
 
-/// Round 0 of seminaive evaluation: only facts (empty-body rules) fire.
-fn seminaive_round0(
+/// Round 0 of one stratum's seminaive fixpoint: every rule of the stratum
+/// fires naively against the database built by lower strata. For the
+/// first stratum of a negation-free program this reduces to firing the
+/// facts — body rules match nothing on an empty database.
+fn stratum_round0(
     cp: &CompiledProgram,
-    db: &mut Vec<Relation>,
+    si: usize,
+    db: &mut [Relation],
     stats: &mut EvalStats,
     bindings: &mut [u32],
     scratch: &mut Vec<u32>,
 ) -> Vec<DeltaRel> {
     stats.rounds += 1;
+    refresh_all_tries(db);
     let mut out = cp.fresh_delta();
+    fire_facts(cp, si, &mut out, stats);
     {
-        let cx = Cx {
-            prog: cp,
-            db,
-            delta: None,
-        };
-        for rule in &cp.rules {
-            if rule.body_len == 0 {
-                run_plan(&cx, rule, &rule.naive, bindings, scratch, &mut out, stats);
-            }
+        let cx = Cx::new(cp, db, None);
+        for &ri in &cp.strata[si] {
+            let rule = &cp.rules[ri];
+            run_plan(&cx, rule, &rule.naive, bindings, scratch, &mut out, stats);
         }
     }
     let mut delta = cp.fresh_delta();
@@ -370,19 +975,22 @@ fn delta_nonempty(delta: &[DeltaRel]) -> bool {
     delta.iter().any(|d| d.rows > 0)
 }
 
-/// Fires every seminaive plan of every rule against `delta`, skipping
-/// plans whose delta relation is empty this round.
+/// Fires every seminaive plan of the given rules against `delta`,
+/// skipping plans whose delta relation is empty this round.
 fn fire_delta_plans(
     cx: &Cx<'_>,
+    rule_idxs: &[usize],
     bindings: &mut [u32],
     scratch: &mut Vec<u32>,
     out: &mut [DeltaRel],
     stats: &mut EvalStats,
 ) {
     let delta = cx.delta.expect("seminaive rounds carry a delta");
-    for rule in &cx.prog.rules {
+    for &ri in rule_idxs {
+        let rule = &cx.prog.rules[ri];
         for plan in &rule.delta_plans {
-            if delta[plan.atoms[0].rel as usize].rows > 0 {
+            let dr = plan.delta_rel().expect("delta plans read a delta") as usize;
+            if delta[dr].rows > 0 {
                 run_plan(cx, rule, plan, bindings, scratch, out, stats);
             }
         }
@@ -394,19 +1002,25 @@ fn eval_seminaive_ids(cp: &CompiledProgram) -> (Vec<Relation>, EvalStats) {
     let mut stats = EvalStats::default();
     let mut bindings = binding_frame(cp);
     let mut scratch = Vec::new();
-    let mut delta = seminaive_round0(cp, &mut db, &mut stats, &mut bindings, &mut scratch);
-    while delta_nonempty(&delta) {
-        stats.rounds += 1;
-        let mut out = cp.fresh_delta();
-        let cx = Cx {
-            prog: cp,
-            db: &db,
-            delta: Some(&delta),
-        };
-        fire_delta_plans(&cx, &mut bindings, &mut scratch, &mut out, &mut stats);
-        let mut next = cp.fresh_delta();
-        merge_out(cp, &mut db, &out, Some(&mut next));
-        delta = next;
+    for (si, stratum) in cp.strata.iter().enumerate() {
+        let mut delta = stratum_round0(cp, si, &mut db, &mut stats, &mut bindings, &mut scratch);
+        while delta_nonempty(&delta) {
+            stats.rounds += 1;
+            refresh_all_tries(&mut db);
+            let mut out = cp.fresh_delta();
+            let cx = Cx::new(cp, &db, Some(&delta));
+            fire_delta_plans(
+                &cx,
+                stratum,
+                &mut bindings,
+                &mut scratch,
+                &mut out,
+                &mut stats,
+            );
+            let mut next = cp.fresh_delta();
+            merge_out(cp, &mut db, &out, Some(&mut next));
+            delta = next;
+        }
     }
     (db, stats)
 }
@@ -414,10 +1028,17 @@ fn eval_seminaive_ids(cp: &CompiledProgram) -> (Vec<Relation>, EvalStats) {
 /// One worker's round report: chunk index, derivation buffers, derivations.
 type WorkerBatch = (usize, Vec<DeltaRel>, usize);
 
-/// Evaluates the program to its least model with seminaive rounds whose
-/// delta joins fan out over at most `workers` threads. Exactly equal to
-/// `eval(program, Strategy::Seminaive)` — database, stats, and per-round
-/// deltas — at every worker count; `workers <= 1` runs inline.
+/// Evaluates the program to its least (perfect) model with seminaive
+/// rounds whose delta joins fan out over at most `workers` threads.
+/// Exactly equal to `eval(program, Strategy::Seminaive)` — database,
+/// stats, and per-round deltas — at every worker count. When effective
+/// parallelism (`workers` capped at the detected core count) is 1, runs
+/// the sequential engine directly: a one-lane pool is pure exchange
+/// overhead.
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
 pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalStats) {
     let (idb, stats) = eval_seminaive_par_ids(program, workers);
     (idb.to_database(), stats)
@@ -425,46 +1046,78 @@ pub fn eval_seminaive_par(program: &Program, workers: usize) -> (Database, EvalS
 
 /// [`eval_seminaive_par`] without the tree-shaped boundary: returns the
 /// flat [`IdDatabase`].
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
 pub fn eval_seminaive_par_ids(program: &Program, workers: usize) -> (IdDatabase, EvalStats) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eval_par_impl(program, workers.min(cores))
+}
+
+/// [`eval_seminaive_par`] **without** the effective-parallelism
+/// short-circuit: spawns the worker pool whenever `workers > 1`, even on
+/// a single-core host. This is what the equality test-suites and the
+/// `figures` smoke harness call, so the exchange machinery stays
+/// exercised on any machine.
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
+pub fn eval_seminaive_par_pinned(program: &Program, workers: usize) -> (Database, EvalStats) {
+    let (idb, stats) = eval_seminaive_par_pinned_ids(program, workers);
+    (idb.to_database(), stats)
+}
+
+/// [`eval_seminaive_par_pinned`] returning the flat [`IdDatabase`].
+///
+/// # Panics
+///
+/// Panics when the program is not stratifiable.
+pub fn eval_seminaive_par_pinned_ids(program: &Program, workers: usize) -> (IdDatabase, EvalStats) {
+    eval_par_impl(program, workers)
+}
+
+fn eval_par_impl(program: &Program, workers: usize) -> (IdDatabase, EvalStats) {
     let workers = workers.max(1);
-    let cp = compile(program);
+    let cp = compile_or_panic(program, JoinMode::Auto);
     if workers == 1 {
         let (rels, stats) = eval_seminaive_ids(&cp);
         return (seal(cp, rels), stats);
     }
-    let mut db = cp.fresh_store();
     let mut stats = EvalStats::default();
-    let mut bindings = binding_frame(&cp);
-    let mut scratch = Vec::new();
-    let mut delta = seminaive_round0(&cp, &mut db, &mut stats, &mut bindings, &mut scratch);
-    // Workers are spawned ONCE and fed one sub-delta per round over
-    // channels — fixpoints run tens of rounds with small deltas, and a
-    // per-round thread spawn would dwarf the join work. The database is
-    // behind an RwLock: read-shared by all workers during a round,
-    // write-locked by the coordinator for the merge between rounds.
-    let db = std::sync::RwLock::new(db);
+    // Workers are spawned ONCE and fed one (chunk, sub-delta, stratum)
+    // job per round over channels — fixpoints run tens of rounds with
+    // small deltas, and a per-round thread spawn would dwarf the join
+    // work. The database is behind an RwLock: read-shared by all workers
+    // during a round, write-locked by the coordinator for round-0 seeds,
+    // trie refreshes, and the merge between rounds.
+    let db = std::sync::RwLock::new(cp.fresh_store());
     let cp_ref = &cp;
     let result = crossbeam::scope(|s| {
         let (res_tx, res_rx) = std::sync::mpsc::channel::<WorkerBatch>();
         let mut job_txs = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<DeltaRel>)>();
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<DeltaRel>, usize)>();
             job_txs.push(tx);
             let res_tx = res_tx.clone();
             let db = &db;
             s.spawn(move |_| {
                 let mut bindings = binding_frame(cp_ref);
                 let mut scratch = Vec::new();
-                while let Ok((chunk_idx, sub)) = rx.recv() {
+                while let Ok((chunk_idx, sub, stratum)) = rx.recv() {
                     let guard = db.read().expect("db lock poisoned");
                     let mut local = EvalStats::default();
                     let mut out = cp_ref.fresh_delta();
-                    let cx = Cx {
-                        prog: cp_ref,
-                        db: &guard,
-                        delta: Some(&sub),
-                    };
-                    fire_delta_plans(&cx, &mut bindings, &mut scratch, &mut out, &mut local);
+                    let cx = Cx::new(cp_ref, &guard, Some(&sub));
+                    fire_delta_plans(
+                        &cx,
+                        &cp_ref.strata[stratum],
+                        &mut bindings,
+                        &mut scratch,
+                        &mut out,
+                        &mut local,
+                    );
                     drop(guard);
                     if res_tx.send((chunk_idx, out, local.derivations)).is_err() {
                         return;
@@ -472,43 +1125,63 @@ pub fn eval_seminaive_par_ids(program: &Program, workers: usize) -> (IdDatabase,
                 }
             });
         }
-        // Rounds: partition the delta tuples (relation id ascending, rows
-        // in derivation order) into per-worker sub-deltas, dispatch, and
-        // merge the batches in chunk order.
-        while delta_nonempty(&delta) {
-            stats.rounds += 1;
-            let tuples: Vec<(usize, usize)> = delta
-                .iter()
-                .enumerate()
-                .flat_map(|(rel, d)| (0..d.rows).map(move |i| (rel, i)))
-                .collect();
-            let k = workers.min(tuples.len());
-            let (base, extra) = (tuples.len() / k, tuples.len() % k);
-            let mut start = 0;
-            for (chunk_idx, tx) in job_txs.iter().take(k).enumerate() {
-                let size = base + usize::from(chunk_idx < extra);
-                let mut sub = cp.fresh_delta();
-                for &(rel, i) in &tuples[start..start + size] {
-                    sub[rel].push(delta[rel].row(i, cp.arities[rel]));
+        let mut bindings = binding_frame(cp_ref);
+        let mut scratch = Vec::new();
+        for si in 0..cp_ref.strata.len() {
+            let mut delta = {
+                let mut guard = db.write().expect("db lock poisoned");
+                stratum_round0(
+                    cp_ref,
+                    si,
+                    &mut guard,
+                    &mut stats,
+                    &mut bindings,
+                    &mut scratch,
+                )
+            };
+            // Rounds: partition the delta tuples (relation id ascending,
+            // rows in derivation order) into per-worker sub-deltas,
+            // dispatch, and merge the batches in chunk order.
+            while delta_nonempty(&delta) {
+                stats.rounds += 1;
+                {
+                    // Tries the workers are about to read must be current.
+                    let mut guard = db.write().expect("db lock poisoned");
+                    refresh_all_tries(&mut guard);
                 }
-                start += size;
-                tx.send((chunk_idx, sub)).expect("worker hung up");
+                let tuples: Vec<(usize, usize)> = delta
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(rel, d)| (0..d.rows).map(move |i| (rel, i)))
+                    .collect();
+                let k = workers.min(tuples.len());
+                let (base, extra) = (tuples.len() / k, tuples.len() % k);
+                let mut start = 0;
+                for (chunk_idx, tx) in job_txs.iter().take(k).enumerate() {
+                    let size = base + usize::from(chunk_idx < extra);
+                    let mut sub = cp.fresh_delta();
+                    for &(rel, i) in &tuples[start..start + size] {
+                        sub[rel].push(delta[rel].row(i, cp.arities[rel]));
+                    }
+                    start += size;
+                    tx.send((chunk_idx, sub, si)).expect("worker hung up");
+                }
+                let mut batches: Vec<Option<WorkerBatch>> = vec![None; k];
+                for _ in 0..k {
+                    let batch = res_rx.recv().expect("worker hung up");
+                    let slot = batch.0;
+                    batches[slot] = Some(batch);
+                }
+                let mut next_delta = cp.fresh_delta();
+                let mut guard = db.write().expect("db lock poisoned");
+                for batch in batches {
+                    let (_, out, derivations) = batch.expect("every chunk reports");
+                    stats.derivations += derivations;
+                    merge_out(&cp, &mut guard, &out, Some(&mut next_delta));
+                }
+                drop(guard);
+                delta = next_delta;
             }
-            let mut batches: Vec<Option<WorkerBatch>> = vec![None; k];
-            for _ in 0..k {
-                let batch = res_rx.recv().expect("worker hung up");
-                let slot = batch.0;
-                batches[slot] = Some(batch);
-            }
-            let mut next_delta = cp.fresh_delta();
-            let mut guard = db.write().expect("db lock poisoned");
-            for batch in batches {
-                let (_, out, derivations) = batch.expect("every chunk reports");
-                stats.derivations += derivations;
-                merge_out(&cp, &mut guard, &out, Some(&mut next_delta));
-            }
-            drop(guard);
-            delta = next_delta;
         }
         drop(job_txs); // workers drain and exit before the scope closes
         stats
@@ -569,6 +1242,57 @@ pub fn reaches_program(edges: &[(i64, i64)], start: i64) -> Program {
     p
 }
 
+/// The triangle-counting program over directed edges `e`:
+/// `triangle(X,Y,Z) :- e(X,Y), e(Y,Z), e(X,Z).` — the canonical cyclic
+/// body the planner sends to the leapfrog triejoin (three join variables,
+/// each shared by two atoms).
+pub fn triangle_program(edges: &[(i64, i64)]) -> Program {
+    use crate::ast::{cst, var};
+    let mut p = Program::new();
+    for (s, t) in edges {
+        p.fact(Atom::new("e", vec![cst(*s), cst(*t)]));
+    }
+    p.rule(
+        Atom::new("triangle", vec![var("X"), var("Y"), var("Z")]),
+        vec![
+            Atom::new("e", vec![var("X"), var("Y")]),
+            Atom::new("e", vec![var("Y"), var("Z")]),
+            Atom::new("e", vec![var("X"), var("Z")]),
+        ],
+    );
+    p
+}
+
+/// The same-generation program over parent edges `par(parent, child)`:
+/// siblings share a parent, and children of same-generation nodes are
+/// same-generation. The recursive rule is cyclic (join variables `P`,
+/// `Q`), so it runs under the triejoin; the base rule has one join
+/// variable and stays on the binary path — one program exercising both
+/// plan kinds at once.
+pub fn same_generation_program(parent_edges: &[(i64, i64)]) -> Program {
+    use crate::ast::{cst, var};
+    let mut p = Program::new();
+    for (a, c) in parent_edges {
+        p.fact(Atom::new("par", vec![cst(*a), cst(*c)]));
+    }
+    p.rule(
+        Atom::new("sg", vec![var("X"), var("Y")]),
+        vec![
+            Atom::new("par", vec![var("P"), var("X")]),
+            Atom::new("par", vec![var("P"), var("Y")]),
+        ],
+    );
+    p.rule(
+        Atom::new("sg", vec![var("X"), var("Y")]),
+        vec![
+            Atom::new("par", vec![var("P"), var("X")]),
+            Atom::new("sg", vec![var("P"), var("Q")]),
+            Atom::new("par", vec![var("Q"), var("Y")]),
+        ],
+    );
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,10 +1342,15 @@ mod tests {
             let p = transitive_closure_program(&edges);
             let (want_db, want_stats) = eval(&p, Strategy::Seminaive);
             for workers in [1, 2, 3, 4, 9] {
-                let (db, stats) = eval_seminaive_par(&p, workers);
+                // Pinned: actually spawn the pool even on one core.
+                let (db, stats) = eval_seminaive_par_pinned(&p, workers);
                 assert_eq!(db, want_db, "db diverges at {workers} workers");
                 assert_eq!(stats, want_stats, "stats diverge at {workers} workers");
             }
+            // The public entry may short-circuit to sequential; either way
+            // the result is identical.
+            let (db, stats) = eval_seminaive_par(&p, 4);
+            assert_eq!((db, stats), (want_db, want_stats));
         }
     }
 
@@ -716,8 +1445,9 @@ mod tests {
 
     #[test]
     fn all_bound_atoms_act_as_filters() {
-        // dup(X) :- e(X, Y), e(Y, X): the second atom is fully bound and
-        // compiles to a membership probe.
+        // dup(X) :- e(X, Y), e(Y, X): two join variables shared by two
+        // atoms — this body runs under the triejoin in Auto mode. Force
+        // Binary to also exercise the membership-probe path and compare.
         let mut p = Program::new();
         p.fact(Atom::new("e", vec![cst(1), cst(2)]));
         p.fact(Atom::new("e", vec![cst(2), cst(1)]));
@@ -734,6 +1464,8 @@ mod tests {
         assert_eq!(got, vec![&vec![Const::Int(1)], &vec![Const::Int(2)]]);
         let (naive, _) = eval(&p, Strategy::Naive);
         assert_eq!(naive["dup"], db["dup"]);
+        let (binary, _) = eval_mode(&p, Strategy::Seminaive, JoinMode::Binary);
+        assert_eq!(binary["dup"], db["dup"]);
     }
 
     #[test]
@@ -759,7 +1491,7 @@ mod tests {
         let p = transitive_closure_program(&edges);
         let (naive, _) = eval(&p, Strategy::Naive);
         let (semi, _) = eval(&p, Strategy::Seminaive);
-        let (par, _) = eval_seminaive_par(&p, 3);
+        let (par, _) = eval_seminaive_par_pinned(&p, 3);
         let want: Vec<&Vec<Const>> = rows(&naive, "path");
         assert!(want.windows(2).all(|w| w[0] < w[1]), "rows must be sorted");
         assert_eq!(rows(&semi, "path"), want);
@@ -767,5 +1499,122 @@ mod tests {
         let (idb_n, _) = eval_ids(&p, Strategy::Naive);
         let (idb_s, _) = eval_ids(&p, Strategy::Seminaive);
         assert_eq!(idb_n.rows("path"), idb_s.rows("path"));
+    }
+
+    fn brute_triangles(edges: &[(i64, i64)]) -> usize {
+        let set: std::collections::BTreeSet<(i64, i64)> = edges.iter().copied().collect();
+        let mut n = 0;
+        for &(x, y) in &set {
+            for &(y2, z) in &set {
+                if y2 == y && set.contains(&(x, z)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn triangle_wcoj_matches_binary_and_bruteforce() {
+        let edges = vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (0, 3),
+            (1, 3),
+            (3, 4),
+            (2, 4),
+            (4, 0),
+        ];
+        let p = triangle_program(&edges);
+        let (auto_db, auto_stats) = eval_ids(&p, Strategy::Seminaive);
+        let (bin_db, bin_stats) = eval_ids_mode(&p, Strategy::Seminaive, JoinMode::Binary);
+        assert_eq!(auto_db.fact_count("triangle"), brute_triangles(&edges));
+        assert_eq!(auto_db.rows("triangle"), bin_db.rows("triangle"));
+        // The two plan kinds enumerate the same satisfying assignments,
+        // so rounds AND derivation counts agree exactly.
+        assert_eq!(auto_stats, bin_stats);
+        let (naive_db, _) = eval_ids(&p, Strategy::Naive);
+        assert_eq!(naive_db.rows("triangle"), auto_db.rows("triangle"));
+        let (par_db, par_stats) = eval_seminaive_par_pinned_ids(&p, 3);
+        assert_eq!(par_db.rows("triangle"), auto_db.rows("triangle"));
+        assert_eq!(par_stats, auto_stats);
+    }
+
+    #[test]
+    fn same_generation_rebuilds_tries_across_rounds() {
+        // The recursive sg rule derives new sg facts every round, so its
+        // delta plans must see *incrementally refreshed* database tries
+        // round after round — this pins the invalidation contract
+        // end-to-end. Complete binary tree of depth 3.
+        let mut par = Vec::new();
+        for i in 0i64..7 {
+            par.push((i, 2 * i + 1));
+            par.push((i, 2 * i + 2));
+        }
+        let p = same_generation_program(&par);
+        let (auto_db, auto_stats) = eval_ids(&p, Strategy::Seminaive);
+        let (bin_db, bin_stats) = eval_ids_mode(&p, Strategy::Seminaive, JoinMode::Binary);
+        assert_eq!(auto_db.rows("sg"), bin_db.rows("sg"));
+        assert_eq!(auto_stats, bin_stats);
+        // In a complete binary tree every same-depth pair is sg:
+        // 2² + 4² + 8² = 84.
+        assert_eq!(auto_db.fact_count("sg"), 84);
+        let (par_db, par_stats) = eval_seminaive_par_pinned_ids(&p, 4);
+        assert_eq!(par_db.rows("sg"), auto_db.rows("sg"));
+        assert_eq!(par_stats, auto_stats);
+    }
+
+    #[test]
+    fn stratified_negation_unreached() {
+        use crate::ast::{cst, var};
+        let mut p = Program::new();
+        for n in 0..5 {
+            p.fact(Atom::new("node", vec![cst(n)]));
+        }
+        for (s, t) in [(0, 1), (1, 2)] {
+            p.fact(Atom::new("edge", vec![cst(s), cst(t)]));
+        }
+        p.fact(Atom::new("reach", vec![cst(0)]));
+        p.rule(
+            Atom::new("reach", vec![var("Y")]),
+            vec![
+                Atom::new("reach", vec![var("X")]),
+                Atom::new("edge", vec![var("X"), var("Y")]),
+            ],
+        );
+        p.rule_neg(
+            Atom::new("unreached", vec![var("X")]),
+            vec![Atom::new("node", vec![var("X")])],
+            vec![Atom::new("reach", vec![var("X")])],
+        );
+        let (semi, semi_stats) = eval(&p, Strategy::Seminaive);
+        let got: Vec<i64> = semi["unreached"]
+            .iter()
+            .map(|t| match &t[0] {
+                Const::Int(n) => *n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![3, 4]);
+        let (naive, _) = eval(&p, Strategy::Naive);
+        assert_eq!(naive["unreached"], semi["unreached"]);
+        let (par, par_stats) = eval_seminaive_par_pinned(&p, 3);
+        assert_eq!(par["unreached"], semi["unreached"]);
+        assert_eq!(par_stats, semi_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "not stratifiable")]
+    fn non_stratifiable_program_panics_with_cycle() {
+        let mut p = Program::new();
+        p.fact(Atom::new("n", vec![cst(0)]));
+        p.rule_neg(
+            Atom::new("p", vec![var("X")]),
+            vec![Atom::new("n", vec![var("X")])],
+            vec![Atom::new("p", vec![var("X")])],
+        );
+        eval(&p, Strategy::Seminaive);
     }
 }

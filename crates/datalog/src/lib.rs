@@ -1,17 +1,23 @@
 //! # lambda-join-datalog
 //!
-//! A negation-free Datalog engine — the logic-programming baseline that
-//! *Functional Meaning for Parallel Streaming* (PLDI 2025) positions λ∨
-//! against (§2.3, §6): monotone bottom-up inference over a growing fact
-//! database, with naive, seminaive, and parallel-seminaive evaluation.
+//! A Datalog engine with stratified negation — the logic-programming
+//! baseline that *Functional Meaning for Parallel Streaming* (PLDI 2025)
+//! positions λ∨ against (§2.3, §6): monotone bottom-up inference over a
+//! growing fact database, with naive, seminaive, and parallel-seminaive
+//! evaluation. Negated premises are allowed when the program is
+//! stratified (checked by [`stratify`]); evaluation then runs one
+//! monotone fixpoint per stratum.
 //!
 //! The engine is **id-native** (DESIGN.md §6): programs compile onto
 //! interned `u32` ids — constants, predicates, and variable slots — and
 //! relations are flat columnar tuple stores with hash-based multi-column
-//! indexes, maintained incrementally as the fixpoint grows. Joins follow
-//! a per-rule plan ordered by bound-variable propagation, with a
-//! merge-style delta path for the linear-recursive (transitive-closure)
-//! shape. Tree-shaped [`Database`] results are decoded
+//! indexes, maintained incrementally as the fixpoint grows. Acyclic rule
+//! bodies follow a per-rule binary-join plan ordered by bound-variable
+//! propagation, with a merge-style delta path for the linear-recursive
+//! (transitive-closure) shape; cyclic bodies (≥ 2 atoms sharing ≥ 2 join
+//! variables, e.g. triangles) run a **worst-case-optimal leapfrog
+//! triejoin** over incrementally maintained sorted-column tries
+//! (DESIGN.md §7). Tree-shaped [`Database`] results are decoded
 //! only at the API boundary; [`eval::eval_ids`] stays flat end to end,
 //! which is what the 10⁵–10⁶-fact workloads in the bench suite use.
 //!
@@ -49,8 +55,10 @@ pub mod eval;
 pub mod parser;
 mod plan;
 pub mod store;
+pub mod strata;
 
 pub use ast::{Atom, AtomTerm, Const, Program, Rule};
-pub use eval::{eval, eval_ids, Database, EvalStats, Strategy};
+pub use eval::{eval, eval_ids, Database, EvalStats, JoinMode, Strategy};
 pub use parser::parse_program;
 pub use store::IdDatabase;
+pub use strata::{stratify, Strata, StratificationError};

@@ -4,12 +4,17 @@
 //! edge(0, 1).                     -- ground fact
 //! path(X, Y) :- edge(X, Y).      -- rule
 //! path(X, Z) :- path(X, Y), edge(Y, Z).
+//! unreached(X) :- node(X), not path(0, X).   -- stratified negation
 //! % line comments with '%' or '--'
 //! ```
 //!
 //! Identifiers starting with an uppercase letter are variables (Prolog
 //! convention); lowercase identifiers and quoted strings are string
-//! constants; integer literals are integer constants.
+//! constants; integer literals are integer constants. A body literal may
+//! be negated with `not` or `!`; every variable of a negated atom must
+//! also occur in a positive body atom (safety), and the whole program must
+//! be stratified — the parser checks safety, the evaluator (or
+//! [`stratify`](crate::strata::stratify)) checks stratification.
 
 use std::fmt;
 
@@ -53,9 +58,15 @@ pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
         p.skip_ws();
         if p.eat_str(":-") {
             let mut body = vec![];
+            let mut neg = vec![];
             loop {
                 p.skip_ws();
-                body.push(p.atom()?);
+                if p.eat_negation() {
+                    p.skip_ws();
+                    neg.push(p.atom()?);
+                } else {
+                    body.push(p.atom()?);
+                }
                 p.skip_ws();
                 if !p.eat(b',') {
                     break;
@@ -63,16 +74,19 @@ pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
             }
             p.skip_ws();
             p.expect(b'.')?;
-            // Range restriction is checked by Rule::new; surface errors
-            // should be Results, so pre-check here.
+            // Range restriction and negation safety are checked by
+            // Rule::with_neg; surface errors should be Results, so
+            // pre-check here.
+            let bound = |v: &str| {
+                body.iter().any(|a| {
+                    a.args
+                        .iter()
+                        .any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
+                })
+            };
             for t in &head.args {
                 if let AtomTerm::Var(v) = t {
-                    let bound = body.iter().any(|a| {
-                        a.args
-                            .iter()
-                            .any(|bt| matches!(bt, AtomTerm::Var(w) if w == v))
-                    });
-                    if !bound {
+                    if !bound(v) {
                         return Err(DatalogParseError {
                             pos: p.pos,
                             msg: format!("head variable {v} unbound in body"),
@@ -80,7 +94,21 @@ pub fn parse_program(src: &str) -> Result<Program, DatalogParseError> {
                     }
                 }
             }
-            program.rule(head, body);
+            for a in &neg {
+                for t in &a.args {
+                    if let AtomTerm::Var(v) = t {
+                        if !bound(v) {
+                            return Err(DatalogParseError {
+                                pos: p.pos,
+                                msg: format!(
+                                    "variable {v} of negated atom {a} unbound in positive body"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            program.rule_neg(head, body, neg);
         } else {
             p.expect(b'.')?;
             if head.args.iter().any(|t| matches!(t, AtomTerm::Var(_))) {
@@ -145,6 +173,25 @@ impl<'a> P<'a> {
         } else {
             false
         }
+    }
+
+    /// Consumes a negation marker: `!`, or the keyword `not` followed by
+    /// whitespace (so a predicate actually named `not` — `not(...)` —
+    /// still parses as an atom).
+    fn eat_negation(&mut self) -> bool {
+        if self.eat(b'!') {
+            return true;
+        }
+        if self.src[self.pos..].starts_with(b"not")
+            && self
+                .src
+                .get(self.pos + 3)
+                .is_some_and(|c| (*c as char).is_ascii_whitespace())
+        {
+            self.pos += 3;
+            return true;
+        }
+        false
     }
 
     fn expect(&mut self, c: u8) -> Result<(), DatalogParseError> {

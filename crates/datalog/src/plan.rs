@@ -1,34 +1,69 @@
 //! Rule compilation and join planning over the interned substrate.
 //!
 //! Compilation interns every constant and `(predicate, arity)` pair to a
-//! `u32` id, resolves each rule's variables to dense binding slots, and
-//! produces one **join plan** per evaluation mode: a naive plan (all atoms
-//! against the full database) plus one seminaive plan per body position
-//! (that atom reads the round's delta, the rest read the database).
+//! `u32` id, resolves each rule's variables to dense binding slots, checks
+//! stratification (negated premises must be fully derived by a lower
+//! stratum), and produces one **join plan** per evaluation mode: a naive
+//! plan (all atoms against the full database) plus one seminaive plan per
+//! body position (that atom reads the round's delta, the rest read the
+//! database).
 //!
-//! Planning is bound-variable propagation: starting from the delta atom
-//! (seminaive) or an empty binding set (naive), the remaining atoms are
-//! ordered greedily — most bound argument positions first, smallest
-//! relation-arity and original position as deterministic tie-breaks — so
-//! each atom is evaluated with the largest possible bound prefix. Each
-//! planned database atom then gets an access path chosen statically:
+//! Two plan kinds exist, chosen per rule by [`JoinMode::Auto`]:
 //!
-//! * **all columns bound** → a membership probe ([`Access::Contains`]);
-//! * **some columns bound** → a probe of the multi-column index over
-//!   exactly those columns ([`Access::Index`]); the planner registers the
-//!   index with the relation so it is maintained incrementally on insert;
-//! * **no columns bound** → a full scan ([`Access::Scan`]).
+//! * **Binary nested-loop** ([`Plan::Binary`]) for acyclic bodies.
+//!   Planning is bound-variable propagation: starting from the delta atom
+//!   (seminaive) or an empty binding set (naive), the remaining atoms are
+//!   ordered greedily — most bound argument positions first, smallest
+//!   relation-arity and original position as deterministic tie-breaks — so
+//!   each atom is evaluated with the largest possible bound prefix. Each
+//!   planned database atom then gets an access path chosen statically:
+//!   all columns bound → membership probe ([`Access::Contains`]); some
+//!   bound → a probe of the multi-column index over exactly those columns
+//!   ([`Access::Index`]), registered with the relation so it is maintained
+//!   incrementally on insert; none bound → a full scan ([`Access::Scan`]).
+//!   A seminaive plan whose delta atom feeds a single index probe — the
+//!   linear-recursive shape, `path(X,Z) :- Δpath(X,Y), edge(Y,Z)` — is
+//!   additionally marked with the delta columns that form the probe key,
+//!   so the evaluator can run it merge-style: sort the delta by key, probe
+//!   the index once per distinct key run instead of once per delta tuple.
 //!
-//! A seminaive plan whose delta atom feeds a single index probe — the
-//! linear-recursive shape, `path(X,Z) :- Δpath(X,Y), edge(Y,Z)` — is
-//! additionally marked with the delta columns that form the probe key, so
-//! the evaluator can run it merge-style: sort the delta by key, probe the
-//! index once per distinct key run instead of once per delta tuple.
+//! * **Leapfrog triejoin** ([`Plan::Wcoj`]) for cyclic bodies — those
+//!   where at least two join variables are each shared by at least two
+//!   atoms (triangles, same-generation). The planner picks one global
+//!   **variable elimination order** per rule (join variables first, by
+//!   occurrence count descending), derives a [`TrieSpec`] per body atom
+//!   whose levels are the atom's distinct variables in that order, and
+//!   registers the sorted-column trie with the template relation. The
+//!   executor then intersects the tries level by level with the classic
+//!   leapfrog search (seek/next with galloping), which is worst-case
+//!   optimal in the AGM sense — it never enumerates a partial binding
+//!   that no atom can extend. Delta plans share the same order and specs,
+//!   so database tries are registered once and reused by every mode;
+//!   the delta atom's trie is built per round from the flat delta rows.
+//!
+//! Negated premises compile to [`NegCheck`] membership probes, scheduled
+//! at the earliest plan point where all their variables are bound
+//! (binary: after an atom; leapfrog: after a level). Stratification
+//! guarantees the probed relation is complete when any check runs.
 
 use std::collections::HashMap;
 
 use crate::ast::{AtomTerm, Const, Program};
-use crate::store::{DeltaRel, Relation};
+use crate::store::{DeltaRel, Relation, TrieSpec};
+use crate::strata::{stratify, StratificationError};
+
+/// How rule bodies are joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMode {
+    /// Cyclic bodies (≥ 2 join variables each shared by ≥ 2 atoms) run
+    /// the worst-case-optimal leapfrog triejoin; every other body uses
+    /// the planned binary nested-loop path.
+    #[default]
+    Auto,
+    /// Force the binary nested-loop path for every rule — the pre-WCOJ
+    /// engine, kept for differential testing and benchmarking.
+    Binary,
+}
 
 /// One argument position of a compiled atom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,17 +104,79 @@ pub(crate) struct PlannedAtom {
     pub(crate) key_ops: Vec<ArgOp>,
 }
 
+/// A compiled negated premise: a membership probe against a relation that
+/// stratification guarantees is complete by the time the check runs. The
+/// rule instantiation survives only if the probed tuple is **absent**.
+#[derive(Debug, Clone)]
+pub(crate) struct NegCheck {
+    pub(crate) rel: u32,
+    /// `CheckConst` / `CheckVar` only — negation safety guarantees every
+    /// variable of a negated atom is bound by the positive body.
+    pub(crate) ops: Vec<ArgOp>,
+}
+
+/// One body atom of a leapfrog plan: where its trie lives and how it is
+/// built.
+#[derive(Debug, Clone)]
+pub(crate) struct WcojAtom {
+    pub(crate) rel: u32,
+    /// Reads the round's delta instead of the database.
+    pub(crate) is_delta: bool,
+    /// Index into the relation's registered tries (database atoms only;
+    /// `usize::MAX` for delta atoms, whose tries are built per round).
+    pub(crate) trie_slot: usize,
+    /// The projection/filter shape of this atom's trie. Shared between
+    /// the naive plan and every delta plan of the rule, so database tries
+    /// deduplicate across modes.
+    pub(crate) spec: TrieSpec,
+}
+
+/// A leapfrog-triejoin plan: one global variable order, one trie per
+/// atom, unified level by level.
+#[derive(Debug, Clone)]
+pub(crate) struct WcojPlan {
+    /// Binding slot for each level, in elimination order.
+    pub(crate) levels: Vec<usize>,
+    pub(crate) atoms: Vec<WcojAtom>,
+    /// `at_level[l]` = indexes into `atoms` of the atoms whose tries
+    /// carry level `l` (every level has at least one).
+    pub(crate) at_level: Vec<Vec<usize>>,
+    /// `neg_at[0]` runs before the search (ground checks); `neg_at[l+1]`
+    /// runs as soon as level `l` is bound.
+    pub(crate) neg_at: Vec<Vec<NegCheck>>,
+}
+
 /// A fully ordered join for one rule in one evaluation mode.
 #[derive(Debug, Clone)]
-pub(crate) struct Plan {
-    pub(crate) atoms: Vec<PlannedAtom>,
-    /// `Some(delta_cols)` when the plan is the linear-recursive shape —
-    /// a delta atom followed by an index probe keyed entirely by constants
-    /// and delta-bound variables. `delta_cols[i]` is the delta column
-    /// whose value feeds key op `i` (`usize::MAX` for constant key ops).
-    /// The evaluator may then sort the delta by these columns and probe
-    /// once per distinct key run (the merge-style path).
-    pub(crate) merge_key: Option<Vec<usize>>,
+pub(crate) enum Plan {
+    /// Nested-loop join over index/membership access paths.
+    Binary {
+        /// Body atoms in join order.
+        atoms: Vec<PlannedAtom>,
+        /// `Some(delta_cols)` when the plan is the linear-recursive shape —
+        /// a delta atom followed by an index probe keyed entirely by
+        /// constants and delta-bound variables. `delta_cols[i]` is the
+        /// delta column whose value feeds key op `i` (`usize::MAX` for
+        /// constant key ops). The evaluator may then sort the delta by
+        /// these columns and probe once per distinct key run. Only
+        /// computed for negation-free rules.
+        merge_key: Option<Vec<usize>>,
+        /// `neg_after[d]` runs once the first `d` atoms have matched
+        /// (`neg_after[0]` = ground checks, before any atom).
+        neg_after: Vec<Vec<NegCheck>>,
+    },
+    /// Worst-case-optimal leapfrog triejoin.
+    Wcoj(WcojPlan),
+}
+
+impl Plan {
+    /// The relation id whose delta this plan reads, if any.
+    pub(crate) fn delta_rel(&self) -> Option<u32> {
+        match self {
+            Plan::Binary { atoms, .. } => atoms.iter().find(|a| a.is_delta).map(|a| a.rel),
+            Plan::Wcoj(wp) => wp.atoms.iter().find(|a| a.is_delta).map(|a| a.rel),
+        }
+    }
 }
 
 /// A compiled rule: interned head plus its per-mode join plans.
@@ -92,8 +189,6 @@ pub(crate) struct CompiledRule {
     pub(crate) head: Vec<ArgOp>,
     /// Number of variable slots the binding frame needs.
     pub(crate) nvars: usize,
-    /// Number of body atoms (0 for facts).
-    pub(crate) body_len: usize,
     /// Plan joining every atom against the full database.
     pub(crate) naive: Plan,
     /// Plan `j` reads the delta at original body position `j`.
@@ -111,9 +206,19 @@ pub(crate) struct CompiledProgram {
     pub(crate) arities: Vec<usize>,
     /// Id → constant.
     pub(crate) consts: Vec<Const>,
-    /// Pre-registered relations (indexes already attached), cloned into
-    /// the evaluator's database and delta stores.
+    /// Pre-registered relations (indexes and tries already attached),
+    /// cloned into the evaluator's database and delta stores.
     pub(crate) template: Vec<Relation>,
+    /// Rule indexes grouped by stratum, lowest first. Evaluation runs one
+    /// complete fixpoint per group; negation-free programs have exactly
+    /// one group holding every rule.
+    pub(crate) strata: Vec<Vec<usize>>,
+    /// Ground facts, per stratum: `(relation, flat interned rows)`.
+    /// Source rules with an empty body and an all-constant head compile
+    /// here instead of into [`CompiledRule`]s — at 10⁵–10⁶ facts, one
+    /// plan object and one plan dispatch per fact per round is a real
+    /// cost, while a flat row block is a `memcpy` into round 0's output.
+    pub(crate) facts: Vec<Vec<(u32, Vec<u32>)>>,
 }
 
 impl CompiledProgram {
@@ -178,11 +283,50 @@ fn order_atoms(raw: &[(u32, Vec<ArgOp>)], first: Option<usize>, nvars: usize) ->
     order
 }
 
-/// Lowers the ordered atoms to a [`Plan`], rewriting each atom's ops
-/// against the bound-slot state at its position and choosing its access
-/// path. Registers any needed index on the template relation.
+/// Schedules each negated premise at the smallest plan prefix that binds
+/// all of its variables. `binds[d]` lists the slots newly bound by plan
+/// step `d`; the returned vector has `binds.len() + 1` buckets, bucket 0
+/// holding the ground checks.
+fn schedule_negs(
+    neg: &[(u32, Vec<ArgOp>)],
+    binds: &[Vec<usize>],
+    nvars: usize,
+) -> Vec<Vec<NegCheck>> {
+    let mut neg_after: Vec<Vec<NegCheck>> = vec![vec![]; binds.len() + 1];
+    for (rel, ops) in neg {
+        debug_assert!(
+            ops.iter().all(|op| !matches!(op, ArgOp::Bind(_))),
+            "negation safety: negated atoms never bind"
+        );
+        let mut bound = vec![false; nvars];
+        let needs: Vec<usize> = ops
+            .iter()
+            .filter_map(|op| match op {
+                ArgOp::CheckVar(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        let mut d = 0;
+        while !needs.iter().all(|&s| bound[s]) {
+            for &s in &binds[d] {
+                bound[s] = true;
+            }
+            d += 1;
+        }
+        neg_after[d].push(NegCheck {
+            rel: *rel,
+            ops: ops.clone(),
+        });
+    }
+    neg_after
+}
+
+/// Lowers the ordered atoms to a binary [`Plan`], rewriting each atom's
+/// ops against the bound-slot state at its position and choosing its
+/// access path. Registers any needed index on the template relation.
 fn build_plan(
     raw: &[(u32, Vec<ArgOp>)],
+    neg: &[(u32, Vec<ArgOp>)],
     order: &[usize],
     delta_at: Option<usize>,
     nvars: usize,
@@ -190,6 +334,7 @@ fn build_plan(
 ) -> Plan {
     let mut bound = vec![false; nvars];
     let mut atoms = Vec::with_capacity(order.len());
+    let mut binds: Vec<Vec<usize>> = Vec::with_capacity(order.len());
     for &i in order {
         let (rel, shape) = &raw[i];
         let is_delta = delta_at == Some(i);
@@ -198,6 +343,7 @@ fn build_plan(
         // here (or vice versa). Duplicate occurrences *within* this atom
         // stay CheckVar after the first Bind.
         let mut ops = Vec::with_capacity(shape.len());
+        let mut newly = Vec::new();
         for op in shape {
             ops.push(match *op {
                 ArgOp::CheckConst(c) => ArgOp::CheckConst(c),
@@ -206,17 +352,27 @@ fn build_plan(
                         ArgOp::CheckVar(s)
                     } else {
                         bound[s] = true;
+                        newly.push(s);
                         ArgOp::Bind(s)
                     }
                 }
             });
         }
+        // Probe-key columns: known *before* this atom runs. A CheckVar on
+        // a slot this atom itself binds (a within-atom duplicate, e.g.
+        // `e(X, X)` with X fresh) has no value at probe time and must be
+        // checked during row matching instead.
         let key_cols: Vec<usize> = ops
             .iter()
             .enumerate()
-            .filter(|(_, op)| !matches!(op, ArgOp::Bind(_)))
+            .filter(|(_, op)| match op {
+                ArgOp::CheckConst(_) => true,
+                ArgOp::CheckVar(s) => !newly.contains(s),
+                ArgOp::Bind(_) => false,
+            })
             .map(|(c, _)| c)
             .collect();
+        binds.push(newly);
         let key_ops: Vec<ArgOp> = key_cols.iter().map(|&c| ops[c]).collect();
         let access = if is_delta {
             Access::Scan // deltas are small and unindexed: always scanned
@@ -236,10 +392,13 @@ fn build_plan(
             key_ops,
         });
     }
+    let neg_after = schedule_negs(neg, &binds, nvars);
     // Merge-style eligibility: [delta, index-probe, ...] where every key
     // op of the probe is a constant or a variable bound by the delta atom.
+    // The merge path skips the per-depth negation hooks, so it is only
+    // taken for negation-free rules.
     let merge_key = match atoms.as_slice() {
-        [d, p, ..] if d.is_delta && matches!(p.access, Access::Index { .. }) => {
+        [d, p, ..] if neg.is_empty() && d.is_delta && matches!(p.access, Access::Index { .. }) => {
             let delta_col_of = |slot: usize| {
                 d.ops
                     .iter()
@@ -256,12 +415,94 @@ fn build_plan(
         }
         _ => None,
     };
-    Plan { atoms, merge_key }
+    Plan::Binary {
+        atoms,
+        merge_key,
+        neg_after,
+    }
 }
 
-/// Compiles a whole program: interning, slot assignment, planning, and
-/// index registration.
-pub(crate) fn compile(program: &Program) -> CompiledProgram {
+/// Builds a leapfrog plan for one rule mode: per-atom trie specs under the
+/// rule's global elimination order (`levels`, slot per level;
+/// `level_index`, slot → level). Database tries are registered on the
+/// template relation, deduplicated by spec.
+fn build_wcoj(
+    raw: &[(u32, Vec<ArgOp>)],
+    neg: &[(u32, Vec<ArgOp>)],
+    delta_at: Option<usize>,
+    levels: &[usize],
+    level_index: &[usize],
+    nvars: usize,
+    template: &mut [Relation],
+) -> Plan {
+    let mut atoms = Vec::with_capacity(raw.len());
+    let mut at_level: Vec<Vec<usize>> = vec![vec![]; levels.len()];
+    for (ai, (rel, shape)) in raw.iter().enumerate() {
+        let mut consts = Vec::new();
+        let mut eqs = Vec::new();
+        // (level, column) per distinct variable of the atom; the trie's
+        // levels are these columns sorted by global level.
+        let mut var_cols: Vec<(usize, usize)> = Vec::new();
+        let mut first_col: HashMap<usize, usize> = HashMap::new();
+        for (col, op) in shape.iter().enumerate() {
+            match *op {
+                ArgOp::CheckConst(c) => consts.push((col, c)),
+                ArgOp::Bind(s) | ArgOp::CheckVar(s) => {
+                    if let Some(&c0) = first_col.get(&s) {
+                        eqs.push((c0, col));
+                    } else {
+                        first_col.insert(s, col);
+                        var_cols.push((level_index[s], col));
+                    }
+                }
+            }
+        }
+        var_cols.sort_unstable();
+        for &(l, _) in &var_cols {
+            at_level[l].push(ai);
+        }
+        let spec = TrieSpec {
+            cols: var_cols.iter().map(|&(_, c)| c).collect(),
+            consts,
+            eqs,
+        };
+        let is_delta = delta_at == Some(ai);
+        let trie_slot = if is_delta {
+            usize::MAX
+        } else {
+            template[*rel as usize].register_trie(spec.clone())
+        };
+        atoms.push(WcojAtom {
+            rel: *rel,
+            is_delta,
+            trie_slot,
+            spec,
+        });
+    }
+    debug_assert!(at_level.iter().all(|v| !v.is_empty()), "uncovered level");
+    // Negation scheduling: level l binds exactly slot levels[l].
+    let binds: Vec<Vec<usize>> = levels.iter().map(|&s| vec![s]).collect();
+    let neg_at = schedule_negs(neg, &binds, nvars);
+    Plan::Wcoj(WcojPlan {
+        levels: levels.to_vec(),
+        atoms,
+        at_level,
+        neg_at,
+    })
+}
+
+/// Compiles a whole program: stratification, interning, slot assignment,
+/// planning, and index/trie registration.
+///
+/// # Errors
+///
+/// Returns the [`StratificationError`] for programs whose negation sits
+/// inside a recursive cycle.
+pub(crate) fn compile(
+    program: &Program,
+    mode: JoinMode,
+) -> Result<CompiledProgram, StratificationError> {
+    let strata_assignment = stratify(program)?;
     let mut consts: Vec<Const> = Vec::new();
     let mut const_ids: HashMap<Const, u32> = HashMap::new();
     let mut rel_ids: HashMap<(String, usize), u32> = HashMap::new();
@@ -277,15 +518,57 @@ pub(crate) fn compile(program: &Program) -> CompiledProgram {
             })
         };
 
+    // Pass 0: peel off ground facts (empty body, all-constant head) into
+    // flat per-stratum row blocks; only genuine rules get plans.
+    let mut facts: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); strata_assignment.count];
+    let mut kept: Vec<&crate::ast::Rule> = Vec::new();
+    for rule in &program.rules {
+        // Nullary facts stay rules: a flat row block can't count rows of
+        // width zero.
+        let is_fact = rule.body.is_empty()
+            && rule.neg.is_empty()
+            && !rule.head.args.is_empty()
+            && rule
+                .head
+                .args
+                .iter()
+                .all(|t| matches!(t, AtomTerm::Const(_)));
+        if !is_fact {
+            kept.push(rule);
+            continue;
+        }
+        let rel = rel_of(
+            &rule.head.pred,
+            rule.head.args.len(),
+            &mut rel_names,
+            &mut arities,
+        );
+        let stratum = &mut facts[strata_assignment.rule_stratum(rule)];
+        let block = match stratum.iter().position(|(r, _)| *r == rel) {
+            Some(i) => &mut stratum[i].1,
+            None => {
+                stratum.push((rel, Vec::new()));
+                &mut stratum.last_mut().expect("just pushed").1
+            }
+        };
+        for t in &rule.head.args {
+            let AtomTerm::Const(c) = t else {
+                unreachable!()
+            };
+            block.push(intern_const(&mut consts, &mut const_ids, c));
+        }
+    }
+
     // Pass 1: intern all atoms so relation ids exist before planning.
     struct RawRule {
         head_rel: u32,
         head: Vec<ArgOp>,
         body: Vec<(u32, Vec<ArgOp>)>,
+        neg: Vec<(u32, Vec<ArgOp>)>,
         nvars: usize,
     }
-    let mut raw_rules = Vec::with_capacity(program.rules.len());
-    for rule in &program.rules {
+    let mut raw_rules = Vec::with_capacity(kept.len());
+    for rule in &kept {
         let mut slots: HashMap<String, usize> = HashMap::new();
         let mut lower_atom = |atom: &crate::ast::Atom,
                               slots: &mut HashMap<String, usize>,
@@ -318,8 +601,24 @@ pub(crate) fn compile(program: &Program) -> CompiledProgram {
             .iter()
             .map(|a| lower_atom(a, &mut slots, &mut rel_names, &mut arities))
             .collect();
-        // Heads are lowered after the body so every head variable is a
-        // CheckVar against a body-bound slot (range restriction).
+        // Negated atoms and heads are lowered after the body, so safety
+        // and range restriction make every variable a CheckVar against a
+        // body-bound slot.
+        let neg: Vec<(u32, Vec<ArgOp>)> = rule
+            .neg
+            .iter()
+            .map(|a| {
+                let (rel, ops) = lower_atom(a, &mut slots, &mut rel_names, &mut arities);
+                let ops = ops
+                    .into_iter()
+                    .map(|op| match op {
+                        ArgOp::Bind(_) => unreachable!("negation safety: vars bound by body"),
+                        op => op,
+                    })
+                    .collect();
+                (rel, ops)
+            })
+            .collect();
         let (head_rel, head) = lower_atom(&rule.head, &mut slots, &mut rel_names, &mut arities);
         let head = head
             .into_iter()
@@ -332,39 +631,103 @@ pub(crate) fn compile(program: &Program) -> CompiledProgram {
             head_rel,
             head,
             body,
+            neg,
             nvars: slots.len(),
         });
     }
 
     // Pass 2: plan each rule's modes, registering indexes on the template.
     let mut template: Vec<Relation> = arities.iter().map(|&a| Relation::new(a)).collect();
-    let rules = raw_rules
+    let rules: Vec<CompiledRule> = raw_rules
         .into_iter()
         .map(|r| {
-            let naive_order = order_atoms(&r.body, None, r.nvars);
-            let naive = build_plan(&r.body, &naive_order, None, r.nvars, &mut template);
-            let delta_plans = (0..r.body.len())
-                .map(|j| {
-                    let order = order_atoms(&r.body, Some(j), r.nvars);
-                    build_plan(&r.body, &order, Some(j), r.nvars, &mut template)
-                })
-                .collect();
-            CompiledRule {
-                head_rel: r.head_rel,
-                head: r.head,
-                nvars: r.nvars,
-                body_len: r.body.len(),
-                naive,
-                delta_plans,
+            // WCOJ trigger: at least two join variables, each occurring in
+            // at least two distinct body atoms.
+            let mut occ = vec![0usize; r.nvars];
+            for (_, ops) in &r.body {
+                let mut seen = vec![false; r.nvars];
+                for op in ops {
+                    if let ArgOp::Bind(s) | ArgOp::CheckVar(s) = op {
+                        if !seen[*s] {
+                            seen[*s] = true;
+                            occ[*s] += 1;
+                        }
+                    }
+                }
+            }
+            let join_vars = occ.iter().filter(|&&c| c >= 2).count();
+            let use_wcoj = mode == JoinMode::Auto && r.body.len() >= 2 && join_vars >= 2;
+            if use_wcoj {
+                // One elimination order per rule, shared by every mode so
+                // database tries deduplicate: join variables first
+                // (occurrence count descending), slot index breaking ties.
+                let mut levels: Vec<usize> = (0..r.nvars).filter(|&s| occ[s] > 0).collect();
+                levels.sort_unstable_by_key(|&s| (usize::MAX - occ[s], s));
+                let mut level_index = vec![usize::MAX; r.nvars];
+                for (l, &s) in levels.iter().enumerate() {
+                    level_index[s] = l;
+                }
+                let naive = build_wcoj(
+                    &r.body,
+                    &r.neg,
+                    None,
+                    &levels,
+                    &level_index,
+                    r.nvars,
+                    &mut template,
+                );
+                let delta_plans = (0..r.body.len())
+                    .map(|j| {
+                        build_wcoj(
+                            &r.body,
+                            &r.neg,
+                            Some(j),
+                            &levels,
+                            &level_index,
+                            r.nvars,
+                            &mut template,
+                        )
+                    })
+                    .collect();
+                CompiledRule {
+                    head_rel: r.head_rel,
+                    head: r.head,
+                    nvars: r.nvars,
+                    naive,
+                    delta_plans,
+                }
+            } else {
+                let naive_order = order_atoms(&r.body, None, r.nvars);
+                let naive = build_plan(&r.body, &r.neg, &naive_order, None, r.nvars, &mut template);
+                let delta_plans = (0..r.body.len())
+                    .map(|j| {
+                        let order = order_atoms(&r.body, Some(j), r.nvars);
+                        build_plan(&r.body, &r.neg, &order, Some(j), r.nvars, &mut template)
+                    })
+                    .collect();
+                CompiledRule {
+                    head_rel: r.head_rel,
+                    head: r.head,
+                    nvars: r.nvars,
+                    naive,
+                    delta_plans,
+                }
             }
         })
         .collect();
 
-    CompiledProgram {
+    let mut strata: Vec<Vec<usize>> = vec![vec![]; strata_assignment.count];
+    for (i, rule) in kept.iter().enumerate() {
+        strata[strata_assignment.rule_stratum(rule)].push(i);
+    }
+
+    Ok(CompiledProgram {
         rules,
         rel_names,
         arities,
         consts,
         template,
-    }
+        strata,
+        facts,
+    })
 }

@@ -95,9 +95,265 @@ impl ColIndex {
     }
 }
 
+/// How a trie projects and filters the rows of its relation: the static
+/// shape the planner derives from one body atom under a variable
+/// elimination order. Constants and repeated variables are resolved at
+/// build time, so the trie's levels are exactly the atom's distinct
+/// variables, in elimination order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TrieSpec {
+    /// Source column for each trie level, in elimination order.
+    pub(crate) cols: Vec<usize>,
+    /// `(column, constant)` filters: rows must carry the constant there.
+    pub(crate) consts: Vec<(usize, u32)>,
+    /// `(column, column)` equality filters (repeated variables in the
+    /// atom); the first column of each pair is the one kept in `cols`.
+    pub(crate) eqs: Vec<(usize, usize)>,
+}
+
+impl TrieSpec {
+    /// Projects one relation row to a trie row, or `None` when a
+    /// constant/equality filter rejects it.
+    #[inline]
+    fn project(&self, row: &[u32], out: &mut Vec<u32>) -> bool {
+        for &(c, k) in &self.consts {
+            if row[c] != k {
+                return false;
+            }
+        }
+        for &(a, b) in &self.eqs {
+            if row[a] != row[b] {
+                return false;
+            }
+        }
+        out.extend(self.cols.iter().map(|&c| row[c]));
+        true
+    }
+}
+
+/// A sorted-column trie index over one relation, as used by the leapfrog
+/// triejoin executor: the relation's rows projected through a [`TrieSpec`]
+/// and kept **sorted lexicographically** by level. The sorted flat layout
+/// *is* the trie — a node at depth `d` is a run of rows sharing a
+/// `d`-value prefix, and the leapfrog iterator walks runs with galloping
+/// binary search; no pointer structure is ever materialised.
+///
+/// Tries are **lazily built and incrementally maintained**: inserts into
+/// the relation merely make the trie stale (`src_rows` lags the
+/// relation's row count); [`Relation::refresh_tries`] — called by the
+/// evaluator right before a leapfrog plan runs — projects only the rows
+/// added since the last refresh, sorts that chunk, and merges it with the
+/// already-sorted bulk, so a fixpoint pays O(new · log new + total) per
+/// round instead of a full re-sort.
+#[derive(Debug, Clone)]
+pub(crate) struct Trie {
+    pub(crate) spec: TrieSpec,
+    /// Sorted projected rows, `spec.cols.len()` values per row.
+    data: Vec<u32>,
+    rows: usize,
+    /// Relation rows consumed at the last refresh (stale ⟺ < relation len).
+    src_rows: usize,
+    /// Distinct level-0 keys, sorted — a dense directory for the trie's
+    /// root level. Root-level `seek` binary-searches this contiguous
+    /// array instead of galloping over `width`-strided rows, and
+    /// root-level `next` is a plain increment; both matter because the
+    /// root is where the leapfrog intersects the whole relation.
+    dir0: Vec<u32>,
+    /// Start row of `dir0[i]`'s run, with a trailing `rows` sentinel
+    /// (`dir0_start.len() == dir0.len() + 1`).
+    dir0_start: Vec<u32>,
+}
+
+impl Trie {
+    fn new(spec: TrieSpec) -> Self {
+        Trie {
+            spec,
+            data: Vec::new(),
+            rows: 0,
+            src_rows: 0,
+            dir0: Vec::new(),
+            dir0_start: vec![0],
+        }
+    }
+
+    /// Values per row (the number of trie levels).
+    #[inline]
+    pub(crate) fn width(&self) -> usize {
+        self.spec.cols.len()
+    }
+
+    /// Number of projected rows.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// The sorted flat row storage.
+    #[inline]
+    pub(crate) fn data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Sorted distinct level-0 keys.
+    #[inline]
+    pub(crate) fn dir0(&self) -> &[u32] {
+        &self.dir0
+    }
+
+    /// Run start of each `dir0` key, plus a trailing `rows` sentinel.
+    #[inline]
+    pub(crate) fn dir0_start(&self) -> &[u32] {
+        &self.dir0_start
+    }
+
+    /// Builds a standalone trie (no backing relation) from flat rows of
+    /// the given arity — how per-round delta tries are made.
+    pub(crate) fn build(spec: TrieSpec, flat: &[u32], arity: usize, nrows: usize) -> Self {
+        let mut t = Trie::new(spec);
+        t.absorb(flat, arity, nrows);
+        t
+    }
+
+    /// Projects rows `self.src_rows..nrows` of `flat`, sorts the chunk,
+    /// and merges it into the sorted bulk (deduplicating — projections
+    /// are injective on surviving relation rows because every source
+    /// column is either kept, pinned by a constant, or tied by an
+    /// equality, so the dedup is a safety net only).
+    fn absorb(&mut self, flat: &[u32], arity: usize, nrows: usize) {
+        let w = self.width();
+        let mut chunk: Vec<u32> = Vec::new();
+        let mut new_rows = 0usize;
+        for r in self.src_rows..nrows {
+            let row = &flat[r * arity..(r + 1) * arity];
+            if self.spec.project(row, &mut chunk) {
+                new_rows += 1;
+            }
+        }
+        self.src_rows = nrows;
+        if w == 0 {
+            // Every level constant-filtered away: presence is the datum.
+            if new_rows > 0 {
+                self.rows = 1;
+            }
+            return;
+        }
+        if new_rows == 0 {
+            return;
+        }
+        if w <= 2 {
+            // The common widths (one or two distinct variables per atom):
+            // pack each row into one `u64` so the sort runs on a flat
+            // primitive array instead of through a slice comparator —
+            // several times faster on the 10⁵-row tries the scale
+            // workloads refresh every round.
+            let pack = |row: &[u32]| -> u64 {
+                if w == 1 {
+                    row[0] as u64
+                } else {
+                    ((row[0] as u64) << 32) | row[1] as u64
+                }
+            };
+            let mut keys: Vec<u64> = chunk.chunks_exact(w).map(pack).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let mut merged: Vec<u32> = Vec::with_capacity(self.data.len() + chunk.len());
+            let mut nrows_out = 0usize;
+            let mut i = 0usize; // bulk row
+            let mut j = 0usize; // sorted chunk key
+            let bulk_rows = self.rows;
+            let mut push = |merged: &mut Vec<u32>, k: u64| {
+                if w == 2 {
+                    merged.push((k >> 32) as u32);
+                }
+                merged.push(k as u32);
+                nrows_out += 1;
+            };
+            while i < bulk_rows || j < keys.len() {
+                let bk = (i < bulk_rows).then(|| pack(&self.data[i * w..(i + 1) * w]));
+                match (bk, keys.get(j)) {
+                    (Some(b), Some(&c)) => {
+                        push(&mut merged, b.min(c));
+                        i += usize::from(b <= c);
+                        j += usize::from(c <= b);
+                    }
+                    (Some(b), None) => {
+                        push(&mut merged, b);
+                        i += 1;
+                    }
+                    (None, Some(&c)) => {
+                        push(&mut merged, c);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            self.data = merged;
+            self.rows = nrows_out;
+        } else {
+            // Sort the fresh chunk by row.
+            let mut order: Vec<u32> = (0..new_rows as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let ra = &chunk[a as usize * w..(a as usize + 1) * w];
+                let rb = &chunk[b as usize * w..(b as usize + 1) * w];
+                ra.cmp(rb)
+            });
+            // Merge sorted bulk and sorted chunk into a fresh buffer.
+            let mut merged: Vec<u32> = Vec::with_capacity(self.data.len() + chunk.len());
+            let mut nrows_out = 0usize;
+            let mut i = 0usize; // bulk row
+            let mut j = 0usize; // chunk order position
+            let bulk_rows = self.rows;
+            let push = |merged: &mut Vec<u32>, nrows_out: &mut usize, row: &[u32]| {
+                let dup = *nrows_out > 0 && &merged[(*nrows_out - 1) * w..*nrows_out * w] == row;
+                if !dup {
+                    merged.extend_from_slice(row);
+                    *nrows_out += 1;
+                }
+            };
+            while i < bulk_rows || j < new_rows {
+                let take_bulk = if i >= bulk_rows {
+                    false
+                } else if j >= new_rows {
+                    true
+                } else {
+                    let rb = &self.data[i * w..(i + 1) * w];
+                    let oc = order[j] as usize;
+                    let rc = &chunk[oc * w..(oc + 1) * w];
+                    rb <= rc
+                };
+                if take_bulk {
+                    let rb = self.data[i * w..(i + 1) * w].to_vec();
+                    push(&mut merged, &mut nrows_out, &rb);
+                    i += 1;
+                } else {
+                    let oc = order[j] as usize;
+                    let rc = &chunk[oc * w..(oc + 1) * w];
+                    push(&mut merged, &mut nrows_out, rc);
+                    j += 1;
+                }
+            }
+            self.data = merged;
+            self.rows = nrows_out;
+        }
+        // Rebuild the root directory with one linear scan — O(rows) on a
+        // contiguous array, cheap next to the merge above.
+        self.dir0.clear();
+        self.dir0_start.clear();
+        for r in 0..self.rows {
+            let k = self.data[r * w];
+            if self.dir0.last() != Some(&k) {
+                self.dir0.push(k);
+                self.dir0_start.push(r as u32);
+            }
+        }
+        self.dir0_start.push(self.rows as u32);
+    }
+}
+
 /// One relation: a fixed arity, all tuples flat in `data` (insertion =
 /// derivation order), an open-addressed membership table of row indexes,
-/// and the multi-column indexes registered by the join planner.
+/// the multi-column hash indexes registered by the join planner, and the
+/// sorted-column tries registered by the leapfrog planner.
 #[derive(Debug, Clone)]
 pub(crate) struct Relation {
     pub(crate) arity: usize,
@@ -107,6 +363,7 @@ pub(crate) struct Relation {
     slots: Vec<u32>,
     rows: usize,
     pub(crate) indexes: Vec<ColIndex>,
+    pub(crate) tries: Vec<Trie>,
 }
 
 impl Relation {
@@ -117,6 +374,31 @@ impl Relation {
             slots: vec![EMPTY; 8],
             rows: 0,
             indexes: Vec::new(),
+            tries: Vec::new(),
+        }
+    }
+
+    /// Registers a sorted-column trie (deduplicated by spec) and returns
+    /// its slot. Unlike hash indexes, tries may be registered after rows
+    /// exist — they start empty and catch up on the first
+    /// [`refresh_tries`](Relation::refresh_tries).
+    pub(crate) fn register_trie(&mut self, spec: TrieSpec) -> usize {
+        if let Some(i) = self.tries.iter().position(|t| t.spec == spec) {
+            return i;
+        }
+        self.tries.push(Trie::new(spec));
+        self.tries.len() - 1
+    }
+
+    /// Brings every registered trie up to date with the relation. Cheap
+    /// when nothing changed; otherwise each trie projects + sorts only the
+    /// rows inserted since its last refresh and merges them in.
+    pub(crate) fn refresh_tries(&mut self) {
+        let (rows, arity) = (self.rows, self.arity);
+        for t in &mut self.tries {
+            if t.src_rows < rows {
+                t.absorb(&self.data, arity, rows);
+            }
         }
     }
 
@@ -367,5 +649,80 @@ mod tests {
         assert!(!r.insert(&[]));
         assert!(r.contains(&[]));
         assert_eq!(r.len(), 1);
+    }
+
+    fn plain_spec(cols: Vec<usize>) -> TrieSpec {
+        TrieSpec {
+            cols,
+            consts: vec![],
+            eqs: vec![],
+        }
+    }
+
+    #[test]
+    fn trie_sorts_projected_rows() {
+        let mut r = Relation::new(2);
+        let t = r.register_trie(plain_spec(vec![1, 0]));
+        for row in [[3, 1], [1, 2], [2, 1], [1, 9], [0, 2]] {
+            r.insert(&row);
+        }
+        r.refresh_tries();
+        // Levels are (col 1, col 0): sorted lexicographically on that.
+        assert_eq!(
+            r.tries[t].data(),
+            &[1, 2, 1, 3, 2, 0, 2, 1, 9, 1] // (1,2) (1,3) (2,0) (2,1) (9,1)
+        );
+        assert_eq!(r.tries[t].len(), 5);
+    }
+
+    #[test]
+    fn trie_incremental_refresh_merges_new_rows() {
+        // The invalidation/rebuild contract across fixpoint rounds: insert,
+        // refresh, insert more, refresh again — the trie must equal a
+        // from-scratch build after every refresh.
+        let mut r = Relation::new(2);
+        let t = r.register_trie(plain_spec(vec![0, 1]));
+        for row in [[5, 0], [1, 1], [3, 3]] {
+            r.insert(&row);
+        }
+        r.refresh_tries();
+        assert_eq!(r.tries[t].data(), &[1, 1, 3, 3, 5, 0]);
+        for row in [[2, 2], [5, 0], [0, 9], [4, 4]] {
+            r.insert(&row); // [5,0] is a duplicate: relation rejects it
+        }
+        r.refresh_tries();
+        let fresh = Trie::build(plain_spec(vec![0, 1]), &r.data, 2, r.len());
+        assert_eq!(r.tries[t].data(), fresh.data());
+        assert_eq!(r.tries[t].data(), &[0, 9, 1, 1, 2, 2, 3, 3, 4, 4, 5, 0]);
+        // A refresh with nothing new is a no-op.
+        r.refresh_tries();
+        assert_eq!(r.tries[t].len(), 6);
+    }
+
+    #[test]
+    fn trie_const_and_eq_filters() {
+        // Atom shape p(7, X, X): col 0 pinned to 7, cols 1 == 2, one level.
+        let spec = TrieSpec {
+            cols: vec![1],
+            consts: vec![(0, 7)],
+            eqs: vec![(1, 2)],
+        };
+        let mut r = Relation::new(3);
+        let t = r.register_trie(spec);
+        for row in [[7, 4, 4], [7, 2, 3], [6, 1, 1], [7, 1, 1]] {
+            r.insert(&row);
+        }
+        r.refresh_tries();
+        assert_eq!(r.tries[t].data(), &[1, 4]);
+    }
+
+    #[test]
+    fn trie_registration_after_population_catches_up() {
+        let mut r = Relation::new(1);
+        r.insert(&[9]);
+        r.insert(&[4]);
+        let t = r.register_trie(plain_spec(vec![0]));
+        r.refresh_tries();
+        assert_eq!(r.tries[t].data(), &[4, 9]);
     }
 }

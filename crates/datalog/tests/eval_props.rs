@@ -7,8 +7,8 @@ use std::collections::BTreeSet;
 
 use lambda_join_datalog::ast::{cst, var};
 use lambda_join_datalog::eval::{
-    eval, eval_ids, eval_seminaive_par, reaches_program, transitive_closure_program,
-    Strategy as DlStrategy,
+    eval, eval_ids, eval_mode, eval_seminaive_par_pinned, reaches_program,
+    transitive_closure_program, JoinMode, Strategy as DlStrategy,
 };
 use lambda_join_datalog::{Atom, Const, Program};
 use proptest::prelude::*;
@@ -182,17 +182,23 @@ fn arb_program() -> impl Strategy<Value = Program> {
 
 /// Asserts the three strategies agree — as tree databases (sorted fact
 /// sets by construction) and as id-native row sets — and that stats
-/// match between sequential and parallel seminaive.
+/// match between sequential and parallel seminaive. The parallel run is
+/// *pinned* (no effective-parallelism short-circuit) so the worker
+/// exchange is exercised even on a single-core host, and the whole suite
+/// re-runs with the leapfrog triejoin disabled ([`JoinMode::Binary`]) to
+/// pin WCOJ ≡ binary-join on every body the planner routes either way.
 fn assert_strategies_agree(p: &Program) {
     let (naive, _) = eval(p, DlStrategy::Naive);
     let (semi, semi_stats) = eval(p, DlStrategy::Seminaive);
-    let (par, par_stats) = eval_seminaive_par(p, 3);
+    let (par, par_stats) = eval_seminaive_par_pinned(p, 3);
     assert_eq!(naive, semi, "naive != seminaive");
     assert_eq!(semi, par, "seminaive != parallel");
     assert_eq!(semi_stats, par_stats, "sequential/parallel stats differ");
     let (idb, id_stats) = eval_ids(p, DlStrategy::Seminaive);
     assert_eq!(idb.to_database(), semi, "id boundary decode disagrees");
     assert_eq!(id_stats, semi_stats);
+    let (binary, _) = eval_mode(p, DlStrategy::Seminaive, JoinMode::Binary);
+    assert_eq!(binary, semi, "forced binary join diverges from auto");
 }
 
 fn reference_reachable(edges: &[(i64, i64)], start: i64) -> BTreeSet<i64> {
