@@ -48,12 +48,12 @@ fn bench_crdt(c: &mut Criterion) {
     group.bench_function("cluster_converge_4x20", |b| {
         b.iter(|| {
             let mut cluster: Cluster<GSet<i64>> =
-                Cluster::new(4, GSet::new(), 11, DeliveryPolicy::default());
+                Cluster::with_policy(4, GSet::new(), 11, DeliveryPolicy::default());
             for k in 0..20i64 {
                 cluster.update((k % 4) as usize, |s| s.insert(k));
+                cluster.step();
             }
-            cluster.run_random_gossip(40);
-            cluster.settle();
+            cluster.run_to_convergence(10_000).expect("converges");
             std::hint::black_box(cluster.converged())
         })
     });

@@ -9,10 +9,12 @@
 //! Items: `table1`, `fig2`, `fig4`, `fig10`, `evens`, `por`, `reaches`,
 //! `eq2`, `ext` (the §5.2/§6 extension experiments E-frz/E-lex/E-amb/
 //! E-semi), `deep` (E-deep: the explicit-stack engine on workloads past
-//! the recursive evaluator's stack ceiling), and `dl` (the Datalog scale
+//! the recursive evaluator's stack ceiling), `dl` (the Datalog scale
 //! generators at smoke sizes: every strategy must agree on every graph
-//! family — the CI gate that keeps the bench generators honest). The
-//! outputs are recorded against the paper in EXPERIMENTS.md.
+//! family — the CI gate that keeps the bench generators honest), and
+//! `cluster` (the fault-injected replicated lattice store at smoke sizes,
+//! with deterministic replay re-checked). The outputs are recorded
+//! against the paper in EXPERIMENTS.md.
 //!
 //! `perf` (not part of the default run) times the hot-path workloads and
 //! writes machine-readable `BENCH_perf.json` (workload → ns/iter) so the
@@ -73,6 +75,9 @@ fn main() {
     }
     if want("dl") {
         dl_fig();
+    }
+    if want("cluster") {
+        cluster_fig();
     }
     // Explicit-only: timing runs are not part of the default figures pass.
     if which.iter().any(|w| w == "perf") {
@@ -434,6 +439,28 @@ fn perf_fig() {
             let _ = m.eval_fuel_id_untabled(id, 16);
         })
     }));
+
+    // --- Replicated lattice store (DESIGN.md §8): wire-cost and heal-time
+    // figures, recorded as *bytes* and *steps* rather than ns — what the
+    // delta protocol is supposed to optimise is traffic, not CPU. The
+    // ≥5× delta-vs-full ratio on a 10⁴-element G-Set is the headline
+    // claim and is asserted, so a protocol regression fails the run. ---
+    {
+        use lambda_join_crdt::cluster::scenario;
+        let (stats, _) = scenario::gset_sync_traffic(10_000);
+        let ratio = stats.full_state_bytes_equiv / stats.delta_bytes.max(1);
+        assert!(
+            ratio >= 5,
+            "delta anti-entropy below 5x vs full-state gossip: {} delta B vs {} full B",
+            stats.delta_bytes,
+            stats.full_state_bytes_equiv
+        );
+        results.push(("cluster_gset_delta_bytes", stats.delta_bytes));
+        results.push(("cluster_gset_full_bytes", stats.full_state_bytes_equiv));
+        results.push(("cluster_gset_delta_vs_full", ratio));
+        let heal = scenario::kv_partition_heal(0xC1D7, 8);
+        results.push(("cluster_kv_partition_heal", heal.steps));
+    }
 
     // `_meta` records the machine context the numbers were taken in: the
     // detected core count (so the par_* scaling keys can be read — a flat
@@ -861,6 +888,49 @@ fn dl_fig() {
         );
     }
     println!("(naive ≡ seminaive ≡ parallel on every family; oracles exact)");
+}
+
+/// `cluster` — the replicated lattice store under fault injection, at
+/// smoke sizes: each scenario drives the acked anti-entropy protocol
+/// through a seeded adversary (partitions, crashes, drops, duplication)
+/// and asserts convergence to the omniscient-join oracle internally.
+/// Deterministic replay is re-checked here (same seed ⇒ byte-identical
+/// transcript), so CI catches any nondeterminism the moment it appears.
+fn cluster_fig() {
+    use lambda_join_crdt::cluster::scenario;
+
+    header("E-cluster — fault-injected replicated lattice store (smoke sizes)");
+    println!(
+        "{:<22} {:>7} {:>9} {:>9} {:>7} {:>9}",
+        "scenario", "steps", "deltas", "bytes", "retries", "restarts"
+    );
+    let named: Vec<(&str, scenario::Report)> = vec![
+        ("versioned_kv", scenario::versioned_kv(11, 3, 4)),
+        ("two_phase_commit", scenario::two_phase_commit(12)),
+        ("collab_text", scenario::collab_text(13)),
+        ("counter_storm", scenario::counter_storm(14, 4, 8)),
+        ("kv_partition_heal", scenario::kv_partition_heal(15, 6)),
+    ];
+    for (name, r) in &named {
+        println!(
+            "{name:<22} {:>7} {:>9} {:>9} {:>7} {:>9}",
+            r.steps, r.stats.delta_msgs, r.stats.delta_bytes, r.stats.retries, r.stats.restarts
+        );
+    }
+    // Replay determinism: the transcript is a pure function of the seed.
+    let again = scenario::versioned_kv(11, 3, 4);
+    assert_eq!(
+        named[0].1.transcript, again.transcript,
+        "replay diverged from the original run"
+    );
+    let (stats, steps) = scenario::gset_sync_traffic(500);
+    let ratio = stats.full_state_bytes_equiv / stats.delta_bytes.max(1);
+    println!(
+        "gset_sync_traffic(500): {steps} steps, {} delta B vs {} full-state B ({ratio}x)",
+        stats.delta_bytes, stats.full_state_bytes_equiv
+    );
+    assert!(ratio >= 2, "delta anti-entropy lost its edge at smoke size");
+    println!("(all scenarios assert convergence to the oracle; replay is byte-identical)");
 }
 
 /// Eq. (2): the domain equation checks.

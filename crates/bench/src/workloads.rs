@@ -46,36 +46,13 @@ pub fn edge_pairs(g: &Graph) -> Vec<(i64, i64)> {
         .collect()
 }
 
-/// A tiny deterministic xorshift64* RNG for workload generation — no
-/// external crates, stable across platforms and runs.
-#[derive(Debug, Clone)]
-pub struct XorShift64(u64);
-
-impl XorShift64 {
-    /// Seeds the generator (a zero seed is remapped to a fixed constant).
-    pub fn new(seed: u64) -> Self {
-        XorShift64(if seed == 0 {
-            0x9e37_79b9_7f4a_7c15
-        } else {
-            seed
-        })
-    }
-
-    /// The next pseudo-random 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    /// A value uniform in `0..n` (`n > 0`).
-    pub fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-}
+/// The workspace's deterministic RNG (canonical implementation in
+/// [`lambda_join_core::rng`]; re-exported here because every generator
+/// below takes seeds through it). `below` is rejection-sampled — no
+/// modulo bias — so generated graphs differ slightly from the pre-dedup
+/// ones; all closed-form oracles are recomputed from the edges, so no
+/// test pins the old streams.
+pub use lambda_join_core::rng::XorShift64;
 
 /// A uniform random sparse digraph: `edges` directed edges drawn uniformly
 /// over `nodes × nodes` (self-loops and duplicates possible, as in real

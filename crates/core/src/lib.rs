@@ -70,6 +70,7 @@ pub mod observe;
 pub mod parser;
 pub mod pool;
 pub mod reduce;
+pub mod rng;
 pub mod sharded;
 pub mod stdlib;
 pub mod symbol;

@@ -1,0 +1,508 @@
+//! Delta-state CRDTs (Almeida, Shoker & Baquero 2018): ship what changed,
+//! not what you have.
+//!
+//! Full-state gossip is the textbook CvRDT protocol, and it is what the old
+//! `crdt::replica` simulator did — every message carried the sender's
+//! entire state, so a 10⁴-element set paid 10⁴ elements per gossip round
+//! forever. A *delta* CRDT instead ships lattice elements ("deltas") that
+//! are **below** the full state but **join** to the same place:
+//!
+//! ```text
+//!    peer ⊔ delta  ==  peer ⊔ full          (delta sufficiency)
+//!    delta ⊑ full                            (delta is an underestimate)
+//! ```
+//!
+//! [`DeltaCrdt`] captures this with *monotone version summaries*: a
+//! [`summary`](DeltaCrdt::summary) is a compact description of what a
+//! state already covers (a [`VClock`] for counters, a set of version
+//! clocks for multi-value registers, the element set itself for grow-only
+//! sets), and [`delta_since`](DeltaCrdt::delta_since) returns a state
+//! containing everything *not* covered by a summary — or `None` when the
+//! summary already covers `self`, which is what lets the anti-entropy
+//! layer go quiescent.
+//!
+//! Summaries form a join-semilattice of their own, and the protocol relies
+//! on one extra algebraic fact, checked by the `delta_props` suite:
+//! `delta_since` against a **join of summaries** is still sufficient for a
+//! peer that has absorbed the summarised states —
+//! `b ⊔ c ⊔ a.delta_since(summary(b) ⊔ summary(c)) == b ⊔ c ⊔ a`.
+//! That is exactly the sender-side bookkeeping of
+//! [`protocol::Outbound`](super::protocol::Outbound): the frontier summary
+//! is a running join of the summaries of everything already sent.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::mem::size_of;
+
+use lambda_join_runtime::freeze::Freeze;
+use lambda_join_runtime::semilattice::{JoinSemilattice, LBool, Max, Min};
+
+use crate::gcounter::{GCounter, PnCounter, ReplicaId};
+use crate::gset::GSet;
+use crate::lattice::LMap;
+use crate::mvmap::MvMap;
+use crate::mvreg::MvReg;
+use crate::vclock::VClock;
+
+/// A join-semilattice state that can describe itself compactly and emit
+/// deltas relative to such descriptions. See the module docs for the laws.
+pub trait DeltaCrdt: JoinSemilattice + PartialEq {
+    /// A compact, joinable description of what a state covers.
+    type Summary: JoinSemilattice + PartialEq + Clone + std::fmt::Debug;
+
+    /// The summary of this state.
+    fn summary(&self) -> Self::Summary;
+
+    /// A state carrying everything in `self` not covered by `since`, or
+    /// `None` if `since` covers all of `self`. The result is always
+    /// `⊑ self`, and joining it into any peer that has absorbed the
+    /// states summarised by `since` is equivalent to joining `self`.
+    fn delta_since(&self, since: &Self::Summary) -> Option<Self>;
+
+    /// Absorbs a delta (plain lattice join; deltas are ordinary states).
+    fn merge_delta(&mut self, delta: &Self) {
+        *self = self.join(delta);
+    }
+
+    /// An approximate serialized size in bytes, used by the simulator to
+    /// account sync traffic. Only relative comparisons matter (delta
+    /// bytes vs. full-state bytes under the same measure).
+    fn wire_size(&self) -> usize;
+}
+
+// --- grow-only sets ------------------------------------------------------
+
+impl<T: Ord + Clone + std::fmt::Debug> DeltaCrdt for GSet<T> {
+    // A grow-only set carries no causal metadata, so the only sound
+    // summary is the membership itself. The summary never crosses the
+    // network: the sender keeps it per peer and updates it from acks.
+    type Summary = GSet<T>;
+
+    fn summary(&self) -> GSet<T> {
+        self.clone()
+    }
+
+    fn delta_since(&self, since: &GSet<T>) -> Option<Self> {
+        let missing: BTreeSet<T> = self
+            .elems
+            .iter()
+            .filter(|x| !since.elems.contains(*x))
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            None
+        } else {
+            Some(GSet { elems: missing })
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.len() * (size_of::<T>() + 4)
+    }
+}
+
+impl<T: Ord + Clone + std::fmt::Debug> DeltaCrdt for BTreeSet<T> {
+    type Summary = BTreeSet<T>;
+
+    fn summary(&self) -> BTreeSet<T> {
+        self.clone()
+    }
+
+    fn delta_since(&self, since: &BTreeSet<T>) -> Option<Self> {
+        let missing: BTreeSet<T> = self.difference(since).cloned().collect();
+        if missing.is_empty() {
+            None
+        } else {
+            Some(missing)
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.len() * (size_of::<T>() + 4)
+    }
+}
+
+// --- counters ------------------------------------------------------------
+
+impl DeltaCrdt for GCounter {
+    // Per-replica slots *are* a version vector: the summary is the slot
+    // map read as a clock, and a delta carries only the slots that grew.
+    type Summary = VClock;
+
+    fn summary(&self) -> VClock {
+        self.slots.iter().map(|(r, m)| (*r, m.0)).collect()
+    }
+
+    fn delta_since(&self, since: &VClock) -> Option<Self> {
+        let grown: BTreeMap<ReplicaId, Max<u64>> = self
+            .slots
+            .iter()
+            .filter(|(r, m)| m.0 > since.get(**r))
+            .map(|(r, m)| (*r, *m))
+            .collect();
+        if grown.is_empty() {
+            None
+        } else {
+            Some(GCounter { slots: grown })
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.slots.len() * 12
+    }
+}
+
+impl DeltaCrdt for PnCounter {
+    type Summary = (VClock, VClock);
+
+    fn summary(&self) -> (VClock, VClock) {
+        (self.inc.summary(), self.dec.summary())
+    }
+
+    fn delta_since(&self, since: &(VClock, VClock)) -> Option<Self> {
+        let inc = self.inc.delta_since(&since.0);
+        let dec = self.dec.delta_since(&since.1);
+        if inc.is_none() && dec.is_none() {
+            None
+        } else {
+            Some(PnCounter {
+                inc: inc.unwrap_or_default(),
+                dec: dec.unwrap_or_default(),
+            })
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        self.inc.wire_size() + self.dec.wire_size()
+    }
+}
+
+// --- vector clocks -------------------------------------------------------
+
+impl DeltaCrdt for VClock {
+    type Summary = VClock;
+
+    fn summary(&self) -> VClock {
+        self.clone()
+    }
+
+    fn delta_since(&self, since: &VClock) -> Option<Self> {
+        let grown: VClock = self
+            .components()
+            .filter(|(r, t)| *t > since.get(*r))
+            .collect();
+        if grown == VClock::new() {
+            None
+        } else {
+            Some(grown)
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.components().count() * 12
+    }
+}
+
+// --- multi-value registers and maps --------------------------------------
+
+impl<T: Clone + PartialEq> DeltaCrdt for MvReg<T> {
+    // The summary is the set of surviving version clocks. A version whose
+    // clock appears in the summary needs no shipping: on causally
+    // consistent ensembles (one payload per clock — the invariant every
+    // real execution maintains) the peer holds that very version, or
+    // something dominating it.
+    type Summary = BTreeSet<VClock>;
+
+    fn summary(&self) -> BTreeSet<VClock> {
+        self.versions.iter().map(|(c, _)| c.clone()).collect()
+    }
+
+    fn delta_since(&self, since: &BTreeSet<VClock>) -> Option<Self> {
+        let missing: Vec<(VClock, T)> = self
+            .versions
+            .iter()
+            .filter(|(c, _)| !since.contains(c))
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            None
+        } else {
+            Some(MvReg { versions: missing })
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self
+            .versions
+            .iter()
+            .map(|(c, _)| c.wire_size() + size_of::<T>() + 4)
+            .sum::<usize>()
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, T: Clone + PartialEq> DeltaCrdt for MvMap<K, T> {
+    type Summary = BTreeMap<K, BTreeSet<VClock>>;
+
+    fn summary(&self) -> Self::Summary {
+        self.entries
+            .iter()
+            .map(|(k, reg)| (k.clone(), reg.summary()))
+            .collect()
+    }
+
+    fn delta_since(&self, since: &Self::Summary) -> Option<Self> {
+        let mut missing = BTreeMap::new();
+        for (k, reg) in &self.entries {
+            let d = match since.get(k) {
+                Some(s) => reg.delta_since(s),
+                None => Some(reg.clone()),
+            };
+            if let Some(d) = d {
+                missing.insert(k.clone(), d);
+            }
+        }
+        if missing.is_empty() {
+            None
+        } else {
+            Some(MvMap { entries: missing })
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self
+            .entries
+            .values()
+            .map(|reg| size_of::<K>() + 4 + reg.wire_size())
+            .sum::<usize>()
+    }
+}
+
+// --- Bloom-style lattice maps and scalars --------------------------------
+
+impl<K, V> DeltaCrdt for LMap<K, V>
+where
+    K: Ord + Clone + std::fmt::Debug,
+    V: DeltaCrdt,
+{
+    type Summary = BTreeMap<K, V::Summary>;
+
+    fn summary(&self) -> Self::Summary {
+        self.iter().map(|(k, v)| (k.clone(), v.summary())).collect()
+    }
+
+    fn delta_since(&self, since: &Self::Summary) -> Option<Self> {
+        let mut missing = LMap::new();
+        for (k, v) in self.iter() {
+            let d = match since.get(k) {
+                Some(s) => v.delta_since(s),
+                None => Some(v.clone()),
+            };
+            if let Some(d) = d {
+                missing.insert(k.clone(), d);
+            }
+        }
+        if missing.is_empty() {
+            None
+        } else {
+            Some(missing)
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self
+            .iter()
+            .map(|(_, v)| size_of::<K>() + 4 + v.wire_size())
+            .sum::<usize>()
+    }
+}
+
+impl<T: Ord + Clone + std::fmt::Debug> DeltaCrdt for Max<T> {
+    type Summary = Max<T>;
+
+    fn summary(&self) -> Max<T> {
+        self.clone()
+    }
+
+    fn delta_since(&self, since: &Max<T>) -> Option<Self> {
+        if self.0 <= since.0 {
+            None
+        } else {
+            Some(self.clone())
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        size_of::<T>().max(1)
+    }
+}
+
+impl<T: Ord + Clone + std::fmt::Debug> DeltaCrdt for Min<T> {
+    type Summary = Min<T>;
+
+    fn summary(&self) -> Min<T> {
+        self.clone()
+    }
+
+    fn delta_since(&self, since: &Min<T>) -> Option<Self> {
+        if self.0 >= since.0 {
+            None
+        } else {
+            Some(self.clone())
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        size_of::<T>().max(1)
+    }
+}
+
+impl DeltaCrdt for LBool {
+    type Summary = LBool;
+
+    fn summary(&self) -> LBool {
+        *self
+    }
+
+    fn delta_since(&self, since: &LBool) -> Option<Self> {
+        if self.0 && !since.0 {
+            Some(*self)
+        } else {
+            None
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+// --- freezable values ----------------------------------------------------
+
+/// How sealed a [`Freeze`] is, as a lattice: thawed ⊑ frozen ⊑ conflict.
+/// Part of [`Freeze`]'s [`DeltaCrdt::Summary`].
+pub type FreezeTag = Max<u8>;
+
+/// Thawed tag (still growing).
+pub const FREEZE_THAWED: u8 = 0;
+/// Frozen tag (sealed).
+pub const FREEZE_FROZEN: u8 = 1;
+/// Conflict tag (⊤).
+pub const FREEZE_CONFLICT: u8 = 2;
+
+impl<T> DeltaCrdt for Freeze<T>
+where
+    T: DeltaCrdt + std::fmt::Debug,
+{
+    // The tag records how sealed the state is; the inner summary covers
+    // the payload. Against a mixed or sealed summary the delta is
+    // conservative (ships the whole value): freezes are rare, small
+    // events — a seal crossing the wire once is the feature, and "ship
+    // more than needed" is always sufficient.
+    type Summary = (FreezeTag, Option<T::Summary>);
+
+    fn summary(&self) -> Self::Summary {
+        match self {
+            Freeze::Thawed(v) => (Max(FREEZE_THAWED), Some(v.summary())),
+            Freeze::Frozen(v) => (Max(FREEZE_FROZEN), Some(v.summary())),
+            Freeze::Conflict => (Max(FREEZE_CONFLICT), None),
+        }
+    }
+
+    fn delta_since(&self, since: &Self::Summary) -> Option<Self> {
+        match self {
+            Freeze::Conflict => {
+                if since.0 .0 >= FREEZE_CONFLICT {
+                    None
+                } else {
+                    Some(Freeze::Conflict)
+                }
+            }
+            Freeze::Frozen(_) => {
+                if *since == self.summary() {
+                    None
+                } else {
+                    Some(self.clone())
+                }
+            }
+            Freeze::Thawed(v) => match since {
+                (Max(FREEZE_THAWED), Some(s)) => v.delta_since(s).map(Freeze::Thawed),
+                _ => {
+                    // The peer is (at least partly) sealed or unknown:
+                    // ship everything and let the Freeze join arbitrate.
+                    Some(self.clone())
+                }
+            },
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Freeze::Thawed(v) | Freeze::Frozen(v) => v.wire_size(),
+            Freeze::Conflict => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gset_delta_is_the_set_difference() {
+        let a: GSet<i64> = [1, 2, 3, 4].into_iter().collect();
+        let b: GSet<i64> = [2, 4].into_iter().collect();
+        let d = a.delta_since(&b.summary()).expect("delta");
+        assert_eq!(d, [1, 3].into_iter().collect());
+        assert_eq!(b.join(&d), a.join(&b));
+        assert!(a.delta_since(&a.summary()).is_none());
+    }
+
+    #[test]
+    fn gcounter_delta_ships_only_grown_slots() {
+        let mut a = GCounter::new();
+        a.increment(0, 5);
+        a.increment(1, 2);
+        let mut b = GCounter::new();
+        b.increment(0, 5);
+        b.increment(2, 9);
+        let d = a.delta_since(&b.summary()).expect("delta");
+        // Only replica 1's slot grew past b's knowledge.
+        assert_eq!(d.wire_size(), 8 + 12);
+        let mut merged = b.clone();
+        merged.merge_delta(&d);
+        assert_eq!(merged, a.join(&b));
+    }
+
+    #[test]
+    fn mvreg_delta_ships_missing_versions_only() {
+        let mut a = MvReg::new();
+        a.write(0, "x");
+        let mut b = MvReg::new();
+        b.write(1, "y");
+        let ab = a.join(&b);
+        // b already has its own version; only a's must ship.
+        let d = ab.delta_since(&b.summary()).expect("delta");
+        assert_eq!(d.sibling_count(), 1);
+        assert_eq!(b.join(&d), ab);
+        assert!(ab.delta_since(&ab.summary()).is_none());
+    }
+
+    #[test]
+    fn freeze_delta_propagates_the_seal() {
+        let thawed: Freeze<GSet<i64>> = Freeze::Thawed([1].into_iter().collect());
+        let frozen = thawed.clone().freeze();
+        let d = frozen.delta_since(&thawed.summary()).expect("delta");
+        assert_eq!(thawed.join(&d), frozen);
+        assert!(frozen.delta_since(&frozen.summary()).is_none());
+    }
+
+    #[test]
+    fn scalar_deltas_are_none_when_covered() {
+        assert!(Max(3u64).delta_since(&Max(5)).is_none());
+        assert_eq!(Max(7u64).delta_since(&Max(5)), Some(Max(7)));
+        assert!(Min(5i64).delta_since(&Min(3)).is_none());
+        assert_eq!(Min(1i64).delta_since(&Min(3)), Some(Min(1)));
+        assert!(LBool(false).delta_since(&LBool(false)).is_none());
+        assert_eq!(LBool(true).delta_since(&LBool(false)), Some(LBool(true)));
+        assert!(LBool(true).delta_since(&LBool(true)).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! The replicated lattice store: delta CRDTs under fault-injected
+//! anti-entropy.
+//!
+//! This module family replaces the retired `crdt::replica` toy (full-state
+//! gossip over a three-knob lossy network, with an omniscient `settle()`
+//! doing the real convergence work). The paper's claim that λ∨-style
+//! join-semilattice state "generalizes CRDTs" earns its keep here under
+//! realistic failure:
+//!
+//! * [`delta`] — the [`delta::DeltaCrdt`] trait: monotone
+//!   version summaries and delta extraction for every CRDT in the crate
+//!   (and for the runtime's [`Freeze`](lambda_join_runtime::freeze::Freeze)
+//!   wrapper, so frozen reads stay sound across restarts);
+//! * [`protocol`] — acked anti-entropy: sequence-numbered delta streams,
+//!   cumulative ack/nack, bounded retry with exponential backoff,
+//!   generation/epoch link resets, GC of acknowledged deltas;
+//! * [`schedule`] — the deterministic fault DSL: partitions that heal,
+//!   asymmetric lossy links, crash-restarts, dropped acks, stale digests —
+//!   all replayable from a seed;
+//! * [`sim`] — the cluster simulator that runs the protocol against a
+//!   schedule, with byte-replayable transcripts and a traffic ledger that
+//!   prices every delta against its full-state-gossip equivalent;
+//! * [`scenario`] — end-to-end workloads (multi-writer versioned KV,
+//!   cross-replica two-phase commit, a collaborative text register) used
+//!   by the convergence suites and the perf figures.
+
+pub mod delta;
+pub mod protocol;
+pub mod scenario;
+pub mod schedule;
+pub mod sim;
+
+pub use delta::DeltaCrdt;
+pub use protocol::{DeltaVerdict, Epoch, Generation, InFlight, Inbound, Msg, Outbound, Payload};
+pub use schedule::{DeliveryPolicy, Fault, Schedule};
+pub use sim::{Cluster, ClusterConfig, SyncStats};

@@ -1,0 +1,439 @@
+//! Acked anti-entropy: sequence-numbered delta streams with cumulative
+//! acknowledgements, bounded retry, and crash-aware link resets.
+//!
+//! The old `crdt::replica` simulator converged by construction: every
+//! gossip carried the sender's full state, so *any* delivered message was
+//! sufficient. Delta shipping gives up that crutch — a delta is only
+//! sufficient for a peer that already holds what the sender *believes* it
+//! holds — so the protocol has to earn convergence the way a real system
+//! does:
+//!
+//! * every link `(src → dst)` is a stream of **sequence-numbered** deltas;
+//! * the receiver applies deltas **in order** (`seq == expected`), answers
+//!   with a cumulative [`Ack`](Payload::Ack), and answers gaps with a
+//!   [`Nack`](Payload::Nack) naming the sequence it wants;
+//! * the sender keeps unacked deltas in a bounded **retry buffer** with
+//!   exponential backoff, garbage-collecting entries as acks move the
+//!   cumulative frontier;
+//! * the sender tracks two summaries per peer: `known` (a lower bound on
+//!   what the peer has *acknowledged*) and `frontier` (`known` ⊔ every
+//!   in-flight delta) — new deltas are cut against `frontier`, so nothing
+//!   is ever shipped twice on a healthy link;
+//! * **generation numbers** detect crash-restarts (a restarted receiver
+//!   comes back with a new generation and empty inbound state), and **link
+//!   epochs** let a sender abandon a hopeless stream after
+//!   `max_attempts` retries and start over from `known`.
+//!
+//! In-order delivery per link is what makes the `frontier` bookkeeping
+//! sound: when the receiver acks `upto`, it has merged *every* delta up to
+//! `upto`, so the join of their summaries really is a lower bound on the
+//! receiver's state. Out-of-order arrivals are nacked and retransmitted —
+//! the network underneath ([`sim`](super::sim)) reorders, drops and
+//! duplicates freely.
+
+use std::collections::VecDeque;
+
+use lambda_join_runtime::semilattice::JoinSemilattice;
+
+use super::delta::DeltaCrdt;
+use crate::gcounter::ReplicaId;
+
+/// A generation number: bumped each time a replica crash-restarts, so
+/// peers can tell a rebooted (amnesiac) receiver from a slow one.
+pub type Generation = u32;
+
+/// A link epoch: bumped by the *sender* when it abandons a stream after
+/// retry exhaustion; stale-epoch traffic is discarded on both sides.
+pub type Epoch = u32;
+
+/// A protocol message on the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg<S: DeltaCrdt> {
+    /// Sending replica.
+    pub from: ReplicaId,
+    /// Destination replica.
+    pub to: ReplicaId,
+    /// The sender's generation (for `Delta`) or the *acking* replica's
+    /// view of the sender's generation (for `Ack`/`Nack` this is the
+    /// generation of the replica being answered).
+    pub src_gen: Generation,
+    /// The generation the sender believes the destination is in. A
+    /// receiver seeing a stale `dst_gen` on a delta knows the sender has
+    /// not yet observed its restart.
+    pub dst_gen: Generation,
+    /// The link epoch this message belongs to.
+    pub epoch: Epoch,
+    /// What the message carries.
+    pub payload: Payload<S>,
+}
+
+/// Message payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload<S: DeltaCrdt> {
+    /// A sequence-numbered delta on the `from → to` stream.
+    Delta {
+        /// Position in the per-link stream (0-based, contiguous).
+        seq: u64,
+        /// The delta itself — an ordinary lattice element.
+        delta: S,
+        /// Approximate wire size, precomputed by the sender.
+        bytes: usize,
+    },
+    /// Cumulative acknowledgement: every delta with `seq < upto` has been
+    /// merged by the receiver.
+    Ack {
+        /// One past the highest contiguously merged sequence.
+        upto: u64,
+    },
+    /// The receiver saw a gap (or a fresh generation/epoch) and asks for
+    /// the stream to resume at `expected`.
+    Nack {
+        /// The next sequence the receiver will accept.
+        expected: u64,
+    },
+    /// A keepalive probe sent on quiescent links. Carries only the
+    /// generation fields of the envelope; its job is restart discovery:
+    /// a receiver whose generation differs from the probe's `dst_gen`
+    /// nacks, which tells the sender to rebase the link. Without this, a
+    /// replica that crash-restarts *after* the cluster has gone quiescent
+    /// would never be re-synced — no data flows, so no reply would ever
+    /// expose the stale generation.
+    Heartbeat,
+}
+
+/// An unacked delta parked in the sender's retry buffer.
+#[derive(Debug, Clone)]
+pub struct InFlight<S: DeltaCrdt> {
+    /// Stream position.
+    pub seq: u64,
+    /// The delta to (re)send.
+    pub delta: S,
+    /// Approximate wire size.
+    pub bytes: usize,
+    /// Simulation step of the most recent transmission.
+    pub sent_at: u64,
+    /// Transmissions so far (1 = original send).
+    pub attempts: u32,
+}
+
+/// Sender-side state for one outbound link (`self → peer`).
+#[derive(Debug, Clone)]
+pub struct Outbound<S: DeltaCrdt> {
+    /// The generation we believe the peer is in. Updated from the peer's
+    /// replies; a mismatch means the peer restarted and the link must be
+    /// rebased onto `known = initial`.
+    pub peer_gen: Generation,
+    /// Current epoch of this stream.
+    pub epoch: Epoch,
+    /// Next sequence number to assign.
+    pub next_seq: u64,
+    /// Summary of state the peer has *acknowledged* (a sound lower bound).
+    pub known: S::Summary,
+    /// `known` joined with the summaries of everything in flight — the cut
+    /// line for the next delta.
+    pub frontier: S::Summary,
+    /// Unacked deltas, in sequence order.
+    pub buffer: VecDeque<InFlight<S>>,
+}
+
+impl<S: DeltaCrdt> Outbound<S> {
+    /// A fresh link that assumes the peer holds (at least) the state
+    /// summarised by `base`.
+    pub fn new(base: S::Summary) -> Self {
+        Outbound {
+            peer_gen: 0,
+            epoch: 0,
+            next_seq: 0,
+            known: base.clone(),
+            frontier: base,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// Cuts a delta of `state` against the frontier and enqueues it.
+    /// Returns the message to transmit, or `None` when the peer's frontier
+    /// already covers the state (the link is quiescent).
+    pub fn sync(
+        &mut self,
+        state: &S,
+        from: ReplicaId,
+        to: ReplicaId,
+        self_gen: Generation,
+        now: u64,
+    ) -> Option<Msg<S>> {
+        let delta = state.delta_since(&self.frontier)?;
+        self.frontier = self.frontier.join(&delta.summary());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = delta.wire_size();
+        self.buffer.push_back(InFlight {
+            seq,
+            delta: delta.clone(),
+            bytes,
+            sent_at: now,
+            attempts: 1,
+        });
+        Some(Msg {
+            from,
+            to,
+            src_gen: self_gen,
+            dst_gen: self.peer_gen,
+            epoch: self.epoch,
+            payload: Payload::Delta { seq, delta, bytes },
+        })
+    }
+
+    /// Applies a cumulative ack: folds the summaries of the acked prefix
+    /// into `known` and drops those entries from the retry buffer.
+    pub fn ack(&mut self, upto: u64) {
+        while let Some(front) = self.buffer.front() {
+            if front.seq < upto {
+                self.known = self.known.join(&front.delta.summary());
+                self.buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Rewinds transmission to `expected` after a nack: entries at or past
+    /// `expected` will be retransmitted by the retry sweep (their timers
+    /// are cleared here so the resend is immediate).
+    pub fn rewind(&mut self, expected: u64) {
+        for entry in &mut self.buffer {
+            if entry.seq >= expected {
+                entry.sent_at = 0;
+            }
+        }
+    }
+
+    /// Abandons the stream: a new epoch starting from `base` (used both
+    /// for retry exhaustion and for peer restarts, where `base` is the
+    /// cluster's common initial summary). Nothing is lost — the state the
+    /// buffer carried is still in the sender's replica and will be re-cut
+    /// against the reset frontier.
+    pub fn reset(&mut self, base: S::Summary) {
+        self.epoch += 1;
+        self.next_seq = 0;
+        self.known = base.clone();
+        self.frontier = base;
+        self.buffer.clear();
+    }
+
+    /// The oldest in-flight entry due for retransmission at `now`, given a
+    /// base timeout. Backoff doubles per attempt (capped at 2⁶×).
+    pub fn due_retry(&mut self, now: u64, retry_timeout: u64) -> Option<&mut InFlight<S>> {
+        let front = self.buffer.front_mut()?;
+        let backoff = retry_timeout << (front.attempts - 1).min(6);
+        if now >= front.sent_at + backoff {
+            Some(front)
+        } else {
+            None
+        }
+    }
+}
+
+/// What an inbound stream decides about an arriving delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaVerdict {
+    /// In-order: merge the delta and ack cumulatively up to `ack_upto`.
+    Merge {
+        /// One past the highest contiguously merged sequence.
+        ack_upto: u64,
+    },
+    /// Already merged: do not re-merge, but re-ack (acks can be lost).
+    Duplicate {
+        /// One past the highest contiguously merged sequence.
+        ack_upto: u64,
+    },
+    /// A gap: nack asking the stream to resume at `expected`.
+    Gap {
+        /// The next sequence the receiver will accept.
+        expected: u64,
+    },
+    /// Traffic from a dead generation or epoch: drop without reply.
+    Stale,
+}
+
+/// Receiver-side state for one inbound link (`peer → self`).
+#[derive(Debug, Clone)]
+pub struct Inbound {
+    /// The generation of the peer this stream belongs to.
+    pub src_gen: Generation,
+    /// The epoch this stream is on.
+    pub epoch: Epoch,
+    /// Next sequence number we will merge.
+    pub expected: u64,
+}
+
+impl Inbound {
+    /// A fresh inbound stream.
+    pub fn new() -> Self {
+        Inbound {
+            src_gen: 0,
+            epoch: 0,
+            expected: 0,
+        }
+    }
+
+    /// Classifies an arriving delta and updates stream state. The caller
+    /// merges iff the verdict is [`DeltaVerdict::Merge`] and replies as
+    /// the verdict dictates.
+    pub fn on_delta(&mut self, src_gen: Generation, epoch: Epoch, seq: u64) -> DeltaVerdict {
+        if src_gen < self.src_gen || (src_gen == self.src_gen && epoch < self.epoch) {
+            // A ghost from before a restart/reset: drop without replying
+            // (any reply would carry a stale epoch and be discarded).
+            return DeltaVerdict::Stale;
+        }
+        if src_gen > self.src_gen || epoch > self.epoch {
+            // The peer restarted or reset the link: adopt the new stream.
+            self.src_gen = src_gen;
+            self.epoch = epoch;
+            self.expected = 0;
+        }
+        if seq == self.expected {
+            self.expected += 1;
+            DeltaVerdict::Merge {
+                ack_upto: self.expected,
+            }
+        } else if seq < self.expected {
+            // Duplicate of something already merged: re-ack (idempotent).
+            DeltaVerdict::Duplicate {
+                ack_upto: self.expected,
+            }
+        } else {
+            // Gap: ask for the resume point.
+            DeltaVerdict::Gap {
+                expected: self.expected,
+            }
+        }
+    }
+}
+
+impl Default for Inbound {
+    fn default() -> Self {
+        Inbound::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gset::GSet;
+
+    fn gset(xs: &[i64]) -> GSet<i64> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn sync_cuts_against_the_frontier_and_goes_quiescent() {
+        let mut link: Outbound<GSet<i64>> = Outbound::new(GSet::new().summary());
+        let state = gset(&[1, 2]);
+        let m1 = link.sync(&state, 0, 1, 0, 0).expect("first delta");
+        match &m1.payload {
+            Payload::Delta { seq, delta, .. } => {
+                assert_eq!(*seq, 0);
+                assert_eq!(*delta, gset(&[1, 2]));
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        // Nothing new: the in-flight delta already covers the state.
+        assert!(link.sync(&state, 0, 1, 0, 1).is_none());
+        // State grows: only the growth ships.
+        let grown = gset(&[1, 2, 3]);
+        let m2 = link.sync(&grown, 0, 1, 0, 2).expect("second delta");
+        match &m2.payload {
+            Payload::Delta { seq, delta, .. } => {
+                assert_eq!(*seq, 1);
+                assert_eq!(*delta, gset(&[3]));
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cumulative_ack_gcs_the_buffer_into_known() {
+        let mut link: Outbound<GSet<i64>> = Outbound::new(GSet::new().summary());
+        link.sync(&gset(&[1]), 0, 1, 0, 0).unwrap();
+        link.sync(&gset(&[1, 2]), 0, 1, 0, 1).unwrap();
+        link.sync(&gset(&[1, 2, 3]), 0, 1, 0, 2).unwrap();
+        assert_eq!(link.buffer.len(), 3);
+        link.ack(2);
+        assert_eq!(link.buffer.len(), 1);
+        assert_eq!(link.known, gset(&[1, 2]));
+        link.ack(3);
+        assert!(link.buffer.is_empty());
+        assert_eq!(link.known, gset(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn receiver_merges_in_order_and_nacks_gaps() {
+        let mut inbound = Inbound::new();
+        assert_eq!(
+            inbound.on_delta(0, 0, 0),
+            DeltaVerdict::Merge { ack_upto: 1 }
+        );
+        // seq 2 arrives before seq 1: nack naming the gap.
+        assert_eq!(inbound.on_delta(0, 0, 2), DeltaVerdict::Gap { expected: 1 });
+        // The retransmit of 1 is accepted…
+        assert_eq!(
+            inbound.on_delta(0, 0, 1),
+            DeltaVerdict::Merge { ack_upto: 2 }
+        );
+        // …and a duplicate of 0 is harmless: re-acked, not re-merged.
+        assert_eq!(
+            inbound.on_delta(0, 0, 0),
+            DeltaVerdict::Duplicate { ack_upto: 2 }
+        );
+    }
+
+    #[test]
+    fn new_generation_restarts_the_stream() {
+        let mut inbound = Inbound::new();
+        inbound.on_delta(0, 0, 0);
+        inbound.on_delta(0, 0, 1);
+        assert_eq!(inbound.expected, 2);
+        // The peer crash-restarted: its new stream starts at 0.
+        assert_eq!(
+            inbound.on_delta(1, 0, 0),
+            DeltaVerdict::Merge { ack_upto: 1 }
+        );
+        assert_eq!(inbound.src_gen, 1);
+        // Traffic from the dead generation is dropped outright.
+        assert_eq!(inbound.on_delta(0, 0, 7), DeltaVerdict::Stale);
+    }
+
+    #[test]
+    fn reset_rebases_the_link_on_a_new_epoch() {
+        let mut link: Outbound<GSet<i64>> = Outbound::new(GSet::new().summary());
+        link.sync(&gset(&[1, 2]), 0, 1, 0, 0).unwrap();
+        link.reset(GSet::new().summary());
+        assert_eq!(link.epoch, 1);
+        assert_eq!(link.next_seq, 0);
+        assert!(link.buffer.is_empty());
+        // The full state re-ships on the new epoch — nothing was lost.
+        let m = link.sync(&gset(&[1, 2]), 0, 1, 0, 5).unwrap();
+        match m.payload {
+            Payload::Delta { seq, delta, .. } => {
+                assert_eq!(seq, 0);
+                assert_eq!(delta, gset(&[1, 2]));
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        assert_eq!(m.epoch, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let mut link: Outbound<GSet<i64>> = Outbound::new(GSet::new().summary());
+        link.sync(&gset(&[1]), 0, 1, 0, 0).unwrap();
+        // First retry due after the base timeout…
+        assert!(link.due_retry(3, 4).is_none());
+        let entry = link.due_retry(4, 4).expect("due");
+        entry.attempts = 2;
+        entry.sent_at = 4;
+        // …second retry only after twice that.
+        assert!(link.due_retry(11, 4).is_none());
+        assert!(link.due_retry(12, 4).is_some());
+    }
+}

@@ -1,0 +1,306 @@
+//! End-to-end replication scenarios over the fault-injected cluster.
+//!
+//! Each scenario is a deterministic function of a seed: it builds an
+//! adversarial [`Schedule`], drives a workload through the cluster,
+//! asserts its safety properties (convergence to the oracle, no lost
+//! durable updates, sibling sets drawn from actual writes), and returns a
+//! report with the traffic ledger. The property suites sweep thousands of
+//! seeds over these; the perf figures read the ledgers.
+
+use super::delta::DeltaCrdt;
+use super::schedule::{DeliveryPolicy, Schedule};
+use super::sim::{Cluster, ClusterConfig, SyncStats};
+use crate::gcounter::{GCounter, ReplicaId};
+use crate::gset::GSet;
+use crate::lattice::{LBool, LMap};
+use crate::mvmap::MvMap;
+use crate::mvreg::MvReg;
+
+/// What a scenario run measured.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Steps until convergence.
+    pub steps: u64,
+    /// The traffic ledger.
+    pub stats: SyncStats,
+    /// The run's transcript, for replay comparisons.
+    pub transcript: String,
+}
+
+fn finish<S: DeltaCrdt + Clone + std::fmt::Debug>(
+    mut cluster: Cluster<S>,
+    seed: u64,
+    max_steps: u64,
+) -> (S, Report) {
+    let oracle = cluster.settle();
+    let steps = cluster
+        .run_to_convergence(max_steps)
+        .unwrap_or_else(|| panic!("seed {seed}: no convergence within {max_steps} steps"));
+    for i in 0..cluster.len() {
+        assert_eq!(
+            cluster.state(i),
+            &oracle,
+            "seed {seed}: replica {i} converged away from the oracle"
+        );
+    }
+    let report = Report {
+        steps,
+        stats: *cluster.stats(),
+        transcript: cluster.transcript().join("\n"),
+    };
+    (oracle, report)
+}
+
+/// Multi-writer versioned key-value store (Anna-style [`MvMap`]) under a
+/// full adversarial schedule: partitions, crashes, degraded links,
+/// dropped acks, stale digests. Asserts convergence, that every durable
+/// write survives (keys from non-crashed windows are present), and that
+/// every surviving sibling is a value some replica actually wrote.
+pub fn versioned_kv(seed: u64, replicas: u32, writes_per_replica: u64) -> Report {
+    let horizon = 4 * writes_per_replica.max(4);
+    let schedule = Schedule::adversarial(seed, replicas, horizon);
+    let mut cluster: Cluster<MvMap<u32, u64>> = Cluster::new(
+        replicas as usize,
+        MvMap::new(),
+        schedule,
+        ClusterConfig::default(),
+    );
+    let mut written = Vec::new();
+    for turn in 0..writes_per_replica {
+        for r in 0..replicas {
+            let key = (turn % 4) as u32;
+            let value = u64::from(r) * 1_000_000 + turn;
+            if cluster.update(r as usize, |m| m.write(r, key, value)) {
+                written.push((key, value));
+            }
+        }
+        cluster.step();
+    }
+    let (oracle, report) = finish(cluster, seed, 10 * horizon + 2000);
+    // Every accepted (hence durable) write's key is present…
+    for (key, _) in &written {
+        assert!(
+            oracle.read(key).is_some(),
+            "seed {seed}: key {key} lost despite a durable write"
+        );
+    }
+    // …and no sibling was conjured from thin air.
+    for (key, reg) in oracle.iter() {
+        for value in reg.read() {
+            assert!(
+                written.contains(&(*key, *value)),
+                "seed {seed}: phantom value {value} under key {key}"
+            );
+        }
+    }
+    report
+}
+
+/// Cross-replica two-phase commit, the paper's §5.2 example, run over the
+/// lossy cluster as threshold reactions on an [`LMap`] of [`LBool`]s: the
+/// coordinator proposes, each participant acknowledges once it *sees* the
+/// proposal, the coordinator commits once it sees every ack. Asserts that
+/// the commit eventually reaches every replica.
+pub fn two_phase_commit(seed: u64) -> Report {
+    let schedule = Schedule::adversarial(seed, 3, 32);
+    let mut cluster: Cluster<LMap<&'static str, LBool>> =
+        Cluster::new(3, LMap::new(), schedule, ClusterConfig::default());
+    let set = |m: &mut LMap<&'static str, LBool>, k| m.insert(k, LBool(true));
+    let sees = |c: &Cluster<LMap<&'static str, LBool>>, i: usize, k| {
+        c.state(i).get(&k).is_some_and(|b| b.0)
+    };
+    // Threshold reactions fire as the streams arrive — run until the
+    // commit has propagated or the step budget runs out.
+    let mut proposed = false;
+    for _ in 0..4000 {
+        if !proposed {
+            proposed = cluster.update(0, |m| set(m, "proposed"));
+        }
+        if sees(&cluster, 1, "proposed") {
+            cluster.update(1, |m| set(m, "ok1"));
+        }
+        if sees(&cluster, 2, "proposed") {
+            cluster.update(2, |m| set(m, "ok2"));
+        }
+        if sees(&cluster, 0, "ok1") && sees(&cluster, 0, "ok2") {
+            cluster.update(0, |m| set(m, "commit"));
+        }
+        cluster.step();
+        if (0..3).all(|i| sees(&cluster, i, "commit")) {
+            break;
+        }
+    }
+    for i in 0..3 {
+        assert!(
+            sees(&cluster, i, "commit"),
+            "seed {seed}: replica {i} never learned of the commit"
+        );
+    }
+    let (_, report) = finish(cluster, seed, 4000);
+    report
+}
+
+/// A collaborative text register: two writers race during a partition,
+/// surface as siblings after the heal, and a causally-aware rewrite
+/// resolves them. Asserts the sibling set is exactly the concurrent
+/// writes, then exactly the resolution.
+pub fn collab_text(seed: u64) -> Report {
+    let schedule = Schedule::from_policy(seed, DeliveryPolicy::default()).partition(
+        0,
+        vec![vec![0], vec![1], vec![2]],
+        8,
+    );
+    let mut cluster: Cluster<MvReg<String>> =
+        Cluster::new(3, MvReg::new(), schedule, ClusterConfig::default());
+    cluster.update(0, |r| r.write(0, "draft-alice".to_string()));
+    cluster.update(1, |r| r.write(1, "draft-bob".to_string()));
+    let mut cluster = {
+        let (merged, _report) = finish(cluster, seed, 4000);
+        assert_eq!(
+            merged.sibling_count(),
+            2,
+            "seed {seed}: partition-concurrent drafts must both survive"
+        );
+        // Resolve: a write performed after seeing both siblings.
+        let schedule = Schedule::from_policy(seed ^ 0x5eed, DeliveryPolicy::default());
+        let mut resolved = Cluster::new(3, merged, schedule, ClusterConfig::default());
+        resolved.update(0, |r| r.write(0, "final".to_string()));
+        resolved
+    };
+    let oracle = cluster.settle();
+    let steps = cluster
+        .run_to_convergence(4000)
+        .unwrap_or_else(|| panic!("seed {seed}: resolution never converged"));
+    assert_eq!(oracle.read(), vec![&"final".to_string()]);
+    for i in 0..3 {
+        assert_eq!(cluster.state(i), &oracle);
+    }
+    Report {
+        steps,
+        stats: *cluster.stats(),
+        transcript: cluster.transcript().join("\n"),
+    }
+}
+
+/// A grow-only counter converging through an adversarial schedule —
+/// the cheapest scenario, used to bulk out the seed sweeps.
+pub fn counter_storm(seed: u64, replicas: u32, increments: u64) -> Report {
+    let schedule = Schedule::adversarial(seed, replicas, 2 * increments.max(8));
+    let mut cluster: Cluster<GCounter> = Cluster::new(
+        replicas as usize,
+        GCounter::new(),
+        schedule,
+        ClusterConfig::default(),
+    );
+    let mut accepted = 0u64;
+    for turn in 0..increments {
+        let r = (turn % u64::from(replicas)) as ReplicaId;
+        if cluster.update(r as usize, |c| c.increment(r, 1)) {
+            accepted += 1;
+        }
+        cluster.step();
+    }
+    let (oracle, report) = finish(cluster, seed, 8000);
+    assert_eq!(
+        oracle.value(),
+        accepted,
+        "seed {seed}: increments lost or double-counted"
+    );
+    report
+}
+
+/// The delta-vs-full traffic benchmark workload: `elements` integers
+/// spread round-robin over a 4-replica [`GSet`] cluster on a reliable
+/// network, converged, with the ledger comparing delta bytes against what
+/// full-state gossip would have shipped for the same message count.
+pub fn gset_sync_traffic(elements: u64) -> (SyncStats, u64) {
+    let mut cluster: Cluster<GSet<u64>> = Cluster::new(
+        4,
+        GSet::new(),
+        Schedule::reliable(7),
+        ClusterConfig::default(),
+    );
+    // Batch inserts so the step count stays modest at 10⁴ elements.
+    let per_step = (elements / 128).max(1);
+    let mut next = 0u64;
+    while next < elements {
+        for r in 0..4usize {
+            let lo = next;
+            let hi = (next + per_step / 4 + 1).min(elements);
+            cluster.update(r, |s| {
+                for x in lo..hi {
+                    s.insert(x);
+                }
+            });
+            next = hi;
+            if next >= elements {
+                break;
+            }
+        }
+        cluster.step();
+    }
+    let steps = cluster
+        .run_to_convergence(4000)
+        .expect("reliable network must converge");
+    assert_eq!(cluster.state(0).len(), elements as usize);
+    (*cluster.stats(), steps)
+}
+
+/// A partition-then-heal [`MvMap`] workload for the perf figures: how many
+/// steps and bytes anti-entropy needs to repair a healed split.
+pub fn kv_partition_heal(seed: u64, keys: u32) -> Report {
+    let schedule = Schedule::from_policy(seed, DeliveryPolicy::reliable()).partition(
+        0,
+        vec![vec![0, 1], vec![2, 3]],
+        24,
+    );
+    let mut cluster: Cluster<MvMap<u32, u64>> =
+        Cluster::new(4, MvMap::new(), schedule, ClusterConfig::default());
+    for turn in 0..u64::from(keys) {
+        for r in 0..4u32 {
+            let key = (turn as u32) % keys.max(1);
+            cluster.update(r as usize, |m| m.write(r, key, u64::from(r) * 100 + turn));
+        }
+        cluster.step();
+    }
+    let (_, report) = finish(cluster, seed, 8000);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versioned_kv_survives_one_adversary() {
+        versioned_kv(11, 4, 8);
+    }
+
+    #[test]
+    fn two_phase_commit_commits() {
+        let report = two_phase_commit(23);
+        assert!(report.stats.delta_msgs > 0);
+    }
+
+    #[test]
+    fn collab_text_resolves_siblings() {
+        collab_text(31);
+    }
+
+    #[test]
+    fn counter_storm_counts_every_increment() {
+        counter_storm(47, 3, 12);
+    }
+
+    #[test]
+    fn gset_traffic_ledger_favors_deltas() {
+        let (stats, _steps) = gset_sync_traffic(512);
+        assert!(stats.delta_bytes * 5 <= stats.full_state_bytes_equiv);
+    }
+
+    #[test]
+    fn kv_partition_heals() {
+        let report = kv_partition_heal(3, 4);
+        assert!(report.steps >= 24, "cannot converge before the heal");
+    }
+}

@@ -1,0 +1,291 @@
+//! Fault schedules: deterministic, seed-replayable adversaries.
+//!
+//! A [`Schedule`] is data — a baseline [`DeliveryPolicy`] (the ambient
+//! unreliability every message faces) plus a list of timed [`Fault`]s
+//! (partitions that heal, asymmetric lossy links, crash-restarts, dropped
+//! acks, stale digests). The simulator in [`sim`](super::sim) interprets a
+//! schedule against a seeded PRNG, so the *same seed and schedule replay
+//! the same execution byte for byte* — every convergence failure in the
+//! test suite is reproducible from two integers.
+
+use lambda_join_core::rng::XorShift64;
+
+use crate::gcounter::ReplicaId;
+
+/// Baseline network unreliability, applied to every message independently
+/// of scheduled faults. (Moved here from the retired `crdt::replica`
+/// module; same knobs, same defaults.)
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryPolicy {
+    /// Percent chance each message is duplicated on send.
+    pub duplicate_pct: u8,
+    /// Percent chance each message is dropped in flight.
+    pub drop_pct: u8,
+    /// Maximum extra steps a message may be delayed (reordering).
+    pub max_delay: u64,
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        DeliveryPolicy {
+            duplicate_pct: 20,
+            drop_pct: 20,
+            max_delay: 5,
+        }
+    }
+}
+
+impl DeliveryPolicy {
+    /// A perfectly reliable network.
+    pub fn reliable() -> Self {
+        DeliveryPolicy {
+            duplicate_pct: 0,
+            drop_pct: 0,
+            max_delay: 0,
+        }
+    }
+}
+
+/// A timed fault. All times are simulation steps; intervals are
+/// half-open `[at, at + duration)`.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// A network partition: replicas in different groups cannot exchange
+    /// messages until the partition heals.
+    Partition {
+        /// Step the partition starts.
+        at: u64,
+        /// Disjoint replica groups; replicas not listed are isolated.
+        groups: Vec<Vec<ReplicaId>>,
+        /// Steps until the partition heals.
+        heal_after: u64,
+    },
+    /// An asymmetric lossy link: `from → to` drops at an elevated rate
+    /// (the reverse direction is untouched).
+    Link {
+        /// Step the degradation starts.
+        at: u64,
+        /// Sending side of the degraded direction.
+        from: ReplicaId,
+        /// Receiving side.
+        to: ReplicaId,
+        /// Drop percentage on this direction while active.
+        drop_pct: u8,
+        /// Steps the degradation lasts.
+        duration: u64,
+    },
+    /// A crash-restart: the replica loses volatile state at `at` and comes
+    /// back `down_for` steps later from its durable snapshot, with a new
+    /// generation.
+    Crash {
+        /// Step the replica crashes.
+        at: u64,
+        /// The victim.
+        replica: ReplicaId,
+        /// Steps the replica stays down.
+        down_for: u64,
+    },
+    /// Byzantine-lite: the replica silently drops every ack/nack it would
+    /// send, starving its peers' retry buffers.
+    DropAcks {
+        /// Step the misbehaviour starts.
+        at: u64,
+        /// The misbehaving replica.
+        replica: ReplicaId,
+        /// Steps the misbehaviour lasts.
+        duration: u64,
+    },
+    /// Byzantine-lite: ack/nack traffic on `from → to` advertises one
+    /// sequence less than it should (a *stale digest* of the receiver's
+    /// state). Senders over-retransmit data the peer already holds; the
+    /// protocol must absorb the waste without diverging or stalling.
+    StaleDigest {
+        /// Step the corruption starts.
+        at: u64,
+        /// The replica whose outgoing digests go stale.
+        from: ReplicaId,
+        /// The replica receiving the stale digests.
+        to: ReplicaId,
+        /// Steps the corruption lasts.
+        duration: u64,
+    },
+}
+
+/// A complete, replayable adversary: seed + baseline policy + faults.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// PRNG seed for every probabilistic decision in the run.
+    pub seed: u64,
+    /// Ambient unreliability.
+    pub policy: DeliveryPolicy,
+    /// Timed faults, in any order (the simulator indexes them by step).
+    pub faults: Vec<Fault>,
+}
+
+impl Schedule {
+    /// A reliable, fault-free schedule (still deterministic by `seed` for
+    /// tie-breaking shuffles).
+    pub fn reliable(seed: u64) -> Self {
+        Schedule {
+            seed,
+            policy: DeliveryPolicy::reliable(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// A faultless schedule over a lossy baseline.
+    pub fn from_policy(seed: u64, policy: DeliveryPolicy) -> Self {
+        Schedule {
+            seed,
+            policy,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a partition of `groups` at `at`, healing after `heal_after`.
+    pub fn partition(mut self, at: u64, groups: Vec<Vec<ReplicaId>>, heal_after: u64) -> Self {
+        self.faults.push(Fault::Partition {
+            at,
+            groups,
+            heal_after,
+        });
+        self
+    }
+
+    /// Adds an asymmetric lossy link.
+    pub fn degrade_link(
+        mut self,
+        at: u64,
+        from: ReplicaId,
+        to: ReplicaId,
+        drop_pct: u8,
+        duration: u64,
+    ) -> Self {
+        self.faults.push(Fault::Link {
+            at,
+            from,
+            to,
+            drop_pct,
+            duration,
+        });
+        self
+    }
+
+    /// Adds a crash-restart.
+    pub fn crash(mut self, at: u64, replica: ReplicaId, down_for: u64) -> Self {
+        self.faults.push(Fault::Crash {
+            at,
+            replica,
+            down_for,
+        });
+        self
+    }
+
+    /// Adds an ack-dropping misbehaviour window.
+    pub fn drop_acks(mut self, at: u64, replica: ReplicaId, duration: u64) -> Self {
+        self.faults.push(Fault::DropAcks {
+            at,
+            replica,
+            duration,
+        });
+        self
+    }
+
+    /// Adds a stale-digest corruption window.
+    pub fn stale_digests(mut self, at: u64, from: ReplicaId, to: ReplicaId, duration: u64) -> Self {
+        self.faults.push(Fault::StaleDigest {
+            at,
+            from,
+            to,
+            duration,
+        });
+        self
+    }
+
+    /// A randomized adversarial schedule for an `n`-replica cluster over
+    /// `horizon` steps: a lossy baseline plus a seed-derived mix of
+    /// partitions, crashes, degraded links, dropped acks and stale
+    /// digests. Deterministic in `seed` — the property suites sweep seeds
+    /// and replay failures exactly.
+    pub fn adversarial(seed: u64, n: ReplicaId, horizon: u64) -> Self {
+        let mut rng = XorShift64::new(seed ^ 0xAD5E_7A11_u64.rotate_left(17));
+        let policy = DeliveryPolicy {
+            duplicate_pct: rng.below(30) as u8,
+            drop_pct: rng.below(30) as u8,
+            max_delay: rng.below(6),
+        };
+        let mut sched = Schedule::from_policy(seed, policy);
+        let span = horizon.max(8);
+        // One partition: split the cluster in two at a random cut.
+        if n >= 2 && rng.chance(70) {
+            let cut = 1 + rng.below(u64::from(n) - 1) as ReplicaId;
+            let groups = vec![(0..cut).collect(), (cut..n).collect()];
+            let at = rng.below(span / 2);
+            let heal_after = 1 + rng.below(span / 2);
+            sched = sched.partition(at, groups, heal_after);
+        }
+        // Up to two crash-restarts.
+        for _ in 0..rng.below(3) {
+            let victim = rng.below(u64::from(n)) as ReplicaId;
+            let at = rng.below(span.saturating_sub(4).max(1));
+            let down_for = 1 + rng.below(span / 4 + 1);
+            sched = sched.crash(at, victim, down_for);
+        }
+        // Maybe one degraded direction.
+        if n >= 2 && rng.chance(50) {
+            let from = rng.below(u64::from(n)) as ReplicaId;
+            let mut to = rng.below(u64::from(n)) as ReplicaId;
+            if to == from {
+                to = (to + 1) % n;
+            }
+            sched = sched.degrade_link(
+                rng.below(span / 2),
+                from,
+                to,
+                60 + rng.below(40) as u8,
+                1 + rng.below(span / 2),
+            );
+        }
+        // Maybe a sulking replica that swallows its acks.
+        if rng.chance(40) {
+            let victim = rng.below(u64::from(n)) as ReplicaId;
+            sched = sched.drop_acks(rng.below(span / 2), victim, 1 + rng.below(span / 3 + 1));
+        }
+        // Maybe a direction with corrupted digests.
+        if n >= 2 && rng.chance(40) {
+            let from = rng.below(u64::from(n)) as ReplicaId;
+            let mut to = rng.below(u64::from(n)) as ReplicaId;
+            if to == from {
+                to = (to + 1) % n;
+            }
+            sched = sched.stale_digests(rng.below(span / 2), from, to, 1 + rng.below(span / 3 + 1));
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_is_deterministic_in_the_seed() {
+        let a = Schedule::adversarial(99, 4, 64);
+        let b = Schedule::adversarial(99, 4, 64);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = Schedule::adversarial(100, 4, 64);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn builders_accumulate_faults() {
+        let s = Schedule::reliable(1)
+            .partition(2, vec![vec![0, 1], vec![2, 3]], 10)
+            .crash(5, 2, 3)
+            .drop_acks(1, 0, 4)
+            .degrade_link(0, 1, 3, 90, 6)
+            .stale_digests(4, 3, 0, 2);
+        assert_eq!(s.faults.len(), 5);
+        assert_eq!(s.policy.drop_pct, 0);
+    }
+}

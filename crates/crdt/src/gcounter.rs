@@ -27,7 +27,7 @@ pub type ReplicaId = u32;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GCounter {
-    slots: BTreeMap<ReplicaId, Max<u64>>,
+    pub(crate) slots: BTreeMap<ReplicaId, Max<u64>>,
 }
 
 impl GCounter {
@@ -36,8 +36,14 @@ impl GCounter {
         GCounter::default()
     }
 
-    /// Adds `n` to this replica's slot.
+    /// Adds `n` to this replica's slot. Adding zero is a no-op and does
+    /// not materialize a slot, so counter states stay canonical (no
+    /// `Max(0)` entries) and structural equality coincides with
+    /// semantic equality.
     pub fn increment(&mut self, replica: ReplicaId, n: u64) {
+        if n == 0 {
+            return;
+        }
         let slot = self.slots.entry(replica).or_insert(Max(0));
         *slot = Max(slot.0 + n);
     }
@@ -68,8 +74,8 @@ impl BoundedJoinSemilattice for GCounter {
 /// monotone state (§5.2's theme).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PnCounter {
-    inc: GCounter,
-    dec: GCounter,
+    pub(crate) inc: GCounter,
+    pub(crate) dec: GCounter,
 }
 
 impl PnCounter {

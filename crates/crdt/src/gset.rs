@@ -23,7 +23,7 @@ use lambda_join_runtime::semilattice::{BoundedJoinSemilattice, JoinSemilattice};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GSet<T: Ord> {
-    elems: BTreeSet<T>,
+    pub(crate) elems: BTreeSet<T>,
 }
 
 impl<T: Ord + Clone> GSet<T> {

@@ -47,7 +47,7 @@ pub use lambda_join_runtime::semilattice::LBool;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LMap<K: Ord + Clone, V: JoinSemilattice> {
-    entries: BTreeMap<K, V>,
+    pub(crate) entries: BTreeMap<K, V>,
 }
 
 impl<K: Ord + Clone, V: JoinSemilattice> LMap<K, V> {

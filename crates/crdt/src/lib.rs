@@ -12,30 +12,34 @@
 //!   grows, with the monotonicity-preserving monadic bind;
 //! * [`mvreg`] — multi-value registers (Dynamo-style multiversioning:
 //!   irreconcilable concurrent writes coexist until dominated);
-//! * [`replica`] — an adversarial in-process network simulator (reordering,
-//!   duplication, delay) with convergence checking.
+//! * [`cluster`] — the replicated lattice store: delta-state CRDTs
+//!   ([`cluster::DeltaCrdt`]), acked anti-entropy with bounded retry, and
+//!   a fault-injected cluster simulator (partitions, crash-restarts,
+//!   dropped acks, stale digests) that is deterministic and replayable
+//!   from a seed.
 //!
 //! All state types implement
 //! [`JoinSemilattice`](lambda_join_runtime::semilattice::JoinSemilattice);
 //! convergence is exactly the determinism-from-monotonicity argument of the
-//! paper, replayed at the systems level.
+//! paper, replayed at the systems level — and, in [`cluster`], earned
+//! delta by delta through a lossy, partitioned, crash-prone network.
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod gcounter;
 pub mod gset;
 pub mod lattice;
 pub mod lexpair;
 pub mod mvmap;
 pub mod mvreg;
-pub mod replica;
 pub mod vclock;
 
+pub use cluster::{Cluster, ClusterConfig, DeliveryPolicy, DeltaCrdt, Schedule, SyncStats};
 pub use gcounter::GCounter;
 pub use gset::GSet;
 pub use lattice::{LBool, LMap, LMax, LMin};
 pub use lexpair::LexPair;
 pub use mvmap::MvMap;
 pub use mvreg::MvReg;
-pub use replica::{Cluster, DeliveryPolicy};
 pub use vclock::VClock;

@@ -30,7 +30,7 @@ use crate::mvreg::MvReg;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MvMap<K: Ord, T> {
-    entries: BTreeMap<K, MvReg<T>>,
+    pub(crate) entries: BTreeMap<K, MvReg<T>>,
 }
 
 impl<K: Ord + Clone, T: Clone + PartialEq> MvMap<K, T> {

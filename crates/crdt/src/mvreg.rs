@@ -14,7 +14,7 @@ use crate::vclock::{Causality, VClock};
 /// A multi-value register over payload type `T`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MvReg<T> {
-    versions: Vec<(VClock, T)>,
+    pub(crate) versions: Vec<(VClock, T)>,
 }
 
 impl<T: Clone + PartialEq> MvReg<T> {

@@ -11,7 +11,7 @@ use crate::gcounter::ReplicaId;
 /// A vector clock.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
 pub struct VClock {
-    ticks: BTreeMap<ReplicaId, u64>,
+    pub(crate) ticks: BTreeMap<ReplicaId, u64>,
 }
 
 /// The causal relationship between two clocks.
@@ -55,6 +55,11 @@ impl VClock {
         self.ticks.iter().all(|(r, t)| *t <= other.get(*r))
     }
 
+    /// Iterates over the non-zero components in replica order.
+    pub fn components(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.ticks.iter().map(|(r, t)| (*r, *t))
+    }
+
     /// Classifies the causal relationship.
     pub fn compare(&self, other: &Self) -> Causality {
         match (self.leq(other), other.leq(self)) {
@@ -81,6 +86,16 @@ impl JoinSemilattice for VClock {
 impl BoundedJoinSemilattice for VClock {
     fn bottom() -> Self {
         VClock::new()
+    }
+}
+
+/// Builds a clock from `(replica, tick)` components. Zero components are
+/// dropped so that equality stays canonical (an absent replica *is* zero).
+impl FromIterator<(ReplicaId, u64)> for VClock {
+    fn from_iter<I: IntoIterator<Item = (ReplicaId, u64)>>(iter: I) -> Self {
+        VClock {
+            ticks: iter.into_iter().filter(|(_, t)| *t > 0).collect(),
+        }
     }
 }
 

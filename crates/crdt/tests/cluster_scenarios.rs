@@ -1,0 +1,173 @@
+//! The convergence gauntlet: thousands of seeded adversarial schedules —
+//! partitions, crash-restarts, duplication, reordering, drops, dropped
+//! acks, stale digests — none of which may stop the replicated lattice
+//! store from converging to the oracle. Every run is a pure function of
+//! its seed: any failure message names the seed, and re-running that seed
+//! replays the execution byte for byte.
+
+use lambda_join_crdt::cluster::scenario;
+use lambda_join_crdt::cluster::{Cluster, ClusterConfig, Schedule};
+use lambda_join_crdt::GSet;
+use lambda_join_runtime::freeze::{queries, Freeze};
+use std::collections::BTreeSet;
+
+/// Adversarial gauntlet, counter workload: every accepted increment is
+/// durable and exactly counted after convergence.
+#[test]
+fn counter_storms_converge_across_400_adversaries() {
+    for seed in 0..400 {
+        scenario::counter_storm(seed, 3, 8);
+    }
+}
+
+/// Adversarial gauntlet, grow-only set workload: convergence to the
+/// oracle and no lost durable inserts.
+#[test]
+fn gset_workloads_converge_across_400_adversaries() {
+    for seed in 400..800 {
+        let schedule = Schedule::adversarial(seed, 4, 24);
+        let mut cluster: Cluster<GSet<u64>> =
+            Cluster::new(4, GSet::new(), schedule, ClusterConfig::default());
+        let mut accepted = BTreeSet::new();
+        for turn in 0u64..12 {
+            let writer = (turn % 4) as usize;
+            if cluster.update(writer, |s| s.insert(turn)) {
+                accepted.insert(turn);
+            }
+            cluster.step();
+        }
+        let oracle = cluster.settle();
+        cluster
+            .run_to_convergence(8000)
+            .unwrap_or_else(|| panic!("seed {seed}: gset cluster never converged"));
+        for i in 0..4 {
+            assert_eq!(cluster.state(i), &oracle, "seed {seed}: replica {i}");
+        }
+        for x in &accepted {
+            assert!(oracle.contains(x), "seed {seed}: lost durable insert {x}");
+        }
+    }
+}
+
+/// Adversarial gauntlet, versioned-KV workload: multi-writer MvMap with
+/// no lost keys and no phantom siblings.
+#[test]
+fn versioned_kv_converges_across_400_adversaries() {
+    for seed in 800..1200 {
+        scenario::versioned_kv(seed, 3, 4);
+    }
+}
+
+/// The cross-replica two-phase-commit reaction pipeline commits under
+/// arbitrary adversaries.
+#[test]
+fn two_phase_commit_survives_adversaries() {
+    for seed in 0..40 {
+        scenario::two_phase_commit(seed);
+    }
+}
+
+/// Partitioned collaborative writes surface as siblings and resolve.
+#[test]
+fn collaborative_text_resolves_after_partition() {
+    for seed in 0..40 {
+        scenario::collab_text(seed);
+    }
+}
+
+/// Determinism: the same seed replays a byte-identical transcript; a
+/// different seed does not (the adversary really is seed-driven).
+#[test]
+fn schedules_replay_byte_for_byte() {
+    for seed in [3, 1117, 90210] {
+        let a = scenario::versioned_kv(seed, 3, 4);
+        let b = scenario::versioned_kv(seed, 3, 4);
+        assert_eq!(
+            a.transcript, b.transcript,
+            "seed {seed}: replay diverged from the original run"
+        );
+    }
+    let a = scenario::versioned_kv(5, 3, 4);
+    let b = scenario::versioned_kv(6, 3, 4);
+    assert_ne!(a.transcript, b.transcript);
+}
+
+/// Frozen reads stay sound across crash-restarts: a freeze replicated
+/// and checkpointed before a crash yields the same `member` answers after
+/// the restart, with no `Conflict` anywhere — the runtime's
+/// quasi-determinism story (`runtime::freeze`) carried over the durable
+/// snapshot.
+#[test]
+fn frozen_reads_survive_crash_restart() {
+    let schedule = Schedule::reliable(13).crash(30, 1, 6);
+    let mut cluster: Cluster<Freeze<BTreeSet<i64>>> = Cluster::new(
+        3,
+        Freeze::Thawed(BTreeSet::new()),
+        schedule,
+        ClusterConfig::default(),
+    );
+    // Replica 0 streams elements in, then seals the set.
+    for x in [1, 2, 3] {
+        cluster.update(0, |f| {
+            if let Freeze::Thawed(s) = f {
+                s.insert(x);
+            }
+        });
+        cluster.step();
+    }
+    cluster.update(0, |f| *f = f.clone().freeze());
+    // Let the seal replicate, then checkpoint replica 1's full state
+    // (including the replicated freeze) into its durable snapshot.
+    for _ in 0..10 {
+        cluster.step();
+    }
+    assert!(
+        cluster.state(1).is_frozen(),
+        "the seal must have replicated before the checkpoint"
+    );
+    let before_member = queries::member(cluster.state(1), &2);
+    let before_absent = queries::member(cluster.state(1), &9);
+    assert_eq!(before_member, Some(true));
+    assert_eq!(before_absent, Some(false));
+    cluster.persist(1);
+    // Ride through the scheduled crash of replica 1 and reconverge.
+    cluster.run_to_convergence(4000).expect("converges");
+    assert!(cluster.stats().restarts >= 1, "the crash must have fired");
+    // The restart recovered the frozen value from the snapshot: answers
+    // are unchanged and no replica degenerated to Conflict.
+    for i in 0..3 {
+        assert_eq!(queries::member(cluster.state(i), &2), before_member);
+        assert_eq!(queries::member(cluster.state(i), &9), before_absent);
+        assert_ne!(
+            cluster.state(i),
+            &Freeze::Conflict,
+            "replica {i} hit a freeze conflict"
+        );
+    }
+}
+
+/// A crash *without* a checkpoint is also sound: the restarted replica
+/// comes back thawed-empty and re-earns the frozen value through
+/// anti-entropy (ship-the-seal is part of the delta protocol).
+#[test]
+fn unsnapshotted_restart_reacquires_the_seal() {
+    let schedule = Schedule::reliable(29).crash(20, 2, 4);
+    let mut cluster: Cluster<Freeze<BTreeSet<i64>>> = Cluster::new(
+        3,
+        Freeze::Thawed(BTreeSet::new()),
+        schedule,
+        ClusterConfig::default(),
+    );
+    cluster.update(0, |f| {
+        if let Freeze::Thawed(s) = f {
+            s.extend([10, 20]);
+        }
+    });
+    cluster.update(0, |f| *f = f.clone().freeze());
+    cluster.run_to_convergence(4000).expect("converges");
+    assert!(cluster.stats().restarts >= 1);
+    for i in 0..3 {
+        assert_eq!(queries::member(cluster.state(i), &10), Some(true));
+        assert_eq!(queries::member(cluster.state(i), &30), Some(false));
+    }
+}

@@ -1,13 +1,17 @@
 //! Property tests: CRDT convergence under arbitrary operation placements
 //! and adversarial delivery schedules — the strong eventual consistency
-//! guarantee (§6) as a proptest.
+//! guarantee (§6) as a proptest. Unlike the retired full-state simulator,
+//! convergence here is achieved *by the anti-entropy protocol through the
+//! lossy network*; the omniscient `settle()` join is only the oracle the
+//! outcome is checked against.
 
-use lambda_join_crdt::{Cluster, DeliveryPolicy, GCounter, GSet, MvReg, VClock};
+use lambda_join_crdt::cluster::{Cluster, DeliveryPolicy, Schedule};
+use lambda_join_crdt::{ClusterConfig, GCounter, GSet, MvReg, VClock};
 use lambda_join_runtime::semilattice::JoinSemilattice;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn gset_clusters_converge_and_lose_nothing(
@@ -17,16 +21,22 @@ proptest! {
         drop in 0u8..80,
     ) {
         let policy = DeliveryPolicy { duplicate_pct: dup, drop_pct: drop, max_delay: 4 };
-        let mut cluster: Cluster<GSet<i64>> = Cluster::new(4, GSet::new(), seed, policy);
+        let mut cluster: Cluster<GSet<i64>> =
+            Cluster::with_policy(4, GSet::new(), seed, policy);
         for (r, x) in &ops {
             cluster.update(*r, |s| s.insert(*x));
+            cluster.step();
         }
-        cluster.run_random_gossip(30);
-        cluster.settle();
+        let oracle = cluster.settle();
+        prop_assert!(cluster.run_to_convergence(20_000).is_some(),
+            "anti-entropy stalled at drop={drop}%");
         prop_assert!(cluster.converged());
-        // No update is ever lost (local updates always survive settle).
+        // No update is ever lost, and nobody overshoots the oracle.
         for (_, x) in &ops {
             prop_assert!(cluster.state(0).contains(x), "lost {x}");
+        }
+        for i in 0..4 {
+            prop_assert_eq!(cluster.state(i), &oracle);
         }
     }
 
@@ -38,17 +48,37 @@ proptest! {
     ) {
         let run = |seed: u64| {
             let mut cluster: Cluster<GCounter> =
-                Cluster::new(4, GCounter::new(), seed, DeliveryPolicy::default());
+                Cluster::with_policy(4, GCounter::new(), seed, DeliveryPolicy::default());
             for (r, n) in &incs {
                 cluster.update(*r as usize, |c| c.increment(*r, *n));
+                cluster.step();
             }
-            cluster.run_random_gossip(30);
-            cluster.settle();
+            cluster.run_to_convergence(20_000).expect("converges");
             cluster.state(0).value()
         };
         let expected: u64 = incs.iter().map(|(_, n)| n).sum();
         prop_assert_eq!(run(seed1), expected);
         prop_assert_eq!(run(seed2), expected);
+    }
+
+    #[test]
+    fn mvreg_cluster_converges_to_the_oracle_under_faults(
+        writers in prop::collection::vec(0u32..3, 1..4),
+        seed in 1u64..5_000,
+    ) {
+        // Concurrent writers race under a seed-derived adversary; all
+        // replicas must agree on the exact sibling set afterwards.
+        let schedule = Schedule::adversarial(seed, 3, 24);
+        let mut cluster: Cluster<MvReg<u32>> =
+            Cluster::new(3, MvReg::new(), schedule, ClusterConfig::default());
+        for w in &writers {
+            cluster.update(*w as usize, |r| r.write(*w, *w));
+        }
+        let oracle = cluster.settle();
+        prop_assert!(cluster.run_to_convergence(20_000).is_some());
+        for i in 0..3 {
+            prop_assert_eq!(cluster.state(i), &oracle);
+        }
     }
 
     #[test]

@@ -19,6 +19,13 @@ use lambda_join::core::reduce::join_results;
 use lambda_join::core::term::TermRef;
 use lambda_join::crdt::{Cluster, DeliveryPolicy, MvMap};
 
+/// Gossip until the anti-entropy protocol reconverges the cluster.
+fn reconverge(cluster: &mut Cluster<MvMap<&'static str, &'static str>>) {
+    cluster
+        .run_to_convergence(2_000)
+        .expect("anti-entropy converges");
+}
+
 fn run(t: TermRef) -> TermRef {
     let mut m = Machine::new(t);
     m.run(512);
@@ -73,12 +80,11 @@ fn main() {
     // The same lexicographic discipline, at scale: a 3-replica multi-value
     // map under an adversarial network (reordering, duplication).
     let mut cluster: Cluster<MvMap<&str, &str>> =
-        Cluster::new(3, MvMap::new(), 2025, DeliveryPolicy::default());
+        Cluster::with_policy(3, MvMap::new(), 2025, DeliveryPolicy::default());
     cluster.update(0, |m| m.write(0, "profile:42", "name=Ada"));
     cluster.update(1, |m| m.write(1, "profile:42", "name=Ada Lovelace"));
     cluster.update(2, |m| m.write(2, "theme", "dark"));
-    cluster.run_random_gossip(60);
-    cluster.settle();
+    reconverge(&mut cluster);
     assert!(cluster.converged(), "replicas must agree");
 
     let store = cluster.state(0);
@@ -95,8 +101,7 @@ fn main() {
 
     // A causally-later write (after gossip) supersedes both siblings.
     cluster.update(0, |m| m.write(0, "profile:42", "name=Ada King"));
-    cluster.run_random_gossip(60);
-    cluster.settle();
+    reconverge(&mut cluster);
     let resolved = cluster.state(1).read(&"profile:42").expect("key present");
     println!("after read-repair: profile:42 = {resolved:?}");
     assert_eq!(resolved.len(), 1);

@@ -146,12 +146,15 @@ fn crdt_delivery_adversary_cannot_change_the_outcome() {
     ];
     let mut outcomes = Vec::new();
     for (k, policy) in policies.into_iter().enumerate() {
-        let mut cluster: Cluster<GSet<i64>> = Cluster::new(3, GSet::new(), 17 + k as u64, policy);
+        let mut cluster: Cluster<GSet<i64>> =
+            Cluster::with_policy(3, GSet::new(), 17 + k as u64, policy);
         for x in 0..9i64 {
             cluster.update((x % 3) as usize, |s| s.insert(x));
+            cluster.step();
         }
-        cluster.run_random_gossip(40);
-        cluster.settle();
+        cluster
+            .run_to_convergence(10_000)
+            .expect("anti-entropy converges under every adversary");
         assert!(cluster.converged());
         outcomes.push(cluster.state(0).clone());
     }
