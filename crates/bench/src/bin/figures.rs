@@ -462,6 +462,62 @@ fn perf_fig() {
         results.push(("cluster_kv_partition_heal", heal.steps));
     }
 
+    // --- `lambdav serve` (DESIGN.md §9): end-to-end service numbers from
+    // an in-process server — wire protocol, admission, budgets, and the
+    // shared warm memo all on the measured path. Latencies are whole
+    // round-trips (connect reuse, parse, evaluate, reply), recorded in ns
+    // like every other key. ---
+    {
+        use lambda_join_bench::loadclient::{run_load, wire_quote, Client};
+        use lambda_join_runtime::server::{serve, ServerConfig};
+
+        let cfg = ServerConfig {
+            max_outstanding_fuel: 1 << 20,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg).expect("bind perf server");
+        let addr = handle.addr().to_string();
+
+        // Warm-vs-cold reach: the first request pays parsing plus a cold
+        // memo; repeats of the same request hit the shared table.
+        let reaches = encodings::reaches(&Graph::cycle(6), 0).to_string();
+        let line = format!("eval fuel={} {}", 24 * 6, wire_quote(&reaches));
+        let mut client = Client::connect(addr.as_str()).expect("connect perf client");
+        let t0 = Instant::now();
+        let first = client.round_trip(&line).expect("cold reach reply");
+        let cold_ns = t0.elapsed().as_nanos() as u64;
+        assert!(
+            matches!(first.kind(), Some("ok") | Some("err")),
+            "cold reach got a non-reply: {first:?}"
+        );
+        let mut warm_ns = u64::MAX;
+        for _ in 0..20 {
+            let t = Instant::now();
+            client.round_trip(&line).expect("warm reach reply");
+            warm_ns = warm_ns.min(t.elapsed().as_nanos() as u64);
+        }
+        results.push(("server_cold_reach", cold_ns));
+        results.push(("server_warm_reach", warm_ns));
+        results.push((
+            "server_warm_vs_cold_reach",
+            (cold_ns / warm_ns.max(1)).max(1),
+        ));
+
+        // Fixed-seed mixed load: 4 clients x 25 requests. A healthy
+        // server completes every request with zero protocol errors.
+        let report = run_load(&addr, 4, 25, 42);
+        assert_eq!(
+            report.protocol_errors, 0,
+            "perf load run saw protocol errors: {:?}",
+            report.error_samples
+        );
+        results.push(("server_throughput_rps", report.throughput_rps()));
+        results.push(("server_latency_p50", report.percentile_ns(50.0)));
+        results.push(("server_latency_p95", report.percentile_ns(95.0)));
+        results.push(("server_latency_p99", report.percentile_ns(99.0)));
+        assert!(handle.stop(), "perf server failed to drain");
+    }
+
     // `_meta` records the machine context the numbers were taken in: the
     // detected core count (so the par_* scaling keys can be read — a flat
     // curve on one core is expected, not a regression) and which worker

@@ -1,0 +1,146 @@
+//! `loadgen` — a seeded load generator for `lambdav serve`.
+//!
+//! ```sh
+//! loadgen --addr 127.0.0.1:7199 [--clients 4] [--requests 50] \
+//!         [--seed 42] [--out load.json] [--shutdown]
+//! ```
+//!
+//! Drives N concurrent clients through the mixed workload set (graph
+//! reachability, two-phase commit, streamed `evens`), prints throughput
+//! and latency percentiles, optionally writes them as JSON, and exits
+//! non-zero if *any* protocol error was observed — a malformed reply, an
+//! unexpected kind, or a dropped connection. Budget limits and admission
+//! sheds are counted but are not failures; a robust server under
+//! overload says no cleanly.
+//!
+//! With `--shutdown` the generator sends the `shutdown` verb at the end,
+//! so a scripted run (the CI smoke step) can assert the server process
+//! exits cleanly afterwards.
+
+use std::process::ExitCode;
+
+use lambda_join_bench::loadclient::{run_load, Client};
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut clients = 4usize;
+    let mut requests = 25usize;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut shutdown = false;
+
+    fn num(flag: &str, it: &mut impl Iterator<Item = String>) -> Option<u64> {
+        match it.next().and_then(|v| v.parse().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("{flag} requires a number");
+                None
+            }
+        }
+    }
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next(),
+            "--clients" => match num("--clients", &mut it) {
+                Some(n) => clients = n as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--requests" => match num("--requests", &mut it) {
+                Some(n) => requests = n as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match num("--seed", &mut it) {
+                Some(n) => seed = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--out" => out = it.next(),
+            "--shutdown" => shutdown = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: loadgen --addr HOST:PORT [--clients N] [--requests N] \
+                     [--seed N] [--out FILE] [--shutdown]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr HOST:PORT is required");
+        return ExitCode::FAILURE;
+    };
+
+    println!("loadgen: {clients} clients x {requests} requests against {addr} (seed {seed})");
+    let report = run_load(&addr, clients, requests, seed);
+
+    let rps = report.throughput_rps();
+    let (p50, p95, p99) = (
+        report.percentile_ns(50.0),
+        report.percentile_ns(95.0),
+        report.percentile_ns(99.0),
+    );
+    println!(
+        "  completed {} (ok {}, limited {}), protocol errors {}",
+        report.total(),
+        report.ok,
+        report.limited,
+        report.protocol_errors
+    );
+    println!("  throughput {rps} req/s");
+    println!(
+        "  latency p50 {} us, p95 {} us, p99 {} us",
+        p50 / 1_000,
+        p95 / 1_000,
+        p99 / 1_000
+    );
+    for s in &report.error_samples {
+        eprintln!("  protocol error: {s}");
+    }
+
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \
+             \"seed\": {seed},\n  \"completed\": {},\n  \"ok\": {},\n  \"limited\": {},\n  \
+             \"protocol_errors\": {},\n  \"throughput_rps\": {rps},\n  \
+             \"latency_p50_ns\": {p50},\n  \"latency_p95_ns\": {p95},\n  \
+             \"latency_p99_ns\": {p99}\n}}\n",
+            report.total(),
+            report.ok,
+            report.limited,
+            report.protocol_errors
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  (written to {path})");
+    }
+
+    if shutdown {
+        match Client::connect(addr.as_str()) {
+            Ok(mut c) => match c.round_trip("shutdown") {
+                Ok(r) if r.kind() == Some("ok") => println!("  server acknowledged shutdown"),
+                Ok(r) => {
+                    eprintln!("unexpected shutdown reply: {r:?}");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("shutdown round-trip failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("shutdown connect failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if report.protocol_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

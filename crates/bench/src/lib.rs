@@ -7,4 +7,5 @@
 
 #![warn(missing_docs)]
 
+pub mod loadclient;
 pub mod workloads;

@@ -1,0 +1,259 @@
+//! Shared client for the `lambdav serve` load generator and the perf
+//! figure: a tiny protocol client, a seeded mixed-workload driver, and
+//! latency bookkeeping.
+//!
+//! The workload sources are the *displayed* forms of the paper encodings
+//! (`reaches`, `two_phase_commit`, `evens`) — display → parse is a tested
+//! round-trip identity, so the server re-parses exactly the terms the rest
+//! of the harness evaluates in-process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use lambda_join_core::encodings::{self, Graph};
+use lambda_join_core::rng::XorShift64;
+use lambda_join_runtime::server::protocol::{json_escape, FlatReply};
+
+/// One protocol connection with a buffered reply reader.
+pub struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects, with a generous read timeout so a wedged server fails
+    /// the run instead of hanging it.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+        conn.set_nodelay(true)?;
+        let reader = BufReader::new(conn.try_clone()?);
+        Ok(Client { conn, reader })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.conn.write_all(line.as_bytes())?;
+        self.conn.write_all(b"\n")
+    }
+
+    /// Reads one reply line and parses it.
+    pub fn recv(&mut self) -> Result<FlatReply, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        FlatReply::parse(&line)
+    }
+
+    /// One request → one reply.
+    pub fn round_trip(&mut self, line: &str) -> Result<FlatReply, String> {
+        self.send(line).map_err(|e| format!("write failed: {e}"))?;
+        self.recv()
+    }
+}
+
+/// Quotes λ∨ source for the wire (JSON string with surrounding quotes).
+pub fn wire_quote(src: &str) -> String {
+    format!("\"{}\"", json_escape(src))
+}
+
+/// One entry of the request mix: a name, a ready-to-send request line,
+/// and how many terminal replies it produces (1 for `eval`; `watch` also
+/// ends in exactly one `done`/`err` after streaming `obs` lines).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// The full request line.
+    pub line: String,
+    /// True if this is a streaming (`watch`) request.
+    pub streaming: bool,
+}
+
+/// The standard mixed request set: graph reachability, the §4 two-phase
+/// commit protocol, and a streamed `evens` fixpoint.
+pub fn mixed_workloads() -> Vec<Workload> {
+    let reaches = encodings::reaches(&Graph::cycle(6), 0).to_string();
+    let reaches_fuel = 24 * 6;
+    let tpc = encodings::two_phase_commit().to_string();
+    let evens = encodings::evens().to_string();
+    vec![
+        Workload {
+            name: "reaches_cycle6",
+            line: format!("eval fuel={reaches_fuel} {}", wire_quote(&reaches)),
+            streaming: false,
+        },
+        Workload {
+            name: "two_phase_commit",
+            line: format!("eval fuel=16 {}", wire_quote(&tpc)),
+            streaming: false,
+        },
+        Workload {
+            name: "evens_watch",
+            line: format!("watch fuel=12 step=3 {}", wire_quote(&evens)),
+            streaming: true,
+        },
+    ]
+}
+
+/// Runs one workload to completion and classifies the outcome. Returns
+/// `Ok(true)` on a successful result, `Ok(false)` on an *acceptable*
+/// structured limit (fuel/deadline/quota/overload), `Err` on anything
+/// that indicates a broken protocol exchange.
+pub fn drive(client: &mut Client, w: &Workload) -> Result<bool, String> {
+    client
+        .send(&w.line)
+        .map_err(|e| format!("write failed: {e}"))?;
+    loop {
+        let reply = client.recv()?;
+        match reply.kind() {
+            Some("ok") | Some("done") => return Ok(true),
+            Some("obs") if w.streaming => continue,
+            Some("err") => {
+                let code = reply
+                    .error_code()
+                    .ok_or_else(|| format!("err reply with unknown code: {reply:?}"))?;
+                use lambda_join_runtime::server::protocol::ErrorCode as E;
+                return match code {
+                    // Budget limits and shedding are correct behaviour
+                    // under load, not protocol errors.
+                    E::FuelExhausted
+                    | E::DeadlineExceeded
+                    | E::QuotaExceeded
+                    | E::Overloaded
+                    | E::Cancelled
+                    | E::ShuttingDown => Ok(false),
+                    // Anything else means the client sent something the
+                    // server rejected outright — a harness bug.
+                    _ => Err(format!("unexpected error reply: {reply:?}")),
+                };
+            }
+            other => return Err(format!("unexpected reply kind {other:?}: {reply:?}")),
+        }
+    }
+}
+
+/// Aggregate results of one load run.
+#[derive(Debug, Default, Clone)]
+pub struct LoadReport {
+    /// Requests that returned a successful result.
+    pub ok: u64,
+    /// Requests cleanly limited or shed (structured errors).
+    pub limited: u64,
+    /// Protocol-level failures (malformed replies, wrong kinds, dropped
+    /// connections). Must be zero for a healthy server.
+    pub protocol_errors: u64,
+    /// Descriptions of the first few protocol errors, for diagnosis.
+    pub error_samples: Vec<String>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies, nanoseconds, unsorted.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Completed requests (successes plus clean limits).
+    pub fn total(&self) -> u64 {
+        self.ok + self.limited
+    }
+
+    /// Overall completed-request throughput in requests/second.
+    pub fn throughput_rps(&self) -> u64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0;
+        }
+        (self.total() as f64 / secs) as u64
+    }
+
+    /// The p-th latency percentile (nearest-rank), nanoseconds.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+}
+
+/// Drives `clients` concurrent connections, each issuing `requests`
+/// seeded-random picks from the mixed workload set, and aggregates
+/// latencies and outcomes.
+pub fn run_load(addr: &str, clients: usize, requests: usize, seed: u64) -> LoadReport {
+    let workloads = mixed_workloads();
+    let started = Instant::now();
+    let mut per_client: Vec<LoadReport> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let workloads = &workloads;
+            let addr = addr.to_string();
+            handles.push(scope.spawn(move || {
+                let mut report = LoadReport::default();
+                let mut rng =
+                    XorShift64::new(seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(c as u64 + 1));
+                let mut client = match Client::connect(addr.as_str()) {
+                    Ok(cl) => cl,
+                    Err(e) => {
+                        report.protocol_errors += 1;
+                        report.error_samples.push(format!("connect failed: {e}"));
+                        return report;
+                    }
+                };
+                for _ in 0..requests {
+                    let w = &workloads[rng.below(workloads.len() as u64) as usize];
+                    let t0 = Instant::now();
+                    match drive(&mut client, w) {
+                        Ok(true) => {
+                            report.ok += 1;
+                            report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        Ok(false) => {
+                            report.limited += 1;
+                            report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        Err(e) => {
+                            report.protocol_errors += 1;
+                            if report.error_samples.len() < 4 {
+                                report.error_samples.push(format!("{}: {e}", w.name));
+                            }
+                            // The connection may be out of sync; reconnect.
+                            match Client::connect(addr.as_str()) {
+                                Ok(cl) => client = cl,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                report
+            }));
+        }
+        for h in handles {
+            per_client.push(h.join().expect("load client thread panicked"));
+        }
+    });
+    let mut merged = LoadReport {
+        elapsed: started.elapsed(),
+        ..LoadReport::default()
+    };
+    for r in per_client {
+        merged.ok += r.ok;
+        merged.limited += r.limited;
+        merged.protocol_errors += r.protocol_errors;
+        merged.latencies_ns.extend(r.latencies_ns);
+        for s in r.error_samples {
+            if merged.error_samples.len() < 8 {
+                merged.error_samples.push(s);
+            }
+        }
+    }
+    merged
+}

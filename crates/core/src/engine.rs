@@ -41,14 +41,54 @@
 //! executable specification both machines are property-tested against
 //! (results α-equal *and* β-counts identical).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::builder;
 use crate::reduce::{delta, frz_lift, join_results, lex_lift, pair_lift, thaw};
 use crate::term::{Term, TermRef};
 
+/// Why an evaluation run was stopped early by its [`Budget`] limits (as
+/// opposed to the fuel/β approximation steps of the semantics, which are
+/// ordinary outcomes recorded by [`Budget::exhausted`]).
+///
+/// A stopped run returns `⊥` — a sound approximation of the true result,
+/// exactly like a fuel cut-off — and records the cause here so callers
+/// (the `lambdav serve` request loop in particular) can report *which*
+/// limit fired as a distinct structured error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The wall-clock deadline passed mid-run.
+    Deadline,
+    /// The cooperative cancellation flag was raised (client disconnect,
+    /// server shutdown).
+    Cancelled,
+    /// Arena growth since the run started exceeded the node quota.
+    NodeQuota,
+}
+
+/// How many machine dispatches pass between cooperative limit checks.
+/// A dispatch is tens of nanoseconds, so limits are observed within a few
+/// tens of microseconds — prompt enough for request deadlines — while the
+/// common case pays one boolean load per dispatch.
+const LIMIT_CHECK_INTERVAL: u32 = 512;
+
+/// A callback reporting the current node count of whatever arena backs the
+/// run, for [`Budget::with_node_gauge`]. The tree machine has no arena
+/// parameter of its own, so quota enforcement there needs the caller to
+/// say what to measure (the server passes `SharedInterner::len`).
+pub type NodeGauge = Arc<dyn Fn() -> usize + Send + Sync>;
+
 /// The global evaluation budget and approximation bookkeeping for one run.
-#[derive(Debug, Clone)]
+///
+/// Beyond the β valve, a budget can carry *request limits* — a wall-clock
+/// deadline, a cooperative cancellation flag, and an arena-node quota —
+/// checked every `LIMIT_CHECK_INTERVAL` (512) machine dispatches inside
+/// [`run`]/[`run_id`]. A tripped limit aborts the run with `⊥` and records
+/// a [`StopCause`]; budgets without limits pay a single boolean test per
+/// dispatch.
+#[derive(Clone)]
 pub struct Budget {
     /// Remaining global β-steps; a safety valve against exponential blowup
     /// when the per-path fuel alone would admit huge terms.
@@ -61,6 +101,36 @@ pub struct Budget {
     /// subterms are exact (they never fire), but a fuel cut-off is not,
     /// and sealing it would break monotonicity in fuel.
     exhausted: bool,
+    /// Whether any request limit below is set (fast-path gate).
+    limited: bool,
+    /// Dispatches remaining until the next slow limit check.
+    check_in: u32,
+    /// Abort evaluation once `Instant::now()` passes this.
+    deadline: Option<Instant>,
+    /// Abort evaluation once this flag reads `true`.
+    cancel: Option<Arc<AtomicBool>>,
+    /// Maximum arena-node growth allowed during the run.
+    node_quota: Option<usize>,
+    /// Node count source for the tree machine ([`run_id`] measures its own
+    /// arena and ignores this).
+    node_gauge: Option<NodeGauge>,
+    /// Node count observed at the first limit check (growth baseline).
+    node_base: Option<usize>,
+    /// Which limit stopped the run, if any.
+    stopped: Option<StopCause>,
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budget")
+            .field("beta", &self.beta)
+            .field("used", &self.used)
+            .field("exhausted", &self.exhausted)
+            .field("deadline", &self.deadline)
+            .field("node_quota", &self.node_quota)
+            .field("stopped", &self.stopped)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Budget {
@@ -70,7 +140,52 @@ impl Budget {
             beta: max_betas,
             used: 0,
             exhausted: false,
+            limited: false,
+            check_in: LIMIT_CHECK_INTERVAL,
+            deadline: None,
+            cancel: None,
+            node_quota: None,
+            node_gauge: None,
+            node_base: None,
+            stopped: None,
         }
+    }
+
+    /// Aborts the run (with `⊥` and [`StopCause::Deadline`]) once the
+    /// wall clock passes `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self.limited = true;
+        self
+    }
+
+    /// Aborts the run (with `⊥` and [`StopCause::Cancelled`]) once `flag`
+    /// reads `true`. The flag is polled cooperatively; raising it from
+    /// another thread stops the run within a few tens of microseconds.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self.limited = true;
+        self
+    }
+
+    /// Aborts the run (with `⊥` and [`StopCause::NodeQuota`]) once the
+    /// backing arena has grown by more than `quota` nodes since the run
+    /// started. [`run_id`] measures its own arena; for the tree machine
+    /// pair this with [`Budget::with_node_gauge`], without which the quota
+    /// is inert there.
+    pub fn with_node_quota(mut self, quota: usize) -> Self {
+        self.node_quota = Some(quota);
+        self.limited = true;
+        self
+    }
+
+    /// Supplies the node-count source the tree machine measures quota
+    /// growth against (e.g. `SharedInterner::len` — an over-approximation
+    /// under concurrency, since other sessions' interning counts toward
+    /// the same arena; size quotas accordingly).
+    pub fn with_node_gauge(mut self, gauge: NodeGauge) -> Self {
+        self.node_gauge = Some(gauge);
+        self
     }
 
     /// The number of β-steps performed so far.
@@ -81,6 +196,61 @@ impl Budget {
     /// Whether any approximation step (fuel or β-budget exhaustion) fired.
     pub fn exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Which request limit stopped the run early, if any.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.stopped
+    }
+
+    /// Amortised limit gate: `true` every [`LIMIT_CHECK_INTERVAL`]
+    /// dispatches on a limited budget (time for a real check), `false`
+    /// otherwise. One load + predictable branch on the hot path.
+    #[inline]
+    fn poll(&mut self) -> bool {
+        if !self.limited {
+            return false;
+        }
+        self.check_in -= 1;
+        if self.check_in != 0 {
+            return false;
+        }
+        self.check_in = LIMIT_CHECK_INTERVAL;
+        true
+    }
+
+    /// The real limit check, run every [`LIMIT_CHECK_INTERVAL`] dispatches.
+    /// `nodes` is the current arena node count when the caller has one
+    /// (falls back to the gauge). Returns `true` — and records the cause —
+    /// if the run must stop.
+    #[cold]
+    fn check_limits(&mut self, nodes: Option<usize>) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                self.stopped = Some(StopCause::Cancelled);
+                self.exhausted = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.stopped = Some(StopCause::Deadline);
+                self.exhausted = true;
+                return true;
+            }
+        }
+        if let Some(quota) = self.node_quota {
+            let now = nodes.or_else(|| self.node_gauge.as_ref().map(|g| g()));
+            if let Some(now) = now {
+                let base = *self.node_base.get_or_insert(now);
+                if now.saturating_sub(base) > quota {
+                    self.stopped = Some(StopCause::NodeQuota);
+                    self.exhausted = true;
+                    return true;
+                }
+            }
+        }
+        false
     }
 }
 
@@ -227,6 +397,13 @@ pub fn run<T: BetaTable>(e: &TermRef, fuel: usize, budget: &mut Budget, table: &
     let mut stack: Vec<Frame> = Vec::with_capacity(32);
     let mut ctrl = Ctrl::Eval(e.clone(), fuel);
     loop {
+        // Cooperative request limits (deadline / cancellation / node
+        // quota): a tripped limit abandons the machine state outright —
+        // no pending `TableStore` frame runs, so no partial result is
+        // ever memoised — and returns ⊥, a sound approximation.
+        if budget.poll() && budget.check_limits(None) {
+            return builder::bot();
+        }
         ctrl = match ctrl {
             Ctrl::Eval(e, fuel) => step_eval(e, fuel, &mut stack, budget, table),
             Ctrl::Ret(v) => match stack.pop() {
@@ -830,6 +1007,11 @@ pub fn run_id<T: IdBetaTable>(
     let mut stack: Vec<IdFrame> = Vec::with_capacity(32);
     let mut ctrl = IdCtrl::Eval(e, fuel);
     loop {
+        // Cooperative request limits; see `run`. The id machine measures
+        // quota growth against its own arena directly.
+        if budget.poll() && budget.check_limits(Some(ar.len())) {
+            return ar.bot_id();
+        }
         ctrl = match ctrl {
             IdCtrl::Eval(e, fuel) => step_eval_id(ar, e, fuel, &mut stack, budget, table),
             IdCtrl::Ret(v) => match stack.pop() {
@@ -1475,5 +1657,105 @@ mod tests {
         let r = run(&t, 2, &mut budget, &mut NoTable);
         assert!(r.alpha_eq(&int(1)));
         assert_eq!(budget.used(), 100_000);
+    }
+
+    /// A long-but-bounded workload for limit tests: deep β-chain whose
+    /// full evaluation takes well over one limit-check interval.
+    fn long_chain(n: usize) -> TermRef {
+        let mut t = int(1);
+        for _ in 0..n {
+            t = app(lam("x", var("x")), t);
+        }
+        t
+    }
+
+    #[test]
+    fn expired_deadline_stops_both_machines_with_bot() {
+        use std::time::{Duration, Instant};
+        let t = long_chain(200_000);
+        let deadline = Instant::now() - Duration::from_millis(1);
+
+        let mut budget = Budget::new(usize::MAX).with_deadline(deadline);
+        let r = run(&t, 2, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&bot()));
+        assert_eq!(budget.stop_cause(), Some(StopCause::Deadline));
+        assert!(budget.exhausted());
+
+        use crate::intern::Interner;
+        let mut ar = Interner::new();
+        let id = ar.canon_id(&t);
+        let mut budget = Budget::new(usize::MAX).with_deadline(deadline);
+        let r = run_id(&mut ar, id, 2, &mut budget, &mut NoIdTable);
+        assert!(ar.extract(r).alpha_eq(&bot()));
+        assert_eq!(budget.stop_cause(), Some(StopCause::Deadline));
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_evaluation() {
+        use std::sync::atomic::AtomicBool;
+        let t = long_chain(200_000);
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut budget = Budget::new(usize::MAX).with_cancel(flag);
+        let r = run(&t, 2, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&bot()));
+        assert_eq!(budget.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn unraised_cancel_flag_changes_nothing() {
+        use std::sync::atomic::AtomicBool;
+        let t = long_chain(10_000);
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut budget = Budget::new(usize::MAX).with_cancel(flag);
+        let r = run(&t, 2, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&int(1)));
+        assert_eq!(budget.stop_cause(), None);
+        assert!(!budget.exhausted());
+    }
+
+    #[test]
+    fn node_quota_stops_id_machine_on_arena_growth() {
+        use crate::intern::Interner;
+        // A growing-set fixpoint mints fresh arena nodes every round; a
+        // tiny quota must stop it (the β valve alone would run far past).
+        let grow = fix(
+            "f",
+            lam(
+                "n",
+                join(
+                    set(vec![var("n")]),
+                    big_join(
+                        "x",
+                        set(vec![var("n")]),
+                        app(var("f"), add(var("x"), int(1))),
+                    ),
+                ),
+            ),
+        );
+        let t = app(grow, int(0));
+        let mut ar = Interner::new();
+        let id = ar.canon_id(&t);
+        let mut budget = Budget::new(usize::MAX).with_node_quota(64);
+        let r = run_id(&mut ar, id, 10_000, &mut budget, &mut NoIdTable);
+        assert!(ar.extract(r).alpha_eq(&bot()));
+        assert_eq!(budget.stop_cause(), Some(StopCause::NodeQuota));
+    }
+
+    #[test]
+    fn node_gauge_enables_quota_on_the_tree_machine() {
+        use std::sync::atomic::AtomicUsize;
+        let t = long_chain(200_000);
+        // A synthetic gauge that "grows" on every read trips the quota at
+        // the second limit check.
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let gauge_ticks = ticks.clone();
+        let mut budget = Budget::new(usize::MAX)
+            .with_node_quota(3)
+            .with_node_gauge(Arc::new(move || {
+                gauge_ticks.fetch_add(10, Ordering::Relaxed)
+            }));
+        let r = run(&t, 2, &mut budget, &mut NoTable);
+        assert!(r.alpha_eq(&bot()));
+        assert_eq!(budget.stop_cause(), Some(StopCause::NodeQuota));
     }
 }

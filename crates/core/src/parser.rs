@@ -69,7 +69,11 @@ impl std::error::Error for ParseError {}
 /// Returns a [`ParseError`] describing the first syntax error encountered.
 pub fn parse(input: &str) -> Result<TermRef, ParseError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_end()?;
     Ok(e)
@@ -385,9 +389,28 @@ enum Pattern {
     Pair(Box<Pattern>, Box<Pattern>),
 }
 
+/// Maximum expression/pattern nesting depth. The parser is recursive
+/// descent, so input nesting consumes native stack; past this cap a
+/// "parser bomb" (`((((…))))` and friends, a standard denial-of-service
+/// frame against network-facing parsers — stack overflow aborts the whole
+/// process and no `catch_unwind` can stop it) gets a [`ParseError`]
+/// instead.
+///
+/// The cap is build-profile dependent because the cost *per level* is: one
+/// pass through the whole precedence chain, ~1 KiB of native stack in
+/// release but ~12 KiB unoptimised (measured). 512 release levels fit a
+/// 1 MiB thread with room to spare; 64 debug levels likewise. Both are an
+/// order of magnitude past any real program here — the deepest displayed
+/// encoding (`two_phase_commit`) nests 8.
+#[cfg(not(debug_assertions))]
+const MAX_NESTING_DEPTH: usize = 512;
+#[cfg(debug_assertions)]
+const MAX_NESTING_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<(usize, Tok)>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -453,8 +476,29 @@ impl Parser {
         }
     }
 
+    /// Claims one level of nesting depth, failing cleanly at the cap.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.err(format!(
+                "expression nesting deeper than {MAX_NESTING_DEPTH} levels"
+            )))
+            // (The increment is not undone: parsing aborts entirely on any
+            // error, so the counter dies with the parser.)
+        } else {
+            Ok(())
+        }
+    }
+
     // expr := lambda | let | fix | for | if | case | join-expr
     fn expr(&mut self) -> Result<TermRef, ParseError> {
+        self.descend()?;
+        let r = self.expr_at_depth();
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_at_depth(&mut self) -> Result<TermRef, ParseError> {
         match self.peek() {
             Some(Tok::Lambda) => {
                 self.next();
@@ -800,6 +844,13 @@ impl Parser {
 
     // pattern := atom-pattern
     fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        self.descend()?;
+        let r = self.pattern_at_depth();
+        self.depth -= 1;
+        r
+    }
+
+    fn pattern_at_depth(&mut self) -> Result<Pattern, ParseError> {
         match self.next() {
             Some(Tok::Ident(x)) => Ok(Pattern::Var(x)),
             Some(Tok::Underscore) => Ok(Pattern::Wild),
@@ -896,6 +947,46 @@ mod tests {
 
     fn p(s: &str) -> TermRef {
         parse(s).unwrap_or_else(|e| panic!("{e} in {s:?}"))
+    }
+
+    #[test]
+    fn deep_nesting_bomb_errors_instead_of_overflowing() {
+        // A parser bomb: nesting far past the cap must produce a clean
+        // ParseError, never a native stack overflow (which would abort a
+        // serving process and is uncatchable).
+        for bomb in [
+            format!("{}1{}", "(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}1{}", "{".repeat(100_000), "}".repeat(100_000)),
+            "\\x. ".repeat(100_000) + "x",
+            format!("{}1", "frz ".repeat(100_000)),
+            format!(
+                "let {}x{} = 1 in x",
+                "(".repeat(100_000),
+                ", y)".repeat(100_000)
+            ),
+        ] {
+            // Reaching here at all is the property: a clean Err, no abort.
+            parse(&bomb).expect_err("bomb must be rejected");
+        }
+        // The canonical paren bomb trips the depth cap specifically.
+        let parens = format!("{}1{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse(&parens).expect_err("paren bomb rejected");
+        assert!(
+            err.msg.contains("nesting deeper"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn reasonable_nesting_is_well_within_the_cap() {
+        // Several times deeper than any real program here (the deepest
+        // displayed encoding nests 8), comfortably inside the debug cap.
+        let deep = format!("{}7{}", "(".repeat(32), ")".repeat(32));
+        assert!(p(&deep).alpha_eq(&int(7)));
+        let lams = "\\x. ".repeat(32) + "x";
+        assert!(parse(&lams).is_ok());
+        // Nested pair patterns pass through the same guard.
+        assert!(parse("let ((a, b), (c, d)) = ((1, 2), (3, 4)) in a").is_ok());
     }
 
     #[test]

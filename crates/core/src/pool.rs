@@ -16,7 +16,13 @@
 //! is always bounded — by the caller's request and by the chunk count —
 //! so no call path can spawn one thread per task item.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The default worker bound: the machine's available parallelism (1 when
 /// it cannot be determined).
@@ -56,7 +62,10 @@ fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker closure.
+/// If one or more worker closures panic, re-raises exactly one panic with
+/// the payload of the **lowest-index chunk** that panicked — deterministic
+/// no matter how the OS interleaved the workers (the same chunk-order
+/// discipline the results obey).
 pub fn map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -69,21 +78,41 @@ where
     }
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(ranges.len(), || None);
-    crossbeam::scope(|s| {
-        // First chunk runs inline; the rest go to scoped workers.
+    let mut first_panic: Option<(usize, Box<dyn Any + Send>)> = None;
+    let scope_result = crossbeam::scope(|s| {
+        // First chunk runs inline; the rest go to scoped workers. Every
+        // chunk — inline included — runs under `catch_unwind` so all
+        // workers finish and the panic re-raised below is the lowest
+        // chunk index's, not whatever join order surfaces first.
         let mut handles = Vec::with_capacity(ranges.len() - 1);
         let mut it = ranges.iter().cloned().enumerate();
         let (_, first) = it.next().expect("ranges checked non-empty");
         for (i, range) in it {
             let f = &f;
-            handles.push((i, s.spawn(move |_| f(&items[range]))));
+            handles.push((
+                i,
+                s.spawn(move |_| catch_unwind(AssertUnwindSafe(|| f(&items[range])))),
+            ));
         }
-        slots[0] = Some(f(&items[first]));
+        match catch_unwind(AssertUnwindSafe(|| f(&items[first]))) {
+            Ok(r) => slots[0] = Some(r),
+            Err(payload) => first_panic = Some((0, payload)),
+        }
         for (i, h) in handles {
-            slots[i] = Some(h.join().expect("worker panicked"));
+            match h.join().expect("caught worker must not re-panic") {
+                Ok(r) => slots[i] = Some(r),
+                Err(payload) => {
+                    if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_panic = Some((i, payload));
+                    }
+                }
+            }
         }
-    })
-    .expect("worker panicked");
+    });
+    scope_result.expect("scope thread must not panic outside catch_unwind");
+    if let Some((_, payload)) = first_panic {
+        resume_unwind(payload);
+    }
     slots
         .into_iter()
         .map(|r| r.expect("every chunk produced a result"))
@@ -96,7 +125,9 @@ where
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker closure.
+/// If one or more worker closures panic, re-raises exactly one panic with
+/// the payload of the **lowest-index chunk** that panicked (see
+/// [`map_chunks`]).
 pub fn map_items<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -117,7 +148,8 @@ where
     chunks.reverse();
     let mut slots: Vec<Option<Vec<R>>> = Vec::new();
     slots.resize_with(chunks.len(), || None);
-    crossbeam::scope(|s| {
+    let mut first_panic: Option<(usize, Box<dyn Any + Send>)> = None;
+    let scope_result = crossbeam::scope(|s| {
         let mut handles = Vec::with_capacity(chunks.len());
         let mut first: Option<(usize, Vec<T>)> = None;
         for (i, chunk) in chunks.into_iter().enumerate() {
@@ -126,19 +158,163 @@ where
                 continue;
             }
             let f = &f;
-            handles.push((i, s.spawn(move |_| chunk.into_iter().map(f).collect())));
+            handles.push((i, {
+                s.spawn(move |_| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        chunk.into_iter().map(f).collect::<Vec<R>>()
+                    }))
+                })
+            }));
         }
         let (i0, chunk0) = first.expect("ranges checked non-empty");
-        slots[i0] = Some(chunk0.into_iter().map(&f).collect());
-        for (i, h) in handles {
-            slots[i] = Some(h.join().expect("worker panicked"));
+        match catch_unwind(AssertUnwindSafe(|| {
+            chunk0.into_iter().map(&f).collect::<Vec<R>>()
+        })) {
+            Ok(r) => slots[i0] = Some(r),
+            Err(payload) => first_panic = Some((i0, payload)),
         }
-    })
-    .expect("worker panicked");
+        for (i, h) in handles {
+            match h.join().expect("caught worker must not re-panic") {
+                Ok(r) => slots[i] = Some(r),
+                Err(payload) => {
+                    if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_panic = Some((i, payload));
+                    }
+                }
+            }
+        }
+    });
+    scope_result.expect("scope thread must not panic outside catch_unwind");
+    if let Some((_, payload)) = first_panic {
+        resume_unwind(payload);
+    }
     slots
         .into_iter()
         .flat_map(|r| r.expect("every chunk produced a result"))
         .collect()
+}
+
+/// Returned by [`Crew::try_spawn`] when the crew is at its session bound:
+/// the caller sheds the work (e.g. rejects the connection with a
+/// retry-after hint) instead of queueing unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrewFull {
+    /// The configured bound that was hit.
+    pub max: usize,
+}
+
+impl std::fmt::Display for CrewFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "crew is at its bound of {} threads", self.max)
+    }
+}
+
+impl std::error::Error for CrewFull {}
+
+/// A bounded set of long-lived worker threads — the session substrate of
+/// `lambdav serve`. Where [`map_chunks`] is a fork–join *round* (spawn,
+/// compute, join, return), a `Crew` hosts open-ended tasks (one per client
+/// connection) that come and go independently:
+///
+/// * admission is bounded — [`Crew::try_spawn`] refuses (rather than
+///   queues) work past the configured bound, so the accept loop can shed
+///   load with a structured rejection;
+/// * membership is observable — [`Crew::active`] is the live session count
+///   the server reports and sizes retry hints by;
+/// * shutdown is joinable — [`Crew::join_all`] waits (with a deadline) for
+///   every task to drain. Task closures are expected to watch their own
+///   stop signal; the crew only waits, it cannot interrupt.
+///
+/// A panicking task consumes its own thread and releases its slot — one
+/// crashed session never poisons the crew (sessions additionally run their
+/// request bodies under `catch_unwind`; this is the second fence).
+#[derive(Debug)]
+pub struct Crew {
+    max: usize,
+    active: Arc<AtomicUsize>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Decrements the active count when a crew task finishes — on its thread's
+/// normal exit *or* unwind.
+struct CrewSlot(Arc<AtomicUsize>);
+
+impl Drop for CrewSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl Crew {
+    /// A crew admitting at most `max` concurrent tasks (`max` is clamped
+    /// to at least 1).
+    pub fn new(max: usize) -> Self {
+        Crew {
+            max: max.max(1),
+            active: Arc::new(AtomicUsize::new(0)),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured concurrent-task bound.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// How many tasks are currently running.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Starts `task` on a fresh thread if the crew has a free slot,
+    /// otherwise returns [`CrewFull`] without running it.
+    pub fn try_spawn<F>(&self, task: F) -> Result<(), CrewFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        // Optimistically claim a slot; undo on overshoot. The counter can
+        // transiently read max+k during a race, but never admits past max.
+        let prev = self.active.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.max {
+            self.active.fetch_sub(1, Ordering::Release);
+            return Err(CrewFull { max: self.max });
+        }
+        let slot = CrewSlot(self.active.clone());
+        let handle = std::thread::spawn(move || {
+            let _slot = slot;
+            // The slot must release even if the task unwinds; the payload
+            // is swallowed here because a session's failure is reported on
+            // its own wire, not the accept loop's.
+            let _ = catch_unwind(AssertUnwindSafe(task));
+        });
+        let mut handles = self.handles.lock().expect("crew handle list poisoned");
+        // Reap finished threads so the list tracks live sessions, not
+        // connection history.
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for every task to finish, then joins the
+    /// finished threads. Returns `true` if the crew fully drained. Tasks
+    /// still running at the deadline keep their threads (they hold no crew
+    /// lock); a later call can finish the join.
+    pub fn join_all(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.active() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained = self.active() == 0;
+        let mut handles = self.handles.lock().expect("crew handle list poisoned");
+        if drained {
+            for h in handles.drain(..) {
+                let _ = h.join();
+            }
+        } else {
+            handles.retain(|h| !h.is_finished());
+        }
+        drained
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +353,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let items: Vec<i64> = (0..8).collect();
         map_chunks(&items, 4, |chunk| {
@@ -188,8 +364,120 @@ mod tests {
         });
     }
 
+    /// Pins the deterministic propagation contract: when several chunks
+    /// panic, the payload that escapes is the lowest chunk index's — not
+    /// whatever the OS's join order happens to surface.
+    #[test]
+    fn first_chunk_panic_payload_wins_map_chunks() {
+        let items: Vec<i64> = (0..8).collect();
+        for _ in 0..20 {
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                // 4 workers → chunks [0,1] [2,3] [4,5] [6,7]; chunks 1 and
+                // 3 both panic, with different payloads.
+                map_chunks(&items, 4, |chunk| {
+                    if chunk.contains(&2) {
+                        panic!("chunk-1 payload");
+                    }
+                    if chunk.contains(&6) {
+                        panic!("chunk-3 payload");
+                    }
+                    0
+                });
+            }))
+            .expect_err("a worker panicked");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .expect("panic payload is a &str");
+            assert_eq!(msg, "chunk-1 payload");
+        }
+    }
+
+    #[test]
+    fn first_chunk_panic_payload_wins_map_items() {
+        let items: Vec<i64> = (0..8).collect();
+        for _ in 0..20 {
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                map_items(items.clone(), 4, |x| {
+                    if x == 1 {
+                        panic!("item-1 payload");
+                    }
+                    if x == 7 {
+                        panic!("item-7 payload");
+                    }
+                    x
+                });
+            }))
+            .expect_err("a worker panicked");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .expect("panic payload is a &str");
+            assert_eq!(msg, "item-1 payload");
+        }
+    }
+
+    #[test]
+    fn inline_chunk_panic_still_joins_workers_before_raising() {
+        // The inline chunk (index 0) panics; the workers must still be
+        // joined (scoped threads make leaks impossible, but the panic must
+        // surface as chunk 0's payload, not a scope teardown error).
+        let items: Vec<i64> = (0..8).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            map_chunks(&items, 4, |chunk| {
+                if chunk.contains(&0) {
+                    panic!("inline payload");
+                }
+                chunk.len()
+            });
+        }))
+        .expect_err("inline chunk panicked");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap();
+        assert_eq!(msg, "inline payload");
+    }
+
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn crew_bounds_admission_and_drains() {
+        use std::sync::mpsc;
+        let crew = Crew::new(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        for _ in 0..2 {
+            let rx = release_rx.clone();
+            let started = started_tx.clone();
+            crew.try_spawn(move || {
+                started.send(()).unwrap();
+                let _ = rx.lock().unwrap().recv();
+            })
+            .expect("slots free");
+        }
+        started_rx.recv().unwrap();
+        started_rx.recv().unwrap();
+        assert_eq!(crew.active(), 2);
+        // Third task is shed, not queued.
+        assert_eq!(crew.try_spawn(|| {}), Err(CrewFull { max: 2 }));
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        assert!(crew.join_all(Duration::from_secs(5)), "crew drains");
+        assert_eq!(crew.active(), 0);
+        // Slots are reusable after drain.
+        crew.try_spawn(|| {}).expect("slot free after drain");
+        assert!(crew.join_all(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn crew_task_panic_releases_slot() {
+        let crew = Crew::new(1);
+        crew.try_spawn(|| panic!("session crashed")).unwrap();
+        assert!(crew.join_all(Duration::from_secs(5)));
+        assert_eq!(crew.active(), 0);
+        crew.try_spawn(|| {}).expect("slot released after panic");
+        assert!(crew.join_all(Duration::from_secs(5)));
     }
 }

@@ -39,7 +39,7 @@
 //! (child metadata is gathered before the parent's shard is locked), so
 //! the structure is deadlock-free by construction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -481,13 +481,25 @@ struct SharedTableInner {
     cache: CacheShards,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// The current request generation (see [`SharedInternTable::begin_generation`]).
+    generation: AtomicU64,
 }
 
 /// One β-memo key: canonical function id, canonical argument id, fuel.
 type BetaKey = (TermId, TermId, usize);
 
+/// One cached β-result with its recency stamp.
+#[derive(Debug, Clone)]
+struct CachedBeta {
+    result: TermRef,
+    exhausted: bool,
+    /// The generation this entry was last stored *or hit* in — the
+    /// recency signal [`SharedInternTable::collected`] keeps hot entries by.
+    stamp: u64,
+}
+
 /// One cache shard: a locked map from β-keys to cached results.
-type CacheShard = Mutex<FastMap<BetaKey, (TermRef, bool)>>;
+type CacheShard = Mutex<FastMap<BetaKey, CachedBeta>>;
 
 #[derive(Debug)]
 struct CacheShards(Box<[CacheShard]>);
@@ -524,6 +536,83 @@ impl SharedInternTable {
     pub fn interner(&self) -> &SharedInterner {
         &self.inner.interner
     }
+
+    /// The number of cached β-entries, across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.cache.0.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.cache.0.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// The current request generation.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Relaxed)
+    }
+
+    /// Advances the request generation and returns the new value.
+    ///
+    /// A long-lived server calls this once per admitted request; every
+    /// entry stored or hit afterwards is stamped with the new generation,
+    /// which is what "touched in the last N requests" means to
+    /// [`SharedInternTable::collected`].
+    pub fn begin_generation(&self) -> u64 {
+        self.inner.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Generation-tracked compaction: builds a **new** table (fresh arena,
+    /// fresh cache) containing exactly the entries touched in the last
+    /// `keep_last` generations, re-interning their keys. The hot memo
+    /// survives; everything colder — and every arena node only cold
+    /// entries referenced — is dropped with the old table's last handle.
+    ///
+    /// `keep_last = 0` keeps nothing; `keep_last = 1` keeps only entries
+    /// touched in the current generation. The new table continues the old
+    /// generation counter and hit/miss statistics. Entries keep their
+    /// stamps, so repeated collections age entries out rather than
+    /// refreshing them.
+    ///
+    /// Concurrent use is safe but racy in the benign direction: a store
+    /// into the old table that lands while collection walks the shards may
+    /// miss the cut — i.e. be treated as cold — which costs a future
+    /// recomputation, never a wrong result.
+    #[must_use = "collection returns the compacted table; the old one lives until its handles drop"]
+    pub fn collected(&self, keep_last: u64) -> SharedInternTable {
+        let cur = self.generation();
+        let fresh = SharedInternTable::new();
+        fresh.inner.generation.store(cur, Ordering::Relaxed);
+        fresh
+            .inner
+            .hits
+            .store(self.inner.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        fresh
+            .inner
+            .misses
+            .store(self.inner.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+        for shard in self.inner.cache.0.iter() {
+            // Snapshot the shard, then intern outside its lock (canon_id
+            // takes the *new* table's shard locks; never hold both).
+            let entries: Vec<(BetaKey, CachedBeta)> = shard
+                .lock()
+                .iter()
+                .filter(|(_, v)| v.stamp.saturating_add(keep_last) > cur)
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            for ((f, a, fuel), v) in entries {
+                let f_term = self.inner.interner.term(f);
+                let a_term = self.inner.interner.term(a);
+                let key = (
+                    fresh.inner.interner.canon_id(&f_term),
+                    fresh.inner.interner.canon_id(&a_term),
+                    fuel,
+                );
+                fresh.inner.cache.shard(&key).lock().insert(key, v);
+            }
+        }
+        fresh
+    }
 }
 
 impl BetaTable for SharedInternTable {
@@ -533,10 +622,13 @@ impl BetaTable for SharedInternTable {
             self.inner.interner.canon_id(a),
             fuel,
         );
-        match self.inner.cache.shard(&key).lock().get(&key) {
-            Some((r, exhausted)) => {
+        let generation = self.generation();
+        match self.inner.cache.shard(&key).lock().get_mut(&key) {
+            Some(v) => {
+                // Touch: a hit keeps the entry hot for the collector.
+                v.stamp = generation;
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                Some((r.clone(), *exhausted))
+                Some((v.result.clone(), v.exhausted))
             }
             None => {
                 self.inner.misses.fetch_add(1, Ordering::Relaxed);
@@ -551,11 +643,12 @@ impl BetaTable for SharedInternTable {
             self.inner.interner.canon_id(a),
             fuel,
         );
-        self.inner
-            .cache
-            .shard(&key)
-            .lock()
-            .insert(key, (r.clone(), exhausted));
+        let entry = CachedBeta {
+            result: r.clone(),
+            exhausted,
+            stamp: self.generation(),
+        };
+        self.inner.cache.shard(&key).lock().insert(key, entry);
     }
 }
 
@@ -627,5 +720,56 @@ mod tests {
             clone.lookup(&f2, &arg, 5).is_some(),
             "clones share the cache"
         );
+    }
+
+    #[test]
+    fn collected_keeps_recently_touched_entries_only() {
+        let mut table = SharedInternTable::new();
+        let hot_f = lam("x", var("x"));
+        let cold_f = lam("x", pair(var("x"), var("x")));
+        let arg = int(7);
+
+        table.begin_generation(); // request 1
+        table.store(&cold_f, &arg, 5, &int(1), false);
+        table.store(&hot_f, &arg, 5, &int(2), true);
+        table.begin_generation(); // request 2: touches only hot_f
+        assert!(table.lookup(&hot_f, &arg, 5).is_some());
+        table.begin_generation(); // request 3: touches only hot_f
+        assert!(table.lookup(&hot_f, &arg, 5).is_some());
+
+        // Keep the last 2 generations: hot_f (stamp 3) survives, cold_f
+        // (stamp 1) is dropped.
+        let mut gc = table.collected(2);
+        assert_eq!(gc.len(), 1);
+        assert_eq!(gc.generation(), table.generation());
+        // The compacted arena holds only the retained footprint (measured
+        // before any probe re-interns its key terms).
+        assert!(gc.interner().len() < table.interner().len());
+        let (r, ex) = gc.lookup(&hot_f, &arg, 5).expect("hot entry survives");
+        assert!(r.alpha_eq(&int(2)));
+        assert!(ex, "exhaustion flag preserved");
+        assert!(gc.lookup(&cold_f, &arg, 5).is_none(), "cold entry dropped");
+    }
+
+    #[test]
+    fn collected_hits_alpha_variants_like_the_original() {
+        let mut table = SharedInternTable::new();
+        table.begin_generation();
+        table.store(&lam("x", var("x")), &int(3), 9, &int(3), false);
+        let mut gc = table.collected(1);
+        let (r, _) = gc
+            .lookup(&lam("y", var("y")), &int(3), 9)
+            .expect("α-variant hits after compaction");
+        assert!(r.alpha_eq(&int(3)));
+    }
+
+    #[test]
+    fn collected_zero_keeps_nothing() {
+        let mut table = SharedInternTable::new();
+        table.begin_generation();
+        table.store(&lam("x", var("x")), &int(3), 9, &int(3), false);
+        let gc = table.collected(0);
+        assert!(gc.is_empty());
+        assert_eq!(gc.generation(), table.generation());
     }
 }

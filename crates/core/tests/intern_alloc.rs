@@ -107,3 +107,45 @@ fn warm_id_paths_allocate_nothing() {
         after - before
     );
 }
+
+#[test]
+fn post_gc_warm_shared_probe_allocates_nothing() {
+    use lambda_join_core::builder::*;
+    use lambda_join_core::engine::BetaTable;
+    use lambda_join_core::sharded::SharedInternTable;
+
+    let mut table = SharedInternTable::new();
+    // Server-shaped keys: a recursive-function value and a set argument,
+    // both comfortably larger than the interior pointer-cache threshold.
+    let f = lam(
+        "x",
+        app(var("x"), add(add(var("x"), int(1)), add(var("x"), int(2)))),
+    );
+    let a = set((0..16).map(int).collect());
+    let r = set(vec![int(1), int(2)]);
+
+    table.begin_generation();
+    table.store(&f, &a, 9, &r, false);
+    assert!(table.lookup(&f, &a, 9).is_some());
+
+    // Generation-tracked compaction into a fresh arena; the entry was
+    // touched this generation, so it survives.
+    let mut gc = table.collected(1);
+
+    // First probe re-warms the compacted arena's pointer caches for these
+    // allocations (the old arena's caches died with it).
+    assert!(gc.lookup(&f, &a, 9).is_some(), "hot entry survives GC");
+
+    // The invariant under test: after compaction, a warm probe is still
+    // two pointer-cache hits + one map access — zero allocations.
+    let before = allocations();
+    let hit = gc.lookup(&f, &a, 9);
+    let after = allocations();
+    assert!(hit.is_some());
+    assert_eq!(
+        after - before,
+        0,
+        "post-GC warm shared probe must not allocate (counted {})",
+        after - before
+    );
+}

@@ -24,7 +24,10 @@
 //! * [`par_seminaive`] — the thread-parallel seminaive engine: each
 //!   round's delta fans out over a bounded worker pool, deduplicated
 //!   through the process-shared sharded interner, with results
-//!   term-for-term equal to the sequential engine.
+//!   term-for-term equal to the sequential engine;
+//! * [`server`] — `lambdav serve`: a fault-tolerant evaluation service
+//!   with per-request budgets, admission control, failure isolation, and
+//!   generation-tracked memo GC.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod par_seminaive;
 pub mod parallel;
 pub mod semilattice;
 pub mod seminaive;
+pub mod server;
 pub mod stream;
 
 pub use memo::MemoEval;

@@ -1,0 +1,128 @@
+//! Admission control: a fuel-credit gate that bounds the total work the
+//! server has promised at any instant.
+//!
+//! Each admitted request reserves credits equal to its fuel budget — fuel
+//! is the engine's unit of work, so outstanding fuel is a direct measure
+//! of promised computation, unlike a plain request counter which would
+//! let many huge requests in or keep many tiny ones out. Reservations are
+//! RAII: dropping the [`Permit`] (on any exit path, including a panic
+//! unwinding through the session) releases the credits. When the gate is
+//! full the request is shed with a `retry_after_ms` hint that grows with
+//! the amount of work ahead of it, so well-behaved clients back off
+//! harder the more loaded the server is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The fuel-credit admission gate. Shared across all sessions.
+#[derive(Debug)]
+pub struct Gate {
+    max_outstanding: u64,
+    outstanding: AtomicU64,
+    retry_base_ms: u64,
+}
+
+/// A reservation of fuel credits; releases them on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Gate,
+    fuel: u64,
+}
+
+impl Gate {
+    /// A gate admitting at most `max_outstanding` fuel at once, with shed
+    /// hints starting at `retry_base_ms`.
+    pub fn new(max_outstanding: u64, retry_base_ms: u64) -> Gate {
+        Gate {
+            max_outstanding: max_outstanding.max(1),
+            outstanding: AtomicU64::new(0),
+            retry_base_ms: retry_base_ms.max(1),
+        }
+    }
+
+    /// Fuel currently reserved by in-flight requests.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Tries to reserve `fuel` credits. On success the returned [`Permit`]
+    /// holds the reservation; on rejection returns the `retry_after_ms`
+    /// hint to send the client. Zero-fuel requests still cost one credit
+    /// so a flood of them cannot slip under the gate.
+    pub fn acquire(&self, fuel: u64) -> Result<Permit<'_>, u64> {
+        let fuel = fuel.max(1);
+        let mut cur = self.outstanding.load(Ordering::Acquire);
+        loop {
+            if cur.saturating_add(fuel) > self.max_outstanding {
+                // Scale the hint with the queue of promised work: an
+                // almost-idle gate says "come right back", a saturated
+                // one pushes the retry out.
+                let load_factor = 1 + cur * 4 / self.max_outstanding;
+                return Err(self.retry_base_ms * load_factor);
+            }
+            match self.outstanding.compare_exchange_weak(
+                cur,
+                cur + fuel,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(Permit { gate: self, fuel }),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.outstanding.fetch_sub(self.fuel, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_are_reserved_and_released() {
+        let gate = Gate::new(100, 10);
+        let a = gate.acquire(60).unwrap();
+        assert_eq!(gate.outstanding(), 60);
+        let retry = gate.acquire(50).unwrap_err();
+        assert!(retry >= 10, "hint should be at least the base");
+        let b = gate.acquire(40).unwrap();
+        assert_eq!(gate.outstanding(), 100);
+        drop(a);
+        assert_eq!(gate.outstanding(), 40);
+        drop(b);
+        assert_eq!(gate.outstanding(), 0);
+    }
+
+    #[test]
+    fn zero_fuel_still_costs_a_credit() {
+        let gate = Gate::new(2, 10);
+        let _a = gate.acquire(0).unwrap();
+        let _b = gate.acquire(0).unwrap();
+        assert!(gate.acquire(0).is_err());
+        assert_eq!(gate.outstanding(), 2);
+    }
+
+    #[test]
+    fn retry_hint_grows_with_load() {
+        let gate = Gate::new(100, 10);
+        let idle_hint = gate.acquire(1000).unwrap_err();
+        let _held = gate.acquire(90).unwrap();
+        let busy_hint = gate.acquire(1000).unwrap_err();
+        assert!(busy_hint > idle_hint, "{busy_hint} vs {idle_hint}");
+    }
+
+    #[test]
+    fn panic_unwinding_releases_credits() {
+        let gate = Gate::new(10, 10);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _p = gate.acquire(7).unwrap();
+            panic!("request body exploded");
+        }));
+        assert!(r.is_err());
+        assert_eq!(gate.outstanding(), 0, "permit must release on unwind");
+    }
+}

@@ -1,0 +1,581 @@
+//! `lambdav serve` — a fault-tolerant λ∨ evaluation service.
+//!
+//! The paper's λ∨ programs denote *monotone* functions of their input
+//! prefixes, which is exactly the property a long-lived service wants:
+//! every reply at fuel `k` is a sound lower bound of the true meaning, so
+//! budget-limited answers are approximations, never lies. This module
+//! turns the engine into a persistent thread-per-connection TCP server
+//! where concurrent sessions share one warm
+//! [`SharedInternTable`] memo, with five robustness layers:
+//!
+//! 1. **Per-request budgets** — fuel, a wall-clock deadline, and an
+//!    arena-node quota, enforced cooperatively inside the engine loop
+//!    ([`lambda_join_core::engine::Budget`]); each limit has a distinct
+//!    structured error code.
+//! 2. **Admission control** — a bounded session crew plus the
+//!    fuel-credit [`admission::Gate`]; shed requests get an `overloaded`
+//!    reply with a `retry_after_ms` hint, never a dropped connection.
+//! 3. **Failure isolation** — each request body runs under
+//!    `catch_unwind`; a disconnecting or stalled client cancels its own
+//!    evaluation and nothing else.
+//! 4. **Memo GC under churn** — past a node watermark the shared memo is
+//!    compacted with
+//!    [`collected`](lambda_join_core::sharded::SharedInternTable::collected),
+//!    keeping entries touched within the last N admitted requests, so the
+//!    hot working set stays warm while one-off garbage is dropped.
+//! 5. **A chaos and load harness** — `tests/server_chaos.rs` and the
+//!    `loadgen` bench binary drive all of the above.
+//!
+//! The wire protocol is line-oriented with flat-JSON replies; see
+//! [`protocol`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lambda_join_runtime::server::{serve, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = serve(ServerConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! writeln!(conn, r#"eval fuel=8 "{{1}} \\/ {{2}}""#).unwrap();
+//! let mut reply = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut reply).unwrap();
+//! assert!(reply.contains("\"kind\":\"ok\""));
+//! handle.stop();
+//! ```
+
+pub mod admission;
+pub mod protocol;
+mod session;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use lambda_join_core::pool::Crew;
+use lambda_join_core::sharded::SharedInternTable;
+use parking_lot::Mutex;
+
+use protocol::{ErrorCode, Obj};
+
+/// Tunables for one server instance. `Default` is sized for tests and
+/// local use; the CLI exposes the load-bearing knobs as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port.
+    pub addr: String,
+    /// Maximum concurrent sessions; further connections are shed with a
+    /// clean `overloaded` reply.
+    pub max_sessions: usize,
+    /// Total fuel the admission gate lets in flight at once.
+    pub max_outstanding_fuel: u64,
+    /// Per-request fuel cap; requests above it are rejected as
+    /// `bad_request` (retrying unchanged can never succeed).
+    pub max_fuel: usize,
+    /// Fuel used when a request names none.
+    pub default_fuel: usize,
+    /// Wall-clock deadline used when a request names none.
+    pub default_deadline_ms: u64,
+    /// Upper bound on any request's deadline.
+    pub max_deadline_ms: u64,
+    /// Arena-node growth quota used when a request names none.
+    pub default_node_quota: usize,
+    /// Request lines above this many bytes are rejected as `too_large`.
+    pub max_line_bytes: usize,
+    /// A partial request line older than this is a slowloris; the
+    /// session is closed with a structured error.
+    pub line_deadline_ms: u64,
+    /// Sessions with no traffic for this long are closed.
+    pub idle_timeout_ms: u64,
+    /// OS-level write timeout; a client that stops draining its socket
+    /// is disconnected rather than wedging the session.
+    pub write_timeout_ms: u64,
+    /// Interner size (nodes) above which a post-request compaction is
+    /// attempted.
+    pub gc_node_watermark: usize,
+    /// How many admitted requests back an entry may last have been
+    /// touched and still survive compaction.
+    pub gc_keep_generations: u64,
+    /// Base of the `retry_after_ms` hint on shed requests.
+    pub retry_base_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 32,
+            max_outstanding_fuel: 4096,
+            max_fuel: 1 << 16,
+            default_fuel: 64,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 30_000,
+            default_node_quota: 4_000_000,
+            max_line_bytes: 1 << 20,
+            line_deadline_ms: 5_000,
+            idle_timeout_ms: 30_000,
+            write_timeout_ms: 2_000,
+            gc_node_watermark: 1_000_000,
+            gc_keep_generations: 64,
+            retry_base_ms: 25,
+        }
+    }
+}
+
+/// Shared server state: config, the warm memo, counters, and the
+/// shutdown flag (which doubles as the engine-level cancel flag of every
+/// in-flight request).
+pub(crate) struct ServerState {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) gate: admission::Gate,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) crew: Crew,
+    started: Instant,
+    /// The current memo handle. Sessions clone it (cheap: `Arc` inside);
+    /// compaction swaps in a fresh table, after which old in-flight
+    /// requests finish against the previous table and drop it.
+    memo: Mutex<SharedInternTable>,
+    /// Serialises compaction; contenders skip rather than queue.
+    gc_busy: Mutex<()>,
+    pub(crate) requests_total: AtomicU64,
+    pub(crate) rejected_total: AtomicU64,
+    pub(crate) panics_total: AtomicU64,
+    gc_runs: AtomicU64,
+}
+
+impl ServerState {
+    /// A clone of the current shared memo handle.
+    pub(crate) fn memo_handle(&self) -> SharedInternTable {
+        self.memo.lock().clone()
+    }
+
+    /// Post-request GC: if the interner has grown past the watermark,
+    /// compact the memo down to generation-recent entries and publish
+    /// the fresh table. `try_lock` keeps at most one session compacting;
+    /// everyone else returns to serving immediately.
+    pub(crate) fn maybe_collect(&self) {
+        let snapshot = self.memo_handle();
+        if snapshot.interner().len() <= self.cfg.gc_node_watermark {
+            return;
+        }
+        if let Some(_busy) = self.gc_busy.try_lock() {
+            let compacted = snapshot.collected(self.cfg.gc_keep_generations);
+            *self.memo.lock() = compacted;
+            self.gc_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flips the shutdown flag (cancelling in-flight evaluations at
+    /// their next budget poll) and pokes the accept loop awake.
+    pub(crate) fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // unblocks it so it can observe the flag. No signal handling
+        // needed — shutdown is an ordinary protocol verb.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    /// The `stats` reply.
+    pub(crate) fn stats_obj(&self) -> Obj {
+        let memo = self.memo_handle();
+        let (hits, misses) = memo.stats();
+        let mut o = Obj::kind("stats");
+        o.push_num("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .push_num("sessions", self.crew.active() as u64)
+            .push_num("outstanding_fuel", self.gate.outstanding())
+            .push_num("requests", self.requests_total.load(Ordering::Relaxed))
+            .push_num("rejected", self.rejected_total.load(Ordering::Relaxed))
+            .push_num("panics", self.panics_total.load(Ordering::Relaxed))
+            .push_num("gc_runs", self.gc_runs.load(Ordering::Relaxed))
+            .push_num("memo_entries", memo.len() as u64)
+            .push_num("interner_nodes", memo.interner().len() as u64)
+            .push_num("memo_hits", hits as u64)
+            .push_num("memo_misses", misses as u64)
+            .push_num("generation", memo.generation());
+        o
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the OS-assigned port when the
+    /// config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop: no new sessions are admitted and
+    /// in-flight evaluations are cancelled at their next budget poll.
+    /// Returns without waiting; use [`stop`](ServerHandle::stop) to also
+    /// drain.
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+
+    /// Blocks until the server shuts down — via the `shutdown` protocol
+    /// verb from a client, or [`shutdown`](ServerHandle::shutdown) from
+    /// another thread. Returns `true` if every session drained cleanly.
+    pub fn wait(mut self) -> bool {
+        let drained = match self.accept.take() {
+            Some(h) => h.join().is_ok(),
+            None => true,
+        };
+        drained && self.state.crew.active() == 0
+    }
+
+    /// Shuts down and waits for the accept loop (which itself drains
+    /// live sessions, bounded by a timeout). Returns `true` if every
+    /// session exited within the drain window.
+    pub fn stop(mut self) -> bool {
+        self.state.trigger_shutdown();
+        let drained = match self.accept.take() {
+            Some(h) => h.join().is_ok(),
+            None => true,
+        };
+        drained && self.state.crew.active() == 0
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.trigger_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds and starts a server, returning once it is accepting
+/// connections.
+pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        gate: admission::Gate::new(cfg.max_outstanding_fuel, cfg.retry_base_ms),
+        crew: Crew::new(cfg.max_sessions),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        started: Instant::now(),
+        memo: Mutex::new(SharedInternTable::new()),
+        gc_busy: Mutex::new(()),
+        requests_total: AtomicU64::new(0),
+        rejected_total: AtomicU64::new(0),
+        panics_total: AtomicU64::new(0),
+        gc_runs: AtomicU64::new(0),
+        addr,
+        cfg,
+    });
+
+    let accept_state = Arc::clone(&state);
+    let accept = thread::Builder::new()
+        .name("lambdav-accept".into())
+        .spawn(move || accept_loop(listener, accept_state))?;
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Hand a clone to the session thread and keep the original so a
+        // full crew can still answer with a structured shed reply.
+        let for_task = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let task_state = Arc::clone(&state);
+        if let Err(full) = state
+            .crew
+            .try_spawn(move || session::run_session(for_task, task_state))
+        {
+            state.rejected_total.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                stream.set_write_timeout(Some(Duration::from_millis(state.cfg.write_timeout_ms)));
+            let mut o = Obj::kind("err");
+            o.push_str("code", ErrorCode::Overloaded.as_str())
+                .push_str("msg", &format!("session limit {} reached", full.max))
+                .push_num("retry_after_ms", state.cfg.retry_base_ms);
+            use std::io::Write;
+            let _ = stream.write_all(o.finish().as_bytes());
+            let _ = stream.write_all(b"\n");
+        }
+    }
+    // Drain: sessions notice the flag at their next read tick.
+    state.crew.join_all(Duration::from_secs(10));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::protocol::FlatReply;
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+        let conn = TcpStream::connect(handle.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let reader = BufReader::new(conn.try_clone().unwrap());
+        (conn, reader)
+    }
+
+    fn round_trip(
+        conn: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        line: &str,
+    ) -> FlatReply {
+        writeln!(conn, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        FlatReply::parse(&reply).unwrap()
+    }
+
+    fn small_server() -> ServerHandle {
+        serve(ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn ping_eval_stats_round_trip() {
+        let handle = small_server();
+        let (mut conn, mut reader) = connect(&handle);
+
+        assert_eq!(
+            round_trip(&mut conn, &mut reader, "ping").kind(),
+            Some("pong")
+        );
+
+        let r = round_trip(&mut conn, &mut reader, r#"eval fuel=8 "{1} \\/ {2}""#);
+        assert_eq!(r.kind(), Some("ok"), "{r:?}");
+        assert_eq!(r.str_of("result"), Some("{1, 2}"));
+
+        let r = round_trip(&mut conn, &mut reader, "stats");
+        assert_eq!(r.kind(), Some("stats"));
+        assert_eq!(r.num_of("requests"), Some(1));
+
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn streaming_watch_sends_growing_observations() {
+        let handle = small_server();
+        let (mut conn, mut reader) = connect(&handle);
+        let evens = r#"let rec evens _ = {0} \/ (for x in evens () . {x + 2}) in evens ()"#;
+        writeln!(
+            conn,
+            "watch fuel=12 step=2 \"{}\"",
+            evens.replace('\\', "\\\\")
+        )
+        .unwrap();
+        let mut kinds = Vec::new();
+        let mut obs = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let r = FlatReply::parse(&line).unwrap();
+            kinds.push(r.kind().unwrap().to_string());
+            if r.kind() == Some("obs") {
+                obs.push(r.str_of("result").unwrap().to_string());
+            }
+            if r.kind() == Some("done") {
+                break;
+            }
+        }
+        assert!(
+            obs.len() >= 2,
+            "expected several distinct observations: {obs:?}"
+        );
+        assert!(kinds.iter().all(|k| k == "obs" || k == "done"));
+        // Consecutive-dedup: all streamed observations are distinct.
+        for w in obs.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn structured_errors_for_bad_requests() {
+        let handle = small_server();
+        let (mut conn, mut reader) = connect(&handle);
+
+        let r = round_trip(&mut conn, &mut reader, "frobnicate");
+        assert_eq!(r.error_code(), Some(ErrorCode::Malformed));
+
+        let r = round_trip(&mut conn, &mut reader, r#"eval "let x = in""#);
+        assert_eq!(r.error_code(), Some(ErrorCode::ParseError));
+
+        let r = round_trip(&mut conn, &mut reader, r#"eval "x y""#);
+        assert_eq!(r.error_code(), Some(ErrorCode::FreeVars));
+
+        let r = round_trip(&mut conn, &mut reader, r#"eval fuel=999999999 "1""#);
+        assert_eq!(r.error_code(), Some(ErrorCode::BadRequest));
+
+        // The session survived all of that.
+        assert_eq!(
+            round_trip(&mut conn, &mut reader, "ping").kind(),
+            Some("pong")
+        );
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn fuel_exhaustion_carries_partial_observation() {
+        let handle = small_server();
+        let (mut conn, mut reader) = connect(&handle);
+        let evens = r#"let rec evens _ = {0} \/ (for x in evens () . {x + 2}) in evens ()"#;
+        writeln!(conn, "eval fuel=6 \"{}\"", evens.replace('\\', "\\\\")).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = FlatReply::parse(&line).unwrap();
+        assert_eq!(r.error_code(), Some(ErrorCode::FuelExhausted), "{r:?}");
+        let partial = r.str_of("result").unwrap();
+        assert!(
+            partial.contains('0'),
+            "partial observation should show progress: {partial}"
+        );
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn shutdown_verb_stops_the_server() {
+        let handle = small_server();
+        let addr = handle.addr();
+        let (mut conn, mut reader) = connect(&handle);
+        let r = round_trip(&mut conn, &mut reader, "shutdown");
+        assert_eq!(r.kind(), Some("ok"));
+        assert!(handle.stop());
+        // New connections are refused (or reset) after shutdown.
+        let late = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+        if let Ok(mut s) = late {
+            let _ = writeln!(s, "ping");
+            let mut buf = String::new();
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let n = BufReader::new(s).read_line(&mut buf).unwrap_or(0);
+            assert_eq!(n, 0, "post-shutdown connection should see EOF, got {buf:?}");
+        }
+    }
+
+    #[test]
+    fn session_limit_sheds_with_structured_overloaded() {
+        let cfg = ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        // Occupy the single slot with a live session.
+        assert_eq!(
+            round_trip(&mut conn, &mut reader, "ping").kind(),
+            Some("pong")
+        );
+
+        let (_c2, mut r2) = connect(&handle);
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        let shed = FlatReply::parse(&line).unwrap();
+        assert_eq!(shed.error_code(), Some(ErrorCode::Overloaded), "{shed:?}");
+        assert!(shed.num_of("retry_after_ms").is_some());
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn admission_gate_sheds_fuel_storms() {
+        let cfg = ServerConfig {
+            max_outstanding_fuel: 100,
+            max_fuel: 1 << 16,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        // A single request bigger than the whole gate is shed cleanly.
+        let r = round_trip(&mut conn, &mut reader, r#"eval fuel=200 "1""#);
+        assert_eq!(r.error_code(), Some(ErrorCode::Overloaded), "{r:?}");
+        assert!(r.num_of("retry_after_ms").unwrap() > 0);
+        // Small requests still go through.
+        let r = round_trip(&mut conn, &mut reader, r#"eval fuel=8 "1""#);
+        assert_eq!(r.kind(), Some("ok"));
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn deadline_exceeded_is_structured() {
+        let cfg = ServerConfig {
+            // Room for the big fuel budget to clear the admission gate.
+            max_outstanding_fuel: 1 << 20,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        // An unbounded fixpoint with a tiny deadline: fuel high enough
+        // that wall-clock trips first.
+        let evens = r#"let rec evens _ = {0} \/ (for x in evens () . {x + 2}) in evens ()"#;
+        writeln!(
+            conn,
+            "eval fuel=60000 deadline_ms=1 \"{}\"",
+            evens.replace('\\', "\\\\")
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = FlatReply::parse(&line).unwrap();
+        assert!(
+            matches!(
+                r.error_code(),
+                Some(ErrorCode::DeadlineExceeded) | Some(ErrorCode::FuelExhausted)
+            ),
+            "tiny deadline should trip (or fuel run out first on a fast box): {r:?}"
+        );
+        assert!(handle.stop());
+    }
+
+    #[test]
+    fn memo_gc_swaps_in_a_compacted_table() {
+        let cfg = ServerConfig {
+            gc_node_watermark: 16,
+            gc_keep_generations: 1,
+            ..ServerConfig::default()
+        };
+        let handle = serve(cfg).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        // Distinct β-redexes churn the memo (and interner) past the
+        // watermark — only applications populate the shared table.
+        for i in 0..40 {
+            let r = round_trip(
+                &mut conn,
+                &mut reader,
+                &format!(r#"eval fuel=8 "(\\x. {{x}} \\/ {{x + 1}}) {i}""#),
+            );
+            assert_eq!(r.kind(), Some("ok"), "{r:?}");
+        }
+        let stats = round_trip(&mut conn, &mut reader, "stats");
+        assert!(
+            stats.num_of("gc_runs").unwrap() >= 1,
+            "watermark 16 should have forced at least one collection: {stats:?}"
+        );
+        // The warm path still works post-GC.
+        let r = round_trip(
+            &mut conn,
+            &mut reader,
+            r#"eval fuel=8 "(\\x. {x} \\/ {x + 1}) 39""#,
+        );
+        assert_eq!(r.kind(), Some("ok"), "{r:?}");
+        assert!(handle.stop());
+    }
+}

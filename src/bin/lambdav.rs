@@ -1,46 +1,97 @@
-//! `lambdav` — a command-line runner for λ∨ programs.
+//! `lambdav` — a command-line runner and evaluation server for λ∨
+//! programs.
 //!
 //! ```sh
-//! lambdav run  'program or file.lv'  [--fuel N]     # final observation
-//! lambdav watch 'program or file.lv' [--fuel N]     # observation stream
-//! lambdav check 'program or file.lv'                # parse + formula info
+//! lambdav run  'program or file.lv'  [--fuel N] [--timeout MS]  # final observation
+//! lambdav watch 'program or file.lv' [--fuel N] [--timeout MS]  # observation stream
+//! lambdav check 'program or file.lv' [--fuel N]                 # parse + formula info
+//! lambdav serve [--addr HOST:PORT] [--sessions N]               # evaluation service
+//!               [--fuel-cap N] [--outstanding-fuel N]
 //! ```
 //!
-//! The argument is treated as a file path if such a file exists, otherwise
-//! as inline source.
+//! The program argument is treated as a file path if such a file exists,
+//! otherwise as inline source. Exactly one program argument is accepted;
+//! a second positional or an unrecognised flag is an error rather than a
+//! silent overwrite (so `--feul 9` fails loudly instead of evaluating
+//! with the default fuel).
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use lambda_join::core::bigstep::{eval_fuel, fuel_trace};
+use lambda_join::core::bigstep::eval_fuel;
+use lambda_join::core::engine::{self, Budget, NoTable, StopCause};
 use lambda_join::core::parser::parse;
 use lambda_join::core::TermRef;
 use lambda_join::filter::ambiguity::check_ambiguity_fuel;
 use lambda_join::filter::assign::derives_value;
 use lambda_join::filter::semantics::meaning_fragment;
+use lambda_join::runtime::server::{serve, ServerConfig};
+
+const USAGE: &str = "usage: lambdav <run|watch|check> <program-or-file> [--fuel N] [--timeout MS]
+       lambdav serve [--addr HOST:PORT] [--sessions N] [--fuel-cap N] [--outstanding-fuel N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r.to_vec()),
         None => {
-            eprintln!("usage: lambdav <run|watch|check> <program-or-file> [--fuel N]");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    match cmd {
+        "run" | "watch" | "check" => eval_command(cmd, rest),
+        "serve" => serve_command(rest),
+        other => {
+            eprintln!("unknown command {other:?}; use run, watch, check, or serve");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses the next value of flag `flag` as a number, with a loud error.
+fn flag_value<T: std::str::FromStr>(
+    flag: &str,
+    it: &mut std::vec::IntoIter<String>,
+) -> Result<T, ExitCode> {
+    match it.next().and_then(|v| v.parse().ok()) {
+        Some(n) => Ok(n),
+        None => {
+            eprintln!("{flag} requires a number");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn eval_command(cmd: &str, rest: Vec<String>) -> ExitCode {
     let mut fuel = 40usize;
+    let mut timeout_ms: Option<u64> = None;
     let mut source_arg: Option<String> = None;
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
-        if a == "--fuel" {
-            match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) => fuel = n,
-                None => {
-                    eprintln!("--fuel requires a number");
+        match a.as_str() {
+            "--fuel" => match flag_value("--fuel", &mut it) {
+                Ok(n) => fuel = n,
+                Err(code) => return code,
+            },
+            "--timeout" if cmd != "check" => match flag_value("--timeout", &mut it) {
+                Ok(n) => timeout_ms = Some(n),
+                Err(code) => return code,
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag:?} for `lambdav {cmd}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            _ => {
+                if let Some(prev) = &source_arg {
+                    eprintln!(
+                        "unexpected second program argument {a:?} (already have {prev:?}); \
+                         pass exactly one program or file"
+                    );
                     return ExitCode::FAILURE;
                 }
+                source_arg = Some(a);
             }
-        } else {
-            source_arg = Some(a);
         }
     }
     let Some(source_arg) = source_arg else {
@@ -62,14 +113,44 @@ fn main() -> ExitCode {
         eprintln!("program has free variables: {:?}", term.free_vars());
         return ExitCode::FAILURE;
     }
-    match cmd {
-        "run" => {
-            println!("{}", eval_fuel(&term, fuel));
-            ExitCode::SUCCESS
+    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    // One budgeted engine run at `fuel`; returns Err on a tripped deadline.
+    let run_once = |f: usize| -> Result<TermRef, ()> {
+        match deadline {
+            None => Ok(eval_fuel(&term, f)),
+            Some(d) => {
+                let mut budget = Budget::new(usize::MAX).with_deadline(d);
+                let r = engine::run(&term, f, &mut budget, &mut NoTable);
+                match budget.stop_cause() {
+                    Some(StopCause::Deadline) => Err(()),
+                    _ => Ok(r),
+                }
+            }
         }
+    };
+    match cmd {
+        "run" => match run_once(fuel) {
+            Ok(r) => {
+                println!("{r}");
+                ExitCode::SUCCESS
+            }
+            Err(()) => {
+                eprintln!("deadline exceeded after {} ms", timeout_ms.unwrap_or(0));
+                ExitCode::FAILURE
+            }
+        },
         "watch" => {
-            for (i, obs) in fuel_trace(&term, fuel, 1).iter().enumerate() {
-                println!("t{i}: {obs}");
+            for f in 0..=fuel {
+                match run_once(f) {
+                    Ok(obs) => println!("t{f}: {obs}"),
+                    Err(()) => {
+                        eprintln!(
+                            "deadline exceeded after {} ms (at fuel {f})",
+                            timeout_ms.unwrap_or(0)
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             ExitCode::SUCCESS
         }
@@ -87,8 +168,54 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        other => {
-            eprintln!("unknown command {other:?}; use run, watch, or check");
+        _ => unreachable!("eval_command is called for run/watch/check only"),
+    }
+}
+
+fn serve_command(rest: Vec<String>) -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(addr) => cfg.addr = addr,
+                None => {
+                    eprintln!("--addr requires HOST:PORT");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sessions" => match flag_value("--sessions", &mut it) {
+                Ok(n) => cfg.max_sessions = n,
+                Err(code) => return code,
+            },
+            "--fuel-cap" => match flag_value("--fuel-cap", &mut it) {
+                Ok(n) => cfg.max_fuel = n,
+                Err(code) => return code,
+            },
+            "--outstanding-fuel" => match flag_value("--outstanding-fuel", &mut it) {
+                Ok(n) => cfg.max_outstanding_fuel = n,
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("unknown argument {other:?} for `lambdav serve`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match serve(cfg) {
+        Ok(handle) => {
+            // The load generator and the CI smoke step scrape this line
+            // for the bound (possibly OS-assigned) address.
+            println!("listening on {}", handle.addr());
+            let drained = handle.wait();
+            eprintln!(
+                "lambdav serve: shut down{}",
+                if drained { "" } else { " (sessions timed out)" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
             ExitCode::FAILURE
         }
     }
