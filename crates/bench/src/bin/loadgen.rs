@@ -16,10 +16,20 @@
 //! With `--shutdown` the generator sends the `shutdown` verb at the end,
 //! so a scripted run (the CI smoke step) can assert the server process
 //! exits cleanly afterwards.
+//!
+//! `--warm-boot [--snapshot PATH]` runs a self-contained restart
+//! scenario instead of targeting an external server: it boots an
+//! in-process server, drives the mixed load to warm the memo, kills the
+//! server mid-run (graceful stop — which checkpoints when `--snapshot`
+//! is given), restarts it, and records the first-request latency on the
+//! fresh boot. With a snapshot the restarted server answers from the
+//! warm table; without one it pays the cold evaluation again — run both
+//! to see the gap.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use lambda_join_bench::loadclient::{run_load, Client};
+use lambda_join_bench::loadclient::{run_load, wire_quote, Client};
 
 fn main() -> ExitCode {
     let mut addr: Option<String> = None;
@@ -28,6 +38,8 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut out: Option<String> = None;
     let mut shutdown = false;
+    let mut warm_boot = false;
+    let mut snapshot: Option<String> = None;
 
     fn num(flag: &str, it: &mut impl Iterator<Item = String>) -> Option<u64> {
         match it.next().and_then(|v| v.parse().ok()) {
@@ -57,15 +69,21 @@ fn main() -> ExitCode {
             },
             "--out" => out = it.next(),
             "--shutdown" => shutdown = true,
+            "--warm-boot" => warm_boot = true,
+            "--snapshot" => snapshot = it.next(),
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: loadgen --addr HOST:PORT [--clients N] [--requests N] \
-                     [--seed N] [--out FILE] [--shutdown]"
+                     [--seed N] [--out FILE] [--shutdown]\n       \
+                     loadgen --warm-boot [--snapshot PATH] [--clients N] [--requests N] [--seed N]"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if warm_boot {
+        return warm_boot_scenario(snapshot, clients, requests, seed);
     }
     let Some(addr) = addr else {
         eprintln!("--addr HOST:PORT is required");
@@ -143,4 +161,102 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// The kill/restart scenario: warm an in-process server under the mixed
+/// load, stop it mid-run (checkpointing when a snapshot path is given),
+/// restart it, and report the first-request latency on the fresh boot.
+fn warm_boot_scenario(
+    snapshot: Option<String>,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+) -> ExitCode {
+    use lambda_join_core::encodings::{self, Graph};
+    use lambda_join_runtime::server::{serve, ServerConfig};
+
+    let cfg = ServerConfig {
+        max_outstanding_fuel: 1 << 20,
+        snapshot_path: snapshot.as_ref().map(Into::into),
+        // Keep the whole warmed working set in the checkpoint: the
+        // default generation window is tuned for long-lived churn, not a
+        // short load burst.
+        gc_keep_generations: 1 << 20,
+        ..ServerConfig::default()
+    };
+    let mode = if snapshot.is_some() {
+        "with snapshot"
+    } else {
+        "without snapshot"
+    };
+    println!("loadgen: warm-boot scenario {mode} ({clients} clients x {requests} requests)");
+
+    // Phase 1: warm a server under the mixed load, then kill it.
+    let handle = match serve(cfg.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to boot server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_load(&handle.addr().to_string(), clients, requests, seed);
+    println!(
+        "  warmed: {} requests completed ({} protocol errors)",
+        report.total(),
+        report.protocol_errors
+    );
+    if report.protocol_errors > 0 {
+        for s in &report.error_samples {
+            eprintln!("  protocol error: {s}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if !handle.stop() {
+        eprintln!("server failed to drain on the mid-run kill");
+        return ExitCode::FAILURE;
+    }
+
+    // Phase 2: restart and time the first request on the fresh boot.
+    let reaches = encodings::reaches(&Graph::cycle(6), 0).to_string();
+    let line = format!("eval fuel={} {}", 24 * 6, wire_quote(&reaches));
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to restart server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(handle.addr()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("reconnect after restart failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let first = client.round_trip(&line);
+    let first_ns = t0.elapsed().as_nanos() as u64;
+    match first {
+        // A structured budget limit is a complete exchange — the mixed
+        // load treats it the same way (the reach query reports
+        // fuel-exhausted with the full observation attached).
+        Ok(r) if matches!(r.kind(), Some("ok") | Some("err")) => {}
+        Ok(r) => {
+            eprintln!("first request after restart failed: {r:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("first request after restart failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "  first request after restart ({mode}): {} us",
+        first_ns / 1_000
+    );
+    if !handle.stop() {
+        eprintln!("restarted server failed to drain");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

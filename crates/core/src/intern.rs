@@ -456,6 +456,18 @@ impl Interner {
         &self.keys[id.index()]
     }
 
+    /// The id at a dense index, for re-materialising persisted ids (ids
+    /// are stable across [`crate::snap`] save/load, so a stored
+    /// `TermId::index` round-trips through here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn id_at(&self, index: usize) -> TermId {
+        assert!(index < self.keys.len(), "id index out of range");
+        TermId::from_raw(index as u32)
+    }
+
     /// The cached id of `⊥`, minted on first use.
     pub fn bot_id(&mut self) -> TermId {
         if let Some(id) = self.leaf_bot {
@@ -496,6 +508,217 @@ impl Interner {
             Some(id) => id,
             None => self.insert_node(hash, key, None),
         }
+    }
+
+    /// Encodes the node key of `id` for a snapshot (see [`crate::snap`]):
+    /// one variant tag byte, then binder strings, symbols, and varint child
+    /// ids. Lives here because `NodeKey` is crate-private.
+    pub(crate) fn snap_encode_key(&self, id: TermId, buf: &mut Vec<u8>) {
+        use crate::snap::{put_str, put_v32, put_v64, put_zig};
+        fn sym(buf: &mut Vec<u8>, s: &Symbol) {
+            match s {
+                Symbol::Name(n) => {
+                    buf.push(0);
+                    put_str(buf, n);
+                }
+                Symbol::Str(n) => {
+                    buf.push(1);
+                    put_str(buf, n);
+                }
+                Symbol::Int(i) => {
+                    buf.push(2);
+                    put_zig(buf, *i);
+                }
+                Symbol::Level(l) => {
+                    buf.push(3);
+                    put_v64(buf, *l);
+                }
+            }
+        }
+        let two = |buf: &mut Vec<u8>, a: TermId, b: TermId| {
+            put_v32(buf, a.raw());
+            put_v32(buf, b.raw());
+        };
+        match &self.keys[id.index()] {
+            NodeKey::Bot => buf.push(0),
+            NodeKey::Top => buf.push(1),
+            NodeKey::BotV => buf.push(2),
+            NodeKey::Var(v) => {
+                buf.push(3);
+                put_str(buf, v);
+            }
+            NodeKey::Sym(s) => {
+                buf.push(4);
+                sym(buf, s);
+            }
+            NodeKey::Lam(v, b) => {
+                buf.push(5);
+                put_str(buf, v);
+                put_v32(buf, b.raw());
+            }
+            NodeKey::Frz(a) => {
+                buf.push(6);
+                put_v32(buf, a.raw());
+            }
+            NodeKey::Pair(a, b) => {
+                buf.push(7);
+                two(buf, *a, *b);
+            }
+            NodeKey::App(a, b) => {
+                buf.push(8);
+                two(buf, *a, *b);
+            }
+            NodeKey::Join(a, b) => {
+                buf.push(9);
+                two(buf, *a, *b);
+            }
+            NodeKey::Lex(a, b) => {
+                buf.push(10);
+                two(buf, *a, *b);
+            }
+            NodeKey::LexMerge(a, b) => {
+                buf.push(11);
+                two(buf, *a, *b);
+            }
+            NodeKey::LetSym(s, a, b) => {
+                buf.push(12);
+                sym(buf, s);
+                two(buf, *a, *b);
+            }
+            NodeKey::LetPair(x, y, a, b) => {
+                buf.push(13);
+                put_str(buf, x);
+                put_str(buf, y);
+                two(buf, *a, *b);
+            }
+            NodeKey::BigJoin(v, a, b) => {
+                buf.push(14);
+                put_str(buf, v);
+                two(buf, *a, *b);
+            }
+            NodeKey::LetFrz(v, a, b) => {
+                buf.push(15);
+                put_str(buf, v);
+                two(buf, *a, *b);
+            }
+            NodeKey::LexBind(v, a, b) => {
+                buf.push(16);
+                put_str(buf, v);
+                two(buf, *a, *b);
+            }
+            NodeKey::Set(ids) => {
+                buf.push(17);
+                put_v64(buf, ids.len() as u64);
+                for i in ids.iter() {
+                    put_v32(buf, i.raw());
+                }
+            }
+            NodeKey::Prim(op, ids) => {
+                buf.push(18);
+                buf.push(match op {
+                    Prim::Add => 0,
+                    Prim::Sub => 1,
+                    Prim::Mul => 2,
+                    Prim::Le => 3,
+                    Prim::Lt => 4,
+                    Prim::Eq => 5,
+                    Prim::Member => 6,
+                    Prim::Diff => 7,
+                    Prim::SetSize => 8,
+                });
+                put_v64(buf, ids.len() as u64);
+                for i in ids.iter() {
+                    put_v32(buf, i.raw());
+                }
+            }
+        }
+    }
+
+    /// Decodes one snapshot node key and replays it through
+    /// [`Interner::intern_node`], re-deriving metadata and the hash-cons
+    /// index entry. Child ids must already exist (keys are saved in id
+    /// order, children first) and the replayed node must mint the next
+    /// dense id — a corrupt duplicate key would otherwise dedup to an
+    /// existing id and silently shift every later id.
+    pub(crate) fn snap_decode_push(
+        &mut self,
+        cur: &mut crate::snap::Cur<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let len = self.keys.len();
+        let child = |cur: &mut crate::snap::Cur<'_>| -> Result<TermId, SnapError> {
+            let raw = cur.v32()?;
+            if (raw as usize) < len {
+                Ok(TermId::from_raw(raw))
+            } else {
+                Err(SnapError::Malformed("child id out of range"))
+            }
+        };
+        fn sym(cur: &mut crate::snap::Cur<'_>) -> Result<Symbol, SnapError> {
+            Ok(match cur.u8()? {
+                0 => Symbol::Name(Arc::from(cur.str_()?)),
+                1 => Symbol::Str(Arc::from(cur.str_()?)),
+                2 => Symbol::Int(cur.zig()?),
+                3 => Symbol::Level(cur.v64()?),
+                _ => return Err(SnapError::Malformed("unknown symbol variant")),
+            })
+        }
+        fn binder(cur: &mut crate::snap::Cur<'_>) -> Result<Var, SnapError> {
+            Ok(Arc::from(cur.str_()?))
+        }
+        let key = match cur.u8()? {
+            0 => NodeKey::Bot,
+            1 => NodeKey::Top,
+            2 => NodeKey::BotV,
+            3 => NodeKey::Var(binder(cur)?),
+            4 => NodeKey::Sym(sym(cur)?),
+            5 => NodeKey::Lam(binder(cur)?, child(cur)?),
+            6 => NodeKey::Frz(child(cur)?),
+            7 => NodeKey::Pair(child(cur)?, child(cur)?),
+            8 => NodeKey::App(child(cur)?, child(cur)?),
+            9 => NodeKey::Join(child(cur)?, child(cur)?),
+            10 => NodeKey::Lex(child(cur)?, child(cur)?),
+            11 => NodeKey::LexMerge(child(cur)?, child(cur)?),
+            12 => NodeKey::LetSym(sym(cur)?, child(cur)?, child(cur)?),
+            13 => NodeKey::LetPair(binder(cur)?, binder(cur)?, child(cur)?, child(cur)?),
+            14 => NodeKey::BigJoin(binder(cur)?, child(cur)?, child(cur)?),
+            15 => NodeKey::LetFrz(binder(cur)?, child(cur)?, child(cur)?),
+            16 => NodeKey::LexBind(binder(cur)?, child(cur)?, child(cur)?),
+            17 => {
+                let n = cur.count(1)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(child(cur)?);
+                }
+                NodeKey::Set(ids.into_boxed_slice())
+            }
+            18 => {
+                let op = match cur.u8()? {
+                    0 => Prim::Add,
+                    1 => Prim::Sub,
+                    2 => Prim::Mul,
+                    3 => Prim::Le,
+                    4 => Prim::Lt,
+                    5 => Prim::Eq,
+                    6 => Prim::Member,
+                    7 => Prim::Diff,
+                    8 => Prim::SetSize,
+                    _ => return Err(SnapError::Malformed("unknown prim")),
+                };
+                let n = cur.count(1)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(child(cur)?);
+                }
+                NodeKey::Prim(op, ids.into_boxed_slice())
+            }
+            _ => return Err(SnapError::Malformed("unknown node variant")),
+        };
+        let got = self.intern_node(key);
+        if got.index() != len {
+            return Err(SnapError::Malformed("duplicate node key"));
+        }
+        Ok(())
     }
 
     /// Interns a term *structurally*: equal trees (including binder names)
@@ -1528,11 +1751,18 @@ fn minus(a: &[Var], remove: &[Var]) -> Vec<Var> {
 ///
 /// The table does not own the arena: the engine's caller keeps one arena
 /// and threads it alongside (see `lambda-join-runtime`'s `MemoEval`).
+///
+/// Entries carry a generation *stamp* — the same recency signal
+/// [`crate::sharded::SharedInternTable`] uses for its GC — refreshed on
+/// every hit, so [`InternTable::collected`] can migrate just the
+/// recently-touched working set into a compacted arena, and snapshots
+/// ([`crate::snap`]) persist recency alongside each entry.
 #[derive(Debug, Clone, Default)]
 pub struct InternTable {
-    cache: FastMap<(TermId, TermId, usize), (TermId, bool)>,
+    cache: FastMap<(TermId, TermId, usize), (TermId, bool, u64)>,
     hits: usize,
     misses: usize,
+    generation: u64,
 }
 
 impl InternTable {
@@ -1555,14 +1785,90 @@ impl InternTable {
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
     }
+
+    /// Advances the recency clock: entries stored or hit from now on are
+    /// stamped with the new generation. Callers bump this at natural
+    /// work boundaries (the seminaive engine once per round).
+    pub fn begin_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The working set of the table: a new table holding only the entries
+    /// stored or hit within the last `keep_last` generations, with every
+    /// id re-interned from `old` into `fresh`. Statistics, the generation
+    /// clock, and per-entry stamps carry over, so recency keeps working
+    /// across a compaction.
+    pub fn collected(
+        &self,
+        keep_last: u64,
+        old: &mut Interner,
+        fresh: &mut Interner,
+    ) -> InternTable {
+        let cur = self.generation;
+        let mut out = InternTable {
+            cache: FastMap::default(),
+            hits: self.hits,
+            misses: self.misses,
+            generation: self.generation,
+        };
+        let mut entries: Vec<_> = self
+            .cache
+            .iter()
+            .filter(|(_, (_, _, stamp))| stamp.saturating_add(keep_last) > cur)
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        // Deterministic migration order keeps the fresh arena's id
+        // assignment reproducible run-to-run.
+        entries.sort_unstable_by_key(|((f, a, fuel), _)| (f.index(), a.index(), *fuel));
+        for ((f, a, fuel), (r, exhausted, stamp)) in entries {
+            let (ft, at, rt) = (old.extract(f), old.extract(a), old.extract(r));
+            let key = (fresh.canon_id(&ft), fresh.canon_id(&at), fuel);
+            out.cache
+                .insert(key, (fresh.canon_id(&rt), exhausted, stamp));
+        }
+        out
+    }
+
+    /// Snapshot view of all entries (see [`crate::snap`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snap_entries(&self) -> Vec<((TermId, TermId, usize), (TermId, bool, u64))> {
+        self.cache.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Restores one snapshot entry verbatim (ids validated by the caller).
+    pub(crate) fn snap_insert(
+        &mut self,
+        f: TermId,
+        a: TermId,
+        fuel: usize,
+        r: TermId,
+        exhausted: bool,
+        stamp: u64,
+    ) {
+        self.cache.insert((f, a, fuel), (r, exhausted, stamp));
+    }
+
+    /// Restores snapshot counters.
+    pub(crate) fn snap_set_counters(&mut self, hits: usize, misses: usize, generation: u64) {
+        self.hits = hits;
+        self.misses = misses;
+        self.generation = generation;
+    }
 }
 
 impl IdBetaTable for InternTable {
     fn lookup(&mut self, f: TermId, a: TermId, fuel: usize) -> Option<(TermId, bool)> {
-        match self.cache.get(&(f, a, fuel)) {
-            Some((r, exhausted)) => {
+        match self.cache.get_mut(&(f, a, fuel)) {
+            Some(entry) => {
+                entry.2 = self.generation;
                 self.hits += 1;
-                Some((*r, *exhausted))
+                Some((entry.0, entry.1))
             }
             None => {
                 self.misses += 1;
@@ -1572,7 +1878,8 @@ impl IdBetaTable for InternTable {
     }
 
     fn store(&mut self, f: TermId, a: TermId, fuel: usize, r: TermId, exhausted: bool) {
-        self.cache.insert((f, a, fuel), (r, exhausted));
+        self.cache
+            .insert((f, a, fuel), (r, exhausted, self.generation));
     }
 }
 

@@ -36,6 +36,9 @@
 //!   interner and memo table usable concurrently from worker threads;
 //! * [`pool`] — bounded fork–join worker helpers shared by every parallel
 //!   fixpoint path in the workspace;
+//! * [`snap`] — persistent arena snapshots: a versioned, checksummed
+//!   binary format that saves/loads the interner and memo tables so a
+//!   fresh process warm-starts instead of re-deriving;
 //! * [`encodings`] — the paper's example programs (`fromN`, `evens`,
 //!   parallel or, `reaches`, two-phase commit, Peano numerals);
 //! * [`stdlib`] — streaming list/set combinators built from the core
@@ -72,6 +75,7 @@ pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod sharded;
+pub mod snap;
 pub mod stdlib;
 pub mod symbol;
 pub mod term;

@@ -613,6 +613,82 @@ impl SharedInternTable {
         }
         fresh
     }
+
+    /// Snapshot export (see [`crate::snap`]): the entries touched within
+    /// the last `keep_last` generations — the same recency filter
+    /// [`SharedInternTable::collected`] uses; pass `u64::MAX` to keep
+    /// everything — with their key/result terms extracted, plus the
+    /// table's counters. Sorted by key ids so equal tables serialise to
+    /// identical bytes.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snap_export(
+        &self,
+        keep_last: u64,
+    ) -> (
+        Vec<(TermRef, TermRef, usize, TermRef, bool, u64)>,
+        usize,
+        usize,
+        u64,
+    ) {
+        let cur = self.generation();
+        let mut raw: Vec<(BetaKey, CachedBeta)> = Vec::new();
+        for shard in self.inner.cache.0.iter() {
+            raw.extend(
+                shard
+                    .lock()
+                    .iter()
+                    .filter(|(_, v)| v.stamp.saturating_add(keep_last) > cur)
+                    .map(|(k, v)| (*k, v.clone())),
+            );
+        }
+        raw.sort_unstable_by_key(|((f, a, fuel), _)| (f.index(), a.index(), *fuel));
+        let out = raw
+            .into_iter()
+            .map(|((f, a, fuel), v)| {
+                (
+                    self.inner.interner.term(f),
+                    self.inner.interner.term(a),
+                    fuel,
+                    v.result,
+                    v.exhausted,
+                    v.stamp,
+                )
+            })
+            .collect();
+        let (hits, misses) = self.stats();
+        (out, hits, misses, cur)
+    }
+
+    /// Restores one snapshot entry: keys are canonically re-interned into
+    /// this table's arena, the stamp is kept verbatim.
+    pub(crate) fn snap_restore(
+        &self,
+        f: &TermRef,
+        a: &TermRef,
+        fuel: usize,
+        r: &TermRef,
+        exhausted: bool,
+        stamp: u64,
+    ) {
+        let key = (
+            self.inner.interner.canon_id(f),
+            self.inner.interner.canon_id(a),
+            fuel,
+        );
+        let entry = CachedBeta {
+            result: r.clone(),
+            exhausted,
+            stamp,
+        };
+        self.inner.cache.shard(&key).lock().insert(key, entry);
+    }
+
+    /// Restores snapshot counters (statistics and the generation clock).
+    pub(crate) fn snap_set_counters(&self, hits: usize, misses: usize, generation: u64) {
+        self.inner.hits.store(hits, Ordering::Relaxed);
+        self.inner.misses.store(misses, Ordering::Relaxed);
+        self.inner.generation.store(generation, Ordering::Relaxed);
+    }
 }
 
 impl BetaTable for SharedInternTable {

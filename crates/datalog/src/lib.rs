@@ -20,6 +20,9 @@
 //! (DESIGN.md §7). Tree-shaped [`Database`] results are decoded
 //! only at the API boundary; [`eval::eval_ids`] stays flat end to end,
 //! which is what the 10⁵–10⁶-fact workloads in the bench suite use.
+//! A computed [`IdDatabase`] can be checkpointed to disk and warm-loaded
+//! in a fresh process via [`snap`] — loading a snapshot is several times
+//! cheaper than re-deriving the fixpoint.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod ast;
 pub mod eval;
 pub mod parser;
 mod plan;
+pub mod snap;
 pub mod store;
 pub mod strata;
 

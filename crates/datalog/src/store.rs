@@ -93,6 +93,33 @@ impl ColIndex {
     pub(crate) fn probe(&self, key_hash: u64) -> &[u32] {
         self.map.get(&key_hash).map_or(&[], Vec::as_slice)
     }
+
+    /// Snapshot view of the index buckets, sorted by key hash — the map's
+    /// own iteration order is nondeterministic, and snapshots of equal
+    /// databases must serialise to identical bytes (see [`crate::snap`]).
+    pub(crate) fn snap_buckets(&self) -> Vec<(u64, &Vec<u32>)> {
+        let mut out: Vec<_> = self.map.iter().map(|(h, v)| (*h, v)).collect();
+        out.sort_unstable_by_key(|(h, _)| *h);
+        out
+    }
+
+    /// Rebuilds an index from stored buckets (row indexes validated by
+    /// the caller).
+    pub(crate) fn from_buckets(cols: Vec<usize>, buckets: Vec<(u64, Vec<u32>)>) -> ColIndex {
+        let mut ix = ColIndex::new(cols);
+        ix.map.extend(buckets);
+        ix
+    }
+
+    /// Rebuilds an index from scratch over a relation's flat rows — the
+    /// rebuild-on-load path.
+    pub(crate) fn rebuild(cols: Vec<usize>, data: &[u32], arity: usize, rows: usize) -> ColIndex {
+        let mut ix = ColIndex::new(cols);
+        for r in 0..rows {
+            ix.add(r as u32, &data[r * arity..(r + 1) * arity]);
+        }
+        ix
+    }
 }
 
 /// How a trie projects and filters the rows of its relation: the static
@@ -475,7 +502,13 @@ impl Relation {
 
     #[cold]
     fn grow(&mut self) {
-        let new_len = self.slots.len() * 2;
+        self.rebuild_slots(self.slots.len() * 2);
+    }
+
+    /// Rebuilds the membership table at `new_len` slots (a power of two)
+    /// by re-hashing every row in insertion order — the deterministic
+    /// recipe both [`Relation::grow`] and snapshot rebuild-on-load use.
+    fn rebuild_slots(&mut self, new_len: usize) {
         self.slots.clear();
         self.slots.resize(new_len, EMPTY);
         let mask = new_len - 1;
@@ -486,6 +519,51 @@ impl Relation {
             }
             self.slots[i] = r;
         }
+    }
+
+    /// The slot count a freshly rebuilt membership table uses for `rows`
+    /// rows: the smallest power of two ≥ 8 below the 3/4 load factor.
+    pub(crate) fn natural_slot_len(rows: usize) -> usize {
+        let mut n = 8usize;
+        while rows * 4 >= n * 3 {
+            n *= 2;
+        }
+        n
+    }
+
+    /// Snapshot view of the membership table (see [`crate::snap`]).
+    pub(crate) fn snap_slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Reassembles a relation from snapshot parts. `slots` is either the
+    /// stored membership table (its occupied positions, validated by the
+    /// caller against `rows`) or `None` to rebuild it from the data —
+    /// the two sides of the snapshot `store_derived` flag. Hash indexes
+    /// arrive pre-assembled the same way; tries are registered empty and
+    /// catch up lazily on the first [`Relation::refresh_tries`], exactly
+    /// like registration after population.
+    pub(crate) fn from_parts(
+        arity: usize,
+        data: Vec<u32>,
+        rows: usize,
+        slots: Option<Vec<u32>>,
+        indexes: Vec<ColIndex>,
+        trie_specs: Vec<TrieSpec>,
+    ) -> Relation {
+        let mut rel = Relation {
+            arity,
+            data,
+            slots: vec![EMPTY; 8],
+            rows,
+            indexes,
+            tries: trie_specs.into_iter().map(Trie::new).collect(),
+        };
+        match slots {
+            Some(s) => rel.slots = s,
+            None => rel.rebuild_slots(Relation::natural_slot_len(rows)),
+        }
+        rel
     }
 }
 
@@ -533,6 +611,14 @@ impl IdDatabase {
     /// Total number of derived facts across all relations.
     pub fn total_facts(&self) -> usize {
         self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// The distinct predicate names present, sorted and deduplicated.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names = self.names.clone();
+        names.sort_unstable();
+        names.dedup();
+        names
     }
 
     /// Number of facts of a predicate (over every arity it is used at).

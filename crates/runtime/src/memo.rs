@@ -33,8 +33,11 @@
 //! test in `lambda-join-core/tests/intern_alloc.rs`), and α-equivalent
 //! calls share one entry by construction.
 
+use std::path::Path;
+
 use lambda_join_core::engine::{self, Budget, NoIdTable};
 use lambda_join_core::intern::{InternTable, Interner, TermId};
+use lambda_join_core::snap::{self, SnapError};
 use lambda_join_core::term::TermRef;
 
 /// A memoising evaluator with a persistent call cache and its backing
@@ -79,6 +82,23 @@ impl MemoEval {
     /// Extracts a named tree for an id of the evaluator's arena.
     pub fn extract(&mut self, id: TermId) -> TermRef {
         self.interner.extract(id)
+    }
+
+    /// Checkpoints the evaluator — arena and memo table — to `path`
+    /// (atomically; see [`lambda_join_core::snap`]); returns the byte
+    /// size. A later [`MemoEval::load_snapshot`] resumes with every
+    /// derivation this evaluator has paid for.
+    pub fn save_snapshot(&self, path: &Path) -> Result<u64, SnapError> {
+        snap::save_memo(&self.interner, &self.table, path)
+    }
+
+    /// Resumes an evaluator from a snapshot: ids, memo entries, and cache
+    /// statistics come back exactly as saved, so previously evaluated
+    /// programs answer from the warm cache. Corrupt snapshots are
+    /// rejected with a typed [`SnapError`].
+    pub fn load_snapshot(path: &Path) -> Result<MemoEval, SnapError> {
+        let (interner, table) = snap::load_memo(path)?;
+        Ok(MemoEval { interner, table })
     }
 
     /// Evaluates with the given fuel (β-depth), memoising β-calls.
@@ -228,6 +248,30 @@ mod tests {
         );
         let expect = set(g.reachable(0).into_iter().map(int).collect());
         assert!(result_equiv(&r, &expect), "got {r}");
+    }
+
+    #[test]
+    fn snapshot_resume_answers_from_warm_cache() {
+        let path = std::env::temp_dir().join(format!(
+            "lambdav-memo-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let e = parse("let f = \\x. x + 1 in (f 10, f 10)").unwrap();
+        let mut m = MemoEval::new();
+        let cold = m.eval_fuel(&e, 10);
+        m.save_snapshot(&path).expect("save");
+        let mut warm = MemoEval::load_snapshot(&path).expect("load");
+        assert_eq!(warm.stats(), m.stats(), "statistics restored verbatim");
+        let (_, misses_before) = warm.stats();
+        let again = warm.eval_fuel(&e, 10);
+        let (_, misses_after) = warm.stats();
+        assert!(again.alpha_eq(&cold));
+        assert_eq!(
+            misses_before, misses_after,
+            "resumed evaluation should be pure cache hits"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

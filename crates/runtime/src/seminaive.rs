@@ -34,11 +34,21 @@
 //! elements arriving from outside mid-run, the streaming scenario where
 //! incrementality pays off most — exactly the "change in input" case.
 
+use std::path::Path;
+
 use lambda_join_core::builder;
 use lambda_join_core::engine::{self, Budget, NoIdTable};
 use lambda_join_core::ideval;
-use lambda_join_core::intern::{IdSet, Interner, TermId, TermView};
+use lambda_join_core::intern::{IdSet, InternTable, Interner, TermId, TermView};
+use lambda_join_core::snap::{self, put_v32, put_v64, SnapError};
 use lambda_join_core::term::TermRef;
+
+/// How many engine rounds an unprobed memo entry survives
+/// [`SeminaiveEngine::compact`]: entries stored or hit within the last
+/// this-many rounds are migrated to the fresh arena, older ones are
+/// dropped with it. The same recency idea as the server GC's
+/// `gc_keep_generations`, at round granularity.
+const COMPACT_KEEP_ROUNDS: u64 = 8;
 
 /// Work statistics for one engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +95,11 @@ pub struct SeminaiveEngine {
     interner: Interner,
     /// Ids discovered in the last round but not yet expanded.
     delta: Vec<TermId>,
+    /// The β-memo threaded through every `step x` evaluation: repeated
+    /// internal calls (dispatch helpers, shared subcomputations) hit
+    /// across elements and rounds. One generation per round gives entries
+    /// the recency stamps [`SeminaiveEngine::compact`] retains by.
+    table: InternTable,
     /// Work counters.
     stats: SeminaiveStats,
     /// Whether any `step` evaluation produced `⊤`.
@@ -104,6 +119,7 @@ impl SeminaiveEngine {
             seen: IdSet::default(),
             interner,
             delta: Vec::new(),
+            table: InternTable::new(),
             stats: SeminaiveStats::default(),
             saw_top: false,
         }
@@ -144,6 +160,7 @@ impl SeminaiveEngine {
             return false;
         }
         self.stats.rounds += 1;
+        self.table.begin_generation();
         let work: Vec<TermId> = std::mem::take(&mut self.delta);
         let mut fresh: Vec<TermId> = Vec::new();
         for x in work {
@@ -151,7 +168,7 @@ impl SeminaiveEngine {
             let (step_id, fuel) = (self.step_id, self.fuel);
             let call = ideval::app_id(&mut self.interner, step_id, x);
             let mut budget = Budget::new(usize::MAX);
-            let r = engine::run_id(&mut self.interner, call, fuel, &mut budget, &mut NoIdTable);
+            let r = engine::run_id(&mut self.interner, call, fuel, &mut budget, &mut self.table);
             match self.interner.view(r) {
                 TermView::Set(es) => {
                     // One id probe per element replaces the two linear
@@ -201,8 +218,9 @@ impl SeminaiveEngine {
         &mut self.interner
     }
 
-    /// Rebuilds the engine's arena from scratch, retaining only the rule
-    /// body, the accumulated fixpoint, and the pending delta.
+    /// Rebuilds the engine's arena from scratch, retaining the rule
+    /// body, the accumulated fixpoint, the pending delta, and the
+    /// recently-touched slice of the β-memo.
     ///
     /// Hash-consing has no per-term free: every node the rounds ever
     /// interned — including evaluation intermediates — lives as long as
@@ -210,9 +228,17 @@ impl SeminaiveEngine {
     /// [`SeminaiveEngine::push`] scenario) grows with the total distinct
     /// intermediates ever built, not with the fixpoint. Calling this
     /// between input waves caps that growth: cost is O(|fixpoint| +
-    /// |step|) re-interning, after which the old arena (and every
-    /// intermediate) is dropped. Ids previously handed out by
+    /// |step| + |hot memo|) re-interning, after which the old arena (and
+    /// every intermediate) is dropped. Ids previously handed out by
     /// [`SeminaiveEngine::current_ids`] are invalidated.
+    ///
+    /// The memo is *not* discarded wholesale (it used to be, which made
+    /// every post-compact round re-derive its shared subcalls): entries
+    /// stored or hit within the last `COMPACT_KEEP_ROUNDS` rounds
+    /// migrate via [`InternTable::collected`] — the same recency signal
+    /// the server GC uses — so warm re-probes right after a compact stay
+    /// hits, and stay allocation-free (pinned by the counting-allocator
+    /// test in `lambda-join-core/tests/intern_alloc.rs`).
     pub fn compact(&mut self) {
         let mut fresh = Interner::new();
         let step = self.interner.extract(self.step_id);
@@ -236,7 +262,101 @@ impl SeminaiveEngine {
             &mut fresh,
         );
         self.seen = self.acc.iter().copied().collect();
+        self.table = self
+            .table
+            .collected(COMPACT_KEEP_ROUNDS, &mut self.interner, &mut fresh);
         self.interner = fresh;
+    }
+
+    /// Memo statistics `(hits, misses)` of the engine's β-table.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        self.table.stats()
+    }
+
+    /// The number of cached β-results currently held.
+    pub fn memo_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Checkpoints the engine — arena, memo, fixpoint, pending delta, and
+    /// counters — to `path` (atomically); returns the byte size. A later
+    /// [`SeminaiveEngine::load_snapshot`] resumes the fixpoint exactly
+    /// where it stopped: known elements stay deduplicated, the delta
+    /// picks up unexpanded work, warm memo entries keep hitting.
+    pub fn save_snapshot(&self, path: &Path) -> Result<u64, SnapError> {
+        let mut w = snap::Writer::new();
+        snap::write_interner(&mut w, &self.interner);
+        snap::write_table(&mut w, &self.table);
+        let mut p = Vec::new();
+        put_v32(&mut p, self.step_id.index() as u32);
+        put_v64(&mut p, self.fuel as u64);
+        put_v64(&mut p, self.acc.len() as u64);
+        for id in &self.acc {
+            put_v32(&mut p, id.index() as u32);
+        }
+        put_v64(&mut p, self.delta.len() as u64);
+        for id in &self.delta {
+            put_v32(&mut p, id.index() as u32);
+        }
+        put_v64(&mut p, self.stats.rounds as u64);
+        put_v64(&mut p, self.stats.step_calls as u64);
+        p.push(u8::from(self.saw_top));
+        w.section(snap::tag::ENGINE, &p);
+        w.save(path)
+    }
+
+    /// Resumes an engine from a snapshot written by
+    /// [`SeminaiveEngine::save_snapshot`]. Corrupt snapshots are rejected
+    /// with a typed [`SnapError`].
+    pub fn load_snapshot(path: &Path) -> Result<SeminaiveEngine, SnapError> {
+        let bytes = std::fs::read(path)?;
+        let mut r = snap::Reader::new(&bytes)?;
+        let interner = snap::read_interner(&mut r)?;
+        let table = snap::read_table(&mut r, &interner)?;
+        let mut cur = r.section(snap::tag::ENGINE)?;
+        let id = |cur: &mut snap::Cur<'_>| -> Result<TermId, SnapError> {
+            let raw = cur.v32()? as usize;
+            if raw < interner.len() {
+                Ok(interner.id_at(raw))
+            } else {
+                Err(SnapError::Malformed("engine id out of range"))
+            }
+        };
+        let step_id = id(&mut cur)?;
+        let fuel = cur.vusize()?;
+        let n_acc = cur.count(1)?;
+        let mut acc = Vec::with_capacity(n_acc);
+        for _ in 0..n_acc {
+            acc.push(id(&mut cur)?);
+        }
+        let n_delta = cur.count(1)?;
+        let mut delta = Vec::with_capacity(n_delta);
+        for _ in 0..n_delta {
+            delta.push(id(&mut cur)?);
+        }
+        let stats = SeminaiveStats {
+            rounds: cur.vusize()?,
+            step_calls: cur.vusize()?,
+        };
+        let saw_top = match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapError::Malformed("bad saw_top flag")),
+        };
+        cur.expect_end()?;
+        r.expect_end()?;
+        let seen: IdSet = acc.iter().copied().collect();
+        Ok(SeminaiveEngine {
+            step_id,
+            fuel,
+            acc,
+            seen,
+            interner,
+            delta,
+            table,
+            stats,
+            saw_top,
+        })
     }
 
     /// Whether the engine has drained its delta (reached the fixpoint for
@@ -466,5 +586,79 @@ mod tests {
         e.run(100);
         // Line of 4: rounds = 4 (3 productive + 1 draining).
         assert!(e.stats().rounds >= 3 && e.stats().rounds <= 5);
+    }
+
+    #[test]
+    fn compact_retains_recent_memo() {
+        use lambda_join_core::builder::{app, lam, set, unit};
+        // A step whose body contains a subcall *shared across elements*:
+        // `(λu. {5}) ()` has the same memo key no matter which x the step
+        // is applied to, so a warm memo answers it without re-deriving.
+        let shared = app(lam("u", set(vec![int(5)])), unit());
+        let step = lam("x", shared);
+        let mut e = SeminaiveEngine::new(step, 32);
+        e.push(vec![int(0)]);
+        e.run(100);
+        let (hits_before, misses_before) = e.memo_stats();
+        assert!(e.memo_len() > 0, "rounds should have populated the memo");
+
+        // compact() used to discard the memo wholesale; now entries
+        // touched within the recency window migrate...
+        e.compact();
+        assert!(e.memo_len() > 0, "recent memo entries must survive compact");
+        assert_eq!(
+            e.memo_stats(),
+            (hits_before, misses_before),
+            "compaction must carry the cache statistics"
+        );
+
+        // ...so the very next wave answers the shared subcall from
+        // cache: hits grow, and the shared entry contributes no new miss
+        // beyond the outer (step x) call for the fresh element.
+        e.push(vec![int(10)]);
+        e.run(100);
+        let (hits_after, _) = e.memo_stats();
+        assert!(
+            hits_after > hits_before,
+            "post-compact round should hit the retained memo \
+             ({hits_before} -> {hits_after} hits)"
+        );
+        let expect = set(vec![int(0), int(10), int(5)]);
+        assert!(result_equiv(&e.current(), &expect), "got {}", e.current());
+    }
+
+    #[test]
+    fn snapshot_suspends_and_resumes_mid_fixpoint() {
+        let path = std::env::temp_dir().join(format!(
+            "lambdav-seminaive-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let g = Graph::line(8);
+        let mut e = SeminaiveEngine::new(graph_step(&g), 32);
+        e.push(vec![int(0)]);
+        // A few rounds in — delta pending, memo warm — suspend to disk.
+        for _ in 0..3 {
+            e.round();
+        }
+        assert!(!e.is_quiescent(), "suspension point should be mid-fixpoint");
+        e.save_snapshot(&path).expect("save engine");
+        let mut resumed = SeminaiveEngine::load_snapshot(&path).expect("load engine");
+        assert_eq!(resumed.memo_stats(), e.memo_stats());
+        assert_eq!(resumed.stats(), e.stats());
+        assert_eq!(resumed.current_ids(), e.current_ids());
+        // Both runs finish from here and land on the same fixpoint with
+        // the same work counters — the resumed engine neither redoes nor
+        // skips rounds.
+        let fin_orig = e.run(100);
+        let fin_resumed = resumed.run(100);
+        assert!(fin_resumed.alpha_eq(&fin_orig), "fixpoints diverge");
+        assert_eq!(resumed.stats(), e.stats(), "work counters diverge");
+        assert!(result_equiv(&fin_resumed, &expected_reachable(&g, 0)));
+        // Corruption is rejected with a typed error, not a panic.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(SeminaiveEngine::load_snapshot(&path).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -101,6 +101,20 @@ pub struct ServerConfig {
     pub gc_keep_generations: u64,
     /// Base of the `retry_after_ms` hint on shed requests.
     pub retry_base_ms: u64,
+    /// Snapshot file for warm boots (see [`lambda_join_core::snap`]).
+    /// When set: loaded on boot if present (a corrupt file fails the
+    /// boot; a missing one is a normal cold start), checkpointed on
+    /// graceful shutdown and every
+    /// [`snapshot_interval_ms`](ServerConfig::snapshot_interval_ms).
+    /// Checkpoints persist the
+    /// `collected()` working set — entries touched within the last
+    /// [`gc_keep_generations`](ServerConfig::gc_keep_generations)
+    /// requests — not the unbounded arena.
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Interval between periodic snapshot checkpoints; `0` checkpoints
+    /// only on graceful shutdown. Ignored without
+    /// [`snapshot_path`](ServerConfig::snapshot_path).
+    pub snapshot_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +135,8 @@ impl Default for ServerConfig {
             gc_node_watermark: 1_000_000,
             gc_keep_generations: 64,
             retry_base_ms: 25,
+            snapshot_path: None,
+            snapshot_interval_ms: 0,
         }
     }
 }
@@ -145,6 +161,7 @@ pub(crate) struct ServerState {
     pub(crate) rejected_total: AtomicU64,
     pub(crate) panics_total: AtomicU64,
     gc_runs: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 impl ServerState {
@@ -166,6 +183,27 @@ impl ServerState {
             let compacted = snapshot.collected(self.cfg.gc_keep_generations);
             *self.memo.lock() = compacted;
             self.gc_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes a snapshot checkpoint if the config names a path: the
+    /// current memo's `collected()` working set, saved atomically (temp
+    /// file + rename — a crash mid-checkpoint leaves the previous
+    /// snapshot intact). Write errors are logged, not fatal: a serving
+    /// process must outlive a full disk.
+    pub(crate) fn checkpoint(&self) {
+        let Some(path) = &self.cfg.snapshot_path else {
+            return;
+        };
+        let memo = self.memo_handle();
+        match lambda_join_core::snap::save_shared(&memo, self.cfg.gc_keep_generations, path) {
+            Ok(_) => {
+                self.checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!(
+                "lambdav serve: checkpoint to {} failed: {e}",
+                path.display()
+            ),
         }
     }
 
@@ -195,7 +233,8 @@ impl ServerState {
             .push_num("interner_nodes", memo.interner().len() as u64)
             .push_num("memo_hits", hits as u64)
             .push_num("memo_misses", misses as u64)
-            .push_num("generation", memo.generation());
+            .push_num("generation", memo.generation())
+            .push_num("checkpoints", self.checkpoints.load(Ordering::Relaxed));
         o
     }
 }
@@ -205,6 +244,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -230,6 +270,9 @@ impl ServerHandle {
             Some(h) => h.join().is_ok(),
             None => true,
         };
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
         drained && self.state.crew.active() == 0
     }
 
@@ -242,6 +285,9 @@ impl ServerHandle {
             Some(h) => h.join().is_ok(),
             None => true,
         };
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
         drained && self.state.crew.active() == 0
     }
 }
@@ -252,12 +298,27 @@ impl Drop for ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
     }
 }
 
 /// Binds and starts a server, returning once it is accepting
 /// connections.
+///
+/// When the config names a snapshot path and the file exists, the memo
+/// is warm-booted from it before the listener starts accepting — the
+/// first request replays cached derivations instead of re-deriving. A
+/// corrupt or version-mismatched snapshot fails the boot (as
+/// `InvalidData`) rather than silently serving cold; a missing file is
+/// a normal cold start.
 pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let memo = match &cfg.snapshot_path {
+        Some(path) if path.exists() => lambda_join_core::snap::load_shared(path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {e}")))?,
+        _ => SharedInternTable::new(),
+    };
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServerState {
@@ -265,15 +326,27 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         crew: Crew::new(cfg.max_sessions),
         shutdown: Arc::new(AtomicBool::new(false)),
         started: Instant::now(),
-        memo: Mutex::new(SharedInternTable::new()),
+        memo: Mutex::new(memo),
         gc_busy: Mutex::new(()),
         requests_total: AtomicU64::new(0),
         rejected_total: AtomicU64::new(0),
         panics_total: AtomicU64::new(0),
         gc_runs: AtomicU64::new(0),
+        checkpoints: AtomicU64::new(0),
         addr,
         cfg,
     });
+
+    let ticker = if state.cfg.snapshot_path.is_some() && state.cfg.snapshot_interval_ms > 0 {
+        let tick_state = Arc::clone(&state);
+        Some(
+            thread::Builder::new()
+                .name("lambdav-checkpoint".into())
+                .spawn(move || checkpoint_loop(tick_state))?,
+        )
+    } else {
+        None
+    };
 
     let accept_state = Arc::clone(&state);
     let accept = thread::Builder::new()
@@ -284,7 +357,23 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         addr,
         state,
         accept: Some(accept),
+        ticker,
     })
+}
+
+/// Periodic checkpointing: sleeps in short shutdown-aware ticks and
+/// writes a snapshot every `snapshot_interval_ms`.
+fn checkpoint_loop(state: Arc<ServerState>) {
+    let interval = Duration::from_millis(state.cfg.snapshot_interval_ms);
+    let tick = Duration::from_millis(25).min(interval);
+    let mut last = Instant::now();
+    while !state.shutdown.load(Ordering::Acquire) {
+        thread::sleep(tick);
+        if last.elapsed() >= interval {
+            state.checkpoint();
+            last = Instant::now();
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
@@ -321,6 +410,9 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     }
     // Drain: sessions notice the flag at their next read tick.
     state.crew.join_all(Duration::from_secs(10));
+    // Graceful-shutdown checkpoint: persist the warm working set after
+    // the last session finished touching it.
+    state.checkpoint();
 }
 
 #[cfg(test)]
@@ -577,5 +669,76 @@ mod tests {
         );
         assert_eq!(r.kind(), Some("ok"), "{r:?}");
         assert!(handle.stop());
+    }
+
+    #[test]
+    fn warm_boot_from_shutdown_checkpoint() {
+        let path = std::env::temp_dir().join(format!(
+            "lambdav-warm-boot-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServerConfig {
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        };
+
+        // First life: pay for a derivation, then stop — the graceful
+        // shutdown writes the checkpoint.
+        let handle = serve(cfg.clone()).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        let r = round_trip(&mut conn, &mut reader, r#"eval fuel=8 "(\\x. x + 1) 41""#);
+        assert_eq!(r.kind(), Some("ok"), "{r:?}");
+        let cold = r.str_of("result").unwrap().to_string();
+        let stats = round_trip(&mut conn, &mut reader, "stats");
+        let entries = stats.num_of("memo_entries").unwrap();
+        assert!(entries > 0, "the β-redex should have populated the memo");
+        drop((conn, reader));
+        assert!(handle.stop());
+        assert!(path.exists(), "stop() should have checkpointed");
+
+        // Second life: boots from the checkpoint — the memo is warm
+        // before the first request arrives, and the same program answers
+        // identically from cache.
+        let handle = serve(cfg).unwrap();
+        let (mut conn, mut reader) = connect(&handle);
+        let stats = round_trip(&mut conn, &mut reader, "stats");
+        assert_eq!(
+            stats.num_of("memo_entries"),
+            Some(entries),
+            "warm boot should restore the memo verbatim: {stats:?}"
+        );
+        let hits_before = stats.num_of("memo_hits").unwrap();
+        let r = round_trip(&mut conn, &mut reader, r#"eval fuel=8 "(\\y. y + 1) 41""#);
+        assert_eq!(r.kind(), Some("ok"), "{r:?}");
+        assert_eq!(r.str_of("result"), Some(cold.as_str()));
+        let stats = round_trip(&mut conn, &mut reader, "stats");
+        assert!(
+            stats.num_of("memo_hits").unwrap() > hits_before,
+            "the restored entry should answer the α-equivalent call: {stats:?}"
+        );
+        assert!(handle.stop());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_snapshot_fails_boot_with_invalid_data() {
+        let path = std::env::temp_dir().join(format!(
+            "lambdav-corrupt-boot-{}-{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        let cfg = ServerConfig {
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        };
+        let err = match serve(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt snapshot should fail the boot"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 }

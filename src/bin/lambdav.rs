@@ -7,7 +7,16 @@
 //! lambdav check 'program or file.lv' [--fuel N]                 # parse + formula info
 //! lambdav serve [--addr HOST:PORT] [--sessions N]               # evaluation service
 //!               [--fuel-cap N] [--outstanding-fuel N]
+//!               [--snapshot PATH] [--snapshot-interval MS]
 //! ```
+//!
+//! `run` and `watch` additionally accept `--load-snapshot PATH` and
+//! `--save-snapshot PATH` to evaluate through a persistent memoised
+//! evaluator: loading warm-starts the arena and call cache from a prior
+//! run's checkpoint (a missing file is a cold start), saving checkpoints
+//! them after evaluation. `serve --snapshot PATH` warm-boots the shared
+//! server memo from `PATH` and checkpoints back on graceful shutdown
+//! (plus every `--snapshot-interval` milliseconds when given).
 //!
 //! The program argument is treated as a file path if such a file exists,
 //! otherwise as inline source. Exactly one program argument is accepted;
@@ -25,10 +34,13 @@ use lambda_join::core::TermRef;
 use lambda_join::filter::ambiguity::check_ambiguity_fuel;
 use lambda_join::filter::assign::derives_value;
 use lambda_join::filter::semantics::meaning_fragment;
+use lambda_join::runtime::memo::MemoEval;
 use lambda_join::runtime::server::{serve, ServerConfig};
 
 const USAGE: &str = "usage: lambdav <run|watch|check> <program-or-file> [--fuel N] [--timeout MS]
-       lambdav serve [--addr HOST:PORT] [--sessions N] [--fuel-cap N] [--outstanding-fuel N]";
+                [--load-snapshot PATH] [--save-snapshot PATH]
+       lambdav serve [--addr HOST:PORT] [--sessions N] [--fuel-cap N] [--outstanding-fuel N]
+                [--snapshot PATH] [--snapshot-interval MS]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +79,8 @@ fn eval_command(cmd: &str, rest: Vec<String>) -> ExitCode {
     let mut fuel = 40usize;
     let mut timeout_ms: Option<u64> = None;
     let mut source_arg: Option<String> = None;
+    let mut load_snapshot: Option<std::path::PathBuf> = None;
+    let mut save_snapshot: Option<std::path::PathBuf> = None;
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -77,6 +91,20 @@ fn eval_command(cmd: &str, rest: Vec<String>) -> ExitCode {
             "--timeout" if cmd != "check" => match flag_value("--timeout", &mut it) {
                 Ok(n) => timeout_ms = Some(n),
                 Err(code) => return code,
+            },
+            "--load-snapshot" if cmd != "check" => match it.next() {
+                Some(p) => load_snapshot = Some(p.into()),
+                None => {
+                    eprintln!("--load-snapshot requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--save-snapshot" if cmd != "check" => match it.next() {
+                Some(p) => save_snapshot = Some(p.into()),
+                None => {
+                    eprintln!("--save-snapshot requires a path");
+                    return ExitCode::FAILURE;
+                }
             },
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag {flag:?} for `lambdav {cmd}`\n{USAGE}");
@@ -112,6 +140,15 @@ fn eval_command(cmd: &str, rest: Vec<String>) -> ExitCode {
     if !term.is_closed() {
         eprintln!("program has free variables: {:?}", term.free_vars());
         return ExitCode::FAILURE;
+    }
+    // Snapshot-backed evaluation goes through the persistent memoised
+    // evaluator (warm arena + call cache) instead of the one-shot engine.
+    if load_snapshot.is_some() || save_snapshot.is_some() {
+        if timeout_ms.is_some() {
+            eprintln!("--timeout is not supported together with snapshot evaluation");
+            return ExitCode::FAILURE;
+        }
+        return eval_with_snapshots(cmd, &term, fuel, load_snapshot, save_snapshot);
     }
     let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     // One budgeted engine run at `fuel`; returns Err on a tripped deadline.
@@ -172,6 +209,48 @@ fn eval_command(cmd: &str, rest: Vec<String>) -> ExitCode {
     }
 }
 
+/// `run`/`watch` through a [`MemoEval`] that is optionally warm-started
+/// from (and checkpointed back to) disk. A missing `--load-snapshot`
+/// file is a cold start, matching the server's boot behaviour; a corrupt
+/// one is a loud typed error.
+fn eval_with_snapshots(
+    cmd: &str,
+    term: &TermRef,
+    fuel: usize,
+    load_snapshot: Option<std::path::PathBuf>,
+    save_snapshot: Option<std::path::PathBuf>,
+) -> ExitCode {
+    let mut memo = match &load_snapshot {
+        Some(p) if p.exists() => match MemoEval::load_snapshot(p) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("failed to load snapshot {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => MemoEval::new(),
+    };
+    match cmd {
+        "run" => println!("{}", memo.eval_fuel(term, fuel)),
+        "watch" => {
+            for f in 0..=fuel {
+                println!("t{f}: {}", memo.eval_fuel(term, f));
+            }
+        }
+        _ => unreachable!("snapshot flags are rejected for `check` at parse time"),
+    }
+    if let Some(p) = &save_snapshot {
+        match memo.save_snapshot(p) {
+            Ok(bytes) => eprintln!("saved snapshot {} ({bytes} bytes)", p.display()),
+            Err(e) => {
+                eprintln!("failed to save snapshot {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn serve_command(rest: Vec<String>) -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut it = rest.into_iter();
@@ -194,6 +273,17 @@ fn serve_command(rest: Vec<String>) -> ExitCode {
             },
             "--outstanding-fuel" => match flag_value("--outstanding-fuel", &mut it) {
                 Ok(n) => cfg.max_outstanding_fuel = n,
+                Err(code) => return code,
+            },
+            "--snapshot" => match it.next() {
+                Some(p) => cfg.snapshot_path = Some(p.into()),
+                None => {
+                    eprintln!("--snapshot requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--snapshot-interval" => match flag_value("--snapshot-interval", &mut it) {
+                Ok(n) => cfg.snapshot_interval_ms = n,
                 Err(code) => return code,
             },
             other => {
